@@ -1,0 +1,1 @@
+bench/env_report.ml: Domain Printf Scanf String Sys

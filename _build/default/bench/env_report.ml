@@ -1,0 +1,55 @@
+(* Table II equivalent: the configuration of the machine the harness
+   actually runs on (the paper reports its i7-11850H testbed; absolute
+   numbers are not expected to transfer — see EXPERIMENTS.md). *)
+
+let read_first_line path =
+  try
+    let ic = open_in path in
+    let line = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    Some line
+  with Sys_error _ -> None
+
+let cpu_model () =
+  try
+    let ic = open_in "/proc/cpuinfo" in
+    let rec find () =
+      match input_line ic with
+      | line ->
+        if String.length line > 10 && String.sub line 0 10 = "model name" then begin
+          close_in ic;
+          match String.index_opt line ':' with
+          | Some i -> String.trim (String.sub line (i + 1) (String.length line - i - 1))
+          | None -> line
+        end
+        else find ()
+      | exception End_of_file ->
+        close_in ic;
+        "unknown"
+    in
+    find ()
+  with Sys_error _ -> "unknown"
+
+let memory_gb () =
+  try
+    let ic = open_in "/proc/meminfo" in
+    let line = input_line ic in
+    close_in ic;
+    Scanf.sscanf line "MemTotal: %d kB" (fun kb -> Printf.sprintf "%.1f GB" (float_of_int kb /. 1048576.0))
+  with _ -> "unknown"
+
+let os () =
+  match read_first_line "/proc/version" with
+  | Some v when String.length v > 40 -> String.sub v 0 40 ^ "…"
+  | Some v -> v
+  | None -> Sys.os_type
+
+let rows () =
+  [
+    [ "CPU"; cpu_model () ];
+    [ "Cores"; string_of_int (Domain.recommended_domain_count ()) ];
+    [ "Memory"; memory_gb () ];
+    [ "OS"; os () ];
+    [ "OCaml"; Sys.ocaml_version ];
+    [ "Word size"; string_of_int Sys.word_size ^ " bit" ];
+  ]

@@ -1,0 +1,563 @@
+(* JITBULL benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md §5 for the experiment index and
+   EXPERIMENTS.md for paper-vs-measured results).
+
+   Usage:
+     bench/main.exe              run everything
+     bench/main.exe table1       vulnerability survey (Table I)
+     bench/main.exe table2       machine configuration (Table II)
+     bench/main.exe window       vulnerability-window statistics (§III-C)
+     bench/main.exe security     detection matrix (§VI-B, 8 CVEs × 4 variants)
+     bench/main.exe fig4         false-positive rates (#1 vs #4 VDCs)
+     bench/main.exe fig5         execution times (NoJIT / JIT / JITBULL #0 #1 #4)
+     bench/main.exe fig6         scalability (#1..#8 VDCs)
+     bench/main.exe fuzz         fuzzer-to-database pipeline (paper §IV-A)
+     bench/main.exe ablation     Thr/Ratio/n-gram parameter sweep (beyond the paper)
+     bench/main.exe bechamel     Bechamel micro-benchmarks of the JITBULL machinery *)
+
+module W = Jitbull_workloads.Workloads
+module V = Jitbull_vdc.Demonstrators
+module Variants = Jitbull_vdc.Variants
+module Catalog = Jitbull_vdc.Catalog
+module VC = Jitbull_passes.Vuln_config
+module Engine = Jitbull_jit.Engine
+module Db = Jitbull_core.Db
+module Jitbull = Jitbull_core.Jitbull
+module Dna = Jitbull_core.Dna
+module Depgraph = Jitbull_core.Depgraph
+module Chains = Jitbull_core.Chains
+module Comparator = Jitbull_core.Comparator
+module Table = Jitbull_util.Text_table
+module Interp = Jitbull_interp.Interp
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* The paper's DB build-up order: the four public-VDC vulnerabilities
+   first (#1..#4), then the four reconstructed ones (#5..#8, §VI-D). *)
+let cve_order =
+  [
+    VC.CVE_2019_17026;
+    VC.CVE_2019_9810;
+    VC.CVE_2019_9791;
+    VC.CVE_2019_11707;
+    VC.CVE_2019_9792;
+    VC.CVE_2019_9795;
+    VC.CVE_2019_9813;
+    VC.CVE_2020_26952;
+  ]
+
+let first_n n lst = List.filteri (fun i _ -> i < n) lst
+
+(* Build a database holding the first [n] VDCs' DNA (each harvested on an
+   engine carrying just that bug, as its reporter would). *)
+let build_db n =
+  let db = Db.create () in
+  List.iter
+    (fun cve ->
+      let d = V.find cve in
+      ignore (Db.harvest db ~cve:d.V.name ~vulns:(VC.make [ cve ]) d.V.source))
+    (first_n n cve_order);
+  db
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Deterministic workloads: best-of-3 is a stable point estimate. *)
+let time_best f =
+  let once () = snd (time f) in
+  min (once ()) (min (once ()) (once ()))
+
+(* ---- Table I ---- *)
+
+let table1 () =
+  section "Table I: JIT-engine vulnerabilities 2015-2021 ([VDC] = demonstrator available)";
+  let rows =
+    List.map
+      (fun (e : Catalog.entry) ->
+        [
+          Catalog.engine_name e.Catalog.engine;
+          (if e.Catalog.has_vdc then e.Catalog.cve ^ " [VDC]" else e.Catalog.cve);
+          Printf.sprintf "%.1f" e.Catalog.cvss;
+          (match e.Catalog.modeled with
+          | Some _ -> "modeled in this repo"
+          | None -> "");
+        ])
+      Catalog.all
+  in
+  Table.print ~headers:[ "Target"; "Vulnerability"; "CVSS"; "Notes" ] rows;
+  let avg =
+    List.fold_left (fun acc (e : Catalog.entry) -> acc +. e.Catalog.cvss) 0.0 Catalog.all
+    /. float_of_int (List.length Catalog.all)
+  in
+  Printf.printf "\nMean CVSS: %.1f (paper: 8.8)\n" avg
+
+(* ---- Table II ---- *)
+
+let table2 () =
+  section "Table II: hardware/software configuration (this host)";
+  Table.print ~headers:[ "Component"; "Characteristics" ] (Env_report.rows ())
+
+(* ---- §III-C vulnerability windows ---- *)
+
+let window () =
+  section "Vulnerability-window statistics (paper §III-C)";
+  let rows =
+    List.filter_map
+      (fun (e : Catalog.entry) ->
+        match Catalog.window_days e with
+        | Some d ->
+          Some
+            [ e.Catalog.cve;
+              Option.value ~default:"" e.Catalog.reported;
+              Option.value ~default:"" e.Catalog.patched;
+              string_of_int d ^ " days" ]
+        | None -> None)
+      Catalog.all
+  in
+  Table.print ~headers:[ "CVE"; "Reported"; "Patched"; "Window" ] rows;
+  Printf.printf "\nMean window: %.1f days (paper: 9 days)\n" (Catalog.mean_window_days ());
+  Printf.printf "Max overlapping windows in 2019: %d (paper: 2, CVE-2019-9810/-9813)\n"
+    (Catalog.max_overlapping ~year:2019)
+
+(* ---- §VI-B security evaluation ---- *)
+
+let exploited = function
+  | V.Exploited _ -> true
+  | V.Neutralized -> false
+
+let security () =
+  section "Security evaluation (paper §VI-B): detection of exploit variants";
+  Printf.printf
+    "For each CVE: exploit on patched / unpatched engine, then unpatched +\n\
+     JITBULL with only the original VDC's DNA installed, against the original\n\
+     and the four generated variants (rename / minify / mix / split).\n\n";
+  let detections = ref 0 in
+  let attempts = ref 0 in
+  let rows =
+    List.map
+      (fun (d : V.t) ->
+        let vulns = VC.make [ d.V.cve ] in
+        let patched = { Engine.default_config with Engine.vulns = VC.none } in
+        let vulnerable = { Engine.default_config with Engine.vulns } in
+        let db = Db.create () in
+        ignore (Db.harvest db ~cve:d.V.name ~vulns d.V.source);
+        let monitor = Jitbull.new_monitor () in
+        let protected_cfg = Jitbull.config ~monitor ~vulns db in
+        let orig_patched = exploited (V.run_exploit patched d.V.source d.V.expected) in
+        let orig_vuln = exploited (V.run_exploit vulnerable d.V.source d.V.expected) in
+        let variant_cells =
+          List.map
+            (fun kind ->
+              let variant = Variants.apply kind d.V.source in
+              let still = exploited (V.run_exploit vulnerable variant d.V.expected) in
+              let neutralized =
+                not (exploited (V.run_exploit protected_cfg variant d.V.expected))
+              in
+              incr attempts;
+              if still && neutralized then incr detections;
+              Printf.sprintf "%s%s" (if still then "expl/" else "dead/")
+                (if neutralized then "BLOCKED" else "MISSED"))
+            Variants.all_kinds
+        in
+        let orig_blocked =
+          not (exploited (V.run_exploit protected_cfg d.V.source d.V.expected))
+        in
+        incr attempts;
+        if orig_vuln && orig_blocked then incr detections;
+        let flagged =
+          List.concat_map (fun (r : Jitbull.record) -> r.Jitbull.dangerous_passes)
+            monitor.Jitbull.records
+          |> List.sort_uniq String.compare
+        in
+        [ d.V.name;
+          (if orig_patched then "EXPLOITED!" else "safe");
+          (if orig_vuln then "exploited" else "MISSED!");
+          (if orig_blocked then "BLOCKED" else "MISSED") ]
+        @ variant_cells
+        @ [ String.concat "," flagged ])
+      V.all
+  in
+  Table.print
+    ~headers:
+      [ "CVE"; "patched"; "unpatched"; "original"; "rename"; "minify"; "mix"; "split";
+        "flagged passes" ]
+    rows;
+  Printf.printf "\nDetection rate: %d/%d = %.0f%% (paper: 100%%)\n" !detections !attempts
+    (100.0 *. float_of_int !detections /. float_of_int !attempts);
+  (* the paper's §VI-B-a: two independent implementations of 17026 *)
+  let d = V.find VC.CVE_2019_17026 in
+  let vulns = VC.make [ d.V.cve ] in
+  let db = Db.create () in
+  ignore (Db.harvest db ~cve:d.V.name ~vulns d.V.source);
+  let monitor = Jitbull.new_monitor () in
+  let cfg = Jitbull.config ~monitor ~vulns db in
+  let blocked =
+    not (exploited (V.run_exploit cfg V.second_implementation_17026 V.Shellcode))
+  in
+  let gvn_flagged =
+    List.exists
+      (fun (r : Jitbull.record) -> List.mem "gvn" r.Jitbull.dangerous_passes)
+      monitor.Jitbull.records
+  in
+  Printf.printf
+    "\nCVE-2019-17026 independent implementation: %s, GVN flagged: %b (paper: detected, GVN disabled)\n"
+    (if blocked then "BLOCKED" else "MISSED") gvn_flagged
+
+(* ---- Figure 4: false positives ---- *)
+
+(* Databases are harvested once per size and shared: building one runs
+   the demonstrators, which must never be part of a timed region. *)
+let db_cache : (int, Db.t) Hashtbl.t = Hashtbl.create 8
+
+let cached_db n =
+  match Hashtbl.find_opt db_cache n with
+  | Some db -> db
+  | None ->
+    let db = build_db n in
+    Hashtbl.replace db_cache n db;
+    db
+
+let protected_config n =
+  let vulns = VC.make (first_n n cve_order) in
+  Jitbull.config ~vulns (cached_db n)
+
+(* Run a workload under a #n-VDC JITBULL configuration; return engine
+   stats and output. *)
+let run_protected n (w : W.t) =
+  let out, t = Engine.run_source (protected_config n) w.W.source in
+  (out, Engine.stats t)
+
+let fig4 () =
+  section "Figure 4: false-positive rates on harmless benchmarks (#1 vs #4 VDCs)";
+  Printf.printf
+    "%%PassDis = JITed functions with >=1 pass disabled; %%NoJIT = functions\n\
+     denied JIT entirely. Annotated with the number of Ion-compiled functions.\n\n";
+  let rows =
+    List.map
+      (fun (w : W.t) ->
+        let reference = (Interp.run_source w.W.source).Interp.output in
+        let cell n =
+          let out, s = run_protected n w in
+          assert (String.equal out reference);
+          let nr = max s.Engine.nr_jit 1 in
+          Printf.sprintf "%.0f%% / %.0f%%"
+            (100.0 *. float_of_int s.Engine.nr_disjit /. float_of_int nr)
+            (100.0 *. float_of_int s.Engine.nr_nojit /. float_of_int nr)
+        in
+        let _, s1 = run_protected 1 w in
+        [ w.W.name; string_of_int s1.Engine.nr_jit; cell 1; cell 4 ])
+      W.everything
+  in
+  Table.print
+    ~headers:[ "Benchmark"; "Nr_JIT"; "#1: %PassDis/%NoJIT"; "#4: %PassDis/%NoJIT" ]
+    rows;
+  Printf.printf
+    "\nPaper shape: 0-5%% with one VDC (no function ever fully denied JIT);\n\
+     10-65%% with four VDCs.\n"
+
+(* ---- Figure 5: execution times ---- *)
+
+let fig5 () =
+  section "Figure 5: execution time - NoJIT vs JIT vs JITBULL (#0, #1, #4 VDCs)";
+  let rows =
+    List.map
+      (fun (w : W.t) ->
+        let reference = (Interp.run_source w.W.source).Interp.output in
+        let run config =
+          let out = fst (Engine.run_source config w.W.source) in
+          assert (String.equal out reference);
+          time_best (fun () -> ignore (Engine.run_source config w.W.source))
+        in
+        let t_jit = run Engine.default_config in
+        let t_nojit = run { Engine.default_config with Engine.jit_enabled = false } in
+        let t_db0 =
+          (* empty DB: analyzer omitted - the zero-overhead case *)
+          run (Jitbull.config ~vulns:VC.none (Db.create ()))
+        in
+        let t_db n = run (protected_config n) in
+        let t1 = t_db 1 and t4 = t_db 4 in
+        let pct t = Printf.sprintf "%+.0f%%" (100.0 *. (t -. t_jit) /. t_jit) in
+        [ w.W.name;
+          Printf.sprintf "%.0f ms" (t_jit *. 1000.0);
+          Printf.sprintf "%.0f ms (%s)" (t_nojit *. 1000.0) (pct t_nojit);
+          Printf.sprintf "%.0f ms (%s)" (t_db0 *. 1000.0) (pct t_db0);
+          Printf.sprintf "%.0f ms (%s)" (t1 *. 1000.0) (pct t1);
+          Printf.sprintf "%.0f ms (%s)" (t4 *. 1000.0) (pct t4) ])
+      W.everything
+  in
+  Table.print
+    ~headers:[ "Benchmark"; "JIT"; "NoJIT"; "JITBULL #0"; "JITBULL #1"; "JITBULL #4" ]
+    rows;
+  Printf.printf
+    "\nPaper shape: #0 ~= JIT (zero overhead); #1..#4 within 1-20%% of JIT;\n\
+     NoJIT far slower than everything else (its slowdown is compressed in\n\
+     this simulator: both tiers are OCaml interpreters - see EXPERIMENTS.md).\n"
+
+(* ---- Figure 6: scalability ---- *)
+
+let fig6 () =
+  section "Figure 6: scalability with #1..#8 VDCs in the database";
+  let sizes = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let rows =
+    List.map
+      (fun (w : W.t) ->
+        let t_jit =
+          time_best (fun () -> ignore (Engine.run_source Engine.default_config w.W.source))
+        in
+        let cells =
+          List.map
+            (fun n ->
+              let t = time_best (fun () -> ignore (run_protected n w)) in
+              Printf.sprintf "%+.0f%%" (100.0 *. (t -. t_jit) /. t_jit))
+            sizes
+        in
+        w.W.name :: cells)
+      W.everything
+  in
+  Table.print
+    ~headers:("Benchmark" :: List.map (fun n -> "#" ^ string_of_int n) sizes)
+    rows;
+  Printf.printf
+    "\nPaper shape: overhead grows with DB size and flattens beyond ~4 VDCs\n\
+     (max 22%%, min 5%% at #8).\n"
+
+(* ---- §IV-A: the fuzzer-to-database pipeline ---- *)
+
+let fuzz_pipeline () =
+  section "Fuzzer-to-database pipeline (paper §IV-A)";
+  Printf.printf
+    "Exploit-shaped fuzzing against an engine carrying two unpatched bugs;\n\
+     every finding's DNA is auto-harvested; fresh inputs are then re-tried.\n\n";
+  let module F = Jitbull_fuzz in
+  let vulns = VC.make [ VC.CVE_2019_17026; VC.CVE_2019_9813 ] in
+  let fast cfg = { cfg with Engine.baseline_threshold = 2; Engine.ion_threshold = 4 } in
+  let vulnerable = fast { Engine.default_config with Engine.vulns } in
+  let train_seeds = List.init 30 (fun i -> i) in
+  let train = F.Harness.campaign ~profile:`Aggressive ~seeds:train_seeds ~config:vulnerable () in
+  Printf.printf "training campaign: %d programs, %d exploit signals\n" train.F.Harness.total
+    (List.length train.F.Harness.signals);
+  let db = Db.create () in
+  let n = F.Harness.auto_harvest ~vulns ~db train.F.Harness.signals in
+  Printf.printf "auto-harvested DNA entries: %d\n" n;
+  let protected_cfg = fast (Jitbull.config ~vulns db) in
+  let fresh = List.init 15 (fun i -> 1000 + i) in
+  let before = F.Harness.campaign ~profile:`Aggressive ~seeds:fresh ~config:vulnerable () in
+  let after = F.Harness.campaign ~profile:`Aggressive ~seeds:fresh ~config:protected_cfg () in
+  Printf.printf
+    "fresh never-seen inputs: %d/%d exploit without JITBULL, %d/%d with the fuzz-fed DB\n"
+    (List.length before.F.Harness.signals)
+    before.F.Harness.total
+    (List.length after.F.Harness.signals)
+    after.F.Harness.total;
+  (* and benign code stays untouched *)
+  let benign = F.Harness.campaign ~profile:`Benign ~seeds:train_seeds ~config:protected_cfg () in
+  Printf.printf "benign corpus under the same DB: %d/%d agree, %d signals\n"
+    benign.F.Harness.agreements benign.F.Harness.total
+    (List.length benign.F.Harness.signals)
+
+(* ---- Ablation: comparator parameters and sub-chain size ----
+
+   The paper fixes Thr = 3, Ratio = 0.5 "to optimize for a high detection
+   rate" without reporting a sweep; this section measures both sides of
+   the trade-off across the (Thr, Ratio, n-gram) grid:
+   - detection: the 8 originals plus their rename variants must be
+     neutralized on the unpatched engine (16 attempts);
+   - false positives: mean %PassDis over a workload sample with the #4
+     database installed. *)
+
+let ablation () =
+  section "Ablation: Δ-comparator threshold / ratio / sub-chain size";
+  (* harvest + analyze with explicit parameters *)
+  let harvest_with ~n db ~cve ~vulns source =
+    let analyzer ~func_index:_ ~name:_ ~trace =
+      let dna = Dna.extract ~n trace in
+      if Dna.nonempty_passes dna <> [] then Db.add db { Db.cve; dna };
+      Engine.Allow
+    in
+    let config = { Engine.default_config with Engine.vulns; analyzer = Some analyzer } in
+    try ignore (Engine.run_source config source) with _ -> ()
+  in
+  let analyzer_with ~n ~params db counters =
+    let jit_count, dis_count = counters in
+   fun ~func_index:_ ~name:_ ~trace ->
+    incr jit_count;
+    let dna = Dna.extract ~n trace in
+    let matched =
+      List.concat_map
+        (fun (e : Db.entry) -> Comparator.matching_passes ~params dna e.Db.dna)
+        (Db.entries db)
+      |> List.sort_uniq String.compare
+    in
+    if matched = [] then Engine.Allow
+    else begin
+      incr dis_count;
+      Engine.Disable_passes matched
+    end
+  in
+  let fp_sample =
+    List.filter_map W.find [ "Richards"; "RayTrace"; "Splay"; "TypeScript"; "Microbench1" ]
+  in
+  let grid =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun thr ->
+            List.map (fun ratio -> (n, { Comparator.thr; ratio })) [ 0.25; 0.5; 0.75 ])
+          [ 1; 2; 3 ])
+      [ 2; 3 ]
+  in
+  let rows =
+    List.map
+      (fun (n, params) ->
+        (* per-CVE databases, harvested at this n *)
+        let detections = ref 0 in
+        let attempts = ref 0 in
+        List.iter
+          (fun (d : V.t) ->
+            let vulns = VC.make [ d.V.cve ] in
+            let db = Db.create () in
+            harvest_with ~n db ~cve:d.V.name ~vulns d.V.source;
+            let counters = (ref 0, ref 0) in
+            let cfg =
+              { Engine.default_config with
+                Engine.vulns;
+                analyzer = Some (analyzer_with ~n ~params db counters) }
+            in
+            List.iter
+              (fun source ->
+                incr attempts;
+                match V.run_exploit cfg source d.V.expected with
+                | V.Neutralized -> incr detections
+                | V.Exploited _ -> ())
+              [ d.V.source; Variants.apply Variants.Rename d.V.source ])
+          V.all;
+        (* FP: #4 database at this n *)
+        let db4 = Db.create () in
+        List.iter
+          (fun cve ->
+            let d = V.find cve in
+            harvest_with ~n db4 ~cve:d.V.name ~vulns:(VC.make [ cve ]) d.V.source)
+          (first_n 4 cve_order);
+        let fp_total = ref 0.0 in
+        List.iter
+          (fun (w : W.t) ->
+            let counters = (ref 0, ref 0) in
+            let cfg =
+              { Engine.default_config with
+                Engine.vulns = VC.make (first_n 4 cve_order);
+                analyzer = Some (analyzer_with ~n ~params db4 counters) }
+            in
+            ignore (Engine.run_source cfg w.W.source);
+            let jit, dis = counters in
+            fp_total := !fp_total +. (100.0 *. float_of_int !dis /. float_of_int (max 1 !jit)))
+          fp_sample;
+        [
+          string_of_int n;
+          string_of_int params.Comparator.thr;
+          Printf.sprintf "%.2f" params.Comparator.ratio;
+          Printf.sprintf "%d/%d" !detections !attempts;
+          Printf.sprintf "%.0f%%" (!fp_total /. float_of_int (List.length fp_sample));
+        ])
+      grid
+  in
+  Table.print
+    ~headers:[ "n-gram"; "Thr"; "Ratio"; "detection"; "mean FP %PassDis (#4)" ]
+    rows;
+  Printf.printf
+    "\nShipping defaults: n = 3, Thr = 2, Ratio = 0.5 — full detection at the\n\
+     lowest false-positive cost on this corpus (the paper's Thr = 3 assumes\n\
+     its pairwise chain counting; see DESIGN.md §4).\n"
+
+(* ---- Bechamel micro-benchmarks ---- *)
+
+let bechamel () =
+  section "Bechamel micro-benchmarks of the JITBULL machinery";
+  (* time the coarse end-to-end number first, before Bechamel's sampling
+     data inflates the live heap *)
+  let compile_src =
+    "function hot(a, b) { var t = 0; for (var i = 0; i < 10; i++) { t = t + a * i - b; } return t; } for (var k = 0; k < 40; k++) hot(k, 2);"
+  in
+  let t_end_to_end =
+    time_best (fun () ->
+        ignore
+          (Engine.run_source { Engine.default_config with Engine.ion_threshold = 8 } compile_src))
+  in
+  let open Bechamel in
+  (* fixtures: a representative optimized trace and DNA pair *)
+  let trace =
+    let prog = Jitbull_frontend.Parser.parse W.microbench1.W.source in
+    let bc = Jitbull_bytecode.Compiler.compile prog in
+    let vm = Jitbull_bytecode.Vm.create bc in
+    (try ignore (Jitbull_bytecode.Vm.run vm) with _ -> ());
+    let g =
+      Jitbull_mir.Builder.build bc.Jitbull_bytecode.Op.funcs.(0)
+        ~feedback_row:vm.Jitbull_bytecode.Vm.feedback.(0)
+    in
+    Jitbull_passes.Pipeline.run VC.none g
+  in
+  let dna = Dna.extract trace in
+  let snapshot = snd (List.hd trace) in
+  let depgraph_fixture = Depgraph.build snapshot in
+  let tests =
+    [
+      Test.make ~name:"depgraph build" (Staged.stage (fun () -> Depgraph.build snapshot));
+      Test.make ~name:"chains extract" (Staged.stage (fun () -> Chains.extract depgraph_fixture));
+      Test.make ~name:"dna extract (18 passes)" (Staged.stage (fun () -> Dna.extract trace));
+      Test.make ~name:"comparator (self)"
+        (Staged.stage (fun () -> Comparator.matching_passes dna dna));
+    ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"jitbull" ~fmt:"%s %s" tests) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with
+          | Some [ e ] -> Printf.sprintf "%12.1f ns/run" e
+          | _ -> "n/a"
+        in
+        [ name; estimate ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Table.print ~headers:[ "micro-benchmark"; "time" ] rows;
+  Printf.printf "\nion compile + run (end-to-end, best of 3): %.2f ms\n"
+    (t_end_to_end *. 1000.0)
+
+(* ---- driver ---- *)
+
+let all () =
+  table1 ();
+  table2 ();
+  window ();
+  security ();
+  fig4 ();
+  fig5 ();
+  fig6 ();
+  fuzz_pipeline ();
+  ablation ();
+  bechamel ()
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "table1" -> table1 ()
+  | "table2" -> table2 ()
+  | "window" -> window ()
+  | "security" -> security ()
+  | "fig4" -> fig4 ()
+  | "fig5" -> fig5 ()
+  | "fig6" -> fig6 ()
+  | "ablation" -> ablation ()
+  | "fuzz" -> fuzz_pipeline ()
+  | "bechamel" -> bechamel ()
+  | "all" -> all ()
+  | other ->
+    Printf.eprintf "unknown command %s\n" other;
+    exit 1

@@ -1,0 +1,1 @@
+bin/fuzz.ml: Arg Cmd Cmdliner Jitbull_core Jitbull_fuzz Jitbull_jit Jitbull_passes List Printf Sys Term

@@ -1,0 +1,1 @@
+bin/jitbull_db.ml: Arg Cmd Cmdliner Jitbull_core Jitbull_passes Jitbull_vdc List Printf String Sys Term

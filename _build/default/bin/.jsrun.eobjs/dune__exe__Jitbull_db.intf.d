@@ -1,0 +1,1 @@
+bin/jitbull_db.mli:

@@ -1,0 +1,1 @@
+bin/jsrun.ml: Arg Cmd Cmdliner Jitbull_core Jitbull_frontend Jitbull_interp Jitbull_jit Jitbull_passes Jitbull_runtime List Logs Printf String Term

@@ -1,0 +1,1 @@
+bin/variants.ml: Arg Cmd Cmdliner Jitbull_vdc List Printf String Term

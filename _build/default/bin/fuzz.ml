@@ -1,0 +1,68 @@
+(* jitbull-fuzz — differential fuzzing and the §IV-A fuzzer-to-database
+   pipeline.
+
+     jitbull-fuzz --count 100                        benign differential run
+     jitbull-fuzz --aggressive --vuln CVE-2019-17026 --count 50
+     jitbull-fuzz --aggressive --vuln ... --auto-db out.db
+                                                     harvest findings' DNA *)
+
+open Cmdliner
+module F = Jitbull_fuzz
+module VC = Jitbull_passes.Vuln_config
+module Engine = Jitbull_jit.Engine
+module Db = Jitbull_core.Db
+
+let run count seed0 aggressive vuln_names auto_db verbose =
+  let vulns =
+    VC.make
+      (List.map
+         (fun name ->
+           match VC.cve_of_name name with
+           | Some cve -> cve
+           | None -> failwith ("unknown CVE " ^ name))
+         vuln_names)
+  in
+  let config =
+    { Engine.default_config with Engine.baseline_threshold = 2; ion_threshold = 4; vulns }
+  in
+  let profile = if aggressive then `Aggressive else `Benign in
+  let seeds = List.init count (fun i -> seed0 + i) in
+  let report = F.Harness.campaign ~profile ~seeds ~config () in
+  Printf.printf "programs: %d  agree: %d  signals: %d\n" report.F.Harness.total
+    report.F.Harness.agreements
+    (List.length report.F.Harness.signals);
+  List.iter
+    (fun (f : F.Harness.finding) ->
+      Printf.printf "  seed %-6d %s\n" f.F.Harness.seed
+        (F.Oracle.verdict_summary f.F.Harness.verdict);
+      if verbose then print_string f.F.Harness.source)
+    report.F.Harness.signals;
+  (match auto_db with
+  | Some path when report.F.Harness.signals <> [] ->
+    let db = if Sys.file_exists path then Db.load path else Db.create () in
+    let n = F.Harness.auto_harvest ~vulns ~db report.F.Harness.signals in
+    Db.save db path;
+    Printf.printf "auto-harvested %d DNA entries into %s\n" n path
+  | Some path -> Printf.printf "no signals; %s unchanged\n" path
+  | None -> ());
+  (* benign campaigns are expected to be all-green: nonzero exit otherwise *)
+  if (not aggressive) && report.F.Harness.signals <> [] then `Error (false, "miscompilation signals found")
+  else `Ok ()
+
+let count = Arg.(value & opt int 50 & info [ "count" ] ~docv:"N" ~doc:"Programs to generate.")
+let seed0 = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"First seed.")
+let aggressive =
+  Arg.(value & flag & info [ "aggressive" ] ~doc:"Generate exploit-shaped programs.")
+let vuln_names =
+  Arg.(value & opt_all string [] & info [ "vuln" ] ~docv:"CVE" ~doc:"Activate pass bugs.")
+let auto_db =
+  Arg.(value & opt (some string) None & info [ "auto-db" ] ~docv:"FILE"
+       ~doc:"Harvest DNA of every finding into this database (paper §IV-A).")
+let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Print finding sources.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "jitbull-fuzz" ~doc:"differential fuzzing with auto-harvest into JITBULL")
+    Term.(ret (const run $ count $ seed0 $ aggressive $ vuln_names $ auto_db $ verbose))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,124 @@
+(* jitbull-db — manage a JITBULL DNA-vector database.
+
+     jitbull-db harvest --cve CVE-2019-17026 --db out.db exploit.js
+     jitbull-db harvest --cve ... --vuln CVE-... --db out.db exploit.js
+     jitbull-db list --db out.db
+     jitbull-db show --db out.db --cve CVE-2019-17026
+     jitbull-db remove --cve CVE-2019-17026 --db out.db     (patch applied)
+     jitbull-db builtin --db out.db CVE-2019-17026 ...      (bundled VDCs) *)
+
+open Cmdliner
+module Db = Jitbull_core.Db
+module Dna = Jitbull_core.Dna
+module VC = Jitbull_passes.Vuln_config
+module V = Jitbull_vdc.Demonstrators
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_or_create path = if Sys.file_exists path then Db.load path else Db.create ()
+
+let parse_cves names =
+  List.map
+    (fun name ->
+      match VC.cve_of_name name with
+      | Some cve -> cve
+      | None -> failwith ("unknown CVE " ^ name))
+    names
+
+(* harvest *)
+let harvest cve vuln_names db_path script =
+  let vulns =
+    match vuln_names with
+    | [] -> (
+      (* default: if the CVE is one of the modeled ones, activate its bug *)
+      match VC.cve_of_name cve with
+      | Some c -> VC.make [ c ]
+      | None -> VC.none)
+    | names -> VC.make (parse_cves names)
+  in
+  let db = load_or_create db_path in
+  let n = Db.harvest db ~cve ~vulns (read_file script) in
+  Db.save db db_path;
+  Printf.printf "harvested %d DNA vector(s) for %s into %s\n" n cve db_path;
+  `Ok ()
+
+let list_cmd db_path =
+  let db = Db.load db_path in
+  List.iter
+    (fun (e : Db.entry) ->
+      Printf.printf "%-18s function %-16s non-empty passes: %s\n" e.Db.cve
+        e.Db.dna.Dna.func_name
+        (String.concat ", " (Dna.nonempty_passes e.Db.dna)))
+    (Db.entries db);
+  Printf.printf "%d entries, %d distinct CVEs\n" (List.length (Db.entries db))
+    (List.length (Db.cves db));
+  `Ok ()
+
+let show db_path cve =
+  let db = Db.load db_path in
+  List.iter
+    (fun (e : Db.entry) ->
+      if String.equal e.Db.cve cve then print_string (Dna.to_string e.Db.dna))
+    (Db.entries db);
+  `Ok ()
+
+let remove db_path cve =
+  let db = Db.load db_path in
+  let before = List.length (Db.entries db) in
+  Db.remove_cve db cve;
+  Db.save db db_path;
+  Printf.printf "removed %d entries for %s (patch applied)\n"
+    (before - List.length (Db.entries db))
+    cve;
+  `Ok ()
+
+let builtin db_path cves =
+  let db = load_or_create db_path in
+  let targets = if cves = [] then VC.all else parse_cves cves in
+  List.iter
+    (fun cve ->
+      let d = V.find cve in
+      let n = Db.harvest db ~cve:d.V.name ~vulns:(VC.make [ cve ]) d.V.source in
+      Printf.printf "harvested %d DNA vector(s) for %s (bundled demonstrator)\n" n d.V.name)
+    targets;
+  Db.save db db_path;
+  `Ok ()
+
+let db_arg =
+  Arg.(required & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc:"Database file.")
+
+let cve_arg =
+  Arg.(required & opt (some string) None & info [ "cve" ] ~docv:"CVE" ~doc:"CVE identifier.")
+
+let vulns_arg =
+  Arg.(value & opt_all string [] & info [ "vuln" ] ~docv:"CVE"
+       ~doc:"Pass bug(s) to activate while harvesting (default: the CVE itself when modeled).")
+
+let script_arg =
+  Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"SCRIPT"
+       ~doc:"Demonstrator script.")
+
+let cves_pos =
+  Arg.(value & pos_all string [] & info [] ~docv:"CVE" ~doc:"CVEs to install (default: all 8).")
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "harvest" ~doc:"extract a demonstrator's DNA into the database")
+      Term.(ret (const harvest $ cve_arg $ vulns_arg $ db_arg $ script_arg));
+    Cmd.v (Cmd.info "list" ~doc:"list database entries")
+      Term.(ret (const list_cmd $ db_arg));
+    Cmd.v (Cmd.info "show" ~doc:"dump the DNA vectors of one CVE")
+      Term.(ret (const show $ db_arg $ cve_arg));
+    Cmd.v (Cmd.info "remove" ~doc:"drop a CVE's entries (the patch was applied)")
+      Term.(ret (const remove $ db_arg $ cve_arg));
+    Cmd.v (Cmd.info "builtin" ~doc:"install bundled demonstrators' DNA")
+      Term.(ret (const builtin $ db_arg $ cves_pos));
+  ]
+
+let () =
+  exit (Cmd.eval (Cmd.group (Cmd.info "jitbull-db" ~doc:"manage JITBULL DNA databases") cmds))

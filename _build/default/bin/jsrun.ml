@@ -1,0 +1,123 @@
+(* jsrun — run a mini-JS script on the tiered engine.
+
+     jsrun script.js                    full JIT
+     jsrun --no-jit script.js           interpreter tier only (paper's NoJIT)
+     jsrun --interp script.js           reference tree-walking interpreter
+     jsrun --vuln CVE-2019-17026 ...    activate an injected pass bug
+     jsrun --db jitbull.db ...          enable JITBULL with this database
+     jsrun --stats ...                  print engine statistics afterwards *)
+
+open Cmdliner
+module Engine = Jitbull_jit.Engine
+module Interp = Jitbull_interp.Interp
+module Realm = Jitbull_runtime.Realm
+module Errors = Jitbull_runtime.Errors
+module VC = Jitbull_passes.Vuln_config
+module Db = Jitbull_core.Db
+module Jitbull = Jitbull_core.Jitbull
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let setup_logging trace =
+  if trace then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end
+
+let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace =
+  setup_logging trace;
+  let source = read_file file in
+  let vulns =
+    List.map
+      (fun name ->
+        match VC.cve_of_name name with
+        | Some cve -> cve
+        | None -> failwith (Printf.sprintf "unknown CVE %s (known: %s)" name
+                              (String.concat ", " (List.map VC.cve_name VC.all))))
+      vuln_names
+  in
+  let vulns = VC.make vulns in
+  let realm = Realm.create ~seed ~echo:true () in
+  try
+    if use_interp then begin
+      ignore (Interp.run_source ~realm source);
+      `Ok ()
+    end
+    else begin
+      let config =
+        match db_path with
+        | Some path ->
+          let db = Db.load path in
+          let c = Jitbull.config ~vulns db in
+          { c with Engine.jit_enabled = not no_jit; ion_threshold }
+        | None ->
+          { Engine.default_config with Engine.vulns; jit_enabled = not no_jit; ion_threshold }
+      in
+      let _, engine = Engine.run_source ~realm config source in
+      if stats then begin
+        let s = Engine.stats engine in
+        Printf.eprintf
+          "-- engine statistics --\n\
+           baseline compiles: %d\nion compiles:      %d\n\
+           Nr_JIT: %d  Nr_DisJIT: %d  Nr_NoJIT: %d\n\
+           bailouts: %d  deopts: %d\n"
+          s.Engine.baseline_compiles s.Engine.ion_compiles s.Engine.nr_jit s.Engine.nr_disjit
+          s.Engine.nr_nojit s.Engine.bailouts s.Engine.deopts
+      end;
+      `Ok ()
+    end
+  with
+  | Errors.Shellcode_executed msg ->
+    Printf.eprintf "SHELLCODE EXECUTED: %s\n" msg;
+    `Error (false, "script achieved simulated code execution")
+  | Errors.Crash msg ->
+    Printf.eprintf "CRASH: %s\n" msg;
+    `Error (false, "script crashed the simulated runtime")
+  | Errors.Type_error msg -> `Error (false, "type error: " ^ msg)
+  | Jitbull_frontend.Parser.Parse_error (msg, pos) ->
+    `Error (false, Printf.sprintf "parse error at %d:%d: %s" pos.Jitbull_frontend.Token.line
+              pos.Jitbull_frontend.Token.column msg)
+  | Jitbull_frontend.Lexer.Lex_error (msg, pos) ->
+    `Error (false, Printf.sprintf "lex error at %d:%d: %s" pos.Jitbull_frontend.Token.line
+              pos.Jitbull_frontend.Token.column msg)
+
+let file =
+  Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"SCRIPT" ~doc:"Script to run.")
+
+let no_jit = Arg.(value & flag & info [ "no-jit" ] ~doc:"Disable the JIT (interpreter tier only).")
+
+let use_interp =
+  Arg.(value & flag & info [ "interp" ] ~doc:"Use the reference tree-walking interpreter.")
+
+let vuln_names =
+  Arg.(value & opt_all string [] & info [ "vuln" ] ~docv:"CVE"
+         ~doc:"Activate an injected pass bug (repeatable), e.g. CVE-2019-17026.")
+
+let db_path =
+  Arg.(value & opt (some non_dir_file) None & info [ "db" ] ~docv:"FILE"
+         ~doc:"JITBULL DNA database file (enables the go/no-go policy).")
+
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics to stderr.")
+
+let ion_threshold =
+  Arg.(value & opt int Engine.default_config.Engine.ion_threshold
+       & info [ "ion-threshold" ] ~docv:"N" ~doc:"Invocations before Ion compilation.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Math.random seed.")
+
+let trace =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Log tier-up, bailout and JITBULL policy events.")
+
+let cmd =
+  let doc = "run a mini-JS script on the JITBULL engine" in
+  Cmd.v
+    (Cmd.info "jsrun" ~doc)
+    Term.(ret (const run $ file $ no_jit $ use_interp $ vuln_names $ db_path $ stats
+               $ ion_threshold $ seed $ trace))
+
+let () = exit (Cmd.eval cmd)

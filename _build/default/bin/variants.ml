@@ -1,0 +1,49 @@
+(* jitbull-variants — apply the paper's variant transforms to a script.
+
+     jitbull-variants rename exploit.js > variant.js
+     jitbull-variants minify exploit.js
+     jitbull-variants mix --seed 9 exploit.js
+     jitbull-variants split exploit.js *)
+
+open Cmdliner
+module Variants = Jitbull_vdc.Variants
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run kind_name seed script =
+  let kind =
+    List.find_opt
+      (fun k -> String.equal (Variants.kind_name k) kind_name)
+      Variants.all_kinds
+  in
+  match kind with
+  | None ->
+    `Error
+      ( false,
+        Printf.sprintf "unknown variant %S (choose: %s)" kind_name
+          (String.concat ", " (List.map Variants.kind_name Variants.all_kinds)) )
+  | Some kind ->
+    print_string (Variants.apply ~seed kind (read_file script));
+    `Ok ()
+
+let kind_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND"
+       ~doc:"Transform: rename, minify, mix or split.")
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Shuffle seed for mix.")
+
+let script_arg =
+  Arg.(required & pos 1 (some non_dir_file) None & info [] ~docv:"SCRIPT" ~doc:"Input script.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "jitbull-variants" ~doc:"generate exploit/script variants")
+    Term.(ret (const run $ kind_arg $ seed_arg $ script_arg))
+
+let () = exit (Cmd.eval cmd)

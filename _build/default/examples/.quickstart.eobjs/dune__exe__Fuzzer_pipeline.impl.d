@@ -1,0 +1,1 @@
+examples/fuzzer_pipeline.ml: Jitbull_core Jitbull_fuzz Jitbull_jit Jitbull_passes List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Jitbull_interp Jitbull_jit Printf String Unix

@@ -1,0 +1,1 @@
+examples/variant_explorer.ml: Jitbull_core Jitbull_jit Jitbull_passes Jitbull_util Jitbull_vdc List Printf String

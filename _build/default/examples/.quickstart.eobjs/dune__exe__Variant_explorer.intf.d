@@ -1,0 +1,1 @@
+examples/variant_explorer.mli:

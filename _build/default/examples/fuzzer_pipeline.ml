@@ -1,0 +1,62 @@
+(* The paper's §IV-A automation: "VDCs do not need to originate from human
+   experts; one way to use JITBULL is to feed the output of JIT fuzzers
+   directly to its database. As soon as a crashing code example is
+   detected, JITBULL will be able to automatically prevent similar exploit
+   codes from running."
+
+   This example runs an exploit-shape fuzzing campaign against an engine
+   carrying two unpatched bugs, auto-harvests every finding's DNA, and
+   shows that (a) the findings themselves and (b) *fresh* exploit inputs
+   the fuzzer never saw are neutralized afterwards.
+
+     dune exec examples/fuzzer_pipeline.exe *)
+
+module F = Jitbull_fuzz
+module VC = Jitbull_passes.Vuln_config
+module Engine = Jitbull_jit.Engine
+module Db = Jitbull_core.Db
+module Jitbull = Jitbull_core.Jitbull
+
+let () =
+  let vulns = VC.make [ VC.CVE_2019_17026; VC.CVE_2019_9813 ] in
+  let fast cfg = { cfg with Engine.baseline_threshold = 2; ion_threshold = 4 } in
+  let vulnerable = fast { Engine.default_config with Engine.vulns } in
+
+  print_endline "[1] fuzzing the unpatched engine (exploit-shaped generator):";
+  let seeds = List.init 30 (fun i -> i) in
+  let report = F.Harness.campaign ~profile:`Aggressive ~seeds ~config:vulnerable () in
+  Printf.printf "    %d programs, %d exploit signals\n" report.F.Harness.total
+    (List.length report.F.Harness.signals);
+  List.iteri
+    (fun i (f : F.Harness.finding) ->
+      if i < 4 then
+        Printf.printf "      seed %-3d %s\n" f.F.Harness.seed
+          (F.Oracle.verdict_summary f.F.Harness.verdict))
+    report.F.Harness.signals;
+
+  print_endline "\n[2] auto-harvesting every finding's JIT DNA into the database:";
+  let db = Db.create () in
+  let n = F.Harness.auto_harvest ~vulns ~db report.F.Harness.signals in
+  Printf.printf "    %d DNA entries from %d findings\n" n (List.length report.F.Harness.signals);
+
+  print_endline "\n[3] re-running the findings under fuzz-fed JITBULL:";
+  let protected_cfg = fast (Jitbull.config ~vulns db) in
+  let blocked =
+    List.for_all
+      (fun (f : F.Harness.finding) ->
+        not (F.Oracle.is_exploit_signal (F.Oracle.run ~config:protected_cfg f.F.Harness.source)))
+      report.F.Harness.signals
+  in
+  Printf.printf "    all findings neutralized: %b\n" blocked;
+
+  print_endline "\n[4] fresh exploit inputs the fuzzer never saw (new seeds):";
+  let fresh_seeds = List.init 15 (fun i -> 1000 + i) in
+  let unprotected = F.Harness.campaign ~profile:`Aggressive ~seeds:fresh_seeds ~config:vulnerable () in
+  let still_protected =
+    F.Harness.campaign ~profile:`Aggressive ~seeds:fresh_seeds ~config:protected_cfg ()
+  in
+  Printf.printf "    without JITBULL: %d/%d exploit;  with fuzz-fed JITBULL: %d/%d exploit\n"
+    (List.length unprotected.F.Harness.signals)
+    unprotected.F.Harness.total
+    (List.length still_protected.F.Harness.signals)
+    still_protected.F.Harness.total

@@ -1,0 +1,47 @@
+(* Quickstart: embed the JS engine, run a script through all three tiers,
+   and inspect what the JIT did.
+
+     dune exec examples/quickstart.exe *)
+
+module Engine = Jitbull_jit.Engine
+module Interp = Jitbull_interp.Interp
+
+let script =
+  {|
+function mean(xs) {
+  var total = 0;
+  for (var i = 0; i < xs.length; i++) { total += xs[i]; }
+  return total / xs.length;
+}
+var data = [];
+for (var i = 0; i < 64; i++) { data.push(i * i % 37); }
+var m = 0;
+for (var round = 0; round < 100; round++) { m = mean(data); }
+print("mean: " + m);
+|}
+
+let () =
+  print_endline "== 1. reference interpreter ==";
+  let outcome = Interp.run_source script in
+  print_string outcome.Interp.output;
+
+  print_endline "\n== 2. tiered engine (interpreter -> baseline -> Ion) ==";
+  let out, engine = Engine.run_source Engine.default_config script in
+  print_string out;
+  let s = Engine.stats engine in
+  Printf.printf
+    "baseline compiles: %d\nion compiles:      %d\nbailouts:          %d\n"
+    s.Engine.baseline_compiles s.Engine.ion_compiles s.Engine.bailouts;
+
+  print_endline "\n== 3. the same script with the JIT disabled (the paper's NoJIT) ==";
+  let t0 = Unix.gettimeofday () in
+  let out_nojit, _ =
+    Engine.run_source { Engine.default_config with Engine.jit_enabled = false } script
+  in
+  let t_nojit = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let _ = Engine.run_source Engine.default_config script in
+  let t_jit = Unix.gettimeofday () -. t0 in
+  assert (String.equal out out_nojit);
+  Printf.printf "JIT %.1f ms vs NoJIT %.1f ms (%.2fx)\n" (t_jit *. 1000.0)
+    (t_nojit *. 1000.0) (t_nojit /. t_jit)

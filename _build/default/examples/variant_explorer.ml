@@ -1,0 +1,76 @@
+(* Explore what the variant generators do to a demonstrator and why the
+   JIT DNA survives all of them: print each variant's source head and the
+   per-pass similarity verdicts against the original's DNA.
+
+     dune exec examples/variant_explorer.exe *)
+
+module V = Jitbull_vdc.Demonstrators
+module Variants = Jitbull_vdc.Variants
+module VC = Jitbull_passes.Vuln_config
+module Engine = Jitbull_jit.Engine
+module Db = Jitbull_core.Db
+module Dna = Jitbull_core.Dna
+module Comparator = Jitbull_core.Comparator
+module Table = Jitbull_util.Text_table
+
+(* Harvest every Ion-compiled function's DNA from a source. *)
+let harvest_dnas ~vulns source =
+  let acc = ref [] in
+  let analyzer ~func_index:_ ~name:_ ~trace =
+    let dna = Dna.extract trace in
+    if Dna.nonempty_passes dna <> [] then acc := dna :: !acc;
+    Engine.Allow
+  in
+  let config = { Engine.default_config with Engine.vulns; analyzer = Some analyzer } in
+  (try ignore (Engine.run_source config source) with _ -> ());
+  List.rev !acc
+
+let head source n =
+  let lines = String.split_on_char '\n' (String.trim source) in
+  String.concat "\n" (List.filteri (fun i _ -> i < n) lines)
+
+let () =
+  let d = V.find VC.CVE_2019_17026 in
+  let vulns = VC.make [ d.V.cve ] in
+  Printf.printf "Original demonstrator (%s), first lines:\n%s\n  ...\n\n" d.V.name
+    (head d.V.source 6);
+  let original = harvest_dnas ~vulns d.V.source in
+  Printf.printf "DNA vectors extracted from the original: %d\n" (List.length original);
+  List.iter
+    (fun (dna : Dna.t) ->
+      Printf.printf "  %s: non-empty passes: %s\n" dna.Dna.func_name
+        (String.concat ", " (Dna.nonempty_passes dna)))
+    original;
+  print_newline ();
+  let rows =
+    List.map
+      (fun kind ->
+        let variant = Variants.apply kind d.V.source in
+        let dnas = harvest_dnas ~vulns variant in
+        (* which original functions find a matching variant function, and
+           on which passes? *)
+        let matches =
+          List.concat_map
+            (fun (o : Dna.t) ->
+              List.concat_map (fun (v : Dna.t) -> Comparator.matching_passes o v) dnas)
+            original
+          |> List.sort_uniq String.compare
+        in
+        [
+          Variants.kind_name kind;
+          string_of_int (List.length dnas);
+          String.concat "," matches;
+          string_of_int (String.length variant) ^ " bytes";
+        ])
+      Variants.all_kinds
+  in
+  Table.print
+    ~headers:[ "variant"; "JITed DNAs"; "passes matching original"; "size" ]
+    rows;
+  print_newline ();
+  Printf.printf "Variant sources (first lines):\n";
+  List.iter
+    (fun kind ->
+      Printf.printf "\n--- %s ---\n%s\n  ...\n" (Variants.kind_name kind)
+        (head (Variants.apply kind d.V.source) 5))
+    Variants.all_kinds

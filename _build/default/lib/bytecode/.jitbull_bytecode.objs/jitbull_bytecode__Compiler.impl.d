@@ -1,0 +1,1 @@
+lib/bytecode/compiler.ml: Array Format Hashtbl Jitbull_frontend Jitbull_runtime List Op Option

@@ -1,0 +1,1 @@
+lib/bytecode/compiler.mli: Jitbull_frontend Op

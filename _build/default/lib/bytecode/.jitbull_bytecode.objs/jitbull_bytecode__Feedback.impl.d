@@ -1,0 +1,1 @@
+lib/bytecode/feedback.ml: Array Op

@@ -1,0 +1,1 @@
+lib/bytecode/op.ml: Array Buffer Jitbull_frontend Jitbull_runtime Printf String

@@ -1,0 +1,1 @@
+lib/bytecode/vm.ml: Array Feedback Hashtbl Jitbull_runtime List Op String

@@ -1,0 +1,1 @@
+lib/bytecode/vm.mli: Feedback Hashtbl Jitbull_runtime Op

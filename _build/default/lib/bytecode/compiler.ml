@@ -1,0 +1,282 @@
+module Ast = Jitbull_frontend.Ast
+module Value = Jitbull_runtime.Value
+
+exception Compile_error of string
+
+let compile_error fmt = Format.kasprintf (fun s -> raise (Compile_error s)) fmt
+
+(* Growable op buffer with jump back-patching. *)
+type emitter = {
+  mutable ops : Op.t array;
+  mutable len : int;
+}
+
+let new_emitter () = { ops = Array.make 64 Op.Pop; len = 0 }
+
+let emit em op =
+  if em.len = Array.length em.ops then begin
+    let bigger = Array.make (2 * em.len) Op.Pop in
+    Array.blit em.ops 0 bigger 0 em.len;
+    em.ops <- bigger
+  end;
+  em.ops.(em.len) <- op;
+  em.len <- em.len + 1
+
+let here em = em.len
+
+(* Emit a jump with a dummy target; returns the site to patch. *)
+let emit_jump em make =
+  let site = em.len in
+  emit em (make (-1));
+  site
+
+let patch em site target =
+  em.ops.(site) <-
+    (match em.ops.(site) with
+    | Op.Jump _ -> Op.Jump target
+    | Op.Jump_if_false _ -> Op.Jump_if_false target
+    | Op.Jump_if_true _ -> Op.Jump_if_true target
+    | op -> compile_error "patch on non-jump %s" (Op.to_string op))
+
+type ctx = {
+  em : emitter;
+  locals : (string, int) Hashtbl.t;  (* empty at top level *)
+  toplevel : bool;
+  (* break/continue patch lists for the enclosing loop *)
+  mutable breaks : int list list;     (* stack of lists of jump sites *)
+  mutable continues : (int * int list) list;  (* (target, pending sites) *)
+}
+
+let local_index ctx name = if ctx.toplevel then None else Hashtbl.find_opt ctx.locals name
+
+let rec compile_expr ctx (e : Ast.expr) =
+  let em = ctx.em in
+  match e with
+  | Ast.Number f -> emit em (Op.Push_const (Value.Number f))
+  | Ast.String s -> emit em (Op.Push_const (Value.String s))
+  | Ast.Bool b -> emit em (Op.Push_const (Value.Bool b))
+  | Ast.Null -> emit em (Op.Push_const Value.Null)
+  | Ast.Undefined -> emit em (Op.Push_const Value.Undefined)
+  | Ast.Ident name -> (
+    match local_index ctx name with
+    | Some i -> emit em (Op.Load_local i)
+    | None -> emit em (Op.Load_global name))
+  | Ast.Array_lit es ->
+    List.iter (compile_expr ctx) es;
+    emit em (Op.New_array (List.length es))
+  | Ast.Object_lit fields ->
+    List.iter (fun (_, e) -> compile_expr ctx e) fields;
+    emit em (Op.New_object (List.map fst fields))
+  | Ast.Unary (op, e) ->
+    compile_expr ctx e;
+    emit em (Op.Unop op)
+  | Ast.Binary (op, a, b) ->
+    compile_expr ctx a;
+    compile_expr ctx b;
+    emit em (Op.Binop op)
+  | Ast.Logical (Ast.And, a, b) ->
+    compile_expr ctx a;
+    emit em Op.Dup;
+    let skip = emit_jump em (fun t -> Op.Jump_if_false t) in
+    emit em Op.Pop;
+    compile_expr ctx b;
+    patch em skip (here em)
+  | Ast.Logical (Ast.Or, a, b) ->
+    compile_expr ctx a;
+    emit em Op.Dup;
+    let skip = emit_jump em (fun t -> Op.Jump_if_true t) in
+    emit em Op.Pop;
+    compile_expr ctx b;
+    patch em skip (here em)
+  | Ast.Conditional (c, t, f) ->
+    compile_expr ctx c;
+    let to_else = emit_jump em (fun t -> Op.Jump_if_false t) in
+    compile_expr ctx t;
+    let to_end = emit_jump em (fun t -> Op.Jump t) in
+    patch em to_else (here em);
+    compile_expr ctx f;
+    patch em to_end (here em)
+  | Ast.Assign (lv, rhs) -> compile_assign ctx lv rhs
+  | Ast.Call (callee, args) -> compile_call ctx callee args
+  | Ast.Member (o, name) ->
+    compile_expr ctx o;
+    emit em (Op.Get_member name)
+  | Ast.Index (o, i) ->
+    compile_expr ctx o;
+    compile_expr ctx i;
+    emit em Op.Get_index
+  | Ast.Func_expr _ ->
+    (* the parser lambda-lifts all function expressions *)
+    compile_error "internal error: unlifted function expression"
+
+(* Leaves the assigned value on the stack (assignment is an expression). *)
+and compile_assign ctx lv rhs =
+  let em = ctx.em in
+  match lv with
+  | Ast.Lvar name ->
+    compile_expr ctx rhs;
+    emit em Op.Dup;
+    (match local_index ctx name with
+    | Some i -> emit em (Op.Store_local i)
+    | None -> emit em (Op.Store_global name))
+  | Ast.Lindex (o, i) ->
+    compile_expr ctx o;
+    compile_expr ctx i;
+    compile_expr ctx rhs;
+    emit em Op.Set_index
+  | Ast.Lmember (o, name) ->
+    compile_expr ctx o;
+    compile_expr ctx rhs;
+    emit em (Op.Set_member name)
+
+and compile_call ctx callee args =
+  let em = ctx.em in
+  match callee with
+  | Ast.Member (o, name) ->
+    compile_expr ctx o;
+    List.iter (compile_expr ctx) args;
+    emit em (Op.Call_method (name, List.length args))
+  | _ ->
+    compile_expr ctx callee;
+    List.iter (compile_expr ctx) args;
+    emit em (Op.Call (List.length args))
+
+let rec compile_stmt ctx (s : Ast.stmt) =
+  let em = ctx.em in
+  match s with
+  | Ast.Var (name, init) -> (
+    match init with
+    | Some e ->
+      compile_expr ctx e;
+      (match local_index ctx name with
+      | Some i -> emit em (Op.Store_local i)
+      | None -> emit em (Op.Store_global name))
+    | None -> (
+      (* declaration only: locals are already hoisted to Undefined; a
+         top-level [var x;] defines the global if absent *)
+      match local_index ctx name with
+      | Some _ -> ()
+      | None -> emit em (Op.Declare_global name)))
+  | Ast.Expr_stmt e ->
+    compile_expr ctx e;
+    emit em Op.Pop
+  | Ast.If (c, t, f) ->
+    compile_expr ctx c;
+    let to_else = emit_jump em (fun t -> Op.Jump_if_false t) in
+    List.iter (compile_stmt ctx) t;
+    if f = [] then patch em to_else (here em)
+    else begin
+      let to_end = emit_jump em (fun t -> Op.Jump t) in
+      patch em to_else (here em);
+      List.iter (compile_stmt ctx) f;
+      patch em to_end (here em)
+    end
+  | Ast.While (c, body) ->
+    let top = here em in
+    compile_expr ctx c;
+    let exit_jump = emit_jump em (fun t -> Op.Jump_if_false t) in
+    compile_loop_body ctx ~continue_target:top body;
+    emit em (Op.Jump top);
+    let exit_ = here em in
+    patch em exit_jump exit_;
+    List.iter (fun site -> patch em site exit_) (List.hd ctx.breaks);
+    ctx.breaks <- List.tl ctx.breaks
+  | Ast.For (init, cond, update, body) ->
+    Option.iter (compile_stmt ctx) init;
+    let top = here em in
+    let exit_jump =
+      match cond with
+      | Some c ->
+        compile_expr ctx c;
+        Some (emit_jump em (fun t -> Op.Jump_if_false t))
+      | None -> None
+    in
+    (* continue jumps go to the update code, whose address we only know
+       after the body: collect and patch *)
+    compile_loop_body ctx ~continue_target:(-1) body;
+    let update_addr = here em in
+    Option.iter
+      (fun u ->
+        compile_expr ctx u;
+        emit em Op.Pop)
+      update;
+    emit em (Op.Jump top);
+    let exit_ = here em in
+    Option.iter (fun site -> patch em site exit_) exit_jump;
+    List.iter (fun site -> patch em site exit_) (List.hd ctx.breaks);
+    ctx.breaks <- List.tl ctx.breaks;
+    (match ctx.continues with
+    | (_, pending) :: rest ->
+      List.iter (fun site -> patch em site update_addr) pending;
+      ctx.continues <- rest
+    | [] -> ())
+  | Ast.Return e ->
+    (match e with
+    | Some e ->
+      compile_expr ctx e;
+      emit em Op.Return
+    | None -> emit em Op.Return_undefined)
+  | Ast.Break -> (
+    match ctx.breaks with
+    | sites :: rest ->
+      let site = emit_jump em (fun t -> Op.Jump t) in
+      ctx.breaks <- (site :: sites) :: rest
+    | [] -> compile_error "break outside of a loop")
+  | Ast.Continue -> (
+    match ctx.continues with
+    | (target, pending) :: rest ->
+      if target >= 0 then emit em (Op.Jump target)
+      else begin
+        let site = emit_jump em (fun t -> Op.Jump t) in
+        ctx.continues <- (target, site :: pending) :: rest
+      end
+    | [] -> compile_error "continue outside of a loop")
+  | Ast.Block body -> List.iter (compile_stmt ctx) body
+
+(* Pushes fresh break/continue frames; [compile_stmt] for the loop pops the
+   break frame (and the continue frame for [For]) after patching. *)
+and compile_loop_body ctx ~continue_target body =
+  ctx.breaks <- [] :: ctx.breaks;
+  ctx.continues <- (continue_target, []) :: ctx.continues;
+  List.iter (compile_stmt ctx) body;
+  if continue_target >= 0 then ctx.continues <- List.tl ctx.continues
+
+let compile_func (f : Ast.func) : Op.func =
+  let locals = Hashtbl.create 16 in
+  let names = ref [] in
+  let add name =
+    if not (Hashtbl.mem locals name) then begin
+      Hashtbl.add locals name (Hashtbl.length locals);
+      names := name :: !names
+    end
+  in
+  List.iter add f.Ast.params;
+  List.iter add (Ast.declared_vars f.Ast.body);
+  let ctx = { em = new_emitter (); locals; toplevel = false; breaks = []; continues = [] } in
+  List.iter (compile_stmt ctx) f.Ast.body;
+  emit ctx.em Op.Return_undefined;
+  {
+    Op.name = f.Ast.name;
+    arity = List.length f.Ast.params;
+    n_locals = Hashtbl.length locals;
+    local_names = Array.of_list (List.rev !names);
+    code = Array.sub ctx.em.ops 0 ctx.em.len;
+  }
+
+let compile (program : Ast.program) : Op.program =
+  let funcs = Array.of_list (List.map compile_func program.Ast.functions) in
+  let ctx =
+    { em = new_emitter (); locals = Hashtbl.create 0; toplevel = true; breaks = []; continues = [] }
+  in
+  List.iter (compile_stmt ctx) program.Ast.main;
+  emit ctx.em Op.Return_undefined;
+  let main =
+    {
+      Op.name = "<main>";
+      arity = 0;
+      n_locals = 0;
+      local_names = [||];
+      code = Array.sub ctx.em.ops 0 ctx.em.len;
+    }
+  in
+  { Op.funcs; main }

@@ -1,0 +1,16 @@
+(** AST → bytecode compiler.
+
+    Locals are the function's parameters followed by its hoisted [var]s;
+    any other identifier compiles to a global access. Top-level code is
+    compiled into the synthetic zero-arity [main] function in which every
+    identifier is global (JS top-level [var] semantics). *)
+
+exception Compile_error of string
+
+(** [compile program] compiles every function plus the top level. The
+    function order (and hence the function indices used by
+    [Value.Function]) is the source order of [program.functions]. *)
+val compile : Jitbull_frontend.Ast.program -> Op.program
+
+(** [compile_func f] compiles a single function (used by tests). *)
+val compile_func : Jitbull_frontend.Ast.func -> Op.func

@@ -1,0 +1,79 @@
+(* Stack-machine bytecode. This is the input of both the VM (the
+   interpreter tier) and the MIR builder (the optimizing tier), mirroring
+   SpiderMonkey where the same bytecode feeds the interpreter, Baseline and
+   IonMonkey (step 1 of Fig. 1 in the paper). *)
+
+module Ast = Jitbull_frontend.Ast
+module Value = Jitbull_runtime.Value
+
+type t =
+  | Push_const of Value.t
+  | Load_local of int
+  | Store_local of int       (* pops *)
+  | Load_global of string
+  | Store_global of string   (* pops *)
+  | Declare_global of string  (* define as undefined if absent; no stack effect *)
+  | Pop
+  | Dup
+  | Binop of Ast.binop
+  | Unop of Ast.unop
+  | Jump of int
+  | Jump_if_false of int     (* pops condition *)
+  | Jump_if_true of int      (* pops condition *)
+  | New_array of int         (* pops n elements *)
+  | New_object of string list  (* pops one value per field, in field order *)
+  | Get_index                (* obj idx → v *)
+  | Set_index                (* obj idx v → v *)
+  | Get_member of string     (* obj → v *)
+  | Set_member of string     (* obj v → v *)
+  | Call of int              (* callee arg1..argn → v *)
+  | Call_method of string * int  (* recv arg1..argn → v *)
+  | Return                   (* pops return value *)
+  | Return_undefined
+
+type func = {
+  name : string;
+  arity : int;
+  n_locals : int;  (* params + hoisted vars *)
+  local_names : string array;
+  code : t array;
+}
+
+type program = {
+  funcs : func array;
+  main : func;  (* synthesized zero-arity entry; identifiers are global *)
+}
+
+let to_string = function
+  | Push_const v -> Printf.sprintf "push %s" (Value.to_display v)
+  | Load_local i -> Printf.sprintf "load_local %d" i
+  | Store_local i -> Printf.sprintf "store_local %d" i
+  | Load_global g -> Printf.sprintf "load_global %s" g
+  | Store_global g -> Printf.sprintf "store_global %s" g
+  | Declare_global g -> Printf.sprintf "declare_global %s" g
+  | Pop -> "pop"
+  | Dup -> "dup"
+  | Binop op -> Printf.sprintf "binop %s" (Ast.show_binop op)
+  | Unop op -> Printf.sprintf "unop %s" (Ast.show_unop op)
+  | Jump t -> Printf.sprintf "jump %d" t
+  | Jump_if_false t -> Printf.sprintf "jump_if_false %d" t
+  | Jump_if_true t -> Printf.sprintf "jump_if_true %d" t
+  | New_array n -> Printf.sprintf "new_array %d" n
+  | New_object fields -> Printf.sprintf "new_object {%s}" (String.concat "," fields)
+  | Get_index -> "get_index"
+  | Set_index -> "set_index"
+  | Get_member m -> Printf.sprintf "get_member %s" m
+  | Set_member m -> Printf.sprintf "set_member %s" m
+  | Call n -> Printf.sprintf "call %d" n
+  | Call_method (m, n) -> Printf.sprintf "call_method %s %d" m n
+  | Return -> "return"
+  | Return_undefined -> "return_undefined"
+
+let disassemble (f : func) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "function %s/%d (%d locals)\n" f.name f.arity f.n_locals);
+  Array.iteri
+    (fun i op -> Buffer.add_string buf (Printf.sprintf "  %4d  %s\n" i (to_string op)))
+    f.code;
+  Buffer.contents buf

@@ -1,0 +1,227 @@
+module Value = Jitbull_runtime.Value
+module Value_ops = Jitbull_runtime.Value_ops
+module Heap = Jitbull_runtime.Heap
+module Realm = Jitbull_runtime.Realm
+module Builtins = Jitbull_runtime.Builtins
+module Errors = Jitbull_runtime.Errors
+
+type t = {
+  realm : Realm.t;
+  program : Op.program;
+  globals : (string, Value.t) Hashtbl.t;
+  counters : int array;
+  dispatch : (Value.t list -> Value.t) option array;
+  feedback : Feedback.t;
+  mutable on_invoke : (t -> int -> int -> unit) option;
+}
+
+let create ?realm (program : Op.program) =
+  let realm = match realm with Some r -> r | None -> Realm.create () in
+  let globals = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (f : Op.func) -> Hashtbl.replace globals f.Op.name (Value.Function i))
+    program.Op.funcs;
+  {
+    realm;
+    program;
+    globals;
+    counters = Array.make (Array.length program.Op.funcs) 0;
+    dispatch = Array.make (Array.length program.Op.funcs) None;
+    feedback = Feedback.create program;
+    on_invoke = None;
+  }
+
+let store_global vm name v = Hashtbl.replace vm.globals name v
+
+let declare_global vm name =
+  if not (Hashtbl.mem vm.globals name) then Hashtbl.replace vm.globals name Value.Undefined
+
+let load_global vm name =
+  match Hashtbl.find_opt vm.globals name with
+  | Some v -> v
+  | None ->
+    if Builtins.is_namespace name || Builtins.is_global_function name then Value.Builtin name
+    else Errors.type_error "%s is not defined" name
+
+(* Operand stack: growable value array. *)
+type stack = {
+  mutable cells : Value.t array;
+  mutable sp : int;
+}
+
+let new_stack () = { cells = Array.make 64 Value.Undefined; sp = 0 }
+
+let push st v =
+  if st.sp = Array.length st.cells then begin
+    let bigger = Array.make (2 * st.sp) Value.Undefined in
+    Array.blit st.cells 0 bigger 0 st.sp;
+    st.cells <- bigger
+  end;
+  st.cells.(st.sp) <- v;
+  st.sp <- st.sp + 1
+
+let pop st =
+  st.sp <- st.sp - 1;
+  st.cells.(st.sp)
+
+let pop_n st n =
+  let vs = ref [] in
+  for _ = 1 to n do
+    vs := pop st :: !vs
+  done;
+  !vs
+
+let rec call_function vm idx args =
+  vm.counters.(idx) <- vm.counters.(idx) + 1;
+  (match vm.on_invoke with
+  | Some hook -> hook vm idx vm.counters.(idx)
+  | None -> ());
+  match vm.dispatch.(idx) with
+  | Some compiled ->
+    (* control transfers through the simulated JIT code pointer *)
+    Heap.check_sentinel vm.realm.Realm.heap;
+    compiled args
+  | None -> interpret vm ~func_index:idx vm.program.Op.funcs.(idx) args
+
+(* [func_index] = -1 for the top level, which collects no feedback (it is
+   never JITed). *)
+and interpret vm ~func_index (f : Op.func) args =
+  let locals = Array.make (max f.Op.n_locals 1) Value.Undefined in
+  List.iteri (fun i v -> if i < f.Op.arity then locals.(i) <- v) args;
+  let st = new_stack () in
+  let code = f.Op.code in
+  let pc = ref 0 in
+  let result = ref None in
+  let feedback_site () =
+    if func_index >= 0 then Some (Feedback.site vm.feedback ~func:func_index ~pc:(!pc - 1))
+    else None
+  in
+  while !result = None do
+    let op = code.(!pc) in
+    incr pc;
+    match op with
+    | Op.Push_const v -> push st v
+    | Op.Load_local i -> push st locals.(i)
+    | Op.Store_local i -> locals.(i) <- pop st
+    | Op.Load_global name -> push st (load_global vm name)
+    | Op.Store_global name -> Hashtbl.replace vm.globals name (pop st)
+    | Op.Declare_global name -> declare_global vm name
+    | Op.Pop -> ignore (pop st)
+    | Op.Dup ->
+      let v = pop st in
+      push st v;
+      push st v
+    | Op.Binop op ->
+      let b = pop st in
+      let a = pop st in
+      (match feedback_site () with
+      | Some site -> (
+        match (a, b) with
+        | Value.Number _, Value.Number _ -> site.Feedback.saw_number <- true
+        | _ -> site.Feedback.saw_non_number <- true)
+      | None -> ());
+      push st (Value_ops.binary op a b)
+    | Op.Unop op -> push st (Value_ops.unary op (pop st))
+    | Op.Jump target -> pc := target
+    | Op.Jump_if_false target -> if not (Value_ops.to_boolean (pop st)) then pc := target
+    | Op.Jump_if_true target -> if Value_ops.to_boolean (pop st) then pc := target
+    | Op.New_array n ->
+      let vs = pop_n st n in
+      let h = Heap.alloc_array vm.realm.Realm.heap ~length:n in
+      List.iteri (fun i v -> Heap.set vm.realm.Realm.heap h i v) vs;
+      push st (Value.Array h)
+    | Op.New_object fields ->
+      let vs = pop_n st (List.length fields) in
+      let tbl = Hashtbl.create (max 4 (List.length fields)) in
+      List.iter2 (fun k v -> Hashtbl.replace tbl k v) fields vs;
+      push st (Value.Object tbl)
+    | Op.Get_index -> (
+      let idx = pop st in
+      let recv = pop st in
+      (match feedback_site () with
+      | Some site -> (
+        match (recv, Value_ops.to_index idx) with
+        | Value.Array _, Some _ -> site.Feedback.saw_array_int <- true
+        | _ -> site.Feedback.saw_other_index <- true)
+      | None -> ());
+      match (recv, Value_ops.to_index idx) with
+      | Value.Array h, Some i -> push st (Heap.get vm.realm.Realm.heap h i)
+      | Value.Object tbl, _ ->
+        push st
+          (match Hashtbl.find_opt tbl (Value_ops.to_string idx) with
+          | Some v -> v
+          | None -> Value.Undefined)
+      | Value.String s, Some i ->
+        push st
+          (if i < String.length s then Value.String (String.make 1 s.[i]) else Value.Undefined)
+      | Value.Array _, None -> push st Value.Undefined
+      | recv, _ -> Errors.type_error "cannot index %s" (Value.type_name recv))
+    | Op.Set_index -> (
+      let v = pop st in
+      let idx = pop st in
+      let recv = pop st in
+      (match feedback_site () with
+      | Some site -> (
+        match (recv, Value_ops.to_index idx) with
+        | Value.Array _, Some _ -> site.Feedback.saw_array_int <- true
+        | _ -> site.Feedback.saw_other_index <- true)
+      | None -> ());
+      (match (recv, Value_ops.to_index idx) with
+      | Value.Array h, Some i -> Heap.set vm.realm.Realm.heap h i v
+      | Value.Object tbl, _ -> Hashtbl.replace tbl (Value_ops.to_string idx) v
+      | Value.Array _, None -> Errors.type_error "invalid array index %s" (Value.to_display idx)
+      | recv, _ -> Errors.type_error "cannot index %s" (Value.type_name recv));
+      push st v)
+    | Op.Get_member name ->
+      let recv = pop st in
+      (match feedback_site () with
+      | Some site -> (
+        match recv with
+        | Value.Array _ -> site.Feedback.saw_array_recv <- true
+        | _ -> site.Feedback.saw_other_recv <- true)
+      | None -> ());
+      push st (Builtins.get_member vm.realm recv name)
+    | Op.Set_member name ->
+      let v = pop st in
+      let recv = pop st in
+      (match feedback_site () with
+      | Some site -> (
+        match recv with
+        | Value.Array _ -> site.Feedback.saw_array_recv <- true
+        | _ -> site.Feedback.saw_other_recv <- true)
+      | None -> ());
+      Builtins.set_member vm.realm recv name v;
+      push st v
+    | Op.Call n -> (
+      let args = pop_n st n in
+      let callee = pop st in
+      match callee with
+      | Value.Function idx -> push st (call_function vm idx args)
+      | Value.Builtin name -> push st (Builtins.call_builtin vm.realm name args)
+      | v -> Errors.type_error "%s is not a function" (Value.type_name v))
+    | Op.Call_method (name, n) -> (
+      let args = pop_n st n in
+      let recv = pop st in
+      (match feedback_site () with
+      | Some site -> (
+        match recv with
+        | Value.Array _ -> site.Feedback.saw_array_recv <- true
+        | _ -> site.Feedback.saw_other_recv <- true)
+      | None -> ());
+      match Builtins.call_method vm.realm recv name args with
+      | `Value v -> push st v
+      | `User_function (idx, args) -> push st (call_function vm idx args))
+    | Op.Return -> result := Some (pop st)
+    | Op.Return_undefined -> result := Some Value.Undefined
+  done;
+  match !result with
+  | Some v -> v
+  | None -> assert false
+
+let run vm =
+  ignore (interpret vm ~func_index:(-1) vm.program.Op.main []);
+  Realm.output vm.realm
+
+let run_program ?realm program =
+  let vm = create ?realm program in
+  run vm

@@ -1,0 +1,1 @@
+lib/core/chains.ml: Array Depgraph List String

@@ -1,0 +1,1 @@
+lib/core/comparator.ml: Delta Dna Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/comparator.mli: Delta Dna Hashtbl

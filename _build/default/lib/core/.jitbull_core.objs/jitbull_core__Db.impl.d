@@ -1,0 +1,1 @@
+lib/core/db.ml: Dna Jitbull_jit Jitbull_runtime Jitbull_util List String

@@ -1,0 +1,1 @@
+lib/core/db.mli: Dna Jitbull_passes Jitbull_util

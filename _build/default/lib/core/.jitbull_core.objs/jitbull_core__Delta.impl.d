@@ -1,0 +1,1 @@
+lib/core/delta.ml: Chains Depgraph Hashtbl Jitbull_util List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/delta.mli: Depgraph Hashtbl Jitbull_util

@@ -1,0 +1,1 @@
+lib/core/depgraph.ml: Buffer Hashtbl Jitbull_mir List Printf String

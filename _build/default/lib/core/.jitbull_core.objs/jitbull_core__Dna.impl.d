@@ -1,0 +1,1 @@
+lib/core/dna.ml: Buffer Delta Depgraph Jitbull_mir Jitbull_util List Printf

@@ -1,0 +1,1 @@
+lib/core/dna.mli: Delta Jitbull_mir Jitbull_util

@@ -1,0 +1,1 @@
+lib/core/jitbull.ml: Comparator Db Dna Jitbull_jit Jitbull_passes List

@@ -1,0 +1,1 @@
+lib/core/jitbull.mli: Comparator Db Jitbull_jit Jitbull_passes

@@ -1,0 +1,22 @@
+(** Dependency chains (Algorithm 1's MAKECHAINS): every path from a root
+    of the dependency graph to a leaf, as a sequence of opcodes.
+
+    Path enumeration is exponential in diamond-shaped graphs, so
+    extraction is capped ([max_chains], [max_length] — defaults 4096 and
+    64); hitting a cap truncates deterministically (DESIGN.md §4). *)
+
+type chain = string list  (** opcodes, root first *)
+
+val default_max_chains : int
+val default_max_length : int
+
+(** [extract ?max_chains ?max_length g] enumerates root→leaf opcode
+    chains in deterministic order. *)
+val extract : ?max_chains:int -> ?max_length:int -> Depgraph.t -> chain list
+
+(** [ngrams n chain] — contiguous opcode n-grams of a chain, e.g. the
+    paper's 2-gram sub-chains [A→B]. Chains shorter than [n] yield a
+    single n-gram padded with nothing (i.e. the whole chain). *)
+val ngrams : int -> chain -> chain list
+
+val chain_to_string : chain -> string

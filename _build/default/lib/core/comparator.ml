@@ -1,0 +1,37 @@
+type params = {
+  thr : int;
+  ratio : float;
+}
+
+(* The paper uses Thr = 3 with per-chain-pair sub-chain counting; our edge
+   multiset yields about two sub-chain instances per eliminated bounds
+   check, so the absolute threshold scales to 2 (Ratio is unchanged). See
+   DESIGN.md §4. *)
+let default_params = { thr = 2; ratio = 0.5 }
+
+let compare_sides ?(params = default_params) (d : (string, int) Hashtbl.t)
+    (d' : (string, int) Hashtbl.t) =
+  (* EqChains = Σ over common sub-chains of min(multiplicities) *)
+  let eq_chains =
+    Hashtbl.fold
+      (fun k c acc ->
+        match Hashtbl.find_opt d' k with
+        | Some c' -> acc + min c c'
+        | None -> acc)
+      d 0
+  in
+  let max_eq_chains = min (Delta.total d) (Delta.total d') in
+  eq_chains >= params.thr
+  && float_of_int eq_chains >= params.ratio *. float_of_int max_eq_chains
+
+let similar ?params (a : Delta.t) (b : Delta.t) =
+  compare_sides ?params a.Delta.removed b.Delta.removed
+  || compare_sides ?params a.Delta.added b.Delta.added
+
+let matching_passes ?params (dna : Dna.t) (dna' : Dna.t) =
+  List.filter_map
+    (fun (pass, d) ->
+      match List.assoc_opt pass dna'.Dna.deltas with
+      | Some d' when similar ?params d d' -> Some pass
+      | Some _ | None -> None)
+    dna.Dna.deltas

@@ -1,0 +1,27 @@
+(** The Δ comparator (paper §IV-E, Algorithm 2).
+
+    Two per-pass deltas are similar when either their removed or their
+    added sub-chain multisets are: the number of sub-chains in common
+    ([EqChains], counting multiplicity) reaches both the absolute
+    threshold [Thr] and the fraction [Ratio] of the maximum possible
+    ([MaxEqChains = min(|δ|, |δ'|)]). The paper sets [Thr = 3] and
+    [Ratio = 0.5], tuned for detection rate over false positives. *)
+
+type params = {
+  thr : int;
+  ratio : float;
+}
+
+val default_params : params  (** Thr = 3, Ratio = 0.5 *)
+
+(** [compare_sides ?params d d'] — the COMPARECHAINS function on one side
+    (removed or added). *)
+val compare_sides :
+  ?params:params -> (string, int) Hashtbl.t -> (string, int) Hashtbl.t -> bool
+
+(** [similar ?params delta delta'] — Δᵢ ≈ Δ'ᵢ (either side matches). *)
+val similar : ?params:params -> Delta.t -> Delta.t -> bool
+
+(** [matching_passes ?params dna dna'] — pass names [i] with
+    Δᵢ ≈ Δ'ᵢ (Algorithm 2's DisPass contribution of one DB entry). *)
+val matching_passes : ?params:params -> Dna.t -> Dna.t -> string list

@@ -1,0 +1,73 @@
+module Sexpr = Jitbull_util.Sexpr
+module Engine = Jitbull_jit.Engine
+
+type entry = {
+  cve : string;
+  dna : Dna.t;
+}
+
+type t = { mutable items : entry list }
+
+let create () = { items = [] }
+
+let is_empty t = t.items = []
+
+let entries t = t.items
+
+let add t entry = t.items <- t.items @ [ entry ]
+
+let remove_cve t cve =
+  t.items <- List.filter (fun e -> not (String.equal e.cve cve)) t.items
+
+let cves t =
+  List.fold_left
+    (fun acc e -> if List.mem e.cve acc then acc else acc @ [ e.cve ])
+    [] t.items
+
+let harvest t ~cve ~vulns source =
+  let harvested = ref [] in
+  let analyzer ~func_index:_ ~name:_ ~trace =
+    let dna = Dna.extract trace in
+    if Dna.nonempty_passes dna <> [] then harvested := dna :: !harvested;
+    Engine.Allow
+  in
+  let config =
+    { Engine.default_config with Engine.vulns; analyzer = Some analyzer }
+  in
+  (* the demonstrator may crash or detonate — DNA extraction happens at
+     compile time, before or despite that *)
+  (try ignore (Engine.run_source config source) with
+  | Jitbull_runtime.Errors.Crash _
+  | Jitbull_runtime.Errors.Shellcode_executed _
+  | Jitbull_runtime.Errors.Type_error _ ->
+    ());
+  let added = List.rev !harvested in
+  List.iter (fun dna -> add t { cve; dna }) added;
+  List.length added
+
+let to_sexpr t =
+  Sexpr.list
+    (Sexpr.atom "jitbull-db"
+    :: List.map
+         (fun e ->
+           Sexpr.list [ Sexpr.atom "entry"; Sexpr.atom e.cve; Dna.to_sexpr e.dna ])
+         t.items)
+
+let of_sexpr s =
+  match Sexpr.to_list s with
+  | Sexpr.Atom "jitbull-db" :: rest ->
+    let items =
+      List.map
+        (fun e ->
+          match Sexpr.to_list e with
+          | [ Sexpr.Atom "entry"; cve; dna ] ->
+            { cve = Sexpr.to_atom cve; dna = Dna.of_sexpr dna }
+          | _ -> raise (Sexpr.Decode_error "bad db entry"))
+        rest
+    in
+    { items }
+  | _ -> raise (Sexpr.Decode_error "not a jitbull-db file")
+
+let save t path = Sexpr.save path (to_sexpr t)
+
+let load path = of_sexpr (Sexpr.load path)

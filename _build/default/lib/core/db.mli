@@ -1,0 +1,47 @@
+(** The JITBULL vulnerability database: DNA vectors of every JITed
+    function of every installed vulnerability demonstrator code (VDC).
+
+    Lifecycle (paper §IV-C): when a vulnerability is reported, the
+    maintainer extracts the demonstrator's DNA and ships it to users as an
+    update; when the patch is applied, the entry is removed. The database
+    can hold several concurrent vulnerabilities (the paper measured at
+    most 2 overlapping in 2019).
+
+    The on-disk format is a single s-expression file; see
+    [bin/jitbull_db] for the management CLI. *)
+
+type entry = {
+  cve : string;  (** e.g. "CVE-2019-17026" *)
+  dna : Dna.t;  (** one per JITed function of the VDC *)
+}
+
+type t
+
+val create : unit -> t
+
+val is_empty : t -> bool
+
+val entries : t -> entry list
+
+val add : t -> entry -> unit
+
+(** [remove_cve t cve] drops every entry of a vulnerability (= the patch
+    has been applied). *)
+val remove_cve : t -> string -> unit
+
+val cves : t -> string list  (** distinct, insertion order *)
+
+(** [harvest t ~cve ~vulns source] runs the demonstrator [source] on an
+    engine with the given vulnerability configuration active (the engine
+    is unpatched during the vulnerability window), extracting the DNA of
+    every Ion-compiled function and installing the entries. Returns the
+    number of entries added. Functions whose DNA has no non-empty delta
+    are skipped (they carry no signal). *)
+val harvest :
+  t -> cve:string -> vulns:Jitbull_passes.Vuln_config.t -> string -> int
+
+val to_sexpr : t -> Jitbull_util.Sexpr.t
+val of_sexpr : Jitbull_util.Sexpr.t -> t
+
+val save : t -> string -> unit
+val load : string -> t

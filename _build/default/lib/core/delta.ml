@@ -1,0 +1,123 @@
+module Sexpr = Jitbull_util.Sexpr
+
+type t = {
+  removed : (string, int) Hashtbl.t;
+  added : (string, int) Hashtbl.t;
+}
+
+let key_of_ngram ng = String.concat "->" ng
+
+(* Multiset of sub-chains of a dependency graph.
+   - n = 2: the edge multiset (identical to enumerating chains and taking
+     2-grams, without the path explosion);
+   - n = 3 (the default): length-2 walk counts — for every node, one
+     sub-chain per (user, dependency) pair. Same keys as path-enumerated
+     3-grams but computed in O(Σ degᵢₙ·degₒᵤₜ), which keeps the Δ
+     extractor cheap enough for the paper's 1-20% overhead envelope;
+   - n ≥ 4: full chain enumeration under the standard caps. *)
+let subchain_multiset ~n (g : Depgraph.t) : (string, int) Hashtbl.t =
+  let counts = Hashtbl.create 64 in
+  let bump ?(by = 1) k =
+    Hashtbl.replace counts k (by + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  in
+  if n = 2 then List.iter (fun (a, b) -> bump (a ^ "->" ^ b)) (Depgraph.edges g)
+  else if n = 3 then begin
+    (* users-per-node map *)
+    let user_ops : (int, string list) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (node : Depgraph.node) ->
+        List.iter
+          (fun (dep : Depgraph.node) ->
+            let cur =
+              Option.value ~default:[] (Hashtbl.find_opt user_ops dep.Depgraph.num)
+            in
+            Hashtbl.replace user_ops dep.Depgraph.num (node.Depgraph.opcode :: cur))
+          node.Depgraph.deps)
+      g.Depgraph.nodes;
+    List.iter
+      (fun (mid : Depgraph.node) ->
+        match Hashtbl.find_opt user_ops mid.Depgraph.num with
+        | None -> ()
+        | Some users ->
+          List.iter
+            (fun user_op ->
+              List.iter
+                (fun (dep : Depgraph.node) ->
+                  bump (user_op ^ "->" ^ mid.Depgraph.opcode ^ "->" ^ dep.Depgraph.opcode))
+                mid.Depgraph.deps)
+            users)
+      g.Depgraph.nodes;
+    (* edges whose endpoint is a root or a leaf still carry signal: count
+       the boundary 2-grams as well so removals at chain ends (an unused
+       guard is a root!) stay visible *)
+    List.iter
+      (fun (root : Depgraph.node) ->
+        List.iter
+          (fun (dep : Depgraph.node) ->
+            bump ("^" ^ root.Depgraph.opcode ^ "->" ^ dep.Depgraph.opcode))
+          root.Depgraph.deps)
+      g.Depgraph.roots
+  end
+  else
+    List.iter
+      (fun chain -> List.iter (fun ng -> bump (key_of_ngram ng)) (Chains.ngrams n chain))
+      (Chains.extract g);
+  counts
+
+let diff (a : (string, int) Hashtbl.t) (b : (string, int) Hashtbl.t) =
+  (* multiset difference a − b *)
+  let out = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun k ca ->
+      let cb = Option.value ~default:0 (Hashtbl.find_opt b k) in
+      if ca > cb then Hashtbl.replace out k (ca - cb))
+    a;
+  out
+
+(* [of_multisets] lets callers that walk a whole snapshot trace compute
+   each graph's multiset once instead of once per adjacent pair. *)
+let of_multisets ~(before : (string, int) Hashtbl.t) ~(after : (string, int) Hashtbl.t) : t =
+  { removed = diff before after; added = diff after before }
+
+let compute ?(n = 3) (before : Depgraph.t) (after : Depgraph.t) : t =
+  of_multisets ~before:(subchain_multiset ~n before) ~after:(subchain_multiset ~n after)
+
+let is_empty t = Hashtbl.length t.removed = 0 && Hashtbl.length t.added = 0
+
+let total side = Hashtbl.fold (fun _ c acc -> acc + c) side 0
+
+(* serialization: (delta (removed (<key> <count>) ...) (added ...)) *)
+
+let side_to_sexpr name side =
+  let entries =
+    Hashtbl.fold (fun k c acc -> (k, c) :: acc) side []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (k, c) -> Sexpr.list [ Sexpr.atom k; Sexpr.int c ])
+  in
+  Sexpr.list (Sexpr.atom name :: entries)
+
+let side_of_sexprs payload =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      match Sexpr.to_list s with
+      | [ k; c ] -> Hashtbl.replace tbl (Sexpr.to_atom k) (Sexpr.to_int c)
+      | _ -> raise (Sexpr.Decode_error "bad delta entry"))
+    payload;
+  tbl
+
+let to_sexpr t =
+  Sexpr.list
+    [ Sexpr.atom "delta"; side_to_sexpr "removed" t.removed; side_to_sexpr "added" t.added ]
+
+let of_sexpr s =
+  let removed = side_of_sexprs (Sexpr.field "removed" s) in
+  let added = side_of_sexprs (Sexpr.field "added" s) in
+  { removed; added }
+
+let to_string t =
+  let fmt side =
+    Hashtbl.fold (fun k c acc -> Printf.sprintf "%s x%d" k c :: acc) side []
+    |> List.sort String.compare |> String.concat ", "
+  in
+  Printf.sprintf "removed={%s} added={%s}" (fmt t.removed) (fmt t.added)

@@ -1,0 +1,41 @@
+(** Δᵢ — the modifications one optimization pass made to the IR,
+    represented as the multiset of {e removed} and {e added} dependency
+    sub-chains (the paper's δ⁻/δ⁺).
+
+    Sub-chains are opcode n-grams drawn from the enumerated root→leaf
+    chains; with [n = 2] they coincide with dependency {e edges}, which is
+    exactly what the paper's worked example computes ([A→B→C→D] vs
+    [B→C→E] ⇒ δ⁻ = \{A→B, C→D\}, δ⁺ = \{C→E\}). We count multiplicity so
+    the comparator's [Thr] threshold counts sub-chain instances as the
+    pairwise chain loop of Algorithm 1 does. The default is [n = 3]:
+    measured against the corpus it keeps variant detection at 100%% while
+    dropping the single-VDC false-positive rate to the paper's 0-5%% band
+    (see DESIGN.md §4 and EXPERIMENTS.md). *)
+
+type t = {
+  removed : (string, int) Hashtbl.t;  (** sub-chain key → multiplicity *)
+  added : (string, int) Hashtbl.t;
+}
+
+(** [compute ?n before after] diffs two dependency graphs. *)
+val compute : ?n:int -> Depgraph.t -> Depgraph.t -> t
+
+(** [subchain_multiset ~n g] — the n-gram multiset of a graph;
+    [of_multisets] diffs two precomputed multisets (used by {!Dna.extract}
+    to compute each trace snapshot's multiset exactly once). *)
+
+val subchain_multiset : n:int -> Depgraph.t -> (string, int) Hashtbl.t
+val of_multisets : before:(string, int) Hashtbl.t -> after:(string, int) Hashtbl.t -> t
+
+(** [is_empty t] — the pass changed nothing (or was disabled). *)
+val is_empty : t -> bool
+
+(** [size side] — total multiplicity (the paper's |δ|). *)
+val total : (string, int) Hashtbl.t -> int
+
+(** Serialization for the on-disk DNA database. *)
+
+val to_sexpr : t -> Jitbull_util.Sexpr.t
+val of_sexpr : Jitbull_util.Sexpr.t -> t
+
+val to_string : t -> string

@@ -1,0 +1,68 @@
+module Snapshot = Jitbull_mir.Snapshot
+
+type node = {
+  num : int;
+  opcode : string;
+  mutable deps : node list;
+}
+
+type t = {
+  nodes : node list;
+  roots : node list;
+}
+
+(* Algorithm 1, lines 1–15: for every instruction V with operands, add V
+   as a root if absent; each operand V' loses root status and becomes a
+   dependency of V. *)
+let build (snapshot : Snapshot.t) : t =
+  let by_num : (int, node) Hashtbl.t = Hashtbl.create 64 in
+  let nodes =
+    List.map
+      (fun (e : Snapshot.entry) ->
+        let n = { num = e.Snapshot.num; opcode = e.Snapshot.opcode; deps = [] } in
+        Hashtbl.replace by_num e.Snapshot.num n;
+        n)
+      snapshot.Snapshot.entries
+  in
+  let in_graph : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let is_root : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Snapshot.entry) ->
+      if e.Snapshot.operands <> [] then begin
+        let v = Hashtbl.find by_num e.Snapshot.num in
+        if not (Hashtbl.mem in_graph v.num) then begin
+          Hashtbl.replace in_graph v.num ();
+          Hashtbl.replace is_root v.num ()
+        end;
+        List.iter
+          (fun op_num ->
+            match Hashtbl.find_opt by_num op_num with
+            | None -> ()
+            | Some v' ->
+              Hashtbl.remove is_root v'.num;
+              Hashtbl.replace in_graph v'.num ();
+              v.deps <- v.deps @ [ v' ])
+          e.Snapshot.operands
+      end)
+    snapshot.Snapshot.entries;
+  let roots = List.filter (fun n -> Hashtbl.mem is_root n.num) nodes in
+  let nodes = List.filter (fun n -> Hashtbl.mem in_graph n.num) nodes in
+  { nodes; roots }
+
+let edges t =
+  List.concat_map (fun n -> List.map (fun d -> (n.opcode, d.opcode)) n.deps) t.nodes
+
+let node_count t = List.length t.nodes
+
+let edge_count t = List.length (edges t)
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun n ->
+      let root = if List.memq n t.roots then "*" else " " in
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d %s -> [%s]\n" root n.num n.opcode
+           (String.concat "; " (List.map (fun d -> Printf.sprintf "%d %s" d.num d.opcode) n.deps))))
+    t.nodes;
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+module Engine = Jitbull_jit.Engine
+module Pipeline = Jitbull_passes.Pipeline
+
+type record = {
+  func_name : string;
+  matched : (string * string list) list;
+  dangerous_passes : string list;
+  verdict : [ `Allow | `Disable of string list | `Forbid ];
+}
+
+type monitor = { mutable records : record list }
+
+let new_monitor () = { records = [] }
+
+let analyzer ?params ?monitor (db : Db.t) : Engine.analyzer =
+ fun ~func_index:_ ~name ~trace ->
+  let dna = Dna.extract trace in
+  let matched =
+    List.filter_map
+      (fun (e : Db.entry) ->
+        match Comparator.matching_passes ?params dna e.Db.dna with
+        | [] -> None
+        | passes -> Some (e.Db.cve, passes))
+      (Db.entries db)
+  in
+  let dangerous =
+    (* union in pipeline order *)
+    List.filter
+      (fun p -> List.exists (fun (_, ps) -> List.mem p ps) matched)
+      Pipeline.pass_names
+  in
+  let verdict =
+    if dangerous = [] then `Allow
+    else if List.for_all Pipeline.can_disable dangerous then `Disable dangerous
+    else `Forbid
+  in
+  (match monitor with
+  | Some m ->
+    m.records <- { func_name = name; matched; dangerous_passes = dangerous; verdict } :: m.records
+  | None -> ());
+  match verdict with
+  | `Allow -> Engine.Allow
+  | `Disable passes -> Engine.Disable_passes passes
+  | `Forbid -> Engine.Forbid_jit
+
+let config ?params ?monitor ~vulns (db : Db.t) : Engine.config =
+  let analyzer = if Db.is_empty db then None else Some (analyzer ?params ?monitor db) in
+  { Engine.default_config with Engine.vulns; analyzer }

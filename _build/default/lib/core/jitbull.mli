@@ -1,0 +1,47 @@
+(** JITBULL — the go/no-go policy, wired into the engine.
+
+    [analyzer db] produces the {!Jitbull_jit.Engine.analyzer} implementing
+    the paper's step 2: on every Ion compilation, extract the function's
+    DNA from the pass snapshots and compare it against every VDC DNA in
+    the database; the union of matching passes becomes the dangerous-pass
+    list. An empty list allows the compilation; otherwise the engine
+    recompiles with those passes disabled, or refuses JIT for the function
+    when a mandatory pass matched.
+
+    A {!record} is appended to the monitor for every analyzed function so
+    the evaluation harness can compute the paper's
+    %Safe / %PassDis / %NoJIT metrics and inspect {e which} passes were
+    flagged (e.g. GVN for CVE-2019-17026 variants). *)
+
+type record = {
+  func_name : string;
+  matched : (string * string list) list;  (** CVE → matching passes *)
+  dangerous_passes : string list;  (** union, pipeline order *)
+  verdict : [ `Allow | `Disable of string list | `Forbid ];
+}
+
+type monitor = {
+  mutable records : record list;  (** newest first *)
+}
+
+val new_monitor : unit -> monitor
+
+(** [analyzer ?params ?monitor db] builds the engine hook. The database is
+    consulted live: entries added or removed later affect subsequent
+    compilations (the patch-applied lifecycle). *)
+val analyzer :
+  ?params:Comparator.params ->
+  ?monitor:monitor ->
+  Db.t ->
+  Jitbull_jit.Engine.analyzer
+
+(** [config ?params ?monitor ~vulns db] — an engine configuration with
+    JITBULL installed, the vulnerability window's unpatched engine. When
+    [db] is empty the analyzer is omitted entirely (zero overhead, paper
+    §V). *)
+val config :
+  ?params:Comparator.params ->
+  ?monitor:monitor ->
+  vulns:Jitbull_passes.Vuln_config.t ->
+  Db.t ->
+  Jitbull_jit.Engine.config

@@ -1,0 +1,1 @@
+lib/frontend/ast.pp.ml: Hashtbl List Option Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/frontend/lambda_lift.pp.ml: Ast Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/frontend/lambda_lift.pp.mli: Ast

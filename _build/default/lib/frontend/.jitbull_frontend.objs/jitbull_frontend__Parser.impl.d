@@ -1,0 +1,1 @@
+lib/frontend/parser.pp.ml: Array Ast Format Lambda_lift Lexer List Printf Token

@@ -1,0 +1,1 @@
+lib/frontend/printer.pp.ml: Ast Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/frontend/printer.pp.mli: Ast

@@ -1,0 +1,226 @@
+(* Abstract syntax of the mini-JS subset.
+
+   Restrictions relative to full JavaScript, chosen so that the bytecode
+   compiler and the JIT stay honest but tractable (see DESIGN.md):
+   - function declarations appear only at the top level (the "add
+     sub-functions" variant generator splits code into further top-level
+     functions, as the paper's manual variants do); anonymous function
+     expressions are lambda-lifted to the top level by the parser;
+   - no closures: a function body references its own parameters/locals and
+     global bindings (capture is rejected — see [Lambda_lift]);
+   - [x++]/[x--], compound assignments, [do…while] and [switch] are
+     desugared by the parser. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Neq
+  | Strict_eq
+  | Strict_neq
+  | Bit_and
+  | Bit_or
+  | Bit_xor
+  | Shl
+  | Shr
+  | Ushr
+[@@deriving show, eq]
+
+type unop =
+  | Neg
+  | Not
+  | Bit_not
+  | Typeof
+  | To_number  (* unary [+] *)
+[@@deriving show, eq]
+
+type logical =
+  | And
+  | Or
+[@@deriving show, eq]
+
+type expr =
+  | Number of float
+  | String of string
+  | Bool of bool
+  | Null
+  | Undefined
+  | Ident of string
+  | Array_lit of expr list
+  | Object_lit of (string * expr) list
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Logical of logical * expr * expr
+  | Conditional of expr * expr * expr
+  | Assign of lvalue * expr
+  | Call of expr * expr list
+  | Member of expr * string
+  | Index of expr * expr
+  | Func_expr of string list * stmt list
+      (* anonymous function expression; lambda-lifted to a top-level
+         function by the parser ([Lambda_lift]), so downstream consumers
+         (interpreter, compiler) never see this constructor *)
+
+and lvalue =
+  | Lvar of string
+  | Lindex of expr * expr
+  | Lmember of expr * string
+
+and stmt =
+  | Var of string * expr option
+  | Expr_stmt of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * expr option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Block of stmt list
+[@@deriving show, eq]
+
+type func = {
+  name : string;
+  params : string list;
+  body : stmt list;
+}
+[@@deriving show, eq]
+
+type program = {
+  functions : func list;
+  main : stmt list;  (* top-level statements, in source order *)
+}
+[@@deriving show, eq]
+
+(* Traversals used by the variant generators and the compilers. *)
+
+let rec fold_expr (f : 'a -> expr -> 'a) (acc : 'a) (e : expr) : 'a =
+  let acc = f acc e in
+  match e with
+  | Number _ | String _ | Bool _ | Null | Undefined | Ident _ -> acc
+  | Array_lit es -> List.fold_left (fold_expr f) acc es
+  | Object_lit fields -> List.fold_left (fun acc (_, e) -> fold_expr f acc e) acc fields
+  | Unary (_, e) -> fold_expr f acc e
+  | Binary (_, a, b) | Logical (_, a, b) -> fold_expr f (fold_expr f acc a) b
+  | Conditional (c, t, e) -> fold_expr f (fold_expr f (fold_expr f acc c) t) e
+  | Assign (lv, e) -> fold_expr f (fold_lvalue f acc lv) e
+  | Call (callee, args) -> List.fold_left (fold_expr f) (fold_expr f acc callee) args
+  | Member (o, _) -> fold_expr f acc o
+  | Index (o, i) -> fold_expr f (fold_expr f acc o) i
+  | Func_expr _ -> acc  (* bodies are lifted before any fold runs *)
+
+and fold_lvalue f acc = function
+  | Lvar _ -> acc
+  | Lindex (o, i) -> fold_expr f (fold_expr f acc o) i
+  | Lmember (o, _) -> fold_expr f acc o
+
+let rec fold_stmt_exprs f acc = function
+  | Var (_, None) | Break | Continue | Return None -> acc
+  | Var (_, Some e) | Expr_stmt e | Return (Some e) -> fold_expr f acc e
+  | If (c, t, e) ->
+    let acc = fold_expr f acc c in
+    let acc = List.fold_left (fold_stmt_exprs f) acc t in
+    List.fold_left (fold_stmt_exprs f) acc e
+  | While (c, body) ->
+    List.fold_left (fold_stmt_exprs f) (fold_expr f acc c) body
+  | For (init, cond, update, body) ->
+    let acc = match init with Some s -> fold_stmt_exprs f acc s | None -> acc in
+    let acc = match cond with Some e -> fold_expr f acc e | None -> acc in
+    let acc = match update with Some e -> fold_expr f acc e | None -> acc in
+    List.fold_left (fold_stmt_exprs f) acc body
+  | Block body -> List.fold_left (fold_stmt_exprs f) acc body
+
+(* [map_expr f e] rebuilds [e] bottom-up, applying [f] to every node. *)
+let rec map_expr (f : expr -> expr) (e : expr) : expr =
+  let e' =
+    match e with
+    | Number _ | String _ | Bool _ | Null | Undefined | Ident _ -> e
+    | Array_lit es -> Array_lit (List.map (map_expr f) es)
+    | Object_lit fields -> Object_lit (List.map (fun (k, v) -> (k, map_expr f v)) fields)
+    | Unary (op, e) -> Unary (op, map_expr f e)
+    | Binary (op, a, b) -> Binary (op, map_expr f a, map_expr f b)
+    | Logical (op, a, b) -> Logical (op, map_expr f a, map_expr f b)
+    | Conditional (c, t, e) -> Conditional (map_expr f c, map_expr f t, map_expr f e)
+    | Assign (lv, e) -> Assign (map_lvalue f lv, map_expr f e)
+    | Call (callee, args) -> Call (map_expr f callee, List.map (map_expr f) args)
+    | Member (o, p) -> Member (map_expr f o, p)
+    | Index (o, i) -> Index (map_expr f o, map_expr f i)
+    | Func_expr _ -> e  (* lifted before any map runs *)
+  in
+  f e'
+
+and map_lvalue f = function
+  | Lvar x -> Lvar x
+  | Lindex (o, i) -> Lindex (map_expr f o, map_expr f i)
+  | Lmember (o, p) -> Lmember (map_expr f o, p)
+
+let rec map_stmt (f : expr -> expr) (s : stmt) : stmt =
+  match s with
+  | Var (x, e) -> Var (x, Option.map (map_expr f) e)
+  | Expr_stmt e -> Expr_stmt (map_expr f e)
+  | If (c, t, e) -> If (map_expr f c, List.map (map_stmt f) t, List.map (map_stmt f) e)
+  | While (c, body) -> While (map_expr f c, List.map (map_stmt f) body)
+  | For (init, cond, update, body) ->
+    For
+      ( Option.map (map_stmt f) init,
+        Option.map (map_expr f) cond,
+        Option.map (map_expr f) update,
+        List.map (map_stmt f) body )
+  | Return e -> Return (Option.map (map_expr f) e)
+  | Break -> Break
+  | Continue -> Continue
+  | Block body -> Block (List.map (map_stmt f) body)
+
+(* Identifiers referenced anywhere in an expression (reads and writes). *)
+let expr_idents e =
+  fold_expr
+    (fun acc e -> match e with Ident x -> x :: acc | _ -> acc)
+    [] e
+  |> List.sort_uniq String.compare
+
+(* [declared_vars body] — every name introduced by a [var] declaration
+   anywhere in [body], in first-occurrence order. Both the interpreter and
+   the bytecode compiler hoist these to function entry, like JS [var]. *)
+let declared_vars (body : stmt list) : string list =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add x =
+    if not (Hashtbl.mem seen x) then begin
+      Hashtbl.add seen x ();
+      out := x :: !out
+    end
+  in
+  let rec walk = function
+    | Var (x, _) -> add x
+    | If (_, t, e) ->
+      List.iter walk t;
+      List.iter walk e
+    | While (_, b) | Block b -> List.iter walk b
+    | For (init, _, _, b) ->
+      Option.iter walk init;
+      List.iter walk b
+    | Expr_stmt _ | Return _ | Break | Continue -> ()
+  in
+  List.iter walk body;
+  List.rev !out
+
+let stmt_idents s =
+  let from_exprs =
+    fold_stmt_exprs (fun acc e -> match e with Ident x -> x :: acc | _ -> acc) [] s
+  in
+  let rec declared acc = function
+    | Var (x, _) -> x :: acc
+    | If (_, t, e) -> List.fold_left declared (List.fold_left declared acc t) e
+    | While (_, b) | Block b -> List.fold_left declared acc b
+    | For (init, _, _, b) ->
+      let acc = match init with Some s -> declared acc s | None -> acc in
+      List.fold_left declared acc b
+    | Expr_stmt _ | Return _ | Break | Continue -> acc
+  in
+  List.sort_uniq String.compare (from_exprs @ declared [] s)

@@ -1,0 +1,74 @@
+exception Capture_error of string
+
+let capture_error fmt = Format.kasprintf (fun s -> raise (Capture_error s)) fmt
+
+(* free identifier *reads/writes* of a statement list with respect to the
+   bindings introduced inside it (params must be added by the caller) *)
+let references body =
+  List.concat_map (fun s -> Ast.stmt_idents s) body |> List.sort_uniq String.compare
+
+let lift (p : Ast.program) : Ast.program =
+  let lifted = ref [] in
+  let counter = ref 0 in
+  let fresh () =
+    let n = !counter in
+    incr counter;
+    Printf.sprintf "anon$%d" n
+  in
+  (* [enclosing] = bindings of the function (or top level) the expression
+     appears in; capturing any of them is an error. *)
+  let rec lift_expr ~enclosing (e : Ast.expr) : Ast.expr =
+    Ast.map_expr
+      (fun e ->
+        match e with
+        | Ast.Func_expr (params, body) ->
+          (* lift inner expressions first, with THIS function's bindings
+             as the enclosing scope *)
+          let own = params @ Ast.declared_vars body in
+          let body = List.map (lift_stmt ~enclosing:own) body in
+          List.iter
+            (fun id ->
+              if List.mem id enclosing && not (List.mem id own) then
+                capture_error
+                  "function expression captures enclosing binding %S (closures are not \
+                   supported by the subset)"
+                  id)
+            (references body);
+          let name = fresh () in
+          lifted := { Ast.name; params; body } :: !lifted;
+          Ast.Ident name
+        | e -> e)
+      e
+
+  and lift_stmt ~enclosing (s : Ast.stmt) : Ast.stmt =
+    match s with
+    | Ast.Var (x, init) -> Ast.Var (x, Option.map (lift_expr ~enclosing) init)
+    | Ast.Expr_stmt e -> Ast.Expr_stmt (lift_expr ~enclosing e)
+    | Ast.If (c, t, e) ->
+      Ast.If
+        ( lift_expr ~enclosing c,
+          List.map (lift_stmt ~enclosing) t,
+          List.map (lift_stmt ~enclosing) e )
+    | Ast.While (c, b) -> Ast.While (lift_expr ~enclosing c, List.map (lift_stmt ~enclosing) b)
+    | Ast.For (init, cond, update, b) ->
+      Ast.For
+        ( Option.map (lift_stmt ~enclosing) init,
+          Option.map (lift_expr ~enclosing) cond,
+          Option.map (lift_expr ~enclosing) update,
+          List.map (lift_stmt ~enclosing) b )
+    | Ast.Return e -> Ast.Return (Option.map (lift_expr ~enclosing) e)
+    | Ast.Break -> Ast.Break
+    | Ast.Continue -> Ast.Continue
+    | Ast.Block b -> Ast.Block (List.map (lift_stmt ~enclosing) b)
+  in
+  let functions =
+    List.map
+      (fun (f : Ast.func) ->
+        let enclosing = f.Ast.params @ Ast.declared_vars f.Ast.body in
+        { f with Ast.body = List.map (lift_stmt ~enclosing) f.Ast.body })
+      p.Ast.functions
+  in
+  (* top-level [var]s are globals, visible to lifted functions: no capture
+     issue at the top level *)
+  let main = List.map (lift_stmt ~enclosing:[]) p.Ast.main in
+  { Ast.functions = functions @ List.rev !lifted; main }

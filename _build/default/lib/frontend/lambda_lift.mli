@@ -1,0 +1,20 @@
+(** Lambda lifting of anonymous function expressions.
+
+    The subset has no closures: a function body may reference its own
+    parameters/locals and globals only. Function {e expressions} are
+    therefore lifted to fresh top-level declarations (named [anon$N]) and
+    replaced by a reference to that name, preserving first-class function
+    values without an environment model.
+
+    A function expression that captures a binding of its enclosing
+    function (a parameter or [var] that is not also bound inside the
+    expression itself) would silently change meaning under lifting, so it
+    is rejected with {!Capture_error}. Nested function expressions are
+    lifted innermost-first. *)
+
+exception Capture_error of string
+(** carries the captured identifier and the would-be closure's context *)
+
+(** [lift program] returns an equivalent program with no [Func_expr] nodes
+    anywhere; lifted functions are appended after the declared ones. *)
+val lift : Ast.program -> Ast.program

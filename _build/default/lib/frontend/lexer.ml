@@ -1,0 +1,254 @@
+exception Lex_error of string * Token.position
+
+let lex_error pos fmt = Format.kasprintf (fun s -> raise (Lex_error (s, pos))) fmt
+
+type state = {
+  source : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable column : int;
+}
+
+let position st : Token.position = { line = st.line; column = st.column }
+
+let peek st = if st.pos < String.length st.source then Some st.source.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.source then Some st.source.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.column <- 1
+  | Some _ -> st.column <- st.column + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+    let start = position st in
+    advance st;
+    advance st;
+    let rec to_close () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | None, _ -> lex_error start "unterminated block comment"
+      | Some _, _ ->
+        advance st;
+        to_close ()
+    in
+    to_close ();
+    skip_trivia st
+  | Some _ | None -> ()
+
+let scan_number st =
+  let start = st.pos in
+  let pos = position st in
+  (if peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') then begin
+     advance st;
+     advance st;
+     let digits = ref 0 in
+     while match peek st with Some c when is_hex c -> true | _ -> false do
+       incr digits;
+       advance st
+     done;
+     if !digits = 0 then lex_error pos "invalid hexadecimal literal"
+   end
+   else begin
+     while match peek st with Some c when is_digit c -> true | _ -> false do
+       advance st
+     done;
+     (match (peek st, peek2 st) with
+     | Some '.', Some c when is_digit c ->
+       advance st;
+       while match peek st with Some c when is_digit c -> true | _ -> false do
+         advance st
+       done
+     | _ -> ());
+     match peek st with
+     | Some ('e' | 'E') ->
+       advance st;
+       (match peek st with
+       | Some ('+' | '-') -> advance st
+       | _ -> ());
+       let digits = ref 0 in
+       while match peek st with Some c when is_digit c -> true | _ -> false do
+         incr digits;
+         advance st
+       done;
+       if !digits = 0 then lex_error pos "invalid exponent"
+     | _ -> ()
+   end);
+  let text = String.sub st.source start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> Token.NUMBER f
+  | None -> lex_error pos "invalid number literal %S" text
+
+let scan_string st quote =
+  let pos = position st in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> lex_error pos "unterminated string"
+    | Some c when c = quote ->
+      advance st;
+      Token.STRING (Buffer.contents buf)
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some 'r' -> Buffer.add_char buf '\r'
+      | Some '0' -> Buffer.add_char buf '\000'
+      | Some c -> Buffer.add_char buf c
+      | None -> lex_error pos "dangling escape");
+      advance st;
+      loop ()
+    | Some '\n' -> lex_error pos "newline in string literal"
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+  in
+  loop ()
+
+let scan_ident st =
+  let start = st.pos in
+  while match peek st with Some c when is_ident_char c -> true | _ -> false do
+    advance st
+  done;
+  let text = String.sub st.source start (st.pos - start) in
+  match Token.keyword_of_string text with
+  | Some kw -> kw
+  | None -> Token.IDENT text
+
+(* Operators are matched longest-first. *)
+let scan_operator st =
+  let pos = position st in
+  let try3 a b c tok =
+    if peek st = Some a && peek2 st = Some b
+       && st.pos + 2 < String.length st.source
+       && st.source.[st.pos + 2] = c
+    then begin
+      advance st;
+      advance st;
+      advance st;
+      Some tok
+    end
+    else None
+  in
+  let try2 a b tok =
+    if peek st = Some a && peek2 st = Some b then begin
+      advance st;
+      advance st;
+      Some tok
+    end
+    else None
+  in
+  let try1 a tok =
+    if peek st = Some a then begin
+      advance st;
+      Some tok
+    end
+    else None
+  in
+  let candidates =
+    [
+      (fun () -> try3 '>' '>' '>' Token.USHR);
+      (fun () -> try3 '=' '=' '=' Token.EQEQEQ);
+      (fun () -> try3 '!' '=' '=' Token.BANGEQEQ);
+      (fun () -> try3 '<' '<' '=' Token.SHL_ASSIGN);
+      (fun () -> try3 '>' '>' '=' Token.SHR_ASSIGN);
+      (fun () -> try2 '=' '=' Token.EQEQ);
+      (fun () -> try2 '!' '=' Token.BANGEQ);
+      (fun () -> try2 '<' '=' Token.LE);
+      (fun () -> try2 '>' '=' Token.GE);
+      (fun () -> try2 '<' '<' Token.SHL);
+      (fun () -> try2 '>' '>' Token.SHR);
+      (fun () -> try2 '&' '&' Token.AMPAMP);
+      (fun () -> try2 '|' '|' Token.PIPEPIPE);
+      (fun () -> try2 '+' '+' Token.PLUSPLUS);
+      (fun () -> try2 '-' '-' Token.MINUSMINUS);
+      (fun () -> try2 '+' '=' Token.PLUS_ASSIGN);
+      (fun () -> try2 '-' '=' Token.MINUS_ASSIGN);
+      (fun () -> try2 '*' '=' Token.STAR_ASSIGN);
+      (fun () -> try2 '/' '=' Token.SLASH_ASSIGN);
+      (fun () -> try2 '%' '=' Token.PERCENT_ASSIGN);
+      (fun () -> try2 '&' '=' Token.AMP_ASSIGN);
+      (fun () -> try2 '|' '=' Token.PIPE_ASSIGN);
+      (fun () -> try2 '^' '=' Token.CARET_ASSIGN);
+      (fun () -> try1 '+' Token.PLUS);
+      (fun () -> try1 '-' Token.MINUS);
+      (fun () -> try1 '*' Token.STAR);
+      (fun () -> try1 '/' Token.SLASH);
+      (fun () -> try1 '%' Token.PERCENT);
+      (fun () -> try1 '<' Token.LT);
+      (fun () -> try1 '>' Token.GT);
+      (fun () -> try1 '=' Token.ASSIGN);
+      (fun () -> try1 '&' Token.AMP);
+      (fun () -> try1 '|' Token.PIPE);
+      (fun () -> try1 '^' Token.CARET);
+      (fun () -> try1 '~' Token.TILDE);
+      (fun () -> try1 '!' Token.BANG);
+      (fun () -> try1 '(' Token.LPAREN);
+      (fun () -> try1 ')' Token.RPAREN);
+      (fun () -> try1 '{' Token.LBRACE);
+      (fun () -> try1 '}' Token.RBRACE);
+      (fun () -> try1 '[' Token.LBRACKET);
+      (fun () -> try1 ']' Token.RBRACKET);
+      (fun () -> try1 ';' Token.SEMI);
+      (fun () -> try1 ',' Token.COMMA);
+      (fun () -> try1 ':' Token.COLON);
+      (fun () -> try1 '?' Token.QUESTION);
+      (fun () -> try1 '.' Token.DOT);
+    ]
+  in
+  match List.find_map (fun f -> f ()) candidates with
+  | Some tok -> tok
+  | None ->
+    (match peek st with
+    | Some c -> lex_error pos "unexpected character %C" c
+    | None -> lex_error pos "unexpected end of input")
+
+let tokenize source =
+  let st = { source; pos = 0; line = 1; column = 1 } in
+  let rec loop acc =
+    skip_trivia st;
+    let pos = position st in
+    match peek st with
+    | None -> List.rev ({ Token.token = Token.EOF; pos } :: acc)
+    | Some c ->
+      let token =
+        if is_digit c then scan_number st
+        else if c = '.' && (match peek2 st with Some d when is_digit d -> true | _ -> false)
+        then scan_number st
+        else if c = '"' || c = '\'' then scan_string st c
+        else if is_ident_start c then scan_ident st
+        else scan_operator st
+      in
+      loop ({ Token.token; pos } :: acc)
+  in
+  loop []

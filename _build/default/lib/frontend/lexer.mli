@@ -1,0 +1,12 @@
+(** Lexer for the mini-JS subset.
+
+    Supports decimal and hexadecimal number literals (with fraction and
+    exponent), single- and double-quoted strings with the usual escapes,
+    [//] and [/* */] comments, and the full operator set of {!Token.t}. *)
+
+exception Lex_error of string * Token.position
+
+(** [tokenize source] scans the whole input and returns the token stream
+    terminated by [EOF]. Raises {!Lex_error} on an invalid character or an
+    unterminated string/comment. *)
+val tokenize : string -> Token.spanned list

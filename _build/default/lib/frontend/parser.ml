@@ -1,0 +1,563 @@
+exception Parse_error of string * Token.position
+
+let parse_error pos fmt = Format.kasprintf (fun s -> raise (Parse_error (s, pos))) fmt
+
+type state = {
+  tokens : Token.spanned array;
+  mutable index : int;
+  mutable fresh : int;  (* counter for desugaring temporaries *)
+}
+
+let fresh_name st prefix =
+  let n = st.fresh in
+  st.fresh <- n + 1;
+  Printf.sprintf "%s$%d" prefix n
+
+let current st = st.tokens.(st.index)
+let token st = (current st).Token.token
+let pos st = (current st).Token.pos
+let advance st = if st.index < Array.length st.tokens - 1 then st.index <- st.index + 1
+
+let expect st tok =
+  if Token.equal (token st) tok then advance st
+  else parse_error (pos st) "expected %s, found %s" (Token.describe tok) (Token.describe (token st))
+
+let accept st tok =
+  if Token.equal (token st) tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_ident st =
+  match token st with
+  | Token.IDENT name ->
+    advance st;
+    name
+  | t -> parse_error (pos st) "expected identifier, found %s" (Token.describe t)
+
+(* Expression grammar, precedence climbing. *)
+
+let binop_of_token : Token.t -> (Ast.binop * int) option = function
+  | Token.PIPE -> Some (Ast.Bit_or, 5)
+  | Token.CARET -> Some (Ast.Bit_xor, 6)
+  | Token.AMP -> Some (Ast.Bit_and, 7)
+  | Token.EQEQ -> Some (Ast.Eq, 8)
+  | Token.BANGEQ -> Some (Ast.Neq, 8)
+  | Token.EQEQEQ -> Some (Ast.Strict_eq, 8)
+  | Token.BANGEQEQ -> Some (Ast.Strict_neq, 8)
+  | Token.LT -> Some (Ast.Lt, 9)
+  | Token.LE -> Some (Ast.Le, 9)
+  | Token.GT -> Some (Ast.Gt, 9)
+  | Token.GE -> Some (Ast.Ge, 9)
+  | Token.SHL -> Some (Ast.Shl, 10)
+  | Token.SHR -> Some (Ast.Shr, 10)
+  | Token.USHR -> Some (Ast.Ushr, 10)
+  | Token.PLUS -> Some (Ast.Add, 11)
+  | Token.MINUS -> Some (Ast.Sub, 11)
+  | Token.STAR -> Some (Ast.Mul, 12)
+  | Token.SLASH -> Some (Ast.Div, 12)
+  | Token.PERCENT -> Some (Ast.Mod, 12)
+  | _ -> None
+
+let compound_op : Token.t -> Ast.binop option = function
+  | Token.PLUS_ASSIGN -> Some Ast.Add
+  | Token.MINUS_ASSIGN -> Some Ast.Sub
+  | Token.STAR_ASSIGN -> Some Ast.Mul
+  | Token.SLASH_ASSIGN -> Some Ast.Div
+  | Token.PERCENT_ASSIGN -> Some Ast.Mod
+  | Token.AMP_ASSIGN -> Some Ast.Bit_and
+  | Token.PIPE_ASSIGN -> Some Ast.Bit_or
+  | Token.CARET_ASSIGN -> Some Ast.Bit_xor
+  | Token.SHL_ASSIGN -> Some Ast.Shl
+  | Token.SHR_ASSIGN -> Some Ast.Shr
+  | _ -> None
+
+let lvalue_of_expr st (e : Ast.expr) : Ast.lvalue =
+  match e with
+  | Ast.Ident x -> Ast.Lvar x
+  | Ast.Index (o, i) -> Ast.Lindex (o, i)
+  | Ast.Member (o, p) -> Ast.Lmember (o, p)
+  | _ -> parse_error (pos st) "invalid assignment target"
+
+let expr_of_lvalue : Ast.lvalue -> Ast.expr = function
+  | Ast.Lvar x -> Ast.Ident x
+  | Ast.Lindex (o, i) -> Ast.Index (o, i)
+  | Ast.Lmember (o, p) -> Ast.Member (o, p)
+
+let incr_expr st target delta ~postfix =
+  let lv = lvalue_of_expr st target in
+  let updated = Ast.Assign (lv, Ast.Binary (Ast.Add, expr_of_lvalue lv, Ast.Number delta)) in
+  if postfix then Ast.Binary (Ast.Sub, updated, Ast.Number delta) else updated
+
+let rec parse_expr st = parse_assignment st
+
+and parse_assignment st =
+  let left = parse_conditional st in
+  match token st with
+  | Token.ASSIGN ->
+    let lv = lvalue_of_expr st left in
+    advance st;
+    Ast.Assign (lv, parse_assignment st)
+  | t ->
+    (match compound_op t with
+    | Some op ->
+      let lv = lvalue_of_expr st left in
+      advance st;
+      let rhs = parse_assignment st in
+      Ast.Assign (lv, Ast.Binary (op, expr_of_lvalue lv, rhs))
+    | None -> left)
+
+and parse_conditional st =
+  let cond = parse_logical_or st in
+  if accept st Token.QUESTION then begin
+    let then_ = parse_assignment st in
+    expect st Token.COLON;
+    let else_ = parse_assignment st in
+    Ast.Conditional (cond, then_, else_)
+  end
+  else cond
+
+and parse_logical_or st =
+  let left = parse_logical_and st in
+  if accept st Token.PIPEPIPE then Ast.Logical (Ast.Or, left, parse_logical_or st) else left
+
+and parse_logical_and st =
+  let left = parse_binary st 5 in
+  if accept st Token.AMPAMP then Ast.Logical (Ast.And, left, parse_logical_and st) else left
+
+and parse_binary st min_prec =
+  let left = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match binop_of_token (token st) with
+    | Some (op, prec) when prec >= min_prec ->
+      advance st;
+      let right = parse_binary st (prec + 1) in
+      left := Ast.Binary (op, !left, right)
+    | Some _ | None -> continue := false
+  done;
+  !left
+
+and parse_unary st =
+  match token st with
+  | Token.MINUS ->
+    advance st;
+    Ast.Unary (Ast.Neg, parse_unary st)
+  | Token.PLUS ->
+    advance st;
+    Ast.Unary (Ast.To_number, parse_unary st)
+  | Token.BANG ->
+    advance st;
+    Ast.Unary (Ast.Not, parse_unary st)
+  | Token.TILDE ->
+    advance st;
+    Ast.Unary (Ast.Bit_not, parse_unary st)
+  | Token.TYPEOF ->
+    advance st;
+    Ast.Unary (Ast.Typeof, parse_unary st)
+  | Token.PLUSPLUS ->
+    advance st;
+    let target = parse_unary st in
+    incr_expr st target 1.0 ~postfix:false
+  | Token.MINUSMINUS ->
+    advance st;
+    let target = parse_unary st in
+    incr_expr st target (-1.0) ~postfix:false
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    match token st with
+    | Token.LPAREN ->
+      advance st;
+      let args = parse_arguments st in
+      e := Ast.Call (!e, args)
+    | Token.DOT ->
+      advance st;
+      e := Ast.Member (!e, expect_ident st)
+    | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.RBRACKET;
+      e := Ast.Index (!e, idx)
+    | Token.PLUSPLUS ->
+      advance st;
+      e := incr_expr st !e 1.0 ~postfix:true
+    | Token.MINUSMINUS ->
+      advance st;
+      e := incr_expr st !e (-1.0) ~postfix:true
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_arguments st =
+  if accept st Token.RPAREN then []
+  else begin
+    let rec loop acc =
+      let arg = parse_expr st in
+      if accept st Token.COMMA then loop (arg :: acc)
+      else begin
+        expect st Token.RPAREN;
+        List.rev (arg :: acc)
+      end
+    in
+    loop []
+  end
+
+and parse_primary st =
+  match token st with
+  | Token.FUNCTION ->
+    (* anonymous function expression; lambda-lifted after parsing *)
+    advance st;
+    expect st Token.LPAREN;
+    let params =
+      if accept st Token.RPAREN then []
+      else begin
+        let rec loop acc =
+          let p = expect_ident st in
+          if accept st Token.COMMA then loop (p :: acc)
+          else begin
+            expect st Token.RPAREN;
+            List.rev (p :: acc)
+          end
+        in
+        loop []
+      end
+    in
+    expect st Token.LBRACE;
+    let body = parse_block_tail st in
+    Ast.Func_expr (params, body)
+  | Token.NUMBER f ->
+    advance st;
+    Ast.Number f
+  | Token.STRING s ->
+    advance st;
+    Ast.String s
+  | Token.TRUE ->
+    advance st;
+    Ast.Bool true
+  | Token.FALSE ->
+    advance st;
+    Ast.Bool false
+  | Token.NULL ->
+    advance st;
+    Ast.Null
+  | Token.UNDEFINED ->
+    advance st;
+    Ast.Undefined
+  | Token.IDENT name ->
+    advance st;
+    Ast.Ident name
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    e
+  | Token.LBRACKET ->
+    advance st;
+    if accept st Token.RBRACKET then Ast.Array_lit []
+    else begin
+      let rec loop acc =
+        let e = parse_expr st in
+        if accept st Token.COMMA then
+          if accept st Token.RBRACKET then List.rev (e :: acc) else loop (e :: acc)
+        else begin
+          expect st Token.RBRACKET;
+          List.rev (e :: acc)
+        end
+      in
+      Ast.Array_lit (loop [])
+    end
+  | Token.LBRACE ->
+    advance st;
+    if accept st Token.RBRACE then Ast.Object_lit []
+    else begin
+      let parse_field () =
+        let key =
+          match token st with
+          | Token.IDENT k ->
+            advance st;
+            k
+          | Token.STRING k ->
+            advance st;
+            k
+          | Token.NUMBER f ->
+            advance st;
+            Printf.sprintf "%g" f
+          | t -> parse_error (pos st) "expected property name, found %s" (Token.describe t)
+        in
+        expect st Token.COLON;
+        let v = parse_expr st in
+        (key, v)
+      in
+      let rec loop acc =
+        let f = parse_field () in
+        if accept st Token.COMMA then
+          if accept st Token.RBRACE then List.rev (f :: acc) else loop (f :: acc)
+        else begin
+          expect st Token.RBRACE;
+          List.rev (f :: acc)
+        end
+      in
+      Ast.Object_lit (loop [])
+    end
+  | t -> parse_error (pos st) "unexpected %s in expression" (Token.describe t)
+
+(* Statements. *)
+
+and parse_stmt st : Ast.stmt =
+  match token st with
+  | Token.VAR -> parse_var st
+  | Token.IF -> parse_if st
+  | Token.WHILE -> parse_while st
+  | Token.FOR -> parse_for st
+  | Token.DO -> parse_do_while st
+  | Token.SWITCH -> parse_switch st
+  | Token.RETURN ->
+    advance st;
+    if accept st Token.SEMI then Ast.Return None
+    else begin
+      let e = parse_expr st in
+      ignore (accept st Token.SEMI);
+      Ast.Return (Some e)
+    end
+  | Token.BREAK ->
+    advance st;
+    ignore (accept st Token.SEMI);
+    Ast.Break
+  | Token.CONTINUE ->
+    advance st;
+    ignore (accept st Token.SEMI);
+    Ast.Continue
+  | Token.LBRACE ->
+    advance st;
+    Ast.Block (parse_block_tail st)
+  | Token.SEMI ->
+    advance st;
+    Ast.Block []
+  | Token.FUNCTION ->
+    parse_error (pos st) "function declarations are only allowed at the top level"
+  | _ ->
+    let e = parse_expr st in
+    ignore (accept st Token.SEMI);
+    Ast.Expr_stmt e
+
+and parse_block_tail st =
+  let rec loop acc =
+    if accept st Token.RBRACE then List.rev acc else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_var st =
+  advance st;
+  let parse_declarator () =
+    let name = expect_ident st in
+    let init = if accept st Token.ASSIGN then Some (parse_assignment st) else None in
+    Ast.Var (name, init)
+  in
+  let rec loop acc =
+    let d = parse_declarator () in
+    if accept st Token.COMMA then loop (d :: acc)
+    else begin
+      ignore (accept st Token.SEMI);
+      List.rev (d :: acc)
+    end
+  in
+  match loop [] with
+  | [ single ] -> single
+  | many -> Ast.Block many
+
+and parse_if st =
+  advance st;
+  expect st Token.LPAREN;
+  let cond = parse_expr st in
+  expect st Token.RPAREN;
+  let then_ = parse_branch st in
+  let else_ = if accept st Token.ELSE then parse_branch st else [] in
+  Ast.If (cond, then_, else_)
+
+and parse_branch st =
+  match parse_stmt st with
+  | Ast.Block body -> body
+  | s -> [ s ]
+
+and parse_while st =
+  advance st;
+  expect st Token.LPAREN;
+  let cond = parse_expr st in
+  expect st Token.RPAREN;
+  Ast.While (cond, parse_branch st)
+
+and parse_for st =
+  advance st;
+  expect st Token.LPAREN;
+  let init =
+    if Token.equal (token st) Token.SEMI then begin
+      advance st;
+      None
+    end
+    else if Token.equal (token st) Token.VAR then Some (parse_var st)
+    else begin
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      Some (Ast.Expr_stmt e)
+    end
+  in
+  let cond =
+    if Token.equal (token st) Token.SEMI then None else Some (parse_expr st)
+  in
+  expect st Token.SEMI;
+  let update =
+    if Token.equal (token st) Token.RPAREN then None else Some (parse_expr st)
+  in
+  expect st Token.RPAREN;
+  Ast.For (init, cond, update, parse_branch st)
+
+(* [do body while (cond);] desugars to
+   [var first = true; while (first || cond) { first = false; body }] —
+   the flag defers the first condition evaluation past the first
+   iteration, and [continue] correctly re-tests the condition. *)
+and parse_do_while st =
+  advance st;
+  let body = parse_branch st in
+  expect st Token.WHILE;
+  expect st Token.LPAREN;
+  let cond = parse_expr st in
+  expect st Token.RPAREN;
+  ignore (accept st Token.SEMI);
+  let flag = fresh_name st "do" in
+  Ast.Block
+    [
+      Ast.Var (flag, Some (Ast.Bool true));
+      Ast.While
+        ( Ast.Logical (Ast.Or, Ast.Ident flag, cond),
+          Ast.Expr_stmt (Ast.Assign (Ast.Lvar flag, Ast.Bool false)) :: body );
+    ]
+
+(* [switch] desugars to an if-chain with fallthrough/matched flags inside
+   a single-iteration loop (so [break] exits the switch). Subset
+   restrictions (checked here): case labels are literals, [default] comes
+   last, and [continue] may not appear directly in a case body. *)
+and parse_switch st =
+  let kw_pos = pos st in
+  advance st;
+  expect st Token.LPAREN;
+  let scrutinee = parse_expr st in
+  expect st Token.RPAREN;
+  expect st Token.LBRACE;
+  let parse_case_body () =
+    let rec loop acc =
+      match token st with
+      | Token.CASE | Token.DEFAULT | Token.RBRACE -> List.rev acc
+      | _ -> loop (parse_stmt st :: acc)
+    in
+    loop []
+  in
+  let rec parse_cases acc =
+    if accept st Token.RBRACE then List.rev acc
+    else if accept st Token.CASE then begin
+      let label = parse_expr st in
+      (match label with
+      | Ast.Number _ | Ast.String _ | Ast.Bool _ -> ()
+      | _ -> parse_error kw_pos "switch case labels must be literals");
+      expect st Token.COLON;
+      parse_cases ((Some label, parse_case_body ()) :: acc)
+    end
+    else if accept st Token.DEFAULT then begin
+      expect st Token.COLON;
+      parse_cases ((None, parse_case_body ()) :: acc)
+    end
+    else parse_error (pos st) "expected case, default or } in switch"
+  in
+  let cases = parse_cases [] in
+  let rec naked_continue = function
+    | Ast.Continue -> true
+    | Ast.If (_, t, e) -> List.exists naked_continue t || List.exists naked_continue e
+    | Ast.Block b -> List.exists naked_continue b
+    | Ast.While _ | Ast.For _ -> false
+    | Ast.Var _ | Ast.Expr_stmt _ | Ast.Return _ | Ast.Break -> false
+  in
+  List.iteri
+    (fun i (label, stmts) ->
+      if List.exists naked_continue stmts then
+        parse_error kw_pos "continue directly inside a switch case is not supported";
+      if label = None && i <> List.length cases - 1 then
+        parse_error kw_pos "default must be the last switch case")
+    cases;
+  let t = fresh_name st "sw" in
+  let fall = fresh_name st "fall" in
+  let matched = fresh_name st "hit" in
+  let once = fresh_name st "once" in
+  let set name v = Ast.Expr_stmt (Ast.Assign (Ast.Lvar name, Ast.Bool v)) in
+  let case_stmts =
+    List.concat_map
+      (fun (label, stmts) ->
+        match label with
+        | Some l ->
+          [
+            Ast.If
+              ( Ast.Binary (Ast.Strict_eq, Ast.Ident t, l),
+                [ set fall true; set matched true ],
+                [] );
+            Ast.If (Ast.Ident fall, stmts, []);
+          ]
+        | None ->
+          [ Ast.If (Ast.Logical (Ast.Or, Ast.Ident fall, Ast.Unary (Ast.Not, Ast.Ident matched)),
+                    stmts, []) ])
+      cases
+  in
+  Ast.Block
+    [
+      Ast.Var (t, Some scrutinee);
+      Ast.Var (fall, Some (Ast.Bool false));
+      Ast.Var (matched, Some (Ast.Bool false));
+      Ast.Var (once, Some (Ast.Bool true));
+      Ast.While (Ast.Ident once, set once false :: case_stmts);
+    ]
+
+let parse_function st : Ast.func =
+  expect st Token.FUNCTION;
+  let name = expect_ident st in
+  expect st Token.LPAREN;
+  let params =
+    if accept st Token.RPAREN then []
+    else begin
+      let rec loop acc =
+        let p = expect_ident st in
+        if accept st Token.COMMA then loop (p :: acc)
+        else begin
+          expect st Token.RPAREN;
+          List.rev (p :: acc)
+        end
+      in
+      loop []
+    end
+  in
+  expect st Token.LBRACE;
+  let body = parse_block_tail st in
+  { Ast.name; params; body }
+
+let parse_program st : Ast.program =
+  let rec loop funcs main =
+    match token st with
+    | Token.EOF -> { Ast.functions = List.rev funcs; main = List.rev main }
+    | Token.FUNCTION -> loop (parse_function st :: funcs) main
+    | _ -> loop funcs (parse_stmt st :: main)
+  in
+  loop [] []
+
+let parse source =
+  let tokens = Array.of_list (Lexer.tokenize source) in
+  Lambda_lift.lift (parse_program { tokens; index = 0; fresh = 0 })
+
+let parse_expression source =
+  let tokens = Array.of_list (Lexer.tokenize source) in
+  let st = { tokens; index = 0; fresh = 0 } in
+  let e = parse_expr st in
+  (match token st with
+  | Token.EOF -> ()
+  | t -> parse_error (pos st) "trailing %s after expression" (Token.describe t));
+  e

@@ -1,0 +1,24 @@
+(** Recursive-descent parser for the mini-JS subset.
+
+    Desugarings performed here (documented because they duplicate side
+    effects of the *target* subexpressions, which the bundled programs avoid):
+    - [x++] / [x--] (postfix) become [(x = x + 1) - 1] / [(x = x - 1) + 1],
+      preserving old-value semantics for numbers;
+    - [++x] / [--x] become [x = x ± 1];
+    - [a op= b] becomes [a = a op b].
+
+    Function declarations are only accepted at the top level; a declaration
+    nested in a statement raises {!Parse_error} (see DESIGN.md §2).
+    Anonymous function expressions are accepted and lambda-lifted to fresh
+    top-level functions (see {!Lambda_lift} — capturing an enclosing local
+    raises {!Lambda_lift.Capture_error}). [do…while] and [switch] are
+    desugared here; switch restrictions: literal case labels, [default]
+    last, no naked [continue] in a case body. *)
+
+exception Parse_error of string * Token.position
+
+(** [parse source] lexes and parses a whole program. *)
+val parse : string -> Ast.program
+
+(** [parse_expression source] parses a single expression (used by tests). *)
+val parse_expression : string -> Ast.expr

@@ -1,0 +1,11 @@
+(** AST → JavaScript source.
+
+    Two modes: [~compact:false] (default) emits indented, readable source;
+    [~compact:true] emits minified source (no layout, minimal separators),
+    which is what the Terser-style "minifying" variant generator prints.
+    Output re-parses to an equal AST (round-trip property, tested). *)
+
+val expr_to_string : ?compact:bool -> Ast.expr -> string
+val stmt_to_string : ?compact:bool -> Ast.stmt -> string
+val func_to_string : ?compact:bool -> Ast.func -> string
+val program_to_string : ?compact:bool -> Ast.program -> string

@@ -1,0 +1,116 @@
+(* Lexical tokens of the mini-JS subset. The lexer attaches a source
+   position to each token; the parser reports errors in terms of it. *)
+
+type position = {
+  line : int;
+  column : int;
+}
+[@@deriving show, eq]
+
+type t =
+  | NUMBER of float
+  | STRING of string
+  | IDENT of string
+  (* keywords *)
+  | VAR
+  | FUNCTION
+  | IF
+  | ELSE
+  | WHILE
+  | FOR
+  | RETURN
+  | BREAK
+  | CONTINUE
+  | DO
+  | SWITCH
+  | CASE
+  | DEFAULT
+  | TRUE
+  | FALSE
+  | NULL
+  | UNDEFINED
+  | TYPEOF
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | COLON
+  | QUESTION
+  | DOT
+  (* operators *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | BANGEQ
+  | EQEQEQ
+  | BANGEQEQ
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | SHL
+  | SHR
+  | USHR
+  | AMPAMP
+  | PIPEPIPE
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | PERCENT_ASSIGN
+  | AMP_ASSIGN
+  | PIPE_ASSIGN
+  | CARET_ASSIGN
+  | SHL_ASSIGN
+  | SHR_ASSIGN
+  | PLUSPLUS
+  | MINUSMINUS
+  | EOF
+[@@deriving show, eq]
+
+type spanned = {
+  token : t;
+  pos : position;
+}
+[@@deriving show, eq]
+
+let keyword_of_string = function
+  | "var" | "let" | "const" -> Some VAR
+  | "function" -> Some FUNCTION
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "while" -> Some WHILE
+  | "for" -> Some FOR
+  | "return" -> Some RETURN
+  | "break" -> Some BREAK
+  | "continue" -> Some CONTINUE
+  | "do" -> Some DO
+  | "switch" -> Some SWITCH
+  | "case" -> Some CASE
+  | "default" -> Some DEFAULT
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | "null" -> Some NULL
+  | "undefined" -> Some UNDEFINED
+  | "typeof" -> Some TYPEOF
+  | _ -> None
+
+let describe = function
+  | NUMBER f -> Printf.sprintf "number %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | t -> show t

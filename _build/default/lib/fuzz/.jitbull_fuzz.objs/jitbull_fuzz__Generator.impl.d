@@ -1,0 +1,1 @@
+lib/fuzz/generator.ml: Buffer List Printf Random String

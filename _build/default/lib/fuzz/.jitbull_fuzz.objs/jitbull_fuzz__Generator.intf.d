@@ -1,0 +1,1 @@
+lib/fuzz/generator.mli:

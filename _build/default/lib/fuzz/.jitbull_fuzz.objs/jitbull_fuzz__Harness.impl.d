@@ -1,0 +1,1 @@
+lib/fuzz/harness.ml: Generator Jitbull_core Jitbull_jit List Oracle Printf

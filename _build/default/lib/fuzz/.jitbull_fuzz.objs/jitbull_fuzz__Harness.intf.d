@@ -1,0 +1,1 @@
+lib/fuzz/harness.mli: Jitbull_core Jitbull_jit Jitbull_passes Oracle

@@ -1,0 +1,1 @@
+lib/fuzz/oracle.ml: Jitbull_bytecode Jitbull_frontend Jitbull_interp Jitbull_jit Jitbull_runtime List String

@@ -1,0 +1,1 @@
+lib/fuzz/oracle.mli: Jitbull_jit

@@ -1,0 +1,162 @@
+(* Program generators. Implementation notes:
+   - generation is pure over a Random.State seeded per call, so a seed
+     identifies a program forever (fuzzing campaigns are replayable);
+   - benign programs use bounded loops, numeric-only hot arithmetic, and
+     in-bounds array accesses, so no guard ever fails (no bailouts, hence
+     no replay-divergence concerns — see DESIGN.md);
+   - aggressive programs deliberately stage the CVE gadget shapes. *)
+
+type g = {
+  rng : Random.State.t;
+  mutable n_vars : int;
+}
+
+let pick g lst = List.nth lst (Random.State.int g.rng (List.length lst))
+
+let fresh g =
+  let v = Printf.sprintf "x%d" g.n_vars in
+  g.n_vars <- g.n_vars + 1;
+  v
+
+(* ---- benign ---- *)
+
+let rec num_expr g vars depth =
+  if depth <= 0 || vars = [] then
+    match Random.State.int g.rng 3 with
+    | 0 -> string_of_int (Random.State.int g.rng 100)
+    | 1 when vars <> [] -> pick g vars
+    | _ -> string_of_int (Random.State.int g.rng 10)
+  else
+    match Random.State.int g.rng 8 with
+    | 0 -> Printf.sprintf "(%s + %s)" (num_expr g vars (depth - 1)) (num_expr g vars (depth - 1))
+    | 1 -> Printf.sprintf "(%s - %s)" (num_expr g vars (depth - 1)) (num_expr g vars (depth - 1))
+    | 2 -> Printf.sprintf "(%s * %s)" (num_expr g vars (depth - 1)) (num_expr g vars (depth - 1))
+    | 3 -> Printf.sprintf "(%s %% 7 + 7)" (num_expr g vars (depth - 1))
+    | 4 -> Printf.sprintf "(%s & 255)" (num_expr g vars (depth - 1))
+    | 5 -> Printf.sprintf "(%s | 1)" (num_expr g vars (depth - 1))
+    | 6 ->
+      Printf.sprintf "(%s < %s ? %s : %s)" (num_expr g vars 0) (num_expr g vars 0)
+        (num_expr g vars (depth - 1)) (num_expr g vars (depth - 1))
+    | _ -> Printf.sprintf "Math.floor(%s / 3)" (num_expr g vars (depth - 1))
+
+let benign_function g idx =
+  let name = Printf.sprintf "fn%d" idx in
+  let params = [ "p0"; "p1" ] in
+  let body = Buffer.create 128 in
+  let vars = ref params in
+  let emit fmt = Printf.ksprintf (fun s -> Buffer.add_string body ("  " ^ s ^ "\n")) fmt in
+  for _ = 1 to 1 + Random.State.int g.rng 3 do
+    let v = fresh g in
+    emit "var %s = %s;" v (num_expr g !vars 2);
+    vars := v :: !vars
+  done;
+  let acc = fresh g in
+  let i = fresh g in
+  emit "var %s = 0;" acc;
+  emit "for (var %s = 0; %s < %d; %s++) {" i i (2 + Random.State.int g.rng 6) i;
+  emit "  %s = (%s + %s) %% 100003;" acc acc (num_expr g (i :: !vars) 2);
+  (match Random.State.int g.rng 4 with
+  | 0 -> emit "  if (%s %% 2 == 0) { %s = %s + 1; } else { %s = %s - 1; }" i acc acc acc acc
+  | 1 -> emit "  if (%s > 50) { continue; }" acc
+  | 2 ->
+    emit "  switch (%s %% 3) { case 0: %s = %s + 2; break; case 1: %s = %s - 1; break; default: %s = %s + 5; }"
+      i acc acc acc acc acc acc
+  | _ -> ());
+  emit "}";
+  if Random.State.bool g.rng then begin
+    let arr = fresh g in
+    emit "var %s = [1, 2, 3, 4, 5];" arr;
+    emit "%s = %s + %s[%s %% 5];" acc acc arr i;
+    emit "%s[(%s + 1) %% 5] = %s;" arr i acc
+  end;
+  emit "return %s;" acc;
+  Printf.sprintf "function %s(%s) {\n%s}\n" name (String.concat ", " params)
+    (Buffer.contents body)
+
+let benign ~seed =
+  let g = { rng = Random.State.make [| seed; 0x6265 |]; n_vars = 0 } in
+  let n_funcs = 1 + Random.State.int g.rng 3 in
+  let buf = Buffer.create 512 in
+  for i = 0 to n_funcs - 1 do
+    Buffer.add_string buf (benign_function g i)
+  done;
+  Buffer.add_string buf "var total = 0;\n";
+  Buffer.add_string buf "for (var round = 0; round < 12; round++) {\n";
+  for i = 0 to n_funcs - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  total = (total + fn%d(round, %d)) %% 1000003;\n" i (i + 3))
+  done;
+  Buffer.add_string buf "}\nprint(total);\n";
+  Buffer.contents buf
+
+(* ---- aggressive ---- *)
+
+(* Gadgets parameterized over sizes and indices; each returns the body of
+   a candidate exploit function [pwn(v, late)]. *)
+let gadget_shrink_between_accesses g =
+  let size = 4 + Random.State.int g.rng 8 in
+  let idx = 1 + Random.State.int g.rng (size - 2) in
+  Printf.sprintf
+    {|  var a = [%s];
+  a[%d] = v;
+  if (late == 1) { a.length = 1; w = [9,9,9,9]; }
+  a[%d] = 1073741824;
+  return 0;
+|}
+    (String.concat "," (List.init size (fun _ -> "0")))
+    idx idx
+
+let gadget_stale_length_loop g =
+  let size = 6 + Random.State.int g.rng 6 in
+  Printf.sprintf
+    {|  var a = [%s];
+  var n = a.length;
+  for (var i = 0; i < n; i++) {
+    if (late == 1) { if (i == 0) { a.length = 1; w = [9,9,9,9]; } }
+    a[i] = 1073741824;
+  }
+  return 0;
+|}
+    (String.concat "," (List.init size (fun j -> string_of_int j)))
+
+let gadget_constant_index g =
+  let size = 4 + Random.State.int g.rng 6 in
+  let idx = 1 + Random.State.int g.rng (size - 2) in
+  Printf.sprintf
+    {|  var b = [%s];
+  if (late == 1) { b.length = 1; w = [9,9,9,9]; }
+  b[%d] = 1073741824;
+  return 0;
+|}
+    (String.concat "," (List.init size (fun _ -> "6")))
+    idx
+
+let gadget_wild_store g =
+  let wild = 500000 + Random.State.int g.rng 4000000 in
+  Printf.sprintf
+    {|  var c = [1,2,3,4];
+  var idx = 1;
+  if (late == 1) { idx = %d; }
+  c[idx] = v;
+  return 0;
+|}
+    wild
+
+let aggressive ~seed =
+  let g = { rng = Random.State.make [| seed; 0xA66E |]; n_vars = 0 } in
+  let body =
+    (pick g
+       [ gadget_shrink_between_accesses; gadget_stale_length_loop; gadget_constant_index;
+         gadget_wild_store ])
+      g
+  in
+  let warm = 40 + Random.State.int g.rng 40 in
+  Printf.sprintf
+    {|function pwn(v, late) {
+%s}
+var w = [0];
+for (var k = 0; k < %d; k++) { pwn(k, 0); }
+pwn(7, 1);
+if (w.length > 100000) { print("PWNED corrupted victim " + w.length); }
+|}
+    body warm

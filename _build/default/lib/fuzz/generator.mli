@@ -1,0 +1,19 @@
+(** Seeded program generators for differential testing and exploit-shape
+    fuzzing (the paper's §IV-A envisions feeding a JIT fuzzer's crashing
+    outputs straight into JITBULL's database; this module is that fuzzer).
+
+    Two profiles:
+    - {!benign}: type-stable, terminating, in-bounds programs. All
+      execution tiers — on {e any} engine configuration, vulnerable or
+      not — must agree on them; used by the differential property tests.
+    - {!aggressive}: composes the memory-unsafe gadget shapes the modeled
+      CVEs exploit (warm typed array accesses, then a shrink between two
+      same-index accesses, stale-length loops, constant-index accesses to
+      literal arrays, stores after helper calls that resize). On a
+      patched engine they are still semantically safe (guards bail out);
+      on a vulnerable engine some of them corrupt the simulated heap —
+      exactly the crashing inputs a fuzzer hands to JITBULL. *)
+
+val benign : seed:int -> string
+
+val aggressive : seed:int -> string

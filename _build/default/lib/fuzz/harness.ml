@@ -1,0 +1,42 @@
+module Engine = Jitbull_jit.Engine
+module Db = Jitbull_core.Db
+
+type finding = {
+  seed : int;
+  source : string;
+  verdict : Oracle.verdict;
+}
+
+type report = {
+  total : int;
+  agreements : int;
+  signals : finding list;
+}
+
+let campaign ~profile ~seeds ?config () =
+  let generate seed =
+    match profile with
+    | `Benign -> Generator.benign ~seed
+    | `Aggressive -> Generator.aggressive ~seed
+  in
+  let total = ref 0 in
+  let agreements = ref 0 in
+  let signals = ref [] in
+  List.iter
+    (fun seed ->
+      incr total;
+      let source = generate seed in
+      let verdict = Oracle.run ?config source in
+      if Oracle.is_exploit_signal verdict then signals := { seed; source; verdict } :: !signals
+      else
+        match verdict with
+        | Oracle.Agree _ -> incr agreements
+        | _ -> ())
+    seeds;
+  { total = !total; agreements = !agreements; signals = List.rev !signals }
+
+let auto_harvest ~vulns ~db findings =
+  List.fold_left
+    (fun acc (f : finding) ->
+      acc + Db.harvest db ~cve:(Printf.sprintf "FUZZ-%d" f.seed) ~vulns f.source)
+    0 findings

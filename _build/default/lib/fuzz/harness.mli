@@ -1,0 +1,34 @@
+(** Fuzzing campaigns, including the paper's §IV-A pipeline: "feed the
+    output of JIT fuzzers directly to [JITBULL's] database — as soon as a
+    crashing code example is detected, JITBULL will be able to
+    automatically prevent similar exploit codes from running". *)
+
+type finding = {
+  seed : int;
+  source : string;
+  verdict : Oracle.verdict;
+}
+
+type report = {
+  total : int;
+  agreements : int;
+  signals : finding list;  (** exploit signals, oldest first *)
+}
+
+(** [campaign ~profile ~seeds ?config ()] runs the generator over [seeds]
+    and classifies each program. [`Benign] programs are expected to agree
+    on any engine; [`Aggressive] programs surface exploit signals when
+    [config] carries active vulnerabilities. *)
+val campaign :
+  profile:[ `Benign | `Aggressive ] ->
+  seeds:int list ->
+  ?config:Jitbull_jit.Engine.config ->
+  unit ->
+  report
+
+(** [auto_harvest ~vulns ~db findings] implements the §IV-A loop: install
+    the DNA of every signal-producing input into [db] (CVE ids are
+    synthesized as ["FUZZ-<seed>"]). Returns the number of DNA entries
+    added. *)
+val auto_harvest :
+  vulns:Jitbull_passes.Vuln_config.t -> db:Jitbull_core.Db.t -> finding list -> int

@@ -1,0 +1,51 @@
+module Engine = Jitbull_jit.Engine
+module Interp = Jitbull_interp.Interp
+module Vm = Jitbull_bytecode.Vm
+module Compiler = Jitbull_bytecode.Compiler
+module Parser = Jitbull_frontend.Parser
+module Errors = Jitbull_runtime.Errors
+
+type verdict =
+  | Agree of string
+  | Mismatch of {
+      interp : string;
+      vm : string;
+      jit : string;
+    }
+  | Crash of string
+  | Shellcode of string
+  | Pwned of string
+  | Runtime_error of string
+
+let is_exploit_signal = function
+  | Crash _ | Shellcode _ | Pwned _ | Mismatch _ -> true
+  | Agree _ | Runtime_error _ -> false
+
+let verdict_summary = function
+  | Agree _ -> "agree"
+  | Mismatch _ -> "MISMATCH"
+  | Crash m -> "CRASH: " ^ m
+  | Shellcode m -> "SHELLCODE: " ^ m
+  | Pwned m -> "PWNED: " ^ m
+  | Runtime_error m -> "runtime error: " ^ m
+
+let has_pwned_line output =
+  String.split_on_char '\n' output
+  |> List.exists (fun l -> String.length l >= 5 && String.sub l 0 5 = "PWNED")
+
+let default_config =
+  { Engine.default_config with Engine.baseline_threshold = 2; ion_threshold = 4 }
+
+let run ?(config = default_config) source =
+  match Interp.run_source source with
+  | exception Errors.Type_error m -> Runtime_error m
+  | { Interp.output = reference; _ } -> (
+    let vm_out = Vm.run_program (Compiler.compile (Parser.parse source)) in
+    match Engine.run_source config source with
+    | exception Errors.Crash m -> Crash m
+    | exception Errors.Shellcode_executed m -> Shellcode m
+    | jit_out, _ ->
+      if has_pwned_line jit_out && not (has_pwned_line reference) then Pwned "exploit marker"
+      else if String.equal reference vm_out && String.equal reference jit_out then
+        Agree reference
+      else Mismatch { interp = reference; vm = vm_out; jit = jit_out })

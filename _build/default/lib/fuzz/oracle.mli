@@ -1,0 +1,26 @@
+(** Differential oracle: run one program on the reference interpreter, the
+    bytecode VM and the tiered JIT, and classify the outcome. *)
+
+type verdict =
+  | Agree of string  (** all tiers printed this *)
+  | Mismatch of {
+      interp : string;
+      vm : string;
+      jit : string;
+    }  (** a miscompilation signal *)
+  | Crash of string  (** JITed code accessed memory outside the heap *)
+  | Shellcode of string  (** the simulated JIT code pointer was hijacked *)
+  | Pwned of string  (** the program itself reported corruption (PWNED line) *)
+  | Runtime_error of string  (** a JS-level error on the reference tier too *)
+
+val is_exploit_signal : verdict -> bool
+(** [Crash], [Shellcode], [Pwned] or [Mismatch] — the outcomes a fuzzing
+    campaign reports (and, per the paper's §IV-A, the inputs whose DNA is
+    worth installing). *)
+
+val verdict_summary : verdict -> string
+
+(** [run ?config source] — [config] defaults to an aggressive-threshold
+    engine with no vulnerabilities (a patched engine). The interpreter and
+    VM tiers always run patched; only the JIT tier uses [config]. *)
+val run : ?config:Jitbull_jit.Engine.config -> string -> verdict

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Hashtbl Jitbull_frontend Jitbull_runtime List Option String

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Jitbull_frontend Jitbull_runtime

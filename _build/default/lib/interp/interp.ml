@@ -1,0 +1,257 @@
+module Ast = Jitbull_frontend.Ast
+module Parser = Jitbull_frontend.Parser
+module Value = Jitbull_runtime.Value
+module Value_ops = Jitbull_runtime.Value_ops
+module Heap = Jitbull_runtime.Heap
+module Realm = Jitbull_runtime.Realm
+module Builtins = Jitbull_runtime.Builtins
+module Errors = Jitbull_runtime.Errors
+
+exception Timeout
+
+type outcome = {
+  result : Value.t;
+  output : string;
+}
+
+(* Non-local control flow inside a function body. *)
+exception Return_exc of Value.t
+exception Break_exc
+exception Continue_exc
+
+type env = {
+  realm : Realm.t;
+  functions : Ast.func array;
+  globals : (string, Value.t) Hashtbl.t;
+  mutable steps : int;
+  max_steps : int;  (* -1 = unbounded *)
+}
+
+let tick env =
+  if env.max_steps >= 0 then begin
+    env.steps <- env.steps + 1;
+    if env.steps > env.max_steps then raise Timeout
+  end
+
+type scope = {
+  locals : (string, Value.t) Hashtbl.t option;  (* None at top level *)
+}
+
+let lookup env scope name =
+  let local =
+    match scope.locals with
+    | Some tbl -> Hashtbl.find_opt tbl name
+    | None -> None
+  in
+  match local with
+  | Some v -> v
+  | None -> (
+    match Hashtbl.find_opt env.globals name with
+    | Some v -> v
+    | None ->
+      if Builtins.is_namespace name then Value.Builtin name
+      else if Builtins.is_global_function name then Value.Builtin name
+      else Errors.type_error "%s is not defined" name)
+
+let assign_var env scope name v =
+  match scope.locals with
+  | Some tbl when Hashtbl.mem tbl name -> Hashtbl.replace tbl name v
+  | Some _ | None -> Hashtbl.replace env.globals name v
+
+let rec eval env scope (e : Ast.expr) : Value.t =
+  tick env;
+  match e with
+  | Ast.Number f -> Value.Number f
+  | Ast.String s -> Value.String s
+  | Ast.Bool b -> Value.Bool b
+  | Ast.Null -> Value.Null
+  | Ast.Undefined -> Value.Undefined
+  | Ast.Ident name -> lookup env scope name
+  | Ast.Array_lit es ->
+    let h = Heap.alloc_array env.realm.Realm.heap ~length:(List.length es) in
+    List.iteri (fun i e -> Heap.set env.realm.Realm.heap h i (eval env scope e)) es;
+    Value.Array h
+  | Ast.Object_lit fields ->
+    let tbl = Hashtbl.create (max 4 (List.length fields)) in
+    List.iter (fun (k, e) -> Hashtbl.replace tbl k (eval env scope e)) fields;
+    Value.Object tbl
+  | Ast.Unary (op, e) -> Value_ops.unary op (eval env scope e)
+  | Ast.Binary (op, a, b) ->
+    let va = eval env scope a in
+    let vb = eval env scope b in
+    Value_ops.binary op va vb
+  | Ast.Logical (Ast.And, a, b) ->
+    let va = eval env scope a in
+    if Value_ops.to_boolean va then eval env scope b else va
+  | Ast.Logical (Ast.Or, a, b) ->
+    let va = eval env scope a in
+    if Value_ops.to_boolean va then va else eval env scope b
+  | Ast.Conditional (c, t, f) ->
+    if Value_ops.to_boolean (eval env scope c) then eval env scope t else eval env scope f
+  | Ast.Assign (lv, rhs) -> (
+    match lv with
+    | Ast.Lvar name ->
+      let v = eval env scope rhs in
+      assign_var env scope name v;
+      v
+    | Ast.Lindex (o, i) ->
+      let recv = eval env scope o in
+      let idx = eval env scope i in
+      let v = eval env scope rhs in
+      (match (recv, Value_ops.to_index idx) with
+      | Value.Array h, Some i -> Heap.set env.realm.Realm.heap h i v
+      | Value.Object tbl, _ -> Hashtbl.replace tbl (Value_ops.to_string idx) v
+      | Value.Array _, None ->
+        Errors.type_error "invalid array index %s" (Value.to_display idx)
+      | recv, _ -> Errors.type_error "cannot index %s" (Value.type_name recv));
+      v
+    | Ast.Lmember (o, name) ->
+      let recv = eval env scope o in
+      let v = eval env scope rhs in
+      Builtins.set_member env.realm recv name v;
+      v)
+  | Ast.Call (callee, args) -> eval_call env scope callee args
+  | Ast.Member (o, name) -> (
+    match o with
+    | Ast.Ident ns when Builtins.is_namespace ns && not (is_shadowed env scope ns) ->
+      Builtins.namespace_member ns name
+    | _ -> Builtins.get_member env.realm (eval env scope o) name)
+  | Ast.Index (o, i) -> (
+    let recv = eval env scope o in
+    let idx = eval env scope i in
+    match (recv, Value_ops.to_index idx) with
+    | Value.Array h, Some i -> Heap.get env.realm.Realm.heap h i
+    | Value.Object tbl, _ -> (
+      match Hashtbl.find_opt tbl (Value_ops.to_string idx) with
+      | Some v -> v
+      | None -> Value.Undefined)
+    | Value.String s, Some i ->
+      if i < String.length s then Value.String (String.make 1 s.[i]) else Value.Undefined
+    | Value.Array _, None -> Value.Undefined
+    | recv, _ -> Errors.type_error "cannot index %s" (Value.type_name recv))
+  | Ast.Func_expr _ ->
+    (* the parser lambda-lifts all function expressions *)
+    Errors.type_error "internal error: unlifted function expression"
+
+and is_shadowed env scope name =
+  (match scope.locals with Some tbl -> Hashtbl.mem tbl name | None -> false)
+  || Hashtbl.mem env.globals name
+
+and eval_call env scope callee args =
+  match callee with
+  | Ast.Member (Ast.Ident ns, fn) when Builtins.is_namespace ns && not (is_shadowed env scope ns)
+    ->
+    let vargs = List.map (eval env scope) args in
+    Builtins.call_namespace env.realm ns fn vargs
+  | Ast.Member (o, name) -> (
+    let recv = eval env scope o in
+    let vargs = List.map (eval env scope) args in
+    match Builtins.call_method env.realm recv name vargs with
+    | `Value v -> v
+    | `User_function (idx, vargs) -> call_function env idx vargs)
+  | _ -> (
+    let f = eval env scope callee in
+    let vargs = List.map (eval env scope) args in
+    match f with
+    | Value.Function idx -> call_function env idx vargs
+    | Value.Builtin name -> Builtins.call_builtin env.realm name vargs
+    | v -> Errors.type_error "%s is not a function" (Value.type_name v))
+
+and call_function env idx vargs =
+  let f = env.functions.(idx) in
+  let locals = Hashtbl.create 16 in
+  List.iteri
+    (fun i p ->
+      let v = match List.nth_opt vargs i with Some v -> v | None -> Value.Undefined in
+      Hashtbl.replace locals p v)
+    f.Ast.params;
+  List.iter
+    (fun x -> if not (Hashtbl.mem locals x) then Hashtbl.replace locals x Value.Undefined)
+    (Ast.declared_vars f.Ast.body);
+  let scope = { locals = Some locals } in
+  try
+    exec_stmts env scope f.Ast.body;
+    Value.Undefined
+  with Return_exc v -> v
+
+and exec_stmts env scope stmts = List.iter (exec_stmt env scope) stmts
+
+and exec_stmt env scope (s : Ast.stmt) : unit =
+  tick env;
+  match s with
+  | Ast.Var (name, init) -> (
+    match init with
+    | Some e ->
+      let v = eval env scope e in
+      (* a hoisted local exists already; at top level this creates a
+         global *)
+      (match scope.locals with
+      | Some tbl -> Hashtbl.replace tbl name v
+      | None -> Hashtbl.replace env.globals name v)
+    | None -> (
+      (* [var x;] without initializer: declaration only — it must not
+         reset a value assigned before the (hoisted) declaration *)
+      match scope.locals with
+      | Some _ -> ()
+      | None ->
+        if not (Hashtbl.mem env.globals name) then
+          Hashtbl.replace env.globals name Value.Undefined))
+  | Ast.Expr_stmt e -> ignore (eval env scope e)
+  | Ast.If (c, t, f) ->
+    if Value_ops.to_boolean (eval env scope c) then exec_stmts env scope t
+    else exec_stmts env scope f
+  | Ast.While (c, body) ->
+    let rec loop () =
+      if Value_ops.to_boolean (eval env scope c) then begin
+        (try exec_stmts env scope body with Continue_exc -> ());
+        loop ()
+      end
+    in
+    (try loop () with Break_exc -> ())
+  | Ast.For (init, cond, update, body) ->
+    Option.iter (exec_stmt env scope) init;
+    let continue_cond () =
+      match cond with
+      | Some c -> Value_ops.to_boolean (eval env scope c)
+      | None -> true
+    in
+    let rec loop () =
+      if continue_cond () then begin
+        (try exec_stmts env scope body with Continue_exc -> ());
+        Option.iter (fun u -> ignore (eval env scope u)) update;
+        loop ()
+      end
+    in
+    (try loop () with Break_exc -> ())
+  | Ast.Return e ->
+    let v = match e with Some e -> eval env scope e | None -> Value.Undefined in
+    raise (Return_exc v)
+  | Ast.Break -> raise Break_exc
+  | Ast.Continue -> raise Continue_exc
+  | Ast.Block body -> exec_stmts env scope body
+
+let run ?realm ?(max_steps = -1) (program : Ast.program) =
+  let realm = match realm with Some r -> r | None -> Realm.create () in
+  let env =
+    {
+      realm;
+      functions = Array.of_list program.Ast.functions;
+      globals = Hashtbl.create 64;
+      steps = 0;
+      max_steps;
+    }
+  in
+  List.iteri
+    (fun i (f : Ast.func) -> Hashtbl.replace env.globals f.Ast.name (Value.Function i))
+    program.Ast.functions;
+  let scope = { locals = None } in
+  let last = ref Value.Undefined in
+  List.iter
+    (fun s ->
+      match s with
+      | Ast.Expr_stmt e -> last := eval env scope e
+      | s -> exec_stmt env scope s)
+    program.Ast.main;
+  { result = !last; output = Realm.output realm }
+
+let run_source ?realm ?max_steps source = run ?realm ?max_steps (Parser.parse source)

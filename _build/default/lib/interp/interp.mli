@@ -1,0 +1,32 @@
+(** Reference tree-walking interpreter.
+
+    This tier exists as the semantic oracle: the bytecode VM and the JIT
+    (at every optimization level) must observably agree with it, which the
+    property-based differential tests enforce. It is deliberately simple
+    and never performs the unchecked heap accesses JITed code does.
+
+    Scoping: [var]s are hoisted to function entry; assignment to an
+    undeclared name creates/updates a global, as in sloppy-mode JS.
+    Reading a never-defined variable raises {!Jitbull_runtime.Errors.Type_error}. *)
+
+exception Timeout
+
+type outcome = {
+  result : Jitbull_runtime.Value.t;  (** value of the last top-level expression statement *)
+  output : string;  (** everything [print]ed *)
+}
+
+(** [run ?realm ?max_steps program] executes a parsed program. [max_steps]
+    bounds the number of statement/expression evaluations (default: no
+    bound) and raises {!Timeout} when exceeded — used to keep generated
+    differential-test programs finite. A fresh deterministic realm is
+    created when none is supplied. *)
+val run :
+  ?realm:Jitbull_runtime.Realm.t ->
+  ?max_steps:int ->
+  Jitbull_frontend.Ast.program ->
+  outcome
+
+(** [run_source ?realm ?max_steps source] parses then runs. *)
+val run_source :
+  ?realm:Jitbull_runtime.Realm.t -> ?max_steps:int -> string -> outcome

@@ -1,0 +1,1 @@
+lib/jit/engine.ml: Array Hashtbl Jitbull_bytecode Jitbull_frontend Jitbull_lir Jitbull_mir Jitbull_passes Jitbull_runtime List Logs String

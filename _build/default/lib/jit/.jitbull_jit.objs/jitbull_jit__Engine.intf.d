@@ -1,0 +1,1 @@
+lib/jit/engine.mli: Jitbull_bytecode Jitbull_mir Jitbull_passes Jitbull_runtime

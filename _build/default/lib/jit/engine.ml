@@ -1,0 +1,289 @@
+module Value = Jitbull_runtime.Value
+module Realm = Jitbull_runtime.Realm
+module Heap = Jitbull_runtime.Heap
+module Vm = Jitbull_bytecode.Vm
+module Op = Jitbull_bytecode.Op
+module Compiler = Jitbull_bytecode.Compiler
+module Parser = Jitbull_frontend.Parser
+module Builder = Jitbull_mir.Builder
+module Snapshot = Jitbull_mir.Snapshot
+module Pipeline = Jitbull_passes.Pipeline
+module Vuln_config = Jitbull_passes.Vuln_config
+module Lir = Jitbull_lir.Lir
+module Lower = Jitbull_lir.Lower
+module Regalloc = Jitbull_lir.Regalloc
+module Executor = Jitbull_lir.Executor
+
+let log_src = Logs.Src.create "jitbull.engine" ~doc:"JIT engine tier-up and policy events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type decision =
+  | Allow
+  | Disable_passes of string list
+  | Forbid_jit
+
+type analyzer =
+  func_index:int -> name:string -> trace:(string * Snapshot.t) list -> decision
+
+type config = {
+  baseline_threshold : int;
+  ion_threshold : int;
+  vulns : Vuln_config.t;
+  analyzer : analyzer option;
+  verify_passes : bool;
+  max_bailouts : int;
+  jit_enabled : bool;
+}
+
+let default_config =
+  {
+    baseline_threshold = 8;
+    ion_threshold = 32;
+    vulns = Vuln_config.none;
+    analyzer = None;
+    verify_passes = false;
+    max_bailouts = 8;
+    jit_enabled = true;
+  }
+
+type stats = {
+  mutable nr_jit : int;
+  mutable nr_disjit : int;
+  mutable nr_nojit : int;
+  mutable baseline_compiles : int;
+  mutable ion_compiles : int;
+  mutable bailouts : int;
+  mutable deopts : int;
+  mutable peephole_removed : int;  (* LIR instructions deleted post-regalloc *)
+}
+
+type tier =
+  | Interpreted
+  | Baseline
+  | Ion
+  | Blacklisted
+
+type t = {
+  vm : Vm.t;
+  config : config;
+  stats : stats;
+  tiers : tier array;
+  bailout_counts : int array;
+  (* globals assigned anywhere by [store_global] bytecode: a function name
+     in this set may be rebound at runtime, so it must not be inlined *)
+  reassigned_globals : (string, unit) Hashtbl.t;
+  mutable sentinel_installed : bool;
+}
+
+let compute_reassigned (program : Op.program) =
+  let tbl = Hashtbl.create 16 in
+  let scan (f : Op.func) =
+    Array.iter
+      (function
+        | Op.Store_global name -> Hashtbl.replace tbl name ()
+        | _ -> ())
+      f.Op.code
+  in
+  Array.iter scan program.Op.funcs;
+  scan program.Op.main;
+  tbl
+
+let vm t = t.vm
+let stats t = t.stats
+let realm t = t.vm.Vm.realm
+
+(* ---- compilation ---- *)
+
+let executor_callbacks t : Executor.callbacks =
+  {
+    Executor.call_function = (fun idx args -> Vm.call_function t.vm idx args);
+    lookup_global = (fun name -> Vm.load_global t.vm name);
+    store_global = (fun name v -> Vm.store_global t.vm name v);
+    declare_global = (fun name -> Vm.declare_global t.vm name);
+  }
+
+(* Inline resolver: name → freshly built callee MIR, for names statically
+   bound to a function and never reassigned. The callee MIR uses the
+   callee's own warm feedback. *)
+let inline_resolver t ~caller_idx : string -> Jitbull_mir.Mir.t option =
+ fun name ->
+  if Hashtbl.mem t.reassigned_globals name then None
+  else
+    match Hashtbl.find_opt t.vm.Vm.globals name with
+    | Some (Value.Function idx) when idx <> caller_idx ->
+      let func = t.vm.Vm.program.Op.funcs.(idx) in
+      Some (Builder.build func ~feedback_row:t.vm.Vm.feedback.(idx))
+    | _ -> None
+
+let compile_lir t idx ~optimize ~disabled =
+  let func = t.vm.Vm.program.Op.funcs.(idx) in
+  let feedback_row =
+    if optimize then t.vm.Vm.feedback.(idx)
+    else
+      (* the baseline tier does not speculate: like Baseline's inline
+         caches it handles every type dynamically, so it can never bail
+         out. Only Ion consumes type feedback. *)
+      Array.init
+        (Array.length t.vm.Vm.feedback.(idx))
+        (fun _ -> Jitbull_bytecode.Feedback.fresh_site ())
+  in
+  let g = Builder.build func ~feedback_row in
+  (if optimize then
+     (* no snapshots: either no analyzer is installed (the paper's
+        zero-overhead empty-DB case) or this is the post-verdict
+        recompilation, which is not re-analyzed *)
+     Pipeline.run_quiet t.config.vulns
+       ~inline_resolver:(inline_resolver t ~caller_idx:idx)
+       ~disabled ~verify:t.config.verify_passes g
+   else begin
+     (* baseline: only the mandatory structural passes, no optimization *)
+     let ctx = Jitbull_passes.Pass.make_ctx t.config.vulns in
+     let split = Jitbull_passes.Split_critical_edges.pass in
+     split.Jitbull_passes.Pass.run ctx g;
+     Jitbull_mir.Mir.renumber g
+   end);
+  let lir = Lower.lower g in
+  Regalloc.allocate lir;
+  t.stats.peephole_removed <- t.stats.peephole_removed + Jitbull_lir.Peephole.run lir;
+  lir
+
+(* The traced optimizing compile: builds MIR, runs the pipeline collecting
+   snapshots, returns both. *)
+let compile_traced t idx ~disabled =
+  let func = t.vm.Vm.program.Op.funcs.(idx) in
+  let feedback_row = t.vm.Vm.feedback.(idx) in
+  let g = Builder.build func ~feedback_row in
+  let trace =
+    Pipeline.run t.config.vulns
+      ~inline_resolver:(inline_resolver t ~caller_idx:idx)
+      ~disabled ~verify:t.config.verify_passes g
+  in
+  let lir = Lower.lower g in
+  Regalloc.allocate lir;
+  t.stats.peephole_removed <- t.stats.peephole_removed + Jitbull_lir.Peephole.run lir;
+  (lir, trace)
+
+let install t idx (lir : Lir.func) =
+  let cb = executor_callbacks t in
+  let realm = t.vm.Vm.realm in
+  let entry args =
+    try Executor.run lir realm cb args
+    with Lir.Bailout reason ->
+      Log.debug (fun m -> m "bailout in %s: %s" lir.Lir.name reason);
+      t.stats.bailouts <- t.stats.bailouts + 1;
+      t.bailout_counts.(idx) <- t.bailout_counts.(idx) + 1;
+      if t.bailout_counts.(idx) > t.config.max_bailouts then begin
+        (* deoptimize for good: drop the compiled code *)
+        Log.info (fun m -> m "deopt: blacklisting %s after %d bailouts" lir.Lir.name
+                     t.bailout_counts.(idx));
+        t.vm.Vm.dispatch.(idx) <- None;
+        t.tiers.(idx) <- Blacklisted;
+        t.stats.deopts <- t.stats.deopts + 1
+      end;
+      (* replay from function entry in the interpreter tier *)
+      Vm.interpret t.vm ~func_index:idx t.vm.Vm.program.Op.funcs.(idx) args
+  in
+  t.vm.Vm.dispatch.(idx) <- Some entry
+
+let ensure_sentinel t =
+  if not t.sentinel_installed then begin
+    ignore (Heap.alloc_sentinel t.vm.Vm.realm.Realm.heap);
+    t.sentinel_installed <- true
+  end
+
+let ion_compile t idx =
+  ensure_sentinel t;
+  t.stats.nr_jit <- t.stats.nr_jit + 1;
+  t.stats.ion_compiles <- t.stats.ion_compiles + 1;
+  Log.debug (fun m ->
+      m "ion-compiling %s (invocations reached %d)"
+        t.vm.Vm.program.Op.funcs.(idx).Op.name t.config.ion_threshold);
+  match t.config.analyzer with
+  | None ->
+    let lir = compile_lir t idx ~optimize:true ~disabled:[] in
+    install t idx lir;
+    t.tiers.(idx) <- Ion
+  | Some analyze -> (
+    let name = t.vm.Vm.program.Op.funcs.(idx).Op.name in
+    let lir, trace = compile_traced t idx ~disabled:[] in
+    match analyze ~func_index:idx ~name ~trace with
+    | Allow ->
+      install t idx lir;
+      t.tiers.(idx) <- Ion
+    | Disable_passes passes when List.for_all Pipeline.can_disable passes ->
+      Log.info (fun m ->
+          m "JITBULL: recompiling %s without dangerous passes [%s]" name
+            (String.concat ", " passes));
+      t.stats.ion_compiles <- t.stats.ion_compiles + 1;
+      t.stats.nr_disjit <- t.stats.nr_disjit + 1;
+      let lir = compile_lir t idx ~optimize:true ~disabled:passes in
+      install t idx lir;
+      t.tiers.(idx) <- Ion
+    | Disable_passes passes ->
+      (* scenario 3: a mandatory pass matched — no JIT for this function *)
+      Log.info (fun m ->
+          m "JITBULL: mandatory pass among [%s] matched — no JIT for %s"
+            (String.concat ", " passes) name);
+      t.stats.nr_nojit <- t.stats.nr_nojit + 1;
+      t.vm.Vm.dispatch.(idx) <- None;
+      t.tiers.(idx) <- Blacklisted
+    | Forbid_jit ->
+      Log.info (fun m -> m "JITBULL: JIT forbidden for %s" name);
+      t.stats.nr_nojit <- t.stats.nr_nojit + 1;
+      t.vm.Vm.dispatch.(idx) <- None;
+      t.tiers.(idx) <- Blacklisted)
+
+let baseline_compile t idx =
+  ensure_sentinel t;
+  Log.debug (fun m -> m "baseline-compiling %s" t.vm.Vm.program.Op.funcs.(idx).Op.name);
+  t.stats.baseline_compiles <- t.stats.baseline_compiles + 1;
+  let lir = compile_lir t idx ~optimize:false ~disabled:[] in
+  install t idx lir;
+  t.tiers.(idx) <- Baseline
+
+let on_invoke t (_vm : Vm.t) idx count =
+  if t.config.jit_enabled then begin
+    match t.tiers.(idx) with
+    | Blacklisted | Ion -> ()
+    | Interpreted ->
+      if count >= t.config.ion_threshold then ion_compile t idx
+      else if count >= t.config.baseline_threshold then baseline_compile t idx
+    | Baseline -> if count >= t.config.ion_threshold then ion_compile t idx
+  end
+
+let create ?realm config (program : Op.program) =
+  let vm = Vm.create ?realm program in
+  let n = Array.length program.Op.funcs in
+  let t =
+    {
+      vm;
+      config;
+      stats =
+        {
+          nr_jit = 0;
+          nr_disjit = 0;
+          nr_nojit = 0;
+          baseline_compiles = 0;
+          ion_compiles = 0;
+          bailouts = 0;
+          deopts = 0;
+          peephole_removed = 0;
+        };
+      tiers = Array.make n Interpreted;
+      bailout_counts = Array.make n 0;
+      reassigned_globals = compute_reassigned program;
+      sentinel_installed = false;
+    }
+  in
+  vm.Vm.on_invoke <- Some (fun vm idx count -> on_invoke t vm idx count);
+  t
+
+let run t = Vm.run t.vm
+
+let run_source ?realm config source =
+  let program = Parser.parse source in
+  let bc = Compiler.compile program in
+  let t = create ?realm config bc in
+  let out = run t in
+  (out, t)

@@ -1,0 +1,78 @@
+(** The tiered execution engine: interpreter → baseline JIT → optimizing
+    (Ion-like) JIT, mirroring Fig. 1 of the paper.
+
+    - After [baseline_threshold] invocations (paper: 100; scaled default 8)
+      a function is compiled without optimization (MIR built from feedback,
+      mandatory passes only, lowered and register-allocated).
+    - After [ion_threshold] invocations (paper: 1500; scaled default 32)
+      the full 18-pass pipeline runs. If a JITBULL [analyzer] is installed,
+      the per-pass IR snapshots are handed to it and its verdict drives the
+      paper's go/no-go policy: [Allow] installs the code; [Disable_passes]
+      triggers one recompilation with those passes off (the paper's
+      [Recompile] flag) when all are disableable, else the function is
+      blacklisted; [Forbid_jit] blacklists directly (no-JIT for that
+      function only).
+    - A failed guard raises a bailout; the engine re-executes the call in
+      the interpreter tier and blacklists the function after
+      [max_bailouts] (replay-from-entry deoptimization; see DESIGN.md for
+      the fidelity note).
+
+    The heap sentinel standing in for JIT code pointers is installed when
+    the first function is JIT-compiled; the VM checks it on every transfer
+    to compiled code. *)
+
+module Value = Jitbull_runtime.Value
+
+type decision =
+  | Allow
+  | Disable_passes of string list
+  | Forbid_jit
+
+type analyzer =
+  func_index:int ->
+  name:string ->
+  trace:(string * Jitbull_mir.Snapshot.t) list ->
+  decision
+
+type config = {
+  baseline_threshold : int;
+  ion_threshold : int;
+  vulns : Jitbull_passes.Vuln_config.t;
+  analyzer : analyzer option;
+  verify_passes : bool;  (** run the MIR verifier after every pass *)
+  max_bailouts : int;
+  jit_enabled : bool;  (** [false] = the paper's "NoJIT" configuration *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable nr_jit : int;  (** functions Ion-compiled (paper's Nr_JIT) *)
+  mutable nr_disjit : int;  (** … with ≥1 pass disabled (Nr_DisJIT) *)
+  mutable nr_nojit : int;  (** … forbidden from JIT (Nr_NoJIT) *)
+  mutable baseline_compiles : int;
+  mutable ion_compiles : int;  (** including recompilations *)
+  mutable bailouts : int;
+  mutable deopts : int;  (** functions blacklisted after repeated bailouts *)
+  mutable peephole_removed : int;
+      (** LIR instructions deleted by the post-allocation peephole *)
+}
+
+type t
+
+val create : ?realm:Jitbull_runtime.Realm.t -> config -> Jitbull_bytecode.Op.program -> t
+
+val vm : t -> Jitbull_bytecode.Vm.t
+
+val stats : t -> stats
+
+val realm : t -> Jitbull_runtime.Realm.t
+
+(** [run t] executes the program's top level and returns everything
+    printed. *)
+val run : t -> string
+
+(** [run_source ?realm config source] — parse, compile, create, run;
+    returns the output and the engine for inspection. *)
+val run_source :
+  ?realm:Jitbull_runtime.Realm.t -> config -> string -> string * t

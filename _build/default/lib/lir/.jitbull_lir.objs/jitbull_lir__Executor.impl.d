@@ -1,0 +1,1 @@
+lib/lir/executor.ml: Array Float Format Hashtbl Jitbull_frontend Jitbull_mir Jitbull_runtime Lir String

@@ -1,0 +1,1 @@
+lib/lir/executor.mli: Jitbull_runtime Lir

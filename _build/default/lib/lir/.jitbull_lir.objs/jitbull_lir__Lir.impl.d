@@ -1,0 +1,1 @@
+lib/lir/lir.ml: Array Buffer Jitbull_mir Jitbull_runtime Printf

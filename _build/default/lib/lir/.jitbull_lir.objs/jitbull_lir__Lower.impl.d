@@ -1,0 +1,1 @@
+lib/lir/lower.ml: Array Format Hashtbl Jitbull_mir Jitbull_runtime Lir List

@@ -1,0 +1,1 @@
+lib/lir/peephole.ml: Array Fun Lir

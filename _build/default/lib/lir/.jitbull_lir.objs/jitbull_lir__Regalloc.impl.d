@@ -1,0 +1,1 @@
+lib/lir/regalloc.ml: Array Int Lir List Queue Set

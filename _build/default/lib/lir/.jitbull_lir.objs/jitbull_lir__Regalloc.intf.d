@@ -1,0 +1,1 @@
+lib/lir/regalloc.mli: Lir

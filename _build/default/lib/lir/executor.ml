@@ -1,0 +1,209 @@
+module Value = Jitbull_runtime.Value
+module Value_ops = Jitbull_runtime.Value_ops
+module Heap = Jitbull_runtime.Heap
+module Realm = Jitbull_runtime.Realm
+module Builtins = Jitbull_runtime.Builtins
+module Errors = Jitbull_runtime.Errors
+module Mir = Jitbull_mir.Mir
+module Ast = Jitbull_frontend.Ast
+
+type callbacks = {
+  call_function : int -> Value.t list -> Value.t;
+  lookup_global : string -> Value.t;
+  store_global : string -> Value.t -> unit;
+  declare_global : string -> unit;
+}
+
+(* The raw reinterpretation a removed unbox guard exposes: machine code
+   that expected a double reads whatever bits are in the register. Arrays
+   leak their elements base address — the classic type-confusion
+   info-leak. *)
+let raw_number (realm : Realm.t) (v : Value.t) =
+  match v with
+  | Value.Number f -> f
+  | Value.Bool true -> 1.0
+  | Value.Bool false -> 0.0
+  | Value.Array h -> float_of_int (Heap.base_addr realm.Realm.heap h + 2)
+  | Value.String s -> float_of_int (String.length s)
+  | Value.Null | Value.Undefined -> 0.0
+  | Value.Object _ | Value.Function _ | Value.Builtin _ -> Float.nan
+
+let bailout fmt = Format.kasprintf (fun s -> raise (Lir.Bailout s)) fmt
+
+let ast_of_num_binop : Mir.num_binop -> Ast.binop = function
+  | Mir.NSub -> Ast.Sub
+  | Mir.NMul -> Ast.Mul
+  | Mir.NDiv -> Ast.Div
+  | Mir.NMod -> Ast.Mod
+  | Mir.NBit_and -> Ast.Bit_and
+  | Mir.NBit_or -> Ast.Bit_or
+  | Mir.NBit_xor -> Ast.Bit_xor
+  | Mir.NShl -> Ast.Shl
+  | Mir.NShr -> Ast.Shr
+  | Mir.NUshr -> Ast.Ushr
+
+let ast_of_compare : Mir.compare_op -> Ast.binop = function
+  | Mir.CLt -> Ast.Lt
+  | Mir.CLe -> Ast.Le
+  | Mir.CGt -> Ast.Gt
+  | Mir.CGe -> Ast.Ge
+  | Mir.CEq -> Ast.Eq
+  | Mir.CNeq -> Ast.Neq
+  | Mir.CStrict_eq -> Ast.Strict_eq
+  | Mir.CStrict_neq -> Ast.Strict_neq
+
+(* An element handle: the result of [Kelements]. We model the elements
+   pointer as the array handle; reallocation safety is therefore the
+   heap's concern, matching the paper's focus on length (not pointer)
+   staleness. A removed [guard_array] cannot occur (guards with uses are
+   never dropped), so [Kelements] always sees an array. *)
+
+let run (f : Lir.func) (realm : Realm.t) (cb : callbacks) (args : Value.t list) : Value.t =
+  let regs = Array.make (max f.Lir.n_regs 1) Value.Undefined in
+  let heap = realm.Realm.heap in
+  let args = Array.of_list args in
+  let code = f.Lir.code in
+  let set d v = if d >= 0 then regs.(d) <- v in
+  let pc = ref 0 in
+  let result = ref None in
+  while !result = None do
+    let i = code.(!pc) in
+    incr pc;
+    match i.Lir.kind with
+    | Lir.Kconst -> set i.Lir.dst f.Lir.consts.(i.Lir.imm)
+    | Lir.Kparam ->
+      set i.Lir.dst (if i.Lir.imm < Array.length args then args.(i.Lir.imm) else Value.Undefined)
+    | Lir.Kmove -> set i.Lir.dst regs.(i.Lir.a)
+    | Lir.Kunbox_number -> (
+      match regs.(i.Lir.a) with
+      | Value.Number _ as v -> set i.Lir.dst v
+      | v -> bailout "unbox_number: %s" (Value.type_name v))
+    | Lir.Kunbox_int32 -> (
+      match regs.(i.Lir.a) with
+      | Value.Number n as v when Float.is_integer n && Float.abs n <= 2147483648.0 ->
+        set i.Lir.dst v
+      | v -> bailout "unbox_int32: %s" (Value.to_display v))
+    | Lir.Kguard_array -> (
+      match regs.(i.Lir.a) with
+      | Value.Array _ as v -> set i.Lir.dst v
+      | v -> bailout "guard_array: %s" (Value.type_name v))
+    | Lir.Kbounds_check ->
+      let idx = raw_number realm regs.(i.Lir.a) in
+      let len = raw_number realm regs.(i.Lir.b) in
+      if idx < 0.0 || idx >= len then bailout "bounds_check: %g >= %g" idx len
+      else set i.Lir.dst regs.(i.Lir.a)
+    | Lir.Kadd -> set i.Lir.dst (Value_ops.binary Ast.Add regs.(i.Lir.a) regs.(i.Lir.b))
+    | Lir.Kbin nop ->
+      (* operands were unbox-guarded at compile time; if the guard was
+         (wrongly) removed this reinterprets raw values *)
+      let x = raw_number realm regs.(i.Lir.a) in
+      let y = raw_number realm regs.(i.Lir.b) in
+      set i.Lir.dst
+        (Value_ops.binary (ast_of_num_binop nop) (Value.Number x) (Value.Number y))
+    | Lir.Kcompare cop ->
+      set i.Lir.dst (Value_ops.binary (ast_of_compare cop) regs.(i.Lir.a) regs.(i.Lir.b))
+    | Lir.Knegate -> set i.Lir.dst (Value.Number (-.raw_number realm regs.(i.Lir.a)))
+    | Lir.Kbitnot ->
+      set i.Lir.dst (Value_ops.unary Ast.Bit_not (Value.Number (raw_number realm regs.(i.Lir.a))))
+    | Lir.Knot -> set i.Lir.dst (Value.Bool (not (Value_ops.to_boolean regs.(i.Lir.a))))
+    | Lir.Ktypeof -> set i.Lir.dst (Value.String (Value.type_name regs.(i.Lir.a)))
+    | Lir.Ktonumber -> set i.Lir.dst (Value.Number (Value_ops.to_number regs.(i.Lir.a)))
+    | Lir.Knew_array -> set i.Lir.dst (Value.Array (Heap.alloc_array heap ~length:i.Lir.imm))
+    | Lir.Knew_object ->
+      let tbl = Hashtbl.create 8 in
+      set i.Lir.dst (Value.Object tbl)
+    | Lir.Kelements -> (
+      match regs.(i.Lir.a) with
+      | Value.Array h -> set i.Lir.dst (Value.Array h)
+      | v ->
+        (* only reachable through a type-confused register *)
+        set i.Lir.dst (Value.Array (int_of_float (raw_number realm v))))
+    | Lir.Kinit_length -> (
+      match regs.(i.Lir.a) with
+      | Value.Array h -> set i.Lir.dst (Value.Number (float_of_int (Heap.length heap h)))
+      | v -> bailout "init_length: %s" (Value.type_name v))
+    | Lir.Kload_element -> (
+      match regs.(i.Lir.a) with
+      | Value.Array h ->
+        let idx = int_of_float (raw_number realm regs.(i.Lir.b)) in
+        set i.Lir.dst (Heap.get_unchecked heap h idx)
+      | v -> bailout "load_element: %s" (Value.type_name v))
+    | Lir.Kstore_element -> (
+      match regs.(i.Lir.a) with
+      | Value.Array h ->
+        let idx = int_of_float (raw_number realm regs.(i.Lir.b)) in
+        Heap.set_unchecked heap h idx regs.(i.Lir.c)
+      | v -> bailout "store_element: %s" (Value.type_name v))
+    | Lir.Karray_length -> (
+      match regs.(i.Lir.a) with
+      | Value.Array h -> set i.Lir.dst (Value.Number (float_of_int (Heap.length heap h)))
+      | v -> bailout "array_length: %s" (Value.type_name v))
+    | Lir.Kset_array_length -> (
+      match regs.(i.Lir.a) with
+      | Value.Array h ->
+        Heap.set_length heap h (int_of_float (raw_number realm regs.(i.Lir.b)))
+      | v -> bailout "set_array_length: %s" (Value.type_name v))
+    | Lir.Karray_push -> (
+      match regs.(i.Lir.a) with
+      | Value.Array h ->
+        Heap.push heap h regs.(i.Lir.b);
+        set i.Lir.dst (Value.Number (float_of_int (Heap.length heap h)))
+      | v -> bailout "array_push: %s" (Value.type_name v))
+    | Lir.Karray_pop -> (
+      match regs.(i.Lir.a) with
+      | Value.Array h -> set i.Lir.dst (Heap.pop heap h)
+      | v -> bailout "array_pop: %s" (Value.type_name v))
+    | Lir.Kget_prop -> set i.Lir.dst (Builtins.get_member realm regs.(i.Lir.a) f.Lir.names.(i.Lir.imm))
+    | Lir.Kset_prop -> Builtins.set_member realm regs.(i.Lir.a) f.Lir.names.(i.Lir.imm) regs.(i.Lir.b)
+    | Lir.Kget_index_gen -> (
+      let recv = regs.(i.Lir.a) in
+      let idx = regs.(i.Lir.b) in
+      match (recv, Value_ops.to_index idx) with
+      | Value.Array h, Some k -> set i.Lir.dst (Heap.get heap h k)
+      | Value.Object tbl, _ ->
+        set i.Lir.dst
+          (match Hashtbl.find_opt tbl (Value_ops.to_string idx) with
+          | Some v -> v
+          | None -> Value.Undefined)
+      | Value.String s, Some k ->
+        set i.Lir.dst
+          (if k < String.length s then Value.String (String.make 1 s.[k]) else Value.Undefined)
+      | Value.Array _, None -> set i.Lir.dst Value.Undefined
+      | v, _ -> Errors.type_error "cannot index %s" (Value.type_name v))
+    | Lir.Kset_index_gen -> (
+      let recv = regs.(i.Lir.a) in
+      let idx = regs.(i.Lir.b) in
+      let v = regs.(i.Lir.c) in
+      match (recv, Value_ops.to_index idx) with
+      | Value.Array h, Some k -> Heap.set heap h k v
+      | Value.Object tbl, _ -> Hashtbl.replace tbl (Value_ops.to_string idx) v
+      | Value.Array _, None -> Errors.type_error "invalid array index %s" (Value.to_display idx)
+      | recv, _ -> Errors.type_error "cannot index %s" (Value.type_name recv))
+    | Lir.Kload_global -> set i.Lir.dst (cb.lookup_global f.Lir.names.(i.Lir.imm))
+    | Lir.Kstore_global -> cb.store_global f.Lir.names.(i.Lir.imm) regs.(i.Lir.a)
+    | Lir.Kdeclare_global -> cb.declare_global f.Lir.names.(i.Lir.imm)
+    | Lir.Kcall -> (
+      let callee = regs.(i.Lir.a) in
+      let vargs =
+        Array.to_list (Array.map (fun r -> regs.(r)) f.Lir.call_args.(i.Lir.imm))
+      in
+      match callee with
+      | Value.Function idx -> set i.Lir.dst (cb.call_function idx vargs)
+      | Value.Builtin name -> set i.Lir.dst (Builtins.call_builtin realm name vargs)
+      | v -> Errors.type_error "%s is not a function" (Value.type_name v))
+    | Lir.Kcall_method -> (
+      let recv = regs.(i.Lir.a) in
+      let name = f.Lir.names.(i.Lir.imm2) in
+      let vargs =
+        Array.to_list (Array.map (fun r -> regs.(r)) f.Lir.call_args.(i.Lir.imm))
+      in
+      match Builtins.call_method realm recv name vargs with
+      | `Value v -> set i.Lir.dst v
+      | `User_function (idx, vargs) -> set i.Lir.dst (cb.call_function idx vargs))
+    | Lir.Kgoto -> pc := i.Lir.imm
+    | Lir.Ktest -> pc := (if Value_ops.to_boolean regs.(i.Lir.a) then i.Lir.imm else i.Lir.b)
+    | Lir.Kreturn -> result := Some (if i.Lir.a >= 0 then regs.(i.Lir.a) else Value.Undefined)
+  done;
+  match !result with
+  | Some v -> v
+  | None -> assert false

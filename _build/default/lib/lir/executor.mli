@@ -1,0 +1,31 @@
+(** The "machine code" tier: a register-file interpreter for allocated
+    LIR.
+
+    Semantics notes that matter to the security model:
+    - guards raise {!Lir.Bailout} when their check fails; the engine then
+      re-executes the call in the interpreter tier (deoptimization);
+    - element loads/stores are {e unchecked} — if the protecting
+      [bounds_check] was (wrongly) optimized away, they access the flat
+      heap directly and can read/corrupt neighbouring objects or raise
+      {!Jitbull_runtime.Errors.Crash};
+    - numeric operations on operands whose [unbox_number] guard was
+      (wrongly) removed {e reinterpret the raw value}: an array is seen as
+      its base heap address — the address-disclosure behaviour of a real
+      type-confusion (CVE-2019-9791's model). *)
+
+type callbacks = {
+  call_function : int -> Jitbull_runtime.Value.t list -> Jitbull_runtime.Value.t;
+      (** re-enter the engine for user calls *)
+  lookup_global : string -> Jitbull_runtime.Value.t;
+  store_global : string -> Jitbull_runtime.Value.t -> unit;
+  declare_global : string -> unit;  (** define as undefined if absent *)
+}
+
+(** [run func realm callbacks args] executes the function. Raises
+    {!Lir.Bailout} on failed guards. *)
+val run :
+  Lir.func ->
+  Jitbull_runtime.Realm.t ->
+  callbacks ->
+  Jitbull_runtime.Value.t list ->
+  Jitbull_runtime.Value.t

@@ -1,0 +1,132 @@
+(* Low-level IR — the register machine our "machine code" executor runs
+   (steps 5–7 of the paper's Fig. 1: LIR generation, LIR passes, codegen).
+
+   Instructions are flat records with integer operand fields so the
+   executor's dispatch loop stays allocation-free on the hot paths.
+   Register numbers below {!machine_registers} model machine registers;
+   higher numbers are spill slots — the executor addresses both uniformly,
+   but the register allocator works to keep hot values under the
+   boundary, and [spill_count] is reported by the engine's statistics. *)
+
+module Mir = Jitbull_mir.Mir
+module Value = Jitbull_runtime.Value
+
+let machine_registers = 12
+
+type kind =
+  | Kconst            (* dst <- consts.(imm) *)
+  | Kparam            (* dst <- argument imm *)
+  | Kmove             (* dst <- a *)
+  | Kunbox_number     (* dst <- a, bail unless number *)
+  | Kunbox_int32      (* dst <- a, bail unless int32 *)
+  | Kguard_array      (* dst <- a, bail unless array *)
+  | Kbounds_check     (* dst <- a, bail unless 0 <= a < b *)
+  | Kadd              (* dst <- a + b (generic JS +) *)
+  | Kbin of Mir.num_binop    (* dst <- a op b (numeric) *)
+  | Kcompare of Mir.compare_op
+  | Knegate
+  | Kbitnot
+  | Knot
+  | Ktypeof
+  | Ktonumber
+  | Knew_array        (* dst <- fresh array of length imm *)
+  | Knew_object       (* dst <- fresh object; field names in fields.(imm) *)
+  | Kelements         (* dst <- elements handle of array a *)
+  | Kinit_length      (* dst <- initialized length of elements a *)
+  | Kload_element     (* dst <- a[b] unchecked *)
+  | Kstore_element    (* a[b] <- c unchecked *)
+  | Karray_length     (* dst <- a.length *)
+  | Kset_array_length (* a.length <- b *)
+  | Karray_push       (* dst <- push(a, b) *)
+  | Karray_pop        (* dst <- pop(a) *)
+  | Kget_prop         (* dst <- a.names.(imm) *)
+  | Kset_prop         (* a.names.(imm) <- b *)
+  | Kget_index_gen    (* dst <- a[b] checked generic *)
+  | Kset_index_gen    (* a[b] <- c checked generic *)
+  | Kload_global      (* dst <- global names.(imm) *)
+  | Kstore_global     (* global names.(imm) <- a *)
+  | Kdeclare_global   (* define global names.(imm) as undefined if absent *)
+  | Kcall             (* dst <- call a with arg regs call_args.(imm) *)
+  | Kcall_method      (* dst <- method names.(imm2) on a, args call_args.(imm) *)
+  | Kgoto             (* pc <- imm *)
+  | Ktest             (* pc <- if truthy a then imm else b *)
+  | Kreturn           (* return a *)
+
+type inst = {
+  mutable kind : kind;
+  mutable dst : int;
+  mutable a : int;
+  mutable b : int;
+  mutable c : int;
+  mutable imm : int;
+  mutable imm2 : int;
+}
+
+type func = {
+  name : string;
+  arity : int;
+  mutable code : inst array;
+  consts : Value.t array;
+  names : string array;
+  call_args : int array array;
+  fields : string list array;
+  mutable n_regs : int;        (* registers+slots after allocation *)
+  mutable spill_count : int;
+}
+
+let make_inst kind = { kind; dst = -1; a = -1; b = -1; c = -1; imm = -1; imm2 = -1 }
+
+let kind_name = function
+  | Kconst -> "const"
+  | Kparam -> "param"
+  | Kmove -> "move"
+  | Kunbox_number -> "unbox_number"
+  | Kunbox_int32 -> "unbox_int32"
+  | Kguard_array -> "guard_array"
+  | Kbounds_check -> "bounds_check"
+  | Kadd -> "add"
+  | Kbin _ -> "bin"
+  | Kcompare _ -> "compare"
+  | Knegate -> "negate"
+  | Kbitnot -> "bitnot"
+  | Knot -> "not"
+  | Ktypeof -> "typeof"
+  | Ktonumber -> "tonumber"
+  | Knew_array -> "new_array"
+  | Knew_object -> "new_object"
+  | Kelements -> "elements"
+  | Kinit_length -> "init_length"
+  | Kload_element -> "load_element"
+  | Kstore_element -> "store_element"
+  | Karray_length -> "array_length"
+  | Kset_array_length -> "set_array_length"
+  | Karray_push -> "array_push"
+  | Karray_pop -> "array_pop"
+  | Kget_prop -> "get_prop"
+  | Kset_prop -> "set_prop"
+  | Kget_index_gen -> "get_index_gen"
+  | Kset_index_gen -> "set_index_gen"
+  | Kload_global -> "load_global"
+  | Kstore_global -> "store_global"
+  | Kdeclare_global -> "declare_global"
+  | Kcall -> "call"
+  | Kcall_method -> "call_method"
+  | Kgoto -> "goto"
+  | Ktest -> "test"
+  | Kreturn -> "return"
+
+let to_string (f : func) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "lir %s/%d (%d regs, %d spills)\n" f.name f.arity f.n_regs f.spill_count);
+  Array.iteri
+    (fun i inst ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %4d  %-16s dst=%d a=%d b=%d c=%d imm=%d\n" i (kind_name inst.kind)
+           inst.dst inst.a inst.b inst.c inst.imm))
+    f.code;
+  Buffer.contents buf
+
+(* Raised by guards when a dynamic check fails: the engine re-executes the
+   call in the interpreter tier (deoptimization). *)
+exception Bailout of string

@@ -1,0 +1,13 @@
+(** MIR → LIR lowering with SSA destruction.
+
+    Each MIR instruction gets a virtual register; phis are destructed into
+    parallel-copy move groups placed at the end of each predecessor (legal
+    because the mandatory critical-edge-splitting pass guarantees every
+    predecessor of a phi block has a single successor). Copy cycles are
+    broken with a temporary register. The block graph is then linearized
+    with explicit jumps, and register numbers remain virtual until
+    {!Regalloc.allocate} rewrites them. *)
+
+exception Lowering_error of string
+
+val lower : Jitbull_mir.Mir.t -> Lir.func

@@ -1,0 +1,9 @@
+(** Post-allocation LIR peephole — the paper's step 6 (LIR optimization
+    passes) in miniature:
+    - coalesced moves (dst = src after register assignment) are deleted;
+    - gotos to the immediately following instruction become fall-through.
+
+    Branch targets are remapped over the compacted instruction stream.
+    Returns the number of instructions removed (engine statistics). *)
+
+val run : Lir.func -> int

@@ -1,0 +1,134 @@
+(* Operand classification: which fields of an instruction hold register
+   numbers (sources), and whether [dst] is a definition. [Ktest] uses [b]
+   as a branch target and [Kcall]/[Kcall_method] reference registers
+   through the [call_args] side table. *)
+
+let sources (f : Lir.func) (i : Lir.inst) : int list =
+  let reg x = if x >= 0 then [ x ] else [] in
+  match i.Lir.kind with
+  | Lir.Kconst | Lir.Kparam | Lir.Knew_array | Lir.Knew_object | Lir.Kload_global
+  | Lir.Kdeclare_global | Lir.Kgoto ->
+    []
+  | Lir.Kmove | Lir.Kunbox_number | Lir.Kunbox_int32 | Lir.Kguard_array | Lir.Knegate
+  | Lir.Kbitnot | Lir.Knot | Lir.Ktypeof | Lir.Ktonumber | Lir.Kelements
+  | Lir.Kinit_length | Lir.Karray_length | Lir.Karray_pop | Lir.Kget_prop
+  | Lir.Kstore_global ->
+    reg i.Lir.a
+  | Lir.Ktest | Lir.Kreturn -> reg i.Lir.a
+  | Lir.Kbounds_check | Lir.Kadd | Lir.Kbin _ | Lir.Kcompare _ | Lir.Kload_element
+  | Lir.Kset_array_length | Lir.Karray_push | Lir.Kset_prop | Lir.Kget_index_gen ->
+    reg i.Lir.a @ reg i.Lir.b
+  | Lir.Kstore_element | Lir.Kset_index_gen -> reg i.Lir.a @ reg i.Lir.b @ reg i.Lir.c
+  | Lir.Kcall -> reg i.Lir.a @ Array.to_list f.Lir.call_args.(i.Lir.imm)
+  | Lir.Kcall_method -> reg i.Lir.a @ Array.to_list f.Lir.call_args.(i.Lir.imm)
+
+let defines (i : Lir.inst) : int list = if i.Lir.dst >= 0 then [ i.Lir.dst ] else []
+
+(* Successor pcs of the instruction at [pc]. *)
+let successors (f : Lir.func) pc =
+  let i = f.Lir.code.(pc) in
+  match i.Lir.kind with
+  | Lir.Kgoto -> [ i.Lir.imm ]
+  | Lir.Ktest -> [ i.Lir.imm; i.Lir.b ]
+  | Lir.Kreturn -> []
+  | _ -> [ pc + 1 ]
+
+let allocate (f : Lir.func) =
+  let n = Array.length f.Lir.code in
+  let nv = f.Lir.n_regs in
+  if n = 0 then ()
+  else begin
+    (* backward liveness over individual instructions *)
+    let live_in = Array.make n [] in
+    let module IS = Set.Make (Int) in
+    let live_in_sets = Array.make n IS.empty in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for pc = n - 1 downto 0 do
+        let i = f.Lir.code.(pc) in
+        let out =
+          List.fold_left
+            (fun acc s -> IS.union acc live_in_sets.(s))
+            IS.empty (successors f pc)
+        in
+        let def = IS.of_list (defines i) in
+        let use = IS.of_list (sources f i) in
+        let inn = IS.union use (IS.diff out def) in
+        if not (IS.equal inn live_in_sets.(pc)) then begin
+          live_in_sets.(pc) <- inn;
+          changed := true
+        end
+      done
+    done;
+    ignore live_in;
+    (* intervals: parameters are defined at entry (pc 0) *)
+    let start = Array.make nv max_int in
+    let stop = Array.make nv (-1) in
+    let touch v pc =
+      if v >= 0 && v < nv then begin
+        if pc < start.(v) then start.(v) <- pc;
+        if pc > stop.(v) then stop.(v) <- pc
+      end
+    in
+    for pc = 0 to n - 1 do
+      let i = f.Lir.code.(pc) in
+      List.iter (fun v -> touch v pc) (defines i);
+      List.iter (fun v -> touch v pc) (sources f i);
+      IS.iter (fun v -> touch v pc) live_in_sets.(pc)
+    done;
+    (* linear scan *)
+    let assignment = Array.make nv (-1) in
+    let order =
+      List.filter (fun v -> stop.(v) >= 0) (List.init nv (fun v -> v))
+      |> List.sort (fun v1 v2 -> compare start.(v1) start.(v2))
+    in
+    let free = Queue.create () in
+    for r = 0 to Lir.machine_registers - 1 do
+      Queue.add r free
+    done;
+    let active = ref [] in  (* (stop, vreg, reg) sorted by stop *)
+    let next_slot = ref Lir.machine_registers in
+    let spills = ref 0 in
+    List.iter
+      (fun v ->
+        (* expire *)
+        let expired, still =
+          List.partition (fun (e, _, _) -> e < start.(v)) !active
+        in
+        List.iter (fun (_, _, r) -> Queue.add r free) expired;
+        active := still;
+        if Queue.is_empty free then begin
+          (* spill the current interval (simple policy: new interval
+             spills; hot early-start values keep registers) *)
+          assignment.(v) <- !next_slot;
+          incr next_slot;
+          incr spills
+        end
+        else begin
+          let r = Queue.take free in
+          assignment.(v) <- r;
+          active :=
+            List.sort (fun (e1, _, _) (e2, _, _) -> compare e1 e2)
+              ((stop.(v), v, r) :: !active)
+        end)
+      order;
+    (* rewrite register fields *)
+    let map v = if v >= 0 && assignment.(v) >= 0 then assignment.(v) else v in
+    Array.iter
+      (fun (i : Lir.inst) ->
+        (match i.Lir.kind with
+        | Lir.Ktest ->
+          i.Lir.a <- map i.Lir.a  (* b is a branch target *)
+        | Lir.Kcall | Lir.Kcall_method ->
+          i.Lir.a <- map i.Lir.a;
+          f.Lir.call_args.(i.Lir.imm) <- Array.map map f.Lir.call_args.(i.Lir.imm)
+        | _ ->
+          i.Lir.a <- map i.Lir.a;
+          i.Lir.b <- map i.Lir.b;
+          i.Lir.c <- map i.Lir.c);
+        i.Lir.dst <- map i.Lir.dst)
+      f.Lir.code;
+    f.Lir.n_regs <- max Lir.machine_registers !next_slot;
+    f.Lir.spill_count <- !spills
+  end

@@ -1,0 +1,14 @@
+(** Linear-scan register allocation (Poletto–Sarkar) over the linearized
+    LIR.
+
+    Live intervals are derived from a proper backward liveness dataflow
+    over the LIR control-flow graph (so values live around loop back edges
+    get intervals covering the whole loop). Virtual registers are assigned
+    to the {!Lir.machine_registers} machine registers, spilling — in
+    interval order — to slot numbers at and above the boundary. The
+    executor addresses registers and slots uniformly, so no reload
+    instructions are required; [spill_count] reports allocation pressure
+    for the engine statistics. All register fields in the code are
+    rewritten in place. *)
+
+val allocate : Lir.func -> unit

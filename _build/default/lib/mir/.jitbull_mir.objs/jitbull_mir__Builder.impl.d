@@ -1,0 +1,1 @@
+lib/mir/builder.ml: Array Format Hashtbl Jitbull_bytecode Jitbull_frontend Jitbull_runtime List Mir

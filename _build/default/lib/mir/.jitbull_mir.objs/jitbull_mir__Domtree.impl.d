@@ -1,0 +1,1 @@
+lib/mir/domtree.ml: Array Hashtbl List Mir

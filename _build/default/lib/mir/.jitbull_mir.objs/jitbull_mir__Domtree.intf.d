@@ -1,0 +1,1 @@
+lib/mir/domtree.mli: Hashtbl Mir

@@ -1,0 +1,1 @@
+lib/mir/mir.ml: Buffer Hashtbl Jitbull_frontend Jitbull_runtime List Printf String

@@ -1,0 +1,1 @@
+lib/mir/snapshot.ml: Buffer List Mir Printf String

@@ -1,0 +1,1 @@
+lib/mir/verifier.ml: Domtree Format Hashtbl List Mir

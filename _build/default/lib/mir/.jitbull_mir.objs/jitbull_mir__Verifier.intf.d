@@ -1,0 +1,1 @@
+lib/mir/verifier.mli: Mir

@@ -1,0 +1,21 @@
+(** Bytecode → SSA MIR translation (IonMonkey's "MIR generation", step 3 of
+    the paper's Fig. 1).
+
+    The builder abstract-interprets the operand stack and local slots of
+    the bytecode per basic block, inserting phis at merges and loop
+    headers. Speculation is driven by the interpreter tier's
+    {!Jitbull_bytecode.Feedback}: sites the interpreter only ever saw as
+    array/int accesses compile to the guarded fast path
+    ([guardarray] → [elements] → [initializedlength] → [boundscheck] →
+    [load/storeelement], the shape CVE-2019-17026's exploit targets);
+    polymorphic sites compile to checked generic instructions. Loop
+    headers pre-create one phi per local; later passes fold the trivial
+    ones. *)
+
+exception Build_error of string
+
+(** [build func ~feedback_row] translates one bytecode function.
+    [feedback_row.(pc)] is the feedback site for bytecode [pc]; pass
+    [Feedback.fresh_site] rows (no evidence) to force fully generic
+    code. *)
+val build : Jitbull_bytecode.Op.func -> feedback_row:Jitbull_bytecode.Feedback.site array -> Mir.t

@@ -1,0 +1,95 @@
+type t = {
+  idoms : (int, Mir.block) Hashtbl.t;  (* bid → immediate dominator *)
+  rpo_pos : (int, int) Hashtbl.t;
+  entry_bid : int;
+  block_of : (int, Mir.block) Hashtbl.t;
+}
+
+let compute (g : Mir.t) : t =
+  let rpo = Array.of_list g.Mir.blocks in
+  let rpo_pos = Hashtbl.create 16 in
+  Array.iteri (fun i b -> Hashtbl.replace rpo_pos b.Mir.bid i) rpo;
+  let block_of = Hashtbl.create 16 in
+  Array.iter (fun b -> Hashtbl.replace block_of b.Mir.bid b) rpo;
+  let idoms : (int, Mir.block) Hashtbl.t = Hashtbl.create 16 in
+  let entry = g.Mir.entry in
+  Hashtbl.replace idoms entry.Mir.bid entry;
+  let pos b = Hashtbl.find rpo_pos b.Mir.bid in
+  let rec intersect b1 b2 =
+    if b1 == b2 then b1
+    else if pos b1 > pos b2 then intersect (Hashtbl.find idoms b1.Mir.bid) b2
+    else intersect b1 (Hashtbl.find idoms b2.Mir.bid)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b != entry then begin
+          let processed_preds =
+            List.filter (fun p -> Hashtbl.mem idoms p.Mir.bid) b.Mir.preds
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            (match Hashtbl.find_opt idoms b.Mir.bid with
+            | Some old when old == new_idom -> ()
+            | _ ->
+              Hashtbl.replace idoms b.Mir.bid new_idom;
+              changed := true)
+        end)
+      rpo
+  done;
+  { idoms; rpo_pos; entry_bid = entry.Mir.bid; block_of }
+
+let idom t (b : Mir.block) =
+  if b.Mir.bid = t.entry_bid then None else Hashtbl.find_opt t.idoms b.Mir.bid
+
+let dominates t (a : Mir.block) (b : Mir.block) =
+  let rec climb b =
+    if a == b then true
+    else if b.Mir.bid = t.entry_bid then false
+    else
+      match Hashtbl.find_opt t.idoms b.Mir.bid with
+      | Some parent when parent != b -> climb parent
+      | _ -> false
+  in
+  climb b
+
+(* Position of an instruction inside its block: phis come first. *)
+let index_in_block (b : Mir.block) (i : Mir.instr) =
+  let rec find k = function
+    | [] -> None
+    | x :: rest -> if x == i then Some k else find (k + 1) rest
+  in
+  find 0 (Mir.instructions b)
+
+let instr_dominates t (def : Mir.instr) (use_block : Mir.block) ~(use_instr : Mir.instr) =
+  match Hashtbl.find_opt t.block_of def.Mir.in_block with
+  | None -> false
+  | Some def_block ->
+    if def_block == use_block then begin
+      match (index_in_block def_block def, index_in_block use_block use_instr) with
+      | Some di, Some ui -> di < ui
+      | _ -> false
+    end
+    else dominates t def_block use_block
+
+let loop_body t (g : Mir.t) (header : Mir.block) =
+  let body = Hashtbl.create 16 in
+  Hashtbl.replace body header.Mir.bid ();
+  (* natural loop: for each back edge latch→header, all blocks reaching the
+     latch without passing through the header *)
+  let latches =
+    List.filter (fun p -> dominates t header p) header.Mir.preds
+  in
+  let rec mark (b : Mir.block) =
+    if not (Hashtbl.mem body b.Mir.bid) then begin
+      Hashtbl.replace body b.Mir.bid ();
+      List.iter mark b.Mir.preds
+    end
+  in
+  List.iter mark latches;
+  ignore g;
+  body

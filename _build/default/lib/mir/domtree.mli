@@ -1,0 +1,26 @@
+(** Dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+
+    Used by GVN (dominance-based value numbering), LICM (hoist targets),
+    the bounds-check eliminator and the verifier. Compute once per pass
+    that needs it; the tree is invalidated by any CFG edit. *)
+
+type t
+
+val compute : Mir.t -> t
+
+(** [idom t b] is [b]'s immediate dominator; [None] for the entry block. *)
+val idom : t -> Mir.block -> Mir.block option
+
+(** [dominates t a b] — does [a] dominate [b]? (Reflexive: a block
+    dominates itself.) *)
+val dominates : t -> Mir.block -> Mir.block -> bool
+
+(** [instr_dominates t def use_block ~use_instr] — is the definition
+    available at the program point just before [use_instr] in
+    [use_block]? Within a block this is instruction order (phis first);
+    across blocks it is block dominance. *)
+val instr_dominates : t -> Mir.instr -> Mir.block -> use_instr:Mir.instr -> bool
+
+(** [loop_body t header] — the set of block ids in the natural loop of
+    every back edge into [header] (header included). *)
+val loop_body : t -> Mir.t -> Mir.block -> (int, unit) Hashtbl.t

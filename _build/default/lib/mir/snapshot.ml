@@ -1,0 +1,39 @@
+type entry = {
+  num : int;
+  opcode : string;
+  operands : int list;
+}
+
+type t = {
+  func_name : string;
+  entries : entry list;
+}
+
+let take (g : Mir.t) : t =
+  let entries =
+    List.concat_map
+      (fun (b : Mir.block) ->
+        List.map
+          (fun (i : Mir.instr) ->
+            {
+              num = i.Mir.num;
+              opcode = Mir.opcode_name i.Mir.opcode;
+              operands = List.map (fun (o : Mir.instr) -> o.Mir.num) i.Mir.operands;
+            })
+          (Mir.instructions b))
+      g.Mir.blocks
+  in
+  { func_name = g.Mir.name; entries }
+
+let entry_count t = List.length t.entries
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "snapshot %s\n" t.func_name);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %s %s\n" e.num e.opcode
+           (String.concat " " (List.map string_of_int e.operands))))
+    t.entries;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Immutable textual snapshot of a MIR graph, taken between optimization
+    passes.
+
+    This is the value the paper calls [IRᵢ]: JITBULL's Δ extractor works
+    on pairs of consecutive snapshots, never on the live (mutable) graph.
+    Entries carry the display number, the opcode {e name} (chains compare
+    across functions by opcode, so renumbering and renaming are
+    invisible), and operand numbers. *)
+
+type entry = {
+  num : int;
+  opcode : string;
+  operands : int list;
+}
+
+type t = {
+  func_name : string;
+  entries : entry list;
+}
+
+(** [take g] snapshots [g] in block order. *)
+val take : Mir.t -> t
+
+val entry_count : t -> int
+
+val to_string : t -> string

@@ -1,0 +1,23 @@
+(** MIR structural and SSA invariant checker.
+
+    Run after building and (in tests and in the engine's paranoid mode)
+    after every optimization pass, so a buggy-by-design vulnerable pass
+    still has to produce structurally valid IR — like the real CVEs, the
+    injected bugs are semantic (wrong effect modeling), not crashes of the
+    compiler itself. *)
+
+exception Invalid of string
+
+(** [check g] raises {!Invalid} describing the first violated invariant:
+    - every block ends in exactly one control instruction, with none
+      earlier in the body;
+    - phis live in the phi section and have exactly one operand per
+      predecessor;
+    - [in_block] fields agree with block membership;
+    - every operand definition dominates its use (phi uses are checked at
+      the corresponding predecessor's exit);
+    - successor/predecessor lists are mutually consistent. *)
+val check : Mir.t -> unit
+
+(** [check_bool g] is [check] but returns false instead of raising. *)
+val check_bool : Mir.t -> bool

@@ -1,0 +1,1 @@
+lib/passes/alias_analysis.ml: Jitbull_mir Mir_util Pass

@@ -1,0 +1,1 @@
+lib/passes/bounds_check_elim.ml: Hashtbl Jitbull_mir List Mir_util Pass Vuln_config

@@ -1,0 +1,1 @@
+lib/passes/constant_folding.ml: Bounds_check_elim Float Jitbull_frontend Jitbull_mir Jitbull_runtime List Mir_util Pass Vuln_config

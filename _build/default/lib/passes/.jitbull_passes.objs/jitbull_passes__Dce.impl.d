@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Hashtbl Jitbull_mir List Pass Vuln_config

@@ -1,0 +1,1 @@
+lib/passes/edge_case_analysis.ml: Jitbull_mir List Pass

@@ -1,0 +1,1 @@
+lib/passes/empty_block_elim.ml: Jitbull_mir List Pass

@@ -1,0 +1,1 @@
+lib/passes/fold_tests.ml: Hashtbl Jitbull_mir Jitbull_runtime List Mir_util Pass

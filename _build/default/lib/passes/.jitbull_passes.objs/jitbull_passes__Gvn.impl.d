@@ -1,0 +1,1 @@
+lib/passes/gvn.ml: Hashtbl Jitbull_mir List Mir_util Pass Printf String Vuln_config

@@ -1,0 +1,1 @@
+lib/passes/inline.ml: Array Hashtbl Jitbull_mir Jitbull_runtime Lazy List Pass String

@@ -1,0 +1,1 @@
+lib/passes/mir_util.ml: Hashtbl Jitbull_mir Jitbull_runtime List

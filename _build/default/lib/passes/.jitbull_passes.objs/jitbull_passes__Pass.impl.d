@@ -1,0 +1,1 @@
+lib/passes/pass.ml: Hashtbl Jitbull_mir Vuln_config

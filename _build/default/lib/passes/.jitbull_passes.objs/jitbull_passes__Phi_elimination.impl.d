@@ -1,0 +1,1 @@
+lib/passes/phi_elimination.ml: Jitbull_mir List Mir_util Pass

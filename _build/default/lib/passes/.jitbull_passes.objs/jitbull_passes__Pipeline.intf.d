@@ -1,0 +1,1 @@
+lib/passes/pipeline.mli: Jitbull_mir Pass Vuln_config

@@ -1,0 +1,1 @@
+lib/passes/range_analysis.ml: Float Hashtbl Jitbull_mir Jitbull_runtime List Pass

@@ -1,0 +1,1 @@
+lib/passes/renumber.ml: Jitbull_mir Pass

@@ -1,0 +1,1 @@
+lib/passes/reorder.ml: Hashtbl Jitbull_mir List Mir_util Pass

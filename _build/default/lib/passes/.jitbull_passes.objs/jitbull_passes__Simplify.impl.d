@@ -1,0 +1,1 @@
+lib/passes/simplify.ml: Jitbull_mir Jitbull_runtime List Mir_util Pass

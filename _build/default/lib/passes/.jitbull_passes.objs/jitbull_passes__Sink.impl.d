@@ -1,0 +1,1 @@
+lib/passes/sink.ml: Hashtbl Jitbull_mir List Mir_util Pass Vuln_config

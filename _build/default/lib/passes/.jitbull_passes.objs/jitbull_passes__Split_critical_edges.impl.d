@@ -1,0 +1,1 @@
+lib/passes/split_critical_edges.ml: Jitbull_mir List Pass

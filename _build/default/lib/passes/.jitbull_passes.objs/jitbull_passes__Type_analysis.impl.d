@@ -1,0 +1,1 @@
+lib/passes/type_analysis.ml: Hashtbl Jitbull_mir Jitbull_runtime List Mir_util Pass Vuln_config

@@ -1,0 +1,1 @@
+lib/passes/vuln_config.ml: List String

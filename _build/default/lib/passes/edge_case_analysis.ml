@@ -1,0 +1,21 @@
+(* Edge-case analysis (annotation only): classifies numeric operations
+   that can produce NaN or negative zero ([div], [mod] and [mul] with
+   possibly-negative operands), the information IonMonkey's pass of the
+   same name computes for later lowering decisions. Our lowering is
+   untyped so nothing consumes it, but the pass participates in the
+   pipeline (its Δ is always empty) to keep pass indices comparable with
+   the paper's. *)
+
+module Mir = Jitbull_mir.Mir
+
+let classify (g : Mir.t) =
+  List.filter
+    (fun (i : Mir.instr) ->
+      match i.Mir.opcode with
+      | Mir.Bin_num (Mir.NDiv | Mir.NMod | Mir.NMul) -> true
+      | _ -> false)
+    (Mir.all_instructions g)
+
+let run (_ctx : Pass.ctx) (g : Mir.t) = ignore (classify g)
+
+let pass : Pass.t = { Pass.name = "edgecaseanalysis"; can_disable = true; run }

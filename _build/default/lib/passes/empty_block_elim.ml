@@ -1,0 +1,69 @@
+(* Eliminate empty blocks: a block containing only a goto (and no phis) is
+   bypassed by retargeting its predecessors. Kept conservative so that the
+   critical-edge invariant established earlier is never violated: a block
+   is only removed when each predecessor has a single successor or the
+   target has this block as its only predecessor. *)
+
+module Mir = Jitbull_mir.Mir
+
+let retarget (ctrl : Mir.instr) (from_ : Mir.block) (to_ : Mir.block) =
+  ctrl.Mir.opcode <-
+    (match ctrl.Mir.opcode with
+    | Mir.Goto t when t == from_ -> Mir.Goto to_
+    | Mir.Test (t, f) ->
+      Mir.Test ((if t == from_ then to_ else t), if f == from_ then to_ else f)
+    | op -> op)
+
+let run (_ctx : Pass.ctx) (g : Mir.t) =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Mir.block) ->
+        if b != g.Mir.entry && b.Mir.phis = [] then
+          match b.Mir.body with
+          | [ { Mir.opcode = Mir.Goto target; _ } ]
+            when target != b
+                 && (List.for_all
+                       (fun (p : Mir.block) -> List.length (Mir.successors p) = 1)
+                       b.Mir.preds
+                    (* a multi-successor pred may only take over the edge
+                       when the target carries no phis — otherwise we would
+                       recreate a critical edge with phi moves on it *)
+                    || (List.length target.Mir.preds = 1 && target.Mir.phis = [])) ->
+            (* replace b's slot in target.preds with b's predecessors,
+               duplicating the corresponding phi operand as needed *)
+            let position =
+              let rec find k = function
+                | [] -> None
+                | p :: rest -> if p == b then Some k else find (k + 1) rest
+              in
+              find 0 target.Mir.preds
+            in
+            (match position with
+            | None -> ()
+            | Some k ->
+              let expand lst inserted =
+                List.concat
+                  (List.mapi (fun i x -> if i = k then inserted else [ x ]) lst)
+              in
+              target.Mir.preds <- expand target.Mir.preds b.Mir.preds;
+              List.iter
+                (fun (phi : Mir.instr) ->
+                  let op_k = List.nth phi.Mir.operands k in
+                  phi.Mir.operands <-
+                    expand phi.Mir.operands (List.map (fun _ -> op_k) b.Mir.preds))
+                target.Mir.phis;
+              List.iter
+                (fun (p : Mir.block) ->
+                  match Mir.control_instr p with
+                  | Some ctrl -> retarget ctrl b target
+                  | None -> ())
+                b.Mir.preds;
+              g.Mir.blocks <- List.filter (fun x -> x != b) g.Mir.blocks;
+              changed := true)
+          | _ -> ())
+      g.Mir.blocks
+  done
+
+let pass : Pass.t = { Pass.name = "emptyblocks"; can_disable = true; run }

@@ -1,0 +1,76 @@
+(* Global value numbering, dominance-based.
+
+   Movable instructions (and guards) congruent to an earlier dominating
+   instruction are replaced by it. Congruence means: same opcode key, same
+   operands, and — for loads — the same alias dependency token, i.e. the
+   same observed memory state.
+
+   CVE-2019-17026 variant: the dependency computation treats
+   [setarraylength] as writing nothing, so length loads before and after
+   an [a.length = n] shrink get the same token and the later bounds check
+   is judged redundant and eliminated — the exact mechanism of the real
+   CVE (GVN removing a BoundsCheck after an incorrect dependency
+   analysis).
+
+   CVE-2019-9810 variant: same omission for [arraypush] (which can
+   reallocate storage and grow the length), the paper noting that 9810 and
+   17026 share a root cause. *)
+
+module Mir = Jitbull_mir.Mir
+module Domtree = Jitbull_mir.Domtree
+
+let run (ctx : Pass.ctx) (g : Mir.t) =
+  let vulns = ctx.Pass.vulns in
+  (* CVE-2019-9810 and CVE-2019-17026 share the root bug (paper §III-B);
+     either activates the broken dependency computation *)
+  let ignore_setlength =
+    Vuln_config.is_active vulns Vuln_config.CVE_2019_17026
+    || Vuln_config.is_active vulns Vuln_config.CVE_2019_9810
+  in
+  let clobbers op cls =
+    match op with
+    | Mir.Set_array_length when ignore_setlength -> false  (* BUG *)
+    | _ -> Mir_util.default_clobbers op cls
+  in
+  let deps = Mir_util.compute_load_deps ~clobbers g in
+  let dom = Domtree.compute g in
+  let blocks = Mir_util.block_map g in
+  let table : (string, Mir.instr list) Hashtbl.t = Hashtbl.create 64 in
+  let key (i : Mir.instr) =
+    let ops = List.map (fun (o : Mir.instr) -> string_of_int o.Mir.iid) i.Mir.operands in
+    let dep =
+      match Hashtbl.find_opt deps i.Mir.iid with
+      | Some (s, l) -> Printf.sprintf "@%d/%d" s l
+      | None -> ""
+    in
+    Mir_util.opcode_key i.Mir.opcode ^ "(" ^ String.concat "," ops ^ ")" ^ dep
+  in
+  let eligible (i : Mir.instr) =
+    let eff = Mir.effects i.Mir.opcode in
+    (eff.Mir.is_movable || (match i.Mir.opcode with Mir.Constant _ -> true | _ -> false))
+    && not eff.Mir.is_control
+    && i.Mir.opcode <> Mir.Phi
+  in
+  List.iter
+    (fun (b : Mir.block) ->
+      List.iter
+        (fun (i : Mir.instr) ->
+          if eligible i then begin
+            let k = key i in
+            let candidates =
+              match Hashtbl.find_opt table k with Some l -> l | None -> []
+            in
+            match
+              List.find_opt
+                (fun (r : Mir.instr) -> Domtree.instr_dominates dom r b ~use_instr:i)
+                candidates
+            with
+            | Some rep ->
+              Mir.replace_all_uses g i rep;
+              Mir_util.remove_instr blocks i
+            | None -> Hashtbl.replace table k (i :: candidates)
+          end)
+        b.Mir.body)
+    g.Mir.blocks
+
+let pass : Pass.t = { Pass.name = "gvn"; can_disable = true; run }

@@ -1,0 +1,83 @@
+(* Loop-invariant code motion.
+
+   An instruction is hoisted to the loop preheader when it is movable (or
+   a guard), all operands are defined outside the loop (or already
+   hoisted), and — for loads — no instruction in the loop writes any alias
+   class it reads. Hoisted guards that fail at runtime merely bail out to
+   the interpreter, which is always safe.
+
+   CVE-2019-9792 variant: the in-loop store check is skipped for element
+   and length loads, so e.g. [initializedlength] is hoisted out of a loop
+   whose body shrinks the array — every later iteration then bounds-checks
+   against the stale pre-shrink length, exactly an incorrect-alias LICM
+   bug. *)
+
+module Mir = Jitbull_mir.Mir
+module Domtree = Jitbull_mir.Domtree
+
+let run (ctx : Pass.ctx) (g : Mir.t) =
+  let vulnerable = Vuln_config.is_active ctx.Pass.vulns Vuln_config.CVE_2019_9792 in
+  let dom = Domtree.compute g in
+  let headers =
+    List.filter
+      (fun (h : Mir.block) -> List.exists (fun p -> Domtree.dominates dom h p) h.Mir.preds)
+      g.Mir.blocks
+  in
+  List.iter
+    (fun (header : Mir.block) ->
+      let body = Domtree.loop_body dom g header in
+      let preheaders =
+        List.filter (fun (p : Mir.block) -> not (Hashtbl.mem body p.Mir.bid)) header.Mir.preds
+      in
+      match preheaders with
+      | [ pre ] ->
+        (* alias classes written anywhere in the loop *)
+        let stored = Hashtbl.create 4 in
+        List.iter
+          (fun (b : Mir.block) ->
+            if Hashtbl.mem body b.Mir.bid then
+              List.iter
+                (fun (i : Mir.instr) ->
+                  List.iter
+                    (fun cls -> Hashtbl.replace stored cls ())
+                    (Mir.effects i.Mir.opcode).Mir.writes)
+                (Mir.instructions b))
+          g.Mir.blocks;
+        let hoisted : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+        let defined_outside (o : Mir.instr) =
+          (not (Hashtbl.mem body o.Mir.in_block)) || Hashtbl.mem hoisted o.Mir.iid
+        in
+        let loads_safe (i : Mir.instr) =
+          let reads = (Mir.effects i.Mir.opcode).Mir.reads in
+          if vulnerable then true  (* BUG: in-loop stores ignored *)
+          else not (List.exists (Hashtbl.mem stored) reads)
+        in
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          List.iter
+            (fun (b : Mir.block) ->
+              if Hashtbl.mem body b.Mir.bid then
+                List.iter
+                  (fun (i : Mir.instr) ->
+                    let eff = Mir.effects i.Mir.opcode in
+                    if
+                      (not (Hashtbl.mem hoisted i.Mir.iid))
+                      && eff.Mir.is_movable
+                      && i.Mir.opcode <> Mir.Phi
+                      && List.for_all defined_outside i.Mir.operands
+                      && loads_safe i
+                    then begin
+                      (* move to the preheader, before its control instr *)
+                      b.Mir.body <- List.filter (fun x -> x != i) b.Mir.body;
+                      Mir_util.insert_before_control pre i;
+                      Hashtbl.replace hoisted i.Mir.iid ();
+                      changed := true
+                    end)
+                  b.Mir.body)
+            g.Mir.blocks
+        done
+      | _ -> ())
+    headers
+
+let pass : Pass.t = { Pass.name = "licm"; can_disable = true; run }

@@ -1,0 +1,141 @@
+(* Shared helpers for passes: block maps, instruction removal, GVN keys,
+   alias dependency computation. *)
+
+module Mir = Jitbull_mir.Mir
+module Domtree = Jitbull_mir.Domtree
+module Value = Jitbull_runtime.Value
+
+let block_map (g : Mir.t) : (int, Mir.block) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (b : Mir.block) -> Hashtbl.replace tbl b.Mir.bid b) g.Mir.blocks;
+  tbl
+
+let block_of (blocks : (int, Mir.block) Hashtbl.t) (i : Mir.instr) =
+  Hashtbl.find blocks i.Mir.in_block
+
+(* Remove [i] from its block (body or phi section). The caller must have
+   replaced or cleared all uses beforehand. *)
+let remove_instr (blocks : (int, Mir.block) Hashtbl.t) (i : Mir.instr) =
+  let b = block_of blocks i in
+  if i.Mir.opcode = Mir.Phi then b.Mir.phis <- List.filter (fun x -> x != i) b.Mir.phis
+  else b.Mir.body <- List.filter (fun x -> x != i) b.Mir.body
+
+(* Insert [i] immediately before the control instruction of [b]. *)
+let insert_before_control (b : Mir.block) (i : Mir.instr) =
+  match List.rev b.Mir.body with
+  | ctrl :: rest when Mir.is_control ctrl.Mir.opcode ->
+    b.Mir.body <- List.rev (ctrl :: i :: rest);
+    i.Mir.in_block <- b.Mir.bid
+  | _ ->
+    b.Mir.body <- b.Mir.body @ [ i ];
+    i.Mir.in_block <- b.Mir.bid
+
+(* Stable textual key of an opcode including its static payload, used for
+   GVN congruence. *)
+let opcode_key (op : Mir.opcode) =
+  let base = Mir.opcode_name op in
+  match op with
+  | Mir.Constant v -> base ^ ":" ^ Value.type_name v ^ ":" ^ Value.to_display v
+  | Mir.Parameter n -> base ^ ":" ^ string_of_int n
+  | Mir.Load_global s | Mir.Store_global s | Mir.Get_prop s | Mir.Set_prop s ->
+    base ^ ":" ^ s
+  | Mir.Call_method (m, _) -> base ^ ":" ^ m
+  | _ -> base
+
+(* ---- alias dependency tokens ----
+
+   For each load (instruction with a non-empty read set), compute a token
+   such that two loads with equal opcode, operands and token observe the
+   same memory state:
+   - the last store (in a linearized RPO walk) that may clobber one of its
+     alias classes, and
+   - the innermost enclosing loop that contains such a store (loads inside
+     a clobbering loop must not merge with loads outside it).
+
+   [clobbers op cls] decides whether [op] writes class [cls]; the correct
+   predicate follows {!Mir.effects}. Vulnerable pass variants pass a
+   predicate with deliberate omissions — that is the modeled bug. *)
+
+let default_clobbers (op : Mir.opcode) (cls : Mir.alias_class) =
+  List.mem cls (Mir.effects op).Mir.writes
+
+let compute_load_deps ?(clobbers = default_clobbers) (g : Mir.t) :
+    (int, int * int) Hashtbl.t =
+  let dom = Domtree.compute g in
+  let rpo = Mir.compute_rpo g in
+  (* loop membership: for every loop header, the set of blocks in its body
+     and the alias classes stored inside *)
+  let loops =
+    List.filter_map
+      (fun (h : Mir.block) ->
+        let is_header = List.exists (fun p -> Domtree.dominates dom h p) h.Mir.preds in
+        if not is_header then None
+        else begin
+          let body = Domtree.loop_body dom g h in
+          let stored = Hashtbl.create 4 in
+          List.iter
+            (fun (b : Mir.block) ->
+              if Hashtbl.mem body b.Mir.bid then
+                List.iter
+                  (fun (i : Mir.instr) ->
+                    List.iter
+                      (fun cls -> if clobbers i.Mir.opcode cls then Hashtbl.replace stored cls ())
+                      Mir.all_alias_classes)
+                  (Mir.instructions b))
+            rpo;
+          Some (h, body, stored)
+        end)
+      rpo
+  in
+  let innermost_clobbering_loop (b : Mir.block) (reads : Mir.alias_class list) =
+    let candidates =
+      List.filter
+        (fun (_, body, stored) ->
+          Hashtbl.mem body b.Mir.bid && List.exists (Hashtbl.mem stored) reads)
+        loops
+    in
+    (* innermost = smallest body *)
+    match
+      List.sort
+        (fun (_, b1, _) (_, b2, _) -> compare (Hashtbl.length b1) (Hashtbl.length b2))
+        candidates
+    with
+    | (h, _, _) :: _ -> h.Mir.bid
+    | [] -> -1
+  in
+  let deps = Hashtbl.create 64 in
+  let last_store = Hashtbl.create 4 in
+  List.iter (fun cls -> Hashtbl.replace last_store cls (-1)) Mir.all_alias_classes;
+  List.iter
+    (fun (b : Mir.block) ->
+      List.iter
+        (fun (i : Mir.instr) ->
+          let eff = Mir.effects i.Mir.opcode in
+          if eff.Mir.reads <> [] then begin
+            let last =
+              List.fold_left
+                (fun acc cls -> max acc (Hashtbl.find last_store cls))
+                (-1) eff.Mir.reads
+            in
+            let loop_marker = innermost_clobbering_loop b eff.Mir.reads in
+            Hashtbl.replace deps i.Mir.iid (last, loop_marker)
+          end;
+          List.iter
+            (fun cls -> if clobbers i.Mir.opcode cls then Hashtbl.replace last_store cls i.Mir.iid)
+            Mir.all_alias_classes)
+        (Mir.instructions b))
+    rpo;
+  deps
+
+(* Map from instruction to its users (computed fresh; O(instrs)). *)
+let users_of (g : Mir.t) : (int, Mir.instr list) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (i : Mir.instr) ->
+      List.iter
+        (fun (op : Mir.instr) ->
+          let cur = match Hashtbl.find_opt tbl op.Mir.iid with Some l -> l | None -> [] in
+          Hashtbl.replace tbl op.Mir.iid (i :: cur))
+        i.Mir.operands)
+    (Mir.all_instructions g);
+  tbl

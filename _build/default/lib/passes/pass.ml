@@ -1,0 +1,44 @@
+(* Pass framework.
+
+   A pass transforms the MIR graph in place. The shared [ctx] carries the
+   vulnerability configuration (which passes run their buggy variant) and
+   analysis results handed from annotation passes to their consumers
+   (alias → LICM, range → BCE), mirroring IonMonkey where OptimizeMIR's
+   passes communicate through graph annotations. *)
+
+module Mir = Jitbull_mir.Mir
+
+type range_info = {
+  nonneg : (int, unit) Hashtbl.t;  (* iids proven >= 0 *)
+}
+
+type alias_info = {
+  (* iid of load → dependency token: (last clobbering store iid, innermost
+     clobbered-loop header bid). Loads with equal tokens see the same
+     memory state. *)
+  load_deps : (int, int * int) Hashtbl.t;
+}
+
+type ctx = {
+  vulns : Vuln_config.t;
+  mutable ranges : range_info option;
+  mutable aliases : alias_info option;
+  (* The inlining pass asks the engine for a callee's freshly built MIR by
+     global name. The engine only resolves names that are (a) bound to a
+     function at compile time and (b) never reassigned anywhere in the
+     program, so inlining the static target is sound. [None] = callee not
+     inlinable. *)
+  inline_resolver : string -> Mir.t option;
+}
+
+let make_ctx ?(inline_resolver = fun _ -> None) vulns =
+  { vulns; ranges = None; aliases = None; inline_resolver }
+
+type t = {
+  name : string;
+  (* Mandatory passes cannot be disabled; JITBULL falls back to no-JIT for
+     a function whose dangerous-pass list contains one (scenario 3 of the
+     paper's §V). *)
+  can_disable : bool;
+  run : ctx -> Mir.t -> unit;
+}

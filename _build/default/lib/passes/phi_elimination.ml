@@ -1,0 +1,30 @@
+(* Eliminate trivial phis: a phi whose operands (ignoring itself) are all
+   the same definition is replaced by that definition. Loop-header phis
+   created eagerly by the MIR builder are mostly of this kind. *)
+
+module Mir = Jitbull_mir.Mir
+
+let run (_ctx : Pass.ctx) (g : Mir.t) =
+  let blocks = Mir_util.block_map g in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Mir.block) ->
+        List.iter
+          (fun (phi : Mir.instr) ->
+            let distinct =
+              List.filter (fun (o : Mir.instr) -> o != phi) phi.Mir.operands
+              |> List.sort_uniq (fun (a : Mir.instr) b -> compare a.Mir.iid b.Mir.iid)
+            in
+            match distinct with
+            | [ v ] ->
+              Mir.replace_all_uses g phi v;
+              Mir_util.remove_instr blocks phi;
+              changed := true
+            | _ -> ())
+          b.Mir.phis)
+      g.Mir.blocks
+  done
+
+let pass : Pass.t = { Pass.name = "eliminatephis"; can_disable = true; run }

@@ -1,0 +1,59 @@
+module Mir = Jitbull_mir.Mir
+module Snapshot = Jitbull_mir.Snapshot
+module Verifier = Jitbull_mir.Verifier
+
+let passes : Pass.t list =
+  [
+    Inline.pass;
+    Split_critical_edges.pass;
+    Phi_elimination.pass;
+    Type_analysis.pass;
+    Simplify.pass;
+    Alias_analysis.pass;
+    Gvn.pass;
+    Licm.pass;
+    Range_analysis.pass;
+    Bounds_check_elim.pass;
+    Constant_folding.pass;
+    Fold_tests.pass;
+    Empty_block_elim.pass;
+    Dce.pass;
+    Sink.pass;
+    Edge_case_analysis.pass;
+    Reorder.pass;
+    Renumber.pass;
+  ]
+
+let pass_names = List.map (fun (p : Pass.t) -> p.Pass.name) passes
+
+let find name = List.find_opt (fun (p : Pass.t) -> String.equal p.Pass.name name) passes
+
+let can_disable name =
+  match find name with
+  | Some p -> p.Pass.can_disable
+  | None -> false
+
+(* Run without snapshotting: the engine uses this when JITBULL's database
+   is empty, which is how the paper gets zero overhead in that case. *)
+let run_quiet vulns ?inline_resolver ?(disabled = []) ?(verify = false) (g : Mir.t) =
+  let ctx = Pass.make_ctx ?inline_resolver vulns in
+  List.iter
+    (fun (p : Pass.t) ->
+      if not (List.mem p.Pass.name disabled) then begin
+        p.Pass.run ctx g;
+        if verify then Verifier.check g
+      end)
+    passes
+
+let run vulns ?inline_resolver ?(disabled = []) ?(verify = false) (g : Mir.t) =
+  let ctx = Pass.make_ctx ?inline_resolver vulns in
+  let trace = ref [ ("initial", Snapshot.take g) ] in
+  List.iter
+    (fun (p : Pass.t) ->
+      if not (List.mem p.Pass.name disabled) then begin
+        p.Pass.run ctx g;
+        if verify then Verifier.check g
+      end;
+      trace := (p.Pass.name, Snapshot.take g) :: !trace)
+    passes;
+  List.rev !trace

@@ -1,0 +1,50 @@
+(** The ordered optimization pipeline — our stand-in for IonMonkey's
+    [OptimizeMIR] (32 passes in SpiderMonkey; 18 here, documented scaling
+    in DESIGN.md): inlining, critical-edge splitting, phi elimination,
+    type analysis, simplification, alias analysis, GVN, LICM, range
+    analysis, bounds-check elimination, constant folding, test folding,
+    empty-block elimination, DCE, sinking, edge-case analysis,
+    scheduling, renumbering.
+
+    Two of the passes ([splitcriticaledges], [renumber]) are mandatory and
+    cannot be disabled, exercising the paper's scenario (3) where JITBULL
+    must fall back to no-JIT for a function. *)
+
+val passes : Pass.t list
+
+(** [pass_names] in pipeline order. *)
+val pass_names : string list
+
+(** [find name] — the pass with that name, if any. *)
+val find : string -> Pass.t option
+
+(** [can_disable name] is false for unknown passes too. *)
+val can_disable : string -> bool
+
+(** [run vulns ?disabled ?verify g] runs the pipeline on [g] in place.
+    Passes named in [disabled] are skipped (their Δ is then empty — the
+    JITBULL mitigation). With [verify] (default false) the MIR verifier
+    runs after every pass and raises on violations.
+
+    Returns the snapshot trace: the initial IR (IR₀) followed by one
+    snapshot per pass (IRᵢ), skipped passes contributing an unchanged
+    snapshot — [n+1] snapshots for [n] passes, exactly the inputs of the
+    paper's Δ extractor. *)
+val run :
+  Vuln_config.t ->
+  ?inline_resolver:(string -> Jitbull_mir.Mir.t option) ->
+  ?disabled:string list ->
+  ?verify:bool ->
+  Jitbull_mir.Mir.t ->
+  (string * Jitbull_mir.Snapshot.t) list
+
+(** [run_quiet] is [run] without snapshotting — used by the engine when no
+    JITBULL database is installed, giving the paper's zero-overhead
+    empty-DB behaviour. *)
+val run_quiet :
+  Vuln_config.t ->
+  ?inline_resolver:(string -> Jitbull_mir.Mir.t option) ->
+  ?disabled:string list ->
+  ?verify:bool ->
+  Jitbull_mir.Mir.t ->
+  unit

@@ -1,0 +1,10 @@
+(* Renumber instructions in block order. Mandatory bookkeeping before
+   lowering; JITBULL's opcode-chain DNA is by construction insensitive to
+   it (tested), which is what lets the paper's approach survive the
+   renaming/minification variants. *)
+
+module Mir = Jitbull_mir.Mir
+
+let run (_ctx : Pass.ctx) (g : Mir.t) = Mir.renumber g
+
+let pass : Pass.t = { Pass.name = "renumber"; can_disable = false; run }

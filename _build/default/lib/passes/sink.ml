@@ -1,0 +1,60 @@
+(* Sinking / store-to-load forwarding.
+
+   Within a basic block, a [loadelement] of an (array, index) pair whose
+   value was just stored is replaced by the stored value. Accesses are
+   keyed by the underlying array definition (looking through
+   [elements]/[guardarray]) and the index definition. Any other write to
+   array state — or a call, which may reach arbitrary user code —
+   invalidates the tracked stores.
+
+   CVE-2020-26952 variant: calls do NOT invalidate, and the forwarded
+   load's now-unused bounds check is deleted with it ("the replaced access
+   no longer needs its check") — so a value is forwarded across a call
+   that shrinks the array, leaking stale data without any bailout. This is
+   the incorrect scalar-replacement reasoning of the real CVE. *)
+
+module Mir = Jitbull_mir.Mir
+
+let rec origin (i : Mir.instr) =
+  match (i.Mir.opcode, i.Mir.operands) with
+  | (Mir.Elements | Mir.Guard_array | Mir.Unbox_int32 | Mir.Unbox_number | Mir.Bounds_check), x :: _
+    ->
+    origin x
+  | _ -> i
+
+let run (ctx : Pass.ctx) (g : Mir.t) =
+  let vulnerable = Vuln_config.is_active ctx.Pass.vulns Vuln_config.CVE_2020_26952 in
+  let blocks = Mir_util.block_map g in
+  List.iter
+    (fun (b : Mir.block) ->
+      let available : (int * int, Mir.instr) Hashtbl.t = Hashtbl.create 8 in
+      let key el idx = ((origin el).Mir.iid, (origin idx).Mir.iid) in
+      List.iter
+        (fun (i : Mir.instr) ->
+          match (i.Mir.opcode, i.Mir.operands) with
+          | Mir.Store_element, [ el; idx; v ] ->
+            Hashtbl.reset available;
+            Hashtbl.replace available (key el idx) v
+          | Mir.Load_element, [ el; idx ] -> (
+            match Hashtbl.find_opt available (key el idx) with
+            | Some v ->
+              Mir.replace_all_uses g i v;
+              Mir_util.remove_instr blocks i;
+              if vulnerable then begin
+                (* BUG: also delete the check that guarded the replaced
+                   load when nothing else uses it *)
+                match idx.Mir.opcode with
+                | Mir.Bounds_check when not (Mir.has_uses g idx) ->
+                  Mir_util.remove_instr blocks idx
+                | _ -> ()
+              end
+            | None -> ())
+          | (Mir.Call _ | Mir.Call_method _), _ ->
+            if not vulnerable then Hashtbl.reset available
+            (* BUG when vulnerable: stores stay available across the call *)
+          | op, _ ->
+            if (Mir.effects op).Mir.writes <> [] then Hashtbl.reset available)
+        b.Mir.body)
+    g.Mir.blocks
+
+let pass : Pass.t = { Pass.name = "sink"; can_disable = true; run }

@@ -1,0 +1,70 @@
+(* Type analysis / specialization: removes [tonumber] conversions and
+   [unboxnumber] guards on values proven to already be numbers.
+
+   Correct proof: greatest fixpoint — start by assuming every instruction
+   numeric, then repeatedly falsify. A phi is numeric only if all its
+   operands (including loop-carried ones) stay numeric.
+
+   CVE-2019-9791 variant: the phi rule only consults the first (forward)
+   operand, so a loop that starts with a number but later assigns another
+   type keeps its "numeric" classification, and the unbox guard protecting
+   downstream arithmetic is removed. At runtime, JITed arithmetic then
+   reinterprets the raw value (e.g. an array handle as its heap address) —
+   the type-confusion information leak of the real CVE. *)
+
+module Mir = Jitbull_mir.Mir
+module Value = Jitbull_runtime.Value
+
+let produces_number (op : Mir.opcode) =
+  match op with
+  | Mir.Constant (Value.Number _) -> true
+  | Mir.Bin_num _ | Mir.Negate | Mir.Bit_not | Mir.To_number | Mir.Unbox_number
+  | Mir.Unbox_int32 | Mir.Bounds_check | Mir.Array_length | Mir.Initialized_length
+  | Mir.Array_push ->
+    true
+  | _ -> false
+
+let run (ctx : Pass.ctx) (g : Mir.t) =
+  let vulnerable = Vuln_config.is_active ctx.Pass.vulns Vuln_config.CVE_2019_9791 in
+  let numeric : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let instrs = Mir.all_instructions g in
+  List.iter (fun (i : Mir.instr) -> Hashtbl.replace numeric i.Mir.iid true) instrs;
+  let is_numeric (i : Mir.instr) =
+    match Hashtbl.find_opt numeric i.Mir.iid with Some b -> b | None -> false
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (i : Mir.instr) ->
+        if is_numeric i then begin
+          let still =
+            match i.Mir.opcode with
+            | Mir.Phi ->
+              if vulnerable then
+                (* BUG: trusts the first (forward-edge) operand only *)
+                (match i.Mir.operands with
+                | first :: _ -> is_numeric first
+                | [] -> false)
+              else List.for_all is_numeric i.Mir.operands
+            | op -> produces_number op
+          in
+          if not still then begin
+            Hashtbl.replace numeric i.Mir.iid false;
+            changed := true
+          end
+        end)
+      instrs
+  done;
+  (* To_number/Unbox_number over proven numbers are identities *)
+  let blocks = Mir_util.block_map g in
+  List.iter
+    (fun (i : Mir.instr) ->
+      match (i.Mir.opcode, i.Mir.operands) with
+      | (Mir.To_number | Mir.Unbox_number), [ x ] when is_numeric x ->
+        Mir.replace_all_uses g i x;
+        Mir_util.remove_instr blocks i
+      | _ -> ())
+    instrs
+
+let pass : Pass.t = { Pass.name = "applytypes"; can_disable = true; run }

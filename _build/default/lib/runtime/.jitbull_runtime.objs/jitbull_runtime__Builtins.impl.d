@@ -1,0 +1,1 @@
+lib/runtime/builtins.ml: Char Errors Float Hashtbl Heap Int32 Jitbull_util List Realm String Value Value_ops

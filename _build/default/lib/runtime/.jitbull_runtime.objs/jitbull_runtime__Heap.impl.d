@@ -1,0 +1,1 @@
+lib/runtime/heap.ml: Array Errors Float List Printf Value

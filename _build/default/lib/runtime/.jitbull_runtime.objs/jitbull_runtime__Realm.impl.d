@@ -1,0 +1,1 @@
+lib/runtime/realm.ml: Buffer Heap Jitbull_util Value

@@ -1,0 +1,1 @@
+lib/runtime/realm.mli: Buffer Heap Jitbull_util Value

@@ -1,0 +1,1 @@
+lib/runtime/value_ops.ml: Bool Float Int32 Int64 Jitbull_frontend String Value

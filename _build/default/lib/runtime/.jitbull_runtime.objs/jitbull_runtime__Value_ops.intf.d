@@ -1,0 +1,1 @@
+lib/runtime/value_ops.mli: Jitbull_frontend Value

@@ -1,0 +1,54 @@
+(** Builtin namespaces ([Math], [String]), global functions ([print] and
+    the [__]-prefixed introspection hooks), and the methods of array,
+    string and object values.
+
+    All tiers (interpreter, bytecode VM, LIR executor) funnel builtin
+    behaviour through this module so semantics cannot drift between
+    tiers. Calls that must re-enter user code (an object property holding a
+    user function) are returned as [`User_function] for the engine to
+    dispatch. *)
+
+type method_result =
+  [ `Value of Value.t  (** handled internally *)
+  | `User_function of int * Value.t list  (** engine must call function [i] *)
+  ]
+
+(** [is_namespace name] — [Math] and [String] are reserved global
+    namespaces. *)
+val is_namespace : string -> bool
+
+(** [is_global_function name] — [print] and the introspection hooks. *)
+val is_global_function : string -> bool
+
+(** [call_global realm name args] invokes a global builtin function.
+    Raises {!Errors.Type_error} for unknown names. *)
+val call_global : Realm.t -> string -> Value.t list -> Value.t
+
+(** [call_namespace realm ns fn args] invokes [ns.fn(args)], e.g.
+    [Math.floor]. *)
+val call_namespace : Realm.t -> string -> string -> Value.t list -> Value.t
+
+(** [namespace_member ns name] reads a namespace constant such as
+    [Math.PI]; unknown members are [Undefined]. Functions are returned as
+    [Value.Builtin "ns.fn"]. *)
+val namespace_member : string -> string -> Value.t
+
+(** [call_builtin realm qualified args] invokes a [Value.Builtin] value,
+    e.g. ["Math.floor"]. *)
+val call_builtin : Realm.t -> string -> Value.t list -> Value.t
+
+(** [call_method realm receiver name args] dispatches a method call on an
+    array ([push], [pop], [indexOf], [join], [slice]), string ([charCodeAt],
+    [charAt], [indexOf], [substring], [split]) or object (property holding a
+    function). *)
+val call_method : Realm.t -> Value.t -> string -> Value.t list -> method_result
+
+(** [get_member realm receiver name] reads a property: [length] of
+    arrays/strings, object fields, namespace members. Unknown properties are
+    [Undefined]. *)
+val get_member : Realm.t -> Value.t -> string -> Value.t
+
+(** [set_member realm receiver name v] writes a property: [length] of an
+    array resizes it; object fields are stored; anything else raises
+    {!Errors.Type_error}. *)
+val set_member : Realm.t -> Value.t -> string -> Value.t -> unit

@@ -1,0 +1,20 @@
+(* Runtime error conditions shared by every execution tier. *)
+
+(* A JS-level type error (e.g. calling a number). *)
+exception Type_error of string
+
+(* An out-of-heap memory access performed by *unchecked* (JITed) code —
+   the simulator's equivalent of a segmentation fault. Reaching this means a
+   bounds check that should have protected the access was not executed. *)
+exception Crash of string
+
+(* The simulated JIT code pointer sentinel was overwritten and control was
+   about to transfer through it: the modeled exploit achieved "shellcode
+   execution". *)
+exception Shellcode_executed of string
+
+(* The flat heap is full and cannot grow further. *)
+exception Heap_exhausted
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+let crash fmt = Format.kasprintf (fun s -> raise (Crash s)) fmt

@@ -1,0 +1,108 @@
+(** Flat simulated heap for JS arrays.
+
+    Array {e storage} is laid out contiguously, SpiderMonkey-style, as
+    [| length; capacity; elem0; elem1; ... |] where the header cells hold
+    [Value.Number]s. Allocation is first-fit over a free list, falling
+    back to bumping, so consecutive allocations are adjacent and —
+    crucially for the modeled CVEs — an object allocated after an array
+    shrink lands in the {e reclaimed} region right behind the shrunk
+    array, where a stale bounds check lets JITed code overwrite it.
+
+    Array {e handles} (the [int] carried by [Value.Array]) are indices into
+    an object table mapping handle → current base address, so arrays can be
+    reallocated (e.g. by [push] past capacity, which frees the old region)
+    without invalidating handles.
+
+    Reclaim policy, mirroring the behaviours the CVE exploits depend on:
+    - [set_length] to a smaller value shrinks capacity and frees the tail;
+    - growing past capacity reallocates and frees the old region;
+    - [pop] only decrements the length (lazy shrink).
+
+    Two access families:
+    - {e checked} accessors ([get]/[set]) enforce the logical length (and,
+      defensively, the physical heap bound — a corrupted length header
+      yields a forged read/write primitive over the whole heap rather than
+      a host crash), as the interpreter and bytecode VM do;
+    - {e unchecked} accessors only enforce physical heap bounds (beyond
+      which they raise {!Errors.Crash}), as JITed code does once its
+      [boundscheck] instruction has been (possibly wrongly) optimized
+      away.
+
+    A {e sentinel} pair of cells at the very top of the heap stands in for
+    a function's JIT code pointer; a forged forward-reaching primitive can
+    always reach it. [check_sentinel] raises {!Errors.Shellcode_executed}
+    when the magic value has been tampered with; the engine calls it
+    before transferring control to JITed code. *)
+
+type t
+
+(** Magic value stored in the sentinel cell (recognizable to exploit code
+    scanning memory with a forged read primitive). *)
+val sentinel_magic : float
+
+(** [create ?size_limit ()] builds a heap of exactly [size_limit] cells
+    (default [1 lsl 18]; the array is GC-scanned, so outsized heaps cost
+    real time per realm). Exhausting it raises
+    {!Errors.Heap_exhausted}. *)
+val create : ?size_limit:int -> unit -> t
+
+(** [size t] is the physical cell count. *)
+val size : t -> int
+
+(** [alloc_array t ~length] allocates an array of [length] cells
+    initialized to [Undefined]; capacity is [max length 1]. Returns the
+    handle. *)
+val alloc_array : t -> length:int -> int
+
+(** [base_addr t handle] is the current base address of the array's
+    storage (diagnostics and exploit-facing introspection). *)
+val base_addr : t -> int -> int
+
+(** [alloc_sentinel t] installs the JIT-code-pointer sentinel in the top
+    two cells and returns its address. Called by the engine when the
+    first function is JIT-compiled. *)
+val alloc_sentinel : t -> int
+
+(** [check_sentinel t] raises {!Errors.Shellcode_executed} if the sentinel
+    was overwritten; no-op when no sentinel was allocated. *)
+val check_sentinel : t -> unit
+
+(** [sentinel_intact t] is [false] when the sentinel has been tampered
+    with. *)
+val sentinel_intact : t -> bool
+
+(** Logical length of the array behind [handle] (reads the header; a
+    corrupted non-numeric header coerces through [0]). *)
+val length : t -> int -> int
+
+val capacity : t -> int -> int
+
+(** [set_length t handle n] shrinks (reclaiming the tail) or grows
+    (reallocating past capacity) the array. Stale data below the new
+    length is preserved. *)
+val set_length : t -> int -> int -> unit
+
+(** Checked element access; [get] returns [Undefined] out of bounds, [set]
+    grows the array when writing one-past-the-end (dense-array append) and
+    ignores writes further out. *)
+
+val get : t -> int -> int -> Value.t
+val set : t -> int -> int -> Value.t -> unit
+
+(** Unchecked element access used by JITed code. Bounds are checked only
+    against the physical heap; out-of-heap access raises
+    {!Errors.Crash}. *)
+
+val get_unchecked : t -> int -> int -> Value.t
+val set_unchecked : t -> int -> int -> Value.t -> unit
+
+(** [push t handle v] appends (growing capacity by doubling when needed);
+    [pop t handle] removes and returns the last element or [Undefined]
+    when empty. *)
+
+val push : t -> int -> Value.t -> unit
+val pop : t -> int -> Value.t
+
+(** [cells_used t] is the bump high-water mark (diagnostics, bench
+    reporting). *)
+val cells_used : t -> int

@@ -1,0 +1,22 @@
+type t = {
+  heap : Heap.t;
+  prng : Jitbull_util.Prng.t;
+  out : Buffer.t;
+  echo : bool;
+}
+
+let create ?(seed = 42) ?size_limit ?(echo = false) () =
+  {
+    heap = Heap.create ?size_limit ();
+    prng = Jitbull_util.Prng.create seed;
+    out = Buffer.create 256;
+    echo;
+  }
+
+let print t v =
+  let line = Value.to_display v in
+  Buffer.add_string t.out line;
+  Buffer.add_char t.out '\n';
+  if t.echo then print_endline line
+
+let output t = Buffer.contents t.out

@@ -1,0 +1,21 @@
+(** A realm bundles the mutable state every execution tier shares: the flat
+    heap, the seeded PRNG behind [Math.random], and the [print] sink.
+
+    Capturing [print] output in a buffer (instead of writing to stdout) is
+    what makes interpreter-vs-JIT differential testing possible; set
+    [~echo:true] to also forward to stdout (used by [bin/jsrun]). *)
+
+type t = {
+  heap : Heap.t;
+  prng : Jitbull_util.Prng.t;
+  out : Buffer.t;
+  echo : bool;
+}
+
+val create : ?seed:int -> ?size_limit:int -> ?echo:bool -> unit -> t
+
+(** [print t v] renders [v] like JS [print]: display form plus newline. *)
+val print : t -> Value.t -> unit
+
+(** [output t] is everything printed so far. *)
+val output : t -> string

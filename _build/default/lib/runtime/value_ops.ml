@@ -1,0 +1,146 @@
+module Ast = Jitbull_frontend.Ast
+
+let to_number : Value.t -> float = function
+  | Value.Number f -> f
+  | Value.Bool true -> 1.0
+  | Value.Bool false -> 0.0
+  | Value.Null -> 0.0
+  | Value.Undefined -> Float.nan
+  | Value.String s -> (
+    let s = String.trim s in
+    if s = "" then 0.0
+    else
+      match float_of_string_opt s with
+      | Some f -> f
+      | None -> Float.nan)
+  | Value.Array _ | Value.Object _ | Value.Function _ | Value.Builtin _ -> Float.nan
+
+let to_boolean : Value.t -> bool = function
+  | Value.Bool b -> b
+  | Value.Number f -> not (f = 0.0 || Float.is_nan f)
+  | Value.String s -> s <> ""
+  | Value.Null | Value.Undefined -> false
+  | Value.Array _ | Value.Object _ | Value.Function _ | Value.Builtin _ -> true
+
+let to_string = Value.to_display
+
+(* ToInt32: modular reduction of the integral part into [-2^31, 2^31). *)
+let to_int32 f =
+  if Float.is_nan f || Float.abs f = Float.infinity then 0l
+  else
+    let i = Float.trunc f in
+    let m = Float.rem i 4294967296.0 in
+    let m = if m < 0.0 then m +. 4294967296.0 else m in
+    if m >= 2147483648.0 then Int32.of_float (m -. 4294967296.0) else Int32.of_float m
+
+let to_uint32 f =
+  if Float.is_nan f || Float.abs f = Float.infinity then 0.0
+  else
+    let i = Float.trunc f in
+    let m = Float.rem i 4294967296.0 in
+    if m < 0.0 then m +. 4294967296.0 else m
+
+let to_index (v : Value.t) =
+  match v with
+  | Value.Number f when Float.is_integer f && f >= 0.0 && f < 2147483648.0 ->
+    Some (int_of_float f)
+  | _ -> None
+
+let loose_equal (a : Value.t) (b : Value.t) =
+  match (a, b) with
+  | Value.Number x, Value.Number y -> x = y
+  | Value.String x, Value.String y -> String.equal x y
+  | Value.Bool x, Value.Bool y -> Bool.equal x y
+  | Value.Null, Value.Null
+  | Value.Undefined, Value.Undefined
+  | Value.Null, Value.Undefined
+  | Value.Undefined, Value.Null -> true
+  | Value.Array x, Value.Array y -> x = y
+  | Value.Object x, Value.Object y -> x == y
+  | Value.Function x, Value.Function y -> x = y
+  | Value.Builtin x, Value.Builtin y -> String.equal x y
+  (* mixed primitives coerce numerically, as in JS *)
+  | (Value.Number _ | Value.String _ | Value.Bool _), (Value.Number _ | Value.String _ | Value.Bool _)
+    -> to_number a = to_number b
+  | _ -> false
+
+let strict_equal (a : Value.t) (b : Value.t) =
+  match (a, b) with
+  | Value.Number x, Value.Number y -> x = y
+  | Value.String x, Value.String y -> String.equal x y
+  | Value.Bool x, Value.Bool y -> Bool.equal x y
+  | Value.Null, Value.Null | Value.Undefined, Value.Undefined -> true
+  | Value.Array x, Value.Array y -> x = y
+  | Value.Object x, Value.Object y -> x == y
+  | Value.Function x, Value.Function y -> x = y
+  | Value.Builtin x, Value.Builtin y -> String.equal x y
+  | _ -> false
+
+let numeric_compare op a b =
+  let x = to_number a and y = to_number b in
+  if Float.is_nan x || Float.is_nan y then false
+  else
+    match op with
+    | `Lt -> x < y
+    | `Le -> x <= y
+    | `Gt -> x > y
+    | `Ge -> x >= y
+
+let compare_values op (a : Value.t) (b : Value.t) =
+  match (a, b) with
+  | Value.String x, Value.String y -> (
+    let c = String.compare x y in
+    match op with
+    | `Lt -> c < 0
+    | `Le -> c <= 0
+    | `Gt -> c > 0
+    | `Ge -> c >= 0)
+  | _ -> numeric_compare op a b
+
+let int32_op f a b =
+  let x = to_int32 (to_number a) and y = to_int32 (to_number b) in
+  Value.Number (Int32.to_float (f x y))
+
+let binary (op : Ast.binop) (a : Value.t) (b : Value.t) : Value.t =
+  match op with
+  | Ast.Add -> (
+    match (a, b) with
+    | Value.String _, _ | _, Value.String _ -> Value.String (to_string a ^ to_string b)
+    | _ -> Value.Number (to_number a +. to_number b))
+  | Ast.Sub -> Value.Number (to_number a -. to_number b)
+  | Ast.Mul -> Value.Number (to_number a *. to_number b)
+  | Ast.Div -> Value.Number (to_number a /. to_number b)
+  | Ast.Mod -> Value.Number (Float.rem (to_number a) (to_number b))
+  | Ast.Lt -> Value.Bool (compare_values `Lt a b)
+  | Ast.Le -> Value.Bool (compare_values `Le a b)
+  | Ast.Gt -> Value.Bool (compare_values `Gt a b)
+  | Ast.Ge -> Value.Bool (compare_values `Ge a b)
+  | Ast.Eq -> Value.Bool (loose_equal a b)
+  | Ast.Neq -> Value.Bool (not (loose_equal a b))
+  | Ast.Strict_eq -> Value.Bool (strict_equal a b)
+  | Ast.Strict_neq -> Value.Bool (not (strict_equal a b))
+  | Ast.Bit_and -> int32_op Int32.logand a b
+  | Ast.Bit_or -> int32_op Int32.logor a b
+  | Ast.Bit_xor -> int32_op Int32.logxor a b
+  | Ast.Shl ->
+    let x = to_int32 (to_number a) in
+    let s = Int32.to_int (to_int32 (to_number b)) land 31 in
+    Value.Number (Int32.to_float (Int32.shift_left x s))
+  | Ast.Shr ->
+    let x = to_int32 (to_number a) in
+    let s = Int32.to_int (to_int32 (to_number b)) land 31 in
+    Value.Number (Int32.to_float (Int32.shift_right x s))
+  | Ast.Ushr ->
+    let x = to_uint32 (to_number a) in
+    let s = Int32.to_int (to_int32 (to_number b)) land 31 in
+    let i = Int64.of_float x in
+    Value.Number (Int64.to_float (Int64.shift_right_logical i s))
+
+let unary (op : Ast.unop) (v : Value.t) : Value.t =
+  match op with
+  | Ast.Neg -> Value.Number (-.to_number v)
+  | Ast.Not -> Value.Bool (not (to_boolean v))
+  | Ast.Bit_not ->
+    Value.Number (Int32.to_float (Int32.lognot (to_int32 (to_number v))))
+  | Ast.Typeof -> Value.String (Value.type_name v)
+  | Ast.To_number -> Value.Number (to_number v)

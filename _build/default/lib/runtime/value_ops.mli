@@ -1,0 +1,33 @@
+(** JS value semantics shared by the interpreter, the bytecode VM and the
+    LIR executor: coercions, the binary/unary operator suite, and equality.
+
+    Semantics follow ECMAScript where the subset permits; deviations are
+    deliberate and documented: [ToNumber] on arrays/objects yields [NaN]
+    (rather than going through [valueOf]), and string→number coercion parses
+    with OCaml's float syntax plus the empty string → 0 rule. *)
+
+val to_number : Value.t -> float
+val to_boolean : Value.t -> bool
+val to_string : Value.t -> string
+
+(** [to_int32 f] and [to_uint32 f] implement ToInt32/ToUint32 (modular
+    wrap-around of the integral part). *)
+
+val to_int32 : float -> int32
+val to_uint32 : float -> float
+
+(** [to_index v] coerces an array index: returns [None] if [v] does not
+    denote an exact non-negative integer below 2^31. *)
+val to_index : Value.t -> int option
+
+(** [binary op a b] evaluates a non-short-circuit binary operator. [Add]
+    concatenates when either side is a string. Comparisons return
+    [Value.Bool]. *)
+val binary : Jitbull_frontend.Ast.binop -> Value.t -> Value.t -> Value.t
+
+val unary : Jitbull_frontend.Ast.unop -> Value.t -> Value.t
+
+(** Abstract ([==]) and strict ([===]) equality. *)
+
+val loose_equal : Value.t -> Value.t -> bool
+val strict_equal : Value.t -> Value.t -> bool

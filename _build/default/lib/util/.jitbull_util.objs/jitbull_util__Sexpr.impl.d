@@ -1,0 +1,1 @@
+lib/util/sexpr.ml: Buffer Format Fun List Printf String

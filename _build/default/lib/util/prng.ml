@@ -1,0 +1,39 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64: fast, well-distributed, and trivially seedable; quality is
+   ample for workload generation and variant mixing. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  raw mod bound
+
+let float t =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits53 /. 9007199254740992.0
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose t lst =
+  match lst with
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | _ -> List.nth lst (int t (List.length lst))

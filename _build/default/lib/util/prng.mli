@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the reproduction (the runtime's
+    [Math.random], workload input generation, variant mixing) draws from an
+    explicit [Prng.t] so that interpreter-vs-JIT differential tests and the
+    benchmark harness are reproducible run to run. *)
+
+type t
+
+(** [create seed] builds an independent generator. Equal seeds give equal
+    streams. *)
+val create : int -> t
+
+(** [copy t] snapshots the generator state. *)
+val copy : t -> t
+
+(** [next_int64 t] returns the next raw 64-bit draw. *)
+val next_int64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+val int : t -> int -> int
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [shuffle t arr] permutes [arr] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [choose t lst] picks a uniform element; raises [Invalid_argument] on an
+    empty list. *)
+val choose : t -> 'a list -> 'a

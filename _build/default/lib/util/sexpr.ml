@@ -1,0 +1,193 @@
+type t =
+  | Atom of string
+  | List of t list
+
+exception Decode_error of string
+
+let decode_error fmt = Format.kasprintf (fun s -> raise (Decode_error s)) fmt
+
+let atom s = Atom s
+let list l = List l
+let int n = Atom (string_of_int n)
+let float f = Atom (Printf.sprintf "%h" f)
+let bool b = Atom (if b then "true" else "false")
+
+let to_atom = function
+  | Atom s -> s
+  | List _ -> decode_error "expected atom, got list"
+
+let to_list = function
+  | List l -> l
+  | Atom s -> decode_error "expected list, got atom %S" s
+
+let to_int s =
+  let a = to_atom s in
+  match int_of_string_opt a with
+  | Some n -> n
+  | None -> decode_error "expected int, got %S" a
+
+let to_float s =
+  let a = to_atom s in
+  match float_of_string_opt a with
+  | Some f -> f
+  | None -> decode_error "expected float, got %S" a
+
+let to_bool s =
+  match to_atom s with
+  | "true" -> true
+  | "false" -> false
+  | a -> decode_error "expected bool, got %S" a
+
+let field_opt name sexp =
+  let items = to_list sexp in
+  let matches = function
+    | List (Atom n :: payload) when String.equal n name -> Some payload
+    | Atom _ | List _ -> None
+  in
+  List.find_map matches items
+
+let field name sexp =
+  match field_opt name sexp with
+  | Some payload -> payload
+  | None -> decode_error "missing field %S" name
+
+(* Quoting: an atom needs quotes if it is empty or contains a character with
+   syntactic meaning. *)
+let needs_quotes s =
+  String.length s = 0
+  || String.exists
+       (fun c ->
+         match c with
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | '\\' | ';' -> true
+         | _ -> false)
+       s
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec pp ppf = function
+  | Atom s -> Format.pp_print_string ppf (if needs_quotes s then escape s else s)
+  | List l ->
+    Format.fprintf ppf "@[<hv 1>(%a)@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+      l
+
+let to_string s = Format.asprintf "%a" pp s
+
+(* Parser: a hand-rolled scanner over the input string. *)
+
+type cursor = { input : string; mutable pos : int }
+
+let peek cur = if cur.pos < String.length cur.input then Some cur.input.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let rec skip_blanks cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance cur;
+    skip_blanks cur
+  | Some ';' ->
+    (* comment until end of line *)
+    let rec to_eol () =
+      match peek cur with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance cur;
+        to_eol ()
+    in
+    to_eol ();
+    skip_blanks cur
+  | Some _ | None -> ()
+
+let parse_quoted cur =
+  advance cur;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | None -> decode_error "unterminated string at %d" cur.pos
+    | Some '"' ->
+      advance cur;
+      Buffer.contents buf
+    | Some '\\' ->
+      advance cur;
+      (match peek cur with
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some 'r' -> Buffer.add_char buf '\r'
+      | Some c -> Buffer.add_char buf c
+      | None -> decode_error "dangling escape at %d" cur.pos);
+      advance cur;
+      loop ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance cur;
+      loop ()
+  in
+  loop ()
+
+let parse_bare cur =
+  let start = cur.pos in
+  let rec loop () =
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';') | None -> ()
+    | Some _ ->
+      advance cur;
+      loop ()
+  in
+  loop ();
+  String.sub cur.input start (cur.pos - start)
+
+let rec parse_one cur =
+  skip_blanks cur;
+  match peek cur with
+  | None -> decode_error "unexpected end of input"
+  | Some '(' ->
+    advance cur;
+    let rec items acc =
+      skip_blanks cur;
+      match peek cur with
+      | Some ')' ->
+        advance cur;
+        List (List.rev acc)
+      | None -> decode_error "unterminated list"
+      | Some _ -> items (parse_one cur :: acc)
+    in
+    items []
+  | Some ')' -> decode_error "unexpected ')' at %d" cur.pos
+  | Some '"' -> Atom (parse_quoted cur)
+  | Some _ -> Atom (parse_bare cur)
+
+let of_string input =
+  let cur = { input; pos = 0 } in
+  let sexp = parse_one cur in
+  skip_blanks cur;
+  (match peek cur with
+  | None -> ()
+  | Some c -> decode_error "trailing garbage %C at %d" c cur.pos);
+  sexp
+
+let load path =
+  let ic = open_in_bin path in
+  let finally () = close_in_noerr ic in
+  Fun.protect ~finally (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))
+
+let save path sexp =
+  let oc = open_out_bin path in
+  let finally () = close_out_noerr oc in
+  Fun.protect ~finally (fun () -> output_string oc (to_string sexp ^ "\n"))

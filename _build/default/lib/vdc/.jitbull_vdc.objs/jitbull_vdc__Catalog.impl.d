@@ -1,0 +1,1 @@
+lib/vdc/catalog.ml: Jitbull_passes List String

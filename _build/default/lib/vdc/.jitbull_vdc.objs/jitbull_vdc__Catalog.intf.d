@@ -1,0 +1,1 @@
+lib/vdc/catalog.mli: Jitbull_passes

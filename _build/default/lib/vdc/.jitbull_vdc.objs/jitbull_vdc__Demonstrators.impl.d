@@ -1,0 +1,1 @@
+lib/vdc/demonstrators.ml: Jitbull_jit Jitbull_passes Jitbull_runtime List Printf String

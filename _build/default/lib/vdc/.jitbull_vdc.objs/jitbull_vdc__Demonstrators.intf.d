@@ -1,0 +1,1 @@
+lib/vdc/demonstrators.mli: Jitbull_jit Jitbull_passes

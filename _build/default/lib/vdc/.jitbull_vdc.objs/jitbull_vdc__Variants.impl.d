@@ -1,0 +1,1 @@
+lib/vdc/variants.ml: Array Hashtbl Jitbull_frontend Jitbull_runtime Jitbull_util List Option Printf String

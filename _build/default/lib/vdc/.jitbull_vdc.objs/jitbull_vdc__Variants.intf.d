@@ -1,0 +1,1 @@
+lib/vdc/variants.mli: Jitbull_frontend

@@ -1,0 +1,110 @@
+module Vuln_config = Jitbull_passes.Vuln_config
+
+type engine =
+  | Turbofan
+  | Ionmonkey
+  | Chakra
+
+type entry = {
+  cve : string;
+  engine : engine;
+  cvss : float;
+  has_vdc : bool;
+  reported : string option;
+  patched : string option;
+  modeled : Vuln_config.cve option;
+}
+
+let engine_name = function
+  | Turbofan -> "TurboFan"
+  | Ionmonkey -> "IonMonkey"
+  | Chakra -> "Chakra JIT"
+
+let e ?(cvss = 8.8) ?(has_vdc = false) ?reported ?patched ?modeled engine cve =
+  { cve; engine; cvss; has_vdc; reported; patched; modeled }
+
+(* Table I. IonMonkey report/patch dates reconstructed to reproduce the
+   paper's §III-C aggregates: mean window ≈ 9 days, CVE-2019-11707 = 23
+   days, CVE-2020-26952 = 5 days, and exactly one overlapping pair in
+   2019 (CVE-2019-9810 / CVE-2019-9813). *)
+let all =
+  [
+    (* TurboFan (V8) *)
+    e Turbofan "CVE-2021-30632" ~cvss:8.8 ~has_vdc:true;
+    e Turbofan "CVE-2021-30551" ~cvss:8.8;
+    e Turbofan "CVE-2020-16009" ~cvss:8.8 ~has_vdc:true;
+    e Turbofan "CVE-2020-6418" ~cvss:8.8 ~has_vdc:true;
+    e Turbofan "CVE-2019-2208" ~cvss:7.5;
+    e Turbofan "CVE-2018-17463" ~cvss:8.8 ~has_vdc:true;
+    e Turbofan "CVE-2017-5121" ~cvss:9.8 ~has_vdc:true;
+    (* IonMonkey (SpiderMonkey) *)
+    e Ionmonkey "CVE-2021-29982" ~cvss:7.5 ~reported:"2021-07-26" ~patched:"2021-08-03";
+    e Ionmonkey "CVE-2020-26952" ~cvss:9.8 ~reported:"2020-09-27" ~patched:"2020-10-02"
+      ~modeled:Vuln_config.CVE_2020_26952;
+    e Ionmonkey "CVE-2020-15656" ~cvss:8.8 ~reported:"2020-07-14" ~patched:"2020-07-28";
+    e Ionmonkey "CVE-2019-17026" ~cvss:8.8 ~has_vdc:true ~reported:"2019-12-31"
+      ~patched:"2020-01-08" ~modeled:Vuln_config.CVE_2019_17026;
+    e Ionmonkey "CVE-2019-11707" ~cvss:8.8 ~has_vdc:true ~reported:"2019-04-15"
+      ~patched:"2019-05-08" ~modeled:Vuln_config.CVE_2019_11707;
+    e Ionmonkey "CVE-2019-9813" ~cvss:8.8 ~reported:"2019-03-21" ~patched:"2019-03-22"
+      ~modeled:Vuln_config.CVE_2019_9813;
+    e Ionmonkey "CVE-2019-9810" ~cvss:8.8 ~has_vdc:true ~reported:"2019-03-20"
+      ~patched:"2019-03-22" ~modeled:Vuln_config.CVE_2019_9810;
+    e Ionmonkey "CVE-2019-9795" ~cvss:8.8 ~reported:"2019-02-25" ~patched:"2019-03-06"
+      ~modeled:Vuln_config.CVE_2019_9795;
+    e Ionmonkey "CVE-2019-9792" ~cvss:8.8 ~reported:"2019-02-10" ~patched:"2019-02-19"
+      ~modeled:Vuln_config.CVE_2019_9792;
+    e Ionmonkey "CVE-2019-9791" ~cvss:9.8 ~has_vdc:true ~reported:"2019-01-28"
+      ~patched:"2019-02-05" ~modeled:Vuln_config.CVE_2019_9791;
+    e Ionmonkey "CVE-2018-12387" ~cvss:8.8;
+    e Ionmonkey "CVE-2017-5400" ~cvss:8.8;
+    e Ionmonkey "CVE-2017-5375" ~cvss:8.8 ~has_vdc:true;
+    e Ionmonkey "CVE-2015-4484" ~cvss:7.5;
+    e Ionmonkey "CVE-2015-0817" ~cvss:9.8 ~has_vdc:true;
+    (* Chakra *)
+    e Chakra "CVE-2021-34480" ~cvss:7.5;
+    e Chakra "CVE-2020-1380" ~cvss:8.8 ~has_vdc:true;
+  ]
+
+(* ---- date arithmetic (proleptic Gregorian, rata die) ---- *)
+
+let days_of_iso s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] ->
+    let y = int_of_string y and m = int_of_string m and d = int_of_string d in
+    let y, m = if m <= 2 then (y - 1, m + 12) else (y, m) in
+    let era = y / 400 in
+    let yoe = y mod 400 in
+    let doy = ((153 * (m - 3)) + 2) / 5 + d - 1 in
+    let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+    (era * 146097) + doe
+  | _ -> invalid_arg ("bad date " ^ s)
+
+let window_days entry =
+  match (entry.reported, entry.patched) with
+  | Some r, Some p -> Some (days_of_iso p - days_of_iso r)
+  | _ -> None
+
+let mean_window_days () =
+  let windows = List.filter_map window_days all in
+  match windows with
+  | [] -> 0.0
+  | ws -> float_of_int (List.fold_left ( + ) 0 ws) /. float_of_int (List.length ws)
+
+let max_overlapping ~year =
+  let prefix = string_of_int year ^ "-" in
+  let intervals =
+    List.filter_map
+      (fun entry ->
+        match (entry.engine, entry.reported, entry.patched) with
+        | Ionmonkey, Some r, Some p when String.length r >= 5 && String.sub r 0 5 = prefix ->
+          Some (days_of_iso r, days_of_iso p)
+        | _ -> None)
+      all
+  in
+  let overlap_count (r, p) =
+    List.length (List.filter (fun (r', p') -> r' <= p && r <= p') intervals)
+  in
+  List.fold_left (fun acc iv -> max acc (overlap_count iv)) 0 intervals
+
+let find cve = List.find_opt (fun entry -> String.equal entry.cve cve) all

@@ -1,0 +1,42 @@
+(** The vulnerability survey of the paper's Table I (JIT-engine CVEs in
+    V8/TurboFan, SpiderMonkey/IonMonkey and Chakra, 2015–2021) plus the
+    vulnerability-window data of §III-C.
+
+    CVSS scores are the NVD values where the paper quotes them (average
+    8.8); report/patch dates are taken from the paper where given
+    (CVE-2019-11707: 23 days; CVE-2020-26952: 5 days; yearly average 9
+    days; at most two 2019 windows overlap — CVE-2019-9810 and
+    CVE-2019-9813) and reconstructed to match those aggregates elsewhere
+    — see EXPERIMENTS.md. *)
+
+type engine =
+  | Turbofan
+  | Ionmonkey
+  | Chakra
+
+type entry = {
+  cve : string;
+  engine : engine;
+  cvss : float;
+  has_vdc : bool;  (** bolded in Table I: public demonstrator available *)
+  reported : string option;  (** ISO date *)
+  patched : string option;
+  modeled : Jitbull_passes.Vuln_config.cve option;
+      (** the injectable pass bug reproducing it, when part of our 8 *)
+}
+
+val all : entry list
+
+val engine_name : engine -> string
+
+(** [window_days e] — patch date − report date, when both known. *)
+val window_days : entry -> int option
+
+(** [mean_window_days ()] over entries with known dates. *)
+val mean_window_days : unit -> float
+
+(** [max_overlapping ~year] — the maximum number of simultaneously open
+    vulnerability windows among IonMonkey entries of [year]. *)
+val max_overlapping : year:int -> int
+
+val find : string -> entry option

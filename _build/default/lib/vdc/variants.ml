@@ -1,0 +1,205 @@
+module Ast = Jitbull_frontend.Ast
+module Parser = Jitbull_frontend.Parser
+module Printer = Jitbull_frontend.Printer
+module Builtins = Jitbull_runtime.Builtins
+module Prng = Jitbull_util.Prng
+
+type kind =
+  | Rename
+  | Minify
+  | Mix
+  | Split
+
+let all_kinds = [ Rename; Minify; Mix; Split ]
+
+let kind_name = function
+  | Rename -> "rename"
+  | Minify -> "minify"
+  | Mix -> "mix"
+  | Split -> "split"
+
+(* ---- rename ---- *)
+
+let is_reserved name = Builtins.is_namespace name || Builtins.is_global_function name
+
+(* Every user-controlled binding: function names, params, [var]s, and
+   globals created by assignment. *)
+let collect_names (p : Ast.program) =
+  let names = Hashtbl.create 64 in
+  let add n = if not (is_reserved n) then Hashtbl.replace names n () in
+  List.iter
+    (fun (f : Ast.func) ->
+      add f.Ast.name;
+      List.iter add f.Ast.params;
+      List.iter add (Ast.declared_vars f.Ast.body);
+      List.iter (fun s -> List.iter add (Ast.stmt_idents s)) f.Ast.body)
+    p.Ast.functions;
+  List.iter (fun s -> List.iter add (Ast.stmt_idents s)) p.Ast.main;
+  names
+
+let rename_program (p : Ast.program) : Ast.program =
+  let names = collect_names p in
+  let mapping = Hashtbl.create 64 in
+  let counter = ref 0 in
+  (* deterministic order for reproducibility *)
+  let sorted = List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) names []) in
+  List.iter
+    (fun n ->
+      Hashtbl.replace mapping n (Printf.sprintf "v%d" !counter);
+      incr counter)
+    sorted;
+  let rn n = match Hashtbl.find_opt mapping n with Some n' -> n' | None -> n in
+  let rename_expr e =
+    Ast.map_expr
+      (fun e ->
+        match e with
+        | Ast.Ident n -> Ast.Ident (rn n)
+        | Ast.Assign (Ast.Lvar n, rhs) -> Ast.Assign (Ast.Lvar (rn n), rhs)
+        | e -> e)
+      e
+  in
+  let rec rename_stmt s =
+    match s with
+    | Ast.Var (n, init) -> Ast.Var (rn n, Option.map rename_expr init)
+    | Ast.Expr_stmt e -> Ast.Expr_stmt (rename_expr e)
+    | Ast.If (c, t, f) -> Ast.If (rename_expr c, List.map rename_stmt t, List.map rename_stmt f)
+    | Ast.While (c, b) -> Ast.While (rename_expr c, List.map rename_stmt b)
+    | Ast.For (init, cond, update, b) ->
+      Ast.For
+        ( Option.map rename_stmt init,
+          Option.map rename_expr cond,
+          Option.map rename_expr update,
+          List.map rename_stmt b )
+    | Ast.Return e -> Ast.Return (Option.map rename_expr e)
+    | Ast.Break -> Ast.Break
+    | Ast.Continue -> Ast.Continue
+    | Ast.Block b -> Ast.Block (List.map rename_stmt b)
+  in
+  {
+    Ast.functions =
+      List.map
+        (fun (f : Ast.func) ->
+          {
+            Ast.name = rn f.Ast.name;
+            params = List.map rn f.Ast.params;
+            body = List.map rename_stmt f.Ast.body;
+          })
+        p.Ast.functions;
+    main = List.map rename_stmt p.Ast.main;
+  }
+
+(* ---- mix ---- *)
+
+(* Reads/writes of a top-level statement, for the independence check.
+   Anything containing a call is pinned (calls can touch any global). *)
+let rec stmt_has_call (s : Ast.stmt) =
+  Ast.fold_stmt_exprs (fun acc e -> acc || match e with Ast.Call _ -> true | _ -> acc) false s
+  ||
+  match s with
+  | Ast.If (_, t, f) -> List.exists stmt_has_call t || List.exists stmt_has_call f
+  | Ast.While (_, b) | Ast.Block b -> List.exists stmt_has_call b
+  | Ast.For (i, _, _, b) ->
+    (match i with Some i -> stmt_has_call i | None -> false) || List.exists stmt_has_call b
+  | _ -> false
+
+let independent a b =
+  let ids s = Ast.stmt_idents s in
+  (not (stmt_has_call a))
+  && (not (stmt_has_call b))
+  && List.for_all (fun n -> not (List.mem n (ids b))) (ids a)
+
+let decoy_functions =
+  [
+    {|
+function jbDecoyScan(arr, n) {
+  var best = 0;
+  for (var i = 0; i < n; i++) { if (arr[i] > best) { best = arr[i]; } }
+  return best;
+}
+|};
+    {|
+function jbDecoyMath(x, rounds) {
+  var acc = x;
+  for (var i = 0; i < rounds; i++) { acc = acc * 1.5 - Math.floor(acc); }
+  return acc;
+}
+|};
+  ]
+
+let decoy_driver =
+  {|
+var jbDecoyArr = [3,1,4,1,5,9,2,6,5,3,5,8,9,7,9,3];
+var jbDecoyAcc = 0;
+for (var jbDecoyK = 0; jbDecoyK < 80; jbDecoyK++) {
+  jbDecoyAcc = jbDecoyAcc + jbDecoyScan(jbDecoyArr, 16) + jbDecoyMath(jbDecoyK, 5);
+}
+|}
+
+let mix ~seed (p : Ast.program) : Ast.program =
+  let prng = Prng.create seed in
+  let stmts = Array.of_list p.Ast.main in
+  (* a few passes of adjacent swaps where provably independent *)
+  for _ = 1 to 3 do
+    for i = 0 to Array.length stmts - 2 do
+      if Prng.bool prng && independent stmts.(i) stmts.(i + 1) then begin
+        let tmp = stmts.(i) in
+        stmts.(i) <- stmts.(i + 1);
+        stmts.(i + 1) <- tmp
+      end
+    done
+  done;
+  let decoys = Parser.parse (String.concat "\n" decoy_functions ^ decoy_driver) in
+  {
+    Ast.functions = decoys.Ast.functions @ p.Ast.functions;
+    main = decoys.Ast.main @ Array.to_list stmts;
+  }
+
+(* ---- split ---- *)
+
+let split (p : Ast.program) : Ast.program =
+  let wrapper (f : Ast.func) : Ast.func =
+    let args = List.map (fun a -> Ast.Ident a) f.Ast.params in
+    {
+      Ast.name = f.Ast.name ^ "_step";
+      params = f.Ast.params;
+      body = [ Ast.Return (Some (Ast.Call (Ast.Ident f.Ast.name, args))) ];
+    }
+  in
+  let wrappers = List.map wrapper p.Ast.functions in
+  let declared = List.map (fun (f : Ast.func) -> f.Ast.name) p.Ast.functions in
+  let redirect e =
+    Ast.map_expr
+      (fun e ->
+        match e with
+        | Ast.Call (Ast.Ident f, args) when List.mem f declared ->
+          Ast.Call (Ast.Ident (f ^ "_step"), args)
+        | e -> e)
+      e
+  in
+  let rec redirect_stmt s =
+    match s with
+    | Ast.Var (n, init) -> Ast.Var (n, Option.map redirect init)
+    | Ast.Expr_stmt e -> Ast.Expr_stmt (redirect e)
+    | Ast.If (c, t, f) ->
+      Ast.If (redirect c, List.map redirect_stmt t, List.map redirect_stmt f)
+    | Ast.While (c, b) -> Ast.While (redirect c, List.map redirect_stmt b)
+    | Ast.For (i, c, u, b) ->
+      Ast.For
+        (Option.map redirect_stmt i, Option.map redirect c, Option.map redirect u,
+         List.map redirect_stmt b)
+    | Ast.Return e -> Ast.Return (Option.map redirect e)
+    | Ast.Break | Ast.Continue -> s
+    | Ast.Block b -> Ast.Block (List.map redirect_stmt b)
+  in
+  {
+    Ast.functions = p.Ast.functions @ wrappers;
+    main = List.map redirect_stmt p.Ast.main;
+  }
+
+let apply ?(seed = 7) kind source =
+  let p = Parser.parse source in
+  match kind with
+  | Rename -> Printer.program_to_string (rename_program p)
+  | Minify -> Printer.program_to_string ~compact:true (rename_program p)
+  | Mix -> Printer.program_to_string (mix ~seed p)
+  | Split -> Printer.program_to_string (split p)

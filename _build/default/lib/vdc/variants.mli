@@ -1,0 +1,37 @@
+(** Exploit-variant generators — the paper's four approaches (§VI-B-b):
+
+    - {b Rename}: systematic α-renaming of every user identifier (what
+      Terser's mangler does), showing JITBULL is not tied to syntax.
+    - {b Minify}: renaming plus fully compacted output (Terser's
+      compression at our scale).
+    - {b Mix}: reordering of provably independent top-level statements
+      plus injected decoy functions that get JITed but play no part in the
+      exploit.
+    - {b Split}: the call graph is deepened — every declared function gets
+      a wrapper and top-level call sites are redirected through the
+      wrappers, multiplying the JITed functions and obscuring which one
+      carries the exploit. The exploit function bodies themselves are kept
+      intact, as the paper's manual variants do (splitting the guarded
+      access sequence across calls would genuinely defuse the exploit, in
+      our engine as in IonMonkey).
+
+    All four are source-to-source: parse → transform → print, and are
+    validated (in the test suite and the security bench) to remain
+    exploitable on the unpatched engine. *)
+
+type kind =
+  | Rename
+  | Minify
+  | Mix
+  | Split
+
+val all_kinds : kind list
+
+val kind_name : kind -> string
+
+(** [apply ?seed kind source] transforms the script. [seed] (default 7)
+    drives [Mix]'s shuffles. *)
+val apply : ?seed:int -> kind -> string -> string
+
+(** [rename_program p] — the AST-level renamer (exposed for tests). *)
+val rename_program : Jitbull_frontend.Ast.program -> Jitbull_frontend.Ast.program

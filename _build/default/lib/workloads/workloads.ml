@@ -1,0 +1,789 @@
+type t = {
+  name : string;
+  description : string;
+  source : string;
+}
+
+(* Richards: OS task scheduler — device/worker/handler tasks drained from
+   circular work queues; object-heavy with integer state machines. *)
+let richards =
+  {
+    name = "Richards";
+    description = "task scheduler simulation (objects, queues, state machines)";
+    source =
+      {|
+function makeQueue(cap) {
+  var q = {items: [], head: 0, tail: 0, count: 0, cap: cap};
+  var i = 0;
+  while (i < cap) { q.items.push(0); i = i + 1; }
+  return q;
+}
+function qPut(q, v) {
+  if (q.count >= q.cap) { return 0; }
+  q.items[q.tail] = v;
+  q.tail = (q.tail + 1) % q.cap;
+  q.count = q.count + 1;
+  return 1;
+}
+function qGet(q) {
+  if (q.count == 0) { return -1; }
+  var v = q.items[q.head];
+  q.head = (q.head + 1) % q.cap;
+  q.count = q.count - 1;
+  return v;
+}
+function workerStep(state, packet) {
+  return (state * 131 + packet * 17 + 7) % 9973;
+}
+function handlerStep(state, packet) {
+  var s = state;
+  var p = packet;
+  var j = 0;
+  for (j = 0; j < 4; j++) { s = (s + p) % 4099; p = (p * 3 + 1) % 811; }
+  return s;
+}
+function schedule(rounds) {
+  var devQ = makeQueue(16);
+  var workQ = makeQueue(16);
+  var workerState = 1;
+  var handlerState = 2;
+  var produced = 0;
+  var check = 0;
+  var r = 0;
+  for (r = 0; r < rounds; r++) {
+    if (qPut(devQ, r % 251) == 1) { produced = produced + 1; }
+    var pkt = qGet(devQ);
+    if (pkt >= 0) {
+      workerState = workerStep(workerState, pkt);
+      qPut(workQ, workerState % 149);
+    }
+    var wp = qGet(workQ);
+    if (wp >= 0) { handlerState = handlerStep(handlerState, wp); }
+    check = (check + workerState + handlerState) % 1000003;
+  }
+  return check + produced;
+}
+var result = 0;
+for (var iter = 0; iter < 40; iter++) { result = schedule(900); }
+print("richards " + result);
+|};
+  }
+
+(* DeltaBlue: one-way dataflow constraint propagation — a chain of
+   constraints re-planned and re-executed with changing strengths. *)
+let deltablue =
+  {
+    name = "DeltaBlue";
+    description = "constraint propagation (object graphs, planning walks)";
+    source =
+      {|
+function makeVar(v) { return {value: v, stay: 0, determinedBy: -1}; }
+function makeChain(n) {
+  var vars = [];
+  var i = 0;
+  for (i = 0; i <= n; i++) { vars.push(makeVar(i)); }
+  return vars;
+}
+function planOrder(vars, strengths, n) {
+  var order = [];
+  var i = 0;
+  for (i = 0; i < n; i++) {
+    if (strengths[i] > 0) { order.push(i); }
+  }
+  return order;
+}
+function executePlan(vars, order, scale) {
+  var i = 0;
+  var len = order.length;
+  for (i = 0; i < len; i++) {
+    var c = order[i];
+    var src = vars[c];
+    var dst = vars[c + 1];
+    dst.value = src.value * scale % 65521;
+    dst.determinedBy = c;
+  }
+  return vars[len].value;
+}
+function perturb(strengths, n, round) {
+  var i = 0;
+  for (i = 0; i < n; i++) {
+    strengths[i] = ((i + round) % 7 == 0) ? 0 : (i % 5) + 1;
+  }
+  return 0;
+}
+var n = 120;
+var vars = makeChain(n);
+var strengths = [];
+for (var s = 0; s < n; s++) { strengths.push(1); }
+var check = 0;
+for (var round = 0; round < 450; round++) {
+  perturb(strengths, n, round);
+  var order = planOrder(vars, strengths, n);
+  vars[0].value = round;
+  check = (check + executePlan(vars, order, 31)) % 1000003;
+}
+print("deltablue " + check);
+|};
+  }
+
+(* Crypto: multi-digit modular arithmetic — schoolbook multiply and a
+   square-and-multiply modpow over digit arrays (int math, carries). *)
+let crypto =
+  {
+    name = "Crypto";
+    description = "bignum arithmetic (digit arrays, carries, modpow)";
+    source =
+      {|
+function bigFrom(x, width) {
+  var d = [];
+  var i = 0;
+  for (i = 0; i < width; i++) { d.push(x % 10000); x = Math.floor(x / 10000); }
+  return d;
+}
+function bigMulMod(a, b, m, width) {
+  var out = [];
+  var i = 0;
+  for (i = 0; i < width; i++) { out.push(0); }
+  for (i = 0; i < width; i++) {
+    var carry = 0;
+    var ai = a[i];
+    var j = 0;
+    for (j = 0; j + i < width; j++) {
+      var cell = out[i + j] + ai * b[j] + carry;
+      out[i + j] = cell % 10000;
+      carry = Math.floor(cell / 10000);
+    }
+  }
+  for (i = 0; i < width; i++) { out[i] = out[i] % m; }
+  return out;
+}
+function bigChecksum(a, width) {
+  var acc = 0;
+  var i = 0;
+  for (i = 0; i < width; i++) { acc = (acc * 31 + a[i]) % 1000003; }
+  return acc;
+}
+function modpowish(base, rounds, width) {
+  var acc = bigFrom(base, width);
+  var mul = bigFrom(base * 3 + 1, width);
+  var r = 0;
+  for (r = 0; r < rounds; r++) {
+    acc = bigMulMod(acc, mul, 9973, width);
+  }
+  return bigChecksum(acc, width);
+}
+var check = 0;
+for (var outer = 0; outer < 12; outer++) {
+  check = (check + modpowish(12345 + outer, 110, 24)) % 1000003;
+}
+print("crypto " + check);
+|};
+  }
+
+(* RayTrace: float-heavy ray/sphere intersections with diffuse shading
+   over a small framebuffer. *)
+let raytrace =
+  {
+    name = "RayTrace";
+    description = "ray-sphere intersection and shading (float vectors)";
+    source =
+      {|
+function dot(ax, ay, az, bx, by, bz) { return ax*bx + ay*by + az*bz; }
+function hitSphere(ox, oy, oz, dx, dy, dz, cx, cy, cz, rad) {
+  var lx = cx - ox;
+  var ly = cy - oy;
+  var lz = cz - oz;
+  var tca = dot(lx, ly, lz, dx, dy, dz);
+  if (tca < 0) { return -1; }
+  var d2 = dot(lx, ly, lz, lx, ly, lz) - tca * tca;
+  var r2 = rad * rad;
+  if (d2 > r2) { return -1; }
+  var thc = Math.sqrt(r2 - d2);
+  return tca - thc;
+}
+function shade(t, dx, dy, dz) {
+  var base = 255 - Math.floor(t * 40);
+  if (base < 0) { base = 0; }
+  var lambert = dx * 0.57 + dy * 0.57 + dz * 0.57;
+  if (lambert < 0) { lambert = -lambert; }
+  return Math.floor(base * lambert);
+}
+function renderRow(y, width, frame) {
+  var acc = 0;
+  var x = 0;
+  for (x = 0; x < width; x++) {
+    var dx = (x - width / 2) / width;
+    var dy = (y - 24) / 48;
+    var dz = 1;
+    var norm = Math.sqrt(dx*dx + dy*dy + dz*dz);
+    dx = dx / norm; dy = dy / norm; dz = dz / norm;
+    var t1 = hitSphere(0, 0, 0, dx, dy, dz, 0.3, 0.2, 4, 1.1);
+    var t2 = hitSphere(0, 0, 0, dx, dy, dz, -0.8, -0.3, 6, 1.7);
+    var pixel = 10;
+    if (t1 > 0) { pixel = shade(t1, dx, dy, dz); }
+    else { if (t2 > 0) { pixel = shade(t2, dx, dy, dz) / 2; } }
+    frame[x] = pixel;
+    acc = acc + pixel;
+  }
+  return acc;
+}
+var width = 80;
+var frame = [];
+for (var fx = 0; fx < width; fx++) { frame.push(0); }
+var check = 0;
+for (var pass = 0; pass < 16; pass++) {
+  for (var y = 0; y < 48; y++) {
+    check = (check + renderRow(y, width, frame)) % 1000003;
+  }
+}
+print("raytrace " + check);
+|};
+  }
+
+(* RegExp: string scanning — naive pattern search plus character-class
+   counting over a synthesized corpus (charCodeAt-heavy). *)
+let regexp =
+  {
+    name = "RegExp";
+    description = "string scanning and matching (charCodeAt, substring)";
+    source =
+      {|
+function synthesize(n) {
+  var s = "";
+  var i = 0;
+  for (i = 0; i < n; i++) {
+    var c = (i * 7 + 3) % 26;
+    s = s + String.fromCharCode(97 + c);
+    if (i % 13 == 12) { s = s + " "; }
+  }
+  return s;
+}
+function countMatches(hay, needle) {
+  var count = 0;
+  var from = 0;
+  var nlen = needle.length;
+  var hlen = hay.length;
+  while (from + nlen <= hlen) {
+    var sub = hay.substring(from, from + nlen);
+    if (sub == needle) { count = count + 1; from = from + nlen; }
+    else { from = from + 1; }
+  }
+  return count;
+}
+function classify(s) {
+  var vowels = 0;
+  var spaces = 0;
+  var i = 0;
+  var len = s.length;
+  for (i = 0; i < len; i++) {
+    var c = s.charCodeAt(i);
+    if (c == 32) { spaces = spaces + 1; }
+    else {
+      if (c == 97 || c == 101 || c == 105 || c == 111 || c == 117) { vowels = vowels + 1; }
+    }
+  }
+  return vowels * 1000 + spaces;
+}
+var corpus = synthesize(1400);
+var check = 0;
+for (var round = 0; round < 60; round++) {
+  check = (check + countMatches(corpus, "hov") + classify(corpus)) % 1000003;
+}
+print("regexp " + check);
+|};
+  }
+
+(* Splay: splay-tree insert/lookup churn — pointer-chasing over object
+   nodes, the GC-ish allocation-heavy Octane profile. *)
+let splay =
+  {
+    name = "Splay";
+    description = "splay tree insert/lookup churn (linked objects)";
+    source =
+      {|
+function mkNode(key) { return {key: key, left: null, right: null}; }
+function insert(root, key) {
+  if (root == null) { return mkNode(key); }
+  var cur = root;
+  while (true) {
+    if (key < cur.key) {
+      if (cur.left == null) { cur.left = mkNode(key); break; }
+      cur = cur.left;
+    } else {
+      if (key > cur.key) {
+        if (cur.right == null) { cur.right = mkNode(key); break; }
+        cur = cur.right;
+      } else { break; }
+    }
+  }
+  return root;
+}
+function lookupDepth(root, key) {
+  var depth = 0;
+  var cur = root;
+  while (cur != null) {
+    if (key == cur.key) { return depth; }
+    if (key < cur.key) { cur = cur.left; } else { cur = cur.right; }
+    depth = depth + 1;
+  }
+  return -1;
+}
+function rotateRight(node) {
+  var l = node.left;
+  if (l == null) { return node; }
+  node.left = l.right;
+  l.right = node;
+  return l;
+}
+var root = null;
+var check = 0;
+var key = 1;
+for (var i = 0; i < 2600; i++) {
+  key = (key * 131 + 7) % 8191;
+  root = insert(root, key);
+  if (i % 3 == 0) { root = rotateRight(root); }
+  var probe = (key * 17 + 3) % 8191;
+  check = (check + lookupDepth(root, probe) + 2) % 1000003;
+}
+print("splay " + check);
+|};
+  }
+
+(* NavierStokes: 2D diffusion/advection stencils over flat grids — the
+   dense float-array kernel profile. *)
+let navier_stokes =
+  {
+    name = "NavierStokes";
+    description = "fluid stencil kernels (dense float grids)";
+    source =
+      {|
+function idx(x, y, w) { return y * w + x; }
+function diffuse(src, dst, w, h, a) {
+  var y = 0;
+  for (y = 1; y < h - 1; y++) {
+    var x = 0;
+    for (x = 1; x < w - 1; x++) {
+      var c = idx(x, y, w);
+      dst[c] = (src[c] + a * (src[c-1] + src[c+1] + src[c-w] + src[c+w])) / (1 + 4*a);
+    }
+  }
+  return 0;
+}
+function addSource(grid, w, h, round) {
+  var cx = 1 + (round % (w - 2));
+  grid[idx(cx, 2, w)] = grid[idx(cx, 2, w)] + 8.5;
+  return 0;
+}
+function total(grid, n) {
+  var acc = 0;
+  var i = 0;
+  for (i = 0; i < n; i++) { acc = acc + grid[i]; }
+  return acc;
+}
+var w = 42;
+var h = 42;
+var n = w * h;
+var a = [];
+var b = [];
+for (var i0 = 0; i0 < n; i0++) { a.push(0); b.push(0); }
+var check = 0;
+for (var round = 0; round < 110; round++) {
+  addSource(a, w, h, round);
+  diffuse(a, b, w, h, 0.18);
+  diffuse(b, a, w, h, 0.18);
+  check = (check + Math.floor(total(a, n))) % 1000003;
+}
+print("navierstokes " + check);
+|};
+  }
+
+(* pdf.js: byte-stream decoding — RLE-ish unpacking, bit manipulation and
+   a Huffman-like table walk over int arrays. *)
+let pdfjs =
+  {
+    name = "PdfJS";
+    description = "byte-stream decoding (bit ops, table walks)";
+    source =
+      {|
+function buildStream(n) {
+  var s = [];
+  var i = 0;
+  for (i = 0; i < n; i++) { s.push((i * 37 + 11) % 256); }
+  return s;
+}
+function unpackRun(stream, out, from) {
+  var op = stream[from];
+  var count = (op & 15) + 1;
+  var val = (op >> 4) & 15;
+  var i = 0;
+  for (i = 0; i < count; i++) { out.push(val); }
+  return from + 1;
+}
+function bitSum(out) {
+  var acc = 0;
+  var i = 0;
+  var len = out.length;
+  for (i = 0; i < len; i++) {
+    var v = out[i];
+    acc = acc + ((v << 2) ^ (v >> 1) ^ (acc & 255));
+  }
+  return acc;
+}
+function tableWalk(stream, table) {
+  var state = 0;
+  var acc = 0;
+  var i = 0;
+  var len = stream.length;
+  for (i = 0; i < len; i++) {
+    state = table[(state + stream[i]) % table.length];
+    acc = (acc + state) % 1000003;
+  }
+  return acc;
+}
+var stream = buildStream(900);
+var table = [];
+for (var t = 0; t < 64; t++) { table.push((t * 29 + 5) % 64); }
+var out = [];
+var check = 0;
+for (var round = 0; round < 55; round++) {
+  out.length = 0;
+  var pos = 0;
+  while (pos < 256) { pos = unpackRun(stream, out, pos); }
+  check = (check + bitSum(out) + tableWalk(stream, table)) % 1000003;
+}
+print("pdfjs " + check);
+|};
+  }
+
+(* Box2D: rigid bodies under gravity with AABB overlap tests and impulse
+   response — mixed object/float physics-engine profile. *)
+let box2d =
+  {
+    name = "Box2D";
+    description = "rigid-body physics step (AABBs, impulses)";
+    source =
+      {|
+function makeBody(x, y, vx, vy, hw) {
+  return {x: x, y: y, vx: vx, vy: vy, hw: hw};
+}
+function integrate(b, dt) {
+  b.vy = b.vy + 9.8 * dt;
+  b.x = b.x + b.vx * dt;
+  b.y = b.y + b.vy * dt;
+  if (b.y > 100) { b.y = 100; b.vy = 0 - b.vy * 0.45; }
+  if (b.x < 0) { b.x = 0; b.vx = 0 - b.vx; }
+  if (b.x > 200) { b.x = 200; b.vx = 0 - b.vx; }
+  return 0;
+}
+function overlaps(a, b) {
+  var dx = a.x - b.x;
+  if (dx < 0) { dx = 0 - dx; }
+  var dy = a.y - b.y;
+  if (dy < 0) { dy = 0 - dy; }
+  return (dx < a.hw + b.hw && dy < a.hw + b.hw) ? 1 : 0;
+}
+function resolve(a, b) {
+  var tvx = a.vx;
+  a.vx = b.vx * 0.9;
+  b.vx = tvx * 0.9;
+  return 0;
+}
+var bodies = [];
+for (var bi = 0; bi < 26; bi++) {
+  bodies.push(makeBody(bi * 7.3, bi * 3.1, (bi % 5) - 2.5, 0, 1.5 + (bi % 3)));
+}
+var check = 0;
+for (var step = 0; step < 900; step++) {
+  for (var i = 0; i < 26; i++) { integrate(bodies[i], 0.016); }
+  for (var i2 = 0; i2 < 26; i2++) {
+    for (var j2 = i2 + 1; j2 < 26; j2++) {
+      if (overlaps(bodies[i2], bodies[j2]) == 1) { resolve(bodies[i2], bodies[j2]); }
+    }
+  }
+  check = (check + Math.floor(bodies[step % 26].x * 10)) % 1000003;
+}
+print("box2d " + check);
+|};
+  }
+
+(* TypeScript: tokenizer + nesting analyzer over a synthesized source
+   string — the string/branch-heavy compiler-frontend profile. *)
+let typescript =
+  {
+    name = "TypeScript";
+    description = "tokenizer and nesting analysis (compiler frontend)";
+    source =
+      {|
+function synthesizeCode(n) {
+  var parts = "function foo(a, b) { var x = a + b * 2; if (x > 10) { return x; } return b; } ";
+  var s = "";
+  var i = 0;
+  for (i = 0; i < n; i++) { s = s + parts; }
+  return s;
+}
+function isIdentChar(c) {
+  return (c >= 97 && c <= 122) || (c >= 65 && c <= 90) || (c >= 48 && c <= 57) || c == 95;
+}
+function tokenize(src, kinds) {
+  var i = 0;
+  var len = src.length;
+  var count = 0;
+  while (i < len) {
+    var c = src.charCodeAt(i);
+    if (c == 32) { i = i + 1; }
+    else {
+      if (isIdentChar(c)) {
+        var start = i;
+        while (i < len && isIdentChar(src.charCodeAt(i))) { i = i + 1; }
+        kinds.push(1 + (i - start));
+        count = count + 1;
+      } else {
+        kinds.push(0 - c);
+        count = count + 1;
+        i = i + 1;
+      }
+    }
+  }
+  return count;
+}
+function nesting(kinds) {
+  var depth = 0;
+  var maxDepth = 0;
+  var i = 0;
+  var len = kinds.length;
+  for (i = 0; i < len; i++) {
+    var k = kinds[i];
+    if (k == -123) { depth = depth + 1; if (depth > maxDepth) { maxDepth = depth; } }
+    if (k == -125) { depth = depth - 1; }
+  }
+  return maxDepth * 1000 + depth;
+}
+var src = synthesizeCode(26);
+var check = 0;
+for (var round = 0; round < 45; round++) {
+  var kinds = [];
+  var count = tokenize(src, kinds);
+  check = (check + count + nesting(kinds)) % 1000003;
+}
+print("typescript " + check);
+|};
+  }
+
+(* EarleyBoyer: symbolic computation — term trees as objects, rewrite
+   rules, and unification-ish matching (allocation + pointer chasing). *)
+let earley_boyer =
+  {
+    name = "EarleyBoyer";
+    description = "symbolic term rewriting (object trees, rule matching)";
+    source =
+      {|
+function mkTerm(op, l, r) { return {op: op, left: l, right: r, size: 1}; }
+function leaf(v) { return {op: 0, left: null, right: null, size: v}; }
+function build(depth, salt) {
+  if (depth == 0) { return leaf((salt % 7) + 1); }
+  var op = (salt % 3) + 1;
+  return mkTerm(op, build(depth - 1, salt * 3 + 1), build(depth - 1, salt * 5 + 2));
+}
+function rewrite(t) {
+  if (t.op == 0) { return t; }
+  var l = rewrite(t.left);
+  var r = rewrite(t.right);
+  if (t.op == 1 && l.op == 0 && r.op == 0) { return leaf((l.size + r.size) % 97); }
+  if (t.op == 2 && l.op == 0 && r.op == 0) { return leaf((l.size * r.size) % 97); }
+  if (t.op == 3 && l.op == r.op) { return mkTerm(1, l, r); }
+  return mkTerm(t.op, l, r);
+}
+function measure(t) {
+  if (t.op == 0) { return t.size; }
+  return measure(t.left) + measure(t.right) + 1;
+}
+var check = 0;
+for (var round = 0; round < 180; round++) {
+  var term = build(6, round);
+  var reduced = rewrite(rewrite(term));
+  check = (check + measure(reduced)) % 1000003;
+}
+print("earleyboyer " + check);
+|};
+  }
+
+(* Gameboy: a toy CPU emulator — fetch/decode/execute over byte arrays
+   with flags and memory-mapped I/O, the tight-dispatch-loop profile. *)
+let gameboy =
+  {
+    name = "Gameboy";
+    description = "toy CPU emulator (fetch-decode-execute, flags, memory)";
+    source =
+      {|
+function makeCpu() { return {a: 0, b: 0, pc: 0, flags: 0, cycles: 0}; }
+function step(cpu, rom, ram) {
+  var op = rom[cpu.pc % rom.length];
+  cpu.pc = cpu.pc + 1;
+  if (op < 64) { cpu.a = (cpu.a + op) & 255; cpu.cycles = cpu.cycles + 1; }
+  else {
+    if (op < 128) { cpu.b = (cpu.a ^ op) & 255; cpu.cycles = cpu.cycles + 2; }
+    else {
+      if (op < 192) {
+        ram[op & 63] = cpu.a;
+        cpu.a = (cpu.a + cpu.b) & 255;
+        cpu.cycles = cpu.cycles + 3;
+      } else {
+        cpu.a = ram[(cpu.a + op) & 63];
+        cpu.flags = cpu.a == 0 ? 1 : 0;
+        if (cpu.flags == 1) { cpu.pc = cpu.pc + 2; }
+        cpu.cycles = cpu.cycles + 4;
+      }
+    }
+  }
+  return cpu.cycles;
+}
+var rom = [];
+for (var i = 0; i < 512; i++) { rom.push((i * 73 + 19) % 256); }
+var ram = [];
+for (var j = 0; j < 64; j++) { ram.push(0); }
+var cpu = makeCpu();
+var check = 0;
+for (var frame = 0; frame < 90; frame++) {
+  for (var tick = 0; tick < 700; tick++) { step(cpu, rom, ram); }
+  check = (check + cpu.a + cpu.cycles) % 1000003;
+}
+print("gameboy " + check);
+|};
+  }
+
+(* CodeLoad: many distinct small functions each warmed past the JIT
+   threshold — stresses per-function compile/analysis cost (the
+   Nr_JIT-heavy profile of Octane's CodeLoad). *)
+let code_load =
+  let buf = Buffer.create 2048 in
+  for i = 0 to 23 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "function unit%d(x) { var t = x + %d; for (var i = 0; i < 6; i++) { t = (t * %d + i) %% 9973; } return t; }\n"
+         i (i * 7) (i + 3))
+  done;
+  Buffer.add_string buf "var check = 0;\nfor (var round = 0; round < 60; round++) {\n";
+  for i = 0 to 23 do
+    Buffer.add_string buf (Printf.sprintf "  check = (check + unit%d(round)) %% 1000003;\n" i)
+  done;
+  Buffer.add_string buf "}\nprint(\"codeload \" + check);\n";
+  {
+    name = "CodeLoad";
+    description = "many distinct hot functions (compile/analysis pressure)";
+    source = Buffer.contents buf;
+  }
+
+(* Mandreel: compiled-C-code profile — a big switch-dispatched virtual
+   machine with function-expression handlers, exercising the desugared
+   [switch] and lambda-lifted function values in hot code. *)
+let mandreel =
+  {
+    name = "Mandreel";
+    description = "switch-dispatched VM with function-valued handlers";
+    source =
+      {|
+var handlers = {
+  add: function(r) { r[0] = (r[0] + r[1]) % 65521; return 1; },
+  mix: function(r) { r[1] = (r[1] * 3 + r[2]) % 65521; return 1; },
+  rot: function(r) { var t = r[0]; r[0] = r[1]; r[1] = r[2]; r[2] = t; return 1; }
+};
+function dispatch(op, r) {
+  switch (op) {
+    case 0: return handlers.add(r);
+    case 1: return handlers.mix(r);
+    case 2: return handlers.rot(r);
+    case 3:
+    case 4:
+      r[2] = (r[2] + op) % 255;
+      return 2;
+    default:
+      r[0] = r[0] ^ 1;
+      return 0;
+  }
+}
+function runProgram(prog, r) {
+  var cost = 0;
+  var i = 0;
+  do {
+    cost = cost + dispatch(prog[i], r);
+    i = i + 1;
+  } while (i < prog.length);
+  return cost;
+}
+var prog = [];
+for (var p = 0; p < 600; p++) { prog.push((p * 13 + 5) % 7); }
+var regs = [1, 2, 3];
+var check = 0;
+for (var round = 0; round < 140; round++) {
+  check = (check + runProgram(prog, regs) + regs[0]) % 1000003;
+}
+print("mandreel " + check);
+|};
+  }
+
+let microbench1 =
+  {
+    name = "Microbench1";
+    description = "arithmetic on variables in a for loop (paper's Microbench1)";
+    source =
+      {|
+function kernel(n) {
+  var a = 1;
+  var b = 2;
+  var c = 0;
+  for (var i = 0; i < n; i++) {
+    c = (a * 3 + b - (c >> 1)) % 65521;
+    a = a + 1;
+    b = b ^ c;
+  }
+  return c;
+}
+var check = 0;
+for (var round = 0; round < 300; round++) { check = (check + kernel(1200)) % 1000003; }
+print("microbench1 " + check);
+|};
+  }
+
+let microbench2 =
+  {
+    name = "Microbench2";
+    description = "array size manipulation in a loop (paper's Microbench2)";
+    source =
+      {|
+function pump(arr, n) {
+  var i = 0;
+  for (i = 0; i < n; i++) { arr.push(i * 3 % 251); }
+  for (i = 0; i < n; i++) { arr.pop(); }
+  arr.length = 4;
+  return arr.length + arr[0];
+}
+var check = 0;
+var arr = [7, 7, 7, 7];
+for (var round = 0; round < 2200; round++) { check = (check + pump(arr, 40)) % 1000003; }
+print("microbench2 " + check);
+|};
+  }
+
+let all =
+  [
+    richards;
+    deltablue;
+    crypto;
+    raytrace;
+    regexp;
+    splay;
+    navier_stokes;
+    pdfjs;
+    box2d;
+    typescript;
+    earley_boyer;
+    gameboy;
+    code_load;
+    mandreel;
+  ]
+
+let everything = all @ [ microbench1; microbench2 ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun w -> String.lowercase_ascii w.name = lower) everything

@@ -1,0 +1,31 @@
+(** Harmless benchmark corpus — analogues of the Octane suite the paper
+    evaluates with (§VI-A-b), written in the mini-JS subset, plus the
+    paper's two micro-benchmarks.
+
+    Each program is named after and shaped like its Octane counterpart
+    (task-scheduler objects for Richards, constraint propagation for
+    DeltaBlue, bignum arithmetic for Crypto, float ray-sphere math for
+    RayTrace, string scanning for RegExp, splay-tree objects for Splay,
+    stencil grids for NavierStokes, byte-stream decoding for pdf.js, rigid
+    bodies for Box2D, a tokenizer for TypeScript); they exist to provide a
+    diverse population of hot JITed functions for the false-positive and
+    overhead measurements, not to match Octane's absolute scores.
+
+    Programs are deterministic and print a final checksum line, which the
+    differential tests compare across execution tiers. *)
+
+type t = {
+  name : string;  (** Octane-style display name, e.g. "Richards" *)
+  description : string;
+  source : string;
+}
+
+val all : t list  (** the thirteen Octane analogues, paper order first *)
+
+val microbench1 : t  (** loop arithmetic (paper §VI-A-b) *)
+
+val microbench2 : t  (** array-size manipulation (paper §VI-A-b) *)
+
+val everything : t list  (** [all] plus the two micro-benchmarks *)
+
+val find : string -> t option  (** case-insensitive by name *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Jitbull_bytecode Jitbull_frontend Jitbull_interp Jitbull_jit Jitbull_mir Jitbull_passes List QCheck_alcotest String

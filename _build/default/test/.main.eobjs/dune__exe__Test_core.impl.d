@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Filename Hashtbl Helpers Jitbull_core Jitbull_jit Jitbull_mir Jitbull_passes Jitbull_util Jitbull_vdc List Sys

@@ -1,0 +1,1 @@
+test/test_differential.ml: Helpers Jitbull_fuzz Jitbull_jit Jitbull_passes List QCheck String

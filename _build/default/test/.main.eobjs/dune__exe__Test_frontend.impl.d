@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Helpers Jitbull_frontend List QCheck String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Helpers Jitbull_core Jitbull_frontend Jitbull_fuzz Jitbull_jit Jitbull_passes List Printf String

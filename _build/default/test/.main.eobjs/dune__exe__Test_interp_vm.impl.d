@@ -1,0 +1,1 @@
+test/test_interp_vm.ml: Alcotest Array Helpers Jitbull_bytecode Jitbull_frontend Jitbull_interp Jitbull_runtime List String

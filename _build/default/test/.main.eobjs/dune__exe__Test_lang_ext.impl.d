@@ -1,0 +1,1 @@
+test/test_lang_ext.ml: Alcotest Helpers Jitbull_frontend List String

@@ -1,0 +1,1 @@
+test/test_lir.ml: Alcotest Array Hashtbl Helpers Jitbull_bytecode Jitbull_frontend Jitbull_jit Jitbull_lir Jitbull_mir Jitbull_runtime String

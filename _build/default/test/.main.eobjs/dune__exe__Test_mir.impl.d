@@ -1,0 +1,1 @@
+test/test_mir.ml: Alcotest Array Helpers Jitbull_bytecode Jitbull_frontend Jitbull_mir Jitbull_runtime List Vm

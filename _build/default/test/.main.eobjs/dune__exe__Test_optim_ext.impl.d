@@ -1,0 +1,1 @@
+test/test_optim_ext.ml: Alcotest Array Helpers Jitbull_bytecode Jitbull_frontend Jitbull_jit Jitbull_lir Jitbull_mir Jitbull_passes List String Vm

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Hashtbl Helpers Jitbull_mir Jitbull_passes List

@@ -1,0 +1,1 @@
+test/test_properties.ml: Hashtbl Helpers Jitbull_core Jitbull_runtime Jitbull_vdc List QCheck String Test_differential

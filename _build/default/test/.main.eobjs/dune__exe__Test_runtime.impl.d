@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Float Hashtbl Helpers Jitbull_frontend Jitbull_runtime List

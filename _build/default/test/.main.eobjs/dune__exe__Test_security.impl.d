@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Float Helpers Jitbull_core Jitbull_jit Jitbull_passes Jitbull_vdc List Printf

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Helpers Jitbull_util List QCheck String

@@ -1,0 +1,1 @@
+test/test_variants.ml: Alcotest Helpers Jitbull_frontend Jitbull_vdc List String

@@ -1,0 +1,1 @@
+test/test_verify_mode.ml: Alcotest Helpers Jitbull_core Jitbull_jit Jitbull_passes Jitbull_vdc Jitbull_workloads List

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Helpers Jitbull_jit Jitbull_workloads List String

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "jitbull"
+    [
+      Test_util.suite;
+      Test_frontend.suite;
+      Test_runtime.suite;
+      Test_interp_vm.suite;
+      Test_mir.suite;
+      Test_passes.suite;
+      Test_lir.suite;
+      Test_core.suite;
+      Test_security.suite;
+      Test_variants.suite;
+      Test_differential.suite;
+      Test_workloads.suite;
+      Test_optim_ext.suite;
+      Test_properties.suite;
+      Test_lang_ext.suite;
+      Test_extra_unit.suite;
+      Test_fuzz.suite;
+      Test_verify_mode.suite;
+    ]

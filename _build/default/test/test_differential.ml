@@ -1,0 +1,65 @@
+(* Property-based differential testing in the spirit of JIT fuzzing
+   (paper §VII): generated programs must behave identically on the
+   reference interpreter, the bytecode VM, and the fully optimizing JIT.
+
+   The generator produces type-stable, guaranteed-terminating programs
+   (bounded loops only, numeric-only hot arithmetic, in-bounds array
+   accesses) so that no bailouts fire — see DESIGN.md on
+   replay-from-entry deoptimization. *)
+
+open Helpers
+module Engine = Jitbull_jit.Engine
+
+(* The program generator lives in [Jitbull_fuzz.Generator]; this module
+   applies it as qcheck properties. [gen_program] is re-exported for the
+   other property suites. *)
+
+let gen_program seed = Jitbull_fuzz.Generator.benign ~seed
+
+let qcheck_differential =
+  QCheck.Test.make ~count:60 ~name:"interpreter == VM == JIT on generated programs"
+    QCheck.(small_int)
+    (fun seed ->
+      let src = gen_program seed in
+      let reference = interp_output src in
+      String.equal reference (vm_output src) && String.equal reference (jit_output src))
+
+let qcheck_differential_all_pass_subsets =
+  (* disabling any single optional pass must preserve semantics too (the
+     JITBULL mitigation path must be safe) *)
+  QCheck.Test.make ~count:30 ~name:"single disabled pass preserves semantics"
+    QCheck.(pair small_int (int_range 0 13))
+    (fun (seed, pass_idx) ->
+      let src = gen_program seed in
+      let optional =
+        List.filter Jitbull_passes.Pipeline.can_disable Jitbull_passes.Pipeline.pass_names
+      in
+      let pass = List.nth optional (pass_idx mod List.length optional) in
+      let reference = interp_output src in
+      (* run an engine with the analyzer forcing this pass off for every
+         function *)
+      let analyzer ~func_index:_ ~name:_ ~trace:_ = Engine.Disable_passes [ pass ] in
+      let config = { jit_config with Engine.analyzer = Some analyzer } in
+      String.equal reference (jit_output ~config src))
+
+let qcheck_differential_vulnerable_engine_on_benign_code =
+  (* the injected bugs only matter for code that manipulates array sizes
+     around accesses; the generated benign corpus must run identically
+     even on a fully vulnerable engine *)
+  QCheck.Test.make ~count:30 ~name:"vulnerable engine correct on benign programs"
+    QCheck.(small_int)
+    (fun seed ->
+      let src = gen_program seed in
+      let reference = interp_output src in
+      let config =
+        { jit_config with Engine.vulns = Jitbull_passes.Vuln_config.make Jitbull_passes.Vuln_config.all }
+      in
+      String.equal reference (jit_output ~config src))
+
+let suite =
+  ( "differential",
+    [
+      qtest qcheck_differential;
+      qtest qcheck_differential_all_pass_subsets;
+      qtest qcheck_differential_vulnerable_engine_on_benign_code;
+    ] )

@@ -1,0 +1,232 @@
+(* Tests for the lexer, parser and printer. *)
+
+open Helpers
+module Lexer = Jitbull_frontend.Lexer
+module Token = Jitbull_frontend.Token
+module Parser = Jitbull_frontend.Parser
+module Printer = Jitbull_frontend.Printer
+module Ast = Jitbull_frontend.Ast
+
+let tokens src = List.map (fun (s : Token.spanned) -> s.Token.token) (Lexer.tokenize src)
+
+let test_lex_numbers () =
+  check_bool "int" true (tokens "42" = [ Token.NUMBER 42.0; Token.EOF ]);
+  check_bool "float" true (tokens "3.5" = [ Token.NUMBER 3.5; Token.EOF ]);
+  check_bool "hex" true (tokens "0x10" = [ Token.NUMBER 16.0; Token.EOF ]);
+  check_bool "exponent" true (tokens "1e3" = [ Token.NUMBER 1000.0; Token.EOF ]);
+  check_bool "leading dot" true (tokens ".5" = [ Token.NUMBER 0.5; Token.EOF ])
+
+let test_lex_strings () =
+  check_bool "double quoted" true (tokens {|"ab"|} = [ Token.STRING "ab"; Token.EOF ]);
+  check_bool "single quoted" true (tokens "'cd'" = [ Token.STRING "cd"; Token.EOF ]);
+  check_bool "escapes" true (tokens {|"a\nb\"c"|} = [ Token.STRING "a\nb\"c"; Token.EOF ])
+
+let test_lex_operators () =
+  check_bool ">>> vs >>" true (tokens "a >>> b >> c" =
+    [ Token.IDENT "a"; Token.USHR; Token.IDENT "b"; Token.SHR; Token.IDENT "c"; Token.EOF ]);
+  check_bool "=== vs ==" true (tokens "a === b == c" =
+    [ Token.IDENT "a"; Token.EQEQEQ; Token.IDENT "b"; Token.EQEQ; Token.IDENT "c"; Token.EOF ]);
+  check_bool "++ vs + +" true (tokens "a++ + b" =
+    [ Token.IDENT "a"; Token.PLUSPLUS; Token.PLUS; Token.IDENT "b"; Token.EOF ])
+
+let test_lex_comments () =
+  check_bool "line comment" true (tokens "1 // two\n3" = [ Token.NUMBER 1.0; Token.NUMBER 3.0; Token.EOF ]);
+  check_bool "block comment" true (tokens "1 /* x\ny */ 2" = [ Token.NUMBER 1.0; Token.NUMBER 2.0; Token.EOF ])
+
+let test_lex_keywords () =
+  check_bool "let is var" true (tokens "let x" = [ Token.VAR; Token.IDENT "x"; Token.EOF ]);
+  check_bool "const is var" true (tokens "const x" = [ Token.VAR; Token.IDENT "x"; Token.EOF ])
+
+let test_lex_errors () =
+  let fails s =
+    match Lexer.tokenize s with
+    | exception Lexer.Lex_error _ -> ()
+    | _ -> Alcotest.fail ("should not lex: " ^ s)
+  in
+  fails "@";
+  fails "\"unterminated";
+  fails "/* unterminated"
+
+let test_parse_precedence () =
+  let e = Parser.parse_expression "1 + 2 * 3" in
+  check_bool "mul binds tighter" true
+    (e = Ast.Binary (Ast.Add, Ast.Number 1.0, Ast.Binary (Ast.Mul, Ast.Number 2.0, Ast.Number 3.0)));
+  let e2 = Parser.parse_expression "1 < 2 && 3 < 4 || x" in
+  (match e2 with
+  | Ast.Logical (Ast.Or, Ast.Logical (Ast.And, _, _), Ast.Ident "x") -> ()
+  | _ -> Alcotest.fail "|| / && precedence");
+  let e3 = Parser.parse_expression "a = b = 1" in
+  match e3 with
+  | Ast.Assign (Ast.Lvar "a", Ast.Assign (Ast.Lvar "b", Ast.Number 1.0)) -> ()
+  | _ -> Alcotest.fail "assignment right-assoc"
+
+let test_parse_postfix_chain () =
+  match Parser.parse_expression "a.b[1](2).c" with
+  | Ast.Member (Ast.Call (Ast.Index (Ast.Member (Ast.Ident "a", "b"), Ast.Number 1.0), [ Ast.Number 2.0 ]), "c")
+    -> ()
+  | _ -> Alcotest.fail "postfix chain shape"
+
+let test_parse_incr_desugar () =
+  (* x++ keeps old-value semantics via (x = x + 1) - 1 *)
+  check_string "postfix value" "3\n4\n" (interp_output "var x = 3; print(x++); print(x);");
+  check_string "prefix value" "4\n4\n" (interp_output "var x = 3; print(++x); print(x);");
+  check_string "compound" "10\n" (interp_output "var x = 7; x += 3; print(x);")
+
+let test_parse_statements () =
+  let p = Parser.parse "function f(a) { return a; } var x = 1; if (x) { x = 2; } else x = 3;" in
+  check_int "one function" 1 (List.length p.Ast.functions);
+  check_int "two main stmts" 2 (List.length p.Ast.main)
+
+let test_parse_for_variants () =
+  check_string "classic for" "10\n" (interp_output "var t = 0; for (var i = 0; i < 5; i++) t += i; print(t);");
+  check_string "for no init" "3\n" (interp_output "var i = 0; for (; i < 3;) i += 1; print(i);");
+  check_string "multi declarator" "7\n"
+    (interp_output "for (var i = 0, j = 7; i < 1; i++) { print(j); }")
+
+let test_parse_errors () =
+  let fails s =
+    match Parser.parse s with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ s)
+  in
+  fails "function f() { function g() {} }";
+  fails "1 +";
+  fails "if (x)";
+  fails "var = 3;";
+  fails "1 = 2;";
+  fails "break;;;)"
+
+let test_printer_basic () =
+  let p = Parser.parse "function f(a,b){return a*b+1;} print(f(2,3));" in
+  let printed = Printer.program_to_string p in
+  check_bool "mentions function" true
+    (String.length printed > 0 && String.sub printed 0 8 = "function");
+  (* reparse gives the same AST *)
+  check_bool "roundtrip equal" true (Ast.equal_program p (Parser.parse printed))
+
+let test_printer_compact () =
+  let p = Parser.parse "var x = 1 + 2; if (x > 2) { print(x); }" in
+  let compact = Printer.program_to_string ~compact:true p in
+  check_bool "no newlines" true (not (String.contains compact '\n'));
+  check_bool "compact reparses" true (Ast.equal_program p (Parser.parse compact))
+
+let test_printer_precedence_parens () =
+  let cases =
+    [ "(1 + 2) * 3"; "1 - (2 - 3)"; "-(1 + 2)"; "(a = 1) + 2"; "!(a && b)"; "1 < (2 < 3 ? 4 : 5)" ]
+  in
+  List.iter
+    (fun src ->
+      let e = Parser.parse_expression src in
+      let printed = Printer.expr_to_string e in
+      check_bool (src ^ " roundtrip") true (Ast.equal_expr e (Parser.parse_expression printed)))
+    cases
+
+(* Random AST generator for the printer/parser roundtrip property. *)
+let gen_program : Ast.program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let ident = oneofl [ "a"; "b"; "c"; "x"; "y" ] in
+  let rec expr n =
+    if n <= 0 then
+      oneof
+        [
+          map (fun f -> Ast.Number (float_of_int f)) (int_range 0 100);
+          map (fun s -> Ast.String s) (oneofl [ "s"; "hi"; "" ]);
+          map (fun b -> Ast.Bool b) bool;
+          return Ast.Null;
+          return Ast.Undefined;
+          map (fun v -> Ast.Ident v) ident;
+        ]
+    else
+      frequency
+        [
+          (3, expr 0);
+          ( 2,
+            map3
+              (fun op a b -> Ast.Binary (op, a, b))
+              (oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Lt; Ast.Strict_eq; Ast.Bit_and; Ast.Shl ])
+              (expr (n / 2)) (expr (n / 2)) );
+          (1, map2 (fun a b -> Ast.Logical (Ast.And, a, b)) (expr (n / 2)) (expr (n / 2)));
+          (1, map3 (fun c t e -> Ast.Conditional (c, t, e)) (expr (n / 3)) (expr (n / 3)) (expr (n / 3)));
+          (1, map2 (fun v e -> Ast.Assign (Ast.Lvar v, e)) ident (expr (n - 1)));
+          (1, map (fun es -> Ast.Array_lit es) (list_size (int_range 0 3) (expr (n / 2))));
+          (1, map2 (fun o i -> Ast.Index (o, i)) (expr (n / 2)) (expr (n / 2)));
+          (1, map (fun o -> Ast.Member (o, "p")) (expr (n / 2)));
+          (1, map2 (fun f args -> Ast.Call (f, args)) (map (fun v -> Ast.Ident v) ident)
+                (list_size (int_range 0 2) (expr (n / 2))));
+        ]
+  in
+  let rec stmt n =
+    if n <= 0 then
+      oneof
+        [
+          map (fun e -> Ast.Expr_stmt e) (expr 2);
+          map2 (fun v e -> Ast.Var (v, Some e)) ident (expr 2);
+          return Ast.Break;
+          return Ast.Continue;
+          map (fun e -> Ast.Return (Some e)) (expr 2);
+        ]
+    else
+      frequency
+        [
+          (3, stmt 0);
+          ( 1,
+            map3
+              (fun c t e -> Ast.If (c, t, e))
+              (expr 2)
+              (list_size (int_range 0 2) (stmt (n / 2)))
+              (list_size (int_range 0 2) (stmt (n / 2))) );
+          (1, map2 (fun c b -> Ast.While (c, b)) (expr 2) (list_size (int_range 0 2) (stmt (n / 2))));
+        ]
+  in
+  let func =
+    map2
+      (fun name body -> { Ast.name; params = [ "p"; "q" ]; body })
+      (oneofl [ "f"; "g" ])
+      (list_size (int_range 0 3) (stmt 2))
+  in
+  map2
+    (fun functions main -> { Ast.functions; main })
+    (list_size (int_range 0 2) func)
+    (list_size (int_range 0 4) (stmt 2))
+
+let qcheck_printer_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"printer/parser roundtrip (pretty)"
+    (QCheck.make gen_program)
+    (fun p -> Ast.equal_program p (Parser.parse (Printer.program_to_string p)))
+
+let qcheck_printer_roundtrip_compact =
+  QCheck.Test.make ~count:300 ~name:"printer/parser roundtrip (compact)"
+    (QCheck.make gen_program)
+    (fun p -> Ast.equal_program p (Parser.parse (Printer.program_to_string ~compact:true p)))
+
+let test_declared_vars () =
+  let p =
+    Parser.parse
+      "function f() { var a = 1; if (a) { var b = 2; } for (var c = 0; c < 1; c++) { var d; } var a; }"
+  in
+  let f = List.hd p.Ast.functions in
+  check_bool "hoisting collects nested, deduped" true
+    (Ast.declared_vars f.Ast.body = [ "a"; "b"; "c"; "d" ])
+
+let suite =
+  ( "frontend",
+    [
+      Alcotest.test_case "lex numbers" `Quick test_lex_numbers;
+      Alcotest.test_case "lex strings" `Quick test_lex_strings;
+      Alcotest.test_case "lex operators" `Quick test_lex_operators;
+      Alcotest.test_case "lex comments" `Quick test_lex_comments;
+      Alcotest.test_case "lex keywords" `Quick test_lex_keywords;
+      Alcotest.test_case "lex errors" `Quick test_lex_errors;
+      Alcotest.test_case "parse precedence" `Quick test_parse_precedence;
+      Alcotest.test_case "parse postfix chain" `Quick test_parse_postfix_chain;
+      Alcotest.test_case "incr/compound desugaring" `Quick test_parse_incr_desugar;
+      Alcotest.test_case "parse statements" `Quick test_parse_statements;
+      Alcotest.test_case "for variants" `Quick test_parse_for_variants;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "printer basic" `Quick test_printer_basic;
+      Alcotest.test_case "printer compact" `Quick test_printer_compact;
+      Alcotest.test_case "printer parens" `Quick test_printer_precedence_parens;
+      qtest qcheck_printer_roundtrip;
+      qtest qcheck_printer_roundtrip_compact;
+      Alcotest.test_case "declared_vars hoisting" `Quick test_declared_vars;
+    ] )

@@ -1,0 +1,108 @@
+(* Tests for the fuzzing subsystem and the paper's §IV-A auto-harvest
+   pipeline. *)
+
+open Helpers
+module F = Jitbull_fuzz
+module VC = Jitbull_passes.Vuln_config
+module Engine = Jitbull_jit.Engine
+module Db = Jitbull_core.Db
+module Jitbull = Jitbull_core.Jitbull
+
+let fast cfg = { cfg with Engine.baseline_threshold = 2; Engine.ion_threshold = 4 }
+
+let seeds n = List.init n (fun i -> i)
+
+let test_generator_determinism () =
+  check_string "benign deterministic" (F.Generator.benign ~seed:5) (F.Generator.benign ~seed:5);
+  check_string "aggressive deterministic" (F.Generator.aggressive ~seed:5)
+    (F.Generator.aggressive ~seed:5);
+  check_bool "seeds differ" true
+    (not (String.equal (F.Generator.benign ~seed:1) (F.Generator.benign ~seed:2)))
+
+let test_generated_programs_parse () =
+  List.iter
+    (fun seed ->
+      ignore (Jitbull_frontend.Parser.parse (F.Generator.benign ~seed));
+      ignore (Jitbull_frontend.Parser.parse (F.Generator.aggressive ~seed)))
+    (seeds 30)
+
+let test_benign_campaign_clean () =
+  (* benign programs agree on every tier even on a fully vulnerable engine *)
+  let config = fast { Engine.default_config with Engine.vulns = VC.make VC.all } in
+  let r = F.Harness.campaign ~profile:`Benign ~seeds:(seeds 15) ~config () in
+  check_int "all agree" r.F.Harness.total r.F.Harness.agreements;
+  check_int "no signals" 0 (List.length r.F.Harness.signals)
+
+let test_aggressive_on_patched_engine_clean () =
+  let config = fast Engine.default_config in
+  let r = F.Harness.campaign ~profile:`Aggressive ~seeds:(seeds 15) ~config () in
+  check_int "patched engine: no signals" 0 (List.length r.F.Harness.signals)
+
+let test_aggressive_finds_exploits () =
+  let vulns = VC.make [ VC.CVE_2019_17026; VC.CVE_2019_9813 ] in
+  let config = fast { Engine.default_config with Engine.vulns } in
+  let r = F.Harness.campaign ~profile:`Aggressive ~seeds:(seeds 15) ~config () in
+  check_bool "signals found" true (List.length r.F.Harness.signals > 0);
+  (* every signal is a memory-safety observable, not a mismatch *)
+  List.iter
+    (fun (f : F.Harness.finding) ->
+      match f.F.Harness.verdict with
+      | F.Oracle.Crash _ | F.Oracle.Shellcode _ | F.Oracle.Pwned _ | F.Oracle.Mismatch _ -> ()
+      | v -> Alcotest.fail ("unexpected verdict " ^ F.Oracle.verdict_summary v))
+    r.F.Harness.signals
+
+let test_auto_harvest_neutralizes () =
+  let vulns = VC.make [ VC.CVE_2019_17026; VC.CVE_2019_9813 ] in
+  let vulnerable = fast { Engine.default_config with Engine.vulns } in
+  let r = F.Harness.campaign ~profile:`Aggressive ~seeds:(seeds 12) ~config:vulnerable () in
+  check_bool "found something to harvest" true (r.F.Harness.signals <> []);
+  let db = Db.create () in
+  let n = F.Harness.auto_harvest ~vulns ~db r.F.Harness.signals in
+  check_bool "DNA entries installed" true (n > 0);
+  let protected_cfg = fast (Jitbull.config ~vulns db) in
+  List.iter
+    (fun (f : F.Harness.finding) ->
+      check_bool
+        (Printf.sprintf "seed %d neutralized" f.F.Harness.seed)
+        false
+        (F.Oracle.is_exploit_signal (F.Oracle.run ~config:protected_cfg f.F.Harness.source)))
+    r.F.Harness.signals
+
+let test_generalizes_to_fresh_inputs () =
+  (* DNA harvested from one campaign blocks exploit inputs from different
+     seeds — the similarity matching at work, not input memorization *)
+  let vulns = VC.make [ VC.CVE_2019_17026; VC.CVE_2019_9813 ] in
+  let vulnerable = fast { Engine.default_config with Engine.vulns } in
+  let train = F.Harness.campaign ~profile:`Aggressive ~seeds:(seeds 12) ~config:vulnerable () in
+  let db = Db.create () in
+  ignore (F.Harness.auto_harvest ~vulns ~db train.F.Harness.signals);
+  let protected_cfg = fast (Jitbull.config ~vulns db) in
+  let fresh = List.init 10 (fun i -> 500 + i) in
+  let unprotected = F.Harness.campaign ~profile:`Aggressive ~seeds:fresh ~config:vulnerable () in
+  let guarded = F.Harness.campaign ~profile:`Aggressive ~seeds:fresh ~config:protected_cfg () in
+  check_bool "fresh inputs exploit unprotected" true (unprotected.F.Harness.signals <> []);
+  check_int "fresh inputs blocked under fuzz-fed JITBULL" 0
+    (List.length guarded.F.Harness.signals)
+
+let test_oracle_classifications () =
+  (match F.Oracle.run "print(1 + 1);" with
+  | F.Oracle.Agree out -> check_string "agree output" "2\n" out
+  | v -> Alcotest.fail (F.Oracle.verdict_summary v));
+  (match F.Oracle.run "print(undefinedName);" with
+  | F.Oracle.Runtime_error _ -> ()
+  | v -> Alcotest.fail (F.Oracle.verdict_summary v));
+  check_bool "agree is not a signal" false (F.Oracle.is_exploit_signal (F.Oracle.Agree ""));
+  check_bool "crash is a signal" true (F.Oracle.is_exploit_signal (F.Oracle.Crash ""))
+
+let suite =
+  ( "fuzz",
+    [
+      Alcotest.test_case "generator determinism" `Quick test_generator_determinism;
+      Alcotest.test_case "generated programs parse" `Quick test_generated_programs_parse;
+      Alcotest.test_case "benign campaign clean" `Slow test_benign_campaign_clean;
+      Alcotest.test_case "aggressive clean on patched" `Slow test_aggressive_on_patched_engine_clean;
+      Alcotest.test_case "aggressive finds exploits" `Slow test_aggressive_finds_exploits;
+      Alcotest.test_case "auto-harvest neutralizes" `Slow test_auto_harvest_neutralizes;
+      Alcotest.test_case "generalizes to fresh inputs" `Slow test_generalizes_to_fresh_inputs;
+      Alcotest.test_case "oracle classifications" `Quick test_oracle_classifications;
+    ] )

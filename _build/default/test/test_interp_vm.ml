@@ -1,0 +1,183 @@
+(* Semantics tests for the reference interpreter and the bytecode VM —
+   each case asserts the expected output and that all tiers agree. *)
+
+open Helpers
+module Interp = Jitbull_interp.Interp
+module Errors = Jitbull_runtime.Errors
+module Op = Jitbull_bytecode.Op
+module Compiler = Jitbull_bytecode.Compiler
+module Parser = Jitbull_frontend.Parser
+
+let case name src expected () =
+  check_string name expected (interp_output src);
+  assert_tiers_agree ~name src
+
+let simple_cases =
+  [
+    ("arithmetic", "print(2 + 3 * 4 - 1);", "13\n");
+    ("division produces floats", "print(7 / 2);", "3.5\n");
+    ("modulo", "print(10 % 3);", "1\n");
+    ("string concat", "print('a' + 1 + 2);", "a12\n");
+    ("number plus", "print(1 + 2 + 'a');", "3a\n");
+    ("comparison chain", "print(1 < 2); print(2 <= 1); print('b' > 'a');", "true\nfalse\ntrue\n");
+    ("equality coercion", "print(1 == '1'); print(1 === '1'); print(null == undefined);",
+     "true\nfalse\ntrue\n");
+    ("logical short circuit", "var x = 0; (x = 1) && (x = 2); print(x); 0 || (x = 3); print(x);",
+     "2\n3\n");
+    ("logical values", "print(0 || 'd'); print(1 && 'e'); print('' && 'f');", "d\ne\n\n");
+    ("conditional", "print(1 < 2 ? 'y' : 'n');", "y\n");
+    ("bitwise", "print(5 & 3, 5 | 3, 5 ^ 3, ~5, 1 << 4, -16 >> 2, -16 >>> 28);",
+     "1\n7\n6\n-6\n16\n-4\n15\n");
+    ("typeof", "print(typeof 1, typeof 'a', typeof true, typeof undefined, typeof null, typeof [1]);",
+     "number\nstring\nboolean\nundefined\nobject\nobject\n");
+    ("unary", "print(-3, !0, +'5', ~0);", "-3\ntrue\n5\n-1\n");
+    ("while with break/continue",
+     "var s = 0; var i = 0; while (true) { i += 1; if (i % 2 == 0) continue; if (i > 7) break; s += i; } print(s);",
+     "16\n");
+    ("nested loops",
+     "var t = 0; for (var i = 0; i < 3; i++) { for (var j = 0; j < 3; j++) { if (j == 2) break; t += 1; } } print(t);",
+     "6\n");
+    ("functions and recursion",
+     "function fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); } print(fact(6));",
+     "720\n");
+    ("function value calls",
+     "function inc(x) { return x + 1; } var f = inc; print(f(4));",
+     "5\n");
+    ("missing args are undefined",
+     "function f(a, b) { return typeof b; } print(f(1));",
+     "undefined\n");
+    ("return without value", "function f() { return; } print(f());", "undefined\n");
+    ("arrays basics",
+     "var a = [1, 2, 3]; a.push(4); print(a.length, a[0], a[3], a[9]);",
+     "4\n1\n4\nundefined\n");
+    ("array pop", "var a = [1, 2]; print(a.pop(), a.pop(), a.pop(), a.length);",
+     "2\n1\nundefined\n0\n");
+    ("array shrink keeps prefix",
+     "var a = [1, 2, 3, 4]; a.length = 2; print(a.length, a[1], a[2]);",
+     "2\n2\nundefined\n");
+    ("array grow fills undefined",
+     "var a = [1]; a.length = 3; print(a.length, a[2]);",
+     "3\nundefined\n");
+    ("array join/indexOf/slice",
+     "var a = [1, 2, 3]; print(a.join('-'), a.indexOf(2), a.slice(1).length);",
+     "1-2-3\n1\n2\n");
+    ("objects",
+     "var o = {x: 1, s: 'hi'}; o.y = o.x + 1; o['z'] = 3; print(o.x, o.y, o.z, o.s.length, o.nothing);",
+     "1\n2\n3\n2\nundefined\n");
+    ("object method dispatch",
+     "function m(v) { return v * 2; } var o = {f: m}; print(o.f(21));",
+     "42\n");
+    ("string ops",
+     "var s = 'hello'; print(s.length, s.charAt(1), s.charCodeAt(0), s.indexOf('llo'), s.substring(1, 3), s[4]);",
+     "5\ne\n104\n2\nel\no\n");
+    ("String.fromCharCode", "print(String.fromCharCode(104, 105));", "hi\n");
+    ("math namespace",
+     "print(Math.floor(2.7), Math.abs(-3), Math.sqrt(16), Math.min(2, 1), Math.max(2, 8), Math.round(2.5));",
+     "2\n3\n4\n1\n8\n3\n");
+    ("global assignment from function",
+     "function f() { g = 7; return 0; } f(); print(g);",
+     "7\n");
+    ("var hoisting",
+     "function f() { x = 5; var x; return x; } print(f());",
+     "5\n");
+    ("shadowing param",
+     "function f(x) { var x = 2; return x; } print(f(9));",
+     "2\n");
+    ("for with multiple declarators",
+     "var t = 0; for (var i = 0, j = 10; i < j; i = i + 2) t += 1; print(t);",
+     "5\n");
+    ("division by zero", "print(1 / 0, -1 / 0, 0 / 0);", "Infinity\n-Infinity\nNaN\n");
+    ("NaN propagation", "var n = 0 / 0; print(n == n, n + 1);", "false\nNaN\n");
+  ]
+
+let test_undefined_variable () =
+  match interp_output "print(neverDefined);" with
+  | exception Errors.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected type error"
+
+let test_call_non_function () =
+  match interp_output "var x = 3; x();" with
+  | exception Errors.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected type error"
+
+let test_max_steps () =
+  match Interp.run_source ~max_steps:1000 "while (true) { }" with
+  | exception Interp.Timeout -> ()
+  | _ -> Alcotest.fail "expected timeout"
+
+let test_result_value () =
+  let o = Interp.run_source "1 + 2;" in
+  check_bool "last expression value" true (o.Interp.result = Jitbull_runtime.Value.Number 3.0)
+
+(* ---- bytecode-specific ---- *)
+
+let test_compile_shapes () =
+  let p = Parser.parse "function f(a) { var b = a + 1; return b; } f(1);" in
+  let bc = Compiler.compile p in
+  let f = bc.Op.funcs.(0) in
+  check_int "arity" 1 f.Op.arity;
+  check_int "locals = param + var" 2 f.Op.n_locals;
+  check_string "name" "f" f.Op.name;
+  check_bool "ends with return" true
+    (match f.Op.code.(Array.length f.Op.code - 1) with
+    | Op.Return_undefined -> true
+    | _ -> false)
+
+let test_compile_error_break () =
+  match Compiler.compile (Parser.parse "break;") with
+  | exception Compiler.Compile_error _ -> ()
+  | _ -> Alcotest.fail "break outside loop should not compile"
+
+let test_disassemble () =
+  let p = Parser.parse "function f() { return 1; }" in
+  let bc = Compiler.compile p in
+  let text = Op.disassemble bc.Op.funcs.(0) in
+  check_bool "disassembly mentions push" true
+    (String.length text > 0
+    &&
+    let lines = String.split_on_char '\n' text in
+    List.exists (fun l -> String.length l > 8) lines)
+
+let test_feedback_collection () =
+  let p = Parser.parse "function f(a, i) { return a[i]; } var x = [1,2]; f(x, 0); f(x, 1);" in
+  let bc = Compiler.compile p in
+  let vm = Helpers.Vm.create bc in
+  ignore (Helpers.Vm.run vm);
+  let sites = vm.Helpers.Vm.feedback.(0) in
+  let saw_array =
+    Array.exists (fun s -> s.Jitbull_bytecode.Feedback.saw_array_int) sites
+  in
+  check_bool "array feedback recorded" true saw_array
+
+let test_feedback_polymorphic () =
+  let p =
+    Parser.parse
+      "function f(a, i) { return a[i]; } var x = [1,2]; f(x, 0); f({k: 3}, 'k');"
+  in
+  let bc = Compiler.compile p in
+  let vm = Helpers.Vm.create bc in
+  ignore (Helpers.Vm.run vm);
+  let sites = vm.Helpers.Vm.feedback.(0) in
+  let mixed =
+    Array.exists
+      (fun s ->
+        s.Jitbull_bytecode.Feedback.saw_array_int && s.Jitbull_bytecode.Feedback.saw_other_index)
+      sites
+  in
+  check_bool "polymorphic site recorded both" true mixed
+
+let suite =
+  ( "interp+vm",
+    List.map (fun (name, src, expected) -> Alcotest.test_case name `Quick (case name src expected))
+      simple_cases
+    @ [
+        Alcotest.test_case "undefined variable" `Quick test_undefined_variable;
+        Alcotest.test_case "call non-function" `Quick test_call_non_function;
+        Alcotest.test_case "interpreter fuel" `Quick test_max_steps;
+        Alcotest.test_case "top-level result value" `Quick test_result_value;
+        Alcotest.test_case "bytecode shapes" `Quick test_compile_shapes;
+        Alcotest.test_case "break outside loop" `Quick test_compile_error_break;
+        Alcotest.test_case "disassembler" `Quick test_disassemble;
+        Alcotest.test_case "feedback collection" `Quick test_feedback_collection;
+        Alcotest.test_case "feedback polymorphic" `Quick test_feedback_polymorphic;
+      ] )

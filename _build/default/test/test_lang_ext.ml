@@ -1,0 +1,123 @@
+(* Tests for the language extensions: do-while, switch, and lambda-lifted
+   function expressions. Every case asserts the expected output and that
+   all three execution tiers agree. *)
+
+open Helpers
+module Parser = Jitbull_frontend.Parser
+module Lambda_lift = Jitbull_frontend.Lambda_lift
+module Ast = Jitbull_frontend.Ast
+
+let case name src expected () =
+  check_string name expected (interp_output src);
+  assert_tiers_agree ~name src
+
+let cases =
+  [
+    (* do-while *)
+    ("do-while runs body first", "var i = 10; do { i += 1; } while (i < 5); print(i);", "11\n");
+    ("do-while loops", "var i = 0; do { i += 1; } while (i < 5); print(i);", "5\n");
+    ("do-while with continue",
+     "var s = 0; var i = 0; do { i += 1; if (i % 2 == 0) continue; s += i; } while (i < 7); print(s);",
+     "16\n");
+    ("do-while with break",
+     "var i = 0; do { i += 1; if (i == 3) break; } while (true); print(i);",
+     "3\n");
+    ("nested do-while",
+     "var t = 0; var i = 0; do { var j = 0; do { t += 1; j += 1; } while (j < 2); i += 1; } while (i < 3); print(t);",
+     "6\n");
+    (* switch *)
+    ("switch basic",
+     "function f(x) { switch (x) { case 1: return 'one'; case 2: return 'two'; default: return 'many'; } } print(f(1), f(2), f(3));",
+     "one\ntwo\nmany\n");
+    ("switch fallthrough",
+     "var r = ''; switch (2) { case 1: r += 'a'; case 2: r += 'b'; case 3: r += 'c'; break; case 4: r += 'd'; } print(r);",
+     "bc\n");
+    ("switch default only when unmatched",
+     "var r = ''; switch (9) { case 1: r += 'a'; default: r += 'z'; } print(r);",
+     "z\n");
+    ("switch matched then fallthrough to default",
+     "var r = ''; switch (1) { case 1: r += 'a'; default: r += 'z'; } print(r);",
+     "az\n");
+    ("switch string labels",
+     "function kind(s) { switch (s) { case 'a': return 1; case 'b': return 2; default: return 0; } } print(kind('a') + kind('b') + kind('c'));",
+     "3\n");
+    ("switch strict matching",
+     "var r = 'none'; switch (1) { case '1': r = 'string'; break; case 1: r = 'number'; break; } print(r);",
+     "number\n");
+    ("switch inside loop with break",
+     "var t = 0; for (var i = 0; i < 5; i++) { switch (i % 3) { case 0: t += 10; break; case 1: t += 1; break; default: t += 100; } } print(t);",
+     "122\n");
+    (* function expressions *)
+    ("function expression value", "var f = function(x) { return x * 2; }; print(f(21));", "42\n");
+    ("higher-order argument",
+     "function apply(g, v) { return g(v); } print(apply(function(x) { return x + 1; }, 4));",
+     "5\n");
+    ("object methods from expressions",
+     "var ops = {inc: function(x) { return x + 1; }, dec: function(x) { return x - 1; }}; print(ops.inc(5), ops.dec(5));",
+     "6\n4\n");
+    ("function expression using globals",
+     "var base = 100; var f = function(x) { return base + x; }; print(f(1));",
+     "101\n");
+    ("array of function expressions",
+     "var fs = [function(x) { return x + 1; }, function(x) { return x * 2; }]; print(fs[0](3), fs[1](3));",
+     "4\n6\n");
+    ("immediately invoked", "print((function(x) { return x * x; })(7));", "49\n");
+  ]
+
+let test_capture_rejected () =
+  let fails src =
+    match Parser.parse src with
+    | exception Lambda_lift.Capture_error _ -> ()
+    | _ -> Alcotest.fail ("capture should be rejected: " ^ src)
+  in
+  fails "function outer(a) { var f = function(x) { return x + a; }; return f(1); }";
+  fails "function outer() { var loc = 3; return (function() { return loc; })(); }"
+
+let test_capture_shadowing_allowed () =
+  (* the inner function re-binds the name: not a capture *)
+  check_string "shadowed param ok" "7\n"
+    (interp_output
+       "function outer(a) { var f = function(a) { return a + 1; }; return f(6); } print(outer(99));")
+
+let test_lift_produces_top_level () =
+  let p = Parser.parse "var f = function(x) { return x; }; print(f(1));" in
+  check_int "one lifted function" 1 (List.length p.Ast.functions);
+  check_bool "anon name" true
+    (String.length (List.hd p.Ast.functions).Ast.name >= 4
+    && String.sub (List.hd p.Ast.functions).Ast.name 0 4 = "anon")
+
+let test_nested_function_expressions () =
+  (* inner expression lifted first; outer references it by name *)
+  check_string "nested lift" "9\n"
+    (interp_output
+       "var make = function() { return function(x) { return x * 3; }; }; var f = make(); print(f(3));")
+
+let test_switch_restrictions () =
+  let fails src =
+    match Parser.parse src with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ src)
+  in
+  fails "switch (x) { case y: break; }"  (* non-literal label *)
+  ;
+  fails "switch (x) { default: break; case 1: break; }"  (* default not last *)
+  ;
+  fails "while (1) { switch (x) { case 1: continue; } }"  (* naked continue *)
+
+let test_desugared_temps_are_hoistable () =
+  (* do/switch temporaries live inside functions and hoist like vars *)
+  assert_tiers_agree ~name:"switch in function"
+    "function f(x) { var r = 0; switch (x) { case 1: r = 10; break; default: r = 20; } return r; } for (var k = 0; k < 9; k++) { print(f(k % 2)); }"
+
+let suite =
+  ( "lang-ext",
+    List.map (fun (name, src, expected) -> Alcotest.test_case name `Quick (case name src expected))
+      cases
+    @ [
+        Alcotest.test_case "capture rejected" `Quick test_capture_rejected;
+        Alcotest.test_case "shadowing allowed" `Quick test_capture_shadowing_allowed;
+        Alcotest.test_case "lift to top level" `Quick test_lift_produces_top_level;
+        Alcotest.test_case "nested function expressions" `Quick test_nested_function_expressions;
+        Alcotest.test_case "switch restrictions" `Quick test_switch_restrictions;
+        Alcotest.test_case "desugared temps" `Quick test_desugared_temps_are_hoistable;
+      ] )

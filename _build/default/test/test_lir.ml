@@ -1,0 +1,207 @@
+(* Tests for LIR lowering, the parallel-move resolver, the register
+   allocator and the executor. *)
+
+open Helpers
+module Mir = Jitbull_mir.Mir
+module Lir = Jitbull_lir.Lir
+module Lower = Jitbull_lir.Lower
+module Regalloc = Jitbull_lir.Regalloc
+module Executor = Jitbull_lir.Executor
+module Parser = Jitbull_frontend.Parser
+module Compiler = Jitbull_bytecode.Compiler
+module Op = Jitbull_bytecode.Op
+module Value = Jitbull_runtime.Value
+module Realm = Jitbull_runtime.Realm
+module Engine = Jitbull_jit.Engine
+
+(* Lower function [idx] of [src] after full optimization with warmup. *)
+let lowered ?(idx = 0) ?(allocate = true) src =
+  let g, _ = optimized_mir ~func:idx src in
+  let lir = Lower.lower g in
+  if allocate then Regalloc.allocate lir;
+  lir
+
+(* Execute a single LIR function with trivial callbacks. *)
+let exec lir args =
+  let realm = Realm.create ~size_limit:65536 () in
+  let globals = Hashtbl.create 8 in
+  let cb =
+    {
+      Executor.call_function = (fun _ _ -> Alcotest.fail "no calls expected");
+      lookup_global =
+        (fun n ->
+          match Hashtbl.find_opt globals n with
+          | Some v -> v
+          | None -> Value.Undefined);
+      store_global = (fun n v -> Hashtbl.replace globals n v);
+      declare_global = (fun n -> if not (Hashtbl.mem globals n) then Hashtbl.replace globals n Value.Undefined);
+    }
+  in
+  Executor.run lir realm cb args
+
+let test_lower_simple () =
+  let lir = lowered "function f(a, b) { return a * b + 1; } for (var k = 0; k < 5; k++) f(k, 2);" in
+  check_bool "has code" true (Array.length lir.Lir.code > 0);
+  check_string "name" "f" lir.Lir.name;
+  check_bool "execute" true
+    (exec lir [ Value.Number 6.0; Value.Number 7.0 ] = Value.Number 43.0)
+
+let test_lower_loop () =
+  let lir =
+    lowered
+      "function f(n) { var t = 0; for (var i = 0; i < n; i++) { t += i; } return t; } for (var k = 0; k < 5; k++) f(4);"
+  in
+  check_bool "loop result" true (exec lir [ Value.Number 10.0 ] = Value.Number 45.0)
+
+let test_lower_branch_phis () =
+  let lir =
+    lowered
+      "function f(c, a, b) { var x = 0; if (c) { x = a; } else { x = b; } return x; } for (var k = 0; k < 5; k++) { f(1, 2, 3); f(0, 2, 3); }"
+  in
+  check_bool "true branch" true (exec lir [ Value.Bool true; Value.Number 2.0; Value.Number 3.0 ] = Value.Number 2.0);
+  check_bool "false branch" true (exec lir [ Value.Bool false; Value.Number 2.0; Value.Number 3.0 ] = Value.Number 3.0)
+
+let test_parallel_move_swap () =
+  (* swap in a loop is the classic parallel-copy cycle *)
+  let lir =
+    lowered
+      "function f(n) { var a = 1; var b = 2; for (var i = 0; i < n; i++) { var t = a; a = b; b = t; } return a * 10 + b; } for (var k = 0; k < 6; k++) { f(3); f(4); }"
+  in
+  check_bool "odd swaps" true (exec lir [ Value.Number 3.0 ] = Value.Number 21.0);
+  check_bool "even swaps" true (exec lir [ Value.Number 4.0 ] = Value.Number 12.0)
+
+let test_sequentialize_moves_cycle () =
+  (* three-way rotation through the resolver *)
+  let lir =
+    lowered
+      "function f(n) { var a = 1; var b = 2; var c = 3; for (var i = 0; i < n; i++) { var t = a; a = b; b = c; c = t; } return a * 100 + b * 10 + c; } for (var k = 0; k < 6; k++) { f(1); f(2); f(3); }"
+  in
+  check_bool "one rotation" true (exec lir [ Value.Number 1.0 ] = Value.Number 231.0);
+  check_bool "three rotations" true (exec lir [ Value.Number 3.0 ] = Value.Number 123.0)
+
+let test_regalloc_bounded_registers () =
+  (* many simultaneously live values force spill slots *)
+  let src =
+    "function f(a) { var v0 = a+1; var v1 = a+2; var v2 = a+3; var v3 = a+4; var v4 = a+5; var v5 = a+6; var v6 = a+7; var v7 = a+8; var v8 = a+9; var v9 = a+10; var v10 = a+11; var v11 = a+12; var v12 = a+13; var v13 = a+14; var v14 = a+15; var v15 = a+16; return v0+v1+v2+v3+v4+v5+v6+v7+v8+v9+v10+v11+v12+v13+v14+v15; } for (var k = 0; k < 5; k++) f(k);"
+  in
+  let lir = lowered src in
+  check_bool "spilled" true (lir.Lir.spill_count > 0);
+  check_bool "registers reused" true (lir.Lir.n_regs < 80);
+  check_bool "still correct" true (exec lir [ Value.Number 0.0 ] = Value.Number 136.0)
+
+let test_regalloc_reuses_registers () =
+  let lir =
+    lowered
+      "function f(a) { var x = a + 1; var y = x + 1; var z = y + 1; return z; } for (var k = 0; k < 5; k++) f(k);"
+  in
+  check_bool "fits in machine registers" true (lir.Lir.spill_count = 0);
+  check_bool "correct" true (exec lir [ Value.Number 1.0 ] = Value.Number 4.0)
+
+let test_bailout_on_type_guard () =
+  let lir =
+    lowered "function f(a, b) { return a - b; } for (var k = 0; k < 6; k++) f(k, 1);"
+  in
+  match exec lir [ Value.String "zz"; Value.Number 1.0 ] with
+  | exception Lir.Bailout _ -> ()
+  | v -> Alcotest.fail ("expected bailout, got " ^ Value.to_display v)
+
+let test_bailout_on_bounds () =
+  let lir =
+    lowered "function f(a, i) { return a[i]; } var x = [1,2,3]; for (var k = 0; k < 6; k++) f(x, 1);"
+  in
+  let realm = Realm.create ~size_limit:65536 () in
+  let h = Jitbull_runtime.Heap.alloc_array realm.Realm.heap ~length:2 in
+  let cb =
+    {
+      Executor.call_function = (fun _ _ -> Value.Undefined);
+      lookup_global = (fun _ -> Value.Undefined);
+      store_global = (fun _ _ -> ());
+      declare_global = (fun _ -> ());
+    }
+  in
+  match Executor.run lir realm cb [ Value.Array h; Value.Number 99.0 ] with
+  | exception Lir.Bailout _ -> ()
+  | v -> Alcotest.fail ("expected bailout, got " ^ Value.to_display v)
+
+let test_executor_generic_paths () =
+  (* polymorphic access sites compile generic and keep full semantics *)
+  let src =
+    "function f(o, k) { return o[k]; } var a = [7]; var obj = {x: 9}; print(f(a, 0)); print(f(obj, 'x')); print(f(a, 0)); print(f(obj, 'x')); print(f(a, 0)); print(f(obj, 'x')); print(f(a, 0));"
+  in
+  assert_tiers_agree ~name:"generic index" src
+
+let test_to_string_roundtrip () =
+  let lir = lowered "function f(a) { return a + 1; } for (var k = 0; k < 5; k++) f(k);" in
+  let text = Lir.to_string lir in
+  check_bool "dump mentions lir" true (String.length text > 10 && String.sub text 0 3 = "lir")
+
+(* ---- engine-level tiering ---- *)
+
+let test_tier_up_sequence () =
+  let config =
+    { Engine.default_config with Engine.baseline_threshold = 3; ion_threshold = 6 }
+  in
+  let out, t =
+    Engine.run_source config
+      "function f(x) { return x * 2; } var s = 0; for (var i = 0; i < 20; i++) { s = f(i); } print(s);"
+  in
+  check_string "result" "38\n" out;
+  let st = Engine.stats t in
+  check_int "one baseline compile" 1 st.Engine.baseline_compiles;
+  check_int "one ion compile" 1 st.Engine.ion_compiles
+
+let test_nojit_config () =
+  let config = { Engine.default_config with Engine.jit_enabled = false } in
+  let out, t =
+    Engine.run_source config
+      "function f(x) { return x + 1; } for (var i = 0; i < 50; i++) { f(i); } print(f(1));"
+  in
+  check_string "result" "2\n" out;
+  check_int "no compiles" 0 (Engine.stats t).Engine.ion_compiles
+
+let test_deopt_blacklists () =
+  (* repeated guard failures must blacklist the function and fall back to
+     the interpreter, preserving semantics *)
+  let config =
+    { Engine.default_config with Engine.baseline_threshold = 2; ion_threshold = 3; max_bailouts = 2 }
+  in
+  let src =
+    "function f(a, i) { return a[i]; } var x = [1,2,3]; var s = 0; for (var k = 0; k < 30; k++) { s = f(x, 5); } print(s);"
+  in
+  let out, t = Engine.run_source config src in
+  check_string "OOB read is undefined" "undefined\n" out;
+  let st = Engine.stats t in
+  check_bool "bailouts happened" true (st.Engine.bailouts > 0);
+  check_int "function deopted" 1 st.Engine.deopts
+
+let test_bailout_replay_semantics () =
+  (* a guard that fails only sometimes: the bailed calls replay in the
+     interpreter and produce correct values *)
+  let config =
+    { Engine.default_config with Engine.baseline_threshold = 2; ion_threshold = 4; max_bailouts = 1000 }
+  in
+  let src =
+    "function f(a, i) { return a[i]; } var x = [10,20,30]; var s = 0; for (var k = 0; k < 12; k++) { var v = f(x, k % 4); if (typeof v == 'number') { s += v; } } print(s);"
+  in
+  let out, _ = Engine.run_source config src in
+  check_string "mixed in/out of bounds" (interp_output src) out
+
+let suite =
+  ( "lir+engine",
+    [
+      Alcotest.test_case "lower simple" `Quick test_lower_simple;
+      Alcotest.test_case "lower loop" `Quick test_lower_loop;
+      Alcotest.test_case "branch phis" `Quick test_lower_branch_phis;
+      Alcotest.test_case "parallel move swap" `Quick test_parallel_move_swap;
+      Alcotest.test_case "parallel move rotation" `Quick test_sequentialize_moves_cycle;
+      Alcotest.test_case "regalloc spills" `Quick test_regalloc_bounded_registers;
+      Alcotest.test_case "regalloc reuses" `Quick test_regalloc_reuses_registers;
+      Alcotest.test_case "bailout on type guard" `Quick test_bailout_on_type_guard;
+      Alcotest.test_case "bailout on bounds" `Quick test_bailout_on_bounds;
+      Alcotest.test_case "generic paths" `Quick test_executor_generic_paths;
+      Alcotest.test_case "lir dump" `Quick test_to_string_roundtrip;
+      Alcotest.test_case "tier-up sequence" `Quick test_tier_up_sequence;
+      Alcotest.test_case "nojit config" `Quick test_nojit_config;
+      Alcotest.test_case "deopt blacklists" `Quick test_deopt_blacklists;
+      Alcotest.test_case "bailout replay" `Quick test_bailout_replay_semantics;
+    ] )

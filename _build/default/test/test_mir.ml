@@ -1,0 +1,165 @@
+(* Tests for MIR construction, dominators, the verifier and snapshots. *)
+
+open Helpers
+module Mir = Jitbull_mir.Mir
+module Builder = Jitbull_mir.Builder
+module Domtree = Jitbull_mir.Domtree
+module Verifier = Jitbull_mir.Verifier
+module Snapshot = Jitbull_mir.Snapshot
+module Parser = Jitbull_frontend.Parser
+module Compiler = Jitbull_bytecode.Compiler
+module Feedback = Jitbull_bytecode.Feedback
+module Op = Jitbull_bytecode.Op
+
+(* Build MIR for function [idx] with fully generic feedback (no warmup). *)
+let generic_mir ?(idx = 0) src =
+  let bc = Compiler.compile (Parser.parse src) in
+  let f = bc.Op.funcs.(idx) in
+  let feedback_row = Array.init (Array.length f.Op.code) (fun _ -> Feedback.fresh_site ()) in
+  Builder.build f ~feedback_row
+
+(* Build MIR with warmed feedback. *)
+let warmed_mir ?(idx = 0) src =
+  let bc = Compiler.compile (Parser.parse src) in
+  let vm = Vm.create bc in
+  (try ignore (Vm.run vm) with _ -> ());
+  Builder.build bc.Op.funcs.(idx) ~feedback_row:vm.Vm.feedback.(idx)
+
+let test_straight_line () =
+  let g = generic_mir "function f(a, b) { return a + b; } f(1, 2);" in
+  Verifier.check g;
+  check_int "parameters" 2 (count_opcode g "parameter");
+  check_int "one add" 1 (count_opcode g "add");
+  check_int "one return" 1 (count_opcode g "return")
+
+let test_loop_builds_phis () =
+  let g = generic_mir "function f(n) { var t = 0; for (var i = 0; i < n; i++) { t += i; } return t; } f(3);" in
+  Verifier.check g;
+  check_bool "has phis" true (count_opcode g "phi" > 0);
+  (* loop structure: some block has a back edge *)
+  let dom = Domtree.compute g in
+  let has_loop =
+    List.exists
+      (fun (b : Mir.block) -> List.exists (fun p -> Domtree.dominates dom b p) b.Mir.preds)
+      g.Mir.blocks
+  in
+  check_bool "loop header found" true has_loop
+
+let test_function_starting_with_loop () =
+  (* bc block 0 is itself a loop header: needs the synthetic entry *)
+  let g = generic_mir "function f(n) { while (n > 0) { n -= 1; } return n; } f(2);" in
+  Verifier.check g;
+  check_bool "entry has goto" true
+    (match Mir.control_instr g.Mir.entry with
+    | Some { Mir.opcode = Mir.Goto _; _ } -> true
+    | _ -> false)
+
+let test_generic_vs_guarded_access () =
+  let src = "function f(a, i) { return a[i]; } var x = [1,2,3]; for (var k = 0; k < 5; k++) f(x, 1);" in
+  let generic = generic_mir src in
+  check_int "no feedback: generic access" 1 (count_opcode generic "getelemgeneric");
+  check_int "no feedback: no guard" 0 (count_opcode generic "guardarray");
+  let warmed = warmed_mir src in
+  check_int "warmed: guarded fast path" 1 (count_opcode warmed "boundscheck");
+  check_int "warmed: guard present" 1 (count_opcode warmed "guardarray");
+  check_int "warmed: no generic" 0 (count_opcode warmed "getelemgeneric")
+
+let test_store_check_value_unused () =
+  (* the store fast path leaves the boundscheck result unused (the shape
+     the CVE-2019-9813 model preys on) *)
+  let g = warmed_mir "function f(a, i, v) { a[i] = v; } var x = [1,2,3]; for (var k = 0; k < 5; k++) f(x, 1, k);" in
+  Verifier.check g;
+  let chk =
+    List.find
+      (fun (i : Mir.instr) -> i.Mir.opcode = Mir.Bounds_check)
+      (Mir.all_instructions g)
+  in
+  check_bool "check result unused" false (Mir.has_uses g chk)
+
+let test_logical_and_stack_merge () =
+  let g = generic_mir "function f(a, b) { return a && b; } f(1, 2);" in
+  Verifier.check g;
+  check_bool "merge phi for stack slot" true (count_opcode g "phi" >= 1)
+
+let test_verifier_rejects_bad_graph () =
+  let g = generic_mir "function f(a) { return a; } f(1);" in
+  (* corrupt: drop the control instruction of the entry block *)
+  let b = List.hd g.Mir.blocks in
+  b.Mir.body <- List.filter (fun (i : Mir.instr) -> not (Mir.is_control i.Mir.opcode)) b.Mir.body;
+  check_bool "invalid" false (Verifier.check_bool g)
+
+let test_verifier_rejects_bad_phi_arity () =
+  let g = generic_mir "function f(n) { var t = 0; while (n > 0) { n -= 1; t += 1; } return t; } f(2);" in
+  let phi =
+    List.find (fun (i : Mir.instr) -> i.Mir.opcode = Mir.Phi) (Mir.all_instructions g)
+  in
+  phi.Mir.operands <- List.tl phi.Mir.operands;
+  check_bool "invalid arity" false (Verifier.check_bool g)
+
+let test_dominators () =
+  let g = generic_mir "function f(c) { var x = 0; if (c) { x = 1; } else { x = 2; } return x; } f(1);" in
+  let dom = Domtree.compute g in
+  let entry = g.Mir.entry in
+  List.iter
+    (fun b -> check_bool "entry dominates all" true (Domtree.dominates dom entry b))
+    g.Mir.blocks;
+  (* the two branch arms do not dominate each other *)
+  let arms =
+    List.filter
+      (fun (b : Mir.block) ->
+        List.length b.Mir.preds = 1 && b != entry
+        && match Mir.control_instr b with
+           | Some { Mir.opcode = Mir.Goto _; _ } -> true
+           | _ -> false)
+      g.Mir.blocks
+  in
+  match arms with
+  | a :: b :: _ ->
+    check_bool "arms incomparable" false (Domtree.dominates dom a b || Domtree.dominates dom b a)
+  | _ -> ()  (* shape changed; other assertions still cover dominance *)
+
+let test_renumber_stability () =
+  let g = generic_mir "function f(a) { return a + 1; } f(1);" in
+  let snap1 = Snapshot.take g in
+  Mir.renumber g;
+  Mir.renumber g;
+  let snap2 = Snapshot.take g in
+  (* renumbering twice is idempotent on an already-ordered graph *)
+  check_bool "snapshots equal" true (snap1 = snap2)
+
+let test_snapshot_contents () =
+  let g = generic_mir "function f(a) { return a * 2; } f(1);" in
+  let snap = Snapshot.take g in
+  check_int "snapshot covers all instructions" (List.length (Mir.all_instructions g))
+    (Snapshot.entry_count snap);
+  check_bool "operands referenced by number" true
+    (List.exists (fun (e : Snapshot.entry) -> e.Snapshot.operands <> []) snap.Snapshot.entries)
+
+let test_replace_all_uses () =
+  let g = generic_mir "function f(a) { return a + a; } f(1);" in
+  let param =
+    List.find (fun (i : Mir.instr) -> i.Mir.opcode = Mir.Parameter 0) (Mir.all_instructions g)
+  in
+  let b = List.hd g.Mir.blocks in
+  let c = Mir.append g b (Mir.Constant (Jitbull_runtime.Value.Number 5.0)) [] in
+  (* move the constant before uses to keep dominance: prepend *)
+  b.Mir.body <- c :: List.filter (fun x -> x != c) b.Mir.body;
+  Mir.replace_all_uses g param c;
+  check_bool "no more uses of param" false (Mir.has_uses g param)
+
+let suite =
+  ( "mir",
+    [
+      Alcotest.test_case "straight line" `Quick test_straight_line;
+      Alcotest.test_case "loop phis" `Quick test_loop_builds_phis;
+      Alcotest.test_case "function starting with loop" `Quick test_function_starting_with_loop;
+      Alcotest.test_case "generic vs guarded access" `Quick test_generic_vs_guarded_access;
+      Alcotest.test_case "store check unused" `Quick test_store_check_value_unused;
+      Alcotest.test_case "logical-and stack merge" `Quick test_logical_and_stack_merge;
+      Alcotest.test_case "verifier rejects bad graph" `Quick test_verifier_rejects_bad_graph;
+      Alcotest.test_case "verifier rejects bad phi" `Quick test_verifier_rejects_bad_phi_arity;
+      Alcotest.test_case "dominators" `Quick test_dominators;
+      Alcotest.test_case "renumber stability" `Quick test_renumber_stability;
+      Alcotest.test_case "snapshot contents" `Quick test_snapshot_contents;
+      Alcotest.test_case "replace_all_uses" `Quick test_replace_all_uses;
+    ] )

@@ -1,0 +1,326 @@
+(* Tests for the optimization passes: per-pass transformations, semantic
+   preservation, and the injected CVE bugs firing only when activated. *)
+
+open Helpers
+module Mir = Jitbull_mir.Mir
+module VC = Jitbull_passes.Vuln_config
+module Pipeline = Jitbull_passes.Pipeline
+
+let src_redundant_length =
+  (* two same-index stores around a shrink: the second check must survive
+     correct GVN and disappear under the 17026 bug *)
+  {|
+function f(a, v) {
+  a[1] = v;
+  a.length = 1;
+  a[1] = v;
+  return 0;
+}
+var x = [1,2,3,4];
+for (var k = 0; k < 5; k++) { f([1,2,3,4], k); }
+|}
+
+let test_gvn_correct_keeps_check () =
+  let g, _ = optimized_mir ~func:0 src_redundant_length in
+  check_int "both checks survive" 2 (count_opcode g "boundscheck")
+
+let test_gvn_vulnerable_removes_check () =
+  let g, _ = optimized_mir ~vulns:(VC.make [ VC.CVE_2019_17026 ]) ~func:0 src_redundant_length in
+  check_int "one check eliminated" 1 (count_opcode g "boundscheck")
+
+let test_gvn_dedups_pure () =
+  let g, _ =
+    optimized_mir ~func:0
+      {|
+function f(a, b) { return (a + b) * (a + b); }
+for (var k = 0; k < 5; k++) { f(k, 2); }
+|}
+  in
+  check_int "common subexpression merged" 1 (count_opcode g "add")
+
+let test_gvn_no_dedup_across_store () =
+  (* sink would legally forward the store here; disable it to observe GVN
+     in isolation *)
+  let g, _ =
+    optimized_mir ~disabled:[ "sink" ] ~func:0
+      {|
+function f(a) { var x = a[0]; a[0] = x + 1; return x + a[0]; }
+for (var k = 0; k < 5; k++) { f([1,2]); }
+|}
+  in
+  (* the load after the store must not merge with the one before *)
+  check_int "loads distinct" 2 (count_opcode g "loadelement")
+
+let src_loop_invariant =
+  {|
+function f(a, n) {
+  var t = 0;
+  for (var i = 0; i < n; i++) { t = t + a[0]; }
+  return t;
+}
+for (var k = 0; k < 5; k++) { f([5,6], 3); }
+|}
+
+let test_licm_hoists () =
+  let g, _ = optimized_mir ~func:0 src_loop_invariant in
+  (* the guard/elements/length/check/load chain for a[0] is invariant (no
+     stores in the loop) and must end up in the preheader, outside the
+     loop body *)
+  let dom = Jitbull_mir.Domtree.compute g in
+  let headers =
+    List.filter
+      (fun (b : Mir.block) ->
+        List.exists (fun p -> Jitbull_mir.Domtree.dominates dom b p) b.Mir.preds)
+      g.Mir.blocks
+  in
+  match headers with
+  | [ header ] ->
+    let body = Jitbull_mir.Domtree.loop_body dom g header in
+    let load_in_loop =
+      List.exists
+        (fun (i : Mir.instr) ->
+          i.Mir.opcode = Mir.Load_element && Hashtbl.mem body i.Mir.in_block)
+        (Mir.all_instructions g)
+    in
+    check_bool "load hoisted out of loop" false load_in_loop
+  | _ -> Alcotest.fail "expected exactly one loop"
+
+let src_licm_with_store =
+  {|
+function f(a, n) {
+  var t = 0;
+  for (var i = 0; i < n; i++) { t = t + a[0]; a.length = 2; }
+  return t;
+}
+for (var k = 0; k < 5; k++) { f([5,6], 3); }
+|}
+
+let test_licm_blocked_by_store () =
+  let g, _ = optimized_mir ~func:0 src_licm_with_store in
+  let dom = Jitbull_mir.Domtree.compute g in
+  let header =
+    List.find
+      (fun (b : Mir.block) ->
+        List.exists (fun p -> Jitbull_mir.Domtree.dominates dom b p) b.Mir.preds)
+      g.Mir.blocks
+  in
+  let body = Jitbull_mir.Domtree.loop_body dom g header in
+  let length_load_in_loop =
+    List.exists
+      (fun (i : Mir.instr) ->
+        i.Mir.opcode = Mir.Initialized_length && Hashtbl.mem body i.Mir.in_block)
+      (Mir.all_instructions g)
+  in
+  check_bool "length load stays in loop" true length_load_in_loop
+
+let test_licm_vulnerable_hoists_anyway () =
+  let g, _ =
+    optimized_mir ~vulns:(VC.make [ VC.CVE_2019_9792 ]) ~func:0 src_licm_with_store
+  in
+  let dom = Jitbull_mir.Domtree.compute g in
+  let header =
+    List.find
+      (fun (b : Mir.block) ->
+        List.exists (fun p -> Jitbull_mir.Domtree.dominates dom b p) b.Mir.preds)
+      g.Mir.blocks
+  in
+  let body = Jitbull_mir.Domtree.loop_body dom g header in
+  let length_load_in_loop =
+    List.exists
+      (fun (i : Mir.instr) ->
+        i.Mir.opcode = Mir.Initialized_length && Hashtbl.mem body i.Mir.in_block)
+      (Mir.all_instructions g)
+  in
+  check_bool "stale length hoisted (bug)" false length_load_in_loop
+
+let test_phi_elimination () =
+  let g, _ =
+    optimized_mir ~func:0
+      "function f(n) { var t = 0; for (var i = 0; i < n; i++) { t += 1; } return t; } f(2); f(2); f(2);"
+  in
+  (* only the two genuinely loop-carried phis (t, i) survive *)
+  check_bool "trivial phis folded" true (count_opcode g "phi" <= 2)
+
+let test_constant_folding () =
+  let g, _ =
+    optimized_mir ~func:0 "function f() { return (2 * 3 + 4 < 11) ? 1 : 0; } f(); f(); f();"
+  in
+  (* everything folds; the branch disappears *)
+  check_int "no compare left" 0 (count_opcode g "compare_lt");
+  check_int "no test left" 0 (count_opcode g "test")
+
+let test_fold_constants_matches_runtime_semantics () =
+  (* folded '+' must still concatenate strings *)
+  assert_tiers_agree ~name:"constant concat"
+    "function f() { return 'a' + 1 + 2; } print(f()); print(f()); print(f()); print(f()); print(f());"
+
+let test_dce_keeps_guards () =
+  let g, _ =
+    optimized_mir ~func:0
+      "function f(a, i, v) { a[i] = v; } var x = [1,2,3]; for (var k = 0; k < 5; k++) f(x, 1, k);"
+  in
+  check_int "unused store check kept" 1 (count_opcode g "boundscheck")
+
+let test_dce_vulnerable_drops_unused_guard () =
+  let g, _ =
+    optimized_mir ~vulns:(VC.make [ VC.CVE_2019_9813 ]) ~func:0
+      "function f(a, i, v) { a[i] = v; } var x = [1,2,3]; for (var k = 0; k < 5; k++) f(x, 1, k);"
+  in
+  check_int "store check dropped (bug)" 0 (count_opcode g "boundscheck")
+
+let test_dce_removes_dead_code () =
+  let g, _ =
+    optimized_mir ~func:0
+      "function f(a, b) { var dead = a * b + 17; return a; } for (var k = 0; k < 5; k++) f(k, 2);"
+  in
+  check_int "dead multiply removed" 0 (count_opcode g "mul")
+
+let test_bce_removes_dominated_check () =
+  let g, _ =
+    optimized_mir ~func:0
+      {|
+function f(a) {
+  var t = 0;
+  for (var i = 0; i < a.length; i++) { t = t + a[i]; }
+  return t;
+}
+for (var k = 0; k < 5; k++) { f([1,2,3]); }
+|}
+  in
+  (* the loop condition compares i against the same freshly loaded length
+     used by the check... the check's length is a separate load, so the
+     correct pass must keep it *)
+  check_int "check kept (different length load)" 1 (count_opcode g "boundscheck")
+
+let test_bce_removes_same_load_check () =
+  let g, _ =
+    optimized_mir ~func:0
+      {|
+function f(a, i) {
+  var el = 0;
+  var len = a.length;
+  if (i < len) { el = 1; }
+  return el;
+}
+for (var k = 0; k < 5; k++) { f([1,2,3], 1); }
+|}
+  in
+  ignore g;
+  (* shape-level: no bounds check in this function at all; this test
+     pins that bce does not crash on checkless graphs *)
+  check_int "no checks" 0 (count_opcode g "boundscheck")
+
+let test_bce_vulnerable_accepts_stale_length () =
+  let src =
+    {|
+function f(a, v) {
+  var n = a.length;
+  for (var i = 0; i < n; i++) { a[i] = v; }
+  return 0;
+}
+for (var k = 0; k < 5; k++) { f([1,2,3,4], k); }
+|}
+  in
+  let g_ok, _ = optimized_mir ~func:0 src in
+  check_int "correct: check kept" 1 (count_opcode g_ok "boundscheck");
+  let g_bug, _ = optimized_mir ~vulns:(VC.make [ VC.CVE_2019_11707 ]) ~func:0 src in
+  check_int "vulnerable: check removed" 0 (count_opcode g_bug "boundscheck")
+
+let test_type_analysis_removes_known_number_conversions () =
+  let g, _ =
+    optimized_mir ~func:0
+      "function f(a, b) { return -(a - b); } for (var k = 0; k < 5; k++) f(k, 2);"
+  in
+  (* negate's tonumber operand is the sub result, already a number *)
+  check_int "tonumber folded away" 0 (count_opcode g "tonumber")
+
+let test_sink_forwards_store_to_load () =
+  let g, _ =
+    optimized_mir ~func:0
+      "function f(a, v) { a[0] = v; return a[0]; } for (var k = 0; k < 5; k++) f([1,2], k);"
+  in
+  check_int "load forwarded" 0 (count_opcode g "loadelement")
+
+let test_sink_blocked_by_call () =
+  let src =
+    {|
+function g(a) { a.length = 0; return 0; }
+function f(a, v) { a[0] = v; g(a); return a[0]; }
+for (var k = 0; k < 5; k++) { f([1,2], k); }
+|}
+  in
+  let g_ok, _ = optimized_mir ~func:1 src in
+  check_int "correct: load reloads after call" 1 (count_opcode g_ok "loadelement");
+  let g_bug, _ = optimized_mir ~vulns:(VC.make [ VC.CVE_2020_26952 ]) ~func:1 src in
+  check_int "vulnerable: forwarded across call" 0 (count_opcode g_bug "loadelement")
+
+let test_empty_block_elimination () =
+  let _, trace =
+    optimized_mir ~func:0
+      "function f(c) { if (c) { return 1; } return 2; } f(1); f(0); f(1); f(0); f(1);"
+  in
+  (* pipeline must stay verifiable (checked inside optimized_mir via
+     ~verify:true) and produce a trace entry for the pass *)
+  check_bool "emptyblocks pass ran" true (List.mem_assoc "emptyblocks" trace)
+
+let test_disabled_pass_is_skipped () =
+  let g, _ =
+    optimized_mir ~disabled:[ "gvn" ] ~func:0
+      "function f(a, b) { return (a + b) * (a + b); } for (var k = 0; k < 5; k++) f(k, 2);"
+  in
+  check_int "no dedup when gvn disabled" 2 (count_opcode g "add")
+
+let test_every_pass_produces_snapshot () =
+  let _, trace = optimized_mir ~func:0 "function f(a) { return a + 1; } f(1); f(2); f(3);" in
+  check_int "initial + one per pass" (1 + List.length Pipeline.passes) (List.length trace)
+
+let test_mandatory_passes () =
+  check_bool "split mandatory" false (Pipeline.can_disable "splitcriticaledges");
+  check_bool "renumber mandatory" false (Pipeline.can_disable "renumber");
+  check_bool "gvn optional" true (Pipeline.can_disable "gvn");
+  check_bool "unknown pass" false (Pipeline.can_disable "nosuchpass")
+
+(* Semantic preservation: a batch of behaviourally diverse programs run
+   identically on the interpreter and the fully optimizing JIT. *)
+let preservation_programs =
+  [
+    "var t = 0; function f(n) { for (var i = 0; i < n; i++) { t += i; } return t; } for (var k = 0; k < 9; k++) print(f(4));";
+    "function g(a) { return a[0] + a[a.length - 1]; } var x = [3,4,5]; for (var k = 0; k < 9; k++) print(g(x));";
+    "function h(s) { var t = 0; for (var i = 0; i < s.length; i++) { t += s.charCodeAt(i); } return t; } for (var k = 0; k < 9; k++) print(h('abcd'));";
+    "function m(o) { o.n = o.n + 1; return o.n; } var obj = {n: 0}; for (var k = 0; k < 9; k++) print(m(obj));";
+    "function p(a) { a.push(a.length); return a.pop() + a.length; } var arr = [1]; for (var k = 0; k < 9; k++) print(p(arr));";
+    "function q(x) { return x == 0 ? 'z' : (x < 0 ? 'n' : 'p'); } for (var k = -4; k < 5; k++) print(q(k));";
+    "function r(n) { var a = []; for (var i = 0; i < n; i++) { a.push(i * i); } var s = 0; for (var j = 0; j < a.length; j++) { s += a[j]; } return s; } for (var k = 0; k < 9; k++) print(r(k));";
+  ]
+
+let test_semantic_preservation () =
+  List.iter (fun src -> assert_tiers_agree ~name:"preservation" src) preservation_programs
+
+let suite =
+  ( "passes",
+    [
+      Alcotest.test_case "gvn keeps check (patched)" `Quick test_gvn_correct_keeps_check;
+      Alcotest.test_case "gvn removes check (17026)" `Quick test_gvn_vulnerable_removes_check;
+      Alcotest.test_case "gvn dedups pure" `Quick test_gvn_dedups_pure;
+      Alcotest.test_case "gvn respects stores" `Quick test_gvn_no_dedup_across_store;
+      Alcotest.test_case "licm hoists invariant load" `Quick test_licm_hoists;
+      Alcotest.test_case "licm blocked by store" `Quick test_licm_blocked_by_store;
+      Alcotest.test_case "licm hoists anyway (9792)" `Quick test_licm_vulnerable_hoists_anyway;
+      Alcotest.test_case "phi elimination" `Quick test_phi_elimination;
+      Alcotest.test_case "constant folding" `Quick test_constant_folding;
+      Alcotest.test_case "folding matches runtime" `Quick test_fold_constants_matches_runtime_semantics;
+      Alcotest.test_case "dce keeps guards" `Quick test_dce_keeps_guards;
+      Alcotest.test_case "dce drops guard (9813)" `Quick test_dce_vulnerable_drops_unused_guard;
+      Alcotest.test_case "dce removes dead code" `Quick test_dce_removes_dead_code;
+      Alcotest.test_case "bce keeps fresh-length check" `Quick test_bce_removes_dominated_check;
+      Alcotest.test_case "bce on checkless graph" `Quick test_bce_removes_same_load_check;
+      Alcotest.test_case "bce stale length (11707)" `Quick test_bce_vulnerable_accepts_stale_length;
+      Alcotest.test_case "type analysis" `Quick test_type_analysis_removes_known_number_conversions;
+      Alcotest.test_case "sink forwards" `Quick test_sink_forwards_store_to_load;
+      Alcotest.test_case "sink blocked by call (26952)" `Quick test_sink_blocked_by_call;
+      Alcotest.test_case "empty block elimination" `Quick test_empty_block_elimination;
+      Alcotest.test_case "disabled pass skipped" `Quick test_disabled_pass_is_skipped;
+      Alcotest.test_case "snapshot per pass" `Quick test_every_pass_produces_snapshot;
+      Alcotest.test_case "mandatory passes" `Quick test_mandatory_passes;
+      Alcotest.test_case "semantic preservation" `Quick test_semantic_preservation;
+    ] )

@@ -1,0 +1,149 @@
+(* Additional property-based tests over core invariants. *)
+
+open Helpers
+module Heap = Jitbull_runtime.Heap
+module Value = Jitbull_runtime.Value
+module Errors = Jitbull_runtime.Errors
+module Comparator = Jitbull_core.Comparator
+module Delta = Jitbull_core.Delta
+module Variants = Jitbull_vdc.Variants
+
+(* ---- heap invariant: live array regions never overlap ----
+
+   Random sequences of alloc / set / push / pop / set_length must keep
+   every array's [base, base + 2 + capacity) region disjoint from every
+   other's — otherwise checked writes could corrupt neighbours, which is
+   supposed to require an (unchecked) exploit primitive. *)
+
+type heap_op =
+  | Alloc of int
+  | Push of int
+  | Pop of int
+  | Set_len of int * int
+  | Store of int * int
+
+let heap_op_gen =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun n -> Alloc (n mod 12)) small_nat;
+      map (fun h -> Push h) small_nat;
+      map (fun h -> Pop h) small_nat;
+      map2 (fun h n -> Set_len (h, n mod 40)) small_nat small_nat;
+      map2 (fun h i -> Store (h, i mod 16)) small_nat small_nat;
+    ]
+
+let regions_disjoint heap handles =
+  let regions =
+    List.map
+      (fun h ->
+        let base = Heap.base_addr heap h in
+        (base, base + 2 + Heap.capacity heap h))
+      handles
+  in
+  let rec check = function
+    | [] -> true
+    | (lo, hi) :: rest ->
+      List.for_all (fun (lo', hi') -> hi <= lo' || hi' <= lo) rest && check rest
+  in
+  check regions
+
+let qcheck_heap_disjoint =
+  QCheck.Test.make ~count:200 ~name:"live array regions stay disjoint"
+    QCheck.(make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 60) heap_op_gen))
+    (fun ops ->
+      let heap = Heap.create ~size_limit:8192 () in
+      let handles = ref [] in
+      let nth h =
+        match !handles with
+        | [] -> None
+        | hs -> Some (List.nth hs (h mod List.length hs))
+      in
+      (try
+         List.iter
+           (fun op ->
+             match op with
+             | Alloc n -> handles := Heap.alloc_array heap ~length:n :: !handles
+             | Push h -> (
+               match nth h with
+               | Some h -> Heap.push heap h (Value.Number 1.0)
+               | None -> ())
+             | Pop h -> ( match nth h with Some h -> ignore (Heap.pop heap h) | None -> ())
+             | Set_len (h, n) -> (
+               match nth h with Some h -> Heap.set_length heap h n | None -> ())
+             | Store (h, i) -> (
+               match nth h with Some h -> Heap.set heap h i (Value.Number 2.0) | None -> ()))
+           ops
+       with Errors.Heap_exhausted -> ());
+      regions_disjoint heap !handles)
+
+let qcheck_heap_checked_never_corrupts =
+  (* checked stores through one array never change another's length *)
+  QCheck.Test.make ~count:200 ~name:"checked stores cannot corrupt neighbours"
+    QCheck.(pair (int_range 0 40) (int_range (-5) 60))
+    (fun (len, idx) ->
+      let heap = Heap.create ~size_limit:4096 () in
+      let a = Heap.alloc_array heap ~length:len in
+      let b = Heap.alloc_array heap ~length:3 in
+      Heap.set heap a idx (Value.Number 424242.0);
+      Heap.length heap b = 3 && Heap.capacity heap b = 3)
+
+(* ---- comparator symmetry ---- *)
+
+let side_gen =
+  let open QCheck.Gen in
+  map
+    (fun entries ->
+      let tbl = Hashtbl.create 8 in
+      List.iter (fun (k, c) -> Hashtbl.replace tbl ("k" ^ string_of_int k) (1 + (c mod 5))) entries;
+      tbl)
+    (list_size (int_range 0 8) (pair (int_range 0 10) small_nat))
+
+let qcheck_comparator_symmetric =
+  QCheck.Test.make ~count:300 ~name:"compare_sides is symmetric"
+    QCheck.(make QCheck.Gen.(pair side_gen side_gen))
+    (fun (a, b) -> Comparator.compare_sides a b = Comparator.compare_sides b a)
+
+let qcheck_comparator_reflexive_when_big_enough =
+  QCheck.Test.make ~count:300 ~name:"compare_sides reflexive above Thr"
+    QCheck.(make side_gen)
+    (fun a ->
+      let total = Delta.total a in
+      let expected = total >= Comparator.default_params.Comparator.thr in
+      Comparator.compare_sides a a = expected)
+
+(* ---- variants preserve semantics on generated programs ---- *)
+
+let qcheck_variants_preserve_semantics =
+  QCheck.Test.make ~count:20 ~name:"variants preserve semantics on generated programs"
+    QCheck.(pair small_int (int_range 0 3))
+    (fun (seed, kind_idx) ->
+      let src = Test_differential.gen_program seed in
+      let kind = List.nth Variants.all_kinds kind_idx in
+      let variant = Variants.apply kind src in
+      String.equal (interp_output src) (interp_output variant))
+
+(* ---- jit output stable across engine thresholds ---- *)
+
+let qcheck_threshold_independence =
+  QCheck.Test.make ~count:20 ~name:"output independent of tier-up thresholds"
+    QCheck.(pair small_int (int_range 2 20))
+    (fun (seed, threshold) ->
+      let src = Test_differential.gen_program seed in
+      let config =
+        { Helpers.Engine.default_config with
+          Helpers.Engine.baseline_threshold = max 1 (threshold / 2);
+          ion_threshold = threshold }
+      in
+      String.equal (interp_output src) (jit_output ~config src))
+
+let suite =
+  ( "properties",
+    [
+      qtest qcheck_heap_disjoint;
+      qtest qcheck_heap_checked_never_corrupts;
+      qtest qcheck_comparator_symmetric;
+      qtest qcheck_comparator_reflexive_when_big_enough;
+      qtest qcheck_variants_preserve_semantics;
+      qtest qcheck_threshold_independence;
+    ] )

@@ -1,0 +1,98 @@
+(* Tests for the variant generators on benign programs: every transform
+   must preserve observable behaviour (the decoys added by [mix] may print
+   nothing, so output equality holds). *)
+
+open Helpers
+module Variants = Jitbull_vdc.Variants
+module Parser = Jitbull_frontend.Parser
+module Printer = Jitbull_frontend.Printer
+module Ast = Jitbull_frontend.Ast
+
+let benign_programs =
+  [
+    "function add(a, b) { return a + b; } print(add(2, 3));";
+    "function fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); } print(fib(10));";
+    "var total = 0; var data = [5, 3, 8]; for (var i = 0; i < data.length; i++) { total += data[i]; } print(total);";
+    "function scale(v, f) { var out = []; for (var i = 0; i < v.length; i++) { out.push(v[i] * f); } return out; } print(scale([1,2,3], 3).join(','));";
+    "var obj = {count: 0}; function bump(o) { o.count = o.count + 1; return o.count; } bump(obj); bump(obj); print(obj.count);";
+  ]
+
+let test_variant_preserves_semantics kind () =
+  List.iter
+    (fun src ->
+      let variant = Variants.apply kind src in
+      check_string
+        (Variants.kind_name kind ^ " preserves output")
+        (interp_output src) (interp_output variant))
+    benign_programs
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_rename_changes_identifiers () =
+  let src = "function veryLongName(inputValue) { return inputValue + 1; } print(veryLongName(1));" in
+  let out = Variants.apply Variants.Rename src in
+  check_bool "old names gone" false (contains out "veryLongName")
+
+let test_rename_keeps_builtins () =
+  let src = "print(Math.floor(3.9));" in
+  let out = Variants.apply Variants.Rename src in
+  check_string "builtins survive renaming" "3\n" (interp_output out)
+
+let test_rename_keeps_properties () =
+  (* property names are part of object layout, not bindings *)
+  let src = "var o = {width: 4}; print(o.width);" in
+  let out = Variants.apply Variants.Rename src in
+  check_string "property names survive" "4\n" (interp_output out)
+
+let test_minify_is_compact () =
+  let src = "function f(a) {\n  return a + 1;\n}\nprint(f(1));" in
+  let out = Variants.apply Variants.Minify src in
+  check_bool "no newlines" true (not (String.contains out '\n'));
+  check_string "still runs" "2\n" (interp_output out)
+
+let test_mix_adds_decoy_functions () =
+  let src = "function f(a) { return a; } print(f(1));" in
+  let p = Parser.parse (Variants.apply Variants.Mix src) in
+  check_bool "more functions than original" true (List.length p.Ast.functions > 1)
+
+let test_mix_determinism () =
+  let src = "var a = 1; var b = 2; var c = 3; print(a + b + c);" in
+  check_string "same seed same output" (Variants.apply ~seed:3 Variants.Mix src)
+    (Variants.apply ~seed:3 Variants.Mix src)
+
+let test_split_adds_wrappers () =
+  let src = "function f(a) { return a * 2; } print(f(21));" in
+  let out = Variants.apply Variants.Split src in
+  let p = Parser.parse out in
+  check_int "wrapper added" 2 (List.length p.Ast.functions);
+  check_bool "wrapper named" true
+    (List.exists (fun (f : Ast.func) -> f.Ast.name = "f_step") p.Ast.functions);
+  check_string "still runs" "42\n" (interp_output out)
+
+let test_split_redirects_main_calls () =
+  let src = "function g(x) { return x; } var r = g(5); print(r);" in
+  let out = Variants.apply Variants.Split src in
+  check_bool "main call redirected" true (contains out "g_step(5)")
+
+let suite =
+  ( "variants",
+    List.map
+      (fun kind ->
+        Alcotest.test_case
+          (Variants.kind_name kind ^ " preserves semantics")
+          `Quick
+          (test_variant_preserves_semantics kind))
+      Variants.all_kinds
+    @ [
+        Alcotest.test_case "rename changes identifiers" `Quick test_rename_changes_identifiers;
+        Alcotest.test_case "rename keeps builtins" `Quick test_rename_keeps_builtins;
+        Alcotest.test_case "rename keeps properties" `Quick test_rename_keeps_properties;
+        Alcotest.test_case "minify compact" `Quick test_minify_is_compact;
+        Alcotest.test_case "mix adds decoys" `Quick test_mix_adds_decoy_functions;
+        Alcotest.test_case "mix deterministic" `Quick test_mix_determinism;
+        Alcotest.test_case "split adds wrappers" `Quick test_split_adds_wrappers;
+        Alcotest.test_case "split redirects calls" `Quick test_split_redirects_main_calls;
+      ] )

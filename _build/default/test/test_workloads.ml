@@ -1,0 +1,48 @@
+(* The Octane-analogue corpus: each workload is deterministic, runs on all
+   tiers with identical output, and contains enough hot functions to
+   exercise the JIT. *)
+
+open Helpers
+module W = Jitbull_workloads.Workloads
+module Engine = Jitbull_jit.Engine
+
+let test_workload_all_tiers (w : W.t) () =
+  let reference = interp_output w.W.source in
+  check_bool "produces output" true (String.length reference > 0);
+  check_string (w.W.name ^ " vm") reference (vm_output w.W.source);
+  let out, t = Engine.run_source Engine.default_config w.W.source in
+  check_string (w.W.name ^ " jit") reference out;
+  let s = Engine.stats t in
+  check_bool (w.W.name ^ " reached Ion") true (s.Engine.ion_compiles > 0)
+
+let test_workload_determinism (w : W.t) () =
+  check_string (w.W.name ^ " deterministic") (jit_output w.W.source) (jit_output w.W.source)
+
+let test_registry () =
+  check_int "fourteen Octane analogues" 14 (List.length W.all);
+  check_int "sixteen with microbenches" 16 (List.length W.everything);
+  check_bool "find case-insensitive" true (W.find "richards" <> None);
+  check_bool "find missing" true (W.find "nope" = None)
+
+let test_names_match_paper () =
+  let names = List.map (fun (w : W.t) -> w.W.name) W.everything in
+  List.iter
+    (fun expected -> check_bool (expected ^ " present") true (List.mem expected names))
+    [ "Richards"; "DeltaBlue"; "Crypto"; "RayTrace"; "RegExp"; "Splay"; "NavierStokes";
+      "PdfJS"; "Box2D"; "TypeScript"; "EarleyBoyer"; "Gameboy"; "CodeLoad"; "Mandreel";
+      "Microbench1"; "Microbench2" ]
+
+let suite =
+  ( "workloads",
+    List.concat_map
+      (fun (w : W.t) ->
+        [
+          Alcotest.test_case (w.W.name ^ " tiers agree") `Slow (test_workload_all_tiers w);
+        ])
+      W.everything
+    @ [
+        Alcotest.test_case "Microbench1 deterministic" `Quick
+          (test_workload_determinism W.microbench1);
+        Alcotest.test_case "registry" `Quick test_registry;
+        Alcotest.test_case "paper names" `Quick test_names_match_paper;
+      ] )
