@@ -3,7 +3,9 @@
    EXPERIMENTS.md for paper-vs-measured results).
 
    Usage:
-     bench/main.exe              run everything
+     bench/main.exe                    run everything
+     bench/main.exe SECTION            run one section
+     bench/main.exe ... --json OUT     also dump machine-readable results
      bench/main.exe table1       vulnerability survey (Table I)
      bench/main.exe table2       machine configuration (Table II)
      bench/main.exe window       vulnerability-window statistics (§III-C)
@@ -12,6 +14,7 @@
      bench/main.exe fig5         execution times (NoJIT / JIT / JITBULL #0 #1 #4)
      bench/main.exe fig6         scalability (#1..#8 VDCs)
      bench/main.exe fuzz         fuzzer-to-database pipeline (paper §IV-A)
+     bench/main.exe telemetry    pipeline pass percentiles + comparator throughput
      bench/main.exe ablation     Thr/Ratio/n-gram parameter sweep (beyond the paper)
      bench/main.exe bechamel     Bechamel micro-benchmarks of the JITBULL machinery *)
 
@@ -29,6 +32,28 @@ module Chains = Jitbull_core.Chains
 module Comparator = Jitbull_core.Comparator
 module Table = Jitbull_util.Text_table
 module Interp = Jitbull_interp.Interp
+module Obs = Jitbull_obs.Obs
+module Metrics = Jitbull_obs.Metrics
+module Report = Jitbull_obs.Report
+module Jsonx = Jitbull_obs.Jsonx
+
+(* Machine-readable results, accumulated by sections and written out when
+   --json OUT is given (the repo's BENCH_*.json perf trajectory). *)
+let json_sections : (string * Jsonx.t) list ref = ref []
+
+let emit name payload = json_sections := !json_sections @ [ (name, payload) ]
+
+let stats_json (s : Engine.stats) =
+  Jsonx.Assoc
+    [
+      ("nr_jit", Jsonx.Int s.Engine.nr_jit);
+      ("nr_disjit", Jsonx.Int s.Engine.nr_disjit);
+      ("nr_nojit", Jsonx.Int s.Engine.nr_nojit);
+      ("baseline_compiles", Jsonx.Int s.Engine.baseline_compiles);
+      ("ion_compiles", Jsonx.Int s.Engine.ion_compiles);
+      ("bailouts", Jsonx.Int s.Engine.bailouts);
+      ("deopts", Jsonx.Int s.Engine.deopts);
+    ]
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -187,6 +212,9 @@ let security () =
     rows;
   Printf.printf "\nDetection rate: %d/%d = %.0f%% (paper: 100%%)\n" !detections !attempts
     (100.0 *. float_of_int !detections /. float_of_int !attempts);
+  emit "security"
+    (Jsonx.Assoc
+       [ ("detections", Jsonx.Int !detections); ("attempts", Jsonx.Int !attempts) ]);
   (* the paper's §VI-B-a: two independent implementations of 17026 *)
   let d = V.find VC.CVE_2019_17026 in
   let vulns = VC.make [ d.V.cve ] in
@@ -220,9 +248,9 @@ let cached_db n =
     Hashtbl.replace db_cache n db;
     db
 
-let protected_config n =
+let protected_config ?obs n =
   let vulns = VC.make (first_n n cve_order) in
-  Jitbull.config ~vulns (cached_db n)
+  Jitbull.config ?obs ~vulns (cached_db n)
 
 (* Run a workload under a #n-VDC JITBULL configuration; return engine
    stats and output. *)
@@ -262,6 +290,7 @@ let fig4 () =
 
 let fig5 () =
   section "Figure 5: execution time - NoJIT vs JIT vs JITBULL (#0, #1, #4 VDCs)";
+  let json_rows = ref [] in
   let rows =
     List.map
       (fun (w : W.t) ->
@@ -279,6 +308,19 @@ let fig5 () =
         in
         let t_db n = run (protected_config n) in
         let t1 = t_db 1 and t4 = t_db 4 in
+        let _, s4 = run_protected 4 w in
+        json_rows :=
+          Jsonx.Assoc
+            [
+              ("name", Jsonx.String w.W.name);
+              ("jit_ms", Jsonx.Float (t_jit *. 1000.0));
+              ("nojit_ms", Jsonx.Float (t_nojit *. 1000.0));
+              ("jitbull0_ms", Jsonx.Float (t_db0 *. 1000.0));
+              ("jitbull1_ms", Jsonx.Float (t1 *. 1000.0));
+              ("jitbull4_ms", Jsonx.Float (t4 *. 1000.0));
+              ("stats_jitbull4", stats_json s4);
+            ]
+          :: !json_rows;
         let pct t = Printf.sprintf "%+.0f%%" (100.0 *. (t -. t_jit) /. t_jit) in
         [ w.W.name;
           Printf.sprintf "%.0f ms" (t_jit *. 1000.0);
@@ -288,6 +330,7 @@ let fig5 () =
           Printf.sprintf "%.0f ms (%s)" (t4 *. 1000.0) (pct t4) ])
       W.everything
   in
+  emit "fig5" (Jsonx.List (List.rev !json_rows));
   Table.print
     ~headers:[ "Benchmark"; "JIT"; "NoJIT"; "JITBULL #0"; "JITBULL #1"; "JITBULL #4" ]
     rows;
@@ -301,22 +344,34 @@ let fig5 () =
 let fig6 () =
   section "Figure 6: scalability with #1..#8 VDCs in the database";
   let sizes = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let json_rows = ref [] in
   let rows =
     List.map
       (fun (w : W.t) ->
         let t_jit =
           time_best (fun () -> ignore (Engine.run_source Engine.default_config w.W.source))
         in
-        let cells =
+        let overheads =
           List.map
             (fun n ->
               let t = time_best (fun () -> ignore (run_protected n w)) in
-              Printf.sprintf "%+.0f%%" (100.0 *. (t -. t_jit) /. t_jit))
+              (n, 100.0 *. (t -. t_jit) /. t_jit))
             sizes
         in
+        json_rows :=
+          Jsonx.Assoc
+            [
+              ("name", Jsonx.String w.W.name);
+              ("jit_ms", Jsonx.Float (t_jit *. 1000.0));
+              ( "overhead_pct",
+                Jsonx.List (List.map (fun (_, pct) -> Jsonx.Float pct) overheads) );
+            ]
+          :: !json_rows;
+        let cells = List.map (fun (_, pct) -> Printf.sprintf "%+.0f%%" pct) overheads in
         w.W.name :: cells)
       W.everything
   in
+  emit "fig6" (Jsonx.List (List.rev !json_rows));
   Table.print
     ~headers:("Benchmark" :: List.map (fun n -> "#" ^ string_of_int n) sizes)
     rows;
@@ -471,6 +526,50 @@ let ablation () =
      lowest false-positive cost on this corpus (the paper's Thr = 3 assumes\n\
      its pairwise chain counting; see DESIGN.md §4).\n"
 
+(* ---- Telemetry: the observability layer measuring itself ---- *)
+
+let telemetry () =
+  section "Telemetry: pipeline pass percentiles and comparator throughput (#4 VDC DB)";
+  Printf.printf
+    "A fully instrumented run (metrics registry + tracer installed) over a\n\
+     workload sample with four VDCs in the database: per-pass latency\n\
+     percentiles from the fixed-bucket histograms, comparator throughput,\n\
+     and tier dispatch counts.\n\n";
+  let obs = Obs.create () in
+  let sample =
+    List.filter_map W.find [ "Richards"; "RayTrace"; "Splay"; "TypeScript"; "Microbench1" ]
+  in
+  List.iter
+    (fun (w : W.t) -> ignore (Engine.run_source (protected_config ~obs 4) w.W.source))
+    sample;
+  let view = Metrics.snapshot (Obs.metrics obs) in
+  let headers, rows = Report.pass_profile view in
+  Table.print ~headers rows;
+  let counter name = Option.value ~default:0 (Metrics.find_counter view name) in
+  (match Metrics.find_histogram view "comparator.seconds" with
+  | Some hv when hv.Metrics.hv_count > 0 ->
+    Printf.printf
+      "\ncomparator: %d DNA-pair comparisons in %.2f ms (p50 %.1f us, p90 %.1f us) — %.0f pairs/s, %d pass matches\n"
+      hv.Metrics.hv_count
+      (hv.Metrics.hv_sum *. 1000.0)
+      (hv.Metrics.hv_p50 *. 1e6)
+      (hv.Metrics.hv_p90 *. 1e6)
+      (float_of_int hv.Metrics.hv_count /. hv.Metrics.hv_sum)
+      (counter "comparator.matches")
+  | _ -> ());
+  (match Metrics.find_histogram view "policy_decide.seconds" with
+  | Some hv when hv.Metrics.hv_count > 0 ->
+    Printf.printf "policy_decide: %d verdicts (allow %d / disable %d / forbid %d), p90 %.1f us\n"
+      hv.Metrics.hv_count (counter "policy.allow") (counter "policy.disable")
+      (counter "policy.forbid") (hv.Metrics.hv_p90 *. 1e6)
+  | _ -> ());
+  Printf.printf "dispatch: %d calls (%d interpreted, %d through JIT code)\n"
+    (counter "vm.calls") (counter "vm.dispatch.interp") (counter "vm.dispatch.jit");
+  Printf.printf "trace events recorded: %d (ring keeps the newest %d)\n"
+    (Jitbull_obs.Tracer.total_recorded (Obs.tracer obs))
+    (List.length (Jitbull_obs.Tracer.events (Obs.tracer obs)));
+  emit "telemetry" (Metrics.view_to_json view)
+
 (* ---- Bechamel micro-benchmarks ---- *)
 
 let bechamel () =
@@ -533,31 +632,70 @@ let bechamel () =
 
 (* ---- driver ---- *)
 
-let all () =
-  table1 ();
-  table2 ();
-  window ();
-  security ();
-  fig4 ();
-  fig5 ();
-  fig6 ();
-  fuzz_pipeline ();
-  ablation ();
-  bechamel ()
+let sections_in_order =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("window", window);
+    ("security", security);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fuzz", fuzz_pipeline);
+    ("telemetry", telemetry);
+    ("ablation", ablation);
+    ("bechamel", bechamel);
+  ]
+
+let write_json path command timings =
+  let doc =
+    Jsonx.Assoc
+      [
+        ("schema", Jsonx.String "jitbull-bench/1");
+        ("command", Jsonx.String command);
+        ("unix_time", Jsonx.Float (Unix.time ()));
+        ( "section_seconds",
+          Jsonx.Assoc (List.map (fun (name, dt) -> (name, Jsonx.Float dt)) timings) );
+        ("sections", Jsonx.Assoc !json_sections);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Jsonx.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote machine-readable results to %s\n" path
 
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
-  | "table1" -> table1 ()
-  | "table2" -> table2 ()
-  | "window" -> window ()
-  | "security" -> security ()
-  | "fig4" -> fig4 ()
-  | "fig5" -> fig5 ()
-  | "fig6" -> fig6 ()
-  | "ablation" -> ablation ()
-  | "fuzz" -> fuzz_pipeline ()
-  | "bechamel" -> bechamel ()
-  | "all" -> all ()
-  | other ->
-    Printf.eprintf "unknown command %s\n" other;
+  let rec split cmds json = function
+    | "--json" :: path :: rest -> split cmds (Some path) rest
+    | "--json" :: [] ->
+      Printf.eprintf "--json requires an output path\n";
+      exit 1
+    | a :: rest -> split (a :: cmds) json rest
+    | [] -> (List.rev cmds, json)
+  in
+  let cmds, json_path = split [] None (List.tl (Array.to_list Sys.argv)) in
+  let command = match cmds with [] -> "all" | [ c ] -> c | _ ->
+    Printf.eprintf "usage: bench/main.exe [SECTION] [--json OUT]\n";
     exit 1
+  in
+  let chosen =
+    if String.equal command "all" then sections_in_order
+    else
+      match List.assoc_opt command sections_in_order with
+      | Some f -> [ (command, f) ]
+      | None ->
+        Printf.eprintf "unknown command %s (known: %s)\n" command
+          (String.concat ", " ("all" :: List.map fst sections_in_order));
+        exit 1
+  in
+  let timings =
+    List.map
+      (fun (name, f) ->
+        let (), dt = time f in
+        (name, dt))
+      chosen
+  in
+  match json_path with
+  | Some path -> write_json path command timings
+  | None -> ()

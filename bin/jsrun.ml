@@ -5,7 +5,9 @@
      jsrun --interp script.js           reference tree-walking interpreter
      jsrun --vuln CVE-2019-17026 ...    activate an injected pass bug
      jsrun --db jitbull.db ...          enable JITBULL with this database
-     jsrun --stats ...                  print engine statistics afterwards *)
+     jsrun --stats ...                  print engine statistics afterwards
+     jsrun --metrics[=FILE] ...         telemetry snapshot at exit
+     jsrun --trace-file out.jsonl ...   structured event trace (JSON lines) *)
 
 open Cmdliner
 module Engine = Jitbull_jit.Engine
@@ -15,6 +17,11 @@ module Errors = Jitbull_runtime.Errors
 module VC = Jitbull_passes.Vuln_config
 module Db = Jitbull_core.Db
 module Jitbull = Jitbull_core.Jitbull
+module Obs = Jitbull_obs.Obs
+module Metrics = Jitbull_obs.Metrics
+module Report = Jitbull_obs.Report
+module Jsonx = Jitbull_obs.Jsonx
+module Table = Jitbull_util.Text_table
 
 let read_file path =
   let ic = open_in_bin path in
@@ -23,13 +30,44 @@ let read_file path =
   close_in ic;
   s
 
+(* A reporter is always installed so the engine's warnings and errors are
+   never silently dropped; --trace raises the level to Debug. *)
 let setup_logging trace =
-  if trace then begin
-    Logs.set_reporter (Logs.format_reporter ());
-    Logs.set_level (Some Logs.Debug)
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if trace then Logs.Debug else Logs.Warning))
+
+let has_suffix suf s =
+  let ls = String.length suf and l = String.length s in
+  l >= ls && String.equal (String.sub s (l - ls) ls) suf
+
+(* Dump the metrics snapshot: the per-pass compile profile as a table on
+   stderr, then the registry itself — Prometheus text by default, JSON
+   when the destination ends in .json, stderr when it is "-". *)
+let report_metrics obs dest =
+  let view = Obs.view obs in
+  let headers, rows = Report.pass_profile view in
+  if rows <> [] then begin
+    Printf.eprintf "-- per-pass compile profile --\n";
+    prerr_string (Table.render ~headers rows);
+    prerr_newline ()
+  end;
+  let as_json = has_suffix ".json" dest in
+  let body =
+    if as_json then Jsonx.to_string (Metrics.view_to_json view) ^ "\n"
+    else Metrics.render_prometheus view
+  in
+  if String.equal dest "-" then begin
+    Printf.eprintf "-- metrics --\n";
+    prerr_string body
+  end
+  else begin
+    let oc = open_out dest in
+    output_string oc body;
+    close_out oc
   end
 
-let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace =
+let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace metrics
+    trace_file =
   setup_logging trace;
   let source = read_file file in
   let vulns =
@@ -44,33 +82,51 @@ let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace
   let vulns = VC.make vulns in
   let realm = Realm.create ~seed ~echo:true () in
   try
-    if use_interp then begin
-      ignore (Interp.run_source ~realm source);
-      `Ok ()
-    end
-    else begin
-      let config =
-        match db_path with
-        | Some path ->
-          let db = Db.load path in
-          let c = Jitbull.config ~vulns db in
-          { c with Engine.jit_enabled = not no_jit; ion_threshold }
-        | None ->
-          { Engine.default_config with Engine.vulns; jit_enabled = not no_jit; ion_threshold }
-      in
-      let _, engine = Engine.run_source ~realm config source in
-      if stats then begin
-        let s = Engine.stats engine in
-        Printf.eprintf
-          "-- engine statistics --\n\
-           baseline compiles: %d\nion compiles:      %d\n\
-           Nr_JIT: %d  Nr_DisJIT: %d  Nr_NoJIT: %d\n\
-           bailouts: %d  deopts: %d\n"
-          s.Engine.baseline_compiles s.Engine.ion_compiles s.Engine.nr_jit s.Engine.nr_disjit
-          s.Engine.nr_nojit s.Engine.bailouts s.Engine.deopts
-      end;
-      `Ok ()
-    end
+    let obs =
+      match (metrics, trace_file) with
+      | None, None -> None
+      | _ ->
+        let o = Obs.create () in
+        (match trace_file with
+        | Some path -> Obs.set_trace_file o path
+        | None -> ());
+        Some o
+    in
+    let finish () =
+      (match metrics with
+      | Some dest -> report_metrics obs dest
+      | None -> ());
+      Obs.close obs
+    in
+    Fun.protect ~finally:finish (fun () ->
+        if use_interp then begin
+          ignore (Interp.run_source ~realm source);
+          `Ok ()
+        end
+        else begin
+          let config =
+            match db_path with
+            | Some path ->
+              let db = Db.load path in
+              let c = Jitbull.config ?obs ~vulns db in
+              { c with Engine.jit_enabled = not no_jit; ion_threshold }
+            | None ->
+              { Engine.default_config with Engine.vulns; jit_enabled = not no_jit;
+                ion_threshold; obs }
+          in
+          let _, engine = Engine.run_source ~realm config source in
+          if stats then begin
+            let s = Engine.stats engine in
+            Printf.eprintf
+              "-- engine statistics --\n\
+               baseline compiles: %d\nion compiles:      %d\n\
+               Nr_JIT: %d  Nr_DisJIT: %d  Nr_NoJIT: %d\n\
+               bailouts: %d  deopts: %d\n"
+              s.Engine.baseline_compiles s.Engine.ion_compiles s.Engine.nr_jit
+              s.Engine.nr_disjit s.Engine.nr_nojit s.Engine.bailouts s.Engine.deopts
+          end;
+          `Ok ()
+        end)
   with
   | Errors.Shellcode_executed msg ->
     Printf.eprintf "SHELLCODE EXECUTED: %s\n" msg;
@@ -79,6 +135,7 @@ let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace
     Printf.eprintf "CRASH: %s\n" msg;
     `Error (false, "script crashed the simulated runtime")
   | Errors.Type_error msg -> `Error (false, "type error: " ^ msg)
+  | Sys_error msg | Fun.Finally_raised (Sys_error msg) -> `Error (false, msg)
   | Jitbull_frontend.Parser.Parse_error (msg, pos) ->
     `Error (false, Printf.sprintf "parse error at %d:%d: %s" pos.Jitbull_frontend.Token.line
               pos.Jitbull_frontend.Token.column msg)
@@ -113,11 +170,24 @@ let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Math.random
 let trace =
   Arg.(value & flag & info [ "trace" ] ~doc:"Log tier-up, bailout and JITBULL policy events.")
 
+let metrics =
+  Arg.(value & opt ~vopt:(Some "-") (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Record telemetry and dump a metrics snapshot at exit: the per-pass \
+                 compile profile plus the full registry (Prometheus text, or JSON when \
+                 $(docv) ends in .json). Without $(docv), prints to stderr.")
+
+let trace_file =
+  Arg.(value & opt (some string) None
+       & info [ "trace-file" ] ~docv:"FILE"
+           ~doc:"Stream structured engine events (compile spans, per-pass spans, tier-ups, \
+                 bailouts, go/no-go verdicts) to $(docv) as JSON lines.")
+
 let cmd =
   let doc = "run a mini-JS script on the JITBULL engine" in
   Cmd.v
     (Cmd.info "jsrun" ~doc)
     Term.(ret (const run $ file $ no_jit $ use_interp $ vuln_names $ db_path $ stats
-               $ ion_threshold $ seed $ trace))
+               $ ion_threshold $ seed $ trace $ metrics $ trace_file))
 
 let () = exit (Cmd.eval cmd)

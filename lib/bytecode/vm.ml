@@ -4,6 +4,16 @@ module Heap = Jitbull_runtime.Heap
 module Realm = Jitbull_runtime.Realm
 module Builtins = Jitbull_runtime.Builtins
 module Errors = Jitbull_runtime.Errors
+module Metrics = Jitbull_obs.Metrics
+
+(* Pre-resolved metric handles: the dispatch path is the hottest loop in
+   the engine, so counters are looked up by name once at installation and
+   each call pays a single option match plus an integer bump. *)
+type vm_counters = {
+  calls : Metrics.counter;
+  interp_dispatch : Metrics.counter;
+  jit_dispatch : Metrics.counter;
+}
 
 type t = {
   realm : Realm.t;
@@ -13,6 +23,7 @@ type t = {
   dispatch : (Value.t list -> Value.t) option array;
   feedback : Feedback.t;
   mutable on_invoke : (t -> int -> int -> unit) option;
+  mutable obs_counters : vm_counters option;
 }
 
 let create ?realm (program : Op.program) =
@@ -29,7 +40,18 @@ let create ?realm (program : Op.program) =
     dispatch = Array.make (Array.length program.Op.funcs) None;
     feedback = Feedback.create program;
     on_invoke = None;
+    obs_counters = None;
   }
+
+let install_obs vm obs =
+  let m = Jitbull_obs.Obs.metrics obs in
+  vm.obs_counters <-
+    Some
+      {
+        calls = Metrics.counter m "vm.calls";
+        interp_dispatch = Metrics.counter m "vm.dispatch.interp";
+        jit_dispatch = Metrics.counter m "vm.dispatch.jit";
+      }
 
 let store_global vm name v = Hashtbl.replace vm.globals name v
 
@@ -78,10 +100,21 @@ let rec call_function vm idx args =
   | None -> ());
   match vm.dispatch.(idx) with
   | Some compiled ->
+    (match vm.obs_counters with
+    | Some c ->
+      Metrics.incr c.calls;
+      Metrics.incr c.jit_dispatch
+    | None -> ());
     (* control transfers through the simulated JIT code pointer *)
     Heap.check_sentinel vm.realm.Realm.heap;
     compiled args
-  | None -> interpret vm ~func_index:idx vm.program.Op.funcs.(idx) args
+  | None ->
+    (match vm.obs_counters with
+    | Some c ->
+      Metrics.incr c.calls;
+      Metrics.incr c.interp_dispatch
+    | None -> ());
+    interpret vm ~func_index:idx vm.program.Op.funcs.(idx) args
 
 (* [func_index] = -1 for the top level, which collects no feedback (it is
    never JITed). *)

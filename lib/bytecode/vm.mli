@@ -10,6 +10,11 @@
 
 module Value = Jitbull_runtime.Value
 
+(** Pre-resolved dispatch counters ([vm.calls], [vm.dispatch.interp],
+    [vm.dispatch.jit]): name lookup happens once in {!install_obs}, the
+    per-call cost is one option match and an integer increment. *)
+type vm_counters
+
 type t = {
   realm : Jitbull_runtime.Realm.t;
   program : Op.program;
@@ -21,11 +26,17 @@ type t = {
       (** per-site type feedback collected while interpreting *)
   mutable on_invoke : (t -> int -> int -> unit) option;
       (** [on_invoke vm func_index count] fires before dispatch *)
+  mutable obs_counters : vm_counters option;
+      (** dispatch telemetry; [None] (the default) records nothing *)
 }
 
 (** [create ?realm program] sets up globals (each declared function is
     pre-bound to its [Value.Function]) and zeroed counters. *)
 val create : ?realm:Jitbull_runtime.Realm.t -> Op.program -> t
+
+(** [install_obs vm obs] resolves the dispatch counters against [obs]'s
+    metrics registry and starts counting calls per tier. *)
+val install_obs : t -> Jitbull_obs.Obs.t -> unit
 
 (** [load_global vm name] reads a global binding, falling back to builtin
     namespaces/functions; raises for undefined names. [store_global]

@@ -28,10 +28,19 @@ let similar ?params (a : Delta.t) (b : Delta.t) =
   compare_sides ?params a.Delta.removed b.Delta.removed
   || compare_sides ?params a.Delta.added b.Delta.added
 
-let matching_passes ?params (dna : Dna.t) (dna' : Dna.t) =
-  List.filter_map
-    (fun (pass, d) ->
-      match List.assoc_opt pass dna'.Dna.deltas with
-      | Some d' when similar ?params d d' -> Some pass
-      | Some _ | None -> None)
-    dna.Dna.deltas
+let matching_passes ?params ?obs (dna : Dna.t) (dna' : Dna.t) =
+  let module Obs = Jitbull_obs.Obs in
+  Obs.incr obs "comparator.pairs";
+  let matches =
+    (* histogram-only timing: one DNA-pair comparison per DB entry per
+       Ion compile is too frequent for a trace event each *)
+    Obs.time obs "comparator.seconds" (fun () ->
+        List.filter_map
+          (fun (pass, d) ->
+            match List.assoc_opt pass dna'.Dna.deltas with
+            | Some d' when similar ?params d d' -> Some pass
+            | Some _ | None -> None)
+          dna.Dna.deltas)
+  in
+  Obs.add obs "comparator.matches" (List.length matches);
+  matches

@@ -22,6 +22,10 @@ val compare_sides :
 (** [similar ?params delta delta'] — Δᵢ ≈ Δ'ᵢ (either side matches). *)
 val similar : ?params:params -> Delta.t -> Delta.t -> bool
 
-(** [matching_passes ?params dna dna'] — pass names [i] with
-    Δᵢ ≈ Δ'ᵢ (Algorithm 2's DisPass contribution of one DB entry). *)
-val matching_passes : ?params:params -> Dna.t -> Dna.t -> string list
+(** [matching_passes ?params ?obs dna dna'] — pass names [i] with
+    Δᵢ ≈ Δ'ᵢ (Algorithm 2's DisPass contribution of one DB entry).
+    With [obs]: [comparator.pairs]/[comparator.matches] counters and a
+    [comparator.seconds] latency histogram (no trace events — this is the
+    policy's hot path). *)
+val matching_passes :
+  ?params:params -> ?obs:Jitbull_obs.Obs.t -> Dna.t -> Dna.t -> string list

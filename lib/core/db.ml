@@ -24,26 +24,33 @@ let cves t =
     (fun acc e -> if List.mem e.cve acc then acc else acc @ [ e.cve ])
     [] t.items
 
-let harvest t ~cve ~vulns source =
-  let harvested = ref [] in
-  let analyzer ~func_index:_ ~name:_ ~trace =
-    let dna = Dna.extract trace in
-    if Dna.nonempty_passes dna <> [] then harvested := dna :: !harvested;
-    Engine.Allow
-  in
-  let config =
-    { Engine.default_config with Engine.vulns; analyzer = Some analyzer }
-  in
-  (* the demonstrator may crash or detonate — DNA extraction happens at
-     compile time, before or despite that *)
-  (try ignore (Engine.run_source config source) with
-  | Jitbull_runtime.Errors.Crash _
-  | Jitbull_runtime.Errors.Shellcode_executed _
-  | Jitbull_runtime.Errors.Type_error _ ->
-    ());
-  let added = List.rev !harvested in
-  List.iter (fun dna -> add t { cve; dna }) added;
-  List.length added
+let harvest ?obs t ~cve ~vulns source =
+  let module Obs = Jitbull_obs.Obs in
+  Obs.span obs
+    ~fields:[ ("cve", Jitbull_obs.Jsonx.String cve) ]
+    ~fields_of:(fun n -> [ ("entries", Jitbull_obs.Jsonx.Int n) ])
+    "db_harvest"
+    (fun () ->
+      let harvested = ref [] in
+      let analyzer ~func_index:_ ~name:_ ~trace =
+        let dna = Obs.span obs "dna_extract" (fun () -> Dna.extract trace) in
+        if Dna.nonempty_passes dna <> [] then harvested := dna :: !harvested;
+        Engine.Allow
+      in
+      let config =
+        { Engine.default_config with Engine.vulns; analyzer = Some analyzer; obs }
+      in
+      (* the demonstrator may crash or detonate — DNA extraction happens at
+         compile time, before or despite that *)
+      (try ignore (Engine.run_source config source) with
+      | Jitbull_runtime.Errors.Crash _
+      | Jitbull_runtime.Errors.Shellcode_executed _
+      | Jitbull_runtime.Errors.Type_error _ ->
+        ());
+      let added = List.rev !harvested in
+      List.iter (fun dna -> add t { cve; dna }) added;
+      Obs.add obs "db.harvested_entries" (List.length added);
+      List.length added)
 
 let to_sexpr t =
   Sexpr.list

@@ -36,9 +36,17 @@ val cves : t -> string list  (** distinct, insertion order *)
     is unpatched during the vulnerability window), extracting the DNA of
     every Ion-compiled function and installing the entries. Returns the
     number of entries added. Functions whose DNA has no non-empty delta
-    are skipped (they carry no signal). *)
+    are skipped (they carry no signal).
+
+    With [obs], harvesting is traced as a [db_harvest] span (fields
+    [cve], [entries]) and counted in [db.harvested_entries]. *)
 val harvest :
-  t -> cve:string -> vulns:Jitbull_passes.Vuln_config.t -> string -> int
+  ?obs:Jitbull_obs.Obs.t ->
+  t ->
+  cve:string ->
+  vulns:Jitbull_passes.Vuln_config.t ->
+  string ->
+  int
 
 val to_sexpr : t -> Jitbull_util.Sexpr.t
 val of_sexpr : Jitbull_util.Sexpr.t -> t

@@ -1,5 +1,7 @@
 module Engine = Jitbull_jit.Engine
 module Pipeline = Jitbull_passes.Pipeline
+module Obs = Jitbull_obs.Obs
+module Jsonx = Jitbull_obs.Jsonx
 
 type record = {
   func_name : string;
@@ -12,37 +14,73 @@ type monitor = { mutable records : record list }
 
 let new_monitor () = { records = [] }
 
-let analyzer ?params ?monitor (db : Db.t) : Engine.analyzer =
+let verdict_name = function
+  | `Allow -> "allow"
+  | `Disable _ -> "disable"
+  | `Forbid -> "forbid"
+
+let analyzer ?params ?monitor ?obs (db : Db.t) : Engine.analyzer =
  fun ~func_index:_ ~name ~trace ->
-  let dna = Dna.extract trace in
-  let matched =
-    List.filter_map
-      (fun (e : Db.entry) ->
-        match Comparator.matching_passes ?params dna e.Db.dna with
-        | [] -> None
-        | passes -> Some (e.Db.cve, passes))
-      (Db.entries db)
-  in
-  let dangerous =
-    (* union in pipeline order *)
-    List.filter
-      (fun p -> List.exists (fun (_, ps) -> List.mem p ps) matched)
-      Pipeline.pass_names
+  (* the whole go/no-go decision is one [policy_decide] span whose fields
+     carry the verdict and the matched CVE → pass evidence *)
+  let matched_ref = ref [] in
+  let dangerous_ref = ref [] in
+  let verdict_fields verdict =
+    [
+      ("verdict", Jsonx.String (verdict_name verdict));
+      ("passes", Jsonx.List (List.map (fun p -> Jsonx.String p) !dangerous_ref));
+      ( "matched",
+        Jsonx.Assoc
+          (List.map
+             (fun (cve, ps) -> (cve, Jsonx.List (List.map (fun p -> Jsonx.String p) ps)))
+             !matched_ref) );
+    ]
   in
   let verdict =
-    if dangerous = [] then `Allow
-    else if List.for_all Pipeline.can_disable dangerous then `Disable dangerous
-    else `Forbid
+    Obs.span obs
+      ~fields:[ ("func", Jsonx.String name) ]
+      ~fields_of:verdict_fields "policy_decide"
+      (fun () ->
+        let dna = Obs.span obs "dna_extract" (fun () -> Dna.extract trace) in
+        let matched =
+          Obs.span obs
+            ~fields:[ ("entries", Jsonx.Int (List.length (Db.entries db))) ]
+            "db_compare"
+            (fun () ->
+              List.filter_map
+                (fun (e : Db.entry) ->
+                  match Comparator.matching_passes ?params ?obs dna e.Db.dna with
+                  | [] -> None
+                  | passes -> Some (e.Db.cve, passes))
+                (Db.entries db))
+        in
+        matched_ref := matched;
+        let dangerous =
+          (* union in pipeline order *)
+          List.filter
+            (fun p -> List.exists (fun (_, ps) -> List.mem p ps) matched)
+            Pipeline.pass_names
+        in
+        dangerous_ref := dangerous;
+        let verdict =
+          if dangerous = [] then `Allow
+          else if List.for_all Pipeline.can_disable dangerous then `Disable dangerous
+          else `Forbid
+        in
+        Obs.incr obs ("policy." ^ verdict_name verdict);
+        verdict)
   in
   (match monitor with
   | Some m ->
-    m.records <- { func_name = name; matched; dangerous_passes = dangerous; verdict } :: m.records
+    m.records <-
+      { func_name = name; matched = !matched_ref; dangerous_passes = !dangerous_ref; verdict }
+      :: m.records
   | None -> ());
   match verdict with
   | `Allow -> Engine.Allow
   | `Disable passes -> Engine.Disable_passes passes
   | `Forbid -> Engine.Forbid_jit
 
-let config ?params ?monitor ~vulns (db : Db.t) : Engine.config =
-  let analyzer = if Db.is_empty db then None else Some (analyzer ?params ?monitor db) in
-  { Engine.default_config with Engine.vulns; analyzer }
+let config ?params ?monitor ?obs ~vulns (db : Db.t) : Engine.config =
+  let analyzer = if Db.is_empty db then None else Some (analyzer ?params ?monitor ?obs db) in
+  { Engine.default_config with Engine.vulns; analyzer; obs }

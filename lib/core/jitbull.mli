@@ -26,22 +26,30 @@ type monitor = {
 
 val new_monitor : unit -> monitor
 
-(** [analyzer ?params ?monitor db] builds the engine hook. The database is
-    consulted live: entries added or removed later affect subsequent
-    compilations (the patch-applied lifecycle). *)
+(** [analyzer ?params ?monitor ?obs db] builds the engine hook. The
+    database is consulted live: entries added or removed later affect
+    subsequent compilations (the patch-applied lifecycle).
+
+    With [obs] installed, every analysis is traced: a [policy_decide]
+    span (fields [func], [verdict], [passes], [matched]) wrapping
+    [dna_extract] and [db_compare] child spans, plus
+    [policy.allow]/[policy.disable]/[policy.forbid] counters. *)
 val analyzer :
   ?params:Comparator.params ->
   ?monitor:monitor ->
+  ?obs:Jitbull_obs.Obs.t ->
   Db.t ->
   Jitbull_jit.Engine.analyzer
 
-(** [config ?params ?monitor ~vulns db] — an engine configuration with
-    JITBULL installed, the vulnerability window's unpatched engine. When
-    [db] is empty the analyzer is omitted entirely (zero overhead, paper
-    §V). *)
+(** [config ?params ?monitor ?obs ~vulns db] — an engine configuration
+    with JITBULL installed, the vulnerability window's unpatched engine.
+    When [db] is empty the analyzer is omitted entirely (zero overhead,
+    paper §V). [obs] is installed both into the analyzer and the engine
+    configuration. *)
 val config :
   ?params:Comparator.params ->
   ?monitor:monitor ->
+  ?obs:Jitbull_obs.Obs.t ->
   vulns:Jitbull_passes.Vuln_config.t ->
   Db.t ->
   Jitbull_jit.Engine.config

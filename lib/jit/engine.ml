@@ -13,6 +13,8 @@ module Lir = Jitbull_lir.Lir
 module Lower = Jitbull_lir.Lower
 module Regalloc = Jitbull_lir.Regalloc
 module Executor = Jitbull_lir.Executor
+module Obs = Jitbull_obs.Obs
+module Jsonx = Jitbull_obs.Jsonx
 
 let log_src = Logs.Src.create "jitbull.engine" ~doc:"JIT engine tier-up and policy events"
 
@@ -34,6 +36,7 @@ type config = {
   verify_passes : bool;
   max_bailouts : int;
   jit_enabled : bool;
+  obs : Obs.t option;
 }
 
 let default_config =
@@ -45,6 +48,7 @@ let default_config =
     verify_passes = false;
     max_bailouts = 8;
     jit_enabled = true;
+    obs = None;
   }
 
 type stats = {
@@ -92,6 +96,9 @@ let compute_reassigned (program : Op.program) =
 let vm t = t.vm
 let stats t = t.stats
 let realm t = t.vm.Vm.realm
+let obs t = t.config.obs
+
+let func_field t idx = ("func", Jsonx.String t.vm.Vm.program.Op.funcs.(idx).Op.name)
 
 (* ---- compilation ---- *)
 
@@ -133,7 +140,7 @@ let compile_lir t idx ~optimize ~disabled =
      (* no snapshots: either no analyzer is installed (the paper's
         zero-overhead empty-DB case) or this is the post-verdict
         recompilation, which is not re-analyzed *)
-     Pipeline.run_quiet t.config.vulns
+     Pipeline.run_quiet t.config.vulns ?obs:t.config.obs
        ~inline_resolver:(inline_resolver t ~caller_idx:idx)
        ~disabled ~verify:t.config.verify_passes g
    else begin
@@ -155,7 +162,7 @@ let compile_traced t idx ~disabled =
   let feedback_row = t.vm.Vm.feedback.(idx) in
   let g = Builder.build func ~feedback_row in
   let trace =
-    Pipeline.run t.config.vulns
+    Pipeline.run t.config.vulns ?obs:t.config.obs
       ~inline_resolver:(inline_resolver t ~caller_idx:idx)
       ~disabled ~verify:t.config.verify_passes g
   in
@@ -173,13 +180,19 @@ let install t idx (lir : Lir.func) =
       Log.debug (fun m -> m "bailout in %s: %s" lir.Lir.name reason);
       t.stats.bailouts <- t.stats.bailouts + 1;
       t.bailout_counts.(idx) <- t.bailout_counts.(idx) + 1;
+      Obs.incr t.config.obs "engine.bailouts";
+      Obs.event t.config.obs "bailout"
+        ~fields:[ func_field t idx; ("reason", Jsonx.String reason) ];
       if t.bailout_counts.(idx) > t.config.max_bailouts then begin
         (* deoptimize for good: drop the compiled code *)
         Log.info (fun m -> m "deopt: blacklisting %s after %d bailouts" lir.Lir.name
                      t.bailout_counts.(idx));
         t.vm.Vm.dispatch.(idx) <- None;
         t.tiers.(idx) <- Blacklisted;
-        t.stats.deopts <- t.stats.deopts + 1
+        t.stats.deopts <- t.stats.deopts + 1;
+        Obs.incr t.config.obs "engine.deopts";
+        Obs.event t.config.obs "deopt"
+          ~fields:[ func_field t idx; ("bailouts", Jsonx.Int t.bailout_counts.(idx)) ]
       end;
       (* replay from function entry in the interpreter tier *)
       Vm.interpret t.vm ~func_index:idx t.vm.Vm.program.Op.funcs.(idx) args
@@ -192,6 +205,19 @@ let ensure_sentinel t =
     t.sentinel_installed <- true
   end
 
+let tier_up t idx tier_name =
+  Obs.incr t.config.obs ("engine.tier_up." ^ tier_name);
+  Obs.event t.config.obs "tier_up"
+    ~fields:[ func_field t idx; ("tier", Jsonx.String tier_name) ]
+
+let blacklist t idx reason =
+  t.stats.nr_nojit <- t.stats.nr_nojit + 1;
+  t.vm.Vm.dispatch.(idx) <- None;
+  t.tiers.(idx) <- Blacklisted;
+  Obs.incr t.config.obs "engine.blacklisted";
+  Obs.event t.config.obs "blacklist"
+    ~fields:[ func_field t idx; ("reason", Jsonx.String reason) ]
+
 let ion_compile t idx =
   ensure_sentinel t;
   t.stats.nr_jit <- t.stats.nr_jit + 1;
@@ -199,48 +225,70 @@ let ion_compile t idx =
   Log.debug (fun m ->
       m "ion-compiling %s (invocations reached %d)"
         t.vm.Vm.program.Op.funcs.(idx).Op.name t.config.ion_threshold);
+  let obs = t.config.obs in
   match t.config.analyzer with
   | None ->
-    let lir = compile_lir t idx ~optimize:true ~disabled:[] in
+    let lir =
+      Obs.span obs ~fields:[ func_field t idx ] "compile_ion" (fun () ->
+          compile_lir t idx ~optimize:true ~disabled:[])
+    in
     install t idx lir;
-    t.tiers.(idx) <- Ion
+    t.tiers.(idx) <- Ion;
+    tier_up t idx "ion"
   | Some analyze -> (
     let name = t.vm.Vm.program.Op.funcs.(idx).Op.name in
-    let lir, trace = compile_traced t idx ~disabled:[] in
+    let lir, trace =
+      Obs.span obs
+        ~fields:[ func_field t idx; ("traced", Jsonx.Bool true) ]
+        "compile_ion"
+        (fun () -> compile_traced t idx ~disabled:[])
+    in
     match analyze ~func_index:idx ~name ~trace with
     | Allow ->
       install t idx lir;
-      t.tiers.(idx) <- Ion
+      t.tiers.(idx) <- Ion;
+      tier_up t idx "ion"
     | Disable_passes passes when List.for_all Pipeline.can_disable passes ->
       Log.info (fun m ->
           m "JITBULL: recompiling %s without dangerous passes [%s]" name
             (String.concat ", " passes));
       t.stats.ion_compiles <- t.stats.ion_compiles + 1;
       t.stats.nr_disjit <- t.stats.nr_disjit + 1;
-      let lir = compile_lir t idx ~optimize:true ~disabled:passes in
+      Obs.incr obs "engine.recompiles";
+      let lir =
+        Obs.span obs
+          ~fields:
+            [
+              func_field t idx;
+              ("disabled", Jsonx.List (List.map (fun p -> Jsonx.String p) passes));
+            ]
+          "compile_ion"
+          (fun () -> compile_lir t idx ~optimize:true ~disabled:passes)
+      in
       install t idx lir;
-      t.tiers.(idx) <- Ion
+      t.tiers.(idx) <- Ion;
+      tier_up t idx "ion"
     | Disable_passes passes ->
       (* scenario 3: a mandatory pass matched — no JIT for this function *)
       Log.info (fun m ->
           m "JITBULL: mandatory pass among [%s] matched — no JIT for %s"
             (String.concat ", " passes) name);
-      t.stats.nr_nojit <- t.stats.nr_nojit + 1;
-      t.vm.Vm.dispatch.(idx) <- None;
-      t.tiers.(idx) <- Blacklisted
+      blacklist t idx "mandatory_pass"
     | Forbid_jit ->
       Log.info (fun m -> m "JITBULL: JIT forbidden for %s" name);
-      t.stats.nr_nojit <- t.stats.nr_nojit + 1;
-      t.vm.Vm.dispatch.(idx) <- None;
-      t.tiers.(idx) <- Blacklisted)
+      blacklist t idx "forbid_jit")
 
 let baseline_compile t idx =
   ensure_sentinel t;
   Log.debug (fun m -> m "baseline-compiling %s" t.vm.Vm.program.Op.funcs.(idx).Op.name);
   t.stats.baseline_compiles <- t.stats.baseline_compiles + 1;
-  let lir = compile_lir t idx ~optimize:false ~disabled:[] in
+  let lir =
+    Obs.span t.config.obs ~fields:[ func_field t idx ] "compile_baseline" (fun () ->
+        compile_lir t idx ~optimize:false ~disabled:[])
+  in
   install t idx lir;
-  t.tiers.(idx) <- Baseline
+  t.tiers.(idx) <- Baseline;
+  tier_up t idx "baseline"
 
 let on_invoke t (_vm : Vm.t) idx count =
   if t.config.jit_enabled then begin
@@ -276,6 +324,9 @@ let create ?realm config (program : Op.program) =
       sentinel_installed = false;
     }
   in
+  (match config.obs with
+  | Some o -> Vm.install_obs vm o
+  | None -> ());
   vm.Vm.on_invoke <- Some (fun vm idx count -> on_invoke t vm idx count);
   t
 

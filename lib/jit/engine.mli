@@ -42,6 +42,11 @@ type config = {
   verify_passes : bool;  (** run the MIR verifier after every pass *)
   max_bailouts : int;
   jit_enabled : bool;  (** [false] = the paper's "NoJIT" configuration *)
+  obs : Jitbull_obs.Obs.t option;
+      (** telemetry: compile spans ([compile_baseline]/[compile_ion] plus
+          per-pass spans in the pipeline), [tier_up]/[bailout]/[deopt]/
+          [blacklist] events, and VM dispatch counters. [None] (default)
+          records nothing and adds no measurable cost. *)
 }
 
 val default_config : config
@@ -67,6 +72,8 @@ val vm : t -> Jitbull_bytecode.Vm.t
 val stats : t -> stats
 
 val realm : t -> Jitbull_runtime.Realm.t
+
+val obs : t -> Jitbull_obs.Obs.t option
 
 (** [run t] executes the program's top level and returns everything
     printed. *)

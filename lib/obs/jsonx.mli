@@ -1,0 +1,36 @@
+(** Minimal JSON tree, encoder and parser — enough for the telemetry
+    event sink and machine-readable bench output without pulling an
+    external dependency into the core libraries.
+
+    Encoding guarantees round-trip fidelity for floats (shortest
+    representation that parses back to the same bits, falling back to 17
+    significant digits) and escapes control characters; non-finite floats
+    encode as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val to_string : t -> string
+
+exception Parse_error of string
+
+(** [parse s] decodes one JSON value; raises {!Parse_error} on malformed
+    input or trailing garbage. [\u] escapes outside the BMP are not
+    combined into surrogate pairs (each half decodes independently). *)
+val parse : string -> t
+
+(** Accessors: [member key json] is the value under [key] of an [Assoc]
+    (Null when absent or not an object); the [to_*] coercions raise
+    {!Parse_error} on a type mismatch ([to_float] accepts [Int]). *)
+
+val member : string -> t -> t
+val to_int : t -> int
+val to_float : t -> float
+val to_str : t -> string
+val to_list_exn : t -> t list

@@ -1,0 +1,44 @@
+(** The observability handle threaded through the engine: a
+    {!Metrics.t} registry plus a {!Tracer.t}, packaged so instrumented
+    code takes an [Obs.t option] and pays nothing when it is [None] —
+    every recording entry point below matches on the option first and the
+    [None] arm is a no-op (for [span]/[time], a direct tail call of the
+    body). *)
+
+type t
+
+val create : ?capacity:int -> ?clock:(unit -> float) -> unit -> t
+
+val metrics : t -> Metrics.t
+val tracer : t -> Tracer.t
+
+(** Mirror all subsequent trace events to [path] as JSON lines. *)
+val set_trace_file : t -> string -> unit
+
+(** Flush and close the trace file sink, if any. [None] is a no-op. *)
+val close : t option -> unit
+
+(** [span obs name f] — timed span around [f]: records a trace event and
+    observes the duration in histogram ["<name>.seconds"]. *)
+val span :
+  t option ->
+  ?fields:(string * Jsonx.t) list ->
+  ?fields_of:('a -> (string * Jsonx.t) list) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+
+(** [time obs name f] — histogram-only timing (no trace event): for hot
+    call sites where one event per call would flood the ring. *)
+val time : t option -> string -> (unit -> 'a) -> 'a
+
+(** Point event into the trace. *)
+val event : t option -> ?fields:(string * Jsonx.t) list -> string -> unit
+
+val incr : t option -> string -> unit
+val add : t option -> string -> int -> unit
+val set_gauge : t option -> string -> float -> unit
+val observe : t option -> string -> float -> unit
+
+(** Snapshot of the metrics registry ([None] → empty view). *)
+val view : t option -> Metrics.view

@@ -1,0 +1,14 @@
+(** Turns a metrics snapshot into ready-to-print tables (headers + rows
+    for {!Jitbull_util.Text_table}-style renderers; this module returns
+    plain strings so [jitbull_obs] stays dependency-free). *)
+
+(** Per-pass compile-time profile from the pipeline's
+    ["pass.<name>.seconds"] histograms and ["pass.<name>.delta_size"]
+    counters, sorted by total time, descending. Returns
+    [(headers, rows)]; empty rows when nothing was instrumented. *)
+val pass_profile : Metrics.view -> string list * string list list
+
+(** One row per histogram: count, total, mean, p50/p90/p99, max.
+    [unit_scale] divides the raw (seconds) values for display — e.g.
+    [1e-6] renders microseconds (the default). *)
+val histogram_table : ?unit_scale:float -> Metrics.view -> string list * string list list

@@ -1,0 +1,132 @@
+type kind =
+  | Span
+  | Point
+
+type event = {
+  seq : int;
+  ts : float;
+  kind : kind;
+  name : string;
+  dur : float;
+  depth : int;
+  fields : (string * Jsonx.t) list;
+}
+
+type t = {
+  capacity : int;
+  ring : event option array;
+  mutable head : int;  (* next write slot *)
+  mutable total : int;  (* events ever recorded; doubles as next seq *)
+  mutable cur_depth : int;
+  mutable chan : out_channel option;
+  clock : unit -> float;
+  start : float;
+}
+
+let create ?(capacity = 4096) ?(clock = Unix.gettimeofday) () =
+  let capacity = max 1 capacity in
+  {
+    capacity;
+    ring = Array.make capacity None;
+    head = 0;
+    total = 0;
+    cur_depth = 0;
+    chan = None;
+    clock;
+    start = clock ();
+  }
+
+let now t = t.clock () -. t.start
+let depth t = t.cur_depth
+
+let set_file_sink t path =
+  (match t.chan with Some oc -> close_out oc | None -> ());
+  t.chan <- Some (open_out path)
+
+let kind_to_string = function Span -> "span" | Point -> "event"
+
+let kind_of_string = function
+  | "span" -> Span
+  | "event" -> Point
+  | s -> raise (Jsonx.Parse_error ("unknown event kind " ^ s))
+
+let event_to_json e =
+  Jsonx.Assoc
+    [
+      ("seq", Jsonx.Int e.seq);
+      ("ts", Jsonx.Float e.ts);
+      ("kind", Jsonx.String (kind_to_string e.kind));
+      ("name", Jsonx.String e.name);
+      ("dur", Jsonx.Float e.dur);
+      ("depth", Jsonx.Int e.depth);
+      ("fields", Jsonx.Assoc e.fields);
+    ]
+
+let event_of_json j =
+  let fields =
+    match Jsonx.member "fields" j with
+    | Jsonx.Assoc fs -> fs
+    | Jsonx.Null -> []
+    | _ -> raise (Jsonx.Parse_error "event fields must be an object")
+  in
+  {
+    seq = Jsonx.to_int (Jsonx.member "seq" j);
+    ts = Jsonx.to_float (Jsonx.member "ts" j);
+    kind = kind_of_string (Jsonx.to_str (Jsonx.member "kind" j));
+    name = Jsonx.to_str (Jsonx.member "name" j);
+    dur = Jsonx.to_float (Jsonx.member "dur" j);
+    depth = Jsonx.to_int (Jsonx.member "depth" j);
+    fields;
+  }
+
+let record t ?ts ?depth ?(kind = Point) ?(dur = 0.0) ?(fields = []) name =
+  let ts = match ts with Some x -> x | None -> now t in
+  let depth = match depth with Some d -> d | None -> t.cur_depth in
+  let e = { seq = t.total; ts; kind; name; dur; depth; fields } in
+  t.ring.(t.head) <- Some e;
+  t.head <- (t.head + 1) mod t.capacity;
+  t.total <- t.total + 1;
+  match t.chan with
+  | Some oc ->
+    output_string oc (Jsonx.to_string (event_to_json e));
+    output_char oc '\n';
+    flush oc
+  | None -> ()
+
+let event t ?fields name = record t ?fields name
+
+let with_span t ?(fields = []) ?fields_of ?on_close name f =
+  let t0 = now t in
+  t.cur_depth <- t.cur_depth + 1;
+  let span_depth = t.cur_depth in
+  let finish extra =
+    let dur = Float.max 0.0 (now t -. t0) in
+    t.cur_depth <- span_depth - 1;
+    record t ~ts:t0 ~depth:span_depth ~kind:Span ~dur ~fields:(fields @ extra) name;
+    match on_close with Some g -> g dur | None -> ()
+  in
+  match f () with
+  | v ->
+    let extra = match fields_of with Some g -> g v | None -> [] in
+    finish extra;
+    v
+  | exception e ->
+    finish [ ("error", Jsonx.String (Printexc.to_string e)) ];
+    raise e
+
+let events t =
+  let n = min t.total t.capacity in
+  List.init n (fun i ->
+      let idx = (t.head - n + i + t.capacity) mod t.capacity in
+      match t.ring.(idx) with
+      | Some e -> e
+      | None -> assert false)
+
+let total_recorded t = t.total
+
+let close t =
+  match t.chan with
+  | Some oc ->
+    close_out oc;
+    t.chan <- None
+  | None -> ()

@@ -1,0 +1,71 @@
+(** The span tracer: nested timed spans and point events, recorded into a
+    bounded in-memory ring buffer (oldest events evicted) and optionally
+    streamed as JSON lines to a file so a run can be replayed offline.
+
+    Timestamps come from the tracer's clock — monotonic for the purpose of
+    span durations ([Unix.gettimeofday] by default; injectable for tests)
+    — and are reported relative to tracer creation. *)
+
+type kind =
+  | Span  (** a closed timed region; [dur] is its length in seconds *)
+  | Point  (** an instantaneous event; [dur] = 0 *)
+
+type event = {
+  seq : int;  (** 0-based, monotonically increasing, never reused *)
+  ts : float;  (** seconds since tracer creation (span: its start time) *)
+  kind : kind;
+  name : string;
+  dur : float;  (** seconds; 0 for point events *)
+  depth : int;  (** span-nesting depth at record time; top level = 0 *)
+  fields : (string * Jsonx.t) list;
+}
+
+type t
+
+(** [create ?capacity ?clock ()] — ring of at most [capacity] (default
+    4096, min 1) events. [clock] returns absolute seconds. *)
+val create : ?capacity:int -> ?clock:(unit -> float) -> unit -> t
+
+(** Seconds elapsed since creation, per the tracer's clock. *)
+val now : t -> float
+
+val depth : t -> int
+
+(** [set_file_sink t path] opens (truncates) [path] and mirrors every
+    subsequent event to it as one JSON object per line. *)
+val set_file_sink : t -> string -> unit
+
+(** [event t name] records a point event at the current depth. *)
+val event : t -> ?fields:(string * Jsonx.t) list -> string -> unit
+
+(** [with_span t name f] runs [f] inside a span: depth is incremented for
+    the dynamic extent, and a [Span] event carrying the duration is
+    recorded when [f] returns. [fields_of] computes extra fields from the
+    result; [on_close] receives the measured duration (seconds) after the
+    event is recorded — the metrics layer hooks histograms here. If [f]
+    raises, the span is still recorded (with an ["error"] field) and the
+    exception is re-raised. *)
+val with_span :
+  t ->
+  ?fields:(string * Jsonx.t) list ->
+  ?fields_of:('a -> (string * Jsonx.t) list) ->
+  ?on_close:(float -> unit) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+
+(** Events currently held by the ring, oldest first. *)
+val events : t -> event list
+
+(** Total events ever recorded (≥ [List.length (events t)]). *)
+val total_recorded : t -> int
+
+(** Flush and close the file sink, if any. Further events only hit the
+    ring. *)
+val close : t -> unit
+
+val event_to_json : event -> Jsonx.t
+
+(** Inverse of {!event_to_json}; raises [Jsonx.Parse_error] on a value
+    that is not an encoded event. *)
+val event_of_json : Jsonx.t -> event

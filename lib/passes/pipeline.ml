@@ -1,6 +1,7 @@
 module Mir = Jitbull_mir.Mir
 module Snapshot = Jitbull_mir.Snapshot
 module Verifier = Jitbull_mir.Verifier
+module Obs = Jitbull_obs.Obs
 
 let passes : Pass.t list =
   [
@@ -33,27 +34,44 @@ let can_disable name =
   | Some p -> p.Pass.can_disable
   | None -> false
 
+let graph_size (g : Mir.t) = List.length (Mir.all_instructions g)
+
+(* Run one pass (and the verifier, if requested). With an [Obs.t]
+   installed, each pass gets its own span, a ["pass.<name>.seconds"]
+   latency histogram, and a ["pass.<name>.delta_size"] counter
+   accumulating the instruction-count change — the raw material of the
+   per-pass profile and the telemetry bench. *)
+let exec_pass ctx ~obs ~verify g (p : Pass.t) =
+  match obs with
+  | None ->
+    p.Pass.run ctx g;
+    if verify then Verifier.check g
+  | Some _ ->
+    let before = graph_size g in
+    Obs.span obs
+      ("pass." ^ p.Pass.name)
+      (fun () ->
+        p.Pass.run ctx g;
+        if verify then Verifier.check g);
+    Obs.add obs ("pass." ^ p.Pass.name ^ ".delta_size") (graph_size g - before)
+
 (* Run without snapshotting: the engine uses this when JITBULL's database
    is empty, which is how the paper gets zero overhead in that case. *)
-let run_quiet vulns ?inline_resolver ?(disabled = []) ?(verify = false) (g : Mir.t) =
+let run_quiet vulns ?obs ?inline_resolver ?(disabled = []) ?(verify = false) (g : Mir.t) =
+  Obs.incr obs "pipeline.runs";
   let ctx = Pass.make_ctx ?inline_resolver vulns in
   List.iter
     (fun (p : Pass.t) ->
-      if not (List.mem p.Pass.name disabled) then begin
-        p.Pass.run ctx g;
-        if verify then Verifier.check g
-      end)
+      if not (List.mem p.Pass.name disabled) then exec_pass ctx ~obs ~verify g p)
     passes
 
-let run vulns ?inline_resolver ?(disabled = []) ?(verify = false) (g : Mir.t) =
+let run vulns ?obs ?inline_resolver ?(disabled = []) ?(verify = false) (g : Mir.t) =
+  Obs.incr obs "pipeline.runs";
   let ctx = Pass.make_ctx ?inline_resolver vulns in
   let trace = ref [ ("initial", Snapshot.take g) ] in
   List.iter
     (fun (p : Pass.t) ->
-      if not (List.mem p.Pass.name disabled) then begin
-        p.Pass.run ctx g;
-        if verify then Verifier.check g
-      end;
+      if not (List.mem p.Pass.name disabled) then exec_pass ctx ~obs ~verify g p;
       trace := (p.Pass.name, Snapshot.take g) :: !trace)
     passes;
   List.rev !trace

@@ -26,12 +26,19 @@ val can_disable : string -> bool
     JITBULL mitigation). With [verify] (default false) the MIR verifier
     runs after every pass and raises on violations.
 
+    With [obs] installed, every executed pass is traced as a
+    ["pass.<name>"] span, timed into a ["pass.<name>.seconds"] histogram,
+    and its instruction-count change accumulated in a
+    ["pass.<name>.delta_size"] counter; without it the pipeline runs
+    exactly as before.
+
     Returns the snapshot trace: the initial IR (IR₀) followed by one
     snapshot per pass (IRᵢ), skipped passes contributing an unchanged
     snapshot — [n+1] snapshots for [n] passes, exactly the inputs of the
     paper's Δ extractor. *)
 val run :
   Vuln_config.t ->
+  ?obs:Jitbull_obs.Obs.t ->
   ?inline_resolver:(string -> Jitbull_mir.Mir.t option) ->
   ?disabled:string list ->
   ?verify:bool ->
@@ -43,6 +50,7 @@ val run :
     empty-DB behaviour. *)
 val run_quiet :
   Vuln_config.t ->
+  ?obs:Jitbull_obs.Obs.t ->
   ?inline_resolver:(string -> Jitbull_mir.Mir.t option) ->
   ?disabled:string list ->
   ?verify:bool ->

@@ -19,4 +19,5 @@ let () =
       Test_extra_unit.suite;
       Test_fuzz.suite;
       Test_verify_mode.suite;
+      Test_obs.suite;
     ]

@@ -1,0 +1,270 @@
+(* The observability layer: metrics semantics, span nesting, ring-buffer
+   eviction, JSON-lines round-trip, and the engine integration — a VDC
+   variant must produce a structured [policy_decide] event whose pass
+   list matches the monitor's record. *)
+
+open Helpers
+module Obs = Jitbull_obs.Obs
+module Metrics = Jitbull_obs.Metrics
+module Tracer = Jitbull_obs.Tracer
+module Jsonx = Jitbull_obs.Jsonx
+module V = Jitbull_vdc.Demonstrators
+module Variants = Jitbull_vdc.Variants
+module Db = Jitbull_core.Db
+module Jitbull = Jitbull_core.Jitbull
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* A deterministic clock: every reading advances time by [step]. *)
+let fake_clock ?(step = 0.001) () =
+  let t = ref 0.0 in
+  fun () ->
+    t := !t +. step;
+    !t
+
+(* ---- metrics ---- *)
+
+let test_counter_semantics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "a" in
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 40;
+  check_int "counter accumulates" 42 (Metrics.counter_value c);
+  (* get-or-create returns the same instrument *)
+  Metrics.incr (Metrics.counter m "a");
+  check_int "same instrument" 43 (Metrics.counter_value c);
+  let g = Metrics.gauge m "g" in
+  Metrics.set g 2.5;
+  Metrics.set g 1.5;
+  check_float "gauge keeps last" 1.5 (Metrics.gauge_value g);
+  let view = Metrics.snapshot m in
+  check_int "snapshot counter value" 43 (Option.get (Metrics.find_counter view "a"))
+
+let test_histogram_semantics () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram ~bounds:[| 1.0; 2.0; 4.0 |] m "h" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 3.0; 100.0 ];
+  let view = Metrics.snapshot m in
+  let hv = Option.get (Metrics.find_histogram view "h") in
+  check_int "count" 5 hv.Metrics.hv_count;
+  check_float "sum" 106.0 hv.Metrics.hv_sum;
+  check_float "min" 0.5 hv.Metrics.hv_min;
+  check_float "max" 100.0 hv.Metrics.hv_max;
+  (match hv.Metrics.hv_buckets with
+  | [ (b1, c1); (b2, c2); (b3, c3); (binf, c4) ] ->
+    check_float "bound 1" 1.0 b1;
+    check_int "le 1.0 (0.5 and the boundary value 1.0)" 2 c1;
+    check_float "bound 2" 2.0 b2;
+    check_int "le 2.0" 1 c2;
+    check_float "bound 3" 4.0 b3;
+    check_int "le 4.0" 1 c3;
+    check_bool "last bound is +inf" true (not (Float.is_finite binf));
+    check_int "overflow bucket" 1 c4
+  | _ -> Alcotest.fail "expected 4 buckets");
+  (* quantiles stay within the observed range and are ordered *)
+  check_bool "p50 <= p90" true (hv.Metrics.hv_p50 <= hv.Metrics.hv_p90);
+  check_bool "p90 <= p99" true (hv.Metrics.hv_p90 <= hv.Metrics.hv_p99);
+  check_bool "p99 <= max" true (hv.Metrics.hv_p99 <= hv.Metrics.hv_max);
+  check_bool "p50 >= min" true (hv.Metrics.hv_p50 >= hv.Metrics.hv_min)
+
+let test_prometheus_render () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "vm.calls") 7;
+  Metrics.observe (Metrics.histogram ~bounds:[| 0.1 |] m "lat") 0.05;
+  let text = Metrics.render_prometheus (Metrics.snapshot m) in
+  let contains needle =
+    let nl = String.length needle and l = String.length text in
+    let rec go i = i + nl <= l && (String.equal (String.sub text i nl) needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "sanitized counter line" true (contains "vm_calls 7");
+  check_bool "bucket line" true (contains "lat_bucket{le=\"0.1\"} 1");
+  check_bool "+Inf bucket" true (contains "lat_bucket{le=\"+Inf\"} 1");
+  check_bool "count line" true (contains "lat_count 1")
+
+(* ---- tracer ---- *)
+
+let test_span_nesting_and_durations () =
+  let obs = Some (Obs.create ~clock:(fake_clock ()) ()) in
+  let result =
+    Obs.span obs "outer" (fun () ->
+        Obs.event obs "inside";
+        Obs.span obs "inner" (fun () -> 21 * 2))
+  in
+  check_int "span returns the body's value" 42 result;
+  let events = Tracer.events (Obs.tracer (Option.get obs)) in
+  check_int "three events" 3 (List.length events);
+  let find name = List.find (fun (e : Tracer.event) -> String.equal e.Tracer.name name) events in
+  let outer = find "outer" and inner = find "inner" and inside = find "inside" in
+  check_int "outer depth" 1 outer.Tracer.depth;
+  check_int "inner depth" 2 inner.Tracer.depth;
+  check_int "point event depth" 1 inside.Tracer.depth;
+  check_bool "inner recorded before outer closes" true (inner.Tracer.seq < outer.Tracer.seq);
+  check_bool "durations non-negative" true
+    (outer.Tracer.dur >= 0.0 && inner.Tracer.dur >= 0.0);
+  (* with the fake clock every reading advances, so the enclosing span is
+     strictly longer than the nested one *)
+  check_bool "outer dur > inner dur" true (outer.Tracer.dur > inner.Tracer.dur);
+  (* the span durations feed <name>.seconds histograms *)
+  let view = Obs.view obs in
+  check_bool "outer histogram exists" true
+    (Option.is_some (Metrics.find_histogram view "outer.seconds"))
+
+let test_span_duration_monotonicity () =
+  (* deeper nesting = more clock reads = longer measured spans; durations
+     of the same-shape span must be non-decreasing in nesting depth *)
+  let obs = Some (Obs.create ~clock:(fake_clock ()) ()) in
+  let rec nest d = if d = 0 then () else Obs.span obs (Printf.sprintf "lvl%d" d) (fun () -> nest (d - 1)) in
+  nest 4;
+  let events = Tracer.events (Obs.tracer (Option.get obs)) in
+  let dur name =
+    (List.find (fun (e : Tracer.event) -> String.equal e.Tracer.name name) events).Tracer.dur
+  in
+  check_bool "lvl4 >= lvl3" true (dur "lvl4" >= dur "lvl3");
+  check_bool "lvl3 >= lvl2" true (dur "lvl3" >= dur "lvl2");
+  check_bool "lvl2 >= lvl1" true (dur "lvl2" >= dur "lvl1")
+
+let test_ring_eviction () =
+  let tr = Tracer.create ~capacity:4 ~clock:(fake_clock ()) () in
+  for i = 1 to 10 do
+    Tracer.event tr (Printf.sprintf "e%d" i)
+  done;
+  check_int "total recorded" 10 (Tracer.total_recorded tr);
+  let events = Tracer.events tr in
+  check_int "ring bounded" 4 (List.length events);
+  Alcotest.(check (list string))
+    "newest four, oldest first"
+    [ "e7"; "e8"; "e9"; "e10" ]
+    (List.map (fun (e : Tracer.event) -> e.Tracer.name) events);
+  let seqs = List.map (fun (e : Tracer.event) -> e.Tracer.seq) events in
+  check_bool "seq strictly increasing" true
+    (List.for_all2 ( < ) (List.filteri (fun i _ -> i < 3) seqs) (List.tl seqs))
+
+let test_jsonl_round_trip () =
+  let path = Filename.temp_file "jitbull_trace" ".jsonl" in
+  let obs = Some (Obs.create ~clock:(fake_clock ()) ()) in
+  Obs.set_trace_file (Option.get obs) path;
+  Obs.event obs "start" ~fields:[ ("n", Jsonx.Int 1); ("pi", Jsonx.Float 3.25) ];
+  Obs.span obs "work"
+    ~fields:[ ("what", Jsonx.String "a \"quoted\"\nthing"); ("flag", Jsonx.Bool true) ]
+    (fun () -> Obs.event obs "mid" ~fields:[ ("xs", Jsonx.List [ Jsonx.Int 1; Jsonx.Int 2 ]) ]);
+  Obs.close obs;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let decoded =
+    List.rev_map (fun line -> Tracer.event_of_json (Jsonx.parse line)) !lines
+  in
+  let original = Tracer.events (Obs.tracer (Option.get obs)) in
+  check_int "one line per event" (List.length original) (List.length decoded);
+  List.iter2
+    (fun (a : Tracer.event) (b : Tracer.event) ->
+      check_int "seq" a.Tracer.seq b.Tracer.seq;
+      check_string "name" a.Tracer.name b.Tracer.name;
+      check_int "depth" a.Tracer.depth b.Tracer.depth;
+      check_float "ts" a.Tracer.ts b.Tracer.ts;
+      check_float "dur" a.Tracer.dur b.Tracer.dur;
+      check_bool "kind" true (a.Tracer.kind = b.Tracer.kind);
+      check_bool "fields" true (a.Tracer.fields = b.Tracer.fields))
+    original decoded;
+  Sys.remove path
+
+let test_json_parser () =
+  let v = Jsonx.parse {| {"a": [1, -2.5, "x\n", true, null], "b": {"c": 1e3}} |} in
+  check_int "int" 1 (Jsonx.to_int (List.nth (Jsonx.to_list_exn (Jsonx.member "a" v)) 0));
+  check_float "float" (-2.5)
+    (Jsonx.to_float (List.nth (Jsonx.to_list_exn (Jsonx.member "a" v)) 1));
+  check_string "escaped string" "x\n"
+    (Jsonx.to_str (List.nth (Jsonx.to_list_exn (Jsonx.member "a" v)) 2));
+  check_float "exponent" 1000.0 (Jsonx.to_float (Jsonx.member "c" (Jsonx.member "b" v)));
+  (* encoder round-trips through the parser *)
+  check_bool "round trip" true (Jsonx.parse (Jsonx.to_string v) = v);
+  check_bool "reject garbage" true
+    (match Jsonx.parse "{broken" with exception Jsonx.Parse_error _ -> true | _ -> false)
+
+(* ---- zero-cost-when-disabled ---- *)
+
+let test_disabled_obs_is_transparent () =
+  (* identical behaviour with no Obs.t installed: default config already
+     has obs = None; spans are direct calls *)
+  check_int "span None = f ()" 7 (Obs.span None "x" (fun () -> 7));
+  Obs.incr None "nothing";
+  Obs.event None "nothing";
+  let src = "function f(x) { return x + 1; } var t = 0; for (var i = 0; i < 40; i++) t = f(t); print(t);" in
+  check_string "engine output unchanged" (interp_output src) (jit_output src)
+
+(* ---- engine integration ---- *)
+
+let test_policy_decide_event_on_variant () =
+  let d = V.find Jitbull_passes.Vuln_config.CVE_2019_17026 in
+  let vulns = VC.make [ d.V.cve ] in
+  let db = Db.create () in
+  check_bool "harvest found DNA" true (Db.harvest db ~cve:d.V.name ~vulns d.V.source > 0);
+  let obs = Obs.create () in
+  let monitor = Jitbull.new_monitor () in
+  let config = Jitbull.config ~monitor ~obs ~vulns db in
+  let variant = Variants.apply Variants.Rename d.V.source in
+  (match V.run_exploit config variant d.V.expected with
+  | V.Neutralized -> ()
+  | V.Exploited _ -> Alcotest.fail "variant should have been neutralized");
+  (* the flagged record in the monitor … *)
+  let flagged =
+    List.find
+      (fun (r : Jitbull.record) -> r.Jitbull.dangerous_passes <> [])
+      monitor.Jitbull.records
+  in
+  (* … must appear as a structured policy_decide trace event with the
+     same function name and the same dangerous-pass list *)
+  let events = Tracer.events (Obs.tracer obs) in
+  let decides =
+    List.filter (fun (e : Tracer.event) -> String.equal e.Tracer.name "policy_decide") events
+  in
+  check_bool "policy_decide events exist" true (decides <> []);
+  let event_passes (e : Tracer.event) =
+    match List.assoc_opt "passes" e.Tracer.fields with
+    | Some (Jsonx.List ps) -> List.map Jsonx.to_str ps
+    | _ -> []
+  in
+  let matching =
+    List.find_opt
+      (fun (e : Tracer.event) ->
+        List.assoc_opt "func" e.Tracer.fields = Some (Jsonx.String flagged.Jitbull.func_name)
+        && event_passes e = flagged.Jitbull.dangerous_passes)
+      decides
+  in
+  check_bool "event carries the matching pass list" true (Option.is_some matching);
+  let e = Option.get matching in
+  check_bool "verdict is not allow" true
+    (List.assoc_opt "verdict" e.Tracer.fields <> Some (Jsonx.String "allow"));
+  check_bool "decision was timed" true (e.Tracer.dur > 0.0);
+  (* the nested spans and per-pass histograms are there too *)
+  let names = List.map (fun (e : Tracer.event) -> e.Tracer.name) events in
+  check_bool "dna_extract span" true (List.mem "dna_extract" names);
+  check_bool "db_compare span" true (List.mem "db_compare" names);
+  check_bool "compile_ion span" true (List.mem "compile_ion" names);
+  let view = Obs.view (Some obs) in
+  check_bool "per-pass histogram recorded" true
+    (Option.is_some (Metrics.find_histogram view "pass.gvn.seconds"));
+  check_bool "comparator pairs counted" true
+    (match Metrics.find_counter view "comparator.pairs" with Some n -> n > 0 | None -> false)
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "counter and gauge semantics" `Quick test_counter_semantics;
+      Alcotest.test_case "histogram buckets and quantiles" `Quick test_histogram_semantics;
+      Alcotest.test_case "prometheus rendering" `Quick test_prometheus_render;
+      Alcotest.test_case "span nesting and durations" `Quick test_span_nesting_and_durations;
+      Alcotest.test_case "span duration monotonicity" `Quick test_span_duration_monotonicity;
+      Alcotest.test_case "ring-buffer eviction" `Quick test_ring_eviction;
+      Alcotest.test_case "JSON-lines round trip" `Quick test_jsonl_round_trip;
+      Alcotest.test_case "json parser" `Quick test_json_parser;
+      Alcotest.test_case "disabled obs is transparent" `Quick test_disabled_obs_is_transparent;
+      Alcotest.test_case "policy_decide event on VDC variant" `Quick
+        test_policy_decide_event_on_variant;
+    ] )
