@@ -16,6 +16,7 @@
      bench/main.exe fuzz         fuzzer-to-database pipeline (paper §IV-A)
      bench/main.exe telemetry    pipeline pass percentiles + comparator throughput
      bench/main.exe ablation     Thr/Ratio/n-gram parameter sweep (beyond the paper)
+     bench/main.exe overhead     decision cost vs DB size: indexed vs naive + policy cache
      bench/main.exe bechamel     Bechamel micro-benchmarks of the JITBULL machinery *)
 
 module W = Jitbull_workloads.Workloads
@@ -31,6 +32,8 @@ module Depgraph = Jitbull_core.Depgraph
 module Chains = Jitbull_core.Chains
 module Comparator = Jitbull_core.Comparator
 module Table = Jitbull_util.Text_table
+module Intern = Jitbull_util.Intern
+module Delta = Jitbull_core.Delta
 module Interp = Jitbull_interp.Interp
 module Obs = Jitbull_obs.Obs
 module Metrics = Jitbull_obs.Metrics
@@ -570,6 +573,160 @@ let telemetry () =
     (List.length (Jitbull_obs.Tracer.events (Obs.tracer obs)));
   emit "telemetry" (Metrics.view_to_json view)
 
+(* ---- Overhead: go/no-go query cost vs database size ----
+
+   The paper's evaluation stops at #8 VDCs; this section measures how the
+   decision cost scales past that, comparing the naive comparator fold
+   (O(entries)) against the inverted sub-chain index at 1/8/32/128
+   entries. Databases beyond the 8 harvested CVEs are padded with
+   synthetic clones whose sub-chain keys are renamed per clone — the
+   realistic regime where distinct vulnerabilities share few keys. Every
+   timed query is also checked for decision equivalence between the two
+   paths, and the policy-decision cache is measured on repeated runs of a
+   real workload. *)
+
+let overhead () =
+  section "Overhead: go/no-go decision cost vs DB size (indexed vs naive)";
+  Printf.printf
+    "Per-query latency of the DB comparison for a function DNA, naive fold\n\
+     over every entry vs the inverted sub-chain index, at 1/8/32/128 entries\n\
+     (8 harvested CVE DNAs + key-renamed synthetic clones). Decisions are\n\
+     asserted identical on every timed query.\n\n";
+  let params = Comparator.default_params in
+  let real_entries = Db.entries (cached_db 8) in
+  let nreal = List.length real_entries in
+  (* clone [idx]-th entry with per-clone key renaming: synthetic CVEs must
+     not collide with each other or the real ones *)
+  let perturb_side k side =
+    Delta.side_of_list
+      (Hashtbl.fold
+         (fun id c acc -> (Printf.sprintf "v%d:%s" k (Intern.to_string id), c) :: acc)
+         side [])
+  in
+  let synth_entry k (e : Db.entry) =
+    {
+      Db.cve = Printf.sprintf "%s-syn%d" e.Db.cve k;
+      dna =
+        {
+          e.Db.dna with
+          Dna.deltas =
+            List.map
+              (fun (pass, (d : Delta.t)) ->
+                ( pass,
+                  { Delta.removed = perturb_side k d.Delta.removed;
+                    added = perturb_side k d.Delta.added } ))
+              e.Db.dna.Dna.deltas;
+        };
+    }
+  in
+  let db_of_size s =
+    let db = Db.create () in
+    for i = 0 to s - 1 do
+      let e = List.nth real_entries (i mod nreal) in
+      Db.add db (if i < nreal then e else synth_entry (i / nreal) e)
+    done;
+    db
+  in
+  (* query set: benign DNAs from workload functions (the common case) plus
+     one exploit DNA straight from the database (the hit path) *)
+  let dna_of_source source =
+    let prog = Jitbull_frontend.Parser.parse source in
+    let bc = Jitbull_bytecode.Compiler.compile prog in
+    let vm = Jitbull_bytecode.Vm.create bc in
+    (try ignore (Jitbull_bytecode.Vm.run vm) with _ -> ());
+    let g =
+      Jitbull_mir.Builder.build bc.Jitbull_bytecode.Op.funcs.(0)
+        ~feedback_row:vm.Jitbull_bytecode.Vm.feedback.(0)
+    in
+    Dna.extract (Jitbull_passes.Pipeline.run VC.none g)
+  in
+  let queries =
+    List.map (fun (w : W.t) -> dna_of_source w.W.source)
+      (List.filter_map W.find [ "Richards"; "RayTrace"; "Splay"; "Microbench1" ])
+    @ [ (List.hd real_entries).Db.dna ]
+  in
+  let naive db dna =
+    List.filter_map
+      (fun (e : Db.entry) ->
+        match Comparator.matching_passes ~params dna e.Db.dna with
+        | [] -> None
+        | passes -> Some (e.Db.cve, passes))
+      (Db.entries db)
+  in
+  let reps = 20 in
+  let nq = List.length queries in
+  let per_query t = t /. float_of_int (reps * nq) *. 1e6 in
+  let json_rows = ref [] in
+  let speedup_at_128 = ref 0.0 in
+  let rows =
+    List.map
+      (fun s ->
+        let db = db_of_size s in
+        let equal =
+          List.for_all (fun dna -> Db.matching ~params db dna = naive db dna) queries
+        in
+        assert equal;
+        let t_naive =
+          time_best (fun () ->
+              for _ = 1 to reps do
+                List.iter (fun dna -> ignore (naive db dna)) queries
+              done)
+        in
+        let t_indexed =
+          time_best (fun () ->
+              for _ = 1 to reps do
+                List.iter (fun dna -> ignore (Db.matching ~params db dna)) queries
+              done)
+        in
+        let speedup = t_naive /. t_indexed in
+        if s = 128 then speedup_at_128 := speedup;
+        json_rows :=
+          Jsonx.Assoc
+            [
+              ("entries", Jsonx.Int s);
+              ("naive_us_per_query", Jsonx.Float (per_query t_naive));
+              ("indexed_us_per_query", Jsonx.Float (per_query t_indexed));
+              ("speedup", Jsonx.Float speedup);
+              ("decisions_equal", Jsonx.Bool equal);
+            ]
+          :: !json_rows;
+        [
+          string_of_int s;
+          Printf.sprintf "%.1f us" (per_query t_naive);
+          Printf.sprintf "%.1f us" (per_query t_indexed);
+          Printf.sprintf "%.1fx" speedup;
+          (if equal then "identical" else "DIVERGED!");
+        ])
+      [ 1; 8; 32; 128 ]
+  in
+  Table.print
+    ~headers:[ "DB entries"; "naive/query"; "indexed/query"; "speedup"; "verdicts" ]
+    rows;
+  Printf.printf "\nIndexed speedup at 128 entries: %.1fx (target: >= 3x)\n" !speedup_at_128;
+  (* policy-decision cache: repeated runs of a real workload under one
+     shared configuration — every re-JIT after the first run hits *)
+  let obs = Obs.create () in
+  let cfg = protected_config ~obs 4 in
+  let w = Option.get (W.find "Microbench1") in
+  for _ = 1 to 5 do
+    ignore (Engine.run_source cfg w.W.source)
+  done;
+  let view = Metrics.snapshot (Obs.metrics obs) in
+  let counter name = Option.value ~default:0 (Metrics.find_counter view name) in
+  let hits = counter "policy.cache_hits" and misses = counter "policy.cache_misses" in
+  Printf.printf
+    "Policy-decision cache over 5 runs of %s (#4 DB): %d hits / %d misses\n\
+     (every Ion compile after the first run skips DNA extraction + comparison)\n"
+    w.W.name hits misses;
+  emit "overhead"
+    (Jsonx.Assoc
+       [
+         ("sizes", Jsonx.List (List.rev !json_rows));
+         ("speedup_at_128", Jsonx.Float !speedup_at_128);
+         ( "policy_cache",
+           Jsonx.Assoc [ ("hits", Jsonx.Int hits); ("misses", Jsonx.Int misses) ] );
+       ])
+
 (* ---- Bechamel micro-benchmarks ---- *)
 
 let bechamel () =
@@ -644,6 +801,7 @@ let sections_in_order =
     ("fuzz", fuzz_pipeline);
     ("telemetry", telemetry);
     ("ablation", ablation);
+    ("overhead", overhead);
     ("bechamel", bechamel);
   ]
 

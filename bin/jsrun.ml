@@ -7,7 +7,9 @@
      jsrun --db jitbull.db ...          enable JITBULL with this database
      jsrun --stats ...                  print engine statistics afterwards
      jsrun --metrics[=FILE] ...         telemetry snapshot at exit
-     jsrun --trace-file out.jsonl ...   structured event trace (JSON lines) *)
+     jsrun --trace-file out.jsonl ...   structured event trace (JSON lines)
+     jsrun --naive-comparator ...       fold over every DB entry (A/B reference)
+     jsrun --no-policy-cache ...        re-analyze DNA on every Ion compile *)
 
 open Cmdliner
 module Engine = Jitbull_jit.Engine
@@ -67,7 +69,7 @@ let report_metrics obs dest =
   end
 
 let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace metrics
-    trace_file =
+    trace_file naive_comparator no_policy_cache =
   setup_logging trace;
   let source = read_file file in
   let vulns =
@@ -108,7 +110,10 @@ let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace
             match db_path with
             | Some path ->
               let db = Db.load path in
-              let c = Jitbull.config ?obs ~vulns db in
+              let comparator = if naive_comparator then `Naive else `Indexed in
+              let c =
+                Jitbull.config ?obs ~comparator ~policy_cache:(not no_policy_cache) ~vulns db
+              in
               { c with Engine.jit_enabled = not no_jit; ion_threshold }
             | None ->
               { Engine.default_config with Engine.vulns; jit_enabled = not no_jit;
@@ -183,11 +188,25 @@ let trace_file =
            ~doc:"Stream structured engine events (compile spans, per-pass spans, tier-ups, \
                  bailouts, go/no-go verdicts) to $(docv) as JSON lines.")
 
+let naive_comparator =
+  Arg.(value & flag
+       & info [ "naive-comparator" ]
+           ~doc:"Answer go/no-go queries by folding the comparator over every DB entry \
+                 instead of through the inverted sub-chain index. Verdicts are identical; \
+                 useful for A/B measurement and as the executable specification.")
+
+let no_policy_cache =
+  Arg.(value & flag
+       & info [ "no-policy-cache" ]
+           ~doc:"Disable the policy-decision cache: re-analyze the function DNA on every \
+                 Ion compilation instead of reusing the cached verdict.")
+
 let cmd =
   let doc = "run a mini-JS script on the JITBULL engine" in
   Cmd.v
     (Cmd.info "jsrun" ~doc)
     Term.(ret (const run $ file $ no_jit $ use_interp $ vuln_names $ db_path $ stats
-               $ ion_threshold $ seed $ trace $ metrics $ trace_file))
+               $ ion_threshold $ seed $ trace $ metrics $ trace_file $ naive_comparator
+               $ no_policy_cache))
 
 let () = exit (Cmd.eval cmd)

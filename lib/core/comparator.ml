@@ -9,8 +9,7 @@ type params = {
    DESIGN.md §4. *)
 let default_params = { thr = 2; ratio = 0.5 }
 
-let compare_sides ?(params = default_params) (d : (string, int) Hashtbl.t)
-    (d' : (string, int) Hashtbl.t) =
+let compare_sides ?(params = default_params) (d : Delta.side) (d' : Delta.side) =
   (* EqChains = Σ over common sub-chains of min(multiplicities) *)
   let eq_chains =
     Hashtbl.fold

@@ -15,9 +15,9 @@ type params = {
 val default_params : params  (** Thr = 3, Ratio = 0.5 *)
 
 (** [compare_sides ?params d d'] — the COMPARECHAINS function on one side
-    (removed or added). *)
-val compare_sides :
-  ?params:params -> (string, int) Hashtbl.t -> (string, int) Hashtbl.t -> bool
+    (removed or added). Sides are interned-key multisets ({!Delta.side});
+    the fold hashes ints only. *)
+val compare_sides : ?params:params -> Delta.side -> Delta.side -> bool
 
 (** [similar ?params delta delta'] — Δᵢ ≈ Δ'ᵢ (either side matches). *)
 val similar : ?params:params -> Delta.t -> Delta.t -> bool

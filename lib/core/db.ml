@@ -1,4 +1,5 @@
 module Sexpr = Jitbull_util.Sexpr
+module Intern = Jitbull_util.Intern
 module Engine = Jitbull_jit.Engine
 
 type entry = {
@@ -6,23 +7,192 @@ type entry = {
   dna : Dna.t;
 }
 
-type t = { mutable items : entry list }
+(* Entries live in a growable array (insertion order), with the naive
+   [entries] list memoized. Alongside it sits the inverted index used by
+   {!matching}: for every DB entry, pass and delta side, one posting per
+   sub-chain key. Keys are (pass id, added?, sub-chain id) triples of
+   {!Intern} ids, so a lookup hashes three machine words. *)
+type t = {
+  mutable arr : entry array;
+  mutable count : int;
+  mutable fwd_cache : entry list option;
+  mutable generation : int;
+  postings : (Intern.id * bool * Intern.id, (int * int) list ref) Hashtbl.t;
+      (** (pass, side, sub-chain) → (entry index, multiplicity) postings *)
+  totals : (int * Intern.id * bool, int) Hashtbl.t;
+      (** (entry index, pass, side) → total multiplicity (the |δ'| of the
+          comparator's MaxEqChains) *)
+}
 
-let create () = { items = [] }
+let create () =
+  {
+    arr = Array.make 8 { cve = ""; dna = { Dna.func_name = ""; deltas = [] } };
+    count = 0;
+    fwd_cache = None;
+    generation = 0;
+    postings = Hashtbl.create 256;
+    totals = Hashtbl.create 64;
+  }
 
-let is_empty t = t.items = []
+let is_empty t = t.count = 0
 
-let entries t = t.items
+let size t = t.count
 
-let add t entry = t.items <- t.items @ [ entry ]
+let generation t = t.generation
+
+let entries t =
+  match t.fwd_cache with
+  | Some l -> l
+  | None ->
+    let l = Array.to_list (Array.sub t.arr 0 t.count) in
+    t.fwd_cache <- Some l;
+    l
+
+let index_entry t idx (e : entry) =
+  List.iter
+    (fun (pass, (d : Delta.t)) ->
+      let pid = Intern.intern pass in
+      let index_side flag (side : Delta.side) =
+        let total = ref 0 in
+        Hashtbl.iter
+          (fun k c ->
+            total := !total + c;
+            let key = (pid, flag, k) in
+            match Hashtbl.find_opt t.postings key with
+            | Some lst -> lst := (idx, c) :: !lst
+            | None -> Hashtbl.add t.postings key (ref [ (idx, c) ]))
+          side;
+        if !total > 0 then Hashtbl.replace t.totals (idx, pid, flag) !total
+      in
+      index_side false d.Delta.removed;
+      index_side true d.Delta.added)
+    e.dna.Dna.deltas
+
+let add t entry =
+  if t.count = Array.length t.arr then begin
+    let bigger = Array.make (2 * t.count) entry in
+    Array.blit t.arr 0 bigger 0 t.count;
+    t.arr <- bigger
+  end;
+  t.arr.(t.count) <- entry;
+  index_entry t t.count entry;
+  t.count <- t.count + 1;
+  t.fwd_cache <- None;
+  t.generation <- t.generation + 1
 
 let remove_cve t cve =
-  t.items <- List.filter (fun e -> not (String.equal e.cve cve)) t.items
+  let kept = List.filter (fun e -> not (String.equal e.cve cve)) (entries t) in
+  Hashtbl.reset t.postings;
+  Hashtbl.reset t.totals;
+  t.count <- 0;
+  t.fwd_cache <- None;
+  List.iter
+    (fun e ->
+      t.arr.(t.count) <- e;
+      index_entry t t.count e;
+      t.count <- t.count + 1)
+    kept;
+  t.fwd_cache <- Some kept;
+  t.generation <- t.generation + 1
 
 let cves t =
-  List.fold_left
-    (fun acc e -> if List.mem e.cve acc then acc else acc @ [ e.cve ])
-    [] t.items
+  let seen = Hashtbl.create 16 in
+  let out =
+    List.fold_left
+      (fun acc e ->
+        if Hashtbl.mem seen e.cve then acc
+        else begin
+          Hashtbl.add seen e.cve ();
+          e.cve :: acc
+        end)
+      [] (entries t)
+  in
+  List.rev out
+
+(* ---- the Δ comparison against the whole database ---- *)
+
+let naive_matching ?params ?obs t (dna : Dna.t) =
+  List.filter_map
+    (fun e ->
+      match Comparator.matching_passes ?params ?obs dna e.dna with
+      | [] -> None
+      | passes -> Some (e.cve, passes))
+    (entries t)
+
+(* Indexed query: walk the function's sub-chain keys through the postings
+   and accumulate EqChains = Σ min(c, c') per (entry, pass, side) cell —
+   only cells with at least one overlapping key ever materialize, which is
+   the sub-linear early-out for benign functions. Cells reaching Thr
+   ("prefilter hits") are then checked against the Ratio bound using the
+   precomputed totals. Produces bit-for-bit the same result, in the same
+   order, as folding {!Comparator.matching_passes} over [entries]. *)
+let indexed_matching ~params ?obs t (dna : Dna.t) =
+  let module Obs = Jitbull_obs.Obs in
+  let acc : (int * Intern.id * bool, int) Hashtbl.t = Hashtbl.create 64 in
+  let func_totals : (Intern.id * bool, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (pass, (d : Delta.t)) ->
+      let pid = Intern.intern pass in
+      let scan flag (side : Delta.side) =
+        let total = ref 0 in
+        Hashtbl.iter
+          (fun k c ->
+            total := !total + c;
+            match Hashtbl.find_opt t.postings (pid, flag, k) with
+            | None -> ()
+            | Some lst ->
+              List.iter
+                (fun (eidx, c') ->
+                  let key = (eidx, pid, flag) in
+                  let cur = Option.value ~default:0 (Hashtbl.find_opt acc key) in
+                  Hashtbl.replace acc key (cur + min c c'))
+                !lst)
+          side;
+        if !total > 0 then Hashtbl.replace func_totals (pid, flag) !total
+      in
+      scan false d.Delta.removed;
+      scan true d.Delta.added)
+    dna.Dna.deltas;
+  let matched : (int * Intern.id, unit) Hashtbl.t = Hashtbl.create 16 in
+  let hits = ref 0 in
+  Hashtbl.iter
+    (fun (eidx, pid, flag) eq ->
+      if eq >= params.Comparator.thr then begin
+        incr hits;
+        let ft = Option.value ~default:0 (Hashtbl.find_opt func_totals (pid, flag)) in
+        let et = Option.value ~default:0 (Hashtbl.find_opt t.totals (eidx, pid, flag)) in
+        let max_eq = min ft et in
+        if float_of_int eq >= params.Comparator.ratio *. float_of_int max_eq then
+          Hashtbl.replace matched (eidx, pid) ()
+      end)
+    acc;
+  Obs.add obs "comparator.prefilter_candidates" (Hashtbl.length acc);
+  Obs.add obs "comparator.prefilter_hits" !hits;
+  Obs.add obs "comparator.matches" (Hashtbl.length matched);
+  if Hashtbl.length matched = 0 then []
+  else begin
+    let out = ref [] in
+    for i = t.count - 1 downto 0 do
+      let passes =
+        List.filter_map
+          (fun (pass, _) ->
+            if Hashtbl.mem matched (i, Intern.intern pass) then Some pass else None)
+          dna.Dna.deltas
+      in
+      if passes <> [] then out := (t.arr.(i).cve, passes) :: !out
+    done;
+    !out
+  end
+
+let matching ?(params = Comparator.default_params) ?obs t (dna : Dna.t) =
+  let module Obs = Jitbull_obs.Obs in
+  if params.Comparator.thr < 1 then
+    (* Thr ≤ 0 lets key-disjoint (even empty) sides match, which the
+       overlap-driven index cannot see — use the exhaustive scan *)
+    naive_matching ~params ?obs t dna
+  else
+    Obs.time obs "comparator.indexed.seconds" (fun () ->
+        indexed_matching ~params ?obs t dna)
 
 let harvest ?obs t ~cve ~vulns source =
   let module Obs = Jitbull_obs.Obs in
@@ -58,21 +228,20 @@ let to_sexpr t =
     :: List.map
          (fun e ->
            Sexpr.list [ Sexpr.atom "entry"; Sexpr.atom e.cve; Dna.to_sexpr e.dna ])
-         t.items)
+         (entries t))
 
 let of_sexpr s =
   match Sexpr.to_list s with
   | Sexpr.Atom "jitbull-db" :: rest ->
-    let items =
-      List.map
-        (fun e ->
-          match Sexpr.to_list e with
-          | [ Sexpr.Atom "entry"; cve; dna ] ->
-            { cve = Sexpr.to_atom cve; dna = Dna.of_sexpr dna }
-          | _ -> raise (Sexpr.Decode_error "bad db entry"))
-        rest
-    in
-    { items }
+    let t = create () in
+    List.iter
+      (fun e ->
+        match Sexpr.to_list e with
+        | [ Sexpr.Atom "entry"; cve; dna ] ->
+          add t { cve = Sexpr.to_atom cve; dna = Dna.of_sexpr dna }
+        | _ -> raise (Sexpr.Decode_error "bad db entry"))
+      rest;
+    t
   | _ -> raise (Sexpr.Decode_error "not a jitbull-db file")
 
 let save t path = Sexpr.save path (to_sexpr t)

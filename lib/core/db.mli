@@ -21,15 +21,48 @@ val create : unit -> t
 
 val is_empty : t -> bool
 
-val entries : t -> entry list
+val size : t -> int  (** number of entries, O(1) *)
 
+(** [generation t] increments on every {!add} / {!remove_cve} — the
+    engine's policy-decision cache keys on it so any DB mutation
+    invalidates previously cached verdicts. *)
+val generation : t -> int
+
+val entries : t -> entry list  (** insertion order; memoized *)
+
+(** [add t entry] appends in O(index size of the entry) — amortized O(1)
+    array growth plus one posting per (pass, side, sub-chain) of its DNA. *)
 val add : t -> entry -> unit
 
 (** [remove_cve t cve] drops every entry of a vulnerability (= the patch
-    has been applied). *)
+    has been applied) and rebuilds the inverted index. *)
 val remove_cve : t -> string -> unit
 
 val cves : t -> string list  (** distinct, insertion order *)
+
+(** [matching ?params ?obs t dna] — every DB entry with ≥1 pass whose Δ is
+    similar to the function's, with the matching passes: exactly
+    [List.filter_map (fun e -> Comparator.matching_passes dna e.dna …)]
+    over {!entries} (same entries, same pass order, same list order), but
+    answered through the inverted sub-chain index: only (entry, pass,
+    side) cells sharing at least one sub-chain key with the function's
+    DNA are ever touched, and only cells whose overlap reaches [Thr] (the
+    "prefilter hits") proceed to the Ratio bound — sub-linear in the DB
+    size for benign functions, which share few keys with exploit DNA.
+
+    With [obs]: [comparator.indexed.seconds] histogram and
+    [comparator.prefilter_candidates] / [comparator.prefilter_hits] /
+    [comparator.matches] counters.
+
+    [params.thr < 1] falls back to the naive scan (a non-positive
+    threshold matches key-disjoint sides, invisible to an overlap
+    index). *)
+val matching :
+  ?params:Comparator.params ->
+  ?obs:Jitbull_obs.Obs.t ->
+  t ->
+  Dna.t ->
+  (string * string list) list
 
 (** [harvest t ~cve ~vulns source] runs the demonstrator [source] on an
     engine with the given vulnerability configuration active (the engine

@@ -1,13 +1,17 @@
 module Sexpr = Jitbull_util.Sexpr
+module Intern = Jitbull_util.Intern
+
+type side = (Intern.id, int) Hashtbl.t
 
 type t = {
-  removed : (string, int) Hashtbl.t;
-  added : (string, int) Hashtbl.t;
+  removed : side;
+  added : side;
 }
 
 let key_of_ngram ng = String.concat "->" ng
 
-(* Multiset of sub-chains of a dependency graph.
+(* Multiset of sub-chains of a dependency graph, keyed by interned
+   sub-chain ids.
    - n = 2: the edge multiset (identical to enumerating chains and taking
      2-grams, without the path explosion);
    - n = 3 (the default): length-2 walk counts — for every node, one
@@ -15,15 +19,22 @@ let key_of_ngram ng = String.concat "->" ng
      3-grams but computed in O(Σ degᵢₙ·degₒᵤₜ), which keeps the Δ
      extractor cheap enough for the paper's 1-20% overhead envelope;
    - n ≥ 4: full chain enumeration under the standard caps. *)
-let subchain_multiset ~n (g : Depgraph.t) : (string, int) Hashtbl.t =
+let subchain_multiset ~n (g : Depgraph.t) : side =
   let counts = Hashtbl.create 64 in
   let bump ?(by = 1) k =
     Hashtbl.replace counts k (by + Option.value ~default:0 (Hashtbl.find_opt counts k))
   in
-  if n = 2 then List.iter (fun (a, b) -> bump (a ^ "->" ^ b)) (Depgraph.edges g)
+  if n = 2 then
+    List.iter
+      (fun (node : Depgraph.node) ->
+        List.iter
+          (fun (dep : Depgraph.node) ->
+            bump (Intern.pair node.Depgraph.opcode_id dep.Depgraph.opcode_id))
+          node.Depgraph.deps)
+      g.Depgraph.nodes
   else if n = 3 then begin
     (* users-per-node map *)
-    let user_ops : (int, string list) Hashtbl.t = Hashtbl.create 64 in
+    let user_ops : (int, Intern.id list) Hashtbl.t = Hashtbl.create 64 in
     List.iter
       (fun (node : Depgraph.node) ->
         List.iter
@@ -31,7 +42,7 @@ let subchain_multiset ~n (g : Depgraph.t) : (string, int) Hashtbl.t =
             let cur =
               Option.value ~default:[] (Hashtbl.find_opt user_ops dep.Depgraph.num)
             in
-            Hashtbl.replace user_ops dep.Depgraph.num (node.Depgraph.opcode :: cur))
+            Hashtbl.replace user_ops dep.Depgraph.num (node.Depgraph.opcode_id :: cur))
           node.Depgraph.deps)
       g.Depgraph.nodes;
     List.iter
@@ -43,7 +54,7 @@ let subchain_multiset ~n (g : Depgraph.t) : (string, int) Hashtbl.t =
             (fun user_op ->
               List.iter
                 (fun (dep : Depgraph.node) ->
-                  bump (user_op ^ "->" ^ mid.Depgraph.opcode ^ "->" ^ dep.Depgraph.opcode))
+                  bump (Intern.triple user_op mid.Depgraph.opcode_id dep.Depgraph.opcode_id))
                 mid.Depgraph.deps)
             users)
       g.Depgraph.nodes;
@@ -54,17 +65,18 @@ let subchain_multiset ~n (g : Depgraph.t) : (string, int) Hashtbl.t =
       (fun (root : Depgraph.node) ->
         List.iter
           (fun (dep : Depgraph.node) ->
-            bump ("^" ^ root.Depgraph.opcode ^ "->" ^ dep.Depgraph.opcode))
+            bump (Intern.pair (Intern.rooted root.Depgraph.opcode_id) dep.Depgraph.opcode_id))
           root.Depgraph.deps)
       g.Depgraph.roots
   end
   else
     List.iter
-      (fun chain -> List.iter (fun ng -> bump (key_of_ngram ng)) (Chains.ngrams n chain))
+      (fun chain ->
+        List.iter (fun ng -> bump (Intern.intern (key_of_ngram ng))) (Chains.ngrams n chain))
       (Chains.extract g);
   counts
 
-let diff (a : (string, int) Hashtbl.t) (b : (string, int) Hashtbl.t) =
+let diff (a : side) (b : side) =
   (* multiset difference a − b *)
   let out = Hashtbl.create 16 in
   Hashtbl.iter
@@ -76,7 +88,7 @@ let diff (a : (string, int) Hashtbl.t) (b : (string, int) Hashtbl.t) =
 
 (* [of_multisets] lets callers that walk a whole snapshot trace compute
    each graph's multiset once instead of once per adjacent pair. *)
-let of_multisets ~(before : (string, int) Hashtbl.t) ~(after : (string, int) Hashtbl.t) : t =
+let of_multisets ~(before : side) ~(after : side) : t =
   { removed = diff before after; added = diff after before }
 
 let compute ?(n = 3) (before : Depgraph.t) (after : Depgraph.t) : t =
@@ -86,22 +98,33 @@ let is_empty t = Hashtbl.length t.removed = 0 && Hashtbl.length t.added = 0
 
 let total side = Hashtbl.fold (fun _ c acc -> acc + c) side 0
 
-(* serialization: (delta (removed (<key> <count>) ...) (added ...)) *)
+let side_of_list entries : side =
+  let tbl = Hashtbl.create (max 8 (List.length entries)) in
+  List.iter (fun (k, c) -> Hashtbl.replace tbl (Intern.intern k) c) entries;
+  tbl
+
+let find_key (side : side) key = Hashtbl.find_opt side (Intern.intern key)
+
+let mem_key side key = find_key side key <> None
+
+(* serialization: (delta (removed (<key> <count>) ...) (added ...)) —
+   keys are written back as strings, so the on-disk format is unchanged
+   by the in-memory interning *)
 
 let side_to_sexpr name side =
   let entries =
-    Hashtbl.fold (fun k c acc -> (k, c) :: acc) side []
+    Hashtbl.fold (fun k c acc -> (Intern.to_string k, c) :: acc) side []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
     |> List.map (fun (k, c) -> Sexpr.list [ Sexpr.atom k; Sexpr.int c ])
   in
   Sexpr.list (Sexpr.atom name :: entries)
 
-let side_of_sexprs payload =
+let side_of_sexprs payload : side =
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun s ->
       match Sexpr.to_list s with
-      | [ k; c ] -> Hashtbl.replace tbl (Sexpr.to_atom k) (Sexpr.to_int c)
+      | [ k; c ] -> Hashtbl.replace tbl (Intern.intern (Sexpr.to_atom k)) (Sexpr.to_int c)
       | _ -> raise (Sexpr.Decode_error "bad delta entry"))
     payload;
   tbl
@@ -117,7 +140,7 @@ let of_sexpr s =
 
 let to_string t =
   let fmt side =
-    Hashtbl.fold (fun k c acc -> Printf.sprintf "%s x%d" k c :: acc) side []
+    Hashtbl.fold (fun k c acc -> Printf.sprintf "%s x%d" (Intern.to_string k) c :: acc) side []
     |> List.sort String.compare |> String.concat ", "
   in
   Printf.sprintf "removed={%s} added={%s}" (fmt t.removed) (fmt t.added)

@@ -12,9 +12,15 @@
     dropping the single-VDC false-positive rate to the paper's 0-5%% band
     (see DESIGN.md §4 and EXPERIMENTS.md). *)
 
+type side = (Jitbull_util.Intern.id, int) Hashtbl.t
+(** interned sub-chain key → multiplicity. Keys are {!Jitbull_util.Intern}
+    ids of ["a->b"] / ["a->b->c"] strings: the comparator's inner loop
+    hashes machine words, never strings (the on-disk format is still
+    string-keyed; see {!to_sexpr}). *)
+
 type t = {
-  removed : (string, int) Hashtbl.t;  (** sub-chain key → multiplicity *)
-  added : (string, int) Hashtbl.t;
+  removed : side;
+  added : side;
 }
 
 (** [compute ?n before after] diffs two dependency graphs. *)
@@ -24,14 +30,21 @@ val compute : ?n:int -> Depgraph.t -> Depgraph.t -> t
     [of_multisets] diffs two precomputed multisets (used by {!Dna.extract}
     to compute each trace snapshot's multiset exactly once). *)
 
-val subchain_multiset : n:int -> Depgraph.t -> (string, int) Hashtbl.t
-val of_multisets : before:(string, int) Hashtbl.t -> after:(string, int) Hashtbl.t -> t
+val subchain_multiset : n:int -> Depgraph.t -> side
+val of_multisets : before:side -> after:side -> t
 
 (** [is_empty t] — the pass changed nothing (or was disabled). *)
 val is_empty : t -> bool
 
 (** [size side] — total multiplicity (the paper's |δ|). *)
-val total : (string, int) Hashtbl.t -> int
+val total : side -> int
+
+(** [side_of_list entries] — build a side from string keys (tests, bench
+    synthesis); [find_key]/[mem_key] look a string key up in a side. *)
+val side_of_list : (string * int) list -> side
+
+val find_key : side -> string -> int option
+val mem_key : side -> string -> bool
 
 (** Serialization for the on-disk DNA database. *)
 

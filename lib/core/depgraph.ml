@@ -1,8 +1,10 @@
 module Snapshot = Jitbull_mir.Snapshot
+module Intern = Jitbull_util.Intern
 
 type node = {
   num : int;
   opcode : string;
+  opcode_id : Intern.id;
   mutable deps : node list;
 }
 
@@ -19,7 +21,14 @@ let build (snapshot : Snapshot.t) : t =
   let nodes =
     List.map
       (fun (e : Snapshot.entry) ->
-        let n = { num = e.Snapshot.num; opcode = e.Snapshot.opcode; deps = [] } in
+        let n =
+          {
+            num = e.Snapshot.num;
+            opcode = e.Snapshot.opcode;
+            opcode_id = Intern.intern e.Snapshot.opcode;
+            deps = [];
+          }
+        in
         Hashtbl.replace by_num e.Snapshot.num n;
         n)
       snapshot.Snapshot.entries
@@ -34,6 +43,9 @@ let build (snapshot : Snapshot.t) : t =
           Hashtbl.replace in_graph v.num ();
           Hashtbl.replace is_root v.num ()
         end;
+        (* deps accumulate newest-first here and are flipped once below —
+           the old per-operand [deps @ [v']] append was quadratic in the
+           operand count *)
         List.iter
           (fun op_num ->
             match Hashtbl.find_opt by_num op_num with
@@ -41,10 +53,11 @@ let build (snapshot : Snapshot.t) : t =
             | Some v' ->
               Hashtbl.remove is_root v'.num;
               Hashtbl.replace in_graph v'.num ();
-              v.deps <- v.deps @ [ v' ])
+              v.deps <- v' :: v.deps)
           e.Snapshot.operands
       end)
     snapshot.Snapshot.entries;
+  List.iter (fun n -> n.deps <- List.rev n.deps) nodes;
   let roots = List.filter (fun n -> Hashtbl.mem is_root n.num) nodes in
   let nodes = List.filter (fun n -> Hashtbl.mem in_graph n.num) nodes in
   { nodes; roots }
@@ -54,7 +67,8 @@ let edges t =
 
 let node_count t = List.length t.nodes
 
-let edge_count t = List.length (edges t)
+let edge_count t =
+  List.fold_left (fun acc n -> acc + List.length n.deps) 0 t.nodes
 
 let to_string t =
   let buf = Buffer.create 256 in

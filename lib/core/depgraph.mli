@@ -11,6 +11,9 @@
 type node = {
   num : int;  (** snapshot display number (diagnostics only) *)
   opcode : string;
+  opcode_id : Jitbull_util.Intern.id;
+      (** interned [opcode] — the Δ extractor builds sub-chain keys from
+          ids so the hot path never re-hashes opcode strings *)
   mutable deps : node list;  (** dependencies = operands, in operand order *)
 }
 

@@ -19,7 +19,7 @@ let verdict_name = function
   | `Disable _ -> "disable"
   | `Forbid -> "forbid"
 
-let analyzer ?params ?monitor ?obs (db : Db.t) : Engine.analyzer =
+let analyzer ?params ?monitor ?obs ?(comparator = `Indexed) (db : Db.t) : Engine.analyzer =
  fun ~func_index:_ ~name ~trace ->
   (* the whole go/no-go decision is one [policy_decide] span whose fields
      carry the verdict and the matched CVE → pass evidence *)
@@ -44,15 +44,18 @@ let analyzer ?params ?monitor ?obs (db : Db.t) : Engine.analyzer =
         let dna = Obs.span obs "dna_extract" (fun () -> Dna.extract trace) in
         let matched =
           Obs.span obs
-            ~fields:[ ("entries", Jsonx.Int (List.length (Db.entries db))) ]
+            ~fields:[ ("entries", Jsonx.Int (Db.size db)) ]
             "db_compare"
             (fun () ->
-              List.filter_map
-                (fun (e : Db.entry) ->
-                  match Comparator.matching_passes ?params ?obs dna e.Db.dna with
-                  | [] -> None
-                  | passes -> Some (e.Db.cve, passes))
-                (Db.entries db))
+              match comparator with
+              | `Indexed -> Db.matching ?params ?obs db dna
+              | `Naive ->
+                List.filter_map
+                  (fun (e : Db.entry) ->
+                    match Comparator.matching_passes ?params ?obs dna e.Db.dna with
+                    | [] -> None
+                    | passes -> Some (e.Db.cve, passes))
+                  (Db.entries db))
         in
         matched_ref := matched;
         let dangerous =
@@ -81,6 +84,15 @@ let analyzer ?params ?monitor ?obs (db : Db.t) : Engine.analyzer =
   | `Disable passes -> Engine.Disable_passes passes
   | `Forbid -> Engine.Forbid_jit
 
-let config ?params ?monitor ?obs ~vulns (db : Db.t) : Engine.config =
-  let analyzer = if Db.is_empty db then None else Some (analyzer ?params ?monitor ?obs db) in
-  { Engine.default_config with Engine.vulns; analyzer; obs }
+let config ?params ?monitor ?obs ?comparator ?(policy_cache = true) ~vulns (db : Db.t) :
+    Engine.config =
+  let analyzer =
+    if Db.is_empty db then None
+    else Some (analyzer ?params ?monitor ?obs ?comparator db)
+  in
+  let policy_cache =
+    if policy_cache && analyzer <> None then
+      Some (Engine.Policy_cache.create ~generation:(fun () -> Db.generation db) ())
+    else None
+  in
+  { Engine.default_config with Engine.vulns; analyzer; obs; policy_cache }

@@ -26,9 +26,16 @@ type monitor = {
 
 val new_monitor : unit -> monitor
 
-(** [analyzer ?params ?monitor ?obs db] builds the engine hook. The
-    database is consulted live: entries added or removed later affect
-    subsequent compilations (the patch-applied lifecycle).
+(** [analyzer ?params ?monitor ?obs ?comparator db] builds the engine
+    hook. The database is consulted live: entries added or removed later
+    affect subsequent compilations (the patch-applied lifecycle).
+
+    [comparator] selects how the DB comparison runs: [`Indexed] (default)
+    answers through {!Db.matching}'s inverted sub-chain index, [`Naive]
+    folds {!Comparator.matching_passes} over every entry. Both produce
+    identical verdicts (a property test asserts it); the naive path is
+    kept as the executable specification and for A/B measurement
+    ([bench overhead], [jsrun --naive-comparator]).
 
     With [obs] installed, every analysis is traced: a [policy_decide]
     span (fields [func], [verdict], [passes], [matched]) wrapping
@@ -38,18 +45,29 @@ val analyzer :
   ?params:Comparator.params ->
   ?monitor:monitor ->
   ?obs:Jitbull_obs.Obs.t ->
+  ?comparator:[ `Indexed | `Naive ] ->
   Db.t ->
   Jitbull_jit.Engine.analyzer
 
-(** [config ?params ?monitor ?obs ~vulns db] — an engine configuration
-    with JITBULL installed, the vulnerability window's unpatched engine.
-    When [db] is empty the analyzer is omitted entirely (zero overhead,
-    paper §V). [obs] is installed both into the analyzer and the engine
-    configuration. *)
+(** [config ?params ?monitor ?obs ?comparator ?policy_cache ~vulns db] —
+    an engine configuration with JITBULL installed, the vulnerability
+    window's unpatched engine. When [db] is empty the analyzer is omitted
+    entirely (zero overhead, paper §V). [obs] is installed both into the
+    analyzer and the engine configuration.
+
+    [policy_cache] (default [true]) installs an
+    {!Jitbull_jit.Engine.Policy_cache} wired to [db]'s generation counter,
+    so re-JITs of an already-decided function — across engines sharing
+    this configuration — skip DNA extraction and comparison; any
+    [Db.add]/[Db.remove_cve] invalidates it. Pass [false] to analyze
+    every Ion compile afresh (every compile then produces a monitor
+    record, which some tests rely on). *)
 val config :
   ?params:Comparator.params ->
   ?monitor:monitor ->
   ?obs:Jitbull_obs.Obs.t ->
+  ?comparator:[ `Indexed | `Naive ] ->
+  ?policy_cache:bool ->
   vulns:Jitbull_passes.Vuln_config.t ->
   Db.t ->
   Jitbull_jit.Engine.config

@@ -28,6 +28,63 @@ type decision =
 type analyzer =
   func_index:int -> name:string -> trace:(string * Snapshot.t) list -> decision
 
+(* The policy-decision cache: verdicts keyed by a hash of everything the
+   traced compile consumes (bytecode, type feedback, depth-1 inline
+   callees), invalidated wholesale whenever the [generation] closure — the
+   DNA database's mutation counter — moves. A hit skips the snapshot
+   trace, the Δ extraction and the DB comparison entirely; a Forbid hit
+   even skips the Ion compile. *)
+module Policy_cache = struct
+  type t = {
+    table : (int, decision) Hashtbl.t;
+    generation : unit -> int;
+    max_entries : int;
+    mutable gen_seen : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable invalidations : int;
+  }
+
+  let create ?(max_entries = 4096) ?(generation = fun () -> 0) () =
+    {
+      table = Hashtbl.create 64;
+      generation;
+      max_entries;
+      gen_seen = generation ();
+      hits = 0;
+      misses = 0;
+      invalidations = 0;
+    }
+
+  let revalidate t =
+    let g = t.generation () in
+    if g <> t.gen_seen then begin
+      Hashtbl.reset t.table;
+      t.gen_seen <- g;
+      t.invalidations <- t.invalidations + 1
+    end
+
+  let lookup t key =
+    revalidate t;
+    match Hashtbl.find_opt t.table key with
+    | Some d ->
+      t.hits <- t.hits + 1;
+      Some d
+    | None ->
+      t.misses <- t.misses + 1;
+      None
+
+  let store t key decision =
+    revalidate t;
+    if Hashtbl.length t.table >= t.max_entries then Hashtbl.reset t.table;
+    Hashtbl.replace t.table key decision
+
+  let hits t = t.hits
+  let misses t = t.misses
+  let invalidations t = t.invalidations
+  let length t = Hashtbl.length t.table
+end
+
 type config = {
   baseline_threshold : int;
   ion_threshold : int;
@@ -37,6 +94,7 @@ type config = {
   max_bailouts : int;
   jit_enabled : bool;
   obs : Obs.t option;
+  policy_cache : Policy_cache.t option;
 }
 
 let default_config =
@@ -49,6 +107,7 @@ let default_config =
     max_bailouts = 8;
     jit_enabled = true;
     obs = None;
+    policy_cache = None;
   }
 
 type stats = {
@@ -210,6 +269,45 @@ let tier_up t idx tier_name =
   Obs.event t.config.obs "tier_up"
     ~fields:[ func_field t idx; ("tier", Jsonx.String tier_name) ]
 
+(* ---- policy-cache keys ----
+
+   The traced Ion compile is a function of the bytecode, the function's
+   type-feedback row, and (through the inline resolver) the bytecode and
+   feedback of every statically bound callee it loads — so the cache key
+   hashes all three. Feedback is included deliberately: a re-JIT after a
+   bailout sees different feedback, gets a different key, and is
+   re-analyzed rather than served a stale verdict. *)
+
+let hash_mix h x = (h * 0x01000193) lxor x [@@inline]
+
+let func_code_hash (f : Op.func) =
+  Array.fold_left (fun h op -> hash_mix h (Hashtbl.hash op)) 0x811C9DC5 f.Op.code
+
+let feedback_hash row =
+  Array.fold_left (fun h site -> hash_mix h (Hashtbl.hash site)) 17 row
+
+let policy_key t idx =
+  let func = t.vm.Vm.program.Op.funcs.(idx) in
+  let h =
+    ref (hash_mix (func_code_hash func) (feedback_hash t.vm.Vm.feedback.(idx)))
+  in
+  (* depth-1 inline closure: the callees [inline_resolver] would build MIR
+     for, hashed with their own feedback *)
+  Array.iter
+    (function
+      | Op.Load_global name when not (Hashtbl.mem t.reassigned_globals name) -> (
+        match Hashtbl.find_opt t.vm.Vm.globals name with
+        | Some (Value.Function cidx) when cidx <> idx ->
+          let cf = t.vm.Vm.program.Op.funcs.(cidx) in
+          h :=
+            hash_mix
+              (hash_mix !h (func_code_hash cf))
+              (feedback_hash t.vm.Vm.feedback.(cidx))
+        | _ -> ())
+      | _ -> ())
+    func.Op.code;
+  !h
+
 let blacklist t idx reason =
   t.stats.nr_nojit <- t.stats.nr_nojit + 1;
   t.vm.Vm.dispatch.(idx) <- None;
@@ -237,14 +335,45 @@ let ion_compile t idx =
     tier_up t idx "ion"
   | Some analyze -> (
     let name = t.vm.Vm.program.Op.funcs.(idx).Op.name in
-    let lir, trace =
-      Obs.span obs
-        ~fields:[ func_field t idx; ("traced", Jsonx.Bool true) ]
-        "compile_ion"
-        (fun () -> compile_traced t idx ~disabled:[])
+    let cache = t.config.policy_cache in
+    let key = match cache with Some _ -> policy_key t idx | None -> 0 in
+    let cached =
+      match cache with Some c -> Policy_cache.lookup c key | None -> None
     in
-    match analyze ~func_index:idx ~name ~trace with
+    (match (cache, cached) with
+    | Some _, Some _ ->
+      Obs.incr obs "policy.cache_hits";
+      Obs.event obs "policy_cache_hit" ~fields:[ func_field t idx ]
+    | Some _, None -> Obs.incr obs "policy.cache_misses"
+    | None, _ -> ());
+    (* On a cache hit [precompiled] stays [None]: the traced compile, the
+       Δ extraction and the DB comparison are all skipped (and so is the
+       monitor record — only fresh analyses are recorded). *)
+    let decision, precompiled =
+      match cached with
+      | Some d -> (d, None)
+      | None ->
+        let lir, trace =
+          Obs.span obs
+            ~fields:[ func_field t idx; ("traced", Jsonx.Bool true) ]
+            "compile_ion"
+            (fun () -> compile_traced t idx ~disabled:[])
+        in
+        let d = analyze ~func_index:idx ~name ~trace in
+        (match cache with Some c -> Policy_cache.store c key d | None -> ());
+        (d, Some lir)
+    in
+    match decision with
     | Allow ->
+      let lir =
+        match precompiled with
+        | Some lir -> lir
+        | None ->
+          Obs.span obs
+            ~fields:[ func_field t idx; ("cached_verdict", Jsonx.Bool true) ]
+            "compile_ion"
+            (fun () -> compile_lir t idx ~optimize:true ~disabled:[])
+      in
       install t idx lir;
       t.tiers.(idx) <- Ion;
       tier_up t idx "ion"
@@ -252,9 +381,14 @@ let ion_compile t idx =
       Log.info (fun m ->
           m "JITBULL: recompiling %s without dangerous passes [%s]" name
             (String.concat ", " passes));
-      t.stats.ion_compiles <- t.stats.ion_compiles + 1;
+      (* from a cached verdict this is the first (and only) compile of the
+         function, not a recompilation after a traced compile *)
+      (match precompiled with
+      | Some _ ->
+        t.stats.ion_compiles <- t.stats.ion_compiles + 1;
+        Obs.incr obs "engine.recompiles"
+      | None -> ());
       t.stats.nr_disjit <- t.stats.nr_disjit + 1;
-      Obs.incr obs "engine.recompiles";
       let lir =
         Obs.span obs
           ~fields:

@@ -34,6 +34,39 @@ type analyzer =
   trace:(string * Jitbull_mir.Snapshot.t) list ->
   decision
 
+(** The policy-decision cache: go/no-go verdicts memoized across Ion
+    compiles (and across engines sharing one {!config}), keyed by a hash
+    of the function's bytecode, its type-feedback row and the bytecode +
+    feedback of its statically bound callees (the inline resolver's
+    inputs). The [generation] closure — typically the DNA database's
+    mutation counter — is consulted on every access; when it moves, the
+    whole cache is dropped, so [Db.add]/[Db.remove_cve] invalidate
+    previously cached verdicts.
+
+    On a hit the engine skips the snapshot-traced compile, the Δ
+    extraction and the DB comparison (a [Forbid_jit] hit skips compilation
+    entirely) and applies the cached verdict directly; the analyzer is not
+    called, so no monitor record is produced for that compile.
+    [policy.cache_hits] / [policy.cache_misses] count effectiveness. *)
+module Policy_cache : sig
+  type t
+
+  val create : ?max_entries:int -> ?generation:(unit -> int) -> unit -> t
+
+  (** [lookup]/[store] are exposed for tests and tools; the engine drives
+      them internally. Both revalidate against [generation] first. *)
+  val lookup : t -> int -> decision option
+
+  val store : t -> int -> decision -> unit
+  val hits : t -> int
+  val misses : t -> int
+
+  (** [invalidations t] — generation-change flushes observed. *)
+  val invalidations : t -> int
+
+  val length : t -> int
+end
+
 type config = {
   baseline_threshold : int;
   ion_threshold : int;
@@ -47,6 +80,9 @@ type config = {
           per-pass spans in the pipeline), [tier_up]/[bailout]/[deopt]/
           [blacklist] events, and VM dispatch counters. [None] (default)
           records nothing and adds no measurable cost. *)
+  policy_cache : Policy_cache.t option;
+      (** memoized go/no-go verdicts; [None] (default) analyzes every Ion
+          compile afresh. Only consulted when [analyzer] is present. *)
 }
 
 val default_config : config

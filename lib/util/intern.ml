@@ -1,0 +1,58 @@
+type id = int
+
+(* id -> string, growable array *)
+let names = ref (Array.make 1024 "")
+let len = ref 0
+
+let by_string : (string, id) Hashtbl.t = Hashtbl.create 1024
+
+(* composite caches: constituent ids -> composite id *)
+let by_pair : (id * id, id) Hashtbl.t = Hashtbl.create 1024
+let by_triple : (id * id * id, id) Hashtbl.t = Hashtbl.create 1024
+let by_rooted : (id, id) Hashtbl.t = Hashtbl.create 64
+
+let size () = !len
+
+let to_string id =
+  if id < 0 || id >= !len then
+    invalid_arg (Printf.sprintf "Intern.to_string: unknown id %d" id)
+  else !names.(id)
+
+let intern s =
+  match Hashtbl.find_opt by_string s with
+  | Some id -> id
+  | None ->
+    let id = !len in
+    if id = Array.length !names then begin
+      let bigger = Array.make (2 * id) "" in
+      Array.blit !names 0 bigger 0 id;
+      names := bigger
+    end;
+    !names.(id) <- s;
+    incr len;
+    Hashtbl.add by_string s id;
+    id
+
+let pair a b =
+  match Hashtbl.find_opt by_pair (a, b) with
+  | Some id -> id
+  | None ->
+    let id = intern (to_string a ^ "->" ^ to_string b) in
+    Hashtbl.add by_pair (a, b) id;
+    id
+
+let triple a b c =
+  match Hashtbl.find_opt by_triple (a, b, c) with
+  | Some id -> id
+  | None ->
+    let id = intern (to_string a ^ "->" ^ to_string b ^ "->" ^ to_string c) in
+    Hashtbl.add by_triple (a, b, c) id;
+    id
+
+let rooted a =
+  match Hashtbl.find_opt by_rooted a with
+  | Some id -> id
+  | None ->
+    let id = intern ("^" ^ to_string a) in
+    Hashtbl.add by_rooted a id;
+    id

@@ -20,4 +20,5 @@ let () =
       Test_fuzz.suite;
       Test_verify_mode.suite;
       Test_obs.suite;
+      Test_perf.suite;
     ]

@@ -92,9 +92,9 @@ let test_delta_paper_example () =
   let d = Delta.compute ~n:2 before after in
   check_int "two removed subchains" 2 (Delta.total d.Delta.removed);
   check_int "one added subchain" 1 (Delta.total d.Delta.added);
-  check_bool "A->B removed" true (Hashtbl.mem d.Delta.removed "a->b");
-  check_bool "C->D removed" true (Hashtbl.mem d.Delta.removed "c->d");
-  check_bool "C->E added" true (Hashtbl.mem d.Delta.added "c->e")
+  check_bool "A->B removed" true (Delta.mem_key d.Delta.removed "a->b");
+  check_bool "C->D removed" true (Delta.mem_key d.Delta.removed "c->d");
+  check_bool "C->E added" true (Delta.mem_key d.Delta.added "c->e")
 
 let test_delta_empty_on_identical () =
   let g = Depgraph.build (snap [ (1, "x", []); (2, "y", [ 1 ]) ]) in
@@ -125,10 +125,7 @@ let test_delta_sexpr_roundtrip () =
 
 (* ---- comparator (Algorithm 2) ---- *)
 
-let side_of_list entries =
-  let tbl = Hashtbl.create 8 in
-  List.iter (fun (k, c) -> Hashtbl.replace tbl k c) entries;
-  tbl
+let side_of_list = Delta.side_of_list
 
 let params = { Comparator.thr = 2; ratio = 0.5 }
 
@@ -284,10 +281,9 @@ let test_forbid_on_mandatory_pass () =
      mandatory pass the verdict is Forbid. We simulate by injecting a
      matching DNA entry for 'renumber'. *)
   let db = Db.create () in
-  let side = Hashtbl.create 4 in
   (* "^" marks a root-boundary sub-chain in the 3-gram representation *)
-  Hashtbl.replace side "^parameter->constant" 5;
-  let delta = { Delta.removed = side; added = Hashtbl.create 1 } in
+  let side = Delta.side_of_list [ ("^parameter->constant", 5) ] in
+  let delta = { Delta.removed = side; added = Delta.side_of_list [] } in
   let dna = { Dna.func_name = "evil"; deltas = [ ("renumber", delta) ] } in
   Db.add db { Db.cve = "SYNTH"; dna };
   let monitor = Jitbull.new_monitor () in
@@ -342,12 +338,12 @@ let test_engine_forbid_end_to_end () =
   (* a DB entry matching a mandatory pass drives the engine's scenario 3:
      the function is denied JIT but keeps running correctly interpreted *)
   let db = Db.create () in
-  let side = Hashtbl.create 4 in
   (* the renumber pass never changes dependency edges in reality; force a
      synthetic match by teaching the comparator a universal delta for it *)
-  Hashtbl.replace side "^storeelement->elements" 50;
-  Hashtbl.replace side "^boundscheck->unboxint32" 50;
-  let delta = { Delta.removed = side; added = Hashtbl.create 1 } in
+  let side =
+    Delta.side_of_list [ ("^storeelement->elements", 50); ("^boundscheck->unboxint32", 50) ]
+  in
+  let delta = { Delta.removed = side; added = Delta.side_of_list [] } in
   Db.add db { Db.cve = "SYNTH-MANDATORY"; dna = { Dna.func_name = "evil"; deltas = [ ("renumber", delta) ] } };
   let monitor = Jitbull.new_monitor () in
   let analyzer ~func_index:_ ~name:_ ~trace:_ =

@@ -250,8 +250,14 @@ let test_policy_decide_event_on_variant () =
   let view = Obs.view (Some obs) in
   check_bool "per-pass histogram recorded" true
     (Option.is_some (Metrics.find_histogram view "pass.gvn.seconds"));
-  check_bool "comparator pairs counted" true
-    (match Metrics.find_counter view "comparator.pairs" with Some n -> n > 0 | None -> false)
+  (* emitted by both comparator paths (naive pairwise and indexed); the
+     variant matched, so at least one (entry, pass) pair must have *)
+  check_bool "comparator matches counted" true
+    (match Metrics.find_counter view "comparator.matches" with Some n -> n > 0 | None -> false);
+  check_bool "prefilter hits counted on the indexed default" true
+    (match Metrics.find_counter view "comparator.prefilter_hits" with
+    | Some n -> n > 0
+    | None -> false)
 
 let suite =
   ( "obs",

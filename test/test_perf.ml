@@ -1,0 +1,225 @@
+(* The performance layer: string interner, inverted DB index and the
+   policy-decision cache.
+
+   The load-bearing property here is decision equivalence — the indexed
+   [Db.matching] must agree with the naive comparator fold on every
+   database and every parameter setting, including the thr <= 0 corner
+   where key-disjoint sides "match" and the index falls back to the
+   scan. *)
+
+open Helpers
+module Intern = Jitbull_util.Intern
+module Db = Jitbull_core.Db
+module Dna = Jitbull_core.Dna
+module Delta = Jitbull_core.Delta
+module Comparator = Jitbull_core.Comparator
+module Jitbull = Jitbull_core.Jitbull
+
+(* ---- interner ---- *)
+
+let test_intern_stability () =
+  let a = Intern.intern "test_perf:alpha" in
+  let b = Intern.intern "test_perf:beta" in
+  check_bool "same string, same id" true (Intern.intern "test_perf:alpha" = a);
+  check_bool "distinct strings, distinct ids" true (a <> b);
+  check_string "to_string round-trips" "test_perf:alpha" (Intern.to_string a);
+  let before = Intern.size () in
+  ignore (Intern.intern "test_perf:alpha");
+  check_int "re-interning allocates nothing" before (Intern.size ())
+
+let test_intern_composites () =
+  let a = Intern.intern "tp_op_a" and b = Intern.intern "tp_op_b" in
+  let c = Intern.intern "tp_op_c" in
+  check_bool "pair id is canonical" true (Intern.pair a b = Intern.intern "tp_op_a->tp_op_b");
+  check_string "pair materializes the arrow string" "tp_op_a->tp_op_b"
+    (Intern.to_string (Intern.pair a b));
+  check_bool "triple id is canonical" true
+    (Intern.triple a b c = Intern.intern "tp_op_a->tp_op_b->tp_op_c");
+  check_bool "rooted id is canonical" true (Intern.rooted a = Intern.intern "^tp_op_a");
+  check_bool "pair is order-sensitive" true (Intern.pair a b <> Intern.pair b a);
+  (* composite hit path: second call must not allocate a new id *)
+  let before = Intern.size () in
+  ignore (Intern.triple a b c);
+  check_int "composite re-use allocates nothing" before (Intern.size ())
+
+(* ---- indexed == naive decision equivalence ---- *)
+
+let side_gen =
+  let open QCheck.Gen in
+  map
+    (fun entries ->
+      Delta.side_of_list
+        (List.map (fun (k, c) -> ("k" ^ string_of_int k, 1 + (c mod 5))) entries))
+    (list_size (int_range 0 8) (pair (int_range 0 10) small_nat))
+
+let delta_gen =
+  QCheck.Gen.map2 (fun r a -> { Delta.removed = r; added = a }) side_gen side_gen
+
+(* DNAs over a fixed pass pool, each pass present with probability 1/2 —
+   mixes matching-pass, missing-pass and empty-delta shapes *)
+let dna_gen =
+  let open QCheck.Gen in
+  map
+    (fun choices -> { Dna.func_name = "f"; deltas = List.filter_map Fun.id choices })
+    (flatten_l
+       (List.map
+          (fun p ->
+            bool >>= fun keep ->
+            if keep then map (fun d -> Some (p, d)) delta_gen else return None)
+          [ "gvn"; "licm"; "dce"; "inline" ]))
+
+let db_gen =
+  let open QCheck.Gen in
+  list_size (int_range 0 6)
+    (map2
+       (fun i dna -> { Db.cve = "CVE-" ^ string_of_int (i mod 3); dna })
+       (int_range 0 9) dna_gen)
+
+(* thr = 0 exercises the naive-fallback path: a non-positive threshold
+   matches key-disjoint sides, which no overlap index can see *)
+let params_gen =
+  QCheck.Gen.oneofl
+    (List.concat_map
+       (fun thr -> List.map (fun ratio -> { Comparator.thr; ratio }) [ 0.25; 0.5; 0.75 ])
+       [ 0; 1; 2; 3 ])
+
+let naive_matching ~params db dna =
+  List.filter_map
+    (fun (e : Db.entry) ->
+      match Comparator.matching_passes ~params dna e.Db.dna with
+      | [] -> None
+      | passes -> Some (e.Db.cve, passes))
+    (Db.entries db)
+
+let build_db entries =
+  let db = Db.create () in
+  List.iter (Db.add db) entries;
+  db
+
+let qcheck_indexed_equals_naive =
+  QCheck.Test.make ~count:300 ~name:"indexed Db.matching == naive comparator fold"
+    QCheck.(make Gen.(triple db_gen dna_gen params_gen))
+    (fun (entries, dna, params) ->
+      let db = build_db entries in
+      Db.matching ~params db dna = naive_matching ~params db dna)
+
+let qcheck_indexed_equals_naive_after_removal =
+  QCheck.Test.make ~count:150 ~name:"equivalence survives remove_cve's index rebuild"
+    QCheck.(make Gen.(triple db_gen dna_gen params_gen))
+    (fun (entries, dna, params) ->
+      let db = build_db entries in
+      Db.remove_cve db "CVE-1";
+      Db.matching ~params db dna = naive_matching ~params db dna)
+
+(* ---- Db bookkeeping ---- *)
+
+let test_db_generation_and_order () =
+  let entry cve k =
+    {
+      Db.cve;
+      dna =
+        {
+          Dna.func_name = "f";
+          deltas =
+            [ ("gvn", { Delta.removed = Delta.side_of_list [ (k, 2) ]; added = Delta.side_of_list [] }) ];
+        };
+    }
+  in
+  let db = Db.create () in
+  let g0 = Db.generation db in
+  Db.add db (entry "CVE-A" "a->b");
+  check_bool "add bumps generation" true (Db.generation db > g0);
+  Db.add db (entry "CVE-B" "b->c");
+  Db.add db (entry "CVE-A" "c->d");
+  check_int "size counts every entry" 3 (Db.size db);
+  check_bool "entries keep insertion order" true
+    (List.map (fun (e : Db.entry) -> e.Db.cve) (Db.entries db) = [ "CVE-A"; "CVE-B"; "CVE-A" ]);
+  check_bool "cves dedup to first occurrence" true (Db.cves db = [ "CVE-A"; "CVE-B" ]);
+  let g1 = Db.generation db in
+  Db.remove_cve db "CVE-A";
+  check_bool "remove_cve bumps generation" true (Db.generation db > g1);
+  check_bool "survivors keep their order" true
+    (List.map (fun (e : Db.entry) -> e.Db.cve) (Db.entries db) = [ "CVE-B" ])
+
+(* ---- policy-decision cache ---- *)
+
+let test_policy_cache_unit () =
+  let gen = ref 0 in
+  let pc = Engine.Policy_cache.create ~generation:(fun () -> !gen) () in
+  check_bool "cold lookup misses" true (Engine.Policy_cache.lookup pc 42 = None);
+  Engine.Policy_cache.store pc 42 (Engine.Disable_passes [ "gvn" ]);
+  check_bool "stored verdict comes back" true
+    (Engine.Policy_cache.lookup pc 42 = Some (Engine.Disable_passes [ "gvn" ]));
+  check_int "one hit" 1 (Engine.Policy_cache.hits pc);
+  check_int "one miss" 1 (Engine.Policy_cache.misses pc);
+  incr gen;
+  check_bool "generation change drops the verdict" true
+    (Engine.Policy_cache.lookup pc 42 = None);
+  check_int "flush is counted" 1 (Engine.Policy_cache.invalidations pc);
+  check_int "table is empty after the flush" 0 (Engine.Policy_cache.length pc)
+
+let hot_src =
+  "function hot(a) { var t = 0; for (var i = 0; i < 10; i++) { t = t + a * i; } return t; } \
+   var s = 0; for (var k = 0; k < 12; k++) { s = s + hot(k); } print(s);"
+
+let synthetic_entry name =
+  {
+    Db.cve = name;
+    dna =
+      {
+        Dna.func_name = "vdc";
+        deltas =
+          [
+            ( "gvn",
+              {
+                Delta.removed = Delta.side_of_list [ ("perf_synth_x->perf_synth_y", 3) ];
+                added = Delta.side_of_list [];
+              } );
+          ];
+      };
+  }
+
+let test_engine_cache_integration () =
+  (* one config shared by successive engines: the second run's Ion compile
+     of the same function must hit the cache, and a DB mutation must
+     invalidate it *)
+  let db = Db.create () in
+  Db.add db (synthetic_entry "CVE-SYN-1");
+  let cfg = Jitbull.config ~vulns:VC.none db in
+  let cfg = { cfg with Engine.baseline_threshold = 2; ion_threshold = 4 } in
+  let pc = Option.get cfg.Engine.policy_cache in
+  let out1 = fst (Engine.run_source cfg hot_src) in
+  let misses1 = Engine.Policy_cache.misses pc in
+  check_bool "first run only misses" true
+    (misses1 > 0 && Engine.Policy_cache.hits pc = 0);
+  let out2 = fst (Engine.run_source cfg hot_src) in
+  check_string "cached verdicts preserve output" out1 out2;
+  check_bool "second run hits" true (Engine.Policy_cache.hits pc > 0);
+  check_int "second run adds no misses" misses1 (Engine.Policy_cache.misses pc);
+  Db.add db (synthetic_entry "CVE-SYN-2");
+  let out3 = fst (Engine.run_source cfg hot_src) in
+  check_string "post-invalidation output unchanged" out1 out3;
+  check_bool "DB mutation invalidates the cache" true
+    (Engine.Policy_cache.invalidations pc > 0);
+  check_bool "third run re-analyzes" true (Engine.Policy_cache.misses pc > misses1)
+
+let test_no_policy_cache_config () =
+  let db = Db.create () in
+  Db.add db (synthetic_entry "CVE-SYN-3");
+  let cfg = Jitbull.config ~policy_cache:false ~vulns:VC.none db in
+  check_bool "policy_cache:false installs no cache" true (cfg.Engine.policy_cache = None);
+  let empty = Jitbull.config ~vulns:VC.none (Db.create ()) in
+  check_bool "empty DB installs no cache either" true (empty.Engine.policy_cache = None)
+
+let suite =
+  ( "perf",
+    [
+      Alcotest.test_case "interner id stability" `Quick test_intern_stability;
+      Alcotest.test_case "interner composite ids" `Quick test_intern_composites;
+      qtest qcheck_indexed_equals_naive;
+      qtest qcheck_indexed_equals_naive_after_removal;
+      Alcotest.test_case "db generation and entry order" `Quick test_db_generation_and_order;
+      Alcotest.test_case "policy cache lookup/store/invalidate" `Quick test_policy_cache_unit;
+      Alcotest.test_case "policy cache across engine runs" `Quick test_engine_cache_integration;
+      Alcotest.test_case "policy cache opt-out" `Quick test_no_policy_cache_config;
+    ] )

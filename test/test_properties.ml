@@ -94,9 +94,8 @@ let side_gen =
   let open QCheck.Gen in
   map
     (fun entries ->
-      let tbl = Hashtbl.create 8 in
-      List.iter (fun (k, c) -> Hashtbl.replace tbl ("k" ^ string_of_int k) (1 + (c mod 5))) entries;
-      tbl)
+      Delta.side_of_list
+        (List.map (fun (k, c) -> ("k" ^ string_of_int k, 1 + (c mod 5))) entries))
     (list_size (int_range 0 8) (pair (int_range 0 10) small_nat))
 
 let qcheck_comparator_symmetric =
