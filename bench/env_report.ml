@@ -53,3 +53,17 @@ let rows () =
     [ "OCaml"; Sys.ocaml_version ];
     [ "Word size"; string_of_int Sys.word_size ^ " bit" ];
   ]
+
+(* The same facts as a JSON object, embedded in --json output so archived
+   benchmark numbers carry the host they were measured on. *)
+let to_json () =
+  let module Jsonx = Jitbull_obs.Jsonx in
+  Jsonx.Assoc
+    [
+      ("cpu", Jsonx.String (cpu_model ()));
+      ("cores", Jsonx.Int (Domain.recommended_domain_count ()));
+      ("memory", Jsonx.String (memory_gb ()));
+      ("os", Jsonx.String (os ()));
+      ("ocaml", Jsonx.String Sys.ocaml_version);
+      ("word_size", Jsonx.Int Sys.word_size);
+    ]

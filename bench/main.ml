@@ -17,6 +17,7 @@
      bench/main.exe telemetry    pipeline pass percentiles + comparator throughput
      bench/main.exe ablation     Thr/Ratio/n-gram parameter sweep (beyond the paper)
      bench/main.exe overhead     decision cost vs DB size: indexed vs naive + policy cache
+     bench/main.exe concurrency  off-main-thread Ion compilation (jobs=0/1/2/4)
      bench/main.exe bechamel     Bechamel micro-benchmarks of the JITBULL machinery *)
 
 module W = Jitbull_workloads.Workloads
@@ -25,6 +26,7 @@ module Variants = Jitbull_vdc.Variants
 module Catalog = Jitbull_vdc.Catalog
 module VC = Jitbull_passes.Vuln_config
 module Engine = Jitbull_jit.Engine
+module Compile_queue = Jitbull_jit.Compile_queue
 module Db = Jitbull_core.Db
 module Jitbull = Jitbull_core.Jitbull
 module Dna = Jitbull_core.Dna
@@ -39,6 +41,7 @@ module Obs = Jitbull_obs.Obs
 module Metrics = Jitbull_obs.Metrics
 module Report = Jitbull_obs.Report
 module Jsonx = Jitbull_obs.Jsonx
+module Clock = Jitbull_obs.Clock
 
 (* Machine-readable results, accumulated by sections and written out when
    --json OUT is given (the repo's BENCH_*.json perf trajectory). *)
@@ -88,10 +91,12 @@ let build_db n =
     (first_n n cve_order);
   db
 
+(* All durations go through the injectable clock so a manual source can
+   drive the harness deterministically in tests. *)
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Clock.now () -. t0)
 
 (* Deterministic workloads: best-of-3 is a stable point estimate. *)
 let time_best f =
@@ -727,6 +732,120 @@ let overhead () =
            Jsonx.Assoc [ ("hits", Jsonx.Int hits); ("misses", Jsonx.Int misses) ] );
        ])
 
+(* ---- Concurrency: off-main-thread Ion compilation ----
+
+   Runs a workload sample under the #4-VDC JITBULL configuration with the
+   Ion tier-up offloaded to 0/1/2/4 helper domains. jobs=0 is the
+   synchronous reference: every other job count must produce the same
+   output, and every function analyzed in both runs must receive the
+   identical go/no-go verdict (the background pipeline analyzes frozen
+   enqueue-time snapshots, so per-function verdicts are deterministic;
+   the *set* of hot functions can legitimately grow by one or two, since
+   a caller keeps executing baseline code during its compile window and
+   its callees — which synchronous inlining would have starved of
+   invocations — may cross the Ion threshold themselves). Reported per
+   cell: best-of-3 wall time and the main-thread stall — the time the
+   main thread spends blocked on compilation (the whole compile at
+   jobs=0, only end-of-run drain waits otherwise). Wall-time wins need
+   real cores; stall shrinks regardless. *)
+
+let concurrency () =
+  section "Concurrency: off-main-thread Ion compilation (0/1/2/4 helper domains)";
+  Printf.printf
+    "Host reports %d core(s); helper domains beyond that shrink main-thread\n\
+     stall but cannot shrink wall time.\n\n"
+    (Domain.recommended_domain_count ());
+  let job_counts = [ 0; 1; 2; 4 ] in
+  let sample =
+    List.filter_map W.find [ "Richards"; "RayTrace"; "Splay"; "TypeScript"; "Microbench1" ]
+  in
+  let with_pool jobs f =
+    if jobs = 0 then f None
+    else begin
+      let pool = Compile_queue.create ~jobs () in
+      Fun.protect ~finally:(fun () -> Compile_queue.shutdown pool) (fun () -> f (Some pool))
+    end
+  in
+  let run_one pool (w : W.t) =
+    let monitor = Jitbull.new_monitor () in
+    let vulns = VC.make (first_n 4 cve_order) in
+    let cfg = Jitbull.config ~monitor ?compile_pool:pool ~vulns (cached_db 4) in
+    let out, e = Engine.run_source cfg w.W.source in
+    (out, Engine.stats e, monitor.Jitbull.records)
+  in
+  (* func → verdict pairs, deduplicated *)
+  let verdict_set records =
+    List.map
+      (fun (r : Jitbull.record) ->
+        let v =
+          match r.Jitbull.verdict with
+          | `Allow -> "allow"
+          | `Disable ps -> "disable:" ^ String.concat "," ps
+          | `Forbid -> "forbid"
+        in
+        (r.Jitbull.func_name, v))
+      records
+    |> List.sort_uniq compare
+  in
+  (* every function analyzed in both runs got the identical verdict(s) *)
+  let verdicts_agree a b =
+    let funcs l = List.sort_uniq compare (List.map fst l) in
+    let common = List.filter (fun f -> List.mem f (funcs b)) (funcs a) in
+    List.for_all
+      (fun f ->
+        List.filter (fun (g, _) -> String.equal g f) a
+        = List.filter (fun (g, _) -> String.equal g f) b)
+      common
+  in
+  let json_rows = ref [] in
+  let rows =
+    List.map
+      (fun (w : W.t) ->
+        let out0, _, records0 = with_pool 0 (fun pool -> run_one pool w) in
+        let v0 = verdict_set records0 in
+        let cells =
+          List.map
+            (fun jobs ->
+              with_pool jobs (fun pool ->
+                  let out, s, records = run_one pool w in
+                  (* identity vs the synchronous reference *)
+                  assert (String.equal out out0);
+                  assert (verdicts_agree v0 (verdict_set records));
+                  let wall =
+                    time_best (fun () -> ignore (run_one pool w))
+                  in
+                  json_rows :=
+                    Jsonx.Assoc
+                      [
+                        ("name", Jsonx.String w.W.name);
+                        ("jobs", Jsonx.Int jobs);
+                        ("wall_ms", Jsonx.Float (wall *. 1000.0));
+                        ("stall_ms", Jsonx.Float (s.Engine.main_stall_seconds *. 1000.0));
+                        ("async_installs", Jsonx.Int s.Engine.async_installs);
+                        ("stale_results", Jsonx.Int s.Engine.stale_results);
+                        ("verdicts_identical", Jsonx.Bool true);
+                      ]
+                    :: !json_rows;
+                  Printf.sprintf "%.0f / %.2f ms" (wall *. 1000.0)
+                    (s.Engine.main_stall_seconds *. 1000.0)))
+            job_counts
+        in
+        (w.W.name :: cells) @ [ "identical" ])
+      sample
+  in
+  Table.print
+    ~headers:
+      ("Benchmark"
+      :: List.map (fun j -> Printf.sprintf "jobs=%d wall/stall" j) job_counts
+      @ [ "verdicts" ])
+    rows;
+  emit "concurrency"
+    (Jsonx.Assoc
+       [
+         ("cores", Jsonx.Int (Domain.recommended_domain_count ()));
+         ("rows", Jsonx.List (List.rev !json_rows));
+       ])
+
 (* ---- Bechamel micro-benchmarks ---- *)
 
 let bechamel () =
@@ -802,6 +921,7 @@ let sections_in_order =
     ("telemetry", telemetry);
     ("ablation", ablation);
     ("overhead", overhead);
+    ("concurrency", concurrency);
     ("bechamel", bechamel);
   ]
 
@@ -812,6 +932,7 @@ let write_json path command timings =
         ("schema", Jsonx.String "jitbull-bench/1");
         ("command", Jsonx.String command);
         ("unix_time", Jsonx.Float (Unix.time ()));
+        ("host", Env_report.to_json ());
         ( "section_seconds",
           Jsonx.Assoc (List.map (fun (name, dt) -> (name, Jsonx.Float dt)) timings) );
         ("sections", Jsonx.Assoc !json_sections);

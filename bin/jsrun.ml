@@ -9,10 +9,14 @@
      jsrun --metrics[=FILE] ...         telemetry snapshot at exit
      jsrun --trace-file out.jsonl ...   structured event trace (JSON lines)
      jsrun --naive-comparator ...       fold over every DB entry (A/B reference)
-     jsrun --no-policy-cache ...        re-analyze DNA on every Ion compile *)
+     jsrun --no-policy-cache ...        re-analyze DNA on every Ion compile
+     jsrun --jobs N ...                 N helper domains for background Ion compiles
+     jsrun --sync-compile ...           force on-main-thread compilation (= --jobs 0)
+     jsrun --quiet / -v ...             verbosity control (errors only / info / -vv debug) *)
 
 open Cmdliner
 module Engine = Jitbull_jit.Engine
+module Compile_queue = Jitbull_jit.Compile_queue
 module Interp = Jitbull_interp.Interp
 module Realm = Jitbull_runtime.Realm
 module Errors = Jitbull_runtime.Errors
@@ -33,10 +37,17 @@ let read_file path =
   s
 
 (* A reporter is always installed so the engine's warnings and errors are
-   never silently dropped; --trace raises the level to Debug. *)
-let setup_logging trace =
+   never silently dropped. Default level Warning; --quiet drops to Error,
+   -v raises to Info, -vv (or the legacy --trace) to Debug. *)
+let setup_logging ~quiet ~verbose trace =
   Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level (Some (if trace then Logs.Debug else Logs.Warning))
+  let level =
+    if quiet then Logs.Error
+    else if trace || verbose >= 2 then Logs.Debug
+    else if verbose = 1 then Logs.Info
+    else Logs.Warning
+  in
+  Logs.set_level (Some level)
 
 let has_suffix suf s =
   let ls = String.length suf and l = String.length s in
@@ -69,8 +80,8 @@ let report_metrics obs dest =
   end
 
 let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace metrics
-    trace_file naive_comparator no_policy_cache =
-  setup_logging trace;
+    trace_file naive_comparator no_policy_cache jobs sync_compile quiet verbose =
+  setup_logging ~quiet ~verbose:(List.length verbose) trace;
   let source = read_file file in
   let vulns =
     List.map
@@ -94,7 +105,13 @@ let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace
         | None -> ());
         Some o
     in
+    let jobs =
+      if sync_compile then 0
+      else match jobs with Some n -> max 0 n | None -> Compile_queue.default_jobs ()
+    in
+    let pool = if jobs > 0 then Some (Compile_queue.create ~jobs ()) else None in
     let finish () =
+      (match pool with Some p -> Compile_queue.shutdown p | None -> ());
       (match metrics with
       | Some dest -> report_metrics obs dest
       | None -> ());
@@ -112,12 +129,13 @@ let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace
               let db = Db.load path in
               let comparator = if naive_comparator then `Naive else `Indexed in
               let c =
-                Jitbull.config ?obs ~comparator ~policy_cache:(not no_policy_cache) ~vulns db
+                Jitbull.config ?obs ?compile_pool:pool ~comparator
+                  ~policy_cache:(not no_policy_cache) ~vulns db
               in
               { c with Engine.jit_enabled = not no_jit; ion_threshold }
             | None ->
               { Engine.default_config with Engine.vulns; jit_enabled = not no_jit;
-                ion_threshold; obs }
+                ion_threshold; obs; compile_pool = pool }
           in
           let _, engine = Engine.run_source ~realm config source in
           if stats then begin
@@ -128,7 +146,13 @@ let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace
                Nr_JIT: %d  Nr_DisJIT: %d  Nr_NoJIT: %d\n\
                bailouts: %d  deopts: %d\n"
               s.Engine.baseline_compiles s.Engine.ion_compiles s.Engine.nr_jit
-              s.Engine.nr_disjit s.Engine.nr_nojit s.Engine.bailouts s.Engine.deopts
+              s.Engine.nr_disjit s.Engine.nr_nojit s.Engine.bailouts s.Engine.deopts;
+            if jobs > 0 then
+              Printf.eprintf
+                "compile jobs: %d\nasync installs: %d  stale results: %d\n\
+                 main-thread stall: %.6fs\n"
+                jobs s.Engine.async_installs s.Engine.stale_results
+                s.Engine.main_stall_seconds
           end;
           `Ok ()
         end)
@@ -201,12 +225,35 @@ let no_policy_cache =
            ~doc:"Disable the policy-decision cache: re-analyze the function DNA on every \
                  Ion compilation instead of reusing the cached verdict.")
 
+let jobs =
+  Arg.(value & opt (some int) None
+       & info [ "jobs" ] ~docv:"N"
+           ~doc:"Helper domains for background Ion compilation. 0 compiles \
+                 synchronously on the main thread. Defaults to the machine's \
+                 recommended domain count minus one, capped at 4.")
+
+let sync_compile =
+  Arg.(value & flag
+       & info [ "sync-compile" ]
+           ~doc:"Force on-main-thread Ion compilation (equivalent to --jobs 0); \
+                 overrides --jobs.")
+
+let quiet =
+  Arg.(value & flag
+       & info [ "quiet"; "q" ] ~doc:"Only log errors (suppresses warnings).")
+
+let verbose =
+  Arg.(value & flag_all
+       & info [ "v"; "verbose" ]
+           ~doc:"Increase log verbosity: -v logs tier-up and policy decisions \
+                 (info), -vv everything (debug). Repeatable.")
+
 let cmd =
   let doc = "run a mini-JS script on the JITBULL engine" in
   Cmd.v
     (Cmd.info "jsrun" ~doc)
     Term.(ret (const run $ file $ no_jit $ use_interp $ vuln_names $ db_path $ stats
                $ ion_threshold $ seed $ trace $ metrics $ trace_file $ naive_comparator
-               $ no_policy_cache))
+               $ no_policy_cache $ jobs $ sync_compile $ quiet $ verbose))
 
 let () = exit (Cmd.eval cmd)

@@ -1,5 +1,6 @@
 module Sexpr = Jitbull_util.Sexpr
 module Intern = Jitbull_util.Intern
+module Rwlock = Jitbull_util.Rwlock
 module Engine = Jitbull_jit.Engine
 
 type entry = {
@@ -17,6 +18,13 @@ type t = {
   mutable count : int;
   mutable fwd_cache : entry list option;
   mutable generation : int;
+  lock : Rwlock.t;
+      (** queries ([matching]/[entries]/…) run under the read side so
+          helper compile domains can consult the DB while [add] /
+          [remove_cve] — writers, rare by the paper's lifecycle — mutate
+          it exclusively. [generation] is read under the same lock, so a
+          policy-cache revalidation never observes a half-applied
+          mutation. *)
   postings : (Intern.id * bool * Intern.id, (int * int) list ref) Hashtbl.t;
       (** (pass, side, sub-chain) → (entry index, multiplicity) postings *)
   totals : (int * Intern.id * bool, int) Hashtbl.t;
@@ -30,23 +38,29 @@ let create () =
     count = 0;
     fwd_cache = None;
     generation = 0;
+    lock = Rwlock.create ();
     postings = Hashtbl.create 256;
     totals = Hashtbl.create 64;
   }
 
-let is_empty t = t.count = 0
+let is_empty t = Rwlock.with_read t.lock (fun () -> t.count = 0)
 
-let size t = t.count
+let size t = Rwlock.with_read t.lock (fun () -> t.count)
 
-let generation t = t.generation
+let generation t = Rwlock.with_read t.lock (fun () -> t.generation)
 
-let entries t =
+(* Memoizing under the read lock is a benign race: concurrent readers may
+   both build the list, but both values are equal and the single-word
+   store cannot tear. *)
+let entries_unlocked t =
   match t.fwd_cache with
   | Some l -> l
   | None ->
     let l = Array.to_list (Array.sub t.arr 0 t.count) in
     t.fwd_cache <- Some l;
     l
+
+let entries t = Rwlock.with_read t.lock (fun () -> entries_unlocked t)
 
 let index_entry t idx (e : entry) =
   List.iter
@@ -69,31 +83,35 @@ let index_entry t idx (e : entry) =
     e.dna.Dna.deltas
 
 let add t entry =
-  if t.count = Array.length t.arr then begin
-    let bigger = Array.make (2 * t.count) entry in
-    Array.blit t.arr 0 bigger 0 t.count;
-    t.arr <- bigger
-  end;
-  t.arr.(t.count) <- entry;
-  index_entry t t.count entry;
-  t.count <- t.count + 1;
-  t.fwd_cache <- None;
-  t.generation <- t.generation + 1
+  Rwlock.with_write t.lock (fun () ->
+      if t.count = Array.length t.arr then begin
+        let bigger = Array.make (2 * t.count) entry in
+        Array.blit t.arr 0 bigger 0 t.count;
+        t.arr <- bigger
+      end;
+      t.arr.(t.count) <- entry;
+      index_entry t t.count entry;
+      t.count <- t.count + 1;
+      t.fwd_cache <- None;
+      t.generation <- t.generation + 1)
 
 let remove_cve t cve =
-  let kept = List.filter (fun e -> not (String.equal e.cve cve)) (entries t) in
-  Hashtbl.reset t.postings;
-  Hashtbl.reset t.totals;
-  t.count <- 0;
-  t.fwd_cache <- None;
-  List.iter
-    (fun e ->
-      t.arr.(t.count) <- e;
-      index_entry t t.count e;
-      t.count <- t.count + 1)
-    kept;
-  t.fwd_cache <- Some kept;
-  t.generation <- t.generation + 1
+  Rwlock.with_write t.lock (fun () ->
+      let kept =
+        List.filter (fun e -> not (String.equal e.cve cve)) (entries_unlocked t)
+      in
+      Hashtbl.reset t.postings;
+      Hashtbl.reset t.totals;
+      t.count <- 0;
+      t.fwd_cache <- None;
+      List.iter
+        (fun e ->
+          t.arr.(t.count) <- e;
+          index_entry t t.count e;
+          t.count <- t.count + 1)
+        kept;
+      t.fwd_cache <- Some kept;
+      t.generation <- t.generation + 1)
 
 let cves t =
   let seen = Hashtbl.create 16 in
@@ -117,7 +135,7 @@ let naive_matching ?params ?obs t (dna : Dna.t) =
       match Comparator.matching_passes ?params ?obs dna e.dna with
       | [] -> None
       | passes -> Some (e.cve, passes))
-    (entries t)
+    (entries_unlocked t)
 
 (* Indexed query: walk the function's sub-chain keys through the postings
    and accumulate EqChains = Σ min(c, c') per (entry, pass, side) cell —
@@ -186,13 +204,14 @@ let indexed_matching ~params ?obs t (dna : Dna.t) =
 
 let matching ?(params = Comparator.default_params) ?obs t (dna : Dna.t) =
   let module Obs = Jitbull_obs.Obs in
-  if params.Comparator.thr < 1 then
-    (* Thr ≤ 0 lets key-disjoint (even empty) sides match, which the
-       overlap-driven index cannot see — use the exhaustive scan *)
-    naive_matching ~params ?obs t dna
-  else
-    Obs.time obs "comparator.indexed.seconds" (fun () ->
-        indexed_matching ~params ?obs t dna)
+  Rwlock.with_read t.lock (fun () ->
+      if params.Comparator.thr < 1 then
+        (* Thr ≤ 0 lets key-disjoint (even empty) sides match, which the
+           overlap-driven index cannot see — use the exhaustive scan *)
+        naive_matching ~params ?obs t dna
+      else
+        Obs.time obs "comparator.indexed.seconds" (fun () ->
+            indexed_matching ~params ?obs t dna))
 
 let harvest ?obs t ~cve ~vulns source =
   let module Obs = Jitbull_obs.Obs in

@@ -8,7 +8,14 @@
     most 2 overlapping in 2019).
 
     The on-disk format is a single s-expression file; see
-    [bin/jitbull_db] for the management CLI. *)
+    [bin/jitbull_db] for the management CLI.
+
+    The database is domain-safe: queries ({!matching}, {!entries},
+    {!generation}, …) take an internal reader lock while {!add} /
+    {!remove_cve} take the writer side, so helper compile domains can run
+    the go/no-go comparison concurrently with a DB update arriving on the
+    main thread. The engine treats a compile whose enqueue-time
+    {!generation} no longer matches as stale and re-analyzes. *)
 
 type entry = {
   cve : string;  (** e.g. "CVE-2019-17026" *)

@@ -10,9 +10,12 @@ type record = {
   verdict : [ `Allow | `Disable of string list | `Forbid ];
 }
 
-type monitor = { mutable records : record list }
+type monitor = {
+  mu : Mutex.t;
+  mutable records : record list;
+}
 
-let new_monitor () = { records = [] }
+let new_monitor () = { mu = Mutex.create (); records = [] }
 
 let verdict_name = function
   | `Allow -> "allow"
@@ -75,17 +78,20 @@ let analyzer ?params ?monitor ?obs ?(comparator = `Indexed) (db : Db.t) : Engine
   in
   (match monitor with
   | Some m ->
+    (* analyses run on helper compile domains in background mode *)
+    Mutex.lock m.mu;
     m.records <-
       { func_name = name; matched = !matched_ref; dangerous_passes = !dangerous_ref; verdict }
-      :: m.records
+      :: m.records;
+    Mutex.unlock m.mu
   | None -> ());
   match verdict with
   | `Allow -> Engine.Allow
   | `Disable passes -> Engine.Disable_passes passes
   | `Forbid -> Engine.Forbid_jit
 
-let config ?params ?monitor ?obs ?comparator ?(policy_cache = true) ~vulns (db : Db.t) :
-    Engine.config =
+let config ?params ?monitor ?obs ?comparator ?(policy_cache = true) ?compile_pool
+    ~vulns (db : Db.t) : Engine.config =
   let analyzer =
     if Db.is_empty db then None
     else Some (analyzer ?params ?monitor ?obs ?comparator db)
@@ -95,4 +101,4 @@ let config ?params ?monitor ?obs ?comparator ?(policy_cache = true) ~vulns (db :
       Some (Engine.Policy_cache.create ~generation:(fun () -> Db.generation db) ())
     else None
   in
-  { Engine.default_config with Engine.vulns; analyzer; obs; policy_cache }
+  { Engine.default_config with Engine.vulns; analyzer; obs; policy_cache; compile_pool }

@@ -21,6 +21,7 @@ type record = {
 }
 
 type monitor = {
+  mu : Mutex.t;  (** guards [records]: analyses may run on helper domains *)
   mutable records : record list;  (** newest first *)
 }
 
@@ -61,13 +62,18 @@ val analyzer :
     this configuration — skip DNA extraction and comparison; any
     [Db.add]/[Db.remove_cve] invalidates it. Pass [false] to analyze
     every Ion compile afresh (every compile then produces a monitor
-    record, which some tests rely on). *)
+    record, which some tests rely on).
+
+    [compile_pool] hands the engine a helper-domain pool for
+    off-main-thread Ion compilation (see
+    {!Jitbull_jit.Compile_queue}); the caller owns and shuts it down. *)
 val config :
   ?params:Comparator.params ->
   ?monitor:monitor ->
   ?obs:Jitbull_obs.Obs.t ->
   ?comparator:[ `Indexed | `Naive ] ->
   ?policy_cache:bool ->
+  ?compile_pool:Jitbull_jit.Compile_queue.t ->
   vulns:Jitbull_passes.Vuln_config.t ->
   Db.t ->
   Jitbull_jit.Engine.config

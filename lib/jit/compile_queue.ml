@@ -1,0 +1,175 @@
+type state =
+  | Pending
+  | Running
+  | Done
+  | Cancelled
+
+type job = { state : state Atomic.t }
+
+type t = {
+  n_workers : int;
+  capacity : int;
+  q : (job * (unit -> unit)) Queue.t;
+  mu : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  idle : Condition.t;
+  mutable running : int;
+  mutable stop : bool;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable cancelled : int;
+  mutable domains : unit Domain.t list;
+}
+
+let hard_cap = 8
+
+let default_jobs () = max 0 (min 4 (Domain.recommended_domain_count () - 1))
+
+let signal_idle_if_quiet t =
+  if Queue.is_empty t.q && t.running = 0 then Condition.broadcast t.idle
+
+let rec worker t =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.q && not t.stop do
+    Condition.wait t.not_empty t.mu
+  done;
+  if Queue.is_empty t.q then
+    (* stop requested and nothing left: exit. A stop with jobs still queued
+       drains them first, so [shutdown] never abandons accepted work. *)
+    Mutex.unlock t.mu
+  else begin
+    let job, work = Queue.pop t.q in
+    Condition.signal t.not_full;
+    if Atomic.compare_and_set job.state Pending Running then begin
+      t.running <- t.running + 1;
+      Mutex.unlock t.mu;
+      (* [work] is expected to catch its own exceptions and publish them
+         as results; a leak here must not kill the worker domain *)
+      (try work () with _ -> ());
+      Atomic.set job.state Done;
+      Mutex.lock t.mu;
+      t.running <- t.running - 1;
+      t.completed <- t.completed + 1;
+      signal_idle_if_quiet t;
+      Mutex.unlock t.mu
+    end
+    else begin
+      (* cancelled while queued: skip the work *)
+      signal_idle_if_quiet t;
+      Mutex.unlock t.mu
+    end;
+    worker t
+  end
+
+let create ?(capacity = 64) ~jobs () =
+  if jobs < 1 then invalid_arg "Compile_queue.create: jobs must be >= 1";
+  let t =
+    {
+      n_workers = min jobs hard_cap;
+      capacity = max 1 capacity;
+      q = Queue.create ();
+      mu = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      idle = Condition.create ();
+      running = 0;
+      stop = false;
+      submitted = 0;
+      completed = 0;
+      cancelled = 0;
+      domains = [];
+    }
+  in
+  t.domains <- List.init t.n_workers (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.n_workers
+
+let enqueue_locked t work =
+  let job = { state = Atomic.make Pending } in
+  Queue.push (job, work) t.q;
+  t.submitted <- t.submitted + 1;
+  Condition.signal t.not_empty;
+  job
+
+let submit t work =
+  Mutex.lock t.mu;
+  if t.stop then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Compile_queue.submit: queue is shut down"
+  end;
+  while Queue.length t.q >= t.capacity && not t.stop do
+    Condition.wait t.not_full t.mu
+  done;
+  let job = enqueue_locked t work in
+  Mutex.unlock t.mu;
+  job
+
+let try_submit t work =
+  Mutex.lock t.mu;
+  let r =
+    if t.stop || Queue.length t.q >= t.capacity then None
+    else Some (enqueue_locked t work)
+  in
+  Mutex.unlock t.mu;
+  r
+
+let cancel t job =
+  if Atomic.compare_and_set job.state Pending Cancelled then begin
+    Mutex.lock t.mu;
+    t.cancelled <- t.cancelled + 1;
+    (* a worker may be blocked on this job's slot; wake the idle waiters
+       in case the cancelled job was the only queued work *)
+    signal_idle_if_quiet t;
+    Mutex.unlock t.mu;
+    true
+  end
+  else false
+
+let job_state job = Atomic.get job.state
+
+let pending t =
+  Mutex.lock t.mu;
+  let n =
+    Queue.fold (fun acc (j, _) -> if Atomic.get j.state = Pending then acc + 1 else acc) 0 t.q
+  in
+  Mutex.unlock t.mu;
+  n
+
+let in_flight t =
+  Mutex.lock t.mu;
+  let n = t.running in
+  Mutex.unlock t.mu;
+  n
+
+let wait_idle t =
+  Mutex.lock t.mu;
+  (* cancelled jobs still occupy queue slots until a worker pops them, so
+     "quiet" is: no runnable queued job and no running worker *)
+  let runnable () =
+    Queue.fold (fun acc (j, _) -> acc || Atomic.get j.state = Pending) false t.q
+  in
+  while (runnable () || t.running > 0) && not t.stop do
+    Condition.wait t.idle t.mu
+  done;
+  Mutex.unlock t.mu
+
+let stats t =
+  Mutex.lock t.mu;
+  let s = (t.submitted, t.completed, t.cancelled) in
+  Mutex.unlock t.mu;
+  s
+
+let shutdown t =
+  Mutex.lock t.mu;
+  if not t.stop then begin
+    t.stop <- true;
+    Condition.broadcast t.not_empty;
+    Condition.broadcast t.not_full;
+    Condition.broadcast t.idle;
+    Mutex.unlock t.mu;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+  else Mutex.unlock t.mu

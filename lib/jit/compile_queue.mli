@@ -1,0 +1,68 @@
+(** A fixed pool of helper domains executing compile jobs off the main
+    thread, in the role of SpiderMonkey's Ion helper-thread pool: the
+    engine enqueues a closure capturing frozen compile inputs, keeps
+    running baseline code, and installs the published result at the next
+    function-entry safepoint.
+
+    The queue is bounded: {!submit} blocks the caller when full
+    (backpressure), {!try_submit} refuses instead so the engine can fall
+    back to a synchronous compile. Jobs are cancellable only while still
+    queued — once a worker claims a job it runs to completion and the
+    caller discards the stale result at install time.
+
+    Work closures must not raise: an escaping exception is swallowed (the
+    worker domain survives); publish failures as part of the result. *)
+
+type t
+
+type job
+
+type state =
+  | Pending  (** queued, not yet claimed by a worker *)
+  | Running
+  | Done
+  | Cancelled
+
+(** Helper domains to use by default: [recommended_domain_count - 1]
+    clamped to [0, 4]. 0 means "no pool" (synchronous compilation). *)
+val default_jobs : unit -> int
+
+(** [create ~jobs ()] spawns [jobs] (≥ 1, silently capped at 8) worker
+    domains sharing one FIFO queue of at most [capacity] (default 64)
+    queued jobs. Raises [Invalid_argument] when [jobs < 1] — callers
+    wanting synchronous compilation simply don't create a pool. *)
+val create : ?capacity:int -> jobs:int -> unit -> t
+
+(** Number of worker domains actually spawned. *)
+val jobs : t -> int
+
+(** [submit t work] enqueues [work]; blocks while the queue is full.
+    Raises [Invalid_argument] after {!shutdown}. *)
+val submit : t -> (unit -> unit) -> job
+
+(** Non-blocking variant: [None] when the queue is full or shut down. *)
+val try_submit : t -> (unit -> unit) -> job option
+
+(** [cancel t job] — true iff the job was still [Pending] and is now
+    [Cancelled] (its closure will never run). Racing a worker claiming
+    the job loses cleanly: the job runs and [cancel] returns false. *)
+val cancel : t -> job -> bool
+
+val job_state : job -> state
+
+(** Queued-and-runnable job count (excludes cancelled and claimed). *)
+val pending : t -> int
+
+(** Jobs currently executing on a worker domain. *)
+val in_flight : t -> int
+
+(** Blocks until no runnable job is queued and no job is executing. The
+    caller is expected to poll its own result mailbox afterwards. *)
+val wait_idle : t -> unit
+
+(** [(submitted, completed, cancelled)] lifetime totals. *)
+val stats : t -> int * int * int
+
+(** Stops accepting work, lets workers drain every still-runnable queued
+    job, and joins the worker domains. Idempotent. *)
+val shutdown : t -> unit

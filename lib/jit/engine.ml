@@ -3,6 +3,7 @@ module Realm = Jitbull_runtime.Realm
 module Heap = Jitbull_runtime.Heap
 module Vm = Jitbull_bytecode.Vm
 module Op = Jitbull_bytecode.Op
+module Feedback = Jitbull_bytecode.Feedback
 module Compiler = Jitbull_bytecode.Compiler
 module Parser = Jitbull_frontend.Parser
 module Builder = Jitbull_mir.Builder
@@ -14,6 +15,7 @@ module Lower = Jitbull_lir.Lower
 module Regalloc = Jitbull_lir.Regalloc
 module Executor = Jitbull_lir.Executor
 module Obs = Jitbull_obs.Obs
+module Clock = Jitbull_obs.Clock
 module Jsonx = Jitbull_obs.Jsonx
 
 let log_src = Logs.Src.create "jitbull.engine" ~doc:"JIT engine tier-up and policy events"
@@ -33,12 +35,16 @@ type analyzer =
    callees), invalidated wholesale whenever the [generation] closure — the
    DNA database's mutation counter — moves. A hit skips the snapshot
    trace, the Δ extraction and the DB comparison entirely; a Forbid hit
-   even skips the Ion compile. *)
+   even skips the Ion compile.
+
+   Lookups/stores come from helper compile domains as well as the main
+   thread, so every operation runs under the cache's mutex. *)
 module Policy_cache = struct
   type t = {
     table : (int, decision) Hashtbl.t;
     generation : unit -> int;
     max_entries : int;
+    mu : Mutex.t;
     mutable gen_seen : int;
     mutable hits : int;
     mutable misses : int;
@@ -50,11 +56,16 @@ module Policy_cache = struct
       table = Hashtbl.create 64;
       generation;
       max_entries;
+      mu = Mutex.create ();
       gen_seen = generation ();
       hits = 0;
       misses = 0;
       invalidations = 0;
     }
+
+  let locked t f =
+    Mutex.lock t.mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
   let revalidate t =
     let g = t.generation () in
@@ -65,24 +76,36 @@ module Policy_cache = struct
     end
 
   let lookup t key =
-    revalidate t;
-    match Hashtbl.find_opt t.table key with
-    | Some d ->
-      t.hits <- t.hits + 1;
-      Some d
-    | None ->
-      t.misses <- t.misses + 1;
-      None
+    locked t (fun () ->
+        revalidate t;
+        match Hashtbl.find_opt t.table key with
+        | Some d ->
+          t.hits <- t.hits + 1;
+          Some d
+        | None ->
+          t.misses <- t.misses + 1;
+          None)
 
-  let store t key decision =
-    revalidate t;
-    if Hashtbl.length t.table >= t.max_entries then Hashtbl.reset t.table;
-    Hashtbl.replace t.table key decision
+  (* [if_generation] makes the store conditional: a verdict computed
+     against DB generation [g] is dropped when the DB has moved on by
+     store time — without the check, a helper domain racing [Db.add]
+     could cache an old-DB verdict under the new generation and every
+     later compile of that function would reuse it. The comparison runs
+     under the mutex, so it cannot itself race [revalidate]. *)
+  let store ?if_generation t key decision =
+    locked t (fun () ->
+        revalidate t;
+        match if_generation with
+        | Some g when g <> t.gen_seen -> ()
+        | _ ->
+          if Hashtbl.length t.table >= t.max_entries then Hashtbl.reset t.table;
+          Hashtbl.replace t.table key decision)
 
-  let hits t = t.hits
-  let misses t = t.misses
-  let invalidations t = t.invalidations
-  let length t = Hashtbl.length t.table
+  let hits t = locked t (fun () -> t.hits)
+  let misses t = locked t (fun () -> t.misses)
+  let invalidations t = locked t (fun () -> t.invalidations)
+  let length t = locked t (fun () -> Hashtbl.length t.table)
+  let current_generation t = t.generation ()
 end
 
 type config = {
@@ -95,6 +118,7 @@ type config = {
   jit_enabled : bool;
   obs : Obs.t option;
   policy_cache : Policy_cache.t option;
+  compile_pool : Compile_queue.t option;
 }
 
 let default_config =
@@ -108,6 +132,7 @@ let default_config =
     jit_enabled = true;
     obs = None;
     policy_cache = None;
+    compile_pool = None;
   }
 
 type stats = {
@@ -119,6 +144,9 @@ type stats = {
   mutable bailouts : int;
   mutable deopts : int;
   mutable peephole_removed : int;  (* LIR instructions deleted post-regalloc *)
+  mutable async_installs : int;
+  mutable stale_results : int;
+  mutable main_stall_seconds : float;
 }
 
 type tier =
@@ -126,6 +154,23 @@ type tier =
   | Baseline
   | Ion
   | Blacklisted
+
+(* A compile that finished on a helper domain, waiting in the mailbox for
+   the main thread to install at the next function-entry safepoint. *)
+type async_result =
+  | A_install of {
+      decision : decision option;  (* [None] = no analyzer configured *)
+      lir : Lir.func option;  (* [None] when the verdict forbids JIT *)
+      traced : bool;  (* a snapshot-traced compile ran (cache miss) *)
+      peephole : int;
+    }
+  | A_error of exn
+
+type inflight = {
+  job : Compile_queue.job;
+  enq_gen : int;  (* DB generation at enqueue; moved = result is stale *)
+  enq_time : float;
+}
 
 type t = {
   vm : Vm.t;
@@ -137,6 +182,15 @@ type t = {
      in this set may be rebound at runtime, so it must not be inlined *)
   reassigned_globals : (string, unit) Hashtbl.t;
   mutable sentinel_installed : bool;
+  (* ---- background-compilation state ----
+     Helper domains push finished results into [results] and raise
+     [results_ready]; the main thread polls the flag at every function
+     entry (the safepoint) and installs. [async_inflight] is touched by
+     the main thread only. *)
+  results : (int * async_result) Queue.t;
+  results_mu : Mutex.t;
+  results_ready : bool Atomic.t;
+  async_inflight : (int, inflight) Hashtbl.t;
 }
 
 let compute_reassigned (program : Op.program) =
@@ -156,8 +210,26 @@ let vm t = t.vm
 let stats t = t.stats
 let realm t = t.vm.Vm.realm
 let obs t = t.config.obs
+let tier_of t idx = t.tiers.(idx)
 
 let func_field t idx = ("func", Jsonx.String t.vm.Vm.program.Op.funcs.(idx).Op.name)
+
+(* DB generation as seen through the policy cache; without a cache there
+   is no generation source and async results are never considered stale. *)
+let current_gen t =
+  match t.config.policy_cache with
+  | Some c -> Policy_cache.current_generation c
+  | None -> 0
+
+(* Main-thread time spent blocked on compilation: the whole compile in
+   synchronous mode, only the [drain] waits in background mode. *)
+let stalled t f =
+  let t0 = Clock.now () in
+  Fun.protect
+    ~finally:(fun () ->
+      t.stats.main_stall_seconds <-
+        t.stats.main_stall_seconds +. Float.max 0.0 (Clock.now () -. t0))
+    f
 
 (* ---- compilation ---- *)
 
@@ -182,53 +254,114 @@ let inline_resolver t ~caller_idx : string -> Jitbull_mir.Mir.t option =
       Some (Builder.build func ~feedback_row:t.vm.Vm.feedback.(idx))
     | _ -> None
 
-let compile_lir t idx ~optimize ~disabled =
-  let func = t.vm.Vm.program.Op.funcs.(idx) in
-  let feedback_row =
-    if optimize then t.vm.Vm.feedback.(idx)
-    else
-      (* the baseline tier does not speculate: like Baseline's inline
-         caches it handles every type dynamically, so it can never bail
-         out. Only Ion consumes type feedback. *)
-      Array.init
-        (Array.length t.vm.Vm.feedback.(idx))
-        (fun _ -> Jitbull_bytecode.Feedback.fresh_site ())
-  in
+(* Enqueue-time snapshot of the inline resolver: the callees it would
+   resolve, with their feedback rows deep-copied, so a helper domain
+   never reads live VM state. Mirrors [inline_resolver]'s conditions. *)
+let snapshot_resolver t ~caller_idx (func : Op.func) :
+    string -> Jitbull_mir.Mir.t option =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (function
+      | Op.Load_global name
+        when (not (Hashtbl.mem t.reassigned_globals name))
+             && not (Hashtbl.mem tbl name) -> (
+        match Hashtbl.find_opt t.vm.Vm.globals name with
+        | Some (Value.Function cidx) when cidx <> caller_idx ->
+          Hashtbl.add tbl name
+            ( t.vm.Vm.program.Op.funcs.(cidx),
+              Feedback.copy_row t.vm.Vm.feedback.(cidx) )
+        | _ -> ())
+      | _ -> ())
+    func.Op.code;
+  fun name ->
+    match Hashtbl.find_opt tbl name with
+    | Some (cf, row) -> Some (Builder.build cf ~feedback_row:row)
+    | None -> None
+
+(* The two optimizing compile bodies, parameterized over the feedback row
+   and resolver so they can run on a helper domain against frozen
+   enqueue-time snapshots. They mutate no engine state: the peephole
+   count is returned for the main thread to account. *)
+
+let compile_opt_with config (func : Op.func) ~feedback_row ~resolver ~disabled =
   let g = Builder.build func ~feedback_row in
-  (if optimize then
-     (* no snapshots: either no analyzer is installed (the paper's
-        zero-overhead empty-DB case) or this is the post-verdict
-        recompilation, which is not re-analyzed *)
-     Pipeline.run_quiet t.config.vulns ?obs:t.config.obs
-       ~inline_resolver:(inline_resolver t ~caller_idx:idx)
-       ~disabled ~verify:t.config.verify_passes g
-   else begin
-     (* baseline: only the mandatory structural passes, no optimization *)
-     let ctx = Jitbull_passes.Pass.make_ctx t.config.vulns in
-     let split = Jitbull_passes.Split_critical_edges.pass in
-     split.Jitbull_passes.Pass.run ctx g;
-     Jitbull_mir.Mir.renumber g
-   end);
+  Pipeline.run_quiet config.vulns ?obs:config.obs ~inline_resolver:resolver
+    ~disabled ~verify:config.verify_passes g;
   let lir = Lower.lower g in
   Regalloc.allocate lir;
-  t.stats.peephole_removed <- t.stats.peephole_removed + Jitbull_lir.Peephole.run lir;
-  lir
+  let removed = Jitbull_lir.Peephole.run lir in
+  (lir, removed)
+
+let compile_traced_with config (func : Op.func) ~feedback_row ~resolver ~disabled =
+  let g = Builder.build func ~feedback_row in
+  let trace =
+    Pipeline.run config.vulns ?obs:config.obs ~inline_resolver:resolver
+      ~disabled ~verify:config.verify_passes g
+  in
+  let lir = Lower.lower g in
+  Regalloc.allocate lir;
+  let removed = Jitbull_lir.Peephole.run lir in
+  (lir, trace, removed)
+
+let compile_lir t idx ~optimize ~disabled =
+  let func = t.vm.Vm.program.Op.funcs.(idx) in
+  if optimize then begin
+    (* no snapshots: either no analyzer is installed (the paper's
+       zero-overhead empty-DB case) or this is the post-verdict
+       recompilation, which is not re-analyzed *)
+    let lir, removed =
+      compile_opt_with t.config func ~feedback_row:t.vm.Vm.feedback.(idx)
+        ~resolver:(inline_resolver t ~caller_idx:idx)
+        ~disabled
+    in
+    t.stats.peephole_removed <- t.stats.peephole_removed + removed;
+    lir
+  end
+  else begin
+    (* the baseline tier does not speculate: like Baseline's inline caches
+       it handles every type dynamically, so it can never bail out. Only
+       Ion consumes type feedback. *)
+    let feedback_row =
+      Array.init
+        (Array.length t.vm.Vm.feedback.(idx))
+        (fun _ -> Feedback.fresh_site ())
+    in
+    let g = Builder.build func ~feedback_row in
+    (* baseline: only the mandatory structural passes, no optimization *)
+    let ctx = Jitbull_passes.Pass.make_ctx t.config.vulns in
+    let split = Jitbull_passes.Split_critical_edges.pass in
+    split.Jitbull_passes.Pass.run ctx g;
+    Jitbull_mir.Mir.renumber g;
+    let lir = Lower.lower g in
+    Regalloc.allocate lir;
+    t.stats.peephole_removed <- t.stats.peephole_removed + Jitbull_lir.Peephole.run lir;
+    lir
+  end
 
 (* The traced optimizing compile: builds MIR, runs the pipeline collecting
    snapshots, returns both. *)
 let compile_traced t idx ~disabled =
   let func = t.vm.Vm.program.Op.funcs.(idx) in
-  let feedback_row = t.vm.Vm.feedback.(idx) in
-  let g = Builder.build func ~feedback_row in
-  let trace =
-    Pipeline.run t.config.vulns ?obs:t.config.obs
-      ~inline_resolver:(inline_resolver t ~caller_idx:idx)
-      ~disabled ~verify:t.config.verify_passes g
+  let lir, trace, removed =
+    compile_traced_with t.config func ~feedback_row:t.vm.Vm.feedback.(idx)
+      ~resolver:(inline_resolver t ~caller_idx:idx)
+      ~disabled
   in
-  let lir = Lower.lower g in
-  Regalloc.allocate lir;
-  t.stats.peephole_removed <- t.stats.peephole_removed + Jitbull_lir.Peephole.run lir;
+  t.stats.peephole_removed <- t.stats.peephole_removed + removed;
   (lir, trace)
+
+(* Drop a queued-but-unclaimed compile job for [idx], if any. A job that
+   already started runs to completion; its result is discarded as stale
+   at the safepoint. Main thread only. *)
+let cancel_inflight t idx =
+  match t.config.compile_pool with
+  | None -> ()
+  | Some pool -> (
+    match Hashtbl.find_opt t.async_inflight idx with
+    | Some info when Compile_queue.cancel pool info.job ->
+      Hashtbl.remove t.async_inflight idx;
+      Obs.incr t.config.obs "compile.cancelled"
+    | _ -> ())
 
 let install t idx (lir : Lir.func) =
   let cb = executor_callbacks t in
@@ -248,6 +381,7 @@ let install t idx (lir : Lir.func) =
                      t.bailout_counts.(idx));
         t.vm.Vm.dispatch.(idx) <- None;
         t.tiers.(idx) <- Blacklisted;
+        cancel_inflight t idx;
         t.stats.deopts <- t.stats.deopts + 1;
         Obs.incr t.config.obs "engine.deopts";
         Obs.event t.config.obs "deopt"
@@ -312,6 +446,7 @@ let blacklist t idx reason =
   t.stats.nr_nojit <- t.stats.nr_nojit + 1;
   t.vm.Vm.dispatch.(idx) <- None;
   t.tiers.(idx) <- Blacklisted;
+  cancel_inflight t idx;
   Obs.incr t.config.obs "engine.blacklisted";
   Obs.event t.config.obs "blacklist"
     ~fields:[ func_field t idx; ("reason", Jsonx.String reason) ]
@@ -353,6 +488,7 @@ let ion_compile t idx =
       match cached with
       | Some d -> (d, None)
       | None ->
+        let g0 = current_gen t in
         let lir, trace =
           Obs.span obs
             ~fields:[ func_field t idx; ("traced", Jsonx.Bool true) ]
@@ -360,7 +496,9 @@ let ion_compile t idx =
             (fun () -> compile_traced t idx ~disabled:[])
         in
         let d = analyze ~func_index:idx ~name ~trace in
-        (match cache with Some c -> Policy_cache.store c key d | None -> ());
+        (match cache with
+        | Some c -> Policy_cache.store ~if_generation:g0 c key d
+        | None -> ());
         (d, Some lir)
     in
     match decision with
@@ -424,14 +562,284 @@ let baseline_compile t idx =
   t.tiers.(idx) <- Baseline;
   tier_up t idx "baseline"
 
+(* ---- background (off-main-thread) Ion compilation ---- *)
+
+(* Helper-domain side: push a finished compile into the mailbox and raise
+   the flag the safepoint polls. *)
+let publish t idx result =
+  Mutex.lock t.results_mu;
+  Queue.push (idx, result) t.results;
+  Mutex.unlock t.results_mu;
+  Atomic.set t.results_ready true
+
+let set_queue_depth t pool =
+  Obs.set_gauge t.config.obs "compile.queue_depth"
+    (float_of_int (Compile_queue.pending pool))
+
+(* Main-thread side: install one finished background compile, replicating
+   the synchronous [ion_compile] accounting exactly. A result is stale —
+   counted and dropped — when the function was blacklisted mid-compile or
+   the DNA DB generation moved since enqueue (the verdict may no longer
+   hold; the next invocation re-enqueues against the new generation). *)
+let apply_async t idx (info : inflight) result =
+  let obs = t.config.obs in
+  Obs.observe obs "compile.queued_seconds"
+    (Float.max 0.0 (Clock.now () -. info.enq_time));
+  let stale why =
+    t.stats.stale_results <- t.stats.stale_results + 1;
+    Obs.incr obs "engine.stale_results";
+    Obs.event obs "stale_result"
+      ~fields:[ func_field t idx; ("why", Jsonx.String why) ]
+  in
+  if t.tiers.(idx) = Blacklisted then stale "blacklisted"
+  else if info.enq_gen <> current_gen t then stale "generation_moved"
+  else
+    match result with
+    | A_error e -> raise e
+    | A_install { decision; lir; traced; peephole } -> (
+      t.stats.peephole_removed <- t.stats.peephole_removed + peephole;
+      t.stats.nr_jit <- t.stats.nr_jit + 1;
+      t.stats.ion_compiles <- t.stats.ion_compiles + 1;
+      let name = t.vm.Vm.program.Op.funcs.(idx).Op.name in
+      let install_ion lir =
+        install t idx lir;
+        t.tiers.(idx) <- Ion;
+        tier_up t idx "ion";
+        t.stats.async_installs <- t.stats.async_installs + 1;
+        Obs.incr obs "engine.async_installs"
+      in
+      match (decision, lir) with
+      | (None | Some Allow), Some lir -> install_ion lir
+      | Some (Disable_passes passes), Some lir ->
+        Log.info (fun m ->
+            m "JITBULL: recompiling %s without dangerous passes [%s]" name
+              (String.concat ", " passes));
+        if traced then begin
+          t.stats.ion_compiles <- t.stats.ion_compiles + 1;
+          Obs.incr obs "engine.recompiles"
+        end;
+        t.stats.nr_disjit <- t.stats.nr_disjit + 1;
+        install_ion lir
+      | Some (Disable_passes passes), None ->
+        Log.info (fun m ->
+            m "JITBULL: mandatory pass among [%s] matched — no JIT for %s"
+              (String.concat ", " passes) name);
+        blacklist t idx "mandatory_pass"
+      | Some Forbid_jit, _ ->
+        Log.info (fun m -> m "JITBULL: JIT forbidden for %s" name);
+        blacklist t idx "forbid_jit"
+      | (None | Some Allow), None -> assert false)
+
+(* The safepoint: called at every function entry (and from [drain]).
+   Clears the flag before draining so a publish racing the drain leaves
+   the flag set for the next poll. *)
+let poll t =
+  if Atomic.get t.results_ready then begin
+    Atomic.set t.results_ready false;
+    Mutex.lock t.results_mu;
+    let batch = ref [] in
+    while not (Queue.is_empty t.results) do
+      batch := Queue.pop t.results :: !batch
+    done;
+    Mutex.unlock t.results_mu;
+    List.iter
+      (fun (idx, result) ->
+        match Hashtbl.find_opt t.async_inflight idx with
+        | Some info ->
+          Hashtbl.remove t.async_inflight idx;
+          apply_async t idx info result
+        | None ->
+          (* the request was cancelled after the worker claimed it *)
+          t.stats.stale_results <- t.stats.stale_results + 1;
+          Obs.incr t.config.obs "engine.stale_results")
+      (List.rev !batch);
+    match t.config.compile_pool with
+    | Some pool -> set_queue_depth t pool
+    | None -> ()
+  end
+
+(* Enqueue an Ion compile for [idx] on the helper pool. Everything the
+   compile reads — the function's feedback row and the inline-resolver
+   closure over its callees — is snapshotted here, on the main thread;
+   the helper domain touches no live VM state. Cached Forbid/mandatory
+   verdicts apply immediately (nothing to compile); cached Allow/Disable
+   verdicts still compile, just without the snapshot trace. When the
+   queue is full the engine falls back to a synchronous compile rather
+   than dropping the tier-up. *)
+let enqueue_ion t pool idx =
+  ensure_sentinel t;
+  let obs = t.config.obs in
+  let func = t.vm.Vm.program.Op.funcs.(idx) in
+  let name = func.Op.name in
+  let config = t.config in
+  let submit work =
+    match Compile_queue.try_submit pool work with
+    | Some job ->
+      Hashtbl.replace t.async_inflight idx
+        { job; enq_gen = current_gen t; enq_time = Clock.now () };
+      Obs.incr obs "compile.enqueued";
+      set_queue_depth t pool
+    | None ->
+      Obs.incr obs "compile.queue_full";
+      stalled t (fun () -> ion_compile t idx)
+  in
+  match t.config.analyzer with
+  | None ->
+    let feedback_row = Feedback.copy_row t.vm.Vm.feedback.(idx) in
+    let resolver = snapshot_resolver t ~caller_idx:idx func in
+    submit (fun () ->
+        let result =
+          try
+            let lir, removed =
+              Obs.span obs
+                ~fields:[ ("func", Jsonx.String name); ("async", Jsonx.Bool true) ]
+                "compile_ion"
+                (fun () ->
+                  compile_opt_with config func ~feedback_row ~resolver ~disabled:[])
+            in
+            A_install { decision = None; lir = Some lir; traced = false; peephole = removed }
+          with e -> A_error e
+        in
+        publish t idx result)
+  | Some analyze -> (
+    let cache = t.config.policy_cache in
+    let key = match cache with Some _ -> policy_key t idx | None -> 0 in
+    let cached =
+      match cache with Some c -> Policy_cache.lookup c key | None -> None
+    in
+    (match (cache, cached) with
+    | Some _, Some _ ->
+      Obs.incr obs "policy.cache_hits";
+      Obs.event obs "policy_cache_hit" ~fields:[ func_field t idx ]
+    | Some _, None -> Obs.incr obs "policy.cache_misses"
+    | None, _ -> ());
+    match cached with
+    | Some Forbid_jit ->
+      t.stats.nr_jit <- t.stats.nr_jit + 1;
+      t.stats.ion_compiles <- t.stats.ion_compiles + 1;
+      Log.info (fun m -> m "JITBULL: JIT forbidden for %s" name);
+      blacklist t idx "forbid_jit"
+    | Some (Disable_passes passes)
+      when not (List.for_all Pipeline.can_disable passes) ->
+      t.stats.nr_jit <- t.stats.nr_jit + 1;
+      t.stats.ion_compiles <- t.stats.ion_compiles + 1;
+      Log.info (fun m ->
+          m "JITBULL: mandatory pass among [%s] matched — no JIT for %s"
+            (String.concat ", " passes) name);
+      blacklist t idx "mandatory_pass"
+    | cached ->
+      (* [None], or a cached Allow / disableable Disable_passes *)
+      let feedback_row = Feedback.copy_row t.vm.Vm.feedback.(idx) in
+      let resolver = snapshot_resolver t ~caller_idx:idx func in
+      let g0 = current_gen t in
+      submit (fun () ->
+          let result =
+            try
+              match cached with
+              | Some d ->
+                let disabled =
+                  match d with Disable_passes ps -> ps | _ -> []
+                in
+                let lir, removed =
+                  Obs.span obs
+                    ~fields:
+                      [
+                        ("func", Jsonx.String name);
+                        ("async", Jsonx.Bool true);
+                        ("cached_verdict", Jsonx.Bool true);
+                      ]
+                    "compile_ion"
+                    (fun () ->
+                      compile_opt_with config func ~feedback_row ~resolver ~disabled)
+                in
+                A_install
+                  { decision = Some d; lir = Some lir; traced = false; peephole = removed }
+              | None -> (
+                let lir, trace, removed =
+                  Obs.span obs
+                    ~fields:
+                      [
+                        ("func", Jsonx.String name);
+                        ("async", Jsonx.Bool true);
+                        ("traced", Jsonx.Bool true);
+                      ]
+                    "compile_ion"
+                    (fun () ->
+                      compile_traced_with config func ~feedback_row ~resolver
+                        ~disabled:[])
+                in
+                let d = analyze ~func_index:idx ~name ~trace in
+                (match cache with
+                | Some c -> Policy_cache.store ~if_generation:g0 c key d
+                | None -> ());
+                match d with
+                | Allow ->
+                  A_install
+                    { decision = Some d; lir = Some lir; traced = true; peephole = removed }
+                | Disable_passes passes when List.for_all Pipeline.can_disable passes ->
+                  let lir2, removed2 =
+                    Obs.span obs
+                      ~fields:
+                        [
+                          ("func", Jsonx.String name);
+                          ("async", Jsonx.Bool true);
+                          ( "disabled",
+                            Jsonx.List (List.map (fun p -> Jsonx.String p) passes) );
+                        ]
+                      "compile_ion"
+                      (fun () ->
+                        compile_opt_with config func ~feedback_row ~resolver
+                          ~disabled:passes)
+                  in
+                  A_install
+                    {
+                      decision = Some d;
+                      lir = Some lir2;
+                      traced = true;
+                      peephole = removed + removed2;
+                    }
+                | Disable_passes _ | Forbid_jit ->
+                  A_install
+                    { decision = Some d; lir = None; traced = true; peephole = removed })
+            with e -> A_error e
+          in
+          publish t idx result))
+
+(* Tier-up to Ion: synchronous without a pool; with a pool, make sure the
+   function stops interpreting (so its feedback row is frozen — the
+   baseline tier neither speculates nor collects feedback), then enqueue.
+   A function with a compile already in flight just keeps running
+   baseline code. *)
+let request_ion t idx =
+  match t.config.compile_pool with
+  | None -> stalled t (fun () -> ion_compile t idx)
+  | Some pool ->
+    if not (Hashtbl.mem t.async_inflight idx) then begin
+      if t.tiers.(idx) = Interpreted then baseline_compile t idx;
+      enqueue_ion t pool idx
+    end
+
+let drain t =
+  match t.config.compile_pool with
+  | None -> ()
+  | Some pool ->
+    if Hashtbl.length t.async_inflight > 0 then
+      stalled t (fun () ->
+          while Hashtbl.length t.async_inflight > 0 do
+            Compile_queue.wait_idle pool;
+            poll t
+          done)
+
 let on_invoke t (_vm : Vm.t) idx count =
   if t.config.jit_enabled then begin
+    (* safepoint: install any background compile that finished *)
+    poll t;
     match t.tiers.(idx) with
     | Blacklisted | Ion -> ()
     | Interpreted ->
-      if count >= t.config.ion_threshold then ion_compile t idx
+      if count >= t.config.ion_threshold then request_ion t idx
       else if count >= t.config.baseline_threshold then baseline_compile t idx
-    | Baseline -> if count >= t.config.ion_threshold then ion_compile t idx
+    | Baseline -> if count >= t.config.ion_threshold then request_ion t idx
   end
 
 let create ?realm config (program : Op.program) =
@@ -451,11 +859,18 @@ let create ?realm config (program : Op.program) =
           bailouts = 0;
           deopts = 0;
           peephole_removed = 0;
+          async_installs = 0;
+          stale_results = 0;
+          main_stall_seconds = 0.0;
         };
       tiers = Array.make n Interpreted;
       bailout_counts = Array.make n 0;
       reassigned_globals = compute_reassigned program;
       sentinel_installed = false;
+      results = Queue.create ();
+      results_mu = Mutex.create ();
+      results_ready = Atomic.make false;
+      async_inflight = Hashtbl.create 8;
     }
   in
   (match config.obs with
@@ -464,7 +879,10 @@ let create ?realm config (program : Op.program) =
   vm.Vm.on_invoke <- Some (fun vm idx count -> on_invoke t vm idx count);
   t
 
-let run t = Vm.run t.vm
+let run t =
+  let out = Vm.run t.vm in
+  drain t;
+  out
 
 let run_source ?realm config source =
   let program = Parser.parse source in

@@ -17,6 +17,13 @@
       [max_bailouts] (replay-from-entry deoptimization; see DESIGN.md for
       the fidelity note).
 
+    With a [compile_pool] configured, the Ion tier-up runs off the main
+    thread: the engine snapshots the compile inputs (feedback row, callee
+    closure), enqueues a job on the helper-domain pool, and keeps
+    executing baseline code; the finished [(code, verdict)] is installed
+    at the next function-entry safepoint. See DESIGN.md §9 for the
+    staleness rules and memory-model notes.
+
     The heap sentinel standing in for JIT code pointers is installed when
     the first function is JIT-compiled; the VM checks it on every transfer
     to compiled code. *)
@@ -47,17 +54,25 @@ type analyzer =
     extraction and the DB comparison (a [Forbid_jit] hit skips compilation
     entirely) and applies the cached verdict directly; the analyzer is not
     called, so no monitor record is produced for that compile.
-    [policy.cache_hits] / [policy.cache_misses] count effectiveness. *)
+    [policy.cache_hits] / [policy.cache_misses] count effectiveness.
+
+    All operations are domain-safe (internal mutex): helper compile
+    domains look up and store verdicts concurrently with the main
+    thread. *)
 module Policy_cache : sig
   type t
 
   val create : ?max_entries:int -> ?generation:(unit -> int) -> unit -> t
 
   (** [lookup]/[store] are exposed for tests and tools; the engine drives
-      them internally. Both revalidate against [generation] first. *)
+      them internally. Both revalidate against [generation] first.
+      [store ~if_generation:g] drops the verdict when the generation has
+      moved past [g] — helper domains pass the generation they computed
+      the verdict against, so a verdict racing [Db.add] is never cached
+      under the post-mutation generation. *)
   val lookup : t -> int -> decision option
 
-  val store : t -> int -> decision -> unit
+  val store : ?if_generation:int -> t -> int -> decision -> unit
   val hits : t -> int
   val misses : t -> int
 
@@ -65,6 +80,10 @@ module Policy_cache : sig
   val invalidations : t -> int
 
   val length : t -> int
+
+  (** The [generation] closure's current value (no lock; the closure is
+      expected to be domain-safe itself). *)
+  val current_generation : t -> int
 end
 
 type config = {
@@ -83,6 +102,14 @@ type config = {
   policy_cache : Policy_cache.t option;
       (** memoized go/no-go verdicts; [None] (default) analyzes every Ion
           compile afresh. Only consulted when [analyzer] is present. *)
+  compile_pool : Compile_queue.t option;
+      (** helper-domain pool for off-main-thread Ion compilation; [None]
+          (default) compiles synchronously at the tier-up site. The pool
+          is owned by the caller (shareable across engines) and must be
+          {!Compile_queue.shutdown} by it. Background mode also needs a
+          [policy_cache] with a DB-generation closure for results to be
+          invalidated by concurrent DB mutation — without one, finished
+          compiles are never considered stale. *)
 }
 
 val default_config : config
@@ -97,7 +124,21 @@ type stats = {
   mutable deopts : int;  (** functions blacklisted after repeated bailouts *)
   mutable peephole_removed : int;
       (** LIR instructions deleted by the post-allocation peephole *)
+  mutable async_installs : int;
+      (** background compiles installed at a safepoint *)
+  mutable stale_results : int;
+      (** background compiles discarded (function blacklisted or DB
+          generation moved mid-compile) *)
+  mutable main_stall_seconds : float;
+      (** main-thread time blocked on compilation: the whole Ion compile
+          in synchronous mode, only {!drain} waits in background mode *)
 }
+
+type tier =
+  | Interpreted
+  | Baseline
+  | Ion
+  | Blacklisted
 
 type t
 
@@ -111,8 +152,19 @@ val realm : t -> Jitbull_runtime.Realm.t
 
 val obs : t -> Jitbull_obs.Obs.t option
 
-(** [run t] executes the program's top level and returns everything
-    printed. *)
+(** Current tier of function [idx]. With a compile pool, a function stays
+    [Baseline] until its background compile is installed at a safepoint. *)
+val tier_of : t -> int -> tier
+
+(** [drain t] blocks until every in-flight background compile has been
+    published and applied (installed or discarded as stale). No-op
+    without a [compile_pool]. {!run} drains before returning; tests
+    driving {!Jitbull_bytecode.Vm.call_function} directly use this as a
+    barrier. *)
+val drain : t -> unit
+
+(** [run t] executes the program's top level, waits for in-flight
+    background compiles, and returns everything printed. *)
 val run : t -> string
 
 (** [run_source ?realm config source] — parse, compile, create, run;

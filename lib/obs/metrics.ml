@@ -1,6 +1,12 @@
+(* Thread-safety: counters are atomics (helper domains bump them during
+   background compiles, the VM dispatch loop bumps them on the main
+   thread); gauges are single-word stores, benign to race; histograms take
+   a per-histogram mutex around the multi-field update; the registry
+   itself takes one mutex around get-or-create and snapshot. *)
+
 type counter = {
   c_name : string;
-  mutable c_value : int;
+  c_value : int Atomic.t;
 }
 
 type gauge = {
@@ -10,6 +16,7 @@ type gauge = {
 
 type histogram = {
   h_name : string;
+  h_mu : Mutex.t;
   bounds : float array;  (* strictly increasing upper bounds *)
   buckets : int array;  (* length = Array.length bounds + 1 (+∞ bucket) *)
   mutable h_count : int;
@@ -19,33 +26,51 @@ type histogram = {
 }
 
 type t = {
+  mu : Mutex.t;
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
 }
 
+let locked mu f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+    Mutex.unlock mu;
+    v
+  | exception e ->
+    Mutex.unlock mu;
+    raise e
+
 let create () =
-  { counters = Hashtbl.create 32; gauges = Hashtbl.create 8; histograms = Hashtbl.create 32 }
+  {
+    mu = Mutex.create ();
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    histograms = Hashtbl.create 32;
+  }
 
 let counter t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some c -> c
-  | None ->
-    let c = { c_name = name; c_value = 0 } in
-    Hashtbl.replace t.counters name c;
-    c
+  locked t.mu (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some c -> c
+      | None ->
+        let c = { c_name = name; c_value = Atomic.make 0 } in
+        Hashtbl.replace t.counters name c;
+        c)
 
-let incr c = c.c_value <- c.c_value + 1
-let add c n = c.c_value <- c.c_value + n
-let counter_value c = c.c_value
+let incr c = Atomic.incr c.c_value
+let add c n = ignore (Atomic.fetch_and_add c.c_value n)
+let counter_value c = Atomic.get c.c_value
 
 let gauge t name =
-  match Hashtbl.find_opt t.gauges name with
-  | Some g -> g
-  | None ->
-    let g = { g_name = name; g_value = 0.0 } in
-    Hashtbl.replace t.gauges name g;
-    g
+  locked t.mu (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some g -> g
+      | None ->
+        let g = { g_name = name; g_value = 0.0 } in
+        Hashtbl.replace t.gauges name g;
+        g)
 
 let set g v = g.g_value <- v
 let gauge_value g = g.g_value
@@ -57,27 +82,29 @@ let default_latency_bounds =
   |]
 
 let histogram ?(bounds = default_latency_bounds) t name =
-  match Hashtbl.find_opt t.histograms name with
-  | Some h -> h
-  | None ->
-    let k = Array.length bounds in
-    for i = 1 to k - 1 do
-      if bounds.(i) <= bounds.(i - 1) then
-        invalid_arg (Printf.sprintf "Metrics.histogram %s: bounds not increasing" name)
-    done;
-    let h =
-      {
-        h_name = name;
-        bounds;
-        buckets = Array.make (k + 1) 0;
-        h_count = 0;
-        h_sum = 0.0;
-        h_min = infinity;
-        h_max = neg_infinity;
-      }
-    in
-    Hashtbl.replace t.histograms name h;
-    h
+  locked t.mu (fun () ->
+      match Hashtbl.find_opt t.histograms name with
+      | Some h -> h
+      | None ->
+        let k = Array.length bounds in
+        for i = 1 to k - 1 do
+          if bounds.(i) <= bounds.(i - 1) then
+            invalid_arg (Printf.sprintf "Metrics.histogram %s: bounds not increasing" name)
+        done;
+        let h =
+          {
+            h_name = name;
+            h_mu = Mutex.create ();
+            bounds;
+            buckets = Array.make (k + 1) 0;
+            h_count = 0;
+            h_sum = 0.0;
+            h_min = infinity;
+            h_max = neg_infinity;
+          }
+        in
+        Hashtbl.replace t.histograms name h;
+        h)
 
 let bucket_index bounds v =
   (* first bucket whose upper bound is >= v; binary search over the fixed
@@ -95,13 +122,14 @@ let bucket_index bounds v =
 
 let observe h v =
   let i = bucket_index h.bounds v in
-  h.buckets.(i) <- h.buckets.(i) + 1;
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v
+  locked h.h_mu (fun () ->
+      h.buckets.(i) <- h.buckets.(i) + 1;
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v)
 
-let quantile h q =
+let quantile_unlocked h q =
   if h.h_count = 0 then 0.0
   else begin
     let rank = q *. float_of_int h.h_count in
@@ -124,6 +152,8 @@ let quantile h q =
      with Exit -> ());
     Float.min h.h_max (Float.max h.h_min !result)
   end
+
+let quantile h q = locked h.h_mu (fun () -> quantile_unlocked h q)
 
 (* ---- snapshots ---- *)
 
@@ -148,38 +178,40 @@ type view = {
 let by_name (a, _) (b, _) = String.compare a b
 
 let snapshot t =
-  let counters =
-    Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) t.counters []
-    |> List.sort by_name
-  in
-  let gauges =
-    Hashtbl.fold (fun name g acc -> (name, g.g_value) :: acc) t.gauges []
-    |> List.sort by_name
-  in
-  let histograms =
-    Hashtbl.fold
-      (fun name h acc ->
-        let k = Array.length h.bounds in
-        let buckets =
-          List.init (k + 1) (fun i ->
-              ((if i < k then h.bounds.(i) else infinity), h.buckets.(i)))
-        in
-        {
-          hv_name = name;
-          hv_count = h.h_count;
-          hv_sum = h.h_sum;
-          hv_min = (if h.h_count = 0 then 0.0 else h.h_min);
-          hv_max = (if h.h_count = 0 then 0.0 else h.h_max);
-          hv_buckets = buckets;
-          hv_p50 = quantile h 0.5;
-          hv_p90 = quantile h 0.9;
-          hv_p99 = quantile h 0.99;
-        }
-        :: acc)
-      t.histograms []
-    |> List.sort (fun a b -> String.compare a.hv_name b.hv_name)
-  in
-  { v_counters = counters; v_gauges = gauges; v_histograms = histograms }
+  locked t.mu (fun () ->
+      let counters =
+        Hashtbl.fold (fun name c acc -> (name, Atomic.get c.c_value) :: acc) t.counters []
+        |> List.sort by_name
+      in
+      let gauges =
+        Hashtbl.fold (fun name g acc -> (name, g.g_value) :: acc) t.gauges []
+        |> List.sort by_name
+      in
+      let histograms =
+        Hashtbl.fold
+          (fun name h acc ->
+            locked h.h_mu (fun () ->
+                let k = Array.length h.bounds in
+                let buckets =
+                  List.init (k + 1) (fun i ->
+                      ((if i < k then h.bounds.(i) else infinity), h.buckets.(i)))
+                in
+                {
+                  hv_name = name;
+                  hv_count = h.h_count;
+                  hv_sum = h.h_sum;
+                  hv_min = (if h.h_count = 0 then 0.0 else h.h_min);
+                  hv_max = (if h.h_count = 0 then 0.0 else h.h_max);
+                  hv_buckets = buckets;
+                  hv_p50 = quantile_unlocked h 0.5;
+                  hv_p90 = quantile_unlocked h 0.9;
+                  hv_p99 = quantile_unlocked h 0.99;
+                })
+            :: acc)
+          t.histograms []
+        |> List.sort (fun a b -> String.compare a.hv_name b.hv_name)
+      in
+      { v_counters = counters; v_gauges = gauges; v_histograms = histograms })
 
 let find_counter view name = List.assoc_opt name view.v_counters
 

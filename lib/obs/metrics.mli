@@ -4,7 +4,13 @@
 
     Instruments hold direct references after a one-time name lookup
     ([counter]/[gauge]/[histogram] are get-or-create), so hot paths pay
-    one hash lookup at installation and a plain mutation per record. *)
+    one hash lookup at installation and a plain mutation per record.
+
+    The registry is domain-safe: counters are atomics, histograms update
+    under a per-histogram mutex, and get-or-create / {!snapshot} lock the
+    registry — helper compile domains record concurrently with the main
+    thread. Gauges are single-word stores (a racing [set] is
+    last-write-wins). *)
 
 type counter
 type gauge

@@ -12,6 +12,11 @@ type event = {
   fields : (string * Jsonx.t) list;
 }
 
+(* One mutex per tracer serializes ring writes and file-sink output;
+   helper compile domains record spans concurrently with the main thread.
+   [cur_depth] is a tracer-wide notion, so under concurrent recording the
+   reported depth of overlapping spans is approximate — durations and
+   ordering (seq) stay exact. *)
 type t = {
   capacity : int;
   ring : event option array;
@@ -19,11 +24,13 @@ type t = {
   mutable total : int;  (* events ever recorded; doubles as next seq *)
   mutable cur_depth : int;
   mutable chan : out_channel option;
+  mu : Mutex.t;
   clock : unit -> float;
   start : float;
 }
 
-let create ?(capacity = 4096) ?(clock = Unix.gettimeofday) () =
+let create ?(capacity = 4096) ?(clock : (unit -> float) option) () =
+  let clock = match clock with Some c -> c | None -> Clock.now in
   let capacity = max 1 capacity in
   {
     capacity;
@@ -32,6 +39,7 @@ let create ?(capacity = 4096) ?(clock = Unix.gettimeofday) () =
     total = 0;
     cur_depth = 0;
     chan = None;
+    mu = Mutex.create ();
     clock;
     start = clock ();
   }
@@ -40,8 +48,10 @@ let now t = t.clock () -. t.start
 let depth t = t.cur_depth
 
 let set_file_sink t path =
+  Mutex.lock t.mu;
   (match t.chan with Some oc -> close_out oc | None -> ());
-  t.chan <- Some (open_out path)
+  t.chan <- Some (open_out path);
+  Mutex.unlock t.mu
 
 let kind_to_string = function Span -> "span" | Point -> "event"
 
@@ -81,17 +91,20 @@ let event_of_json j =
 
 let record t ?ts ?depth ?(kind = Point) ?(dur = 0.0) ?(fields = []) name =
   let ts = match ts with Some x -> x | None -> now t in
+  Mutex.lock t.mu;
   let depth = match depth with Some d -> d | None -> t.cur_depth in
   let e = { seq = t.total; ts; kind; name; dur; depth; fields } in
   t.ring.(t.head) <- Some e;
   t.head <- (t.head + 1) mod t.capacity;
   t.total <- t.total + 1;
-  match t.chan with
+  let sink = t.chan in
+  (match sink with
   | Some oc ->
     output_string oc (Jsonx.to_string (event_to_json e));
     output_char oc '\n';
     flush oc
-  | None -> ()
+  | None -> ());
+  Mutex.unlock t.mu
 
 let event t ?fields name = record t ?fields name
 
@@ -115,18 +128,25 @@ let with_span t ?(fields = []) ?fields_of ?on_close name f =
     raise e
 
 let events t =
+  Mutex.lock t.mu;
   let n = min t.total t.capacity in
-  List.init n (fun i ->
-      let idx = (t.head - n + i + t.capacity) mod t.capacity in
-      match t.ring.(idx) with
-      | Some e -> e
-      | None -> assert false)
+  let evs =
+    List.init n (fun i ->
+        let idx = (t.head - n + i + t.capacity) mod t.capacity in
+        match t.ring.(idx) with
+        | Some e -> e
+        | None -> assert false)
+  in
+  Mutex.unlock t.mu;
+  evs
 
 let total_recorded t = t.total
 
 let close t =
-  match t.chan with
+  Mutex.lock t.mu;
+  (match t.chan with
   | Some oc ->
     close_out oc;
     t.chan <- None
-  | None -> ()
+  | None -> ());
+  Mutex.unlock t.mu

@@ -2,9 +2,16 @@
     bounded in-memory ring buffer (oldest events evicted) and optionally
     streamed as JSON lines to a file so a run can be replayed offline.
 
-    Timestamps come from the tracer's clock — monotonic for the purpose of
-    span durations ([Unix.gettimeofday] by default; injectable for tests)
-    — and are reported relative to tracer creation. *)
+    Timestamps come from the tracer's clock ({!Clock.now} by default, so
+    swapping the process-wide {!Clock} source — a manual clock in tests, a
+    monotonic one in production — retargets every tracer; an explicit
+    [clock] overrides it per tracer) and are reported relative to tracer
+    creation.
+
+    Recording is domain-safe: ring writes and the file sink are serialized
+    by an internal mutex. Span [depth] is a tracer-wide notion, so with
+    helper domains recording concurrently the depths of overlapping spans
+    are approximate; [seq], timestamps and durations stay exact. *)
 
 type kind =
   | Span  (** a closed timed region; [dur] is its length in seconds *)
@@ -23,7 +30,8 @@ type event = {
 type t
 
 (** [create ?capacity ?clock ()] — ring of at most [capacity] (default
-    4096, min 1) events. [clock] returns absolute seconds. *)
+    4096, min 1) events. [clock] returns absolute seconds; when omitted
+    the tracer reads the injectable {!Clock.now}. *)
 val create : ?capacity:int -> ?clock:(unit -> float) -> unit -> t
 
 (** Seconds elapsed since creation, per the tracer's clock. *)

@@ -15,7 +15,9 @@
 
     The table is global and append-only: ids are stable for the lifetime
     of the process, which is exactly the scope of the in-memory DNA
-    database (the on-disk format stays string-keyed). Not thread-safe. *)
+    database (the on-disk format stays string-keyed). Every entry point is
+    guarded by one internal mutex, so helper domains running background Δ
+    extraction may intern concurrently with the main thread. *)
 
 type id = int
 

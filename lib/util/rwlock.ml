@@ -1,0 +1,57 @@
+type t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable readers : int;
+  mutable writer : bool;
+}
+
+let create () =
+  { mu = Mutex.create (); cond = Condition.create (); readers = 0; writer = false }
+
+let read_lock t =
+  Mutex.lock t.mu;
+  while t.writer do
+    Condition.wait t.cond t.mu
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.mu
+
+let read_unlock t =
+  Mutex.lock t.mu;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then Condition.broadcast t.cond;
+  Mutex.unlock t.mu
+
+let write_lock t =
+  Mutex.lock t.mu;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.cond t.mu
+  done;
+  t.writer <- true;
+  Mutex.unlock t.mu
+
+let write_unlock t =
+  Mutex.lock t.mu;
+  t.writer <- false;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu
+
+let with_read t f =
+  read_lock t;
+  match f () with
+  | v ->
+    read_unlock t;
+    v
+  | exception e ->
+    read_unlock t;
+    raise e
+
+let with_write t f =
+  write_lock t;
+  match f () with
+  | v ->
+    write_unlock t;
+    v
+  | exception e ->
+    write_unlock t;
+    raise e

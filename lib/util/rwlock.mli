@@ -1,0 +1,23 @@
+(** A small many-readers / one-writer lock for structures that are read
+    from helper domains while the main thread occasionally mutates them
+    (the DNA database during background compilation).
+
+    Readers are admitted whenever no writer holds the lock, even while a
+    writer is waiting (reader preference). That choice makes nested read
+    acquisition from one thread safe — [entries] inside [matching] — at
+    the cost of theoretical writer starvation, which does not arise here:
+    writes are rare DB updates, reads are bounded queries. *)
+
+type t
+
+val create : unit -> t
+
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+
+(** Bracketed forms; the lock is released on exceptions. *)
+
+val with_read : t -> (unit -> 'a) -> 'a
+val with_write : t -> (unit -> 'a) -> 'a

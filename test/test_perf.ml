@@ -203,6 +203,309 @@ let test_engine_cache_integration () =
     (Engine.Policy_cache.invalidations pc > 0);
   check_bool "third run re-analyzes" true (Engine.Policy_cache.misses pc > misses1)
 
+(* ---- off-main-thread compilation ---- *)
+
+module CQ = Jitbull_jit.Compile_queue
+module Op = Jitbull_bytecode.Op
+module Value = Jitbull_runtime.Value
+module Clock = Jitbull_obs.Clock
+
+(* Helper-domain count for the async tests; CI runs the suite at 2 and
+   again at a second value via this variable. 0 is clamped to 1: these
+   tests exist to exercise the pool, and jobs=0 semantics (no pool at
+   all) are what every other test in the suite runs under. *)
+let test_jobs =
+  match Sys.getenv_opt "JITBULL_TEST_JOBS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 2)
+  | None -> 2
+
+let with_pool ?capacity f =
+  let pool = CQ.create ?capacity ~jobs:test_jobs () in
+  Fun.protect ~finally:(fun () -> CQ.shutdown pool) (fun () -> f pool)
+
+let test_queue_basic () =
+  with_pool (fun pool ->
+      check_bool "spawned some workers" true (CQ.jobs pool >= 1);
+      let hits = Atomic.make 0 in
+      let jobs =
+        List.init 20 (fun _ -> CQ.submit pool (fun () -> Atomic.incr hits))
+      in
+      CQ.wait_idle pool;
+      check_int "every job ran" 20 (Atomic.get hits);
+      check_bool "all jobs done" true
+        (List.for_all (fun j -> CQ.job_state j = CQ.Done) jobs);
+      let submitted, completed, cancelled = CQ.stats pool in
+      check_int "submitted" 20 submitted;
+      check_int "completed" 20 completed;
+      check_int "cancelled" 0 cancelled;
+      check_int "nothing pending" 0 (CQ.pending pool);
+      check_int "nothing in flight" 0 (CQ.in_flight pool));
+  (* a raising job must not kill its worker domain *)
+  with_pool (fun pool ->
+      ignore (CQ.submit pool (fun () -> failwith "worker must survive this"));
+      CQ.wait_idle pool;
+      let ran = Atomic.make false in
+      ignore (CQ.submit pool (fun () -> Atomic.set ran true));
+      CQ.wait_idle pool;
+      check_bool "worker survives a raising job" true (Atomic.get ran))
+
+(* Block every worker on a latch, so queued jobs stay queued and the
+   bounded queue's backpressure and cancellation are observable. *)
+let test_queue_backpressure_and_cancel () =
+  let pool = CQ.create ~capacity:2 ~jobs:test_jobs () in
+  Fun.protect
+    ~finally:(fun () -> CQ.shutdown pool)
+    (fun () ->
+      let n = CQ.jobs pool in
+      let gate = Atomic.make false in
+      let blocker () = while not (Atomic.get gate) do Domain.cpu_relax () done in
+      for _ = 1 to n do ignore (CQ.submit pool blocker) done;
+      while CQ.in_flight pool < n do Domain.cpu_relax () done;
+      (* workers busy: the next [capacity] jobs queue up, then the queue
+         refuses *)
+      let ran = Atomic.make 0 in
+      let q1 = CQ.submit pool (fun () -> Atomic.incr ran) in
+      let q2 = CQ.submit pool (fun () -> Atomic.incr ran) in
+      check_int "both queued" 2 (CQ.pending pool);
+      check_bool "queue full refuses" true
+        (CQ.try_submit pool (fun () -> Atomic.incr ran) = None);
+      check_bool "pending job cancels" true (CQ.cancel pool q1);
+      check_bool "cancelled state sticks" true (CQ.job_state q1 = CQ.Cancelled);
+      check_bool "second cancel is a no-op" false (CQ.cancel pool q1);
+      check_int "cancelled job leaves the runnable count" 1 (CQ.pending pool);
+      Atomic.set gate true;
+      CQ.wait_idle pool;
+      check_int "cancelled closure never ran" 1 (Atomic.get ran);
+      check_bool "survivor completed" true (CQ.job_state q2 = CQ.Done);
+      let _, _, cancelled = CQ.stats pool in
+      check_int "cancellation counted" 1 cancelled)
+
+let test_queue_shutdown_drains () =
+  let pool = CQ.create ~jobs:test_jobs () in
+  let hits = Atomic.make 0 in
+  for _ = 1 to 30 do ignore (CQ.submit pool (fun () -> Atomic.incr hits)) done;
+  CQ.shutdown pool;
+  check_int "shutdown drains queued jobs" 30 (Atomic.get hits);
+  check_bool "submit after shutdown refuses" true
+    (CQ.try_submit pool (fun () -> ()) = None);
+  CQ.shutdown pool (* idempotent *)
+
+(* -- async engine == sync engine -- *)
+
+let func_idx eng name =
+  let funcs = (Engine.vm eng).Vm.program.Op.funcs in
+  let rec go i =
+    if i >= Array.length funcs then Alcotest.fail ("no function " ^ name)
+    else if String.equal funcs.(i).Op.name name then i
+    else go (i + 1)
+  in
+  go 0
+
+let num n = Value.Number (float_of_int n)
+let call eng idx args = Value.to_display (Vm.call_function (Engine.vm eng) idx args)
+
+let fresh_config ?compile_pool ~max_bailouts tag =
+  let db = Db.create () in
+  Db.add db (synthetic_entry ("CVE-ASYNC-" ^ tag));
+  let cfg = Jitbull.config ?compile_pool ~vulns:VC.none db in
+  (db, { cfg with Engine.baseline_threshold = 2; ion_threshold = 4; max_bailouts })
+
+let async_src =
+  "function add(a, b) { return a + b; } \
+   function tri(x) { var t = 0; for (var i = 0; i < x; i++) { t = t + i; } return t; } \
+   function at(i) { var a = [7, 8, 9]; return a[i]; }"
+
+let make_engine config = Engine.create config (Compiler.compile (Parser.parse async_src))
+
+(* Drive the same call sequence through a synchronous and a background
+   engine, draining the pool after every call so installation points are
+   deterministic; every return value, every final tier and the policy
+   accounting must agree. (The only scheduling freedom left is that the
+   threshold-crossing call itself runs baseline in async mode while sync
+   mode already runs the fresh Ion code — invisible here because these
+   calls don't bail out.) *)
+let test_async_equals_sync () =
+  with_pool (fun pool ->
+      let _, sync_cfg = fresh_config ~max_bailouts:8 "S" in
+      let _, async_cfg = fresh_config ~compile_pool:pool ~max_bailouts:8 "A" in
+      let se = make_engine sync_cfg and ae = make_engine async_cfg in
+      let drive eng =
+        let add = func_idx eng "add" and tri = func_idx eng "tri" in
+        List.concat_map
+          (fun i ->
+            let r1 = call eng add [ num i; num (i + 1) ] in
+            let r2 = call eng tri [ num (i mod 5) ] in
+            Engine.drain eng;
+            [ r1; r2 ])
+          (List.init 10 Fun.id)
+      in
+      let sync_out = drive se and async_out = drive ae in
+      check_bool "every call agrees" true (List.equal String.equal sync_out async_out);
+      List.iter
+        (fun name ->
+          check_bool ("final tier agrees for " ^ name) true
+            (Engine.tier_of se (func_idx se name) = Engine.tier_of ae (func_idx ae name)))
+        [ "add"; "tri"; "at" ];
+      let ss = Engine.stats se and sa = Engine.stats ae in
+      check_int "Nr_JIT agrees" ss.Engine.nr_jit sa.Engine.nr_jit;
+      check_int "Nr_DisJIT agrees" ss.Engine.nr_disjit sa.Engine.nr_disjit;
+      check_int "Nr_NoJIT agrees" ss.Engine.nr_nojit sa.Engine.nr_nojit;
+      check_int "ion compiles agree" ss.Engine.ion_compiles sa.Engine.ion_compiles;
+      check_bool "installs went through the safepoint" true
+        (sa.Engine.async_installs >= 2);
+      check_int "nothing was stale" 0 sa.Engine.stale_results)
+
+(* A mid-compile [Db.add] moves the DB generation: the finished result
+   must be discarded (stale), the verdict computed against the old DB
+   must not be cached under the new generation, and the next invocation
+   re-enqueues and installs cleanly. *)
+let test_async_stale_result () =
+  with_pool (fun pool ->
+      let db, cfg = fresh_config ~compile_pool:pool ~max_bailouts:8 "STALE" in
+      let pc = Option.get cfg.Engine.policy_cache in
+      let eng = make_engine cfg in
+      let tri = func_idx eng "tri" in
+      for i = 1 to 4 do ignore (call eng tri [ num i ]) done;
+      (* the 4th call crossed ion_threshold: a compile is now in flight
+         against the current generation — invalidate it *)
+      Db.add db (synthetic_entry "CVE-ASYNC-STALE-2");
+      Engine.drain eng;
+      let s = Engine.stats eng in
+      check_int "result discarded as stale" 1 s.Engine.stale_results;
+      check_int "nothing installed" 0 s.Engine.async_installs;
+      check_bool "function still baseline" true (Engine.tier_of eng tri = Engine.Baseline);
+      check_string "semantics preserved across the discard" "10"
+        (call eng tri [ num 5 ]);
+      Engine.drain eng;
+      check_bool "re-enqueued compile installs" true (Engine.tier_of eng tri = Engine.Ion);
+      let s = Engine.stats eng in
+      check_int "one install after the retry" 1 s.Engine.async_installs;
+      check_bool "both compiles re-analyzed (no cache hit)" true
+        (Engine.Policy_cache.hits pc = 0 && Engine.Policy_cache.misses pc >= 2))
+
+(* Forced bailouts while compiles are in flight: out-of-bounds reads bail
+   Ion code back to the interpreter until the function is blacklisted;
+   values and the final tier must match the synchronous engine. *)
+let test_async_bailout_blacklist () =
+  with_pool (fun pool ->
+      let _, sync_cfg = fresh_config ~max_bailouts:3 "BS" in
+      let _, async_cfg = fresh_config ~compile_pool:pool ~max_bailouts:3 "BA" in
+      let se = make_engine sync_cfg and ae = make_engine async_cfg in
+      let drive eng =
+        let at = func_idx eng "at" in
+        List.init 16 (fun i ->
+            let r = call eng at [ num (if i mod 2 = 0 then 1 else 5) ] in
+            Engine.drain eng;
+            r)
+      in
+      let sync_out = drive se and async_out = drive ae in
+      check_bool "bailing calls agree" true (List.equal String.equal sync_out async_out);
+      check_bool "sync run blacklists" true
+        (Engine.tier_of se (func_idx se "at") = Engine.Blacklisted);
+      check_bool "async run blacklists too" true
+        (Engine.tier_of ae (func_idx ae "at") = Engine.Blacklisted);
+      check_bool "async saw bailouts" true ((Engine.stats ae).Engine.bailouts > 0))
+
+(* -- QCheck stress: random interleavings of hot calls, forced bailouts
+   and DB mutations -- *)
+
+type stress_op = Call of int * int | Db_add | Drain
+
+let stress_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (10, map2 (fun f n -> Call (f, n)) (int_range 0 2) (int_range 0 6));
+        (1, return Db_add);
+        (2, return Drain);
+      ])
+
+let stress_gen = QCheck.Gen.list_size (QCheck.Gen.int_range 8 60) stress_op_gen
+
+let show_stress ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Call (f, n) -> Printf.sprintf "call(%d,%d)" f n
+         | Db_add -> "db_add"
+         | Drain -> "drain")
+       ops)
+
+let qcheck_async_stress =
+  QCheck.Test.make ~count:20 ~name:"async final state equals the synchronous run"
+    (QCheck.make ~print:show_stress stress_gen)
+    (fun ops ->
+      with_pool (fun pool ->
+          let sync_dbt, sync_cfg = fresh_config ~max_bailouts:3 "QS" in
+          let async_dbt, async_cfg = fresh_config ~compile_pool:pool ~max_bailouts:3 "QA" in
+          let se = make_engine sync_cfg and ae = make_engine async_cfg in
+          let sync_db = ref 0 and async_db = ref 0 in
+          let apply eng db_src db_count op =
+            match op with
+            | Call (f, n) ->
+              let idx = func_idx eng [| "add"; "tri"; "at" |].(f) in
+              let args = if f = 0 then [ num n; num n ] else [ num n ] in
+              let r = call eng idx args in
+              (* drain after every call: installation points line up with
+                 the synchronous engine's, leaving only the one-call lag *)
+              Engine.drain eng;
+              Some r
+            | Db_add ->
+              incr db_count;
+              Db.add db_src (synthetic_entry (Printf.sprintf "CVE-STRESS-%d" !db_count));
+              None
+            | Drain ->
+              Engine.drain eng;
+              None
+          in
+          let sync_out = List.filter_map (apply se sync_dbt sync_db) ops in
+          let async_out = List.filter_map (apply ae async_dbt async_db) ops in
+          if not (List.equal String.equal sync_out async_out) then false
+          else begin
+            (* settle: identical extra calls until the tier lattice
+               converges — the threshold-crossing call itself runs one
+               tier behind in async mode, so bailout counts can trail by
+               one; repeated bailing calls push both runs over
+               max_bailouts *)
+            let converged () =
+              List.for_all
+                (fun name ->
+                  Engine.tier_of se (func_idx se name)
+                  = Engine.tier_of ae (func_idx ae name))
+                [ "add"; "tri"; "at" ]
+            in
+            let rounds = ref 0 in
+            while (not (converged ())) && !rounds < 12 do
+              incr rounds;
+              List.iter
+                (fun eng ->
+                  ignore (call eng (func_idx eng "add") [ num 1; num 2 ]);
+                  ignore (call eng (func_idx eng "tri") [ num 3 ]);
+                  ignore (call eng (func_idx eng "at") [ num 5 ]);
+                  Engine.drain eng)
+                [ se; ae ]
+            done;
+            converged ()
+          end))
+
+(* -- deterministic durations via the injectable clock -- *)
+
+let test_clock_manual_determinism () =
+  let src, advance = Clock.manual ~start:100.0 () in
+  Clock.with_source src (fun () ->
+      let t0 = Clock.now () in
+      advance 2.5;
+      check_bool "manual clock advances exactly" true (Clock.now () -. t0 = 2.5));
+  check_bool "with_source restores the previous source" true
+    (Clock.source () != src);
+  (* a frozen clock makes every engine duration exactly zero — proof that
+     stall accounting reads Clock.now, not the wall clock *)
+  let frozen, _ = Clock.manual () in
+  Clock.with_source frozen (fun () ->
+      let _, eng = Engine.run_source jit_config hot_src in
+      check_bool "frozen clock, zero stall" true
+        ((Engine.stats eng).Engine.main_stall_seconds = 0.0))
+
 let test_no_policy_cache_config () =
   let db = Db.create () in
   Db.add db (synthetic_entry "CVE-SYN-3");
@@ -222,4 +525,15 @@ let suite =
       Alcotest.test_case "policy cache lookup/store/invalidate" `Quick test_policy_cache_unit;
       Alcotest.test_case "policy cache across engine runs" `Quick test_engine_cache_integration;
       Alcotest.test_case "policy cache opt-out" `Quick test_no_policy_cache_config;
+      Alcotest.test_case "compile queue basics" `Quick test_queue_basic;
+      Alcotest.test_case "compile queue backpressure + cancel" `Quick
+        test_queue_backpressure_and_cancel;
+      Alcotest.test_case "compile queue shutdown drains" `Quick test_queue_shutdown_drains;
+      Alcotest.test_case "async engine == sync engine" `Quick test_async_equals_sync;
+      Alcotest.test_case "mid-compile Db.add discards the result" `Quick
+        test_async_stale_result;
+      Alcotest.test_case "async bailouts blacklist like sync" `Quick
+        test_async_bailout_blacklist;
+      qtest qcheck_async_stress;
+      Alcotest.test_case "manual clock determinism" `Quick test_clock_manual_determinism;
     ] )
