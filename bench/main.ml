@@ -15,6 +15,7 @@
      bench/main.exe fig6         scalability (#1..#8 VDCs)
      bench/main.exe fuzz         fuzzer-to-database pipeline (paper §IV-A)
      bench/main.exe telemetry    pipeline pass percentiles + comparator throughput
+     bench/main.exe telemetry --audit   also audit-trail throughput and verdict mix
      bench/main.exe ablation     Thr/Ratio/n-gram parameter sweep (beyond the paper)
      bench/main.exe overhead     decision cost vs DB size: indexed vs naive + policy cache
      bench/main.exe concurrency  off-main-thread Ion compilation (jobs=0/1/2/4)
@@ -38,6 +39,7 @@ module Intern = Jitbull_util.Intern
 module Delta = Jitbull_core.Delta
 module Interp = Jitbull_interp.Interp
 module Obs = Jitbull_obs.Obs
+module Audit = Jitbull_obs.Audit
 module Metrics = Jitbull_obs.Metrics
 module Report = Jitbull_obs.Report
 module Jsonx = Jitbull_obs.Jsonx
@@ -48,6 +50,11 @@ module Clock = Jitbull_obs.Clock
 let json_sections : (string * Jsonx.t) list ref = ref []
 
 let emit name payload = json_sections := !json_sections @ [ (name, payload) ]
+
+(* --audit: the telemetry section additionally measures the go/no-go
+   audit trail (append throughput, bytes/record, engine-integrated
+   verdict mix). *)
+let audit_mode = ref false
 
 let stats_json (s : Engine.stats) =
   Jsonx.Assoc
@@ -435,7 +442,7 @@ let ablation () =
   section "Ablation: Δ-comparator threshold / ratio / sub-chain size";
   (* harvest + analyze with explicit parameters *)
   let harvest_with ~n db ~cve ~vulns source =
-    let analyzer ~func_index:_ ~name:_ ~trace =
+    let analyzer ~ctx:_ ~func_index:_ ~name:_ ~trace =
       let dna = Dna.extract ~n trace in
       if Dna.nonempty_passes dna <> [] then Db.add db { Db.cve; dna };
       Engine.Allow
@@ -445,7 +452,7 @@ let ablation () =
   in
   let analyzer_with ~n ~params db counters =
     let jit_count, dis_count = counters in
-   fun ~func_index:_ ~name:_ ~trace ->
+   fun ~ctx:_ ~func_index:_ ~name:_ ~trace ->
     incr jit_count;
     let dna = Dna.extract ~n trace in
     let matched =
@@ -536,6 +543,101 @@ let ablation () =
 
 (* ---- Telemetry: the observability layer measuring itself ---- *)
 
+(* --audit mode: what does the audit trail itself cost? A synthetic
+   append microbench (records/sec through the mutexed ring) and the
+   JSONL footprint (bytes/record), plus the verdict mix the workload
+   run above actually produced. *)
+let telemetry_audit obs =
+  Printf.printf "\n-- audit trail (--audit) --\n";
+  let au = Obs.audit obs in
+  let verdict_counts records =
+    List.fold_left
+      (fun (a, d, f) (r : Audit.record) ->
+        match r.Audit.verdict with
+        | Audit.Allow -> (a + 1, d, f)
+        | Audit.Disable _ -> (a, d + 1, f)
+        | Audit.Forbid -> (a, d, f + 1))
+      (0, 0, 0) records
+  in
+  let engine_json =
+    let records = Audit.records au in
+    let allow, disable, forbid = verdict_counts records in
+    let cache_hits =
+      List.length
+        (List.filter (fun r -> r.Audit.source = Audit.Cache_hit) records)
+    in
+    Printf.printf
+      "workload run: %d decisions audited (allow %d / disable %d / forbid %d), %d cache hits\n"
+      (Audit.total au) allow disable forbid cache_hits;
+    Jsonx.Assoc
+      [
+        ("records_total", Jsonx.Int (Audit.total au));
+        ("allow", Jsonx.Int allow);
+        ("disable", Jsonx.Int disable);
+        ("forbid", Jsonx.Int forbid);
+        ("cache_hits", Jsonx.Int cache_hits);
+      ]
+  in
+  (* Synthetic append throughput: a fresh ring, records shaped like a
+     real disable verdict (one CVE, one matched pass). *)
+  let n = 100_000 in
+  let fresh = Audit.create () in
+  let append i =
+    ignore
+      (Audit.append fresh ~func_name:(Printf.sprintf "f%d" (i land 15))
+         ~func_index:(i land 15) ~bytecode_hash:(i * 2654435761)
+         ~feedback_hash:(i * 40503)
+         ~verdict:(Audit.Disable [ "gvn" ])
+         ~matches:
+           [
+             {
+               Audit.cm_cve = "CVE-2019-17026";
+               cm_passes =
+                 [
+                   {
+                     Audit.pm_pass = "gvn";
+                     pm_side = "removed";
+                     pm_eq_chains = 3;
+                     pm_max_eq_chains = 6;
+                   };
+                 ];
+             };
+           ]
+         ~thr:2 ~ratio:0.5 ~prefilter_candidates:8 ~prefilter_hits:1
+         ~db_generation:4 ~db_size:8 ~source:Audit.Fresh ~duration:1e-5 ())
+  in
+  let (), dt =
+    time (fun () ->
+        for i = 0 to n - 1 do
+          append i
+        done)
+  in
+  let rate = float_of_int n /. dt in
+  let bytes =
+    let sample = Audit.last fresh 64 in
+    let total =
+      List.fold_left
+        (fun acc r ->
+          (* +1: the newline each JSONL sink line costs on disk *)
+          acc + String.length (Jsonx.to_string (Audit.record_to_json r)) + 1)
+        0 sample
+    in
+    float_of_int total /. float_of_int (max 1 (List.length sample))
+  in
+  Printf.printf
+    "append microbench: %d records in %.2f ms — %.0f records/s, %.1f ns/record\n"
+    n (dt *. 1000.0) rate (dt /. float_of_int n *. 1e9);
+  Printf.printf "JSONL footprint: %.0f bytes/record\n" bytes;
+  emit "telemetry.audit"
+    (Jsonx.Assoc
+       [
+         ("engine", engine_json);
+         ("bench_records", Jsonx.Int n);
+         ("seconds", Jsonx.Float dt);
+         ("records_per_sec", Jsonx.Float rate);
+         ("bytes_per_record", Jsonx.Float bytes);
+       ])
+
 let telemetry () =
   section "Telemetry: pipeline pass percentiles and comparator throughput (#4 VDC DB)";
   Printf.printf
@@ -576,7 +678,8 @@ let telemetry () =
   Printf.printf "trace events recorded: %d (ring keeps the newest %d)\n"
     (Jitbull_obs.Tracer.total_recorded (Obs.tracer obs))
     (List.length (Jitbull_obs.Tracer.events (Obs.tracer obs)));
-  emit "telemetry" (Metrics.view_to_json view)
+  emit "telemetry" (Metrics.view_to_json view);
+  if !audit_mode then telemetry_audit obs
 
 (* ---- Overhead: go/no-go query cost vs database size ----
 
@@ -950,12 +1053,15 @@ let () =
     | "--json" :: [] ->
       Printf.eprintf "--json requires an output path\n";
       exit 1
+    | "--audit" :: rest ->
+      audit_mode := true;
+      split cmds json rest
     | a :: rest -> split (a :: cmds) json rest
     | [] -> (List.rev cmds, json)
   in
   let cmds, json_path = split [] None (List.tl (Array.to_list Sys.argv)) in
   let command = match cmds with [] -> "all" | [ c ] -> c | _ ->
-    Printf.eprintf "usage: bench/main.exe [SECTION] [--json OUT]\n";
+    Printf.eprintf "usage: bench/main.exe [SECTION] [--json OUT] [--audit]\n";
     exit 1
   in
   let chosen =

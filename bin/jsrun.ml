@@ -12,6 +12,9 @@
      jsrun --no-policy-cache ...        re-analyze DNA on every Ion compile
      jsrun --jobs N ...                 N helper domains for background Ion compiles
      jsrun --sync-compile ...           force on-main-thread compilation (= --jobs 0)
+     jsrun --audit-file out.jsonl ...   go/no-go decision audit trail (JSON lines)
+     jsrun --serve-metrics PORT ...     live HTTP /metrics + /healthz + /audit
+     jsrun --serve-hold SECONDS ...     keep serving after the script finishes
      jsrun --quiet / -v ...             verbosity control (errors only / info / -vv debug) *)
 
 open Cmdliner
@@ -80,7 +83,8 @@ let report_metrics obs dest =
   end
 
 let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace metrics
-    trace_file naive_comparator no_policy_cache jobs sync_compile quiet verbose =
+    trace_file audit_file serve_metrics serve_hold naive_comparator no_policy_cache jobs
+    sync_compile quiet verbose =
   setup_logging ~quiet ~verbose:(List.length verbose) trace;
   let source = read_file file in
   let vulns =
@@ -96,14 +100,26 @@ let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace
   let realm = Realm.create ~seed ~echo:true () in
   try
     let obs =
-      match (metrics, trace_file) with
-      | None, None -> None
+      match (metrics, trace_file, audit_file, serve_metrics) with
+      | None, None, None, None -> None
       | _ ->
         let o = Obs.create () in
         (match trace_file with
         | Some path -> Obs.set_trace_file o path
         | None -> ());
+        (match audit_file with
+        | Some path -> Obs.set_audit_file o path
+        | None -> ());
         Some o
+    in
+    let server =
+      match (serve_metrics, obs) with
+      | Some port, Some o ->
+        let s = Jitbull_obs.Http_export.start ~obs:o ~port () in
+        Printf.eprintf "serving /metrics /healthz /audit on 127.0.0.1:%d\n%!"
+          (Jitbull_obs.Http_export.port s);
+        Some s
+      | _ -> None
     in
     let jobs =
       if sync_compile then 0
@@ -114,6 +130,13 @@ let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace
       (match pool with Some p -> Compile_queue.shutdown p | None -> ());
       (match metrics with
       | Some dest -> report_metrics obs dest
+      | None -> ());
+      (* hold the scrape endpoint open (CI smoke, manual curl) before
+         tearing it down *)
+      (match server with
+      | Some s ->
+        if serve_hold > 0.0 then Unix.sleepf serve_hold;
+        Jitbull_obs.Http_export.stop s
       | None -> ());
       Obs.close obs
     in
@@ -212,6 +235,30 @@ let trace_file =
            ~doc:"Stream structured engine events (compile spans, per-pass spans, tier-ups, \
                  bailouts, go/no-go verdicts) to $(docv) as JSON lines.")
 
+let audit_file =
+  Arg.(value & opt (some string) None
+       & info [ "audit-file" ] ~docv:"FILE"
+           ~doc:"Stream the go/no-go audit trail — one JSON record per policy \
+                 decision, with the matched CVEs, per-pass EqChains scores, \
+                 verdict, DB generation and deciding domain — to $(docv) as \
+                 JSON lines.")
+
+let serve_metrics =
+  Arg.(value & opt (some int) None
+       & info [ "serve-metrics" ] ~docv:"PORT"
+           ~doc:"Serve live observability over HTTP on 127.0.0.1:$(docv) while \
+                 the script runs: /metrics (Prometheus text), /healthz \
+                 (200/503 against queue-depth, stall and stale-result \
+                 thresholds) and /audit?n=K (recent go/no-go decisions as \
+                 JSON). PORT 0 picks a free port (printed to stderr).")
+
+let serve_hold =
+  Arg.(value & opt float 0.0
+       & info [ "serve-hold" ] ~docv:"SECONDS"
+           ~doc:"With --serve-metrics: keep the HTTP endpoint up for $(docv) \
+                 seconds after the script finishes, so external scrapers can \
+                 observe the final state.")
+
 let naive_comparator =
   Arg.(value & flag
        & info [ "naive-comparator" ]
@@ -253,7 +300,8 @@ let cmd =
   Cmd.v
     (Cmd.info "jsrun" ~doc)
     Term.(ret (const run $ file $ no_jit $ use_interp $ vuln_names $ db_path $ stats
-               $ ion_threshold $ seed $ trace $ metrics $ trace_file $ naive_comparator
-               $ no_policy_cache $ jobs $ sync_compile $ quiet $ verbose))
+               $ ion_threshold $ seed $ trace $ metrics $ trace_file $ audit_file
+               $ serve_metrics $ serve_hold $ naive_comparator $ no_policy_cache $ jobs
+               $ sync_compile $ quiet $ verbose))
 
 let () = exit (Cmd.eval cmd)

@@ -16,7 +16,7 @@ module Table = Jitbull_util.Text_table
 (* Harvest every Ion-compiled function's DNA from a source. *)
 let harvest_dnas ~vulns source =
   let acc = ref [] in
-  let analyzer ~func_index:_ ~name:_ ~trace =
+  let analyzer ~ctx:_ ~func_index:_ ~name:_ ~trace =
     let dna = Dna.extract trace in
     if Dna.nonempty_passes dna <> [] then acc := dna :: !acc;
     Engine.Allow

@@ -14,6 +14,11 @@ type params = {
 
 val default_params : params  (** Thr = 3, Ratio = 0.5 *)
 
+(** [side_score d d'] = ([EqChains], [MaxEqChains]) for one side — the
+    raw inputs to the Thr/Ratio test, exposed so the audit trail can
+    record {e why} a pass matched, not just that it did. *)
+val side_score : Delta.side -> Delta.side -> int * int
+
 (** [compare_sides ?params d d'] — the COMPARECHAINS function on one side
     (removed or added). Sides are interned-key multisets ({!Delta.side});
     the fold hashes ints only. *)
@@ -22,10 +27,25 @@ val compare_sides : ?params:params -> Delta.side -> Delta.side -> bool
 (** [similar ?params delta delta'] — Δᵢ ≈ Δ'ᵢ (either side matches). *)
 val similar : ?params:params -> Delta.t -> Delta.t -> bool
 
-(** [matching_passes ?params ?obs dna dna'] — pass names [i] with
-    Δᵢ ≈ Δ'ᵢ (Algorithm 2's DisPass contribution of one DB entry).
+(** Evidence for one matching pass: which side satisfied the Thr/Ratio
+    test ([`Removed] is tried first, as in {!similar}) and its scores. *)
+type match_detail = {
+  md_pass : string;
+  md_side : [ `Removed | `Added ];
+  md_eq_chains : int;
+  md_max_eq_chains : int;
+}
+
+(** [matching_passes_detailed ?params ?obs dna dna'] — one
+    {!match_detail} per pass [i] with Δᵢ ≈ Δ'ᵢ, in [dna]'s pass order.
     With [obs]: [comparator.pairs]/[comparator.matches] counters and a
     [comparator.seconds] latency histogram (no trace events — this is the
     policy's hot path). *)
+val matching_passes_detailed :
+  ?params:params -> ?obs:Jitbull_obs.Obs.t -> Dna.t -> Dna.t -> match_detail list
+
+(** [matching_passes ?params ?obs dna dna'] — pass names [i] with
+    Δᵢ ≈ Δ'ᵢ (Algorithm 2's DisPass contribution of one DB entry);
+    [matching_passes_detailed] with the evidence dropped. *)
 val matching_passes :
   ?params:params -> ?obs:Jitbull_obs.Obs.t -> Dna.t -> Dna.t -> string list

@@ -129,12 +129,20 @@ let cves t =
 
 (* ---- the Δ comparison against the whole database ---- *)
 
-let naive_matching ?params ?obs t (dna : Dna.t) =
+type query = {
+  q_matches : (string * Comparator.match_detail list) list;
+  q_prefilter_candidates : int;
+  q_prefilter_hits : int;
+  q_generation : int;
+  q_size : int;
+}
+
+let naive_matching_detailed ?params ?obs t (dna : Dna.t) =
   List.filter_map
     (fun e ->
-      match Comparator.matching_passes ?params ?obs dna e.dna with
+      match Comparator.matching_passes_detailed ?params ?obs dna e.dna with
       | [] -> None
-      | passes -> Some (e.cve, passes))
+      | mds -> Some (e.cve, mds))
     (entries_unlocked t)
 
 (* Indexed query: walk the function's sub-chain keys through the postings
@@ -143,7 +151,9 @@ let naive_matching ?params ?obs t (dna : Dna.t) =
    the sub-linear early-out for benign functions. Cells reaching Thr
    ("prefilter hits") are then checked against the Ratio bound using the
    precomputed totals. Produces bit-for-bit the same result, in the same
-   order, as folding {!Comparator.matching_passes} over [entries]. *)
+   order (including each match's side and scores), as folding
+   {!Comparator.matching_passes_detailed} over [entries]. Returns the
+   matches plus the prefilter (candidate, hit) counts. *)
 let indexed_matching ~params ?obs t (dna : Dna.t) =
   let module Obs = Jitbull_obs.Obs in
   let acc : (int * Intern.id * bool, int) Hashtbl.t = Hashtbl.create 64 in
@@ -171,7 +181,10 @@ let indexed_matching ~params ?obs t (dna : Dna.t) =
       scan false d.Delta.removed;
       scan true d.Delta.added)
     dna.Dna.deltas;
-  let matched : (int * Intern.id, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* (entry, pass) → (added?, EqChains, MaxEqChains) of the side that
+     matched; when both sides match, the removed side wins, mirroring the
+     or-ordering in [Comparator.similar] *)
+  let matched : (int * Intern.id, bool * int * int) Hashtbl.t = Hashtbl.create 16 in
   let hits = ref 0 in
   Hashtbl.iter
     (fun (eidx, pid, flag) eq ->
@@ -181,37 +194,72 @@ let indexed_matching ~params ?obs t (dna : Dna.t) =
         let et = Option.value ~default:0 (Hashtbl.find_opt t.totals (eidx, pid, flag)) in
         let max_eq = min ft et in
         if float_of_int eq >= params.Comparator.ratio *. float_of_int max_eq then
-          Hashtbl.replace matched (eidx, pid) ()
+          let keep =
+            match Hashtbl.find_opt matched (eidx, pid) with
+            | None -> true
+            | Some (prev_added, _, _) -> prev_added && not flag
+          in
+          if keep then Hashtbl.replace matched (eidx, pid) (flag, eq, max_eq)
       end)
     acc;
   Obs.add obs "comparator.prefilter_candidates" (Hashtbl.length acc);
   Obs.add obs "comparator.prefilter_hits" !hits;
   Obs.add obs "comparator.matches" (Hashtbl.length matched);
-  if Hashtbl.length matched = 0 then []
-  else begin
-    let out = ref [] in
-    for i = t.count - 1 downto 0 do
-      let passes =
-        List.filter_map
-          (fun (pass, _) ->
-            if Hashtbl.mem matched (i, Intern.intern pass) then Some pass else None)
-          dna.Dna.deltas
-      in
-      if passes <> [] then out := (t.arr.(i).cve, passes) :: !out
-    done;
-    !out
-  end
+  let out =
+    if Hashtbl.length matched = 0 then []
+    else begin
+      let out = ref [] in
+      for i = t.count - 1 downto 0 do
+        let passes =
+          List.filter_map
+            (fun (pass, _) ->
+              match Hashtbl.find_opt matched (i, Intern.intern pass) with
+              | Some (added, eq, max_eq) ->
+                Some
+                  {
+                    Comparator.md_pass = pass;
+                    md_side = (if added then `Added else `Removed);
+                    md_eq_chains = eq;
+                    md_max_eq_chains = max_eq;
+                  }
+              | None -> None)
+            dna.Dna.deltas
+        in
+        if passes <> [] then out := (t.arr.(i).cve, passes) :: !out
+      done;
+      !out
+    end
+  in
+  (out, Hashtbl.length acc, !hits)
 
-let matching ?(params = Comparator.default_params) ?obs t (dna : Dna.t) =
+let matching_detailed ?(params = Comparator.default_params) ?obs t (dna : Dna.t) =
   let module Obs = Jitbull_obs.Obs in
   Rwlock.with_read t.lock (fun () ->
-      if params.Comparator.thr < 1 then
-        (* Thr ≤ 0 lets key-disjoint (even empty) sides match, which the
-           overlap-driven index cannot see — use the exhaustive scan *)
-        naive_matching ~params ?obs t dna
-      else
-        Obs.time obs "comparator.indexed.seconds" (fun () ->
-            indexed_matching ~params ?obs t dna))
+      let matches, candidates, hits =
+        if params.Comparator.thr < 1 then
+          (* Thr ≤ 0 lets key-disjoint (even empty) sides match, which the
+             overlap-driven index cannot see — use the exhaustive scan
+             (no prefilter: every entry is a candidate and a survivor) *)
+          (naive_matching_detailed ~params ?obs t dna, t.count, t.count)
+        else
+          Obs.time obs "comparator.indexed.seconds" (fun () ->
+              indexed_matching ~params ?obs t dna)
+      in
+      {
+        q_matches = matches;
+        q_prefilter_candidates = candidates;
+        q_prefilter_hits = hits;
+        q_generation = t.generation;
+        q_size = t.count;
+      })
+
+let drop_details q_matches =
+  List.map
+    (fun (cve, mds) -> (cve, List.map (fun md -> md.Comparator.md_pass) mds))
+    q_matches
+
+let matching ?params ?obs t (dna : Dna.t) =
+  drop_details (matching_detailed ?params ?obs t dna).q_matches
 
 let harvest ?obs t ~cve ~vulns source =
   let module Obs = Jitbull_obs.Obs in
@@ -221,7 +269,7 @@ let harvest ?obs t ~cve ~vulns source =
     "db_harvest"
     (fun () ->
       let harvested = ref [] in
-      let analyzer ~func_index:_ ~name:_ ~trace =
+      let analyzer ~ctx:_ ~func_index:_ ~name:_ ~trace =
         let dna = Obs.span obs "dna_extract" (fun () -> Dna.extract trace) in
         if Dna.nonempty_passes dna <> [] then harvested := dna :: !harvested;
         Engine.Allow

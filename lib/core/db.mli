@@ -71,6 +71,28 @@ val matching :
   Dna.t ->
   (string * string list) list
 
+(** One query's full evidence, captured atomically under the read lock —
+    the audit trail's raw material. *)
+type query = {
+  q_matches : (string * Comparator.match_detail list) list;
+      (** as {!matching}, with each pass's side and EqChains scores *)
+  q_prefilter_candidates : int;
+      (** (entry, pass, side) cells sharing ≥1 sub-chain key (naive
+          fallback: entries scanned) *)
+  q_prefilter_hits : int;  (** cells surviving the Thr prefilter *)
+  q_generation : int;  (** DB generation the answer is valid against *)
+  q_size : int;  (** entries at query time *)
+}
+
+(** {!matching} with the evidence kept: [(matching_detailed t dna).q_matches]
+    with details dropped equals [matching t dna] exactly. *)
+val matching_detailed :
+  ?params:Comparator.params -> ?obs:Jitbull_obs.Obs.t -> t -> Dna.t -> query
+
+(** Drop each match's evidence, keeping CVE and pass names. *)
+val drop_details :
+  (string * Comparator.match_detail list) list -> (string * string list) list
+
 (** [harvest t ~cve ~vulns source] runs the demonstrator [source] on an
     engine with the given vulnerability configuration active (the engine
     is unpatched during the vulnerability window), extracting the DNA of

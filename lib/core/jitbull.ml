@@ -22,12 +22,50 @@ let verdict_name = function
   | `Disable _ -> "disable"
   | `Forbid -> "forbid"
 
+module Audit = Jitbull_obs.Audit
+
+let audit_verdict = function
+  | `Allow -> Audit.Allow
+  | `Disable ps -> Audit.Disable ps
+  | `Forbid -> Audit.Forbid
+
+let audit_matches detailed =
+  List.map
+    (fun (cve, mds) ->
+      {
+        Audit.cm_cve = cve;
+        cm_passes =
+          List.map
+            (fun (md : Comparator.match_detail) ->
+              {
+                Audit.pm_pass = md.Comparator.md_pass;
+                pm_side =
+                  (match md.Comparator.md_side with
+                  | `Removed -> "removed"
+                  | `Added -> "added");
+                pm_eq_chains = md.Comparator.md_eq_chains;
+                pm_max_eq_chains = md.Comparator.md_max_eq_chains;
+              })
+            mds;
+      })
+    detailed
+
 let analyzer ?params ?monitor ?obs ?(comparator = `Indexed) (db : Db.t) : Engine.analyzer =
- fun ~func_index:_ ~name ~trace ->
+ fun ~ctx ~func_index ~name ~trace ->
   (* the whole go/no-go decision is one [policy_decide] span whose fields
      carry the verdict and the matched CVE → pass evidence *)
   let matched_ref = ref [] in
   let dangerous_ref = ref [] in
+  let query_ref =
+    ref
+      {
+        Db.q_matches = [];
+        q_prefilter_candidates = 0;
+        q_prefilter_hits = 0;
+        q_generation = 0;
+        q_size = 0;
+      }
+  in
   let verdict_fields verdict =
     [
       ("verdict", Jsonx.String (verdict_name verdict));
@@ -39,27 +77,45 @@ let analyzer ?params ?monitor ?obs ?(comparator = `Indexed) (db : Db.t) : Engine
              !matched_ref) );
     ]
   in
+  let t0 = Obs.now obs in
   let verdict =
     Obs.span obs
       ~fields:[ ("func", Jsonx.String name) ]
       ~fields_of:verdict_fields "policy_decide"
       (fun () ->
         let dna = Obs.span obs "dna_extract" (fun () -> Dna.extract trace) in
-        let matched =
+        let query =
           Obs.span obs
             ~fields:[ ("entries", Jsonx.Int (Db.size db)) ]
             "db_compare"
             (fun () ->
               match comparator with
-              | `Indexed -> Db.matching ?params ?obs db dna
+              | `Indexed -> Db.matching_detailed ?params ?obs db dna
               | `Naive ->
-                List.filter_map
-                  (fun (e : Db.entry) ->
-                    match Comparator.matching_passes ?params ?obs dna e.Db.dna with
-                    | [] -> None
-                    | passes -> Some (e.Db.cve, passes))
-                  (Db.entries db))
+                (* fold the executable specification over every entry;
+                   evidence fields mirror the indexed path's semantics *)
+                let detailed =
+                  List.filter_map
+                    (fun (e : Db.entry) ->
+                      match
+                        Comparator.matching_passes_detailed ?params ?obs dna
+                          e.Db.dna
+                      with
+                      | [] -> None
+                      | mds -> Some (e.Db.cve, mds))
+                    (Db.entries db)
+                in
+                let n = Db.size db in
+                {
+                  Db.q_matches = detailed;
+                  q_prefilter_candidates = n;
+                  q_prefilter_hits = n;
+                  q_generation = Db.generation db;
+                  q_size = n;
+                })
         in
+        query_ref := query;
+        let matched = Db.drop_details query.Db.q_matches in
         matched_ref := matched;
         let dangerous =
           (* union in pipeline order *)
@@ -76,6 +132,24 @@ let analyzer ?params ?monitor ?obs ?(comparator = `Indexed) (db : Db.t) : Engine
         Obs.incr obs ("policy." ^ verdict_name verdict);
         verdict)
   in
+  (match obs with
+  | Some o ->
+    let q = !query_ref in
+    let p = Option.value ~default:Comparator.default_params params in
+    ignore
+      (Audit.append (Obs.audit o) ~func_name:name ~func_index
+         ~bytecode_hash:ctx.Engine.cc_bytecode_hash
+         ~feedback_hash:ctx.Engine.cc_feedback_hash
+         ~verdict:(audit_verdict verdict)
+         ~matches:(audit_matches q.Db.q_matches)
+         ~thr:p.Comparator.thr ~ratio:p.Comparator.ratio
+         ~prefilter_candidates:q.Db.q_prefilter_candidates
+         ~prefilter_hits:q.Db.q_prefilter_hits
+         ~db_generation:q.Db.q_generation ~db_size:q.Db.q_size
+         ~source:Audit.Fresh
+         ~duration:(Float.max 0.0 (Obs.now obs -. t0))
+         ())
+  | None -> ());
   (match monitor with
   | Some m ->
     (* analyses run on helper compile domains in background mode *)

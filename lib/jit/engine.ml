@@ -27,8 +27,20 @@ type decision =
   | Disable_passes of string list
   | Forbid_jit
 
+(* What the engine knows about the compile it is asking a verdict for —
+   handed to the analyzer so the audit trail can tie the decision to the
+   exact bytecode + type-feedback state it was made against. *)
+type compile_ctx = {
+  cc_bytecode_hash : int;
+  cc_feedback_hash : int;
+}
+
 type analyzer =
-  func_index:int -> name:string -> trace:(string * Snapshot.t) list -> decision
+  ctx:compile_ctx ->
+  func_index:int ->
+  name:string ->
+  trace:(string * Snapshot.t) list ->
+  decision
 
 (* The policy-decision cache: verdicts keyed by a hash of everything the
    traced compile consumes (bytecode, type feedback, depth-1 inline
@@ -170,6 +182,9 @@ type inflight = {
   job : Compile_queue.job;
   enq_gen : int;  (* DB generation at enqueue; moved = result is stale *)
   enq_time : float;
+  anchor : int option;  (* trace id of the tier_up_request event: the
+                           cross-domain parent of the compile spans and
+                           the install event *)
 }
 
 type t = {
@@ -187,7 +202,9 @@ type t = {
      [results_ready]; the main thread polls the flag at every function
      entry (the safepoint) and installs. [async_inflight] is touched by
      the main thread only. *)
-  results : (int * async_result) Queue.t;
+  (* each mailbox item carries its publish time, so the main thread can
+     histogram the publish → safepoint-install latency *)
+  results : (int * float * async_result) Queue.t;
   results_mu : Mutex.t;
   results_ready : bool Atomic.t;
   async_inflight : (int, inflight) Hashtbl.t;
@@ -228,7 +245,10 @@ let stalled t f =
   Fun.protect
     ~finally:(fun () ->
       t.stats.main_stall_seconds <-
-        t.stats.main_stall_seconds +. Float.max 0.0 (Clock.now () -. t0))
+        t.stats.main_stall_seconds +. Float.max 0.0 (Clock.now () -. t0);
+      (* mirrored as a gauge so /healthz can threshold on it *)
+      Obs.set_gauge t.config.obs "engine.main_stall_seconds"
+        t.stats.main_stall_seconds)
     f
 
 (* ---- compilation ---- *)
@@ -442,6 +462,28 @@ let policy_key t idx =
     func.Op.code;
   !h
 
+(* On a policy-cache hit the analyzer never runs, so the engine itself
+   appends the audit record: the verdict is replayed with no fresh match
+   evidence (Thr/Ratio and DB size are the analyzer's business — 0 here),
+   against the generation the cache revalidated on. *)
+let audit_cache_hit t idx ctx d =
+  match t.config.obs with
+  | None -> ()
+  | Some o ->
+    let verdict =
+      match d with
+      | Allow -> Jitbull_obs.Audit.Allow
+      | Disable_passes ps -> Jitbull_obs.Audit.Disable ps
+      | Forbid_jit -> Jitbull_obs.Audit.Forbid
+    in
+    ignore
+      (Jitbull_obs.Audit.append (Obs.audit o)
+         ~func_name:t.vm.Vm.program.Op.funcs.(idx).Op.name ~func_index:idx
+         ~bytecode_hash:ctx.cc_bytecode_hash ~feedback_hash:ctx.cc_feedback_hash
+         ~verdict ~matches:[] ~thr:0 ~ratio:0.0 ~prefilter_candidates:0
+         ~prefilter_hits:0 ~db_generation:(current_gen t) ~db_size:0
+         ~source:Jitbull_obs.Audit.Cache_hit ~duration:0.0 ())
+
 let blacklist t idx reason =
   t.stats.nr_nojit <- t.stats.nr_nojit + 1;
   t.vm.Vm.dispatch.(idx) <- None;
@@ -469,21 +511,30 @@ let ion_compile t idx =
     t.tiers.(idx) <- Ion;
     tier_up t idx "ion"
   | Some analyze -> (
-    let name = t.vm.Vm.program.Op.funcs.(idx).Op.name in
+    let func = t.vm.Vm.program.Op.funcs.(idx) in
+    let name = func.Op.name in
+    let ctx =
+      {
+        cc_bytecode_hash = func_code_hash func;
+        cc_feedback_hash = feedback_hash t.vm.Vm.feedback.(idx);
+      }
+    in
     let cache = t.config.policy_cache in
     let key = match cache with Some _ -> policy_key t idx | None -> 0 in
     let cached =
       match cache with Some c -> Policy_cache.lookup c key | None -> None
     in
     (match (cache, cached) with
-    | Some _, Some _ ->
+    | Some _, Some d ->
       Obs.incr obs "policy.cache_hits";
-      Obs.event obs "policy_cache_hit" ~fields:[ func_field t idx ]
+      Obs.event obs "policy_cache_hit" ~fields:[ func_field t idx ];
+      audit_cache_hit t idx ctx d
     | Some _, None -> Obs.incr obs "policy.cache_misses"
     | None, _ -> ());
     (* On a cache hit [precompiled] stays [None]: the traced compile, the
        Δ extraction and the DB comparison are all skipped (and so is the
-       monitor record — only fresh analyses are recorded). *)
+       monitor record — only fresh analyses are recorded; the audit trail
+       gets a [Cache_hit] record instead). *)
     let decision, precompiled =
       match cached with
       | Some d -> (d, None)
@@ -495,7 +546,7 @@ let ion_compile t idx =
             "compile_ion"
             (fun () -> compile_traced t idx ~disabled:[])
         in
-        let d = analyze ~func_index:idx ~name ~trace in
+        let d = analyze ~ctx ~func_index:idx ~name ~trace in
         (match cache with
         | Some c -> Policy_cache.store ~if_generation:g0 c key d
         | None -> ());
@@ -568,7 +619,7 @@ let baseline_compile t idx =
    the flag the safepoint polls. *)
 let publish t idx result =
   Mutex.lock t.results_mu;
-  Queue.push (idx, result) t.results;
+  Queue.push (idx, Clock.now (), result) t.results;
   Mutex.unlock t.results_mu;
   Atomic.set t.results_ready true
 
@@ -581,14 +632,22 @@ let set_queue_depth t pool =
    counted and dropped — when the function was blacklisted mid-compile or
    the DNA DB generation moved since enqueue (the verdict may no longer
    hold; the next invocation re-enqueues against the new generation). *)
-let apply_async t idx (info : inflight) result =
+let apply_async t idx (info : inflight) ~published result =
   let obs = t.config.obs in
-  Obs.observe obs "compile.queued_seconds"
-    (Float.max 0.0 (Clock.now () -. info.enq_time));
+  let now = Clock.now () in
+  (* enqueue → install (the whole background round trip) and
+     publish → install (how long a finished compile waited for the main
+     thread to reach a safepoint) *)
+  Obs.observe obs ~bounds:Jitbull_obs.Metrics.queue_latency_bounds
+    "compile.queued_seconds"
+    (Float.max 0.0 (now -. info.enq_time));
+  Obs.observe obs ~bounds:Jitbull_obs.Metrics.queue_latency_bounds
+    "compile.install_latency_seconds"
+    (Float.max 0.0 (now -. published));
   let stale why =
     t.stats.stale_results <- t.stats.stale_results + 1;
     Obs.incr obs "engine.stale_results";
-    Obs.event obs "stale_result"
+    Obs.event obs "stale_result" ?parent:info.anchor
       ~fields:[ func_field t idx; ("why", Jsonx.String why) ]
   in
   if t.tiers.(idx) = Blacklisted then stale "blacklisted"
@@ -606,7 +665,9 @@ let apply_async t idx (info : inflight) result =
         t.tiers.(idx) <- Ion;
         tier_up t idx "ion";
         t.stats.async_installs <- t.stats.async_installs + 1;
-        Obs.incr obs "engine.async_installs"
+        Obs.incr obs "engine.async_installs";
+        Obs.event obs "async_install" ?parent:info.anchor
+          ~fields:[ func_field t idx ]
       in
       match (decision, lir) with
       | (None | Some Allow), Some lir -> install_ion lir
@@ -643,11 +704,11 @@ let poll t =
     done;
     Mutex.unlock t.results_mu;
     List.iter
-      (fun (idx, result) ->
+      (fun (idx, published, result) ->
         match Hashtbl.find_opt t.async_inflight idx with
         | Some info ->
           Hashtbl.remove t.async_inflight idx;
-          apply_async t idx info result
+          apply_async t idx info ~published result
         | None ->
           (* the request was cancelled after the worker claimed it *)
           t.stats.stale_results <- t.stats.stale_results + 1;
@@ -672,11 +733,34 @@ let enqueue_ion t pool idx =
   let func = t.vm.Vm.program.Op.funcs.(idx) in
   let name = func.Op.name in
   let config = t.config in
+  (* The cross-domain trace edge: an anchored point event stands for this
+     tier-up request on the main thread; the helper-domain queue-wait and
+     compile spans, and the eventual install/stale event at the
+     safepoint, all carry its id as their parent. *)
+  let anchor = Obs.alloc_id obs in
+  let enq_rel = Obs.now obs in
+  Obs.event obs ?id:anchor ~fields:[ func_field t idx ] "tier_up_request";
+  (* Wrap the worker body: measure time spent waiting in the queue (a
+     synthesized [queue_wait] span — its start was stamped here, on the
+     main thread), then run the compile under a [compile_task] span so
+     every span the helper opens ([compile_ion], [policy_decide],
+     [pass.<name>], …) parents back to the anchor through it. *)
+  let in_task body () =
+    let wait = Float.max 0.0 (Obs.now obs -. enq_rel) in
+    Obs.observe obs ~bounds:Jitbull_obs.Metrics.queue_latency_bounds
+      "compile.queue_wait_seconds" wait;
+    Obs.record_span obs ?parent:anchor ~ts:enq_rel ~dur:wait
+      ~fields:[ ("func", Jsonx.String name) ]
+      "queue_wait";
+    Obs.span obs ?parent:anchor
+      ~fields:[ ("func", Jsonx.String name) ]
+      "compile_task" body
+  in
   let submit work =
     match Compile_queue.try_submit pool work with
     | Some job ->
       Hashtbl.replace t.async_inflight idx
-        { job; enq_gen = current_gen t; enq_time = Clock.now () };
+        { job; enq_gen = current_gen t; enq_time = Clock.now (); anchor };
       Obs.incr obs "compile.enqueued";
       set_queue_depth t pool
     | None ->
@@ -687,20 +771,22 @@ let enqueue_ion t pool idx =
   | None ->
     let feedback_row = Feedback.copy_row t.vm.Vm.feedback.(idx) in
     let resolver = snapshot_resolver t ~caller_idx:idx func in
-    submit (fun () ->
-        let result =
-          try
-            let lir, removed =
-              Obs.span obs
-                ~fields:[ ("func", Jsonx.String name); ("async", Jsonx.Bool true) ]
-                "compile_ion"
-                (fun () ->
-                  compile_opt_with config func ~feedback_row ~resolver ~disabled:[])
-            in
-            A_install { decision = None; lir = Some lir; traced = false; peephole = removed }
-          with e -> A_error e
-        in
-        publish t idx result)
+    submit
+      (in_task (fun () ->
+           let result =
+             try
+               let lir, removed =
+                 Obs.span obs
+                   ~fields:[ ("func", Jsonx.String name); ("async", Jsonx.Bool true) ]
+                   "compile_ion"
+                   (fun () ->
+                     compile_opt_with config func ~feedback_row ~resolver ~disabled:[])
+               in
+               A_install
+                 { decision = None; lir = Some lir; traced = false; peephole = removed }
+             with e -> A_error e
+           in
+           publish t idx result))
   | Some analyze -> (
     let cache = t.config.policy_cache in
     let key = match cache with Some _ -> policy_key t idx | None -> 0 in
@@ -708,9 +794,15 @@ let enqueue_ion t pool idx =
       match cache with Some c -> Policy_cache.lookup c key | None -> None
     in
     (match (cache, cached) with
-    | Some _, Some _ ->
+    | Some _, Some d ->
       Obs.incr obs "policy.cache_hits";
-      Obs.event obs "policy_cache_hit" ~fields:[ func_field t idx ]
+      Obs.event obs "policy_cache_hit" ~fields:[ func_field t idx ];
+      audit_cache_hit t idx
+        {
+          cc_bytecode_hash = func_code_hash func;
+          cc_feedback_hash = feedback_hash t.vm.Vm.feedback.(idx);
+        }
+        d
     | Some _, None -> Obs.incr obs "policy.cache_misses"
     | None, _ -> ());
     match cached with
@@ -732,7 +824,8 @@ let enqueue_ion t pool idx =
       let feedback_row = Feedback.copy_row t.vm.Vm.feedback.(idx) in
       let resolver = snapshot_resolver t ~caller_idx:idx func in
       let g0 = current_gen t in
-      submit (fun () ->
+      submit
+        (in_task (fun () ->
           let result =
             try
               match cached with
@@ -768,7 +861,13 @@ let enqueue_ion t pool idx =
                       compile_traced_with config func ~feedback_row ~resolver
                         ~disabled:[])
                 in
-                let d = analyze ~func_index:idx ~name ~trace in
+                let ctx =
+                  {
+                    cc_bytecode_hash = func_code_hash func;
+                    cc_feedback_hash = feedback_hash feedback_row;
+                  }
+                in
+                let d = analyze ~ctx ~func_index:idx ~name ~trace in
                 (match cache with
                 | Some c -> Policy_cache.store ~if_generation:g0 c key d
                 | None -> ());
@@ -803,7 +902,7 @@ let enqueue_ion t pool idx =
                     { decision = Some d; lir = None; traced = true; peephole = removed })
             with e -> A_error e
           in
-          publish t idx result))
+          publish t idx result)))
 
 (* Tier-up to Ion: synchronous without a pool; with a pool, make sure the
    function stops interpreting (so its feedback row is frozen — the

@@ -35,7 +35,18 @@ type decision =
   | Disable_passes of string list
   | Forbid_jit
 
+(** What the engine knows about the compile a verdict is being asked
+    for: hashes of the function's bytecode and of the type-feedback row
+    the compile consumed (the enqueue-time snapshot in background mode).
+    The analyzer records them in the audit trail so a decision can be
+    tied to the exact program state it was made against. *)
+type compile_ctx = {
+  cc_bytecode_hash : int;
+  cc_feedback_hash : int;
+}
+
 type analyzer =
+  ctx:compile_ctx ->
   func_index:int ->
   name:string ->
   trace:(string * Jitbull_mir.Snapshot.t) list ->

@@ -1,0 +1,375 @@
+(* The go/no-go audit trail. One structured record per policy decision,
+   kept in a bounded ring (like the tracer: a mutex serializes helper
+   compile domains and the main thread) with cumulative aggregates that
+   survive ring eviction, an optional JSON-lines file sink, and query /
+   rendering helpers.
+
+   This module deliberately speaks its own vocabulary ([verdict],
+   [pass_match]) rather than the engine's: [lib/obs] sits below
+   [lib/core] and [lib/jit] in the dependency order, so the analyzer
+   converts its types on the way in. *)
+
+type verdict =
+  | Allow
+  | Disable of string list
+  | Forbid
+
+type pass_match = {
+  pm_pass : string;
+  pm_side : string;  (* "removed" or "added" *)
+  pm_eq_chains : int;
+  pm_max_eq_chains : int;
+}
+
+type cve_match = {
+  cm_cve : string;
+  cm_passes : pass_match list;
+}
+
+type source =
+  | Fresh
+  | Cache_hit
+
+type record = {
+  seq : int;
+  ts : float;
+  func_name : string;
+  func_index : int;
+  bytecode_hash : int;
+  feedback_hash : int;
+  verdict : verdict;
+  matches : cve_match list;
+  thr : int;
+  ratio : float;
+  prefilter_candidates : int;
+  prefilter_hits : int;
+  db_generation : int;
+  db_size : int;
+  source : source;
+  domain : int;
+  duration : float;
+}
+
+type t = {
+  capacity : int;
+  ring : record option array;
+  mutable head : int;
+  mutable total : int;
+  mutable chan : out_channel option;
+  mu : Mutex.t;
+  clock : unit -> float;
+  start : float;
+  (* cumulative aggregates, maintained at append so Prometheus series
+     keep counting after the ring evicts old records *)
+  mutable n_allow : int;
+  mutable n_disable : int;
+  mutable n_forbid : int;
+  mutable n_cache_hits : int;
+  cve_counts : (string, int) Hashtbl.t;
+  func_verdicts : (string * string, int) Hashtbl.t;
+}
+
+let create ?(capacity = 1024) ?(clock : (unit -> float) option) () =
+  let clock = match clock with Some c -> c | None -> Clock.now in
+  let capacity = max 1 capacity in
+  {
+    capacity;
+    ring = Array.make capacity None;
+    head = 0;
+    total = 0;
+    chan = None;
+    mu = Mutex.create ();
+    clock;
+    start = clock ();
+    n_allow = 0;
+    n_disable = 0;
+    n_forbid = 0;
+    n_cache_hits = 0;
+    cve_counts = Hashtbl.create 16;
+    func_verdicts = Hashtbl.create 64;
+  }
+
+let now t = t.clock () -. t.start
+
+let verdict_label = function
+  | Allow -> "allow"
+  | Disable _ -> "disable"
+  | Forbid -> "forbid"
+
+let verdict_to_string = function
+  | Allow -> "allow"
+  | Disable ps -> "disable(" ^ String.concat "," ps ^ ")"
+  | Forbid -> "forbid"
+
+let source_to_string = function Fresh -> "fresh" | Cache_hit -> "cache_hit"
+
+let source_of_string = function
+  | "fresh" -> Fresh
+  | "cache_hit" -> Cache_hit
+  | s -> raise (Jsonx.Parse_error ("unknown audit source " ^ s))
+
+(* ---- JSON ---- *)
+
+let verdict_to_json = function
+  | Allow -> Jsonx.Assoc [ ("kind", Jsonx.String "allow") ]
+  | Disable ps ->
+    Jsonx.Assoc
+      [
+        ("kind", Jsonx.String "disable");
+        ("passes", Jsonx.List (List.map (fun p -> Jsonx.String p) ps));
+      ]
+  | Forbid -> Jsonx.Assoc [ ("kind", Jsonx.String "forbid") ]
+
+let verdict_of_json j =
+  match Jsonx.to_str (Jsonx.member "kind" j) with
+  | "allow" -> Allow
+  | "disable" ->
+    Disable
+      (List.map Jsonx.to_str (Jsonx.to_list_exn (Jsonx.member "passes" j)))
+  | "forbid" -> Forbid
+  | s -> raise (Jsonx.Parse_error ("unknown audit verdict " ^ s))
+
+let pass_match_to_json pm =
+  Jsonx.Assoc
+    [
+      ("pass", Jsonx.String pm.pm_pass);
+      ("side", Jsonx.String pm.pm_side);
+      ("eq_chains", Jsonx.Int pm.pm_eq_chains);
+      ("max_eq_chains", Jsonx.Int pm.pm_max_eq_chains);
+    ]
+
+let pass_match_of_json j =
+  {
+    pm_pass = Jsonx.to_str (Jsonx.member "pass" j);
+    pm_side = Jsonx.to_str (Jsonx.member "side" j);
+    pm_eq_chains = Jsonx.to_int (Jsonx.member "eq_chains" j);
+    pm_max_eq_chains = Jsonx.to_int (Jsonx.member "max_eq_chains" j);
+  }
+
+let cve_match_to_json cm =
+  Jsonx.Assoc
+    [
+      ("cve", Jsonx.String cm.cm_cve);
+      ("passes", Jsonx.List (List.map pass_match_to_json cm.cm_passes));
+    ]
+
+let cve_match_of_json j =
+  {
+    cm_cve = Jsonx.to_str (Jsonx.member "cve" j);
+    cm_passes =
+      List.map pass_match_of_json (Jsonx.to_list_exn (Jsonx.member "passes" j));
+  }
+
+let record_to_json r =
+  Jsonx.Assoc
+    [
+      ("seq", Jsonx.Int r.seq);
+      ("ts", Jsonx.Float r.ts);
+      ("func", Jsonx.String r.func_name);
+      ("func_index", Jsonx.Int r.func_index);
+      ("bytecode_hash", Jsonx.Int r.bytecode_hash);
+      ("feedback_hash", Jsonx.Int r.feedback_hash);
+      ("verdict", verdict_to_json r.verdict);
+      ("matches", Jsonx.List (List.map cve_match_to_json r.matches));
+      ("thr", Jsonx.Int r.thr);
+      ("ratio", Jsonx.Float r.ratio);
+      ("prefilter_candidates", Jsonx.Int r.prefilter_candidates);
+      ("prefilter_hits", Jsonx.Int r.prefilter_hits);
+      ("db_generation", Jsonx.Int r.db_generation);
+      ("db_size", Jsonx.Int r.db_size);
+      ("source", Jsonx.String (source_to_string r.source));
+      ("domain", Jsonx.Int r.domain);
+      ("duration", Jsonx.Float r.duration);
+    ]
+
+let record_of_json j =
+  {
+    seq = Jsonx.to_int (Jsonx.member "seq" j);
+    ts = Jsonx.to_float (Jsonx.member "ts" j);
+    func_name = Jsonx.to_str (Jsonx.member "func" j);
+    func_index = Jsonx.to_int (Jsonx.member "func_index" j);
+    bytecode_hash = Jsonx.to_int (Jsonx.member "bytecode_hash" j);
+    feedback_hash = Jsonx.to_int (Jsonx.member "feedback_hash" j);
+    verdict = verdict_of_json (Jsonx.member "verdict" j);
+    matches =
+      List.map cve_match_of_json (Jsonx.to_list_exn (Jsonx.member "matches" j));
+    thr = Jsonx.to_int (Jsonx.member "thr" j);
+    ratio = Jsonx.to_float (Jsonx.member "ratio" j);
+    prefilter_candidates = Jsonx.to_int (Jsonx.member "prefilter_candidates" j);
+    prefilter_hits = Jsonx.to_int (Jsonx.member "prefilter_hits" j);
+    db_generation = Jsonx.to_int (Jsonx.member "db_generation" j);
+    db_size = Jsonx.to_int (Jsonx.member "db_size" j);
+    source = source_of_string (Jsonx.to_str (Jsonx.member "source" j));
+    domain = Jsonx.to_int (Jsonx.member "domain" j);
+    duration = Jsonx.to_float (Jsonx.member "duration" j);
+  }
+
+(* ---- recording ---- *)
+
+let set_file_sink t path =
+  Mutex.lock t.mu;
+  (match t.chan with Some oc -> close_out oc | None -> ());
+  t.chan <- Some (open_out path);
+  Mutex.unlock t.mu
+
+let append t ?ts ~func_name ~func_index ~bytecode_hash ~feedback_hash ~verdict
+    ~matches ~thr ~ratio ~prefilter_candidates ~prefilter_hits ~db_generation
+    ~db_size ~source ~duration () =
+  let ts = match ts with Some x -> x | None -> now t in
+  let domain = (Domain.self () :> int) in
+  Mutex.lock t.mu;
+  let r =
+    {
+      seq = t.total;
+      ts;
+      func_name;
+      func_index;
+      bytecode_hash;
+      feedback_hash;
+      verdict;
+      matches;
+      thr;
+      ratio;
+      prefilter_candidates;
+      prefilter_hits;
+      db_generation;
+      db_size;
+      source;
+      domain;
+      duration;
+    }
+  in
+  t.ring.(t.head) <- Some r;
+  t.head <- (t.head + 1) mod t.capacity;
+  t.total <- t.total + 1;
+  (match verdict with
+  | Allow -> t.n_allow <- t.n_allow + 1
+  | Disable _ -> t.n_disable <- t.n_disable + 1
+  | Forbid -> t.n_forbid <- t.n_forbid + 1);
+  (match source with Cache_hit -> t.n_cache_hits <- t.n_cache_hits + 1 | Fresh -> ());
+  List.iter
+    (fun cm ->
+      Hashtbl.replace t.cve_counts cm.cm_cve
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.cve_counts cm.cm_cve)))
+    matches;
+  let fv = (func_name, verdict_label verdict) in
+  Hashtbl.replace t.func_verdicts fv
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.func_verdicts fv));
+  (match t.chan with
+  | Some oc ->
+    output_string oc (Jsonx.to_string (record_to_json r));
+    output_char oc '\n';
+    flush oc
+  | None -> ());
+  Mutex.unlock t.mu;
+  r
+
+(* ---- queries ---- *)
+
+let records t =
+  Mutex.lock t.mu;
+  let n = min t.total t.capacity in
+  let rs =
+    List.init n (fun i ->
+        let idx = (t.head - n + i + t.capacity) mod t.capacity in
+        match t.ring.(idx) with Some r -> r | None -> assert false)
+  in
+  Mutex.unlock t.mu;
+  rs
+
+let total t = t.total
+
+let last t n = List.rev (records t) |> List.filteri (fun i _ -> i < max 0 n)
+
+let by_function t name =
+  List.filter (fun r -> String.equal r.func_name name) (records t)
+
+let by_cve t cve =
+  List.filter
+    (fun r -> List.exists (fun cm -> String.equal cm.cm_cve cve) r.matches)
+    (records t)
+
+let close t =
+  Mutex.lock t.mu;
+  (match t.chan with
+  | Some oc ->
+    close_out oc;
+    t.chan <- None
+  | None -> ());
+  Mutex.unlock t.mu
+
+(* ---- rendering ---- *)
+
+let table ?(limit = 20) t =
+  let headers =
+    [ "seq"; "ts"; "function"; "verdict"; "cves"; "eq"; "src"; "gen"; "dom" ]
+  in
+  let rows =
+    last t limit |> List.rev
+    |> List.map (fun r ->
+           let cves = String.concat " " (List.map (fun cm -> cm.cm_cve) r.matches) in
+           let eq =
+             r.matches
+             |> List.concat_map (fun cm -> cm.cm_passes)
+             |> List.map (fun pm ->
+                    Printf.sprintf "%s:%d/%d" pm.pm_pass pm.pm_eq_chains
+                      pm.pm_max_eq_chains)
+             |> String.concat " "
+           in
+           [
+             string_of_int r.seq;
+             Printf.sprintf "%.6f" r.ts;
+             r.func_name;
+             verdict_to_string r.verdict;
+             (if cves = "" then "-" else cves);
+             (if eq = "" then "-" else eq);
+             source_to_string r.source;
+             string_of_int r.db_generation;
+             string_of_int r.domain;
+           ])
+  in
+  (headers, rows)
+
+let render_prometheus t =
+  Mutex.lock t.mu;
+  let total = t.total
+  and allow = t.n_allow
+  and disable = t.n_disable
+  and forbid = t.n_forbid
+  and cache_hits = t.n_cache_hits in
+  let cves =
+    Hashtbl.fold (fun cve n acc -> (cve, n) :: acc) t.cve_counts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let funcs =
+    Hashtbl.fold (fun fv n acc -> (fv, n) :: acc) t.func_verdicts []
+    |> List.sort compare
+  in
+  Mutex.unlock t.mu;
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  line "# TYPE jitbull_audit_records_total counter\n";
+  line "jitbull_audit_records_total %d\n" total;
+  line "# TYPE jitbull_audit_verdicts_total counter\n";
+  line "jitbull_audit_verdicts_total{verdict=\"allow\"} %d\n" allow;
+  line "jitbull_audit_verdicts_total{verdict=\"disable\"} %d\n" disable;
+  line "jitbull_audit_verdicts_total{verdict=\"forbid\"} %d\n" forbid;
+  line "# TYPE jitbull_audit_cache_hits_total counter\n";
+  line "jitbull_audit_cache_hits_total %d\n" cache_hits;
+  if cves <> [] then begin
+    line "# TYPE jitbull_audit_cve_matches_total counter\n";
+    List.iter
+      (fun (cve, n) ->
+        line "jitbull_audit_cve_matches_total{cve=\"%s\"} %d\n"
+          (Metrics.escape_label_value cve) n)
+      cves
+  end;
+  if funcs <> [] then begin
+    line "# TYPE jitbull_audit_function_verdicts_total counter\n";
+    List.iter
+      (fun ((func, verdict), n) ->
+        line "jitbull_audit_function_verdicts_total{func=\"%s\",verdict=\"%s\"} %d\n"
+          (Metrics.escape_label_value func) verdict n)
+      funcs
+  end;
+  Buffer.contents buf

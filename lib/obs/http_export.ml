@@ -1,0 +1,265 @@
+(* A dependency-free HTTP exporter for live scraping: one listening
+   socket on 127.0.0.1, one accept loop on its own domain, one request
+   per connection (HTTP/1.0-style [Connection: close]). Good enough for
+   a Prometheus scraper and a curl during an incident; deliberately not
+   a web server.
+
+   The handler only reads immutable snapshots ([Metrics.snapshot], the
+   audit ring under its own mutex), so serving never blocks the engine
+   beyond those locks. *)
+
+type health_thresholds = {
+  max_queue_depth : int;
+  max_stall_seconds : float;
+  max_stale_results : int;
+}
+
+let default_thresholds =
+  { max_queue_depth = 64; max_stall_seconds = 1.0; max_stale_results = 1000 }
+
+type t = {
+  listen_fd : Unix.file_descr;
+  port : int;
+  stop_flag : bool Atomic.t;
+  dom : unit Domain.t;
+}
+
+let http_response status body content_type =
+  let reason = match status with
+    | 200 -> "OK"
+    | 404 -> "Not Found"
+    | 503 -> "Service Unavailable"
+    | _ -> "Error"
+  in
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status reason content_type (String.length body) body
+
+(* ---- route handlers ---- *)
+
+let metrics_body obs =
+  Metrics.render_prometheus (Obs.view (Some obs))
+  ^ Audit.render_prometheus (Obs.audit obs)
+
+type check = {
+  ck_name : string;
+  ck_value : float;
+  ck_threshold : float;
+  ck_ok : bool;
+}
+
+let health_checks thresholds obs =
+  let view = Obs.view (Some obs) in
+  let gauge name =
+    List.assoc_opt name view.Metrics.v_gauges |> Option.value ~default:0.0
+  in
+  let counter name =
+    Metrics.find_counter view name |> Option.value ~default:0
+  in
+  let check name value threshold =
+    { ck_name = name; ck_value = value; ck_threshold = threshold; ck_ok = value <= threshold }
+  in
+  [
+    check "queue_depth"
+      (gauge "compile.queue_depth")
+      (float_of_int thresholds.max_queue_depth);
+    check "main_stall_seconds"
+      (gauge "engine.main_stall_seconds")
+      thresholds.max_stall_seconds;
+    check "stale_results"
+      (float_of_int (counter "engine.stale_results"))
+      (float_of_int thresholds.max_stale_results);
+  ]
+
+let health_body thresholds obs =
+  let checks = health_checks thresholds obs in
+  let ok = List.for_all (fun c -> c.ck_ok) checks in
+  let json =
+    Jsonx.Assoc
+      [
+        ("status", Jsonx.String (if ok then "ok" else "fail"));
+        ( "checks",
+          Jsonx.List
+            (List.map
+               (fun c ->
+                 Jsonx.Assoc
+                   [
+                     ("name", Jsonx.String c.ck_name);
+                     ("value", Jsonx.Float c.ck_value);
+                     ("threshold", Jsonx.Float c.ck_threshold);
+                     ("ok", Jsonx.Bool c.ck_ok);
+                   ])
+               checks) );
+      ]
+  in
+  ((if ok then 200 else 503), Jsonx.to_string json)
+
+let audit_body obs query =
+  let n =
+    match List.assoc_opt "n" query with
+    | Some s -> (try max 0 (int_of_string (String.trim s)) with _ -> 32)
+    | None -> 32
+  in
+  let records = Audit.last (Obs.audit obs) n in
+  Jsonx.to_string (Jsonx.List (List.map Audit.record_to_json records))
+
+(* ---- request plumbing ---- *)
+
+let parse_query qs =
+  String.split_on_char '&' qs
+  |> List.filter_map (fun kv ->
+         match String.index_opt kv '=' with
+         | Some i ->
+           Some
+             ( String.sub kv 0 i,
+               String.sub kv (i + 1) (String.length kv - i - 1) )
+         | None -> if kv = "" then None else Some (kv, ""))
+
+let parse_request_target line =
+  (* "GET /audit?n=5 HTTP/1.1" → ("/audit", [("n","5")]) *)
+  match String.split_on_char ' ' line with
+  | _meth :: target :: _ ->
+    (match String.index_opt target '?' with
+    | Some i ->
+      ( String.sub target 0 i,
+        parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
+    | None -> (target, []))
+  | _ -> ("/", [])
+
+let handle thresholds obs line =
+  let path, query = parse_request_target line in
+  match path with
+  | "/metrics" -> http_response 200 (metrics_body obs) "text/plain; version=0.0.4"
+  | "/healthz" ->
+    let status, body = health_body thresholds obs in
+    http_response status body "application/json"
+  | "/audit" -> http_response 200 (audit_body obs query) "application/json"
+  | _ -> http_response 404 "not found\n" "text/plain"
+
+let read_request fd =
+  (* Read until the blank line ending the header block; the request line
+     is all we route on. Bounded so a misbehaving client cannot grow the
+     buffer forever. *)
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec loop () =
+    if Buffer.length buf > 16384 then ()
+    else
+      let headers_done =
+        let s = Buffer.contents buf in
+        let has sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        has "\r\n\r\n" || has "\n\n"
+      in
+      if headers_done then ()
+      else
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          loop ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ();
+  match String.split_on_char '\n' (Buffer.contents buf) with
+  | line :: _ -> String.trim line
+  | [] -> ""
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let serve_loop listen_fd stop_flag thresholds obs =
+  while not (Atomic.get stop_flag) do
+    match Unix.accept listen_fd with
+    | client, _ ->
+      (try
+         let line = read_request client in
+         if line <> "" then write_all client (handle thresholds obs line)
+       with _ -> ());
+      (try Unix.close client with _ -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception _ ->
+      (* listening socket closed by [stop] (or a transient accept error
+         racing it): re-check the flag *)
+      if not (Atomic.get stop_flag) then Unix.sleepf 0.01
+  done
+
+let start ?(thresholds = default_thresholds) ~obs ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen fd 16
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stop_flag = Atomic.make false in
+  let dom = Domain.spawn (fun () -> serve_loop fd stop_flag thresholds obs) in
+  { listen_fd = fd; port; stop_flag; dom }
+
+let port t = t.port
+
+let stop t =
+  if not (Atomic.get t.stop_flag) then begin
+    Atomic.set t.stop_flag true;
+    (* closing the listening socket unblocks the accept *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with _ -> ());
+    (try Unix.close t.listen_fd with _ -> ());
+    Domain.join t.dom
+  end
+
+(* ---- loopback client (tests, bench, CI smoke) ---- *)
+
+let fetch ~port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      write_all fd
+        (Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+           path);
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _http :: code :: _ -> ( try int_of_string code with _ -> 0)
+        | _ -> 0
+      in
+      let body =
+        let n = String.length raw in
+        let rec find i =
+          if i + 4 > n then n
+          else if String.sub raw i 4 = "\r\n\r\n" then i + 4
+          else find (i + 1)
+        in
+        let i = find 0 in
+        String.sub raw i (n - i)
+      in
+      (status, body))

@@ -1,0 +1,43 @@
+(** A dependency-free live-export HTTP endpoint ([Unix] sockets only):
+    a single accept loop on its own domain, bound to 127.0.0.1, one
+    request per connection. Routes:
+
+    - [/metrics] — Prometheus text: the full metrics registry
+      ({!Metrics.render_prometheus}) followed by the audit aggregates
+      ({!Audit.render_prometheus}).
+    - [/healthz] — JSON health report; 200 when every check passes,
+      503 otherwise. Checks (against {!health_thresholds}):
+      [compile.queue_depth] gauge, [engine.main_stall_seconds] gauge,
+      [engine.stale_results] counter.
+    - [/audit?n=K] — the K most recent audit records (default 32),
+      newest first, as a JSON array of {!Audit.record_to_json} objects.
+
+    Anything else is 404. The handler reads snapshots only — serving
+    never blocks the engine beyond the registry/ring mutexes. *)
+
+type health_thresholds = {
+  max_queue_depth : int;  (** compile queue depth at the last safepoint *)
+  max_stall_seconds : float;  (** cumulative main-thread compile stall *)
+  max_stale_results : int;  (** background compiles discarded as stale *)
+}
+
+(** queue ≤ 64, stall ≤ 1s, stale ≤ 1000. *)
+val default_thresholds : health_thresholds
+
+type t
+
+(** [start ~obs ~port ()] binds 127.0.0.1:[port] ([port = 0] picks a free
+    one — read it back with {!port}) and spawns the serving domain.
+    Raises [Unix.Unix_error] if the bind fails. *)
+val start : ?thresholds:health_thresholds -> obs:Obs.t -> port:int -> unit -> t
+
+(** The bound port (useful after [~port:0]). *)
+val port : t -> int
+
+(** Close the listening socket and join the serving domain. Idempotent. *)
+val stop : t -> unit
+
+(** [fetch ~port path] — minimal loopback HTTP client for tests, bench
+    and CI smoke: returns (status code, body). Blocking; raises
+    [Unix.Unix_error] when nothing listens on [port]. *)
+val fetch : port:int -> string -> int * string

@@ -81,6 +81,15 @@ let default_latency_bounds =
     5e-2; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0;
   |]
 
+(* Queue waits and install latencies cluster well under the compile times
+   the default grid targets: extend the fine end down to 100ns but stop
+   at 1s — anything longer is a stall, not a queue. *)
+let queue_latency_bounds =
+  [|
+    1e-7; 2e-7; 5e-7; 1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4; 1e-3; 2e-3;
+    5e-3; 1e-2; 2e-2; 5e-2; 0.1; 0.25; 0.5; 1.0;
+  |]
+
 let histogram ?(bounds = default_latency_bounds) t name =
   locked t.mu (fun () ->
       match Hashtbl.find_opt t.histograms name with
@@ -225,6 +234,21 @@ let sanitize name =
     (fun c ->
       match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
     name
+
+(* Label values keep their text verbatim; the exposition format escapes
+   backslash, double quote and newline (in that order of care: escaping
+   the backslash first keeps the mapping injective). *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
 
 let render_prometheus view =
   let buf = Buffer.create 1024 in

@@ -46,6 +46,9 @@ val quantile : histogram -> float -> float
 (** Latency buckets in seconds: 1µs … 10s on a 1-2-5 grid. *)
 val default_latency_bounds : float array
 
+(** Finer buckets for queue waits / install latencies: 100ns … 1s. *)
+val queue_latency_bounds : float array
+
 (** {2 Snapshots and rendering} *)
 
 type histogram_view = {
@@ -76,5 +79,11 @@ val find_histogram : view -> string -> histogram_view option
     ([.] and other non-identifier characters become [_]); histograms
     render cumulative [_bucket{le="…"}] series plus [_sum]/[_count]. *)
 val render_prometheus : view -> string
+
+(** Escape a string for use as a Prometheus label {e value}: backslash,
+    double quote and newline become backslash-escaped sequences. Metric
+    and label {e names} take {!render_prometheus}'s sanitization
+    instead. *)
+val escape_label_value : string -> string
 
 val view_to_json : view -> Jsonx.t

@@ -1,24 +1,37 @@
 type t = {
   m : Metrics.t;
   tr : Tracer.t;
+  au : Audit.t;
 }
 
-let create ?capacity ?clock () =
-  { m = Metrics.create (); tr = Tracer.create ?capacity ?clock () }
+let create ?capacity ?audit_capacity ?clock () =
+  {
+    m = Metrics.create ();
+    tr = Tracer.create ?capacity ?clock ();
+    au = Audit.create ?capacity:audit_capacity ?clock ();
+  }
 
 let metrics t = t.m
 let tracer t = t.tr
+let audit t = t.au
 let set_trace_file t path = Tracer.set_file_sink t.tr path
+let set_audit_file t path = Audit.set_file_sink t.au path
 
 let close = function
   | None -> ()
-  | Some t -> Tracer.close t.tr
+  | Some t ->
+    Tracer.close t.tr;
+    Audit.close t.au
 
-let span obs ?fields ?fields_of name f =
+let now = function None -> 0.0 | Some t -> Tracer.now t.tr
+
+let alloc_id = function None -> None | Some t -> Some (Tracer.alloc_id t.tr)
+
+let span obs ?fields ?fields_of ?parent name f =
   match obs with
   | None -> f ()
   | Some t ->
-    Tracer.with_span t.tr ?fields ?fields_of
+    Tracer.with_span t.tr ?fields ?fields_of ?parent
       ~on_close:(fun dur -> Metrics.observe (Metrics.histogram t.m (name ^ ".seconds")) dur)
       name f
 
@@ -38,10 +51,16 @@ let time obs name f =
       finish ();
       raise e)
 
-let event obs ?fields name =
+let event obs ?fields ?id ?parent name =
   match obs with
   | None -> ()
-  | Some t -> Tracer.event t.tr ?fields name
+  | Some t -> Tracer.event t.tr ?fields ?id ?parent name
+
+let record_span obs ?fields ?parent ~ts ~dur name =
+  match obs with
+  | None -> ()
+  | Some t ->
+    ignore (Tracer.record t.tr ~ts ?parent ~kind:Tracer.Span ~dur ?fields name)
 
 let incr obs name =
   match obs with
@@ -58,10 +77,10 @@ let set_gauge obs name v =
   | None -> ()
   | Some t -> Metrics.set (Metrics.gauge t.m name) v
 
-let observe obs name v =
+let observe obs ?bounds name v =
   match obs with
   | None -> ()
-  | Some t -> Metrics.observe (Metrics.histogram t.m name) v
+  | Some t -> Metrics.observe (Metrics.histogram ?bounds t.m name) v
 
 let view = function
   | None -> Metrics.snapshot (Metrics.create ())

@@ -1,29 +1,50 @@
 (** The observability handle threaded through the engine: a
-    {!Metrics.t} registry plus a {!Tracer.t}, packaged so instrumented
-    code takes an [Obs.t option] and pays nothing when it is [None] —
-    every recording entry point below matches on the option first and the
-    [None] arm is a no-op (for [span]/[time], a direct tail call of the
-    body). *)
+    {!Metrics.t} registry, a {!Tracer.t} and an {!Audit.t} decision
+    trail, packaged so instrumented code takes an [Obs.t option] and pays
+    nothing when it is [None] — every recording entry point below matches
+    on the option first and the [None] arm is a no-op (for [span]/[time],
+    a direct tail call of the body). *)
 
 type t
 
-val create : ?capacity:int -> ?clock:(unit -> float) -> unit -> t
+(** [capacity] bounds the trace ring, [audit_capacity] the audit ring
+    (defaults 4096 / 1024). The three components share [clock], so trace
+    and audit timestamps are directly comparable. *)
+val create :
+  ?capacity:int -> ?audit_capacity:int -> ?clock:(unit -> float) -> unit -> t
 
 val metrics : t -> Metrics.t
 val tracer : t -> Tracer.t
+val audit : t -> Audit.t
 
 (** Mirror all subsequent trace events to [path] as JSON lines. *)
 val set_trace_file : t -> string -> unit
 
-(** Flush and close the trace file sink, if any. [None] is a no-op. *)
+(** Mirror all subsequent audit records to [path] as JSON lines. *)
+val set_audit_file : t -> string -> unit
+
+(** Flush and close the trace and audit file sinks, if any. [None] is a
+    no-op. *)
 val close : t option -> unit
 
+(** Tracer-relative seconds (0 when disabled) — for durations measured
+    across domains and recorded later (queue waits, install latency). *)
+val now : t option -> float
+
+(** Fresh process-unique trace-event id, or [None] when disabled: the
+    cross-domain anchor (record on one domain with [event ?id], parent
+    under it from another with [span ?parent]). *)
+val alloc_id : t option -> int option
+
 (** [span obs name f] — timed span around [f]: records a trace event and
-    observes the duration in histogram ["<name>.seconds"]. *)
+    observes the duration in histogram ["<name>.seconds"]. The span
+    parents to the calling domain's innermost open span unless [parent]
+    overrides it. *)
 val span :
   t option ->
   ?fields:(string * Jsonx.t) list ->
   ?fields_of:('a -> (string * Jsonx.t) list) ->
+  ?parent:int ->
   string ->
   (unit -> 'a) ->
   'a
@@ -32,13 +53,35 @@ val span :
     call sites where one event per call would flood the ring. *)
 val time : t option -> string -> (unit -> 'a) -> 'a
 
-(** Point event into the trace. *)
-val event : t option -> ?fields:(string * Jsonx.t) list -> string -> unit
+(** Point event into the trace; [id]/[parent] as in {!Tracer.event}. *)
+val event :
+  t option ->
+  ?fields:(string * Jsonx.t) list ->
+  ?id:int ->
+  ?parent:int ->
+  string ->
+  unit
+
+(** Synthesize a span measured elsewhere: recorded at start time [ts]
+    (tracer-relative, from {!now}) with duration [dur], without touching
+    the calling domain's span stack. No histogram is implied — pair with
+    {!observe}. *)
+val record_span :
+  t option ->
+  ?fields:(string * Jsonx.t) list ->
+  ?parent:int ->
+  ts:float ->
+  dur:float ->
+  string ->
+  unit
 
 val incr : t option -> string -> unit
 val add : t option -> string -> int -> unit
 val set_gauge : t option -> string -> float -> unit
-val observe : t option -> string -> float -> unit
+
+(** Observe into histogram [name]; [bounds] only applies on first
+    creation (see {!Metrics.histogram}). *)
+val observe : t option -> ?bounds:float array -> string -> float -> unit
 
 (** Snapshot of the metrics registry ([None] → empty view). *)
 val view : t option -> Metrics.view

@@ -5,6 +5,8 @@ type kind =
 type event = {
   seq : int;
   ts : float;
+  id : int;
+  parent : int option;
   kind : kind;
   name : string;
   dur : float;
@@ -14,20 +16,39 @@ type event = {
 
 (* One mutex per tracer serializes ring writes and file-sink output;
    helper compile domains record spans concurrently with the main thread.
-   [cur_depth] is a tracer-wide notion, so under concurrent recording the
-   reported depth of overlapping spans is approximate — durations and
-   ordering (seq) stay exact. *)
+
+   Correlation state is split in two:
+   - ids come from a process-wide atomic, so an id handed out by one
+     tracer (or captured on the main thread and carried into a helper
+     domain) can never collide with an id allocated anywhere else;
+   - the open-span stack lives in domain-local storage, so nesting —
+     and therefore default parents and depths — is exact per domain
+     even when several domains record into one tracer concurrently.
+     Cross-domain edges are explicit: the enqueuing side allocates an
+     anchor id and the helper passes it as [?parent]. *)
 type t = {
   capacity : int;
   ring : event option array;
   mutable head : int;  (* next write slot *)
   mutable total : int;  (* events ever recorded; doubles as next seq *)
-  mutable cur_depth : int;
   mutable chan : out_channel option;
   mu : Mutex.t;
   clock : unit -> float;
   start : float;
 }
+
+let next_id = Atomic.make 1
+
+let alloc_id (_ : t) = Atomic.fetch_and_add next_id 1
+
+(* Per-domain stack of open span ids, innermost first. *)
+let context_key : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get context_key
+
+let current_span (_ : t) =
+  match !(stack ()) with [] -> None | id :: _ -> Some id
 
 let create ?(capacity = 4096) ?(clock : (unit -> float) option) () =
   let clock = match clock with Some c -> c | None -> Clock.now in
@@ -37,7 +58,6 @@ let create ?(capacity = 4096) ?(clock : (unit -> float) option) () =
     ring = Array.make capacity None;
     head = 0;
     total = 0;
-    cur_depth = 0;
     chan = None;
     mu = Mutex.create ();
     clock;
@@ -45,7 +65,7 @@ let create ?(capacity = 4096) ?(clock : (unit -> float) option) () =
   }
 
 let now t = t.clock () -. t.start
-let depth t = t.cur_depth
+let depth (_ : t) = List.length !(stack ())
 
 let set_file_sink t path =
   Mutex.lock t.mu;
@@ -65,6 +85,8 @@ let event_to_json e =
     [
       ("seq", Jsonx.Int e.seq);
       ("ts", Jsonx.Float e.ts);
+      ("id", Jsonx.Int e.id);
+      ("parent", (match e.parent with Some p -> Jsonx.Int p | None -> Jsonx.Null));
       ("kind", Jsonx.String (kind_to_string e.kind));
       ("name", Jsonx.String e.name);
       ("dur", Jsonx.Float e.dur);
@@ -82,6 +104,12 @@ let event_of_json j =
   {
     seq = Jsonx.to_int (Jsonx.member "seq" j);
     ts = Jsonx.to_float (Jsonx.member "ts" j);
+    (* pre-correlation traces carry neither field: id 0 is never allocated *)
+    id = (match Jsonx.member "id" j with Jsonx.Null -> 0 | v -> Jsonx.to_int v);
+    parent =
+      (match Jsonx.member "parent" j with
+      | Jsonx.Null -> None
+      | v -> Some (Jsonx.to_int v));
     kind = kind_of_string (Jsonx.to_str (Jsonx.member "kind" j));
     name = Jsonx.to_str (Jsonx.member "name" j);
     dur = Jsonx.to_float (Jsonx.member "dur" j);
@@ -89,11 +117,13 @@ let event_of_json j =
     fields;
   }
 
-let record t ?ts ?depth ?(kind = Point) ?(dur = 0.0) ?(fields = []) name =
+let record t ?ts ?id ?parent ?depth:d ?(kind = Point) ?(dur = 0.0) ?(fields = []) name =
   let ts = match ts with Some x -> x | None -> now t in
+  let id = match id with Some i -> i | None -> alloc_id t in
+  let parent = match parent with Some _ -> parent | None -> current_span t in
+  let depth = match d with Some d -> d | None -> depth t in
   Mutex.lock t.mu;
-  let depth = match depth with Some d -> d | None -> t.cur_depth in
-  let e = { seq = t.total; ts; kind; name; dur; depth; fields } in
+  let e = { seq = t.total; ts; id; parent; kind; name; dur; depth; fields } in
   t.ring.(t.head) <- Some e;
   t.head <- (t.head + 1) mod t.capacity;
   t.total <- t.total + 1;
@@ -104,18 +134,31 @@ let record t ?ts ?depth ?(kind = Point) ?(dur = 0.0) ?(fields = []) name =
     output_char oc '\n';
     flush oc
   | None -> ());
-  Mutex.unlock t.mu
+  Mutex.unlock t.mu;
+  id
 
-let event t ?fields name = record t ?fields name
+let event t ?fields ?id ?parent name = ignore (record t ?fields ?id ?parent name)
 
-let with_span t ?(fields = []) ?fields_of ?on_close name f =
+let with_span t ?(fields = []) ?fields_of ?parent ?on_close name f =
   let t0 = now t in
-  t.cur_depth <- t.cur_depth + 1;
-  let span_depth = t.cur_depth in
+  let id = alloc_id t in
+  let parent = match parent with Some _ -> parent | None -> current_span t in
+  let st = stack () in
+  st := id :: !st;
+  let span_depth = List.length !st in
   let finish extra =
     let dur = Float.max 0.0 (now t -. t0) in
-    t.cur_depth <- span_depth - 1;
-    record t ~ts:t0 ~depth:span_depth ~kind:Span ~dur ~fields:(fields @ extra) name;
+    (match !st with
+    | top :: rest when top = id -> st := rest
+    | other ->
+      (* unbalanced nesting (an exception tore through a sibling span):
+         drop down to below our frame rather than corrupting the stack *)
+      st := (match List.find_index (Int.equal id) other with
+            | Some i -> List.filteri (fun j _ -> j > i) other
+            | None -> other));
+    ignore
+      (record t ~ts:t0 ~id ?parent ~depth:span_depth ~kind:Span ~dur
+         ~fields:(fields @ extra) name);
     match on_close with Some g -> g dur | None -> ()
   in
   match f () with

@@ -20,5 +20,6 @@ let () =
       Test_fuzz.suite;
       Test_verify_mode.suite;
       Test_obs.suite;
+      Test_audit.suite;
       Test_perf.suite;
     ]

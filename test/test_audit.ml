@@ -1,0 +1,425 @@
+(* The go/no-go audit trail and live export: ring/query semantics, the
+   acceptance record for a VDC-matching function (CVE id, matched passes
+   with EqChains against Thr/Ratio, verdict, DB generation, deciding
+   domain — through both the query API and /audit?n=1), sync-vs-async
+   verdict-sequence equality, trace-file reconstruction of the
+   tier-up → queue-wait → compile → install chain, cache-hit provenance,
+   and the loopback HTTP exporter. *)
+
+open Helpers
+module Obs = Jitbull_obs.Obs
+module Audit = Jitbull_obs.Audit
+module Tracer = Jitbull_obs.Tracer
+module Metrics = Jitbull_obs.Metrics
+module Jsonx = Jitbull_obs.Jsonx
+module Http = Jitbull_obs.Http_export
+module CQ = Jitbull_jit.Compile_queue
+module Op = Jitbull_bytecode.Op
+module Vm = Jitbull_bytecode.Vm
+module Value = Jitbull_runtime.Value
+module V = Jitbull_vdc.Demonstrators
+module Variants = Jitbull_vdc.Variants
+module Db = Jitbull_core.Db
+module Jitbull = Jitbull_core.Jitbull
+
+let test_jobs =
+  match Sys.getenv_opt "JITBULL_TEST_JOBS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 2)
+  | None -> 2
+
+let fake_clock ?(step = 0.001) () =
+  let t = ref 0.0 in
+  fun () ->
+    t := !t +. step;
+    !t
+
+let append_n au n =
+  for i = 0 to n - 1 do
+    let verdict =
+      if i mod 3 = 0 then Audit.Allow else Audit.Disable [ "gvn" ]
+    in
+    let matches =
+      if i mod 3 = 0 then []
+      else
+        [
+          {
+            Audit.cm_cve = Printf.sprintf "CVE-%d" (i mod 2);
+            cm_passes =
+              [
+                {
+                  Audit.pm_pass = "gvn";
+                  pm_side = "removed";
+                  pm_eq_chains = 2 + i;
+                  pm_max_eq_chains = 4 + i;
+                };
+              ];
+          };
+        ]
+    in
+    ignore
+      (Audit.append au
+         ~func_name:(Printf.sprintf "f%d" (i mod 2))
+         ~func_index:(i mod 2) ~bytecode_hash:i ~feedback_hash:(i * 7) ~verdict
+         ~matches ~thr:2 ~ratio:0.5 ~prefilter_candidates:4 ~prefilter_hits:1
+         ~db_generation:1 ~db_size:4 ~source:Audit.Fresh ~duration:1e-6 ())
+  done
+
+(* ---- ring, queries, JSONL, aggregate survival ---- *)
+
+let test_ring_and_queries () =
+  let au = Audit.create ~capacity:4 ~clock:(fake_clock ()) () in
+  let path = Filename.temp_file "jitbull_audit" ".jsonl" in
+  Audit.set_file_sink au path;
+  append_n au 10;
+  check_int "total counts evicted records" 10 (Audit.total au);
+  let held = Audit.records au in
+  check_int "ring bounded" 4 (List.length held);
+  let seqs = List.map (fun (r : Audit.record) -> r.Audit.seq) held in
+  Alcotest.(check (list int)) "newest four, oldest first" [ 6; 7; 8; 9 ] seqs;
+  (match Audit.last au 2 with
+  | [ a; b ] ->
+    check_int "last is newest first" 9 a.Audit.seq;
+    check_int "then the one before" 8 b.Audit.seq
+  | _ -> Alcotest.fail "last 2 should return 2 records");
+  check_int "by_function filters retained records" 2
+    (List.length (Audit.by_function au "f0"));
+  List.iter
+    (fun (r : Audit.record) ->
+      check_bool "by_cve matches only CVE-1" true
+        (List.exists (fun m -> String.equal m.Audit.cm_cve "CVE-1") r.Audit.matches))
+    (Audit.by_cve au "CVE-1");
+  check_bool "by_cve finds records" true (Audit.by_cve au "CVE-1" <> []);
+  (* the JSONL sink saw all 10, and each line round-trips *)
+  Audit.close au;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  check_int "one line per appended record" 10 (List.length !lines);
+  List.iter
+    (fun line ->
+      let r = Audit.record_of_json (Jsonx.parse line) in
+      check_bool "round trip re-encodes identically" true
+        (Jsonx.parse line = Audit.record_to_json r))
+    !lines;
+  Sys.remove path;
+  (* cumulative aggregates survive ring eviction *)
+  let text = Audit.render_prometheus au in
+  let has needle =
+    let nl = String.length needle and l = String.length text in
+    let rec go i = i + nl <= l && (String.equal (String.sub text i nl) needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "records_total counts all appends" true (has "jitbull_audit_records_total 10");
+  check_bool "allow verdicts survive eviction" true
+    (has "jitbull_audit_verdicts_total{verdict=\"allow\"} 4");
+  check_bool "disable verdicts survive eviction" true
+    (has "jitbull_audit_verdicts_total{verdict=\"disable\"} 6")
+
+(* ---- acceptance: the full evidence for a VDC-matching function ---- *)
+
+let check_full_evidence ~where (r : Audit.record) cve =
+  (match r.Audit.verdict with
+  | Audit.Disable passes ->
+    check_bool (where ^ ": gvn disabled") true (List.mem "gvn" passes)
+  | _ -> Alcotest.fail (where ^ ": expected a disable verdict"));
+  let m =
+    match List.find_opt (fun m -> String.equal m.Audit.cm_cve cve) r.Audit.matches with
+    | Some m -> m
+    | None -> Alcotest.fail (where ^ ": no match naming the CVE")
+  in
+  let pm =
+    match List.find_opt (fun p -> String.equal p.Audit.pm_pass "gvn") m.Audit.cm_passes with
+    | Some p -> p
+    | None -> Alcotest.fail (where ^ ": no gvn pass match")
+  in
+  check_bool (where ^ ": EqChains meets Thr") true (pm.Audit.pm_eq_chains >= r.Audit.thr);
+  check_bool (where ^ ": EqChains meets Ratio * MaxEqChains") true
+    (float_of_int pm.Audit.pm_eq_chains
+    >= r.Audit.ratio *. float_of_int pm.Audit.pm_max_eq_chains);
+  check_int "Thr recorded" 2 r.Audit.thr;
+  check_bool "Ratio recorded" true (Float.abs (r.Audit.ratio -. 0.5) < 1e-9);
+  check_bool (where ^ ": DB generation recorded") true (r.Audit.db_generation >= 1);
+  check_bool (where ^ ": DB size recorded") true (r.Audit.db_size >= 1);
+  check_bool (where ^ ": deciding domain recorded") true (r.Audit.domain >= 0);
+  check_bool (where ^ ": fresh, not cached") true (r.Audit.source = Audit.Fresh);
+  check_bool (where ^ ": prefilter hits recorded") true (r.Audit.prefilter_hits >= 1)
+
+let test_vdc_match_full_evidence () =
+  let d = V.find Jitbull_passes.Vuln_config.CVE_2019_17026 in
+  let vulns = VC.make [ d.V.cve ] in
+  let db = Db.create () in
+  check_bool "harvest found DNA" true (Db.harvest db ~cve:d.V.name ~vulns d.V.source > 0);
+  let obs = Obs.create () in
+  let config = Jitbull.config ~obs ~vulns db in
+  (match V.run_exploit config (Variants.apply Variants.Rename d.V.source) d.V.expected with
+  | V.Neutralized -> ()
+  | V.Exploited _ -> Alcotest.fail "variant should have been neutralized");
+  let au = Obs.audit obs in
+  (* query API: by_cve finds the decision with the full evidence *)
+  let r =
+    match Audit.by_cve au d.V.name with
+    | r :: _ -> r
+    | [] -> Alcotest.fail "no audit record names the CVE"
+  in
+  check_full_evidence ~where:"query API" r d.V.name;
+  (* and /audit?n=1 over HTTP returns the same record as JSON *)
+  let srv = Http.start ~obs ~port:0 () in
+  Fun.protect
+    ~finally:(fun () -> Http.stop srv)
+    (fun () ->
+      let code, body = Http.fetch ~port:(Http.port srv) "/audit?n=1" in
+      check_int "/audit?n=1 is 200" 200 code;
+      match Jsonx.to_list_exn (Jsonx.parse body) with
+      | [ j ] ->
+        let newest = List.hd (Audit.last au 1) in
+        check_bool "/audit?n=1 is the newest record" true
+          (Audit.record_of_json j = newest);
+        (* the newest record for this workload is the flagged one *)
+        check_full_evidence ~where:"/audit?n=1" (Audit.record_of_json j) d.V.name
+      | l -> Alcotest.failf "expected exactly one record, got %d" (List.length l))
+
+(* ---- sync and async runs decide identically, and say so ---- *)
+
+(* DNA self-match: harvest [tri]'s own DNA (hot top-level loop crosses
+   the default ion threshold), then any engine compiling the same [tri]
+   against that DB must flag it — deterministically, on any domain. *)
+let self_matching_db () =
+  let db = Db.create () in
+  let harvest_src =
+    "function tri(x) { var t = 0; for (var i = 0; i < x; i++) { t = t + i; } return t; } \
+     var s = 0; for (var j = 0; j < 60; j++) { s = s + tri(10); } print(s);"
+  in
+  check_bool "self-harvest found DNA" true
+    (Db.harvest db ~cve:"CVE-SELF" ~vulns:VC.none harvest_src > 0);
+  db
+
+let drive_src =
+  "function add(a, b) { return a + b; } \
+   function tri(x) { var t = 0; for (var i = 0; i < x; i++) { t = t + i; } return t; }"
+
+let func_idx eng name =
+  let funcs = (Engine.vm eng).Vm.program.Op.funcs in
+  let rec go i =
+    if i >= Array.length funcs then Alcotest.fail ("no function " ^ name)
+    else if String.equal funcs.(i).Op.name name then i
+    else go (i + 1)
+  in
+  go 0
+
+let drive eng =
+  let num n = Value.Number (float_of_int n) in
+  let add = func_idx eng "add" and tri = func_idx eng "tri" in
+  for i = 0 to 9 do
+    ignore (Vm.call_function (Engine.vm eng) add [ num i; num (i + 1) ]);
+    ignore (Vm.call_function (Engine.vm eng) tri [ num (i mod 5) ]);
+    Engine.drain eng
+  done
+
+(* func → verdict labels in decision order, from the retained records *)
+let verdict_sequences au =
+  List.fold_left
+    (fun acc (r : Audit.record) ->
+      let cur = Option.value ~default:[] (List.assoc_opt r.Audit.func_name acc) in
+      (r.Audit.func_name, cur @ [ Audit.verdict_label r.Audit.verdict ])
+      :: List.remove_assoc r.Audit.func_name acc)
+    [] (Audit.records au)
+
+let engine_of ?compile_pool db obs =
+  let cfg = Jitbull.config ?compile_pool ~obs ~vulns:VC.none db in
+  let cfg = { cfg with Engine.baseline_threshold = 2; ion_threshold = 4 } in
+  Engine.create cfg
+    (Jitbull_bytecode.Compiler.compile (Jitbull_frontend.Parser.parse drive_src))
+
+let test_sync_async_audit_agree () =
+  let db = self_matching_db () in
+  let obs_s = Obs.create () and obs_a = Obs.create () in
+  let pool = CQ.create ~jobs:test_jobs () in
+  Fun.protect
+    ~finally:(fun () -> CQ.shutdown pool)
+    (fun () ->
+      drive (engine_of db obs_s);
+      drive (engine_of ~compile_pool:pool db obs_a));
+  let sync_seqs = verdict_sequences (Obs.audit obs_s) in
+  let async_seqs = verdict_sequences (Obs.audit obs_a) in
+  check_bool "sync run audited something" true (sync_seqs <> []);
+  (* every function decided in both runs got the same verdicts, in the
+     same per-function order *)
+  List.iter
+    (fun (func, seq) ->
+      match List.assoc_opt func async_seqs with
+      | Some aseq ->
+        Alcotest.(check (list string)) ("verdicts for " ^ func) seq aseq
+      | None -> ())
+    sync_seqs;
+  (* and the self-match actually flagged tri in both *)
+  List.iter
+    (fun seqs ->
+      match List.assoc_opt "tri" seqs with
+      | Some (v :: _) -> check_bool "tri flagged" true (v <> "allow")
+      | _ -> Alcotest.fail "tri was not audited")
+    [ sync_seqs; async_seqs ]
+
+(* ---- the trace file reconstructs the async compile chain ---- *)
+
+let test_trace_chain_reconstruction () =
+  let db = self_matching_db () in
+  let obs = Obs.create () in
+  let path = Filename.temp_file "jitbull_chain" ".jsonl" in
+  Obs.set_trace_file obs path;
+  let pool = CQ.create ~jobs:test_jobs () in
+  Fun.protect
+    ~finally:(fun () -> CQ.shutdown pool)
+    (fun () -> drive (engine_of ~compile_pool:pool db obs));
+  Obs.close (Some obs);
+  let ic = open_in path in
+  let events = ref [] in
+  (try
+     while true do
+       events := Tracer.event_of_json (Jsonx.parse (input_line ic)) :: !events
+     done
+   with End_of_file -> close_in ic);
+  let events = List.rev !events in
+  Sys.remove path;
+  let named name = List.filter (fun (e : Tracer.event) -> String.equal e.Tracer.name name) events in
+  let tier_ups = named "tier_up_request" in
+  check_bool "tier_up_request recorded" true (tier_ups <> []);
+  (* walk each anchor: the whole enqueue → install chain must hang off it *)
+  let child_of name anchor =
+    List.find_opt
+      (fun (e : Tracer.event) -> e.Tracer.parent = Some anchor)
+      (named name)
+  in
+  let reconstructed =
+    List.filter
+      (fun (t : Tracer.event) ->
+        let anchor = t.Tracer.id in
+        match (child_of "queue_wait" anchor, child_of "compile_task" anchor) with
+        | Some qw, Some task ->
+          check_bool "queue_wait is a span" true (qw.Tracer.kind = Tracer.Span);
+          check_bool "queue_wait duration non-negative" true (qw.Tracer.dur >= 0.0);
+          (* the Ion compile runs inside the task span on the helper *)
+          let compiled =
+            List.exists
+              (fun (e : Tracer.event) -> e.Tracer.parent = Some task.Tracer.id)
+              (named "compile_ion")
+          in
+          check_bool "compile_ion nested in the task" true compiled;
+          (* and the safepoint install (or stale drop) closes the chain *)
+          child_of "async_install" anchor <> None || child_of "stale_result" anchor <> None
+        | _ -> false)
+      tier_ups
+  in
+  check_bool "at least one full tier-up chain reconstructed" true (reconstructed <> []);
+  (* helper-side spans genuinely carry the main-thread anchor as parent *)
+  List.iter
+    (fun (t : Tracer.event) ->
+      check_bool "anchor event is a point" true (t.Tracer.kind = Tracer.Point))
+    reconstructed;
+  (* the queue histograms observed those waits *)
+  let view = Obs.view (Some obs) in
+  check_bool "queued_seconds histogram populated" true
+    (match Metrics.find_histogram view "compile.queued_seconds" with
+    | Some hv -> hv.Metrics.hv_count > 0
+    | None -> false);
+  check_bool "install latency histogram populated" true
+    (match Metrics.find_histogram view "compile.install_latency_seconds" with
+    | Some hv -> hv.Metrics.hv_count > 0
+    | None -> false)
+
+(* ---- cache hits carry their provenance ---- *)
+
+let test_cache_hit_provenance () =
+  let db = self_matching_db () in
+  let obs = Obs.create () in
+  let cfg = Jitbull.config ~obs ~vulns:VC.none db in
+  let cfg = { cfg with Engine.baseline_threshold = 2; ion_threshold = 4 } in
+  (* two engines share the config, hence the policy cache: the second
+     run's decisions replay from it *)
+  drive (Engine.create cfg (Jitbull_bytecode.Compiler.compile (Jitbull_frontend.Parser.parse drive_src)));
+  drive (Engine.create cfg (Jitbull_bytecode.Compiler.compile (Jitbull_frontend.Parser.parse drive_src)));
+  let au = Obs.audit obs in
+  let hits =
+    List.filter (fun (r : Audit.record) -> r.Audit.source = Audit.Cache_hit) (Audit.records au)
+  in
+  check_bool "cache hits audited" true (hits <> []);
+  List.iter
+    (fun (r : Audit.record) ->
+      check_bool "cached record has no fresh match evidence" true (r.Audit.matches = []);
+      check_bool "cached record spent no decision time" true (r.Audit.duration = 0.0);
+      check_bool "cache hit still names the DB generation" true (r.Audit.db_generation >= 1))
+    hits;
+  (* a cached tri verdict agrees with the fresh one *)
+  (match Audit.by_function au "tri" with
+  | fresh :: rest ->
+    check_bool "first tri decision is fresh" true (fresh.Audit.source = Audit.Fresh);
+    (match List.find_opt (fun (r : Audit.record) -> r.Audit.source = Audit.Cache_hit) rest with
+    | Some cached ->
+      check_bool "cached verdict equals fresh verdict" true
+        (Audit.verdict_label cached.Audit.verdict = Audit.verdict_label fresh.Audit.verdict)
+    | None -> Alcotest.fail "no cached tri decision")
+  | [] -> Alcotest.fail "tri was not audited")
+
+(* ---- the HTTP exporter ---- *)
+
+let test_http_endpoints () =
+  let obs = Obs.create () in
+  Metrics.add (Metrics.counter (Obs.metrics obs) "vm.calls") 3;
+  ignore
+    (Audit.append (Obs.audit obs) ~func_name:"f" ~func_index:0 ~bytecode_hash:1
+       ~feedback_hash:2 ~verdict:Audit.Allow ~matches:[] ~thr:2 ~ratio:0.5
+       ~prefilter_candidates:0 ~prefilter_hits:0 ~db_generation:0 ~db_size:0
+       ~source:Audit.Fresh ~duration:0.0 ());
+  let srv = Http.start ~obs ~port:0 () in
+  Fun.protect
+    ~finally:(fun () -> Http.stop srv)
+    (fun () ->
+      let port = Http.port srv in
+      let has hay needle =
+        let nl = String.length needle and l = String.length hay in
+        let rec go i = i + nl <= l && (String.equal (String.sub hay i nl) needle || go (i + 1)) in
+        go 0
+      in
+      let code, body = Http.fetch ~port "/metrics" in
+      check_int "/metrics is 200" 200 code;
+      check_bool "engine metrics exported" true (has body "vm_calls 3");
+      check_bool "audit aggregates exported" true (has body "jitbull_audit_records_total 1");
+      let code, body = Http.fetch ~port "/healthz" in
+      check_int "healthy engine is 200" 200 code;
+      check_bool "healthz reports ok" true (has body "\"status\":\"ok\"");
+      (* push a health check over its threshold *)
+      Metrics.set (Metrics.gauge (Obs.metrics obs) "compile.queue_depth") 65.0;
+      let code, body = Http.fetch ~port "/healthz" in
+      check_int "overloaded queue is 503" 503 code;
+      check_bool "healthz names the failing check" true (has body "queue_depth");
+      Metrics.set (Metrics.gauge (Obs.metrics obs) "compile.queue_depth") 0.0;
+      let code, _ = Http.fetch ~port "/healthz" in
+      check_int "recovers to 200" 200 code;
+      let code, body = Http.fetch ~port "/audit?n=5" in
+      check_int "/audit is 200" 200 code;
+      check_int "one record so far" 1 (List.length (Jsonx.to_list_exn (Jsonx.parse body)));
+      let code, _ = Http.fetch ~port "/nope" in
+      check_int "unknown path is 404" 404 code);
+  (* stop is idempotent and the port is released *)
+  Http.stop srv;
+  check_bool "stopped server refuses" true
+    (match Http.fetch ~port:(Http.port srv) "/metrics" with
+    | exception Unix.Unix_error _ -> true
+    | _ -> false)
+
+let suite =
+  ( "audit",
+    [
+      Alcotest.test_case "ring, queries, JSONL, aggregates" `Quick test_ring_and_queries;
+      Alcotest.test_case "VDC match: full evidence via query API and /audit" `Quick
+        test_vdc_match_full_evidence;
+      Alcotest.test_case "sync and async audit verdicts agree" `Quick
+        test_sync_async_audit_agree;
+      Alcotest.test_case "trace file reconstructs the compile chain" `Quick
+        test_trace_chain_reconstruction;
+      Alcotest.test_case "cache-hit provenance" `Quick test_cache_hit_provenance;
+      Alcotest.test_case "HTTP exporter endpoints" `Quick test_http_endpoints;
+    ] )

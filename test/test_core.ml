@@ -302,7 +302,11 @@ let test_forbid_on_mandatory_pass () =
       ("renumber", snap [ (1, "constant", []) ]);
     ]
   in
-  match analyze ~func_index:0 ~name:"f" ~trace with
+  match
+    analyze
+      ~ctx:{ Engine.cc_bytecode_hash = 0; cc_feedback_hash = 0 }
+      ~func_index:0 ~name:"f" ~trace
+  with
   | Engine.Forbid_jit -> ()
   | Engine.Allow -> Alcotest.fail "expected Forbid, got Allow"
   | Engine.Disable_passes _ -> Alcotest.fail "expected Forbid, got Disable"
@@ -346,7 +350,7 @@ let test_engine_forbid_end_to_end () =
   let delta = { Delta.removed = side; added = Delta.side_of_list [] } in
   Db.add db { Db.cve = "SYNTH-MANDATORY"; dna = { Dna.func_name = "evil"; deltas = [ ("renumber", delta) ] } };
   let monitor = Jitbull.new_monitor () in
-  let analyzer ~func_index:_ ~name:_ ~trace:_ =
+  let analyzer ~ctx:_ ~func_index:_ ~name:_ ~trace:_ =
     (* bypass comparison: always claim the mandatory pass matched *)
     ignore monitor;
     Engine.Disable_passes [ "renumber" ]

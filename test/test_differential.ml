@@ -38,7 +38,7 @@ let qcheck_differential_all_pass_subsets =
       let reference = interp_output src in
       (* run an engine with the analyzer forcing this pass off for every
          function *)
-      let analyzer ~func_index:_ ~name:_ ~trace:_ = Engine.Disable_passes [ pass ] in
+      let analyzer ~ctx:_ ~func_index:_ ~name:_ ~trace:_ = Engine.Disable_passes [ pass ] in
       let config = { jit_config with Engine.analyzer = Some analyzer } in
       String.equal reference (jit_output ~config src))
 

@@ -141,6 +141,140 @@ let test_ring_eviction () =
   check_bool "seq strictly increasing" true
     (List.for_all2 ( < ) (List.filteri (fun i _ -> i < 3) seqs) (List.tl seqs))
 
+(* ---- correlation: ids, parents, cross-domain anchors ---- *)
+
+(* Concurrency width for the multi-domain tracer tests; CI re-runs the
+   suite with JITBULL_TEST_JOBS=1 and 2 (same variable as test_perf). *)
+let test_jobs =
+  match Sys.getenv_opt "JITBULL_TEST_JOBS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 2)
+  | None -> 2
+
+let contains_sub hay needle =
+  let nl = String.length needle and l = String.length hay in
+  let rec go i =
+    i + nl <= l && (String.equal (String.sub hay i nl) needle || go (i + 1))
+  in
+  go 0
+
+let test_span_ids_and_parents () =
+  let tr = Tracer.create ~clock:(fake_clock ()) () in
+  check_bool "no open span at top level" true (Tracer.current_span tr = None);
+  let outer_seen = ref 0 in
+  Tracer.with_span tr "outer" (fun () ->
+      outer_seen := Option.get (Tracer.current_span tr);
+      Tracer.event tr "point";
+      Tracer.with_span tr "inner" (fun () ->
+          check_bool "inner is now innermost" true
+            (Tracer.current_span tr <> Some !outer_seen)));
+  (* the explicit cross-domain edge: anchor on this domain, span under it
+     from a helper domain *)
+  let anchor = Tracer.alloc_id tr in
+  Tracer.event tr ~id:anchor "tier_up";
+  Domain.join
+    (Domain.spawn (fun () ->
+         Tracer.with_span tr ~parent:anchor "helper" (fun () ->
+             Tracer.event tr "child")));
+  let events = Tracer.events tr in
+  let find name =
+    List.find (fun (e : Tracer.event) -> String.equal e.Tracer.name name) events
+  in
+  let outer = find "outer" and inner = find "inner" and point = find "point" in
+  let tier_up = find "tier_up" and helper = find "helper" and child = find "child" in
+  check_int "current_span saw outer's id" outer.Tracer.id !outer_seen;
+  check_bool "outer is top-level" true (outer.Tracer.parent = None);
+  check_bool "point parents to outer" true (point.Tracer.parent = Some outer.Tracer.id);
+  check_bool "inner parents to outer" true (inner.Tracer.parent = Some outer.Tracer.id);
+  check_int "anchor id recorded as given" anchor tier_up.Tracer.id;
+  check_bool "helper-domain span parents to the anchor" true
+    (helper.Tracer.parent = Some anchor);
+  check_bool "helper's child parents to helper (own-domain stack)" true
+    (child.Tracer.parent = Some helper.Tracer.id);
+  let ids = List.map (fun (e : Tracer.event) -> e.Tracer.id) events in
+  check_bool "ids are non-zero" true (List.for_all (fun i -> i > 0) ids);
+  check_int "ids are unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_ring_wraparound_concurrent () =
+  let cap = 32 and per_domain = 50 in
+  let tr = Tracer.create ~capacity:cap ~clock:(fake_clock ()) () in
+  let worker d () =
+    for i = 1 to per_domain do
+      Tracer.with_span tr (Printf.sprintf "d%d_s%d" d i) (fun () ->
+          Tracer.event tr (Printf.sprintf "d%d_e%d" d i))
+    done
+  in
+  List.iter Domain.join (List.init test_jobs (fun d -> Domain.spawn (worker d)));
+  check_int "every event counted across domains" (test_jobs * per_domain * 2)
+    (Tracer.total_recorded tr);
+  let events = Tracer.events tr in
+  check_int "ring stays bounded" cap (List.length events);
+  let seqs = List.map (fun (e : Tracer.event) -> e.Tracer.seq) events in
+  check_bool "seqs strictly increasing oldest-first" true
+    (fst (List.fold_left (fun (ok, prev) s -> (ok && s > prev, s)) (true, -1) seqs));
+  let ids = List.map (fun (e : Tracer.event) -> e.Tracer.id) events in
+  check_int "retained ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  (* span ids are allocated at open, before any child records: every
+     parent reference points backwards. A parent that fell off the ring
+     is an orphan (allowed); one that survived must be a span. *)
+  let by_id = Hashtbl.create cap in
+  List.iter (fun (e : Tracer.event) -> Hashtbl.replace by_id e.Tracer.id e) events;
+  List.iter
+    (fun (e : Tracer.event) ->
+      match e.Tracer.parent with
+      | None -> ()
+      | Some p ->
+        check_bool "parent id precedes child id" true (p < e.Tracer.id);
+        (match Hashtbl.find_opt by_id p with
+        | None -> ()
+        | Some pe -> check_bool "resolved parent is a span" true (pe.Tracer.kind = Tracer.Span)))
+    events
+
+let test_label_escaping () =
+  check_string "backslash, quote and newline escaped"
+    "a\\\\b \\\"q\\\" end\\n"
+    (Metrics.escape_label_value "a\\b \"q\" end\n");
+  check_string "clean value untouched" "plain_value.9"
+    (Metrics.escape_label_value "plain_value.9");
+  (* a hostile function name must not break the exposition format *)
+  let module Audit = Jitbull_obs.Audit in
+  let au = Audit.create () in
+  ignore
+    (Audit.append au ~func_name:"evil\"f\\n{}\nname" ~func_index:0
+       ~bytecode_hash:0 ~feedback_hash:0 ~verdict:Audit.Forbid ~matches:[]
+       ~thr:2 ~ratio:0.5 ~prefilter_candidates:0 ~prefilter_hits:0
+       ~db_generation:0 ~db_size:0 ~source:Audit.Fresh ~duration:0.0 ());
+  let text = Audit.render_prometheus au in
+  check_bool "escaped func label present" true
+    (contains_sub text "func=\"evil\\\"f\\\\n{}\\nname\"");
+  (* no sample line may be torn by a raw newline inside a label value *)
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] <> '#' then
+        check_bool ("sample line has a value: " ^ line) true
+          (String.contains line ' '))
+    (String.split_on_char '\n' text)
+
+let test_queue_latency_bounds () =
+  let b = Metrics.queue_latency_bounds in
+  check_bool "starts at 100ns" true (Float.abs (b.(0) -. 1e-7) < 1e-12);
+  check_float "ends at 1s" 1.0 b.(Array.length b - 1);
+  let increasing = ref true in
+  Array.iteri (fun i x -> if i > 0 then increasing := !increasing && x > b.(i - 1)) b;
+  check_bool "strictly increasing" true !increasing;
+  let m = Metrics.create () in
+  Metrics.observe (Metrics.histogram ~bounds:b m "compile.queued_seconds") 3e-4;
+  let hv =
+    Option.get (Metrics.find_histogram (Metrics.snapshot m) "compile.queued_seconds")
+  in
+  check_int "explicit buckets plus overflow" (Array.length b + 1)
+    (List.length hv.Metrics.hv_buckets);
+  check_bool "+Inf bucket renders" true
+    (contains_sub
+       (Metrics.render_prometheus (Metrics.snapshot m))
+       "compile_queued_seconds_bucket{le=\"+Inf\"} 1")
+
 let test_jsonl_round_trip () =
   let path = Filename.temp_file "jitbull_trace" ".jsonl" in
   let obs = Some (Obs.create ~clock:(fake_clock ()) ()) in
@@ -268,6 +402,11 @@ let suite =
       Alcotest.test_case "span nesting and durations" `Quick test_span_nesting_and_durations;
       Alcotest.test_case "span duration monotonicity" `Quick test_span_duration_monotonicity;
       Alcotest.test_case "ring-buffer eviction" `Quick test_ring_eviction;
+      Alcotest.test_case "span ids and parent resolution" `Quick test_span_ids_and_parents;
+      Alcotest.test_case "ring wraparound under concurrent domains" `Quick
+        test_ring_wraparound_concurrent;
+      Alcotest.test_case "prometheus label-value escaping" `Quick test_label_escaping;
+      Alcotest.test_case "queue latency bounds" `Quick test_queue_latency_bounds;
       Alcotest.test_case "JSON-lines round trip" `Quick test_jsonl_round_trip;
       Alcotest.test_case "json parser" `Quick test_json_parser;
       Alcotest.test_case "disabled obs is transparent" `Quick test_disabled_obs_is_transparent;
