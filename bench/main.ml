@@ -426,7 +426,69 @@ let fuzz_pipeline () =
   let benign = F.Harness.campaign ~profile:`Benign ~seeds:train_seeds ~config:protected_cfg () in
   Printf.printf "benign corpus under the same DB: %d/%d agree, %d signals\n"
     benign.F.Harness.agreements benign.F.Harness.total
-    (List.length benign.F.Harness.signals)
+    (List.length benign.F.Harness.signals);
+
+  (* ---- coverage-guided vs blind generation at equal exec count ---- *)
+  Printf.printf
+    "\ncoverage-guided vs blind generation (fully vulnerable engine, equal budget):\n";
+  let all_vulns = fast { Engine.default_config with Engine.vulns = VC.make VC.all } in
+  let execs = 60 in
+  let guided = F.Harness.guided_campaign ~config:all_vulns ~max_execs:execs () in
+  let blind = F.Harness.blind_sweep ~config:all_vulns ~max_execs:execs () in
+  let rate (g : F.Harness.guided) =
+    float_of_int g.F.Harness.g_execs /. Float.max 1e-9 g.F.Harness.g_seconds
+  in
+  Printf.printf "  %-8s %6s %9s %8s %8s  %s\n" "mode" "execs" "coverage" "signals"
+    "execs/s" "corpus";
+  let row name (g : F.Harness.guided) =
+    Printf.printf "  %-8s %6d %9d %8d %8.0f  %d\n" name g.F.Harness.g_execs
+      g.F.Harness.g_coverage
+      (List.length g.F.Harness.g_signals)
+      (rate g) g.F.Harness.g_corpus_size
+  in
+  row "guided" guided;
+  row "blind" blind;
+  let curve_string (g : F.Harness.guided) =
+    g.F.Harness.g_curve
+    |> List.map (fun (p : F.Harness.curve_point) ->
+           Printf.sprintf "%d:%d" p.F.Harness.cp_execs p.F.Harness.cp_coverage)
+    |> String.concat " "
+  in
+  Printf.printf "  guided coverage curve (exec:features): %s\n" (curve_string guided);
+  Printf.printf "  blind  coverage curve (exec:features): %s\n" (curve_string blind);
+  Printf.printf "  guided %s blind at equal exec count\n"
+    (if guided.F.Harness.g_coverage > blind.F.Harness.g_coverage then "dominates"
+     else "DOES NOT dominate");
+  let curve_json (g : F.Harness.guided) =
+    Jsonx.List
+      (List.map
+         (fun (p : F.Harness.curve_point) ->
+           Jsonx.List [ Jsonx.Int p.F.Harness.cp_execs; Jsonx.Int p.F.Harness.cp_coverage ])
+         g.F.Harness.g_curve)
+  in
+  let mode_json (g : F.Harness.guided) =
+    Jsonx.Assoc
+      [
+        ("execs", Jsonx.Int g.F.Harness.g_execs);
+        ("coverage", Jsonx.Int g.F.Harness.g_coverage);
+        ("signals", Jsonx.Int (List.length g.F.Harness.g_signals));
+        ("corpus", Jsonx.Int g.F.Harness.g_corpus_size);
+        ("execs_per_sec", Jsonx.Float (rate g));
+        ("coverage_curve", curve_json g);
+      ]
+  in
+  emit "fuzz"
+    (Jsonx.Assoc
+       [
+         ("train_signals", Jsonx.Int (List.length train.F.Harness.signals));
+         ("harvested_entries", Jsonx.Int n);
+         ("fresh_exploits_unprotected", Jsonx.Int (List.length before.F.Harness.signals));
+         ("fresh_exploits_protected", Jsonx.Int (List.length after.F.Harness.signals));
+         ("guided", mode_json guided);
+         ("blind", mode_json blind);
+         ( "guided_dominates",
+           Jsonx.Bool (guided.F.Harness.g_coverage > blind.F.Harness.g_coverage) );
+       ])
 
 (* ---- Ablation: comparator parameters and sub-chain size ----
 

@@ -2,18 +2,28 @@
    pipeline.
 
      jitbull-fuzz --count 100                        benign differential run
-     jitbull-fuzz --aggressive --vuln CVE-2019-17026 --count 50
-     jitbull-fuzz --aggressive --vuln ... --auto-db out.db
-                                                     harvest findings' DNA *)
+     jitbull-fuzz --aggressive --vuln all --count 50
+     jitbull-fuzz --aggressive --vuln all --corpus corpus/ --time-budget 60
+                                                     coverage-guided campaign
+     jitbull-fuzz --aggressive --vuln all --auto-db out.db --minimize
+                                                     harvest + shrink findings
+
+   Exit status is nonzero whenever the campaign ends with un-harvested
+   signals: any signal at all without --auto-db, or a signal the freshly
+   harvested database fails to neutralize with it — so CI can gate on the
+   binary directly. *)
 
 open Cmdliner
 module F = Jitbull_fuzz
 module VC = Jitbull_passes.Vuln_config
 module Engine = Jitbull_jit.Engine
+module Compile_queue = Jitbull_jit.Compile_queue
 module Db = Jitbull_core.Db
+module Jitbull = Jitbull_core.Jitbull
 
-let run count seed0 aggressive vuln_names auto_db verbose =
-  let vulns =
+let parse_vulns vuln_names =
+  if List.mem "all" vuln_names then VC.make VC.all
+  else
     VC.make
       (List.map
          (fun name ->
@@ -21,48 +31,142 @@ let run count seed0 aggressive vuln_names auto_db verbose =
            | Some cve -> cve
            | None -> failwith ("unknown CVE " ^ name))
          vuln_names)
-  in
-  let config =
-    { Engine.default_config with Engine.baseline_threshold = 2; ion_threshold = 4; vulns }
-  in
-  let profile = if aggressive then `Aggressive else `Benign in
-  let seeds = List.init count (fun i -> seed0 + i) in
-  let report = F.Harness.campaign ~profile ~seeds ~config () in
-  Printf.printf "programs: %d  agree: %d  signals: %d\n" report.F.Harness.total
-    report.F.Harness.agreements
-    (List.length report.F.Harness.signals);
-  List.iter
-    (fun (f : F.Harness.finding) ->
-      Printf.printf "  seed %-6d %s\n" f.F.Harness.seed
-        (F.Oracle.verdict_summary f.F.Harness.verdict);
-      if verbose then print_string f.F.Harness.source)
-    report.F.Harness.signals;
-  (match auto_db with
-  | Some path when report.F.Harness.signals <> [] ->
-    let db = if Sys.file_exists path then Db.load path else Db.create () in
-    let n = F.Harness.auto_harvest ~vulns ~db report.F.Harness.signals in
-    Db.save db path;
-    Printf.printf "auto-harvested %d DNA entries into %s\n" n path
-  | Some path -> Printf.printf "no signals; %s unchanged\n" path
-  | None -> ());
-  (* benign campaigns are expected to be all-green: nonzero exit otherwise *)
-  if (not aggressive) && report.F.Harness.signals <> [] then `Error (false, "miscompilation signals found")
-  else `Ok ()
 
-let count = Arg.(value & opt int 50 & info [ "count" ] ~docv:"N" ~doc:"Programs to generate.")
+let fast cfg = { cfg with Engine.baseline_threshold = 2; Engine.ion_threshold = 4 }
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+let run count seed0 aggressive vuln_names auto_db verbose corpus_dir guided minimize
+    time_budget jobs =
+  let vulns = parse_vulns vuln_names in
+  let pool = if jobs > 0 then Some (Compile_queue.create ~jobs ()) else None in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Compile_queue.shutdown pool)
+    (fun () ->
+      let config =
+        fast { Engine.default_config with Engine.vulns; compile_pool = pool }
+      in
+      let use_guided = guided || corpus_dir <> None in
+      let signals, total =
+        if use_guided then begin
+          let corpus = F.Corpus.create ?dir:corpus_dir () in
+          let seed_sources =
+            if aggressive then F.Harness.default_seed_sources ()
+            else List.init 8 (fun i -> F.Generator.benign ~seed:(seed0 + i))
+          in
+          let g =
+            F.Harness.guided_campaign ~config ~corpus ~rng_seed:seed0 ?time_budget
+              ~seed_sources ~max_execs:count ()
+          in
+          Printf.printf
+            "execs: %d  coverage: %d features  corpus: %d entries  signals: %d  (%.1f execs/s)\n"
+            g.F.Harness.g_execs g.F.Harness.g_coverage g.F.Harness.g_corpus_size
+            (List.length g.F.Harness.g_signals)
+            (float_of_int g.F.Harness.g_execs /. Float.max 1e-9 g.F.Harness.g_seconds);
+          (g.F.Harness.g_signals, g.F.Harness.g_execs)
+        end
+        else begin
+          let profile = if aggressive then `Aggressive else `Benign in
+          let seeds = List.init count (fun i -> seed0 + i) in
+          let report = F.Harness.campaign ~profile ~seeds ~config () in
+          Printf.printf "programs: %d  agree: %d  signals: %d\n" report.F.Harness.total
+            report.F.Harness.agreements
+            (List.length report.F.Harness.signals);
+          (report.F.Harness.signals, report.F.Harness.total)
+        end
+      in
+      ignore total;
+      List.iter
+        (fun (f : F.Harness.finding) ->
+          Printf.printf "  %s %-6d %s\n"
+            (if use_guided then "exec" else "seed")
+            f.F.Harness.seed
+            (F.Oracle.verdict_summary f.F.Harness.verdict);
+          if verbose then print_string f.F.Harness.source)
+        signals;
+      if minimize && signals <> [] then begin
+        let crash_dir =
+          match corpus_dir with
+          | Some d ->
+            let dir = Filename.concat d "crashes" in
+            if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+            Some dir
+          | None -> None
+        in
+        List.iter
+          (fun (f : F.Harness.finding) ->
+            let small =
+              F.Shrink.shrink_signal ~config ~verdict:f.F.Harness.verdict
+                f.F.Harness.source
+            in
+            Printf.printf "  minimized %d: %d -> %d bytes\n" f.F.Harness.seed
+              (String.length f.F.Harness.source)
+              (String.length small);
+            match crash_dir with
+            | Some dir -> write_file (Filename.concat dir (Printf.sprintf "min-%06d.js" f.F.Harness.seed)) small
+            | None -> if verbose then print_string small)
+          signals
+      end;
+      let unharvested =
+        match auto_db with
+        | Some path when signals <> [] ->
+          let db = if Sys.file_exists path then Db.load path else Db.create () in
+          let n = F.Harness.auto_harvest ~vulns ~db signals in
+          Db.save db path;
+          Printf.printf "auto-harvested %d DNA entries into %s\n" n path;
+          (* does the fuzz-fed database actually neutralize what was found? *)
+          let protected_cfg = fast (Jitbull.config ~vulns db) in
+          F.Harness.unharvested ~config:protected_cfg signals
+        | Some path ->
+          Printf.printf "no signals; %s unchanged\n" path;
+          []
+        | None -> signals
+      in
+      match unharvested with
+      | [] -> `Ok ()
+      | fs ->
+        `Error
+          ( false,
+            Printf.sprintf "%d un-harvested signal%s" (List.length fs)
+              (if List.length fs = 1 then "" else "s") ))
+
+let count =
+  Arg.(value & opt int 50 & info [ "count" ] ~docv:"N" ~doc:"Programs to execute.")
 let seed0 = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"First seed.")
 let aggressive =
   Arg.(value & flag & info [ "aggressive" ] ~doc:"Generate exploit-shaped programs.")
 let vuln_names =
-  Arg.(value & opt_all string [] & info [ "vuln" ] ~docv:"CVE" ~doc:"Activate pass bugs.")
+  Arg.(value & opt_all string [] & info [ "vuln" ] ~docv:"CVE"
+       ~doc:"Activate pass bugs ($(b,all) = every modeled CVE).")
 let auto_db =
   Arg.(value & opt (some string) None & info [ "auto-db" ] ~docv:"FILE"
        ~doc:"Harvest DNA of every finding into this database (paper §IV-A).")
 let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Print finding sources.")
+let corpus_dir =
+  Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR"
+       ~doc:"Coverage-guided mode, corpus persisted to (and reloaded from) $(docv).")
+let guided =
+  Arg.(value & flag & info [ "guided" ]
+       ~doc:"Coverage-guided mode without persistence (implied by $(b,--corpus)).")
+let minimize =
+  Arg.(value & flag & info [ "minimize" ]
+       ~doc:"Delta-debug each finding to a small reproducer (saved under \
+             CORPUS/crashes/ when a corpus directory is set).")
+let time_budget =
+  Arg.(value & opt (some float) None & info [ "time-budget" ] ~docv:"S"
+       ~doc:"Stop the guided campaign after $(docv) seconds.")
+let jobs =
+  Arg.(value & opt int 0 & info [ "jobs" ] ~docv:"N"
+       ~doc:"Background-compile the campaign engine with $(docv) helper domains.")
 
 let cmd =
   Cmd.v
     (Cmd.info "jitbull-fuzz" ~doc:"differential fuzzing with auto-harvest into JITBULL")
-    Term.(ret (const run $ count $ seed0 $ aggressive $ vuln_names $ auto_db $ verbose))
+    Term.(
+      ret
+        (const run $ count $ seed0 $ aggressive $ vuln_names $ auto_db $ verbose
+       $ corpus_dir $ guided $ minimize $ time_budget $ jobs))
 
 let () = exit (Cmd.eval cmd)

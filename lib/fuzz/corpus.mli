@@ -1,0 +1,32 @@
+(** Corpus of coverage-increasing inputs.
+
+    The harness adds an input only when it contributed new coverage
+    features (or produced a signal); {!pick} draws a mutation parent,
+    weighted by how much coverage the entry gained when admitted, so
+    inputs that opened new engine behavior are mutated more often.
+
+    With a [dir], entries persist as [NNNNNN.js] files; {!create} reloads
+    whatever a previous campaign left there (the nightly CI job keeps the
+    directory as a cached artifact), and {!add} writes through. *)
+
+type entry = {
+  id : int;
+  source : string;
+  gain : int;  (** new coverage features when admitted (≥ 1) *)
+}
+
+type t
+
+(** [create ?dir ()] — an empty corpus, or one reloaded from [dir]
+    (created if missing; reloaded entries get [gain = 1]). *)
+val create : ?dir:string -> unit -> t
+
+val length : t -> int
+val entries : t -> entry list
+val dir : t -> string option
+
+(** [add t ~gain source] — admit, persist when backed by a directory. *)
+val add : t -> gain:int -> string -> entry
+
+(** Gain-weighted random draw; [None] on an empty corpus. *)
+val pick : Jitbull_util.Prng.t -> t -> entry option

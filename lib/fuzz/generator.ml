@@ -39,7 +39,18 @@ let rec num_expr g vars depth =
         (num_expr g vars (depth - 1)) (num_expr g vars (depth - 1))
     | _ -> Printf.sprintf "Math.floor(%s / 3)" (num_expr g vars (depth - 1))
 
-let benign_function g idx =
+type params = {
+  p_seed : int;
+  p_funcs : int;  (* top-level functions (≥ 1) *)
+  p_rounds : int;  (* warm-up rounds in the top-level driver loop (≥ 1) *)
+  p_depth : int;  (* expression nesting depth (≥ 0) *)
+}
+
+let show_params p =
+  Printf.sprintf "{seed=%d; funcs=%d; rounds=%d; depth=%d}" p.p_seed p.p_funcs p.p_rounds
+    p.p_depth
+
+let benign_function g ~depth idx =
   let name = Printf.sprintf "fn%d" idx in
   let params = [ "p0"; "p1" ] in
   let body = Buffer.create 128 in
@@ -47,14 +58,14 @@ let benign_function g idx =
   let emit fmt = Printf.ksprintf (fun s -> Buffer.add_string body ("  " ^ s ^ "\n")) fmt in
   for _ = 1 to 1 + Random.State.int g.rng 3 do
     let v = fresh g in
-    emit "var %s = %s;" v (num_expr g !vars 2);
+    emit "var %s = %s;" v (num_expr g !vars depth);
     vars := v :: !vars
   done;
   let acc = fresh g in
   let i = fresh g in
   emit "var %s = 0;" acc;
   emit "for (var %s = 0; %s < %d; %s++) {" i i (2 + Random.State.int g.rng 6) i;
-  emit "  %s = (%s + %s) %% 100003;" acc acc (num_expr g (i :: !vars) 2);
+  emit "  %s = (%s + %s) %% 100003;" acc acc (num_expr g (i :: !vars) depth);
   (match Random.State.int g.rng 4 with
   | 0 -> emit "  if (%s %% 2 == 0) { %s = %s + 1; } else { %s = %s - 1; }" i acc acc acc acc
   | 1 -> emit "  if (%s > 50) { continue; }" acc
@@ -73,21 +84,29 @@ let benign_function g idx =
   Printf.sprintf "function %s(%s) {\n%s}\n" name (String.concat ", " params)
     (Buffer.contents body)
 
-let benign ~seed =
-  let g = { rng = Random.State.make [| seed; 0x6265 |]; n_vars = 0 } in
-  let n_funcs = 1 + Random.State.int g.rng 3 in
+let benign_params { p_seed; p_funcs; p_rounds; p_depth } =
+  let g = { rng = Random.State.make [| p_seed; 0x6265 |]; n_vars = 0 } in
+  let n_funcs = max 1 p_funcs in
+  let rounds = max 1 p_rounds in
+  let depth = max 0 p_depth in
   let buf = Buffer.create 512 in
   for i = 0 to n_funcs - 1 do
-    Buffer.add_string buf (benign_function g i)
+    Buffer.add_string buf (benign_function g ~depth i)
   done;
   Buffer.add_string buf "var total = 0;\n";
-  Buffer.add_string buf "for (var round = 0; round < 12; round++) {\n";
+  Buffer.add_string buf (Printf.sprintf "for (var round = 0; round < %d; round++) {\n" rounds);
   for i = 0 to n_funcs - 1 do
     Buffer.add_string buf
       (Printf.sprintf "  total = (total + fn%d(round, %d)) %% 1000003;\n" i (i + 3))
   done;
   Buffer.add_string buf "}\nprint(total);\n";
   Buffer.contents buf
+
+let default_params ~seed =
+  let rng = Random.State.make [| seed; 0x6265 |] in
+  { p_seed = seed; p_funcs = 1 + Random.State.int rng 3; p_rounds = 12; p_depth = 2 }
+
+let benign ~seed = benign_params (default_params ~seed)
 
 (* ---- aggressive ---- *)
 

@@ -14,6 +14,24 @@
       on a vulnerable engine some of them corrupt the simulated heap —
       exactly the crashing inputs a fuzzer hands to JITBULL. *)
 
+(** Explicit benign-generator parameters, so property tests can shrink a
+    failing case structurally (fewer functions, fewer warm-up rounds,
+    shallower expressions) instead of reporting an opaque seed. *)
+type params = {
+  p_seed : int;
+  p_funcs : int;  (** top-level functions (clamped ≥ 1) *)
+  p_rounds : int;  (** warm-up rounds in the driver loop (clamped ≥ 1) *)
+  p_depth : int;  (** expression nesting depth (clamped ≥ 0) *)
+}
+
+val show_params : params -> string
+
+(** The parameters {!benign} uses for [seed] (funcs drawn from the seed,
+    12 rounds, depth 2). *)
+val default_params : seed:int -> params
+
+val benign_params : params -> string
+
 val benign : seed:int -> string
 
 val aggressive : seed:int -> string

@@ -1,5 +1,8 @@
 module Engine = Jitbull_jit.Engine
 module Db = Jitbull_core.Db
+module VC = Jitbull_passes.Vuln_config
+module Demonstrators = Jitbull_vdc.Demonstrators
+module Prng = Jitbull_util.Prng
 
 type finding = {
   seed : int;
@@ -40,3 +43,120 @@ let auto_harvest ~vulns ~db findings =
     (fun acc (f : finding) ->
       acc + Db.harvest db ~cve:(Printf.sprintf "FUZZ-%d" f.seed) ~vulns f.source)
     0 findings
+
+(* ---- coverage-guided campaigns ---- *)
+
+type curve_point = {
+  cp_execs : int;
+  cp_coverage : int;
+}
+
+type guided = {
+  g_execs : int;
+  g_signals : finding list;
+  g_coverage : int;
+  g_curve : curve_point list;
+  g_corpus_size : int;
+  g_seconds : float;
+  g_cve_execs : (VC.cve * int) list;
+}
+
+let vdc_seed_sources () =
+  List.map (fun (d : Demonstrators.t) -> d.Demonstrators.source) Demonstrators.all
+
+let default_seed_sources ?(benign = 4) ?(aggressive = 8) ?(vdc = true) () =
+  List.init benign (fun i -> Generator.benign ~seed:i)
+  @ List.init aggressive (fun i -> Generator.aggressive ~seed:i)
+  @ (if vdc then vdc_seed_sources () else [])
+
+(* Does [source] exploit an engine where {e only} [cve] is live? Probing
+   with the analyzer/cache/pool stripped keeps attribution independent of
+   whatever mitigation the campaign config carries. *)
+let exploits_single_cve ~base cve source =
+  let config =
+    {
+      base with
+      Engine.vulns = VC.make [ cve ];
+      analyzer = None;
+      policy_cache = None;
+      compile_pool = None;
+      obs = None;
+    }
+  in
+  Oracle.is_exploit_signal (Oracle.run ~config source)
+
+let guided_campaign ?(config = Oracle.default_config) ?corpus ?coverage ?(rng_seed = 0)
+    ?time_budget ?seed_sources ?(mutation = true) ?(track_cves = false) ~max_execs () =
+  let cov = match coverage with Some c -> c | None -> Coverage.create () in
+  let corpus = match corpus with Some c -> c | None -> Corpus.create () in
+  let rng = Prng.create (0x6a21b011 + rng_seed) in
+  let t0 = Unix.gettimeofday () in
+  (* inputs a previous campaign persisted: replay them to repopulate the
+     coverage map without re-admitting them *)
+  let replay = ref (List.map (fun e -> e.Corpus.source) (Corpus.entries corpus)) in
+  let seeds =
+    ref (match seed_sources with Some l -> l | None -> default_seed_sources ())
+  in
+  let execs = ref 0 in
+  let signals = ref [] in
+  let curve = ref [] in
+  let unattributed = ref (if track_cves then VC.all else []) in
+  let cve_execs = ref [] in
+  let within_budget () =
+    !execs < max_execs
+    &&
+    match time_budget with
+    | None -> true
+    | Some s -> Unix.gettimeofday () -. t0 < s
+  in
+  while within_budget () do
+    let source, replaying =
+      match !replay with
+      | s :: rest ->
+        replay := rest;
+        (s, true)
+      | [] -> (
+        match !seeds with
+        | s :: rest ->
+          seeds := rest;
+          (s, false)
+        | [] ->
+          if mutation then (
+            match Corpus.pick rng corpus with
+            | Some e -> (Mutator.mutate rng e.Corpus.source, false)
+            | None -> (Generator.aggressive ~seed:!execs, false))
+          else (Generator.aggressive ~seed:!execs, false))
+    in
+    incr execs;
+    let inst = Oracle.run_instrumented ~config source in
+    let gained = Coverage.add_features cov (Coverage.features_of_run inst) in
+    if gained > 0 then begin
+      curve := { cp_execs = !execs; cp_coverage = Coverage.count cov } :: !curve;
+      if not replaying then ignore (Corpus.add corpus ~gain:gained source)
+    end;
+    if Oracle.is_exploit_signal inst.Oracle.i_verdict then begin
+      signals := { seed = !execs; source; verdict = inst.Oracle.i_verdict } :: !signals;
+      if !unattributed <> [] then begin
+        let hit = List.filter (fun cve -> exploits_single_cve ~base:config cve source) !unattributed in
+        unattributed := List.filter (fun c -> not (List.mem c hit)) !unattributed;
+        List.iter (fun c -> cve_execs := (c, !execs) :: !cve_execs) hit
+      end
+    end
+  done;
+  {
+    g_execs = !execs;
+    g_signals = List.rev !signals;
+    g_coverage = Coverage.count cov;
+    g_curve = List.rev !curve;
+    g_corpus_size = Corpus.length corpus;
+    g_seconds = Unix.gettimeofday () -. t0;
+    g_cve_execs = List.rev !cve_execs;
+  }
+
+let blind_sweep ?(config = Oracle.default_config) ?(track_cves = false) ~max_execs () =
+  guided_campaign ~config ~mutation:false ~seed_sources:[] ~track_cves ~max_execs ()
+
+let unharvested ~config findings =
+  List.filter
+    (fun (f : finding) -> Oracle.is_exploit_signal (Oracle.run ~config f.source))
+    findings

@@ -1,10 +1,11 @@
-(** Fuzzing campaigns, including the paper's §IV-A pipeline: "feed the
-    output of JIT fuzzers directly to [JITBULL's] database — as soon as a
-    crashing code example is detected, JITBULL will be able to
-    automatically prevent similar exploit codes from running". *)
+(** Fuzzing campaigns, including the paper's §IV-A pipeline ("feed the
+    output of JIT fuzzers directly to [JITBULL's] database") and the
+    coverage-guided loop layered on top of it. *)
 
 type finding = {
   seed : int;
+      (** generator seed for {!campaign}; execution index (1-based) for
+          {!guided_campaign} *)
   source : string;
   verdict : Oracle.verdict;
 }
@@ -15,10 +16,10 @@ type report = {
   signals : finding list;  (** exploit signals, oldest first *)
 }
 
-(** [campaign ~profile ~seeds ?config ()] runs the generator over [seeds]
-    and classifies each program. [`Benign] programs are expected to agree
-    on any engine; [`Aggressive] programs surface exploit signals when
-    [config] carries active vulnerabilities. *)
+(** [campaign ~profile ~seeds ?config ()] — the blind sweep: run the
+    generator over [seeds] and classify each program. [`Benign] programs
+    are expected to agree on any engine; [`Aggressive] programs surface
+    exploit signals when [config] carries active vulnerabilities. *)
 val campaign :
   profile:[ `Benign | `Aggressive ] ->
   seeds:int list ->
@@ -32,3 +33,71 @@ val campaign :
     added. *)
 val auto_harvest :
   vulns:Jitbull_passes.Vuln_config.t -> db:Jitbull_core.Db.t -> finding list -> int
+
+(** {2 Coverage-guided campaigns} *)
+
+type curve_point = {
+  cp_execs : int;
+  cp_coverage : int;
+}
+
+type guided = {
+  g_execs : int;
+  g_signals : finding list;  (** oldest first *)
+  g_coverage : int;  (** distinct features at the end *)
+  g_curve : curve_point list;
+      (** one point per coverage-increasing execution, oldest first *)
+  g_corpus_size : int;
+  g_seconds : float;
+  g_cve_execs : (Jitbull_passes.Vuln_config.cve * int) list;
+      (** with [track_cves]: execution index at which each CVE was first
+          attributed to a signal (single-CVE engine probes) *)
+}
+
+(** The VDC catalog's demonstrator sources, in catalog order. *)
+val vdc_seed_sources : unit -> string list
+
+(** Default seed schedule of {!guided_campaign}: a few benign programs,
+    the first aggressive gadget compositions, then the VDC catalog. *)
+val default_seed_sources :
+  ?benign:int -> ?aggressive:int -> ?vdc:bool -> unit -> string list
+
+(** [guided_campaign ?config ... ~max_execs ()] — the coverage-guided
+    loop: replay any inputs already in [corpus], run the seed schedule,
+    then mutate gain-weighted corpus picks ({!Mutator}); every execution
+    is instrumented ({!Oracle.run_instrumented}) and admitted to [corpus]
+    iff it contributed new {!Coverage} features. [time_budget] (seconds)
+    bounds wall-clock in addition to [max_execs]. With [track_cves],
+    every signal is attributed against single-CVE engines until all
+    modeled CVEs are accounted for. [mutation:false] degrades to the
+    blind generator sweep (still instrumented — used as the baseline the
+    guided mode must dominate). Deterministic for fixed inputs and
+    [rng_seed] apart from [time_budget] and [g_seconds]. *)
+val guided_campaign :
+  ?config:Jitbull_jit.Engine.config ->
+  ?corpus:Corpus.t ->
+  ?coverage:Coverage.t ->
+  ?rng_seed:int ->
+  ?time_budget:float ->
+  ?seed_sources:string list ->
+  ?mutation:bool ->
+  ?track_cves:bool ->
+  max_execs:int ->
+  unit ->
+  guided
+
+(** Blind aggressive generator sweep (seed = execution index) with the
+    same instrumentation — the baseline for coverage comparisons. *)
+val blind_sweep :
+  ?config:Jitbull_jit.Engine.config ->
+  ?track_cves:bool ->
+  max_execs:int ->
+  unit ->
+  guided
+
+(** [unharvested ~config findings] — the findings that still produce an
+    exploit signal under [config] (typically a go/no-go-armed engine
+    built from the freshly harvested DB): what the nightly CI job fails
+    on. *)
+val unharvested :
+  config:Jitbull_jit.Engine.config -> finding list -> finding list

@@ -1,0 +1,250 @@
+module Ast = Jitbull_frontend.Ast
+module Parser = Jitbull_frontend.Parser
+module Printer = Jitbull_frontend.Printer
+module Prng = Jitbull_util.Prng
+
+type kind =
+  | Splice
+  | Dup_stmt
+  | Drop_stmt
+  | Perturb_number
+  | Resize_around_access
+  | Hot_loop
+
+let kinds = [ Splice; Dup_stmt; Drop_stmt; Perturb_number; Resize_around_access; Hot_loop ]
+
+let kind_name = function
+  | Splice -> "splice"
+  | Dup_stmt -> "dup-stmt"
+  | Drop_stmt -> "drop-stmt"
+  | Perturb_number -> "perturb-number"
+  | Resize_around_access -> "resize-around-access"
+  | Hot_loop -> "hot-loop"
+
+(* Bodies are addressed 0 = main, k+1 = k-th top-level function; mutations
+   insert/remove/replace at the top level of one body (the generators put
+   the interesting statements there). *)
+
+let n_bodies (p : Ast.program) = 1 + List.length p.Ast.functions
+
+let nth_body (p : Ast.program) k =
+  if k = 0 then p.Ast.main else (List.nth p.Ast.functions (k - 1)).Ast.body
+
+let set_body (p : Ast.program) k body =
+  if k = 0 then { p with Ast.main = body }
+  else
+    {
+      p with
+      Ast.functions =
+        List.mapi
+          (fun i fn -> if i = k - 1 then { fn with Ast.body } else fn)
+          p.Ast.functions;
+    }
+
+let insert_at lst i x =
+  let rec go i = function
+    | rest when i = 0 -> x :: rest
+    | [] -> [ x ]
+    | y :: rest -> y :: go (i - 1) rest
+  in
+  go i lst
+
+let remove_at lst i = List.filteri (fun j _ -> j <> i) lst
+
+let replace_at lst i x = List.mapi (fun j y -> if j = i then x else y) lst
+
+let fold_program_exprs f acc (p : Ast.program) =
+  let acc =
+    List.fold_left
+      (fun acc (fn : Ast.func) -> List.fold_left (Ast.fold_stmt_exprs f) acc fn.Ast.body)
+      acc p.Ast.functions
+  in
+  List.fold_left (Ast.fold_stmt_exprs f) acc p.Ast.main
+
+(* pick a random body, optionally requiring it non-empty; None when every
+   candidate is empty *)
+let pick_body rng p ~nonempty =
+  let candidates =
+    List.init (n_bodies p) (fun k -> k)
+    |> List.filter (fun k -> (not nonempty) || nth_body p k <> [])
+  in
+  match candidates with [] -> None | ks -> Some (Prng.choose rng ks)
+
+let all_stmts p =
+  List.concat_map (fun (fn : Ast.func) -> fn.Ast.body) p.Ast.functions @ p.Ast.main
+
+let splice rng p =
+  match all_stmts p with
+  | [] -> p
+  | donors -> (
+    let stmt = Prng.choose rng donors in
+    match pick_body rng p ~nonempty:false with
+    | None -> p
+    | Some k ->
+      let body = nth_body p k in
+      set_body p k (insert_at body (Prng.int rng (List.length body + 1)) stmt))
+
+let dup_stmt rng p =
+  match pick_body rng p ~nonempty:true with
+  | None -> p
+  | Some k ->
+    let body = nth_body p k in
+    let i = Prng.int rng (List.length body) in
+    set_body p k (insert_at body i (List.nth body i))
+
+let drop_stmt rng p =
+  match pick_body rng p ~nonempty:true with
+  | None -> p
+  | Some k ->
+    let body = nth_body p k in
+    set_body p k (remove_at body (Prng.int rng (List.length body)))
+
+(* Number-literal perturbation. Literals inside loop headers (condition
+   and update) only get strictly-growing nudges: turning a bound into
+   2^30 would make the mutant run for minutes on the reference
+   interpreter, and turning the [1] of [k = k + 1] into [0] would make it
+   run forever (the oracle has no fuel limit). Everywhere else — array
+   indices especially — large constants are exactly the OOB shapes we
+   want. *)
+let header_perturbs n = [ n +. 1.; n *. 2. ]
+let wild_perturbs n =
+  [ n +. 1.; n -. 1.; n *. 2.; 0.; 1.; 1073741824.; n +. 1000000. ]
+
+let perturb_number rng p =
+  let total =
+    fold_program_exprs
+      (fun acc e -> match e with Ast.Number _ -> acc + 1 | _ -> acc)
+      0 p
+  in
+  if total = 0 then p
+  else begin
+    let target = Prng.int rng total in
+    let counter = ref (-1) in
+    (* mirror of [Ast.map_expr]/[Ast.map_stmt] carrying an "inside a loop
+       condition" flag; traversal order must only be self-consistent
+       (counter vs [fold_program_exprs] totals both count every Number) *)
+    let perturb in_cond n =
+      incr counter;
+      if !counter = target then
+        Prng.choose rng (if in_cond then header_perturbs n else wild_perturbs n)
+      else n
+    in
+    let rec pexpr in_cond (e : Ast.expr) : Ast.expr =
+      match e with
+      | Ast.Number n -> Ast.Number (perturb in_cond n)
+      | Ast.String _ | Ast.Bool _ | Ast.Null | Ast.Undefined | Ast.Ident _ -> e
+      | Ast.Array_lit es -> Ast.Array_lit (List.map (pexpr in_cond) es)
+      | Ast.Object_lit fields ->
+        Ast.Object_lit (List.map (fun (k, v) -> (k, pexpr in_cond v)) fields)
+      | Ast.Unary (op, e) -> Ast.Unary (op, pexpr in_cond e)
+      | Ast.Binary (op, a, b) -> Ast.Binary (op, pexpr in_cond a, pexpr in_cond b)
+      | Ast.Logical (op, a, b) -> Ast.Logical (op, pexpr in_cond a, pexpr in_cond b)
+      | Ast.Conditional (c, t, e) ->
+        Ast.Conditional (pexpr in_cond c, pexpr in_cond t, pexpr in_cond e)
+      | Ast.Assign (lv, e) -> Ast.Assign (plvalue in_cond lv, pexpr in_cond e)
+      | Ast.Call (callee, args) ->
+        Ast.Call (pexpr in_cond callee, List.map (pexpr in_cond) args)
+      | Ast.Member (o, m) -> Ast.Member (pexpr in_cond o, m)
+      | Ast.Index (o, i) -> Ast.Index (pexpr in_cond o, pexpr in_cond i)
+      | Ast.Func_expr _ -> e
+    and plvalue in_cond = function
+      | Ast.Lvar x -> Ast.Lvar x
+      | Ast.Lindex (o, i) -> Ast.Lindex (pexpr in_cond o, pexpr in_cond i)
+      | Ast.Lmember (o, m) -> Ast.Lmember (pexpr in_cond o, m)
+    in
+    let rec pstmt (s : Ast.stmt) : Ast.stmt =
+      match s with
+      | Ast.Var (x, e) -> Ast.Var (x, Option.map (pexpr false) e)
+      | Ast.Expr_stmt e -> Ast.Expr_stmt (pexpr false e)
+      | Ast.If (c, t, e) -> Ast.If (pexpr false c, List.map pstmt t, List.map pstmt e)
+      | Ast.While (c, body) -> Ast.While (pexpr true c, List.map pstmt body)
+      | Ast.For (init, cond, update, body) ->
+        Ast.For
+          ( Option.map pstmt init,
+            Option.map (pexpr true) cond,
+            Option.map (pexpr true) update,
+            List.map pstmt body )
+      | Ast.Return e -> Ast.Return (Option.map (pexpr false) e)
+      | Ast.Break -> Ast.Break
+      | Ast.Continue -> Ast.Continue
+      | Ast.Block body -> Ast.Block (List.map pstmt body)
+    in
+    {
+      Ast.functions =
+        List.map
+          (fun (fn : Ast.func) -> { fn with Ast.body = List.map pstmt fn.Ast.body })
+          p.Ast.functions;
+      main = List.map pstmt p.Ast.main;
+    }
+  end
+
+(* Names of arrays that are indexed anywhere ([a[i]] reads or writes). *)
+let indexed_arrays p =
+  fold_program_exprs
+    (fun acc e ->
+      match e with
+      | Ast.Index (Ast.Ident a, _) -> a :: acc
+      | Ast.Assign (Ast.Lindex (Ast.Ident a, _), _) -> a :: acc
+      | _ -> acc)
+    [] p
+  |> List.sort_uniq String.compare
+
+let body_mentions name body =
+  List.exists (fun s -> List.mem name (Ast.stmt_idents s)) body
+
+let resize_around_access rng p =
+  match indexed_arrays p with
+  | [] -> p
+  | arrays -> (
+    let a = Prng.choose rng arrays in
+    let candidates =
+      List.init (n_bodies p) (fun k -> k)
+      |> List.filter (fun k -> body_mentions a (nth_body p k))
+    in
+    match candidates with
+    | [] -> p
+    | ks ->
+      let k = Prng.choose rng ks in
+      let body = nth_body p k in
+      let resize =
+        Ast.Expr_stmt
+          (Ast.Assign
+             (Ast.Lmember (Ast.Ident a, "length"), Ast.Number (float_of_int (Prng.int rng 4))))
+      in
+      set_body p k (insert_at body (Prng.int rng (List.length body + 1)) resize))
+
+let hot_loop rng p =
+  match pick_body rng p ~nonempty:true with
+  | None -> p
+  | Some k ->
+    let body = nth_body p k in
+    let i = Prng.int rng (List.length body) in
+    let v = Printf.sprintf "mz%d" (Prng.int rng 1000) in
+    let bound = float_of_int (8 + Prng.int rng 57) in
+    let wrapped =
+      Ast.For
+        ( Some (Ast.Var (v, Some (Ast.Number 0.))),
+          Some (Ast.Binary (Ast.Lt, Ast.Ident v, Ast.Number bound)),
+          Some (Ast.Assign (Ast.Lvar v, Ast.Binary (Ast.Add, Ast.Ident v, Ast.Number 1.))),
+          [ List.nth body i ] )
+    in
+    set_body p k (replace_at body i wrapped)
+
+let mutate_program rng kind p =
+  match kind with
+  | Splice -> splice rng p
+  | Dup_stmt -> dup_stmt rng p
+  | Drop_stmt -> drop_stmt rng p
+  | Perturb_number -> perturb_number rng p
+  | Resize_around_access -> resize_around_access rng p
+  | Hot_loop -> hot_loop rng p
+
+let mutate ?rounds rng source =
+  match Parser.parse source with
+  | exception _ -> source
+  | p ->
+    let n = match rounds with Some r -> r | None -> 1 + Prng.int rng 3 in
+    let rec go p i =
+      if i = 0 then p else go (mutate_program rng (Prng.choose rng kinds) p) (i - 1)
+    in
+    Printer.program_to_string (go p n)

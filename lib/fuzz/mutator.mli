@@ -1,0 +1,34 @@
+(** AST-level mutation engine for the coverage-guided fuzzer.
+
+    Mutations parse the input, rewrite the AST and re-print it, so every
+    mutant is syntactically valid by construction (the printer round-trip
+    property is tested in the frontend suite). Mutants need {e not}
+    preserve semantics — the differential oracle decides what an outcome
+    means — but they are biased toward the shapes that matter to a JIT:
+    duplicating/splicing statements (new optimizer input), perturbing
+    numeric constants and bounds (guard and bounds-check pressure),
+    injecting [a.length = k] near array accesses (the shrink-between-
+    accesses CVE shape), and wrapping statements in warm loops (tier-up
+    pressure). *)
+
+type kind =
+  | Splice  (** copy a statement from anywhere into a random body *)
+  | Dup_stmt
+  | Drop_stmt
+  | Perturb_number  (** ±1, ×2, 0/1, 2^30, +10^6 on one numeric literal *)
+  | Resize_around_access
+      (** insert [a.length = k] into a body that indexes array [a] *)
+  | Hot_loop  (** wrap one statement in a bounded warm-up loop *)
+
+val kinds : kind list
+val kind_name : kind -> string
+
+(** [mutate_program rng kind p] — apply one mutation; returns [p]
+    unchanged when the mutation has no applicable site (e.g. no array
+    accesses for [Resize_around_access]). *)
+val mutate_program : Jitbull_util.Prng.t -> kind -> Jitbull_frontend.Ast.program -> Jitbull_frontend.Ast.program
+
+(** [mutate ?rounds rng source] — parse, apply [rounds] (default 1–3,
+    drawn from [rng]) random mutations, print. Returns [source] unchanged
+    if it does not parse. Deterministic in the [rng] state. *)
+val mutate : ?rounds:int -> Jitbull_util.Prng.t -> string -> string

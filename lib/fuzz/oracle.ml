@@ -1,9 +1,14 @@
 module Engine = Jitbull_jit.Engine
+module Compile_queue = Jitbull_jit.Compile_queue
 module Interp = Jitbull_interp.Interp
 module Vm = Jitbull_bytecode.Vm
 module Compiler = Jitbull_bytecode.Compiler
 module Parser = Jitbull_frontend.Parser
 module Errors = Jitbull_runtime.Errors
+module Pipeline = Jitbull_passes.Pipeline
+module Dna = Jitbull_core.Dna
+module Obs = Jitbull_obs.Obs
+module Metrics = Jitbull_obs.Metrics
 
 type verdict =
   | Agree of string
@@ -29,12 +34,28 @@ let verdict_summary = function
   | Pwned m -> "PWNED: " ^ m
   | Runtime_error m -> "runtime error: " ^ m
 
+let verdict_kind = function
+  | Agree _ -> "agree"
+  | Mismatch _ -> "mismatch"
+  | Crash _ -> "crash"
+  | Shellcode _ -> "shellcode"
+  | Pwned _ -> "pwned"
+  | Runtime_error _ -> "runtime_error"
+
+let same_kind a b = String.equal (verdict_kind a) (verdict_kind b)
+
 let has_pwned_line output =
   String.split_on_char '\n' output
   |> List.exists (fun l -> String.length l >= 5 && String.sub l 0 5 = "PWNED")
 
 let default_config =
   { Engine.default_config with Engine.baseline_threshold = 2; ion_threshold = 4 }
+
+let classify ~reference ~vm_out ~jit_out =
+  if has_pwned_line jit_out && not (has_pwned_line reference) then Pwned "exploit marker"
+  else if String.equal reference vm_out && String.equal reference jit_out then
+    Agree reference
+  else Mismatch { interp = reference; vm = vm_out; jit = jit_out }
 
 let run ?(config = default_config) source =
   match Interp.run_source source with
@@ -44,8 +65,145 @@ let run ?(config = default_config) source =
     match Engine.run_source config source with
     | exception Errors.Crash m -> Crash m
     | exception Errors.Shellcode_executed m -> Shellcode m
-    | jit_out, _ ->
-      if has_pwned_line jit_out && not (has_pwned_line reference) then Pwned "exploit marker"
-      else if String.equal reference vm_out && String.equal reference jit_out then
-        Agree reference
-      else Mismatch { interp = reference; vm = vm_out; jit = jit_out })
+    | jit_out, _ -> classify ~reference ~vm_out ~jit_out)
+
+(* ---- instrumented runs: the coverage-guided fuzzer's input ---- *)
+
+type instrumented = {
+  i_verdict : verdict;
+  i_bytecode : Jitbull_bytecode.Op.program option;
+  i_dnas : Dna.t list;
+  i_events : string list;
+}
+
+(* Engine-event flags derived from stats + the Obs counters the engine
+   and pipeline publish (pass.<name>.changed, engine.verdict.allow/
+   disable/forbid). *)
+let event_flags (stats : Engine.stats option) view =
+  let flags = ref [] in
+  let flag name = flags := name :: !flags in
+  (match stats with
+  | None -> ()
+  | Some s ->
+    if s.Engine.bailouts > 0 then flag "bailout";
+    if s.Engine.deopts > 0 then flag "deopt";
+    if s.Engine.nr_disjit > 0 then flag "disjit";
+    if s.Engine.nr_nojit > 0 then flag "nojit";
+    if s.Engine.nr_jit > 0 then flag "ion");
+  let counter_flag counter name =
+    match Metrics.find_counter view counter with
+    | Some n when n > 0 -> flag name
+    | _ -> ()
+  in
+  counter_flag "engine.verdict.allow" "policy:allow";
+  counter_flag "engine.verdict.disable" "policy:disable";
+  counter_flag "engine.verdict.forbid" "policy:forbid";
+  List.iter
+    (fun pass ->
+      counter_flag ("pass." ^ pass ^ ".changed") ("pass-changed:" ^ pass))
+    Pipeline.pass_names;
+  !flags
+
+let run_instrumented ?(config = default_config) source =
+  match Parser.parse source with
+  | exception _ ->
+    { i_verdict = Runtime_error "parse error"; i_bytecode = None; i_dnas = []; i_events = [] }
+  | prog -> (
+    let bc = Compiler.compile prog in
+    match Interp.run_source source with
+    | exception Errors.Type_error m ->
+      { i_verdict = Runtime_error m; i_bytecode = Some bc; i_dnas = []; i_events = [] }
+    | { Interp.output = reference; _ } ->
+      let vm_out = Vm.run_program (Compiler.compile (Parser.parse source)) in
+      let obs = Obs.create ~capacity:16 ~audit_capacity:8 () in
+      let dnas = ref [] in
+      let dnas_mu = Mutex.create () in
+      let inner = config.Engine.analyzer in
+      (* Wrap the configured analyzer (or a pass-through Allow) so every
+         traced Ion compile also contributes its DNA to the coverage
+         signal, without changing any engine decision. *)
+      let analyzer ~ctx ~func_index ~name ~trace =
+        let dna = Dna.extract trace in
+        if Dna.nonempty_passes dna <> [] then begin
+          Mutex.lock dnas_mu;
+          dnas := dna :: !dnas;
+          Mutex.unlock dnas_mu
+        end;
+        match inner with
+        | Some analyze -> analyze ~ctx ~func_index ~name ~trace
+        | None -> Engine.Allow
+      in
+      let config' =
+        { config with Engine.analyzer = Some analyzer; obs = Some obs; policy_cache = None }
+      in
+      let verdict, stats =
+        match Engine.run_source config' source with
+        | exception Errors.Crash m -> (Crash m, None)
+        | exception Errors.Shellcode_executed m -> (Shellcode m, None)
+        | jit_out, engine ->
+          (classify ~reference ~vm_out ~jit_out, Some (Engine.stats engine))
+      in
+      let events = event_flags stats (Obs.view (Some obs)) in
+      { i_verdict = verdict; i_bytecode = Some bc; i_dnas = List.rev !dnas; i_events = events })
+
+(* ---- metamorphic invariants ---- *)
+
+type violation = {
+  mv_invariant : string;
+  mv_detail : string;
+}
+
+let trunc s = if String.length s <= 160 then s else String.sub s 0 157 ^ "..."
+
+let jit_result config source =
+  match Engine.run_source config source with
+  | exception Errors.Crash m -> Error ("CRASH: " ^ m)
+  | exception Errors.Shellcode_executed m -> Error ("SHELLCODE: " ^ m)
+  | out, _ -> Ok out
+
+let check_metamorphic ?(config = default_config) ?subsets ?(jobs = 2) ?(alt_configs = [])
+    source =
+  match Interp.run_source source with
+  | exception Errors.Type_error _ -> []
+  | { Interp.output = reference; _ } ->
+    let violations = ref [] in
+    let add inv detail =
+      violations := { mv_invariant = inv; mv_detail = trunc detail } :: !violations
+    in
+    let expect inv = function
+      | Error m -> add inv m
+      | Ok out when not (String.equal out reference) ->
+        add inv (Printf.sprintf "got %S, want %S" (trunc out) (trunc reference))
+      | Ok _ -> ()
+    in
+    let base = { config with Engine.policy_cache = None } in
+    let vm_out =
+      try Ok (Vm.run_program (Compiler.compile (Parser.parse source)))
+      with e -> Error (Printexc.to_string e)
+    in
+    expect "interp==vm" vm_out;
+    expect "interp==jit" (jit_result base source);
+    let subsets =
+      match subsets with
+      | Some s -> s
+      | None ->
+        List.filter Pipeline.can_disable Pipeline.pass_names |> List.map (fun p -> [ p ])
+    in
+    List.iter
+      (fun subset ->
+        let analyzer ~ctx:_ ~func_index:_ ~name:_ ~trace:_ = Engine.Disable_passes subset in
+        let c = { base with Engine.analyzer = Some analyzer } in
+        expect
+          (Printf.sprintf "disable[%s]==full" (String.concat "," subset))
+          (jit_result c source))
+      subsets;
+    if jobs > 0 then begin
+      let pool = Compile_queue.create ~jobs () in
+      Fun.protect
+        ~finally:(fun () -> Compile_queue.shutdown pool)
+        (fun () ->
+          let c = { base with Engine.compile_pool = Some pool } in
+          expect (Printf.sprintf "sync==async[jobs=%d]" jobs) (jit_result c source))
+    end;
+    List.iter (fun (name, c) -> expect name (jit_result c source)) alt_configs;
+    List.rev !violations

@@ -20,7 +20,75 @@ val is_exploit_signal : verdict -> bool
 
 val verdict_summary : verdict -> string
 
-(** [run ?config source] — [config] defaults to an aggressive-threshold
-    engine with no vulnerabilities (a patched engine). The interpreter and
-    VM tiers always run patched; only the JIT tier uses [config]. *)
+(** Stable lowercase class name ([agree]/[mismatch]/[crash]/[shellcode]/
+    [pwned]/[runtime_error]); the shrinker preserves this class. *)
+val verdict_kind : verdict -> string
+
+(** Same {!verdict_kind}, payloads ignored. *)
+val same_kind : verdict -> verdict -> bool
+
+(** The config every oracle entry point defaults to: fast tier-up
+    thresholds (baseline 2, Ion 4) on a patched engine with no
+    analyzer. *)
+val default_config : Jitbull_jit.Engine.config
+
+(** [run ?config source] — [config] defaults to {!default_config}. The
+    interpreter and VM tiers always run patched; only the JIT tier uses
+    [config]. *)
 val run : ?config:Jitbull_jit.Engine.config -> string -> verdict
+
+(** {2 Instrumented runs}
+
+    {!run_instrumented} is {!run} plus the cheap artifacts the
+    coverage-guided fuzzer maps into feature space (see {!Coverage}):
+    the compiled bytecode, every DNA the traced Ion compiles produced
+    (collected by wrapping the configured analyzer; decisions are
+    unchanged), and engine-event flags read from stats and the
+    [Obs]-pattern counters ([engine.verdict.*], [pass.<name>.changed]).
+    A fresh private [Obs.t] is installed per run; the policy cache is
+    bypassed so every compile is analyzed (and traced) afresh. *)
+
+type instrumented = {
+  i_verdict : verdict;
+  i_bytecode : Jitbull_bytecode.Op.program option;
+      (** [None] only when the source does not parse *)
+  i_dnas : Jitbull_core.Dna.t list;  (** one per traced Ion compile *)
+  i_events : string list;
+      (** e.g. ["bailout"; "policy:forbid"; "pass-changed:gvn"] *)
+}
+
+val run_instrumented : ?config:Jitbull_jit.Engine.config -> string -> instrumented
+
+(** {2 Metamorphic invariants}
+
+    Configuration changes that must not change observable behavior
+    (after "Understanding and Finding JIT Compiler Performance Bugs":
+    when there is no ground-truth spec, vary the configuration and
+    require agreement). *)
+
+type violation = {
+  mv_invariant : string;
+      (** e.g. ["disable[gvn]==full"], ["sync==async[jobs=2]"] *)
+  mv_detail : string;
+}
+
+(** [check_metamorphic ?config ?subsets ?jobs ?alt_configs source] checks,
+    against the reference interpreter's output:
+    - interpreter == VM == JIT under [config];
+    - for each pass subset in [subsets] (default: every optional pass as
+      a singleton), an engine forced to disable that subset agrees;
+    - sync == async: a compile pool with [jobs] helpers (default 2;
+      [0] skips) agrees;
+    - each named engine in [alt_configs] agrees — callers pass
+      indexed-vs-naive comparator configs and a DB-growth chain here.
+
+    Returns the violated invariants (empty = all hold). A source whose
+    reference tier raises a JS-level error is vacuous (returns []). The
+    policy cache is bypassed throughout. *)
+val check_metamorphic :
+  ?config:Jitbull_jit.Engine.config ->
+  ?subsets:string list list ->
+  ?jobs:int ->
+  ?alt_configs:(string * Jitbull_jit.Engine.config) list ->
+  string ->
+  violation list

@@ -1,0 +1,30 @@
+(** Delta-debugging shrinker: minimize a program while a predicate holds.
+
+    Works on the AST (candidates always re-parse): drops whole functions,
+    removes statement chunks ddmin-style (halves, quarters, then
+    singles — recursing into [if]/[for]/block bodies), simplifies
+    compound statements ([if] → one branch, loop → its body once), and
+    shrinks numeric literals. Greedy with restart: whenever a smaller
+    candidate keeps the predicate it becomes the new best and the
+    candidate generation starts over from it.
+
+    The predicate evaluation budget ([max_checks]) bounds total work;
+    each check typically runs the full differential oracle, so the
+    default keeps shrinking under a few seconds. *)
+
+(** [shrink ?max_checks ~keep source] — smallest found source (by printed
+    length) with [keep] still true. [keep] must hold on [source]'s
+    parse-and-reprint normalization, else [source] is returned unchanged;
+    exceptions from [keep] count as [false]. *)
+val shrink : ?max_checks:int -> keep:(string -> bool) -> string -> string
+
+(** [shrink_signal ?config ?max_checks ~verdict source] — specialize
+    [keep] to "the oracle still classifies the program as
+    {!Oracle.verdict_kind}[ verdict] under [config]": minimize a crash to
+    a crash, a mismatch to a mismatch, etc. *)
+val shrink_signal :
+  ?config:Jitbull_jit.Engine.config ->
+  ?max_checks:int ->
+  verdict:Oracle.verdict ->
+  string ->
+  string

@@ -493,6 +493,14 @@ let blacklist t idx reason =
   Obs.event t.config.obs "blacklist"
     ~fields:[ func_field t idx; ("reason", Jsonx.String reason) ]
 
+(* Go/no-go verdict kind counters: one increment per decision applied
+   (fresh or cached, sync or async) — a cheap engine-event signal the
+   fuzzer's coverage map consumes alongside bailout/blacklist events. *)
+let record_verdict obs = function
+  | Allow -> Obs.incr obs "engine.verdict.allow"
+  | Disable_passes _ -> Obs.incr obs "engine.verdict.disable"
+  | Forbid_jit -> Obs.incr obs "engine.verdict.forbid"
+
 let ion_compile t idx =
   ensure_sentinel t;
   t.stats.nr_jit <- t.stats.nr_jit + 1;
@@ -552,6 +560,7 @@ let ion_compile t idx =
         | None -> ());
         (d, Some lir)
     in
+    record_verdict obs decision;
     match decision with
     | Allow ->
       let lir =
@@ -809,18 +818,21 @@ let enqueue_ion t pool idx =
     | Some Forbid_jit ->
       t.stats.nr_jit <- t.stats.nr_jit + 1;
       t.stats.ion_compiles <- t.stats.ion_compiles + 1;
+      record_verdict obs Forbid_jit;
       Log.info (fun m -> m "JITBULL: JIT forbidden for %s" name);
       blacklist t idx "forbid_jit"
     | Some (Disable_passes passes)
       when not (List.for_all Pipeline.can_disable passes) ->
       t.stats.nr_jit <- t.stats.nr_jit + 1;
       t.stats.ion_compiles <- t.stats.ion_compiles + 1;
+      record_verdict obs (Disable_passes passes);
       Log.info (fun m ->
           m "JITBULL: mandatory pass among [%s] matched — no JIT for %s"
             (String.concat ", " passes) name);
       blacklist t idx "mandatory_pass"
     | cached ->
       (* [None], or a cached Allow / disableable Disable_passes *)
+      (match cached with Some d -> record_verdict obs d | None -> ());
       let feedback_row = Feedback.copy_row t.vm.Vm.feedback.(idx) in
       let resolver = snapshot_resolver t ~caller_idx:idx func in
       let g0 = current_gen t in
@@ -871,6 +883,7 @@ let enqueue_ion t pool idx =
                 (match cache with
                 | Some c -> Policy_cache.store ~if_generation:g0 c key d
                 | None -> ());
+                record_verdict obs d;
                 match d with
                 | Allow ->
                   A_install

@@ -38,9 +38,11 @@ let graph_size (g : Mir.t) = List.length (Mir.all_instructions g)
 
 (* Run one pass (and the verifier, if requested). With an [Obs.t]
    installed, each pass gets its own span, a ["pass.<name>.seconds"]
-   latency histogram, and a ["pass.<name>.delta_size"] counter
-   accumulating the instruction-count change — the raw material of the
-   per-pass profile and the telemetry bench. *)
+   latency histogram, a ["pass.<name>.delta_size"] counter accumulating
+   the instruction-count change, and a ["pass.<name>.changed"] counter of
+   runs whose instruction count moved at all — the raw material of the
+   per-pass profile, the telemetry bench, and the fuzzer's coverage
+   map. *)
 let exec_pass ctx ~obs ~verify g (p : Pass.t) =
   match obs with
   | None ->
@@ -53,7 +55,9 @@ let exec_pass ctx ~obs ~verify g (p : Pass.t) =
       (fun () ->
         p.Pass.run ctx g;
         if verify then Verifier.check g);
-    Obs.add obs ("pass." ^ p.Pass.name ^ ".delta_size") (graph_size g - before)
+    let after = graph_size g in
+    Obs.add obs ("pass." ^ p.Pass.name ^ ".delta_size") (after - before);
+    if after <> before then Obs.incr obs ("pass." ^ p.Pass.name ^ ".changed")
 
 (* Run without snapshotting: the engine uses this when JITBULL's database
    is empty, which is how the paper gets zero overhead in that case. *)

@@ -53,3 +53,14 @@ let count_opcode g name =
        (Jitbull_mir.Mir.all_instructions g))
 
 let qtest = QCheck_alcotest.to_alcotest
+
+(* QCheck iteration counts are env-tunable: JITBULL_QCHECK_COUNT is a
+   percentage applied to each site's default (100 = unchanged; nightly CI
+   sets 300 for a deeper soak, a laptop smoke run can set 10). *)
+let qcheck_count default =
+  match Sys.getenv_opt "JITBULL_QCHECK_COUNT" with
+  | None | Some "" -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some pct when pct > 0 -> max 1 (default * pct / 100)
+    | _ -> default)

@@ -9,28 +9,53 @@
 
 open Helpers
 module Engine = Jitbull_jit.Engine
+module G = Jitbull_fuzz.Generator
 
 (* The program generator lives in [Jitbull_fuzz.Generator]; this module
-   applies it as qcheck properties. [gen_program] is re-exported for the
-   other property suites. *)
+   applies it as qcheck properties over the generator's *parameters*
+   (seed, function count, warm-up rounds, expression depth) so a failing
+   case shrinks structurally instead of reporting an opaque seed.
+   [gen_program] is re-exported for the other property suites. *)
 
-let gen_program seed = Jitbull_fuzz.Generator.benign ~seed
+let gen_program seed = G.benign ~seed
+
+let gen_params : G.params QCheck.Gen.t =
+  QCheck.Gen.map
+    (fun (seed, (funcs, (rounds, depth))) ->
+      { G.p_seed = seed; p_funcs = funcs; p_rounds = rounds; p_depth = depth })
+    QCheck.Gen.(
+      pair small_nat (pair (int_range 1 4) (pair (int_range 1 16) (int_range 0 3))))
+
+(* Shrink toward the smallest program first (fewer functions, fewer
+   warm-up rounds, shallower expressions), only then toward seed 0. *)
+let shrink_params (p : G.params) yield =
+  if p.G.p_funcs > 1 then yield { p with G.p_funcs = p.G.p_funcs - 1 };
+  if p.G.p_rounds > 1 then yield { p with G.p_rounds = p.G.p_rounds / 2 };
+  if p.G.p_rounds > 1 then yield { p with G.p_rounds = p.G.p_rounds - 1 };
+  if p.G.p_depth > 0 then yield { p with G.p_depth = p.G.p_depth - 1 };
+  if p.G.p_seed > 0 then yield { p with G.p_seed = p.G.p_seed / 2 }
+
+(* The counterexample printout includes the generated source: that is the
+   actual reproducer, the parameters only locate it. *)
+let print_params p = G.show_params p ^ "\n" ^ G.benign_params p
+
+let arb_params = QCheck.make gen_params ~print:print_params ~shrink:shrink_params
 
 let qcheck_differential =
-  QCheck.Test.make ~count:60 ~name:"interpreter == VM == JIT on generated programs"
-    QCheck.(small_int)
-    (fun seed ->
-      let src = gen_program seed in
+  QCheck.Test.make ~count:(qcheck_count 60)
+    ~name:"interpreter == VM == JIT on generated programs" arb_params
+    (fun params ->
+      let src = G.benign_params params in
       let reference = interp_output src in
       String.equal reference (vm_output src) && String.equal reference (jit_output src))
 
 let qcheck_differential_all_pass_subsets =
   (* disabling any single optional pass must preserve semantics too (the
      JITBULL mitigation path must be safe) *)
-  QCheck.Test.make ~count:30 ~name:"single disabled pass preserves semantics"
-    QCheck.(pair small_int (int_range 0 13))
-    (fun (seed, pass_idx) ->
-      let src = gen_program seed in
+  QCheck.Test.make ~count:(qcheck_count 30) ~name:"single disabled pass preserves semantics"
+    QCheck.(pair arb_params (int_range 0 13))
+    (fun (params, pass_idx) ->
+      let src = G.benign_params params in
       let optional =
         List.filter Jitbull_passes.Pipeline.can_disable Jitbull_passes.Pipeline.pass_names
       in
@@ -46,10 +71,10 @@ let qcheck_differential_vulnerable_engine_on_benign_code =
   (* the injected bugs only matter for code that manipulates array sizes
      around accesses; the generated benign corpus must run identically
      even on a fully vulnerable engine *)
-  QCheck.Test.make ~count:30 ~name:"vulnerable engine correct on benign programs"
-    QCheck.(small_int)
-    (fun seed ->
-      let src = gen_program seed in
+  QCheck.Test.make ~count:(qcheck_count 30) ~name:"vulnerable engine correct on benign programs"
+    arb_params
+    (fun params ->
+      let src = G.benign_params params in
       let reference = interp_output src in
       let config =
         { jit_config with Engine.vulns = Jitbull_passes.Vuln_config.make Jitbull_passes.Vuln_config.all }

@@ -190,12 +190,12 @@ let gen_program : Ast.program QCheck.Gen.t =
     (list_size (int_range 0 4) (stmt 2))
 
 let qcheck_printer_roundtrip =
-  QCheck.Test.make ~count:300 ~name:"printer/parser roundtrip (pretty)"
+  QCheck.Test.make ~count:(qcheck_count 300) ~name:"printer/parser roundtrip (pretty)"
     (QCheck.make gen_program)
     (fun p -> Ast.equal_program p (Parser.parse (Printer.program_to_string p)))
 
 let qcheck_printer_roundtrip_compact =
-  QCheck.Test.make ~count:300 ~name:"printer/parser roundtrip (compact)"
+  QCheck.Test.make ~count:(qcheck_count 300) ~name:"printer/parser roundtrip (compact)"
     (QCheck.make gen_program)
     (fun p -> Ast.equal_program p (Parser.parse (Printer.program_to_string ~compact:true p)))
 

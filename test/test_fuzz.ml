@@ -84,6 +84,183 @@ let test_generalizes_to_fresh_inputs () =
   check_int "fresh inputs blocked under fuzz-fed JITBULL" 0
     (List.length guarded.F.Harness.signals)
 
+(* {2 Coverage-guided loop} *)
+
+let all_vulnerable = fast { Engine.default_config with Engine.vulns = VC.make VC.all }
+
+let test_instrumented_run_artifacts () =
+  let src =
+    "function hot(a) { var s = 0; for (var i = 0; i < a.length; i++) { s += a[i]; } \
+     return s; } var arr = [1,2,3,4]; var t = 0; for (var k = 0; k < 40; k++) { t = \
+     hot(arr); } print(t);"
+  in
+  let r = F.Oracle.run_instrumented src in
+  (match r.F.Oracle.i_verdict with
+  | F.Oracle.Agree _ -> ()
+  | v -> Alcotest.fail (F.Oracle.verdict_summary v));
+  check_bool "bytecode captured" true (r.F.Oracle.i_bytecode <> None);
+  check_bool "a traced Ion compile produced DNA" true (r.F.Oracle.i_dnas <> []);
+  check_bool "ion event flagged" true (List.mem "ion" r.F.Oracle.i_events);
+  check_bool "policy:allow flagged (no analyzer)" true
+    (List.mem "policy:allow" r.F.Oracle.i_events)
+
+let test_coverage_dedup_and_gain () =
+  let src = F.Generator.benign ~seed:3 in
+  let r = F.Oracle.run_instrumented src in
+  let feats = F.Coverage.features_of_run r in
+  check_bool "run yields features" true (feats <> []);
+  check_string "features deterministic" ""
+    (if F.Coverage.features_of_run (F.Oracle.run_instrumented src) = feats then ""
+     else "differ");
+  let map = F.Coverage.create () in
+  let gain1 = F.Coverage.add_features map feats in
+  check_bool "first add gains" true (gain1 > 0);
+  check_int "replay gains nothing" 0 (F.Coverage.add_features map feats);
+  check_int "count matches gain" gain1 (F.Coverage.count map)
+
+let test_mutants_parse_and_are_deterministic () =
+  let parses src =
+    match Jitbull_frontend.Parser.parse src with _ -> true | exception _ -> false
+  in
+  List.iter
+    (fun seed ->
+      let rng = Jitbull_util.Prng.create (1000 + seed) in
+      let src = F.Generator.aggressive ~seed in
+      let m = F.Mutator.mutate rng src in
+      check_bool "mutant parses" true (parses m);
+      let rng' = Jitbull_util.Prng.create (1000 + seed) in
+      check_string "mutation deterministic" m (F.Mutator.mutate rng' src))
+    (seeds 20)
+
+let test_corpus_persistence_roundtrip () =
+  let dir = Filename.temp_file "jitbull_corpus" "" in
+  Sys.remove dir;
+  let c = F.Corpus.create ~dir () in
+  check_int "starts empty" 0 (F.Corpus.length c);
+  ignore (F.Corpus.add c ~gain:5 "print(1);");
+  ignore (F.Corpus.add c ~gain:1 "print(2);");
+  let c' = F.Corpus.create ~dir () in
+  check_int "reloaded both entries" 2 (F.Corpus.length c');
+  let sources = List.map (fun (e : F.Corpus.entry) -> e.F.Corpus.source) (F.Corpus.entries c') in
+  check_bool "sources survive the round-trip" true
+    (List.mem "print(1);" sources && List.mem "print(2);" sources);
+  let rng = Jitbull_util.Prng.create 7 in
+  match F.Corpus.pick rng c with
+  | None -> Alcotest.fail "pick returned nothing on a nonempty corpus"
+  | Some picked ->
+    check_bool "pick returns a member" true
+      (List.mem picked.F.Corpus.source [ "print(1);"; "print(2);" ])
+
+let test_metamorphic_clean_on_benign () =
+  (* alt_configs exercise the remaining invariants: indexed == naive
+     comparator verdicts and DB-growth monotonicity (an engine whose DB
+     gained unrelated entries still agrees on benign code) *)
+  let db = Db.create () in
+  let vulns = VC.make VC.all in
+  ignore
+    (F.Harness.auto_harvest ~vulns ~db
+       (List.filter_map
+          (fun src ->
+            let v = F.Oracle.run ~config:all_vulnerable src in
+            if F.Oracle.is_exploit_signal v then
+              Some { F.Harness.seed = 0; source = src; verdict = v }
+            else None)
+          (F.Harness.vdc_seed_sources ())));
+  check_bool "grown DB nonempty" true (Db.size db > 0);
+  let alt_configs =
+    [
+      ("indexed==naive", fast (Jitbull.config ~comparator:`Naive ~vulns db));
+      ("db-growth", fast (Jitbull.config ~vulns db));
+    ]
+  in
+  List.iter
+    (fun seed ->
+      let src = F.Generator.benign ~seed in
+      match F.Oracle.check_metamorphic ~config:all_vulnerable ~jobs:2 ~alt_configs src with
+      | [] -> ()
+      | v :: _ ->
+        Alcotest.fail
+          (Printf.sprintf "seed %d violates %s: %s" seed v.F.Oracle.mv_invariant
+             v.F.Oracle.mv_detail))
+    (seeds 5)
+
+let test_metamorphic_detects_vulnerable_engine () =
+  (* on a fully vulnerable engine the VDC demonstrators must trip at least
+     the interp==jit invariant *)
+  let any =
+    List.exists
+      (fun src ->
+        F.Oracle.check_metamorphic ~config:all_vulnerable ~subsets:[] ~jobs:0 src <> [])
+      (F.Harness.vdc_seed_sources ())
+  in
+  check_bool "violations observed" true any
+
+let test_guided_finds_every_cve_faster_than_blind () =
+  (* acceptance: from an empty corpus, the coverage-guided aggressive
+     campaign attributes a signal to every modeled CVE within a bounded
+     exec budget; the blind sweep at that same exec count covers strictly
+     fewer CVEs *)
+  let budget = 64 in
+  let g = F.Harness.guided_campaign ~config:all_vulnerable ~track_cves:true ~max_execs:budget () in
+  check_int "guided attributes every modeled CVE" (List.length VC.all)
+    (List.length g.F.Harness.g_cve_execs);
+  let worst =
+    List.fold_left (fun acc (_, e) -> max acc e) 0 g.F.Harness.g_cve_execs
+  in
+  check_bool "within the exec budget" true (worst <= budget);
+  let blind = F.Harness.blind_sweep ~config:all_vulnerable ~track_cves:true ~max_execs:worst () in
+  check_bool
+    (Printf.sprintf "blind sweep covers fewer CVEs in %d execs (got %d)" worst
+       (List.length blind.F.Harness.g_cve_execs))
+    true
+    (List.length blind.F.Harness.g_cve_execs < List.length VC.all)
+
+let test_guided_coverage_dominates_blind () =
+  let execs = 40 in
+  let g = F.Harness.guided_campaign ~config:all_vulnerable ~max_execs:execs () in
+  let b = F.Harness.blind_sweep ~config:all_vulnerable ~max_execs:execs () in
+  check_bool
+    (Printf.sprintf "guided coverage %d > blind coverage %d" g.F.Harness.g_coverage
+       b.F.Harness.g_coverage)
+    true
+    (g.F.Harness.g_coverage > b.F.Harness.g_coverage);
+  check_bool "curve is monotone" true
+    (let rec mono = function
+       | a :: (b :: _ as rest) ->
+         a.F.Harness.cp_execs < b.F.Harness.cp_execs
+         && a.F.Harness.cp_coverage < b.F.Harness.cp_coverage
+         && mono rest
+       | _ -> true
+     in
+     mono g.F.Harness.g_curve)
+
+let test_shrinker_halves_a_real_signal () =
+  (* acceptance: the delta-debugging shrinker reduces at least one real
+     signal to ≤ 50 % of its original size while preserving the verdict
+     kind *)
+  let g = F.Harness.guided_campaign ~config:all_vulnerable ~max_execs:40 () in
+  check_bool "campaign produced signals" true (g.F.Harness.g_signals <> []);
+  let by_size =
+    List.sort
+      (fun (a : F.Harness.finding) b ->
+        compare (String.length b.F.Harness.source) (String.length a.F.Harness.source))
+      g.F.Harness.g_signals
+  in
+  let halved =
+    List.exists
+      (fun (f : F.Harness.finding) ->
+        let small =
+          F.Shrink.shrink_signal ~config:all_vulnerable ~verdict:f.F.Harness.verdict
+            f.F.Harness.source
+        in
+        2 * String.length small <= String.length f.F.Harness.source
+        && F.Oracle.same_kind
+             (F.Oracle.run ~config:all_vulnerable small)
+             f.F.Harness.verdict)
+      (List.filteri (fun i _ -> i < 5) by_size)
+  in
+  check_bool "some signal shrank to ≤ 50% with the same verdict" true halved
+
 let test_oracle_classifications () =
   (match F.Oracle.run "print(1 + 1);" with
   | F.Oracle.Agree out -> check_string "agree output" "2\n" out
@@ -105,4 +282,18 @@ let suite =
       Alcotest.test_case "auto-harvest neutralizes" `Slow test_auto_harvest_neutralizes;
       Alcotest.test_case "generalizes to fresh inputs" `Slow test_generalizes_to_fresh_inputs;
       Alcotest.test_case "oracle classifications" `Quick test_oracle_classifications;
+      Alcotest.test_case "instrumented run artifacts" `Quick test_instrumented_run_artifacts;
+      Alcotest.test_case "coverage dedup and gain" `Quick test_coverage_dedup_and_gain;
+      Alcotest.test_case "mutants parse, deterministic" `Quick
+        test_mutants_parse_and_are_deterministic;
+      Alcotest.test_case "corpus persistence roundtrip" `Quick test_corpus_persistence_roundtrip;
+      Alcotest.test_case "metamorphic clean on benign" `Slow test_metamorphic_clean_on_benign;
+      Alcotest.test_case "metamorphic detects vulnerable engine" `Slow
+        test_metamorphic_detects_vulnerable_engine;
+      Alcotest.test_case "guided finds every CVE, beats blind" `Slow
+        test_guided_finds_every_cve_faster_than_blind;
+      Alcotest.test_case "guided coverage dominates blind" `Slow
+        test_guided_coverage_dominates_blind;
+      Alcotest.test_case "shrinker halves a real signal" `Slow
+        test_shrinker_halves_a_real_signal;
     ] )

@@ -97,14 +97,14 @@ let build_db entries =
   db
 
 let qcheck_indexed_equals_naive =
-  QCheck.Test.make ~count:300 ~name:"indexed Db.matching == naive comparator fold"
+  QCheck.Test.make ~count:(qcheck_count 300) ~name:"indexed Db.matching == naive comparator fold"
     QCheck.(make Gen.(triple db_gen dna_gen params_gen))
     (fun (entries, dna, params) ->
       let db = build_db entries in
       Db.matching ~params db dna = naive_matching ~params db dna)
 
 let qcheck_indexed_equals_naive_after_removal =
-  QCheck.Test.make ~count:150 ~name:"equivalence survives remove_cve's index rebuild"
+  QCheck.Test.make ~count:(qcheck_count 150) ~name:"equivalence survives remove_cve's index rebuild"
     QCheck.(make Gen.(triple db_gen dna_gen params_gen))
     (fun (entries, dna, params) ->
       let db = build_db entries in
@@ -432,7 +432,7 @@ let show_stress ops =
        ops)
 
 let qcheck_async_stress =
-  QCheck.Test.make ~count:20 ~name:"async final state equals the synchronous run"
+  QCheck.Test.make ~count:(qcheck_count 20) ~name:"async final state equals the synchronous run"
     (QCheck.make ~print:show_stress stress_gen)
     (fun ops ->
       with_pool (fun pool ->

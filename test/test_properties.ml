@@ -49,7 +49,7 @@ let regions_disjoint heap handles =
   check regions
 
 let qcheck_heap_disjoint =
-  QCheck.Test.make ~count:200 ~name:"live array regions stay disjoint"
+  QCheck.Test.make ~count:(qcheck_count 200) ~name:"live array regions stay disjoint"
     QCheck.(make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 60) heap_op_gen))
     (fun ops ->
       let heap = Heap.create ~size_limit:8192 () in
@@ -79,7 +79,7 @@ let qcheck_heap_disjoint =
 
 let qcheck_heap_checked_never_corrupts =
   (* checked stores through one array never change another's length *)
-  QCheck.Test.make ~count:200 ~name:"checked stores cannot corrupt neighbours"
+  QCheck.Test.make ~count:(qcheck_count 200) ~name:"checked stores cannot corrupt neighbours"
     QCheck.(pair (int_range 0 40) (int_range (-5) 60))
     (fun (len, idx) ->
       let heap = Heap.create ~size_limit:4096 () in
@@ -99,12 +99,12 @@ let side_gen =
     (list_size (int_range 0 8) (pair (int_range 0 10) small_nat))
 
 let qcheck_comparator_symmetric =
-  QCheck.Test.make ~count:300 ~name:"compare_sides is symmetric"
+  QCheck.Test.make ~count:(qcheck_count 300) ~name:"compare_sides is symmetric"
     QCheck.(make QCheck.Gen.(pair side_gen side_gen))
     (fun (a, b) -> Comparator.compare_sides a b = Comparator.compare_sides b a)
 
 let qcheck_comparator_reflexive_when_big_enough =
-  QCheck.Test.make ~count:300 ~name:"compare_sides reflexive above Thr"
+  QCheck.Test.make ~count:(qcheck_count 300) ~name:"compare_sides reflexive above Thr"
     QCheck.(make side_gen)
     (fun a ->
       let total = Delta.total a in
@@ -114,7 +114,7 @@ let qcheck_comparator_reflexive_when_big_enough =
 (* ---- variants preserve semantics on generated programs ---- *)
 
 let qcheck_variants_preserve_semantics =
-  QCheck.Test.make ~count:20 ~name:"variants preserve semantics on generated programs"
+  QCheck.Test.make ~count:(qcheck_count 20) ~name:"variants preserve semantics on generated programs"
     QCheck.(pair small_int (int_range 0 3))
     (fun (seed, kind_idx) ->
       let src = Test_differential.gen_program seed in
@@ -125,7 +125,7 @@ let qcheck_variants_preserve_semantics =
 (* ---- jit output stable across engine thresholds ---- *)
 
 let qcheck_threshold_independence =
-  QCheck.Test.make ~count:20 ~name:"output independent of tier-up thresholds"
+  QCheck.Test.make ~count:(qcheck_count 20) ~name:"output independent of tier-up thresholds"
     QCheck.(pair small_int (int_range 2 20))
     (fun (seed, threshold) ->
       let src = Test_differential.gen_program seed in

@@ -71,7 +71,7 @@ let sexpr_gen =
         (min n 6))
 
 let qcheck_roundtrip =
-  QCheck.Test.make ~count:300 ~name:"sexpr print/parse roundtrip"
+  QCheck.Test.make ~count:(qcheck_count 300) ~name:"sexpr print/parse roundtrip"
     (QCheck.make sexpr_gen)
     (fun s -> sexpr_equal s (roundtrip s))
 
@@ -84,7 +84,7 @@ let test_prng_determinism () =
   check_bool "different seed differs" true (Prng.next_int64 (Prng.create 123) <> Prng.next_int64 c)
 
 let qcheck_prng_bounds =
-  QCheck.Test.make ~count:500 ~name:"prng int within bounds"
+  QCheck.Test.make ~count:(qcheck_count 500) ~name:"prng int within bounds"
     QCheck.(pair small_int (int_range 1 1000))
     (fun (seed, bound) ->
       let p = Prng.create seed in

@@ -4,6 +4,7 @@
 
 open Helpers
 module Variants = Jitbull_vdc.Variants
+module V = Jitbull_vdc.Demonstrators
 module Parser = Jitbull_frontend.Parser
 module Printer = Jitbull_frontend.Printer
 module Ast = Jitbull_frontend.Ast
@@ -77,6 +78,30 @@ let test_split_redirects_main_calls () =
   let out = Variants.apply Variants.Split src in
   check_bool "main call redirected" true (contains out "g_step(5)")
 
+(* Complementary to test_security's full-vulnerability matrix: with only
+   the demonstrator's own CVE active, every generated variant still fires
+   — the exploit shape is attributable to that specific pass bug, not to
+   an interaction between several injected bugs. *)
+let test_variant_triggers_own_cve (d : V.t) () =
+  let config =
+    {
+      Engine.default_config with
+      Engine.vulns = VC.make [ d.V.cve ];
+      baseline_threshold = 2;
+      ion_threshold = 4;
+    }
+  in
+  List.iter
+    (fun kind ->
+      let variant = Variants.apply kind d.V.source in
+      match V.run_exploit config variant d.V.expected with
+      | V.Exploited _ -> ()
+      | V.Neutralized ->
+        Alcotest.fail
+          (d.V.name ^ " " ^ Variants.kind_name kind
+         ^ " variant did not fire under its own CVE alone"))
+    Variants.all_kinds
+
 let suite =
   ( "variants",
     List.map
@@ -86,6 +111,13 @@ let suite =
           `Quick
           (test_variant_preserves_semantics kind))
       Variants.all_kinds
+    @ List.map
+        (fun (d : V.t) ->
+          Alcotest.test_case
+            (d.V.name ^ " variants fire under own CVE")
+            `Slow
+            (test_variant_triggers_own_cve d))
+        V.all
     @ [
         Alcotest.test_case "rename changes identifiers" `Quick test_rename_changes_identifiers;
         Alcotest.test_case "rename keeps builtins" `Quick test_rename_keeps_builtins;

@@ -15,6 +15,45 @@ let test_workload_all_tiers (w : W.t) () =
   let s = Engine.stats t in
   check_bool (w.W.name ^ " reached Ion") true (s.Engine.ion_compiles > 0)
 
+(* The workloads on a fully *vulnerable* engine, with JITBULL armed from
+   the VDC database: every workload must still match the reference
+   interpreter. This is not vacuous — Richards trips the injected
+   CVE-2019-9792 bug unprotected (a modeled miscompilation firing on real
+   benign code, see [test_richards_trips_a_modeled_bug]); the go/no-go
+   policy restores it without breaking any other workload. *)
+let all_vulns = Jitbull_passes.Vuln_config.make Jitbull_passes.Vuln_config.all
+
+let vulnerable_config = { Engine.default_config with Engine.vulns = all_vulns }
+
+let armed_config =
+  lazy
+    (let module V = Jitbull_vdc.Demonstrators in
+    let module Db = Jitbull_core.Db in
+    let db = Db.create () in
+    List.iter
+      (fun (d : V.t) ->
+        ignore
+          (Db.harvest db ~cve:d.V.name
+             ~vulns:(Jitbull_passes.Vuln_config.make [ d.V.cve ])
+             d.V.source))
+      V.all;
+    { (Jitbull_core.Jitbull.config ~vulns:all_vulns db) with Engine.policy_cache = None })
+
+let test_workload_armed_vulnerable_engine (w : W.t) () =
+  let reference = interp_output w.W.source in
+  let out, _ = Engine.run_source (Lazy.force armed_config) w.W.source in
+  check_string (w.W.name ^ " identical under armed JITBULL on vulnerable engine") reference
+    out
+
+let test_richards_trips_a_modeled_bug () =
+  let w = Option.get (W.find "richards") in
+  let reference = interp_output w.W.source in
+  let unprotected, _ = Engine.run_source vulnerable_config w.W.source in
+  check_bool "Richards miscompiled by the unprotected vulnerable engine" false
+    (String.equal reference unprotected);
+  let guarded, _ = Engine.run_source (Lazy.force armed_config) w.W.source in
+  check_string "JITBULL restores Richards" reference guarded
+
 let test_workload_determinism (w : W.t) () =
   check_string (w.W.name ^ " deterministic") (jit_output w.W.source) (jit_output w.W.source)
 
@@ -38,11 +77,19 @@ let suite =
       (fun (w : W.t) ->
         [
           Alcotest.test_case (w.W.name ^ " tiers agree") `Slow (test_workload_all_tiers w);
+          Alcotest.test_case
+            (w.W.name ^ " armed JITBULL on vulnerable engine")
+            `Slow
+            (test_workload_armed_vulnerable_engine w);
         ])
       W.everything
     @ [
         Alcotest.test_case "Microbench1 deterministic" `Quick
           (test_workload_determinism W.microbench1);
+        Alcotest.test_case "Microbench1 armed on vulnerable engine" `Quick
+          (test_workload_armed_vulnerable_engine W.microbench1);
+        Alcotest.test_case "Richards trips a modeled bug unprotected" `Slow
+          test_richards_trips_a_modeled_bug;
         Alcotest.test_case "registry" `Quick test_registry;
         Alcotest.test_case "paper names" `Quick test_names_match_paper;
       ] )
