@@ -5,13 +5,19 @@
      jitbull-db list --db out.db
      jitbull-db show --db out.db --cve CVE-2019-17026
      jitbull-db remove --cve CVE-2019-17026 --db out.db     (patch applied)
-     jitbull-db builtin --db out.db CVE-2019-17026 ...      (bundled VDCs) *)
+     jitbull-db builtin --db out.db CVE-2019-17026 ...      (bundled VDCs)
+     jitbull-db explain audit.jsonl                          (offline reports)
+     jitbull-db explain --func tri --all audit.jsonl *)
 
 open Cmdliner
 module Db = Jitbull_core.Db
 module Dna = Jitbull_core.Dna
 module VC = Jitbull_passes.Vuln_config
 module V = Jitbull_vdc.Demonstrators
+module Audit = Jitbull_obs.Audit
+module Explain = Jitbull_obs.Explain
+module Jsonx = Jitbull_obs.Jsonx
+module Pipeline = Jitbull_passes.Pipeline
 
 let read_file path =
   let ic = open_in_bin path in
@@ -89,6 +95,42 @@ let builtin db_path cves =
   Db.save db db_path;
   `Ok ()
 
+(* explain: offline causal reports from a --audit-file JSONL trail.
+   Cache-hit decisions replay the stored evidence of the fresh record
+   they were copied from, exactly like the live /explain endpoint; the
+   per-pass IR diff sections are live-only (the diff ring is in-memory)
+   and render as "not captured" here. *)
+let explain_cmd audit_path func all =
+  let records = ref [] in
+  let ic = open_in audit_path in
+  (try
+     let lineno = ref 0 in
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then
+         match Audit.record_of_json (Jsonx.parse line) with
+         | r -> records := r :: !records
+         | exception Jsonx.Parse_error msg ->
+           failwith (Printf.sprintf "%s:%d: %s" audit_path !lineno msg)
+     done
+   with End_of_file -> close_in ic);
+  let records = List.rev !records in
+  let interesting (r : Audit.record) =
+    (match func with Some f -> String.equal r.Audit.func_name f | None -> true)
+    && (all || r.Audit.matches <> [] || r.Audit.verdict <> Audit.Allow)
+  in
+  let selected = List.filter interesting records in
+  Printf.printf "%d of %d decisions in %s\n" (List.length selected)
+    (List.length records) audit_path;
+  List.iter
+    (fun r ->
+      let e = Explain.resolve ~history:records r in
+      print_string (Explain.to_text ~can_disable:Pipeline.can_disable e);
+      print_newline ())
+    selected;
+  `Ok ()
+
 let db_arg =
   Arg.(required & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc:"Database file.")
 
@@ -118,6 +160,24 @@ let cmds =
       Term.(ret (const remove $ db_arg $ cve_arg));
     Cmd.v (Cmd.info "builtin" ~doc:"install bundled demonstrators' DNA")
       Term.(ret (const builtin $ db_arg $ cves_pos));
+    (let audit_pos =
+       Arg.(required & pos 0 (some non_dir_file) None
+            & info [] ~docv:"AUDIT" ~doc:"Audit trail (JSON lines, from jsrun --audit-file).")
+     in
+     let func_arg =
+       Arg.(value & opt (some string) None
+            & info [ "func" ] ~docv:"NAME" ~doc:"Only explain decisions for this function.")
+     in
+     let all_arg =
+       Arg.(value & flag
+            & info [ "all" ]
+                ~doc:"Explain every decision, including clean allows (default: \
+                      only decisions that matched a CVE or restricted JIT).")
+     in
+     Cmd.v
+       (Cmd.info "explain"
+          ~doc:"render causal go/no-go reports from an audit trail")
+       Term.(ret (const explain_cmd $ audit_pos $ func_arg $ all_arg)));
   ]
 
 let () =

@@ -13,7 +13,11 @@
      jsrun --jobs N ...                 N helper domains for background Ion compiles
      jsrun --sync-compile ...           force on-main-thread compilation (= --jobs 0)
      jsrun --audit-file out.jsonl ...   go/no-go decision audit trail (JSON lines)
-     jsrun --serve-metrics PORT ...     live HTTP /metrics + /healthz + /audit
+     jsrun --explain[=FUNC] ...         capture per-pass IR diffs; print causal
+                                        go/no-go reports at exit (all flagged
+                                        decisions, or just FUNC's)
+     jsrun --explain-capacity K ...     keep the last K compiles' IR diffs
+     jsrun --serve-metrics PORT ...     live HTTP /metrics + /healthz + /audit + /explain
      jsrun --serve-hold SECONDS ...     keep serving after the script finishes
      jsrun --quiet / -v ...             verbosity control (errors only / info / -vv debug) *)
 
@@ -30,6 +34,9 @@ module Obs = Jitbull_obs.Obs
 module Metrics = Jitbull_obs.Metrics
 module Report = Jitbull_obs.Report
 module Jsonx = Jitbull_obs.Jsonx
+module Audit = Jitbull_obs.Audit
+module Explain = Jitbull_obs.Explain
+module Pipeline = Jitbull_passes.Pipeline
 module Table = Jitbull_util.Text_table
 
 let read_file path =
@@ -82,9 +89,39 @@ let report_metrics obs dest =
     close_out oc
   end
 
+(* Print a causal report per flagged decision: all non-allow verdicts and
+   allow-with-matches (an empty filter), or every decision of one
+   function. *)
+let report_explanations obs ~filter =
+  match obs with
+  | None -> ()
+  | Some o ->
+    let records = Audit.records (Obs.audit o) in
+    let interesting (r : Audit.record) =
+      match filter with
+      | "" -> r.Audit.matches <> [] || r.Audit.verdict <> Audit.Allow
+      | f -> String.equal r.Audit.func_name f
+    in
+    let selected = List.filter interesting records in
+    Printf.eprintf "-- go/no-go explanations (%d of %d decisions) --\n"
+      (List.length selected) (List.length records);
+    if selected = [] then
+      Printf.eprintf "(nothing to explain%s)\n"
+        (if filter = "" then " - every decision was a clean allow"
+         else ": no decision for function " ^ filter);
+    List.iter
+      (fun r ->
+        let e = Explain.resolve ?irdiff:(Obs.irdiff o) ~history:records r in
+        prerr_string (Explain.to_text ~can_disable:Pipeline.can_disable e);
+        prerr_newline ())
+      selected;
+    (* the process may be killed during --serve-hold; don't leave the
+       report in the channel buffer *)
+    flush stderr
+
 let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace metrics
-    trace_file audit_file serve_metrics serve_hold naive_comparator no_policy_cache jobs
-    sync_compile quiet verbose =
+    trace_file audit_file explain explain_capacity serve_metrics serve_hold
+    naive_comparator no_policy_cache jobs sync_compile quiet verbose =
   setup_logging ~quiet ~verbose:(List.length verbose) trace;
   let source = read_file file in
   let vulns =
@@ -100,10 +137,13 @@ let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace
   let realm = Realm.create ~seed ~echo:true () in
   try
     let obs =
-      match (metrics, trace_file, audit_file, serve_metrics) with
-      | None, None, None, None -> None
+      match (metrics, trace_file, audit_file, serve_metrics, explain) with
+      | None, None, None, None, None -> None
       | _ ->
-        let o = Obs.create () in
+        let explain_capacity =
+          match explain with Some _ -> Some explain_capacity | None -> None
+        in
+        let o = Obs.create ?explain_capacity () in
         (match trace_file with
         | Some path -> Obs.set_trace_file o path
         | None -> ());
@@ -115,8 +155,12 @@ let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace
     let server =
       match (serve_metrics, obs) with
       | Some port, Some o ->
-        let s = Jitbull_obs.Http_export.start ~obs:o ~port () in
-        Printf.eprintf "serving /metrics /healthz /audit on 127.0.0.1:%d\n%!"
+        let s =
+          Jitbull_obs.Http_export.start ~can_disable:Pipeline.can_disable ~obs:o
+            ~port ()
+        in
+        Printf.eprintf
+          "serving /metrics /healthz /audit /explain on 127.0.0.1:%d\n%!"
           (Jitbull_obs.Http_export.port s);
         Some s
       | _ -> None
@@ -128,6 +172,9 @@ let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace
     let pool = if jobs > 0 then Some (Compile_queue.create ~jobs ()) else None in
     let finish () =
       (match pool with Some p -> Compile_queue.shutdown p | None -> ());
+      (match explain with
+      | Some filter -> report_explanations obs ~filter
+      | None -> ());
       (match metrics with
       | Some dest -> report_metrics obs dest
       | None -> ());
@@ -243,14 +290,35 @@ let audit_file =
                  verdict, DB generation and deciding domain — to $(docv) as \
                  JSON lines.")
 
+let explain =
+  Arg.(value & opt ~vopt:(Some "") (some string) None
+       & info [ "explain" ] ~docv:"FUNC"
+           ~doc:"Capture per-pass IR diffs during compilation and print a \
+                 causal go/no-go report per decision at exit: the matched \
+                 CVEs, the contributing passes with their EqChains evidence \
+                 and matching sub-chains, and the IR transformations that \
+                 introduced them. Without $(docv), reports every decision \
+                 that matched or restricted JIT; with $(docv), every \
+                 decision for that function.")
+
+let explain_capacity =
+  Arg.(value & opt int 64
+       & info [ "explain-capacity" ] ~docv:"K"
+           ~doc:"With --explain: keep the IR diffs of the last $(docv) \
+                 compiles (older ones are evicted; their audit records \
+                 remain).")
+
 let serve_metrics =
   Arg.(value & opt (some int) None
        & info [ "serve-metrics" ] ~docv:"PORT"
            ~doc:"Serve live observability over HTTP on 127.0.0.1:$(docv) while \
                  the script runs: /metrics (Prometheus text), /healthz \
-                 (200/503 against queue-depth, stall and stale-result \
-                 thresholds) and /audit?n=K (recent go/no-go decisions as \
-                 JSON). PORT 0 picks a free port (printed to stderr).")
+                 (200/503 against queue-depth, stall, stale-result and \
+                 install-latency-p99 thresholds), /audit?n=K (recent \
+                 go/no-go decisions as JSON), /explain (recent-decisions \
+                 index) and /explain?id=N (single-decision report, HTML or \
+                 &format=text). PORT 0 picks a free port (printed to \
+                 stderr).")
 
 let serve_hold =
   Arg.(value & opt float 0.0
@@ -301,7 +369,8 @@ let cmd =
     (Cmd.info "jsrun" ~doc)
     Term.(ret (const run $ file $ no_jit $ use_interp $ vuln_names $ db_path $ stats
                $ ion_threshold $ seed $ trace $ metrics $ trace_file $ audit_file
-               $ serve_metrics $ serve_hold $ naive_comparator $ no_policy_cache $ jobs
-               $ sync_compile $ quiet $ verbose))
+               $ explain $ explain_capacity $ serve_metrics $ serve_hold
+               $ naive_comparator $ no_policy_cache $ jobs $ sync_compile $ quiet
+               $ verbose))
 
 let () = exit (Cmd.eval cmd)

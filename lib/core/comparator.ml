@@ -37,7 +37,20 @@ type match_detail = {
   md_side : [ `Removed | `Added ];
   md_eq_chains : int;
   md_max_eq_chains : int;
+  md_common : (string * int) list;
 }
+
+(* The common sub-chains behind an EqChains score, materialized to
+   strings and sorted by key. Only computed on the cold path (a pass
+   actually matched), never during scoring. *)
+let side_common (d : Delta.side) (d' : Delta.side) =
+  Hashtbl.fold
+    (fun k c acc ->
+      match Hashtbl.find_opt d' k with
+      | Some c' -> (Jitbull_util.Intern.to_string k, min c c') :: acc
+      | None -> acc)
+    d []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let matching_passes_detailed ?(params = default_params) ?obs (dna : Dna.t)
     (dna' : Dna.t) =
@@ -61,6 +74,7 @@ let matching_passes_detailed ?(params = default_params) ?obs (dna : Dna.t)
                     md_side = `Removed;
                     md_eq_chains = fst rm;
                     md_max_eq_chains = snd rm;
+                    md_common = side_common d.Delta.removed d'.Delta.removed;
                   }
               else
                 let ad = side_score d.Delta.added d'.Delta.added in
@@ -71,6 +85,7 @@ let matching_passes_detailed ?(params = default_params) ?obs (dna : Dna.t)
                       md_side = `Added;
                       md_eq_chains = fst ad;
                       md_max_eq_chains = snd ad;
+                      md_common = side_common d.Delta.added d'.Delta.added;
                     }
                 else None
             | None -> None)

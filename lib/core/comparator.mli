@@ -28,13 +28,22 @@ val compare_sides : ?params:params -> Delta.side -> Delta.side -> bool
 val similar : ?params:params -> Delta.t -> Delta.t -> bool
 
 (** Evidence for one matching pass: which side satisfied the Thr/Ratio
-    test ([`Removed] is tried first, as in {!similar}) and its scores. *)
+    test ([`Removed] is tried first, as in {!similar}), its scores, and
+    the common sub-chains themselves ([md_common], key → min
+    multiplicity, sorted; multiplicities sum to [md_eq_chains]) — the
+    explanation layer's "matching sub-chains". *)
 type match_detail = {
   md_pass : string;
   md_side : [ `Removed | `Added ];
   md_eq_chains : int;
   md_max_eq_chains : int;
+  md_common : (string * int) list;
 }
+
+(** [side_common d d'] — the multiset intersection behind
+    {!side_score}'s EqChains, materialized and sorted by key. Cold-path
+    only: called once per {e matching} pass, not during scoring. *)
+val side_common : Delta.side -> Delta.side -> (string * int) list
 
 (** [matching_passes_detailed ?params ?obs dna dna'] — one
     {!match_detail} per pass [i] with Δᵢ ≈ Δ'ᵢ, in [dna]'s pass order.

@@ -212,15 +212,26 @@ let indexed_matching ~params ?obs t (dna : Dna.t) =
       for i = t.count - 1 downto 0 do
         let passes =
           List.filter_map
-            (fun (pass, _) ->
+            (fun (pass, (d : Delta.t)) ->
               match Hashtbl.find_opt matched (i, Intern.intern pass) with
               | Some (added, eq, max_eq) ->
+                (* materializing the common sub-chains re-reads both deltas
+                   but only for matched (entry, pass) cells — the cold
+                   path, exactly like the naive comparator *)
+                let common =
+                  match List.assoc_opt pass t.arr.(i).dna.Dna.deltas with
+                  | None -> []
+                  | Some (d' : Delta.t) ->
+                    if added then Comparator.side_common d.Delta.added d'.Delta.added
+                    else Comparator.side_common d.Delta.removed d'.Delta.removed
+                in
                 Some
                   {
                     Comparator.md_pass = pass;
                     md_side = (if added then `Added else `Removed);
                     md_eq_chains = eq;
                     md_max_eq_chains = max_eq;
+                    md_common = common;
                   }
               | None -> None)
             dna.Dna.deltas

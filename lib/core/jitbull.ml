@@ -23,6 +23,9 @@ let verdict_name = function
   | `Forbid -> "forbid"
 
 module Audit = Jitbull_obs.Audit
+module Irdiff = Jitbull_obs.Irdiff
+module Snapshot = Jitbull_mir.Snapshot
+module Intern = Jitbull_util.Intern
 
 let audit_verdict = function
   | `Allow -> Audit.Allow
@@ -45,10 +48,93 @@ let audit_matches detailed =
                   | `Added -> "added");
                 pm_eq_chains = md.Comparator.md_eq_chains;
                 pm_max_eq_chains = md.Comparator.md_max_eq_chains;
+                pm_chains = md.Comparator.md_common;
               })
             mds;
       })
     detailed
+
+(* ---- explain capture: summarize the snapshot trace into an IR diff ---- *)
+
+let opcode_multiset (s : Snapshot.t) =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Snapshot.entry) ->
+      Hashtbl.replace tbl e.Snapshot.opcode
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e.Snapshot.opcode)))
+    s.Snapshot.entries;
+  tbl
+
+let opcode_multiset_diff a b =
+  Hashtbl.fold
+    (fun k ca acc ->
+      let cb = Option.value ~default:0 (Hashtbl.find_opt b k) in
+      if ca > cb then (k, ca - cb) :: acc else acc)
+    a []
+  |> List.sort (fun (x, _) (y, _) -> String.compare x y)
+
+let chain_side_to_list (side : Delta.side) =
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) side []
+  |> List.sort (fun (a, _) (b, _) ->
+         String.compare (Intern.to_string a) (Intern.to_string b))
+
+(* One [Irdiff.pass_diff] per pass that changed the IR: instruction and
+   block counts from adjacent snapshots, the opcode multiset diff, and
+   the Δ sides the comparator scored (shared with [dna], so capture never
+   re-extracts sub-chains). *)
+let capture_diff ~(trace : (string * Snapshot.t) list) ~(dna : Dna.t) =
+  match trace with
+  | [] ->
+    {
+      Irdiff.cd_func = dna.Dna.func_name;
+      cd_total_passes = 0;
+      cd_passes = [];
+      cd_capture_seconds = 0.0;
+    }
+  | (_, first) :: rest ->
+    let prev = ref first in
+    let prev_ops = ref (opcode_multiset first) in
+    let passes =
+      List.filter_map
+        (fun (pass, (snap : Snapshot.t)) ->
+          let ops = opcode_multiset snap in
+          let chains_added, chains_removed =
+            match List.assoc_opt pass dna.Dna.deltas with
+            | Some (d : Delta.t) ->
+              (chain_side_to_list d.Delta.added, chain_side_to_list d.Delta.removed)
+            | None -> ([], [])
+          in
+          let pd =
+            {
+              Irdiff.pd_pass = pass;
+              pd_instrs_before = Snapshot.entry_count !prev;
+              pd_instrs_after = Snapshot.entry_count snap;
+              pd_blocks_before = !prev.Snapshot.n_blocks;
+              pd_blocks_after = snap.Snapshot.n_blocks;
+              pd_opcodes_added = opcode_multiset_diff ops !prev_ops;
+              pd_opcodes_removed = opcode_multiset_diff !prev_ops ops;
+              pd_chains_added = chains_added;
+              pd_chains_removed = chains_removed;
+            }
+          in
+          prev := snap;
+          prev_ops := ops;
+          if
+            pd.Irdiff.pd_instrs_before = pd.Irdiff.pd_instrs_after
+            && pd.Irdiff.pd_blocks_before = pd.Irdiff.pd_blocks_after
+            && pd.Irdiff.pd_opcodes_added = []
+            && pd.Irdiff.pd_opcodes_removed = []
+            && chains_added = [] && chains_removed = []
+          then None
+          else Some pd)
+        rest
+    in
+    {
+      Irdiff.cd_func = dna.Dna.func_name;
+      cd_total_passes = List.length rest;
+      cd_passes = passes;
+      cd_capture_seconds = 0.0;
+    }
 
 let analyzer ?params ?monitor ?obs ?(comparator = `Indexed) (db : Db.t) : Engine.analyzer =
  fun ~ctx ~func_index ~name ~trace ->
@@ -56,6 +142,7 @@ let analyzer ?params ?monitor ?obs ?(comparator = `Indexed) (db : Db.t) : Engine
      carry the verdict and the matched CVE → pass evidence *)
   let matched_ref = ref [] in
   let dangerous_ref = ref [] in
+  let dna_ref = ref { Dna.func_name = name; deltas = [] } in
   let query_ref =
     ref
       {
@@ -84,6 +171,7 @@ let analyzer ?params ?monitor ?obs ?(comparator = `Indexed) (db : Db.t) : Engine
       ~fields_of:verdict_fields "policy_decide"
       (fun () ->
         let dna = Obs.span obs "dna_extract" (fun () -> Dna.extract trace) in
+        dna_ref := dna;
         let query =
           Obs.span obs
             ~fields:[ ("entries", Jsonx.Int (Db.size db)) ]
@@ -136,19 +224,56 @@ let analyzer ?params ?monitor ?obs ?(comparator = `Indexed) (db : Db.t) : Engine
   | Some o ->
     let q = !query_ref in
     let p = Option.value ~default:Comparator.default_params params in
-    ignore
-      (Audit.append (Obs.audit o) ~func_name:name ~func_index
-         ~bytecode_hash:ctx.Engine.cc_bytecode_hash
-         ~feedback_hash:ctx.Engine.cc_feedback_hash
-         ~verdict:(audit_verdict verdict)
-         ~matches:(audit_matches q.Db.q_matches)
-         ~thr:p.Comparator.thr ~ratio:p.Comparator.ratio
-         ~prefilter_candidates:q.Db.q_prefilter_candidates
-         ~prefilter_hits:q.Db.q_prefilter_hits
-         ~db_generation:q.Db.q_generation ~db_size:q.Db.q_size
-         ~source:Audit.Fresh
-         ~duration:(Float.max 0.0 (Obs.now obs -. t0))
-         ())
+    (* capture the IR diff before appending, so the diff is in the ring by
+       the time the record's seq is observable; helper compile domains run
+       this whole block, which attaches the diff to the same record the
+       safepoint install will expose *)
+    let diff =
+      match Obs.irdiff o with
+      | None -> None
+      | Some _ ->
+        let t0c = Obs.now obs in
+        let d = capture_diff ~trace ~dna:!dna_ref in
+        let dt = Float.max 0.0 (Obs.now obs -. t0c) in
+        Obs.observe obs "explain.capture_seconds" dt;
+        Some { d with Irdiff.cd_capture_seconds = dt }
+    in
+    let r =
+      Audit.append (Obs.audit o) ~func_name:name ~func_index
+        ~bytecode_hash:ctx.Engine.cc_bytecode_hash
+        ~feedback_hash:ctx.Engine.cc_feedback_hash
+        ~verdict:(audit_verdict verdict)
+        ~matches:(audit_matches q.Db.q_matches)
+        ~thr:p.Comparator.thr ~ratio:p.Comparator.ratio
+        ~prefilter_candidates:q.Db.q_prefilter_candidates
+        ~prefilter_hits:q.Db.q_prefilter_hits
+        ~db_generation:q.Db.q_generation ~db_size:q.Db.q_size
+        ~source:Audit.Fresh
+        ~duration:(Float.max 0.0 (Obs.now obs -. t0))
+        ()
+    in
+    (match Obs.irdiff o, diff with
+    | Some ring, Some d ->
+      Irdiff.attach ring ~seq:r.Audit.seq d;
+      List.iter
+        (fun (cve, mds) ->
+          List.iter
+            (fun (md : Comparator.match_detail) ->
+              let introduced =
+                List.fold_left
+                  (fun acc (pd : Irdiff.pass_diff) ->
+                    if String.equal pd.Irdiff.pd_pass md.Comparator.md_pass then
+                      acc
+                      + List.fold_left (fun a (_, c) -> a + c) 0
+                          pd.Irdiff.pd_chains_added
+                    else acc)
+                  0 d.Irdiff.cd_passes
+              in
+              Irdiff.record_contribution ring ~pass:md.Comparator.md_pass ~cve
+                introduced)
+            mds)
+        q.Db.q_matches
+    | _ -> ())
   | None -> ());
   (match monitor with
   | Some m ->

@@ -6,6 +6,7 @@ type entry = {
 
 type t = {
   func_name : string;
+  n_blocks : int;
   entries : entry list;
 }
 
@@ -23,7 +24,7 @@ let take (g : Mir.t) : t =
           (Mir.instructions b))
       g.Mir.blocks
   in
-  { func_name = g.Mir.name; entries }
+  { func_name = g.Mir.name; n_blocks = List.length g.Mir.blocks; entries }
 
 let entry_count t = List.length t.entries
 

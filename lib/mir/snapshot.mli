@@ -15,6 +15,7 @@ type entry = {
 
 type t = {
   func_name : string;
+  n_blocks : int;  (** block count at snapshot time, for the IR-diff layer *)
   entries : entry list;
 }
 

@@ -19,6 +19,8 @@ type pass_match = {
   pm_side : string;  (* "removed" or "added" *)
   pm_eq_chains : int;
   pm_max_eq_chains : int;
+  pm_chains : (string * int) list;
+      (* the common sub-chains behind pm_eq_chains: key → min multiplicity *)
 }
 
 type cve_match = {
@@ -136,6 +138,8 @@ let pass_match_to_json pm =
       ("side", Jsonx.String pm.pm_side);
       ("eq_chains", Jsonx.Int pm.pm_eq_chains);
       ("max_eq_chains", Jsonx.Int pm.pm_max_eq_chains);
+      ( "chains",
+        Jsonx.Assoc (List.map (fun (k, c) -> (k, Jsonx.Int c)) pm.pm_chains) );
     ]
 
 let pass_match_of_json j =
@@ -144,6 +148,12 @@ let pass_match_of_json j =
     pm_side = Jsonx.to_str (Jsonx.member "side" j);
     pm_eq_chains = Jsonx.to_int (Jsonx.member "eq_chains" j);
     pm_max_eq_chains = Jsonx.to_int (Jsonx.member "max_eq_chains" j);
+    pm_chains =
+      (* absent in records written before the explain layer existed *)
+      (match Jsonx.member "chains" j with
+      | Jsonx.Null -> []
+      | Jsonx.Assoc kvs -> List.map (fun (k, v) -> (k, Jsonx.to_int v)) kvs
+      | _ -> raise (Jsonx.Parse_error "pass_match chains must be an object"));
   }
 
 let cve_match_to_json cm =

@@ -24,12 +24,17 @@ type verdict =
 (** One pass on which the comparator matched a DNA entry: the EqChains
     score and the ratio denominator [min (|δ|, |δ'|)] it was held
     against (paper §IV-E). [pm_side] is ["removed"] or ["added"] — which
-    side of the Δ satisfied the Thr/Ratio test first. *)
+    side of the Δ satisfied the Thr/Ratio test first. [pm_chains] is the
+    evidence itself: the sub-chains common to both deltas on that side
+    with their min multiplicities (they sum to [pm_eq_chains]), sorted by
+    key — what {!Explain} prints as "matching sub-chains". Decoding
+    tolerates records written before this field existed ([[]]). *)
 type pass_match = {
   pm_pass : string;
   pm_side : string;
   pm_eq_chains : int;
   pm_max_eq_chains : int;
+  pm_chains : (string * int) list;
 }
 
 type cve_match = {

@@ -12,10 +12,16 @@ type health_thresholds = {
   max_queue_depth : int;
   max_stall_seconds : float;
   max_stale_results : int;
+  max_install_p99_seconds : float;
 }
 
 let default_thresholds =
-  { max_queue_depth = 64; max_stall_seconds = 1.0; max_stale_results = 1000 }
+  {
+    max_queue_depth = 64;
+    max_stall_seconds = 1.0;
+    max_stale_results = 1000;
+    max_install_p99_seconds = 0.5;
+  }
 
 type t = {
   listen_fd : Unix.file_descr;
@@ -27,6 +33,7 @@ type t = {
 let http_response status body content_type =
   let reason = match status with
     | 200 -> "OK"
+    | 400 -> "Bad Request"
     | 404 -> "Not Found"
     | 503 -> "Service Unavailable"
     | _ -> "Error"
@@ -40,6 +47,9 @@ let http_response status body content_type =
 let metrics_body obs =
   Metrics.render_prometheus (Obs.view (Some obs))
   ^ Audit.render_prometheus (Obs.audit obs)
+  ^ (match Obs.irdiff obs with
+    | Some ring -> Irdiff.render_prometheus ring
+    | None -> "")
 
 type check = {
   ck_name : string;
@@ -59,6 +69,16 @@ let health_checks thresholds obs =
   let check name value threshold =
     { ck_name = name; ck_value = value; ck_threshold = threshold; ck_ok = value <= threshold }
   in
+  (* quantile over the live histogram, not a mean derived from the
+     snapshot: one slow install must not hide behind many fast ones.
+     [Metrics.histogram] is get-or-create — pass the engine's bounds so
+     an exporter-first probe registers the grid the engine expects *)
+  let install_p99 =
+    Metrics.quantile
+      (Metrics.histogram ~bounds:Metrics.queue_latency_bounds
+         (Obs.metrics obs) "compile.install_latency_seconds")
+      0.99
+  in
   [
     check "queue_depth"
       (gauge "compile.queue_depth")
@@ -69,6 +89,8 @@ let health_checks thresholds obs =
     check "stale_results"
       (float_of_int (counter "engine.stale_results"))
       (float_of_int thresholds.max_stale_results);
+    check "install_latency_p99_seconds" install_p99
+      thresholds.max_install_p99_seconds;
   ]
 
 let health_body thresholds obs =
@@ -94,14 +116,75 @@ let health_body thresholds obs =
   in
   ((if ok then 200 else 503), Jsonx.to_string json)
 
-let audit_body obs query =
-  let n =
-    match List.assoc_opt "n" query with
-    | Some s -> (try max 0 (int_of_string (String.trim s)) with _ -> 32)
-    | None -> 32
-  in
-  let records = Audit.last (Obs.audit obs) n in
-  Jsonx.to_string (Jsonx.List (List.map Audit.record_to_json records))
+let bad_request msg =
+  http_response 400
+    (Jsonx.to_string (Jsonx.Assoc [ ("error", Jsonx.String msg) ]))
+    "application/json"
+
+(* Query-parameter counts are strict: a negative, non-numeric or huge
+   value is a client error (400), never silently defaulted. *)
+let parse_count ?(max_value = 10_000) name query ~default =
+  match List.assoc_opt name query with
+  | None -> Ok default
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | None -> Error (Printf.sprintf "%s: not an integer" name)
+    | Some n when n < 0 -> Error (Printf.sprintf "%s: must be non-negative" name)
+    | Some n when n > max_value ->
+      Error (Printf.sprintf "%s: too large (max %d)" name max_value)
+    | Some n -> Ok n)
+
+let audit_response obs query =
+  match parse_count "n" query ~default:32 with
+  | Error msg -> bad_request msg
+  | Ok n ->
+    let records = Audit.last (Obs.audit obs) n in
+    http_response 200
+      (Jsonx.to_string (Jsonx.List (List.map Audit.record_to_json records)))
+      "application/json"
+
+let explain_response ~can_disable obs query =
+  let au = Obs.audit obs in
+  match List.assoc_opt "id" query with
+  | None ->
+    (* recent-decisions index *)
+    (match parse_count "n" query ~default:32 with
+    | Error msg -> bad_request msg
+    | Ok n ->
+      let have_diff seq =
+        match Obs.irdiff obs with
+        | Some ring -> Irdiff.find ring seq <> None
+        | None -> false
+      in
+      http_response 200
+        (Explain.index_html ~limit:n ~have_diff (Audit.records au))
+        "text/html; charset=utf-8")
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | None -> bad_request "id: not an integer"
+    | Some id ->
+      let records = Audit.records au in
+      (match List.find_opt (fun (r : Audit.record) -> r.Audit.seq = id) records with
+      | None ->
+        http_response 404
+          (Jsonx.to_string
+             (Jsonx.Assoc
+                [
+                  ( "error",
+                    Jsonx.String
+                      "no such decision: never made, or evicted from the audit \
+                       ring" );
+                ]))
+          "application/json"
+      | Some r ->
+        let e = Explain.resolve ?irdiff:(Obs.irdiff obs) ~history:records r in
+        (match List.assoc_opt "format" query with
+        | Some "text" ->
+          http_response 200 (Explain.to_text ?can_disable e)
+            "text/plain; charset=utf-8"
+        | _ ->
+          http_response 200 (Explain.to_html ?can_disable e)
+            "text/html; charset=utf-8")))
 
 (* ---- request plumbing ---- *)
 
@@ -126,14 +209,15 @@ let parse_request_target line =
     | None -> (target, []))
   | _ -> ("/", [])
 
-let handle thresholds obs line =
+let handle ~can_disable thresholds obs line =
   let path, query = parse_request_target line in
   match path with
   | "/metrics" -> http_response 200 (metrics_body obs) "text/plain; version=0.0.4"
   | "/healthz" ->
     let status, body = health_body thresholds obs in
     http_response status body "application/json"
-  | "/audit" -> http_response 200 (audit_body obs query) "application/json"
+  | "/audit" -> audit_response obs query
+  | "/explain" -> explain_response ~can_disable obs query
   | _ -> http_response 404 "not found\n" "text/plain"
 
 let read_request fd =
@@ -179,13 +263,13 @@ let write_all fd s =
   in
   go 0
 
-let serve_loop listen_fd stop_flag thresholds obs =
+let serve_loop listen_fd stop_flag ~can_disable thresholds obs =
   while not (Atomic.get stop_flag) do
     match Unix.accept listen_fd with
     | client, _ ->
       (try
          let line = read_request client in
-         if line <> "" then write_all client (handle thresholds obs line)
+         if line <> "" then write_all client (handle ~can_disable thresholds obs line)
        with _ -> ());
       (try Unix.close client with _ -> ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -195,7 +279,7 @@ let serve_loop listen_fd stop_flag thresholds obs =
       if not (Atomic.get stop_flag) then Unix.sleepf 0.01
   done
 
-let start ?(thresholds = default_thresholds) ~obs ~port () =
+let start ?(thresholds = default_thresholds) ?can_disable ~obs ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -210,7 +294,7 @@ let start ?(thresholds = default_thresholds) ~obs ~port () =
     | _ -> port
   in
   let stop_flag = Atomic.make false in
-  let dom = Domain.spawn (fun () -> serve_loop fd stop_flag thresholds obs) in
+  let dom = Domain.spawn (fun () -> serve_loop fd stop_flag ~can_disable thresholds obs) in
   { listen_fd = fd; port; stop_flag; dom }
 
 let port t = t.port
@@ -226,7 +310,7 @@ let stop t =
 
 (* ---- loopback client (tests, bench, CI smoke) ---- *)
 
-let fetch ~port path =
+let fetch_full ~port path =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with _ -> ())
@@ -252,14 +336,34 @@ let fetch ~port path =
         | _http :: code :: _ -> ( try int_of_string code with _ -> 0)
         | _ -> 0
       in
-      let body =
+      let header_end =
         let n = String.length raw in
         let rec find i =
           if i + 4 > n then n
-          else if String.sub raw i 4 = "\r\n\r\n" then i + 4
+          else if String.sub raw i 4 = "\r\n\r\n" then i
           else find (i + 1)
         in
-        let i = find 0 in
+        find 0
+      in
+      let headers =
+        String.sub raw 0 (min header_end (String.length raw))
+        |> String.split_on_char '\n'
+        |> List.filter_map (fun line ->
+               match String.index_opt line ':' with
+               | Some i ->
+                 Some
+                   ( String.lowercase_ascii (String.trim (String.sub line 0 i)),
+                     String.trim
+                       (String.sub line (i + 1) (String.length line - i - 1)) )
+               | None -> None)
+      in
+      let body =
+        let n = String.length raw in
+        let i = min n (header_end + 4) in
         String.sub raw i (n - i)
       in
-      (status, body))
+      (status, headers, body))
+
+let fetch ~port path =
+  let status, _headers, body = fetch_full ~port path in
+  (status, body)

@@ -4,32 +4,52 @@
 
     - [/metrics] — Prometheus text: the full metrics registry
       ({!Metrics.render_prometheus}) followed by the audit aggregates
-      ({!Audit.render_prometheus}).
+      ({!Audit.render_prometheus}) and, when explain capture is on, the
+      IR-diff aggregates ({!Irdiff.render_prometheus}).
     - [/healthz] — JSON health report; 200 when every check passes,
       503 otherwise. Checks (against {!health_thresholds}):
       [compile.queue_depth] gauge, [engine.main_stall_seconds] gauge,
-      [engine.stale_results] counter.
+      [engine.stale_results] counter, and the live p99 of
+      [compile.install_latency_seconds] ({!Metrics.quantile}).
     - [/audit?n=K] — the K most recent audit records (default 32),
       newest first, as a JSON array of {!Audit.record_to_json} objects.
+    - [/explain] — HTML index of recent decisions
+      ({!Explain.index_html}; [?n=K] as for [/audit]).
+    - [/explain?id=N] — explanation of decision [N] ({!Explain}): HTML
+      by default, plain text with [&format=text]. 404 (JSON error) when
+      [N] was never decided or has been evicted from the audit ring.
 
-    Anything else is 404. The handler reads snapshots only — serving
-    never blocks the engine beyond the registry/ring mutexes. *)
+    Malformed query parameters (non-numeric, negative, or huge [n]/[id])
+    are 400 with a JSON error body; JSON endpoints carry
+    [Content-Type: application/json]. Anything else is 404. The handler
+    reads snapshots only — serving never blocks the engine beyond the
+    registry/ring mutexes. *)
 
 type health_thresholds = {
   max_queue_depth : int;  (** compile queue depth at the last safepoint *)
   max_stall_seconds : float;  (** cumulative main-thread compile stall *)
   max_stale_results : int;  (** background compiles discarded as stale *)
+  max_install_p99_seconds : float;
+      (** p99 publish → safepoint-install latency *)
 }
 
-(** queue ≤ 64, stall ≤ 1s, stale ≤ 1000. *)
+(** queue ≤ 64, stall ≤ 1s, stale ≤ 1000, install p99 ≤ 0.5s. *)
 val default_thresholds : health_thresholds
 
 type t
 
 (** [start ~obs ~port ()] binds 127.0.0.1:[port] ([port = 0] picks a free
     one — read it back with {!port}) and spawns the serving domain.
+    [can_disable] (pass the pipeline's [can_disable]) lets [/explain]
+    reports name the mandatory pass behind a forbid verdict.
     Raises [Unix.Unix_error] if the bind fails. *)
-val start : ?thresholds:health_thresholds -> obs:Obs.t -> port:int -> unit -> t
+val start :
+  ?thresholds:health_thresholds ->
+  ?can_disable:(string -> bool) ->
+  obs:Obs.t ->
+  port:int ->
+  unit ->
+  t
 
 (** The bound port (useful after [~port:0]). *)
 val port : t -> int
@@ -41,3 +61,7 @@ val stop : t -> unit
     and CI smoke: returns (status code, body). Blocking; raises
     [Unix.Unix_error] when nothing listens on [port]. *)
 val fetch : port:int -> string -> int * string
+
+(** Like {!fetch} but also returns the response headers as
+    (lowercased name, value) pairs. *)
+val fetch_full : port:int -> string -> int * (string * string) list * string

@@ -1,0 +1,112 @@
+(* Bounded ring of per-compile IR diffs, keyed by audit sequence number.
+   Same discipline as the audit ring: one mutex serializes helper compile
+   domains and the main thread, cumulative aggregates survive eviction. *)
+
+module Intern = Jitbull_util.Intern
+
+type pass_diff = {
+  pd_pass : string;
+  pd_instrs_before : int;
+  pd_instrs_after : int;
+  pd_blocks_before : int;
+  pd_blocks_after : int;
+  pd_opcodes_added : (string * int) list;
+  pd_opcodes_removed : (string * int) list;
+  pd_chains_added : (Intern.id * int) list;
+  pd_chains_removed : (Intern.id * int) list;
+}
+
+type compile_diff = {
+  cd_func : string;
+  cd_total_passes : int;
+  cd_passes : pass_diff list;
+  cd_capture_seconds : float;
+}
+
+type t = {
+  cap : int;
+  ring : (int * compile_diff) option array;
+  mutable head : int;
+  mutable total : int;
+  mu : Mutex.t;
+  contributions : (string * string, int) Hashtbl.t;
+      (* (pass, cve) → cumulative sub-chain instances introduced *)
+}
+
+let create ?(capacity = 64) () =
+  let cap = max 1 capacity in
+  {
+    cap;
+    ring = Array.make cap None;
+    head = 0;
+    total = 0;
+    mu = Mutex.create ();
+    contributions = Hashtbl.create 16;
+  }
+
+let capacity t = t.cap
+
+let total t = t.total
+
+let attach t ~seq diff =
+  Mutex.lock t.mu;
+  t.ring.(t.head) <- Some (seq, diff);
+  t.head <- (t.head + 1) mod t.cap;
+  t.total <- t.total + 1;
+  Mutex.unlock t.mu
+
+let find t seq =
+  Mutex.lock t.mu;
+  let out = ref None in
+  Array.iter
+    (function
+      | Some (s, d) when s = seq -> out := Some d
+      | _ -> ())
+    t.ring;
+  Mutex.unlock t.mu;
+  !out
+
+let seqs t =
+  Mutex.lock t.mu;
+  let out =
+    Array.to_list t.ring
+    |> List.filter_map (function Some (s, _) -> Some s | None -> None)
+    |> List.sort compare
+  in
+  Mutex.unlock t.mu;
+  out
+
+let record_contribution t ~pass ~cve n =
+  if n > 0 then begin
+    Mutex.lock t.mu;
+    let key = (pass, cve) in
+    Hashtbl.replace t.contributions key
+      (n + Option.value ~default:0 (Hashtbl.find_opt t.contributions key));
+    Mutex.unlock t.mu
+  end
+
+let render_prometheus t =
+  Mutex.lock t.mu;
+  let total = t.total in
+  let contribs =
+    Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.contributions []
+    |> List.sort compare
+  in
+  Mutex.unlock t.mu;
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  line "# TYPE jitbull_explain_diffs_total counter\n";
+  line "jitbull_explain_diffs_total %d\n" total;
+  if contribs <> [] then begin
+    line "# TYPE jitbull_explain_chains_introduced_total counter\n";
+    List.iter
+      (fun ((pass, cve), n) ->
+        line "jitbull_explain_chains_introduced_total{pass=\"%s\",cve=\"%s\"} %d\n"
+          (Metrics.escape_label_value pass)
+          (Metrics.escape_label_value cve)
+          n)
+      contribs
+  end;
+  Buffer.contents buf
+
+let chain_key = Intern.to_string

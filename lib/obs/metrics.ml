@@ -90,6 +90,11 @@ let queue_latency_bounds =
     5e-3; 1e-2; 2e-2; 5e-2; 0.1; 0.25; 0.5; 1.0;
   |]
 
+(* IR-size deltas and other small-count distributions: 0 gets its own
+   bucket (most pass runs change nothing), then a 1-2-5 grid to 5000. *)
+let size_bounds =
+  [| 0.0; 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1000.0; 2000.0; 5000.0 |]
+
 let histogram ?(bounds = default_latency_bounds) t name =
   locked t.mu (fun () ->
       match Hashtbl.find_opt t.histograms name with

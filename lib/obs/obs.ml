@@ -2,18 +2,24 @@ type t = {
   m : Metrics.t;
   tr : Tracer.t;
   au : Audit.t;
+  ir : Irdiff.t option;
 }
 
-let create ?capacity ?audit_capacity ?clock () =
+let create ?capacity ?audit_capacity ?explain_capacity ?clock () =
   {
     m = Metrics.create ();
     tr = Tracer.create ?capacity ?clock ();
     au = Audit.create ?capacity:audit_capacity ?clock ();
+    ir =
+      (match explain_capacity with
+      | Some k -> Some (Irdiff.create ~capacity:k ())
+      | None -> None);
   }
 
 let metrics t = t.m
 let tracer t = t.tr
 let audit t = t.au
+let irdiff t = t.ir
 let set_trace_file t path = Tracer.set_file_sink t.tr path
 let set_audit_file t path = Audit.set_file_sink t.au path
 

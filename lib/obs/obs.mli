@@ -8,14 +8,26 @@
 type t
 
 (** [capacity] bounds the trace ring, [audit_capacity] the audit ring
-    (defaults 4096 / 1024). The three components share [clock], so trace
-    and audit timestamps are directly comparable. *)
+    (defaults 4096 / 1024). [explain_capacity] — when given — enables
+    explain capture: the analyzer summarizes each compile's per-pass IR
+    changes into an {!Irdiff.t} ring of that many compile diffs (omit it
+    and capture costs nothing, like every other disabled instrument).
+    The components share [clock], so trace and audit timestamps are
+    directly comparable. *)
 val create :
-  ?capacity:int -> ?audit_capacity:int -> ?clock:(unit -> float) -> unit -> t
+  ?capacity:int ->
+  ?audit_capacity:int ->
+  ?explain_capacity:int ->
+  ?clock:(unit -> float) ->
+  unit ->
+  t
 
 val metrics : t -> Metrics.t
 val tracer : t -> Tracer.t
 val audit : t -> Audit.t
+
+(** The IR-diff ring, present iff [explain_capacity] was given. *)
+val irdiff : t -> Irdiff.t option
 
 (** Mirror all subsequent trace events to [path] as JSON lines. *)
 val set_trace_file : t -> string -> unit

@@ -39,10 +39,12 @@ let graph_size (g : Mir.t) = List.length (Mir.all_instructions g)
 (* Run one pass (and the verifier, if requested). With an [Obs.t]
    installed, each pass gets its own span, a ["pass.<name>.seconds"]
    latency histogram, a ["pass.<name>.delta_size"] counter accumulating
-   the instruction-count change, and a ["pass.<name>.changed"] counter of
-   runs whose instruction count moved at all — the raw material of the
-   per-pass profile, the telemetry bench, and the fuzzer's coverage
-   map. *)
+   the instruction-count change, a ["pass.<name>.ir_delta_size"]
+   histogram of per-run |Δ instructions| (the pass-effectiveness
+   distribution, scrapeable from /metrics), and a ["pass.<name>.changed"]
+   counter of runs whose instruction count moved at all — the raw
+   material of the per-pass profile, the telemetry bench, and the
+   fuzzer's coverage map. *)
 let exec_pass ctx ~obs ~verify g (p : Pass.t) =
   match obs with
   | None ->
@@ -57,6 +59,9 @@ let exec_pass ctx ~obs ~verify g (p : Pass.t) =
         if verify then Verifier.check g);
     let after = graph_size g in
     Obs.add obs ("pass." ^ p.Pass.name ^ ".delta_size") (after - before);
+    Obs.observe obs ~bounds:Jitbull_obs.Metrics.size_bounds
+      ("pass." ^ p.Pass.name ^ ".ir_delta_size")
+      (float_of_int (abs (after - before)));
     if after <> before then Obs.incr obs ("pass." ^ p.Pass.name ^ ".changed")
 
 (* Run without snapshotting: the engine uses this when JITBULL's database

@@ -21,5 +21,6 @@ let () =
       Test_verify_mode.suite;
       Test_obs.suite;
       Test_audit.suite;
+      Test_explain.suite;
       Test_perf.suite;
     ]

@@ -51,6 +51,7 @@ let append_n au n =
                   pm_side = "removed";
                   pm_eq_chains = 2 + i;
                   pm_max_eq_chains = 4 + i;
+                  pm_chains = [ ("boundscheck->loadelement", 1 + (i mod 2)) ];
                 };
               ];
           };

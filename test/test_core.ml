@@ -19,6 +19,7 @@ module Sexpr = Jitbull_util.Sexpr
 let snap entries =
   {
     Snapshot.func_name = "test";
+    n_blocks = 1;
     entries =
       List.map
         (fun (num, opcode, operands) -> { Snapshot.num; opcode; operands })

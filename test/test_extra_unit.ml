@@ -106,6 +106,7 @@ let test_domtree_loop_body () =
 let snap_of entries =
   {
     Jitbull_mir.Snapshot.func_name = "t";
+    n_blocks = 1;
     entries =
       List.map
         (fun (num, opcode, operands) -> { Jitbull_mir.Snapshot.num; opcode; operands })
