@@ -19,6 +19,9 @@
      bench/main.exe ablation     Thr/Ratio/n-gram parameter sweep (beyond the paper)
      bench/main.exe overhead     decision cost vs DB size: indexed vs naive + policy cache
      bench/main.exe concurrency  off-main-thread Ion compilation (jobs=0/1/2/4)
+     bench/main.exe service      jitbulld verdict-service throughput: client
+                                 concurrency x batch size x index shards
+                                 (JITBULL_BENCH_SERVICE_BUDGET_S / _MAXC trim it)
      bench/main.exe bechamel     Bechamel micro-benchmarks of the JITBULL machinery *)
 
 module W = Jitbull_workloads.Workloads
@@ -44,6 +47,11 @@ module Metrics = Jitbull_obs.Metrics
 module Report = Jitbull_obs.Report
 module Jsonx = Jitbull_obs.Jsonx
 module Clock = Jitbull_obs.Clock
+module Sexpr = Jitbull_util.Sexpr
+module Http = Jitbull_obs.Http_export
+module Proto = Jitbull_service.Proto
+module Service = Jitbull_service.Service
+module Client = Jitbull_service.Client
 
 (* Machine-readable results, accumulated by sections and written out when
    --json OUT is given (the repo's BENCH_*.json perf trajectory). *)
@@ -1089,6 +1097,412 @@ let concurrency () =
          ("rows", Jsonx.List (List.rev !json_rows));
        ])
 
+(* ---- Fleet-scale verdict service: jitbulld throughput ----
+
+   Records a compile stream once — every Ion compile of a workload
+   sample plus the eight demonstrators, captured as the exact
+   [Proto.verdict_req] the remote analyzer would send, with the local
+   verdict computed at record time — then replays it against a live
+   in-process [Service] over raw keep-alive connections
+   ([Client.verdict_roundtrip], one systhread per simulated engine).
+   Replayed requests perturb the feedback hash per iteration so every
+   request misses the server's req_key verdict cache and pays the full
+   DNA parse + sharded scatter/gather — the cold path the sharding
+   exists for; cache-hit throughput is far higher and less interesting.
+
+   Swept: client concurrency C (1/8/64/256), batch size K (1/8/32) and
+   index shards N (1 vs 4). Every response is checked against the
+   verdict recorded locally for that stream entry — the remote==local
+   oracle holds on every benched request or the section fails.
+
+   JITBULL_BENCH_SERVICE_BUDGET_S (default 0.6) is the per-config time
+   budget; JITBULL_BENCH_SERVICE_MAXC caps the concurrency sweep (CI
+   smoke runs with MAXC=8 and a small budget). *)
+
+(* The recorded stream: requests in compile order plus the expected
+   verdict per request id. *)
+let record_stream () =
+  let params = Comparator.default_params in
+  let db = cached_db 8 in
+  let reqs = ref [] in
+  let expected : (int, Proto.verdict) Hashtbl.t = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let analyzer ~ctx ~func_index:_ ~name ~trace =
+    let dna = Dna.extract trace in
+    let matched = Db.matching ~params db dna in
+    let _, verdict = Jitbull.verdict_of_matches matched in
+    let id = !next_id in
+    incr next_id;
+    reqs :=
+      {
+        Proto.vr_id = id;
+        vr_func = name;
+        vr_bytecode_hash = ctx.Engine.cc_bytecode_hash;
+        vr_feedback_hash = ctx.Engine.cc_feedback_hash;
+        vr_dna = Sexpr.to_string (Dna.to_sexpr dna);
+      }
+      :: !reqs;
+    Hashtbl.replace expected id verdict;
+    Proto.decision_of_verdict verdict
+  in
+  let sample =
+    List.filter_map W.find [ "Richards"; "RayTrace"; "Splay"; "TypeScript"; "Microbench1" ]
+  in
+  List.iter
+    (fun (w : W.t) ->
+      let cfg = { Engine.default_config with Engine.analyzer = Some analyzer } in
+      ignore (Engine.run_source cfg w.W.source))
+    sample;
+  (* the hit path: demonstrators on an engine carrying their bug *)
+  List.iter
+    (fun (d : V.t) ->
+      let cfg =
+        { Engine.default_config with
+          Engine.vulns = VC.make [ d.V.cve ]; analyzer = Some analyzer }
+      in
+      try ignore (Engine.run_source cfg d.V.source) with _ -> ())
+    V.all;
+  (Array.of_list (List.rev !reqs), expected)
+
+(* Weighted percentile over (round-trip latency, requests in that
+   round-trip) samples: each request in a batch experienced the batch's
+   round-trip latency. *)
+let latency_percentile samples p =
+  let samples = List.sort compare samples in
+  let total = List.fold_left (fun a (_, c) -> a + c) 0 samples in
+  if total = 0 then 0.0
+  else begin
+    let target = max 1 (int_of_float (ceil (p *. float_of_int total))) in
+    let rec go acc = function
+      | [] -> 0.0
+      | (dt, c) :: rest -> if acc + c >= target then dt else go (acc + c) rest
+    in
+    go 0 samples
+  end
+
+type service_run = {
+  sr_requests : int;
+  sr_seconds : float;
+  sr_rps : float;
+  sr_p50_ms : float;
+  sr_p99_ms : float;
+  sr_mismatches : int;
+  sr_errors : int;
+}
+
+(* One configuration: [clients] threads, each with its own keep-alive
+   connection, pulling [batch]-sized windows off a shared cursor into
+   the stream until the budget expires.
+
+   [mode] is the replay flavour:
+   - [`Hot]: the stream is replayed verbatim, so after the first pass
+     every request hits the server's line cache — the fleet regime,
+     where many engines compile the same hot functions. Batch bodies
+     are pre-encoded once (one per cursor offset), keeping client-side
+     serialization off the measured path too.
+   - [`Cold]: every replayed request perturbs its feedback hash with
+     the replay counter, so every request misses both server caches and
+     pays the full JSON parse + DNA parse + sharded query. This is the
+     path the shard A/B exercises; the verdict (a function of the DNA
+     alone) is unchanged, so the oracle still applies. *)
+(* Cheap oracle check without a full JSON parse. [Proto.resp_to_json]
+   renders compactly with [id] first and [verdict] second
+   ({"id":N,"verdict":"allow",...}), so the measured loop can extract
+   both with a linear scan — the full decoder, which would dominate the
+   client side of the hot path on a small host, runs only on the warm-up
+   round-trip. Verdict kinds are distinguished by their first letter.
+   Returns the number of response lines; mismatched or malformed lines
+   count into [mismatches]. *)
+let scan_oracle ~expected ~mismatches body =
+  let n = String.length body in
+  let count = ref 0 in
+  let pos = ref 0 in
+  while !pos < n do
+    let eol = match String.index_from_opt body !pos '\n' with
+      | Some e -> e
+      | None -> n
+    in
+    if eol > !pos then begin
+      incr count;
+      let ok =
+        let i = !pos in
+        if eol - i > 8 && String.sub body i 6 = {|{"id":|} then begin
+          let j = ref (i + 6) in
+          let neg = body.[!j] = '-' in
+          if neg then incr j;
+          let id = ref 0 in
+          let digits = ref 0 in
+          while !j < eol && body.[!j] >= '0' && body.[!j] <= '9' do
+            id := (!id * 10) + (Char.code body.[!j] - 48);
+            incr digits;
+            incr j
+          done;
+          let id = if neg then - !id else !id in
+          let vkey = {|,"verdict":"|} in
+          let vl = String.length vkey in
+          if !digits > 0 && !j + vl < eol && String.sub body !j vl = vkey then
+            match (Hashtbl.find_opt expected id, body.[!j + vl]) with
+            | Some `Allow, 'a' -> true
+            | Some (`Disable _), 'd' -> true
+            | Some `Forbid, 'f' -> true
+            | _ -> false
+          else false
+        end
+        else false
+      in
+      if not ok then Atomic.incr mismatches
+    end;
+    pos := eol + 1
+  done;
+  !count
+
+let service_run ~port ~clients ~batch ~budget_s ~mode ~stream ~expected =
+  let conns =
+    Array.init clients (fun _ -> Http.Conn.connect ~timeout_s:30.0 ~port ())
+  in
+  let n = Array.length stream in
+  (* hot mode: body for the window starting at offset r, encoded once *)
+  let hot_bodies =
+    match mode with
+    | `Cold -> [||]
+    | `Hot ->
+      Array.init n (fun r ->
+          Proto.encode_reqs
+            (List.init batch (fun k -> stream.((r + k) mod n))))
+  in
+  let cursor = Atomic.make 0 in
+  let mismatches = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let lats = Array.make clients [] in
+  (* one warm-up round-trip so connection setup and first-touch costs sit
+     outside the timed region *)
+  (match Client.verdict_roundtrip conns.(0) [ stream.(0) ] with
+  | Ok _ -> ()
+  | Error msg -> failwith ("service bench warm-up failed: " ^ msg));
+  let stop_at = Unix.gettimeofday () +. budget_s in
+  let worker i =
+    let conn = ref conns.(i) in
+    let rec loop acc =
+      if Unix.gettimeofday () >= stop_at then acc
+      else begin
+        let base = Atomic.fetch_and_add cursor batch in
+        let body =
+          match mode with
+          | `Hot -> hot_bodies.(base mod n)
+          | `Cold ->
+            Proto.encode_reqs
+              (List.init batch (fun k ->
+                   let r = stream.((base + k) mod n) in
+                   { r with
+                     Proto.vr_feedback_hash =
+                       r.Proto.vr_feedback_hash lxor ((base + k) * 0x9E3779B1)
+                   }))
+        in
+        let t0 = Unix.gettimeofday () in
+        match Http.Conn.request !conn ~meth:"POST" ~body "/verdict" with
+        | 200, _, rbody ->
+          let dt = Unix.gettimeofday () -. t0 in
+          let got = scan_oracle ~expected ~mismatches rbody in
+          if got <> batch then Atomic.incr mismatches;
+          ignore (Atomic.fetch_and_add completed got);
+          loop ((dt, got) :: acc)
+        | _, _, _ | (exception _) -> (
+          (* dead connection (timeout / hang-up): count it, reconnect
+             and keep replaying; only an unreachable server stops us *)
+          Atomic.incr errors;
+          match Http.Conn.connect ~timeout_s:30.0 ~port () with
+          | c ->
+            (try Http.Conn.close !conn with _ -> ());
+            conn := c;
+            loop acc
+          | exception _ -> acc)
+      end
+    in
+    lats.(i) <- loop [];
+    try Http.Conn.close !conn with _ -> ()
+  in
+  let t_start = Unix.gettimeofday () in
+  let threads = Array.init clients (fun i -> Thread.create worker i) in
+  Array.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t_start in
+  let samples = Array.to_list lats |> List.concat in
+  {
+    sr_requests = Atomic.get completed;
+    sr_seconds = elapsed;
+    sr_rps = float_of_int (Atomic.get completed) /. Float.max 1e-9 elapsed;
+    sr_p50_ms = latency_percentile samples 0.50 *. 1000.0;
+    sr_p99_ms = latency_percentile samples 0.99 *. 1000.0;
+    sr_mismatches = Atomic.get mismatches;
+    sr_errors = Atomic.get errors;
+  }
+
+let service_bench () =
+  section "Fleet-scale verdict service: jitbulld throughput (shards x batch x concurrency)";
+  let budget_s =
+    match Sys.getenv_opt "JITBULL_BENCH_SERVICE_BUDGET_S" with
+    | Some s -> (try float_of_string s with _ -> 0.6)
+    | None -> 0.6
+  in
+  let maxc =
+    match Sys.getenv_opt "JITBULL_BENCH_SERVICE_MAXC" with
+    | Some s -> (try int_of_string s with _ -> 256)
+    | None -> 256
+  in
+  (* long-lived verdict service tuning, mirrored in jitbulld: a larger
+     minor heap keeps request-body allocation from forcing frequent
+     stop-the-world minor collections across the server domains — on a
+     small host those syncs are the dominant latency stragglers *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
+  let stream, expected = record_stream () in
+  let stream_bytes =
+    Array.fold_left
+      (fun a r -> a + String.length (Proto.encode_reqs [ r ]))
+      0 stream
+  in
+  Printf.printf
+    "recorded compile stream: %d requests (%d non-allow verdicts, avg\n\
+     request line %d bytes); every response is checked against the\n\
+     verdict recorded locally for that stream entry. 'hot' replays the\n\
+     stream verbatim (server line-cache hits: the fleet regime); 'cold'\n\
+     perturbs each request's feedback hash so every request pays the\n\
+     full JSON parse + DNA parse + sharded query.\n\n"
+    (Array.length stream)
+    (Hashtbl.fold (fun _ v n -> if v <> `Allow then n + 1 else n) expected 0)
+    (stream_bytes / max 1 (Array.length stream));
+  let cs = List.filter (fun c -> c <= maxc) [ 1; 8; 64; 256 ] in
+  let cs = if cs = [] then [ 1 ] else cs in
+  (* the acceptance comparison is anchored at C=64 (or the largest
+     available concurrency below it when MAXC caps the sweep) *)
+  let anchor_c =
+    List.fold_left max 1 (List.filter (fun c -> c <= 64) cs)
+  in
+  let cold_c = min 8 anchor_c in
+  (* hot: concurrency sweep at K=8, batch sweep at the anchor
+     concurrency; cold: the shard A/B at one moderate configuration *)
+  let configs shards =
+    List.map (fun c -> (`Hot, shards, c, 8)) cs
+    @ [ (`Hot, shards, anchor_c, 1); (`Hot, shards, anchor_c, 32);
+        (`Cold, shards, cold_c, 8) ]
+  in
+  let results = ref [] in
+  let mode_name = function `Hot -> "hot" | `Cold -> "cold" in
+  (* [workers] sized to the host: extra accept domains on a small
+     machine only add stop-the-world GC participants *)
+  let workers = max 1 (min 4 (Domain.recommended_domain_count ())) in
+  List.iter
+    (fun shards ->
+      let svc = Service.create ~shards ~workers ~db:(cached_db 8) ~port:0 () in
+      Fun.protect ~finally:(fun () -> Service.stop svc) (fun () ->
+          List.iter
+            (fun (mode, shards, clients, batch) ->
+              let r =
+                service_run ~port:(Service.port svc) ~clients ~batch ~budget_s
+                  ~mode ~stream ~expected
+              in
+              results := ((mode_name mode, shards, clients, batch), r) :: !results)
+            (configs shards)))
+    [ 1; 4 ];
+  (* the pre-service baseline: unsharded, unbatched, server caches off —
+     every request pays full JSON parse + DNA parse + query, as a naive
+     verdict server would *)
+  (let svc =
+     Service.create ~shards:1 ~workers ~server_cache:false ~db:(cached_db 8)
+       ~port:0 ()
+   in
+   Fun.protect ~finally:(fun () -> Service.stop svc) (fun () ->
+       let r =
+         service_run ~port:(Service.port svc) ~clients:anchor_c ~batch:1
+           ~budget_s ~mode:`Hot ~stream ~expected
+       in
+       results := (("naive", 1, anchor_c, 1), r) :: !results));
+  let results = List.rev !results in
+  let rows =
+    List.map
+      (fun ((label, shards, clients, batch), r) ->
+        [
+          label;
+          string_of_int shards;
+          string_of_int clients;
+          string_of_int batch;
+          string_of_int r.sr_requests;
+          Printf.sprintf "%.0f" r.sr_rps;
+          Printf.sprintf "%.2f" r.sr_p50_ms;
+          Printf.sprintf "%.2f" r.sr_p99_ms;
+          (if r.sr_mismatches = 0 then "identical"
+           else Printf.sprintf "%d DIVERGED!" r.sr_mismatches);
+          string_of_int r.sr_errors;
+        ])
+      results
+  in
+  Table.print
+    ~headers:
+      [ "mode"; "shards"; "clients"; "batch"; "requests"; "req/s"; "p50 ms";
+        "p99 ms"; "oracle"; "errors" ]
+    rows;
+  let find key = List.assoc_opt key results in
+  let speedup =
+    match (find ("hot", 4, anchor_c, 8), find ("naive", 1, anchor_c, 1)) with
+    | Some fast, Some base when base.sr_rps > 0.0 -> fast.sr_rps /. base.sr_rps
+    | _ -> 0.0
+  in
+  let batch_only =
+    match (find ("hot", 4, anchor_c, 8), find ("hot", 1, anchor_c, 1)) with
+    | Some fast, Some base when base.sr_rps > 0.0 -> fast.sr_rps /. base.sr_rps
+    | _ -> 0.0
+  in
+  let cold_ab =
+    match (find ("cold", 4, cold_c, 8), find ("cold", 1, cold_c, 8)) with
+    | Some s4, Some s1 when s1.sr_rps > 0.0 -> s4.sr_rps /. s1.sr_rps
+    | _ -> 0.0
+  in
+  let total_mismatches =
+    List.fold_left (fun a (_, r) -> a + r.sr_mismatches) 0 results
+  in
+  Printf.printf
+    "\nbatched (K=8) + sharded (N=4) + server cache vs the naive baseline\n\
+     (unsharded, batch-1, caches off) at C=%d: %.1fx (target: >= 5x)\n\
+     batching alone (same server, K=8 N=4 vs K=1 N=1): %.1fx\n\
+     cold-path shards 4 vs 1 at C=%d, K=8: %.2fx\n\
+     (this host has %d core(s) — parallel shard wins need real cores,\n\
+     the batching + server-cache wins do not)\n\
+     remote==local oracle: %s\n"
+    anchor_c speedup batch_only cold_c cold_ab
+    (Domain.recommended_domain_count ())
+    (if total_mismatches = 0 then "held on every request"
+     else Printf.sprintf "%d MISMATCHES" total_mismatches);
+  if total_mismatches <> 0 then failwith "service bench: remote verdicts diverged from local";
+  emit "service"
+    (Jsonx.Assoc
+       [
+         ("stream_requests", Jsonx.Int (Array.length stream));
+         ("budget_s", Jsonx.Float budget_s);
+         ("cores", Jsonx.Int (Domain.recommended_domain_count ()));
+         ( "runs",
+           Jsonx.List
+             (List.map
+                (fun ((label, shards, clients, batch), r) ->
+                  Jsonx.Assoc
+                    [
+                      ("mode", Jsonx.String label);
+                      ("shards", Jsonx.Int shards);
+                      ("clients", Jsonx.Int clients);
+                      ("batch", Jsonx.Int batch);
+                      ("requests", Jsonx.Int r.sr_requests);
+                      ("seconds", Jsonx.Float r.sr_seconds);
+                      ("requests_per_sec", Jsonx.Float r.sr_rps);
+                      ("p50_ms", Jsonx.Float r.sr_p50_ms);
+                      ("p99_ms", Jsonx.Float r.sr_p99_ms);
+                      ("mismatches", Jsonx.Int r.sr_mismatches);
+                      ("errors", Jsonx.Int r.sr_errors);
+                    ])
+                results) );
+         ("speedup_batched_sharded", Jsonx.Float speedup);
+         ("speedup_batch_only", Jsonx.Float batch_only);
+         ("cold_shard_speedup", Jsonx.Float cold_ab);
+         ("oracle_held", Jsonx.Bool (total_mismatches = 0));
+       ])
+
 (* ---- Bechamel micro-benchmarks ---- *)
 
 let bechamel () =
@@ -1165,6 +1579,7 @@ let sections_in_order =
     ("ablation", ablation);
     ("overhead", overhead);
     ("concurrency", concurrency);
+    ("service", service_bench);
     ("bechamel", bechamel);
   ]
 

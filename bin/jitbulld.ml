@@ -1,0 +1,146 @@
+(* jitbulld — the fleet-scale go/no-go verdict daemon.
+
+     jitbulld --db jitbull.db                serve an existing database
+     jitbulld --builtin                      self-harvest the bundled VDCs' DNA
+     jitbulld --port 7433 ...                fixed port (default 0: pick + print)
+     jitbulld --shards 8 --workers 8 ...     index shards / server domains
+     jitbulld --hold 30 ...                  exit after SECONDS (CI smoke)
+     jitbulld --thr 4 --ratio 0.5 ...        comparator thresholds
+
+   Serves POST /verdict (JSONL batches), GET /subscribe (generation long
+   poll), GET /delta (replica catch-up), GET /warm (hottest verdicts),
+   POST /install, POST /remove — plus the observability routes
+   (/metrics, /healthz, /audit, /explain) from the same listener. *)
+
+open Cmdliner
+module Db = Jitbull_core.Db
+module Comparator = Jitbull_core.Comparator
+module VC = Jitbull_passes.Vuln_config
+module V = Jitbull_vdc.Demonstrators
+module Obs = Jitbull_obs.Obs
+module Service = Jitbull_service.Service
+
+let setup_logging ~quiet ~verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  let level =
+    if quiet then Logs.Error
+    else if verbose >= 2 then Logs.Debug
+    else if verbose = 1 then Logs.Info
+    else Logs.Warning
+  in
+  Logs.set_level (Some level)
+
+(* Without --db, self-harvest: run every bundled demonstrator with its
+   pass bug active and install the harvested DNA. A freshly started
+   daemon is then immediately useful (and CI needs no fixture file). *)
+let harvested_db () =
+  let db = Db.create () in
+  List.iter
+    (fun cve ->
+      let d = V.find cve in
+      let n = Db.harvest db ~cve:d.V.name ~vulns:(VC.make [ cve ]) d.V.source in
+      Logs.info (fun m -> m "harvested %d DNA vector(s) for %s" n d.V.name))
+    VC.all;
+  db
+
+let run port shards workers db_path builtin hold thr ratio no_cache quiet verbose =
+  setup_logging ~quiet ~verbose:(List.length verbose);
+  (* Long-lived server: a larger minor heap keeps per-request body
+     allocation from forcing frequent stop-the-world minor collections
+     across the worker domains. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
+  let db =
+    match (db_path, builtin) with
+    | Some path, _ -> Db.load path
+    | None, true -> harvested_db ()
+    | None, false ->
+      failwith "no database: pass --db FILE or --builtin to self-harvest"
+  in
+  let params = { Comparator.thr; ratio } in
+  let obs = Obs.create () in
+  let t =
+    Service.create ~params ~shards ~workers ~obs ~server_cache:(not no_cache)
+      ~db ~port ()
+  in
+  (* CI smoke parses this line to find the port; keep the format stable *)
+  Printf.printf "jitbulld listening on 127.0.0.1:%d (%d entries, %d shards, %d workers)\n%!"
+    (Service.port t)
+    (List.length (Db.entries db))
+    shards workers;
+  let finish () =
+    Service.stop t;
+    Obs.close (Some obs)
+  in
+  Fun.protect ~finally:finish (fun () ->
+      if hold > 0.0 then Unix.sleepf hold
+      else
+        (* serve until killed *)
+        while true do
+          Unix.sleepf 3600.0
+        done);
+  `Ok ()
+
+let port =
+  Arg.(value & opt int 0
+       & info [ "port"; "p" ] ~docv:"PORT"
+           ~doc:"Listen on 127.0.0.1:$(docv). 0 picks a free port (printed \
+                 on stdout).")
+
+let shards =
+  Arg.(value & opt int 4
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"Shard the sub-chain postings index across $(docv) \
+                 per-shard-locked partitions (scatter/gather queries).")
+
+let workers =
+  Arg.(value & opt int 4
+       & info [ "workers" ] ~docv:"N"
+           ~doc:"Accept/serve domains sharing the listening socket. Each \
+                 long-poll subscriber occupies one for the duration of its \
+                 wait; size to shards + expected subscribers.")
+
+let db_path =
+  Arg.(value & opt (some non_dir_file) None
+       & info [ "db" ] ~docv:"FILE" ~doc:"DNA database to serve.")
+
+let builtin =
+  Arg.(value & flag
+       & info [ "builtin" ]
+           ~doc:"Without --db: self-harvest the bundled vulnerability \
+                 demonstrators' DNA at startup and serve that.")
+
+let hold =
+  Arg.(value & opt float 0.0
+       & info [ "hold" ] ~docv:"SECONDS"
+           ~doc:"Exit cleanly after $(docv) seconds (CI smoke jobs). \
+                 Default 0: serve until killed.")
+
+let thr =
+  Arg.(value & opt int Comparator.default_params.Comparator.thr
+       & info [ "thr" ] ~docv:"N" ~doc:"EqChains match threshold.")
+
+let ratio =
+  Arg.(value & opt float Comparator.default_params.Comparator.ratio
+       & info [ "ratio" ] ~docv:"R" ~doc:"MaxEqChains ratio threshold.")
+
+let no_cache =
+  Arg.(value & flag
+       & info [ "no-server-cache" ]
+           ~doc:"Disable the server-side verdict caches; every request \
+                 pays the full parse + sharded query (A/B baseline).")
+
+let quiet =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only log errors.")
+
+let verbose =
+  Arg.(value & flag_all
+       & info [ "v"; "verbose" ] ~doc:"Increase log verbosity. Repeatable.")
+
+let cmd =
+  let doc = "serve go/no-go verdicts and DNA-DB deltas to a fleet of engines" in
+  Cmd.v
+    (Cmd.info "jitbulld" ~doc)
+    Term.(ret (const run $ port $ shards $ workers $ db_path $ builtin $ hold
+               $ thr $ ratio $ no_cache $ quiet $ verbose))
+
+let () = exit (Cmd.eval cmd)

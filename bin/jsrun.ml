@@ -5,6 +5,9 @@
      jsrun --interp script.js           reference tree-walking interpreter
      jsrun --vuln CVE-2019-17026 ...    activate an injected pass bug
      jsrun --db jitbull.db ...          enable JITBULL with this database
+     jsrun --verdict-server ADDR ...    ask a jitbulld daemon instead of a
+                                        local DB (ADDR = PORT or HOST:PORT,
+                                        loopback only)
      jsrun --stats ...                  print engine statistics afterwards
      jsrun --metrics[=FILE] ...         telemetry snapshot at exit
      jsrun --trace-file out.jsonl ...   structured event trace (JSON lines)
@@ -38,6 +41,7 @@ module Audit = Jitbull_obs.Audit
 module Explain = Jitbull_obs.Explain
 module Pipeline = Jitbull_passes.Pipeline
 module Table = Jitbull_util.Text_table
+module Client = Jitbull_service.Client
 
 let read_file path =
   let ic = open_in_bin path in
@@ -119,7 +123,24 @@ let report_explanations obs ~filter =
        report in the channel buffer *)
     flush stderr
 
-let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace metrics
+(* --verdict-server accepts a bare port or HOST:PORT; the daemon binds
+   loopback only, so reject anything else early with a clear message. *)
+let parse_verdict_server addr =
+  let port_str =
+    match String.rindex_opt addr ':' with
+    | Some i ->
+      let host = String.sub addr 0 i in
+      if host <> "" && host <> "127.0.0.1" && host <> "localhost" then
+        failwith ("verdict server must be loopback (127.0.0.1), got " ^ host);
+      String.sub addr (i + 1) (String.length addr - i - 1)
+    | None -> addr
+  in
+  match int_of_string_opt port_str with
+  | Some p when p > 0 && p < 65536 -> p
+  | _ -> failwith ("bad --verdict-server address: " ^ addr)
+
+let run file no_jit use_interp vuln_names db_path verdict_server stats
+    ion_threshold seed trace metrics
     trace_file audit_file explain explain_capacity serve_metrics serve_hold
     naive_comparator no_policy_cache jobs sync_compile quiet verbose =
   setup_logging ~quiet ~verbose:(List.length verbose) trace;
@@ -170,7 +191,9 @@ let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace
       else match jobs with Some n -> max 0 n | None -> Compile_queue.default_jobs ()
     in
     let pool = if jobs > 0 then Some (Compile_queue.create ~jobs ()) else None in
+    let remote = ref None in
     let finish () =
+      (match !remote with Some c -> Client.close c | None -> ());
       (match pool with Some p -> Compile_queue.shutdown p | None -> ());
       (match explain with
       | Some filter -> report_explanations obs ~filter
@@ -194,8 +217,24 @@ let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace
         end
         else begin
           let config =
-            match db_path with
-            | Some path ->
+            match (verdict_server, db_path) with
+            | Some addr, _ ->
+              if db_path <> None then
+                Logs.warn (fun m ->
+                    m "--verdict-server overrides --db: verdicts come from \
+                       the daemon (its DB syncs into the fallback replica)");
+              let port = parse_verdict_server addr in
+              let client = Client.connect ?obs ~port () in
+              remote := Some client;
+              let c = Client.engine_config client ~vulns () in
+              {
+                c with
+                Engine.jit_enabled = not no_jit;
+                ion_threshold;
+                compile_pool = pool;
+                policy_cache = (if no_policy_cache then None else c.Engine.policy_cache);
+              }
+            | None, Some path ->
               let db = Db.load path in
               let comparator = if naive_comparator then `Naive else `Indexed in
               let c =
@@ -203,7 +242,7 @@ let run file no_jit use_interp vuln_names db_path stats ion_threshold seed trace
                   ~policy_cache:(not no_policy_cache) ~vulns db
               in
               { c with Engine.jit_enabled = not no_jit; ion_threshold }
-            | None ->
+            | None, None ->
               { Engine.default_config with Engine.vulns; jit_enabled = not no_jit;
                 ion_threshold; obs; compile_pool = pool }
           in
@@ -257,6 +296,17 @@ let vuln_names =
 let db_path =
   Arg.(value & opt (some non_dir_file) None & info [ "db" ] ~docv:"FILE"
          ~doc:"JITBULL DNA database file (enables the go/no-go policy).")
+
+let verdict_server =
+  Arg.(value & opt (some string) None
+       & info [ "verdict-server" ] ~docv:"ADDR"
+           ~doc:"Ask a running jitbulld daemon for go/no-go verdicts instead \
+                 of analyzing against a local DB. $(docv) is a port or \
+                 HOST:PORT (loopback only). Compile-time queries are \
+                 coalesced into JSONL batches; generation pushes from the \
+                 daemon invalidate the local policy cache; if the daemon is \
+                 unreachable, verdicts fall back to a synced local replica. \
+                 Overrides --db.")
 
 let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics to stderr.")
 
@@ -367,7 +417,8 @@ let cmd =
   let doc = "run a mini-JS script on the JITBULL engine" in
   Cmd.v
     (Cmd.info "jsrun" ~doc)
-    Term.(ret (const run $ file $ no_jit $ use_interp $ vuln_names $ db_path $ stats
+    Term.(ret (const run $ file $ no_jit $ use_interp $ vuln_names $ db_path
+               $ verdict_server $ stats
                $ ion_threshold $ seed $ trace $ metrics $ trace_file $ audit_file
                $ explain $ explain_capacity $ serve_metrics $ serve_hold
                $ naive_comparator $ no_policy_cache $ jobs $ sync_compile $ quiet

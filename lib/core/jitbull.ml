@@ -136,6 +136,22 @@ let capture_diff ~(trace : (string * Snapshot.t) list) ~(dna : Dna.t) =
       cd_capture_seconds = 0.0;
     }
 
+(* The go/no-go rule on a query's matches, shared by the in-process
+   analyzer and the verdict service: the dangerous-pass union in pipeline
+   order, and the verdict it implies. *)
+let verdict_of_matches matched =
+  let dangerous =
+    List.filter
+      (fun p -> List.exists (fun (_, ps) -> List.mem p ps) matched)
+      Pipeline.pass_names
+  in
+  let verdict =
+    if dangerous = [] then `Allow
+    else if List.for_all Pipeline.can_disable dangerous then `Disable dangerous
+    else `Forbid
+  in
+  (dangerous, verdict)
+
 let analyzer ?params ?monitor ?obs ?(comparator = `Indexed) (db : Db.t) : Engine.analyzer =
  fun ~ctx ~func_index ~name ~trace ->
   (* the whole go/no-go decision is one [policy_decide] span whose fields
@@ -205,18 +221,8 @@ let analyzer ?params ?monitor ?obs ?(comparator = `Indexed) (db : Db.t) : Engine
         query_ref := query;
         let matched = Db.drop_details query.Db.q_matches in
         matched_ref := matched;
-        let dangerous =
-          (* union in pipeline order *)
-          List.filter
-            (fun p -> List.exists (fun (_, ps) -> List.mem p ps) matched)
-            Pipeline.pass_names
-        in
+        let dangerous, verdict = verdict_of_matches matched in
         dangerous_ref := dangerous;
-        let verdict =
-          if dangerous = [] then `Allow
-          else if List.for_all Pipeline.can_disable dangerous then `Disable dangerous
-          else `Forbid
-        in
         Obs.incr obs ("policy." ^ verdict_name verdict);
         verdict)
   in

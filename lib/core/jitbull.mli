@@ -27,6 +27,15 @@ type monitor = {
 
 val new_monitor : unit -> monitor
 
+(** [verdict_of_matches matched] — the go/no-go rule on a query's
+    CVE → matching-passes list: the dangerous-pass union (pipeline
+    order) and the verdict it implies. Shared by {!analyzer} and the
+    verdict service, so a remote verdict is by construction the same
+    function of the same DB query as a local one. *)
+val verdict_of_matches :
+  (string * string list) list ->
+  string list * [ `Allow | `Disable of string list | `Forbid ]
+
 (** [analyzer ?params ?monitor ?obs ?comparator db] builds the engine
     hook. The database is consulted live: entries added or removed later
     affect subsequent compilations (the patch-applied lifecycle).

@@ -113,6 +113,17 @@ module Policy_cache = struct
           if Hashtbl.length t.table >= t.max_entries then Hashtbl.reset t.table;
           Hashtbl.replace t.table key decision)
 
+  (* Eager drop, for push-driven invalidation: a remote verdict client
+     that just observed a generation bump flushes immediately instead of
+     waiting for the next lookup's [revalidate] to notice. *)
+  let flush t =
+    locked t (fun () ->
+        t.gen_seen <- t.generation ();
+        if Hashtbl.length t.table > 0 then begin
+          Hashtbl.reset t.table;
+          t.invalidations <- t.invalidations + 1
+        end)
+
   let hits t = locked t (fun () -> t.hits)
   let misses t = locked t (fun () -> t.misses)
   let invalidations t = locked t (fun () -> t.invalidations)

@@ -84,6 +84,15 @@ module Policy_cache : sig
   val lookup : t -> int -> decision option
 
   val store : ?if_generation:int -> t -> int -> decision -> unit
+
+  (** [flush t] drops every cached verdict now and resyncs to the
+      current generation — push-driven invalidation for remote clients
+      that just observed a DB-generation bump (counted in
+      {!invalidations} when anything was dropped). Lookups would notice
+      the moved generation on their own; flushing closes the window in
+      which a pre-bump verdict could still be served. *)
+  val flush : t -> unit
+
   val hits : t -> int
   val misses : t -> int
 

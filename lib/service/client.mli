@@ -1,0 +1,105 @@
+(** The engine-side jitbulld client: a persistent connection pool
+    (dispatcher + subscriber threads), a bounded request coalescer that
+    turns concurrent compile-time verdict queries into JSONL batches,
+    push-driven policy-cache invalidation, and a local replica DB for
+    fallback when the server is unreachable.
+
+    Wiring it into an engine is one call: {!engine_config} returns an
+    {!Jitbull_jit.Engine.config} whose analyzer asks the server (warm
+    table → coalescer → wire) and whose policy cache keys on the latest
+    server generation this client has observed — a generation push
+    advances that value {e before} anything else happens, so a verdict
+    cached pre-push can never be accepted post-push (the
+    [Policy_cache.store ~if_generation] discipline, stretched over the
+    wire).
+
+    Counters (via [obs]): [engine.remote_verdicts] (answered by the
+    server or the warm table), [engine.warm_hits],
+    [engine.remote_fallbacks] (answered locally against the replica),
+    [engine.remote_pushes] (generation bumps observed). *)
+
+type t
+
+(** [connect ~port ()] starts the dispatcher thread (and, unless
+    [subscribe:false], the long-poll subscriber) and pulls an initial
+    replica sync. [max_batch] bounds requests per wire round-trip;
+    [max_queue] bounds the coalescer (further submitters block —
+    backpressure, not unbounded batching). [timeout_s] is the per-
+    round-trip socket timeout after which a verdict falls back to the
+    replica. *)
+val connect :
+  ?timeout_s:float ->
+  ?max_batch:int ->
+  ?max_queue:int ->
+  ?obs:Jitbull_obs.Obs.t ->
+  ?subscribe:bool ->
+  port:int ->
+  unit ->
+  t
+
+(** Latest server DB generation this client has observed (responses,
+    pushes, syncs — monotone). *)
+val generation : t -> int
+
+val replica : t -> Jitbull_core.Db.t
+
+(** [submit t req] — enqueue one request on the coalescer and block
+    until its batch round-trips. Thread-safe; this is what the remote
+    analyzer calls. *)
+val submit :
+  t -> Proto.verdict_req -> (Proto.verdict_resp, string) result
+
+(** [verdict_roundtrip conn reqs] — one stateless JSONL batch on a raw
+    connection (bench clients own their connections and batch
+    explicitly). *)
+val verdict_roundtrip :
+  Jitbull_obs.Http_export.Conn.t ->
+  Proto.verdict_req list ->
+  (Proto.verdict_resp list, string) result
+
+(** Like {!verdict_roundtrip} with a pre-encoded JSONL body of [count]
+    requests — stream-replay clients encode each batch once and resend
+    it, keeping serialization off the measured path. *)
+val verdict_roundtrip_raw :
+  Jitbull_obs.Http_export.Conn.t ->
+  count:int ->
+  string ->
+  (Proto.verdict_resp list, string) result
+
+(** Pull [/delta] now and apply it to the replica. Returns the server
+    generation synced to. *)
+val sync : t -> (int, string) result
+
+(** Prefill the warm table from [/warm?n=K]. Returns entries loaded.
+    Warm entries are consulted only while their generation matches the
+    client's current one, and the table is dropped on every push. *)
+val warm : t -> n:int -> (int, string) result
+
+(** Run [f gen] after each observed generation push (after caches are
+    flushed and before the replica resync completes). *)
+val on_push : t -> (int -> unit) -> unit
+
+(** Register an additional policy cache to flush eagerly on pushes
+    ({!engine_config} registers its own automatically). *)
+val register_cache : t -> Jitbull_jit.Engine.Policy_cache.t -> unit
+
+(** The remote analyzer: warm-table hit, else DNA extraction + coalesced
+    wire query, else ([Error]/timeout) local fallback against the
+    replica with {!Jitbull_core.Jitbull.analyzer}. [params] must match
+    the server's for remote==local equality. *)
+val analyzer :
+  ?params:Jitbull_core.Comparator.params -> t -> Jitbull_jit.Engine.analyzer
+
+(** An engine configuration answering go/no-go remotely: {!analyzer}
+    plus a policy cache keyed on {!generation} (registered for eager
+    flush on pushes). *)
+val engine_config :
+  ?params:Jitbull_core.Comparator.params ->
+  t ->
+  vulns:Jitbull_passes.Vuln_config.t ->
+  unit ->
+  Jitbull_jit.Engine.config
+
+(** Stop the threads (interrupting a long poll in flight), fail pending
+    submissions, close the connections. *)
+val close : t -> unit

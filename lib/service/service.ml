@@ -1,0 +1,470 @@
+module Http = Jitbull_obs.Http_export
+module Obs = Jitbull_obs.Obs
+module Metrics = Jitbull_obs.Metrics
+module Jsonx = Jitbull_obs.Jsonx
+module Sexpr = Jitbull_util.Sexpr
+module Engine = Jitbull_jit.Engine
+module Db = Jitbull_core.Db
+module Dna = Jitbull_core.Dna
+module Comparator = Jitbull_core.Comparator
+module Jitbull = Jitbull_core.Jitbull
+
+(* Hottest-function tracker feeding [/warm]: per (bytecode hash,
+   feedback hash), the decision count and the latest verdict with the
+   generation it was decided at. [/warm] only ships cells still valid at
+   the current generation — a warm entry must never outlive the verdict
+   it carries. *)
+type warm_cell = {
+  mutable w_count : int;
+  mutable w_verdict : Proto.verdict;
+  mutable w_passes : string list;
+  mutable w_gen : int;
+}
+
+(* Outer verdict cache: raw JSONL request line → pre-rendered response
+   line (plus the fields needed to keep the warm tracker counting).
+   A hit skips JSON parse, DNA parse, the DB query AND response
+   rendering — under fleet load, where many engines compile the same
+   hot functions, this is most requests, and on the wire path it is the
+   difference between per-request work that scales with the DNA size
+   and work that scales with one hash of the line. Entries are valid
+   only at the generation they were decided at, the same
+   [store ~if_generation] discipline as the policy cache. *)
+type line_cell = {
+  l_gen : int;
+  l_bh : int;
+  l_fh : int;
+  l_verdict : Proto.verdict;
+  l_passes : string list;
+  l_line : string;  (** rendered response line, [vs_cached = true] *)
+}
+
+(* Outermost level: whole request body → whole pre-rendered response
+   body. In the fleet regime the same hot batch recurs verbatim, and a
+   hit costs one hash of the body plus the warm-tracker touches —
+   per-line splitting, hashing and lookup are all skipped. Same
+   generation discipline as the line cells. *)
+type body_cell = {
+  b_gen : int;
+  b_resp : string;  (** full response body, every line [vs_cached = true] *)
+  b_warm : (int * int * Proto.verdict * string list) list;
+  b_lines : int;  (** batch size, for the histogram *)
+}
+
+type t = {
+  db : Db.t;
+  idx : Db.Sharded.t;
+  params : Comparator.params;
+  obs : Obs.t option;
+  use_cache : bool;
+      (** [false] disables all three server cache levels — the A/B
+          baseline where every request pays parse + query *)
+  cache : Engine.Policy_cache.t;
+      (** inner verdict cache keyed by {!Proto.req_key} (full request
+          identity) — catches re-decides that miss the line cache, e.g.
+          the same compile arriving with a different request id *)
+  line_mu : Mutex.t;
+  lines : (int, line_cell) Hashtbl.t;  (** keyed by {!Proto.line_key} *)
+  max_lines : int;
+  body_mu : Mutex.t;
+  bodies : (int, body_cell) Hashtbl.t;
+      (** keyed by {!Proto.line_key} of the whole body *)
+  max_bodies : int;
+  warm_mu : Mutex.t;
+  warm : (int * int, warm_cell) Hashtbl.t;
+  subscribe_poll_s : float;
+  mutable server : Http.Server.t option;
+}
+
+let db t = t.db
+let sharded t = t.idx
+
+let port t =
+  match t.server with Some s -> Http.Server.port s | None -> invalid_arg "port"
+
+let server t =
+  match t.server with Some s -> s | None -> invalid_arg "server"
+
+(* ---- verdict path ---- *)
+
+let json_error status msg =
+  Http.respond ~status ~content_type:"application/json"
+    (Jsonx.to_string (Jsonx.Assoc [ ("error", Jsonx.String msg) ]))
+
+let decide_no_warm t (req : Proto.verdict_req) : Proto.verdict_resp =
+  let key = Proto.req_key req in
+  match if t.use_cache then Engine.Policy_cache.lookup t.cache key else None with
+  | Some d ->
+    let gen = Engine.Policy_cache.current_generation t.cache in
+    let verdict = Proto.verdict_of_decision d in
+    let resp =
+      {
+        Proto.vs_id = req.Proto.vr_id;
+        vs_verdict = verdict;
+        vs_passes = (match verdict with `Disable ps -> ps | _ -> []);
+        vs_matched = [];
+        vs_generation = gen;
+        vs_cached = true;
+      }
+    in
+    resp
+  | None ->
+    let dna = Dna.of_sexpr (Sexpr.of_string req.Proto.vr_dna) in
+    let q = Db.Sharded.matching_detailed ~params:t.params ?obs:t.obs t.idx dna in
+    let matched = Db.drop_details q.Db.q_matches in
+    let dangerous, verdict = Jitbull.verdict_of_matches matched in
+    if t.use_cache then
+      Engine.Policy_cache.store ~if_generation:q.Db.q_generation t.cache key
+        (Proto.decision_of_verdict verdict);
+    {
+      Proto.vs_id = req.Proto.vr_id;
+      vs_verdict = verdict;
+      vs_passes = dangerous;
+      vs_matched = matched;
+      vs_generation = q.Db.q_generation;
+      vs_cached = false;
+    }
+
+let touch_warm t ~bh ~fh ~verdict ~passes ~gen =
+  let key = (bh, fh) in
+  Mutex.lock t.warm_mu;
+  (match Hashtbl.find_opt t.warm key with
+  | Some c ->
+    c.w_count <- c.w_count + 1;
+    if gen >= c.w_gen then begin
+      c.w_verdict <- verdict;
+      c.w_passes <- passes;
+      c.w_gen <- gen
+    end
+  | None ->
+    Hashtbl.add t.warm key
+      { w_count = 1; w_verdict = verdict; w_passes = passes; w_gen = gen });
+  Mutex.unlock t.warm_mu
+
+let decide t req =
+  let resp = decide_no_warm t req in
+  touch_warm t ~bh:req.Proto.vr_bytecode_hash ~fh:req.Proto.vr_feedback_hash
+    ~verdict:resp.Proto.vs_verdict ~passes:resp.Proto.vs_passes
+    ~gen:resp.Proto.vs_generation;
+  resp
+
+(* line cache: lookups are valid only at the current generation, so a
+   DB mutation implicitly drops every stored line *)
+let line_find t key =
+  if not t.use_cache then None
+  else begin
+  Mutex.lock t.line_mu;
+  let r =
+    match Hashtbl.find_opt t.lines key with
+    | Some c when c.l_gen = Db.generation t.db -> Some c
+    | _ -> None
+  in
+  Mutex.unlock t.line_mu;
+  r
+  end
+
+let line_store t key cell =
+  if t.use_cache then begin
+    Mutex.lock t.line_mu;
+    if Hashtbl.length t.lines >= t.max_lines then Hashtbl.reset t.lines;
+    Hashtbl.replace t.lines key cell;
+    Mutex.unlock t.line_mu
+  end
+
+let body_find t key =
+  if not t.use_cache then None
+  else begin
+    Mutex.lock t.body_mu;
+    let r =
+      match Hashtbl.find_opt t.bodies key with
+      | Some c when c.b_gen = Db.generation t.db -> Some c
+      | _ -> None
+    in
+    Mutex.unlock t.body_mu;
+    r
+  end
+
+let body_store t key cell =
+  if t.use_cache then begin
+    Mutex.lock t.body_mu;
+    if Hashtbl.length t.bodies >= t.max_bodies then Hashtbl.reset t.bodies;
+    Hashtbl.replace t.bodies key cell;
+    Mutex.unlock t.body_mu
+  end
+
+let verdict_response t body =
+  let bkey = Proto.line_key body in
+  match body_find t bkey with
+  | Some c ->
+    (* whole-batch hit: one body hash bought the entire response *)
+    Obs.add t.obs "service.cache_hits" c.b_lines;
+    Obs.observe t.obs ~bounds:Metrics.size_bounds "service.batch_size"
+      (float_of_int c.b_lines);
+    List.iter
+      (fun (bh, fh, verdict, passes) ->
+        touch_warm t ~bh ~fh ~verdict ~passes ~gen:c.b_gen)
+      c.b_warm;
+    Http.respond ~content_type:"application/jsonl" c.b_resp
+  | None -> (
+    let lines =
+      String.split_on_char '\n' body
+      |> List.filter_map (fun l ->
+             let l = String.trim l in
+             if l = "" then None else Some l)
+    in
+    if lines = [] then json_error 400 "empty batch"
+    else begin
+      Obs.observe t.obs ~bounds:Metrics.size_bounds "service.batch_size"
+        (float_of_int (List.length lines));
+      (* [answer] yields the line to send now, the [vs_cached = true]
+         rendering a repeat would get, and the warm-tracker fields with
+         the generation the verdict was decided at. *)
+      let answer line =
+        let key = Proto.line_key line in
+        match line_find t key with
+        | Some c ->
+          Obs.incr t.obs "service.cache_hits";
+          touch_warm t ~bh:c.l_bh ~fh:c.l_fh ~verdict:c.l_verdict
+            ~passes:c.l_passes ~gen:c.l_gen;
+          (c.l_line, c.l_line, (c.l_bh, c.l_fh, c.l_verdict, c.l_passes, c.l_gen))
+        | None ->
+          Obs.incr t.obs "service.cache_misses";
+          let req = Proto.req_of_json (Jsonx.parse line) in
+          let resp = decide t req in
+          let cached_line =
+            Jsonx.to_string
+              (Proto.resp_to_json { resp with Proto.vs_cached = true })
+          in
+          (* store only a verdict decided at (and still valid at) one
+             generation; the stored line answers repeats as cached *)
+          if resp.Proto.vs_generation = Db.generation t.db then
+            line_store t key
+              {
+                l_gen = resp.Proto.vs_generation;
+                l_bh = req.Proto.vr_bytecode_hash;
+                l_fh = req.Proto.vr_feedback_hash;
+                l_verdict = resp.Proto.vs_verdict;
+                l_passes = resp.Proto.vs_passes;
+                l_line = cached_line;
+              };
+          ( Jsonx.to_string (Proto.resp_to_json resp),
+            cached_line,
+            ( req.Proto.vr_bytecode_hash,
+              req.Proto.vr_feedback_hash,
+              resp.Proto.vs_verdict,
+              resp.Proto.vs_passes,
+              resp.Proto.vs_generation ) )
+      in
+      match List.map answer lines with
+      | answers ->
+        let gen = Db.generation t.db in
+        if List.for_all (fun (_, _, (_, _, _, _, g)) -> g = gen) answers then
+          body_store t bkey
+            {
+              b_gen = gen;
+              b_resp =
+                String.concat "\n" (List.map (fun (_, c, _) -> c) answers);
+              b_warm =
+                List.map
+                  (fun (_, _, (bh, fh, v, ps, _)) -> (bh, fh, v, ps))
+                  answers;
+              b_lines = List.length answers;
+            };
+        Http.respond ~content_type:"application/jsonl"
+          (String.concat "\n" (List.map (fun (o, _, _) -> o) answers))
+      | exception Jsonx.Parse_error msg -> json_error 400 ("bad request: " ^ msg)
+      | exception Sexpr.Decode_error msg -> json_error 400 ("bad dna: " ^ msg)
+    end)
+
+(* ---- subscribe / delta / warm / gen ---- *)
+
+let gen_json g = Jsonx.to_string (Jsonx.Assoc [ ("generation", Jsonx.Int g) ])
+
+(* Long poll: hold the request until the DB generation exceeds [g] or
+   [timeout_ms] expires, then answer with the current generation either
+   way. OCaml's [Condition] has no timed wait, so this sleep-polls at
+   [subscribe_poll_s] — pushes arrive within one poll tick, which is
+   well under any HTTP round-trip. Each waiting subscriber parks its
+   connection thread; clients run one subscription per process. *)
+let subscribe_response t query =
+  match
+    ( Http.parse_count ~max_value:max_int "gen" query ~default:0,
+      Http.parse_count ~max_value:300_000 "timeout_ms" query ~default:25_000 )
+  with
+  | Error msg, _ | _, Error msg -> Http.bad_request msg
+  | Ok g, Ok timeout_ms ->
+    let deadline = Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.) in
+    let rec wait () =
+      let cur = Db.generation t.db in
+      if cur > g then begin
+        Obs.incr t.obs "service.gen_pushes_total";
+        cur
+      end
+      else if Unix.gettimeofday () >= deadline then cur
+      else begin
+        Unix.sleepf t.subscribe_poll_s;
+        wait ()
+      end
+    in
+    Http.respond ~content_type:"application/json" (gen_json (wait ()))
+
+let delta_response t query =
+  match Http.parse_count ~max_value:max_int "gen" query ~default:0 with
+  | Error msg -> Http.bad_request msg
+  | Ok g ->
+    let gen, sync = Db.delta_since t.db g in
+    let mode, entries =
+      match sync with
+      | Db.Append es -> ("append", es)
+      | Db.Resync es -> ("resync", es)
+    in
+    Http.respond ~content_type:"application/json"
+      (Jsonx.to_string
+         (Jsonx.Assoc
+            [
+              ("generation", Jsonx.Int gen);
+              ("mode", Jsonx.String mode);
+              ( "entries",
+                Jsonx.List
+                  (List.map
+                     (fun e ->
+                       Jsonx.String (Sexpr.to_string (Db.entry_to_sexpr e)))
+                     entries) );
+            ]))
+
+let warm_response t query =
+  match Http.parse_count "n" query ~default:32 with
+  | Error msg -> Http.bad_request msg
+  | Ok n ->
+    let gen = Db.generation t.db in
+    Mutex.lock t.warm_mu;
+    let cells =
+      Hashtbl.fold
+        (fun (bh, fh) c acc ->
+          if c.w_gen = gen then (bh, fh, c.w_count, c.w_verdict, c.w_passes) :: acc
+          else acc)
+        t.warm []
+    in
+    Mutex.unlock t.warm_mu;
+    let top =
+      List.sort (fun (_, _, a, _, _) (_, _, b, _, _) -> compare b a) cells
+      |> List.filteri (fun i _ -> i < n)
+    in
+    Http.respond ~content_type:"application/json"
+      (Jsonx.to_string
+         (Jsonx.Assoc
+            [
+              ("generation", Jsonx.Int gen);
+              ( "entries",
+                Jsonx.List
+                  (List.map
+                     (fun (bh, fh, count, verdict, passes) ->
+                       Jsonx.Assoc
+                         [
+                           ("bytecode_hash", Jsonx.Int bh);
+                           ("feedback_hash", Jsonx.Int fh);
+                           ("count", Jsonx.Int count);
+                           ("verdict", Jsonx.String (Proto.verdict_name verdict));
+                           ("passes", Proto.strings passes);
+                         ])
+                     top) );
+            ]))
+
+(* ---- mutation (DB update + shard refresh; subscribers observe the
+   generation bump on their next poll tick) ---- *)
+
+let install t entry =
+  Db.add t.db entry;
+  Db.Sharded.refresh t.idx
+
+let remove_cve t cve =
+  Db.remove_cve t.db cve;
+  Db.Sharded.refresh t.idx
+
+let install_response t body =
+  match Db.entry_of_sexpr (Sexpr.of_string body) with
+  | exception Sexpr.Decode_error msg -> json_error 400 ("bad entry: " ^ msg)
+  | entry ->
+    install t entry;
+    Http.respond ~content_type:"application/json" (gen_json (Db.generation t.db))
+
+let remove_response t query =
+  match List.assoc_opt "cve" query with
+  | None | Some "" -> Http.bad_request "cve: required"
+  | Some cve ->
+    remove_cve t cve;
+    Http.respond ~content_type:"application/json" (gen_json (Db.generation t.db))
+
+(* ---- routing ---- *)
+
+let handle t (req : Http.request) =
+  let count ep =
+    Obs.incr t.obs "service.requests_total";
+    Obs.incr t.obs ("service.requests." ^ ep)
+  in
+  match (req.Http.rq_path, req.Http.rq_meth) with
+  | "/verdict", "POST" ->
+    count "verdict";
+    verdict_response t req.Http.rq_body
+  | "/verdict", _ -> json_error 405 "POST required"
+  | "/subscribe", _ ->
+    count "subscribe";
+    subscribe_response t req.Http.rq_query
+  | "/delta", _ ->
+    count "delta";
+    delta_response t req.Http.rq_query
+  | "/warm", _ ->
+    count "warm";
+    warm_response t req.Http.rq_query
+  | "/gen", _ ->
+    count "gen";
+    Http.respond ~content_type:"application/json"
+      (gen_json (Db.generation t.db))
+  | "/install", "POST" ->
+    count "install";
+    install_response t req.Http.rq_body
+  | "/remove", "POST" ->
+    count "remove";
+    remove_response t req.Http.rq_query
+  | _ -> (
+    match t.obs with
+    | Some obs -> (
+      match Http.obs_routes ~obs req with
+      | Some resp ->
+        count (String.sub req.Http.rq_path 1 (String.length req.Http.rq_path - 1));
+        resp
+      | None -> Http.respond ~status:404 "not found\n")
+    | None -> Http.respond ~status:404 "not found\n")
+
+let create ?(params = Comparator.default_params) ?(shards = 4) ?(workers = 4)
+    ?obs ?(subscribe_poll_s = 0.005) ?(server_cache = true) ~db ~port () =
+  let t =
+    {
+      db;
+      idx = Db.Sharded.create ~shards db;
+      params;
+      obs;
+      use_cache = server_cache;
+      cache =
+        Engine.Policy_cache.create ~max_entries:65536
+          ~generation:(fun () -> Db.generation db)
+          ();
+      line_mu = Mutex.create ();
+      lines = Hashtbl.create 1024;
+      max_lines = 65536;
+      body_mu = Mutex.create ();
+      bodies = Hashtbl.create 1024;
+      max_bodies = 16384;
+      warm_mu = Mutex.create ();
+      warm = Hashtbl.create 256;
+      subscribe_poll_s;
+      server = None;
+    }
+  in
+  let server =
+    Http.Server.start ~workers ~handler:(fun req -> handle t req) ~port ()
+  in
+  t.server <- Some server;
+  t
+
+let stop t = match t.server with Some s -> Http.Server.stop s | None -> ()

@@ -1,0 +1,84 @@
+(** The jitbulld server core: one DNA database served to a fleet of
+    engine clients over the keep-alive HTTP layer
+    ({!Jitbull_obs.Http_export.Server}).
+
+    Endpoints:
+
+    - [POST /verdict] — JSONL batch of {!Proto.verdict_req}, answered
+      with one {!Proto.verdict_resp} per line. Repeat requests hit a
+      three-level server-side verdict cache: the outermost level maps
+      the raw request body to the whole pre-rendered response (a hit
+      costs one hash of the body); the middle level maps each unparsed
+      request line ({!Proto.line_key}) to a pre-rendered response
+      line — a hit skips JSON parse, DNA parse, query and response
+      rendering; and the inner level maps the request identity
+      ({!Proto.req_key}) to a decision. All three are invalidated by
+      DB-generation moves exactly like the engine's policy cache.
+      Fresh requests run the sharded scatter/gather query
+      ({!Jitbull_core.Db.Sharded}) and the shared go/no-go rule
+      ({!Jitbull_core.Jitbull.verdict_of_matches}), so a remote verdict
+      structurally equals the in-process analyzer's at the same
+      generation.
+    - [GET /subscribe?gen=G&timeout_ms=T] — long poll: answers
+      [{"generation": N}] as soon as the DB generation exceeds [G] (or
+      at the timeout, with the unchanged generation). Push invalidation
+      for remote policy caches.
+    - [GET /delta?gen=G] — catch-up payload for a replica at [G]:
+      [mode] "append" with the missing entries (as
+      {!Jitbull_core.Db.entry_to_sexpr} text), or "resync" with the
+      full list after a removal.
+    - [GET /warm?n=K] — the top-K hottest (bytecode hash, feedback
+      hash, verdict) triples by decision count, restricted to verdicts
+      still valid at the current generation.
+    - [GET /gen] — current generation. [POST /install] (entry sexpr
+      body) / [POST /remove?cve=C] — DB mutation over the wire.
+    - With [obs]: the observability routes ([/metrics], [/healthz], …)
+      mounted behind the service's own.
+
+    Metrics (via [obs]): [service.requests_total] and per-endpoint
+    [service.requests.<endpoint>] counters,
+    [service.batch_size] histogram, [service.cache_hits] /
+    [service.cache_misses] (per request line, body- and line-cache hits
+    combined), [service.gen_pushes_total],
+    per-shard [service.shard_lookup.shard<i>.seconds] histograms. *)
+
+type t
+
+(** [create ~db ~port ()] builds the sharded index over [db] (default 4
+    shards), starts [workers] (default 4) server domains on
+    127.0.0.1:[port] ([0] picks a free one) and serves until {!stop}.
+    [params] are the comparator thresholds verdicts are decided with.
+    Each accepted connection is served on its own thread, so [workers]
+    sizes CPU parallelism, not the connection limit — long-poll
+    subscribers park a thread each without starving verdict traffic.
+    [server_cache:false] disables all three verdict cache levels: the
+    A/B baseline where every request pays full parse + query. *)
+val create :
+  ?params:Jitbull_core.Comparator.params ->
+  ?shards:int ->
+  ?workers:int ->
+  ?obs:Jitbull_obs.Obs.t ->
+  ?subscribe_poll_s:float ->
+  ?server_cache:bool ->
+  db:Jitbull_core.Db.t ->
+  port:int ->
+  unit ->
+  t
+
+val port : t -> int
+val db : t -> Jitbull_core.Db.t
+val sharded : t -> Jitbull_core.Db.Sharded.t
+val server : t -> Jitbull_obs.Http_export.Server.t
+
+(** In-process mutation: DB update + shard refresh. Subscribers observe
+    the generation bump on their next poll tick. *)
+val install : t -> Jitbull_core.Db.entry -> unit
+
+val remove_cve : t -> string -> unit
+
+(** One verdict, computed exactly as [POST /verdict] would (cache,
+    sharded query, warm tracking) — exposed for tests and the
+    remote==local oracle. *)
+val decide : t -> Proto.verdict_req -> Proto.verdict_resp
+
+val stop : t -> unit

@@ -3,14 +3,26 @@ type t = {
   cond : Condition.t;
   mutable readers : int;
   mutable writer : bool;
+  mutable writers_waiting : int;
 }
 
 let create () =
-  { mu = Mutex.create (); cond = Condition.create (); readers = 0; writer = false }
+  {
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    readers = 0;
+    writer = false;
+    writers_waiting = 0;
+  }
 
+(* Readers yield to waiting writers: a reader is admitted only when no
+   writer holds the lock and none is queued behind it. Combined with the
+   broadcast on [write_unlock], every queued writer is overtaken by at
+   most the readers already inside the critical section when it arrived,
+   so writer wait time is bounded by one batch of in-flight reads. *)
 let read_lock t =
   Mutex.lock t.mu;
-  while t.writer do
+  while t.writer || t.writers_waiting > 0 do
     Condition.wait t.cond t.mu
   done;
   t.readers <- t.readers + 1;
@@ -24,9 +36,11 @@ let read_unlock t =
 
 let write_lock t =
   Mutex.lock t.mu;
+  t.writers_waiting <- t.writers_waiting + 1;
   while t.writer || t.readers > 0 do
     Condition.wait t.cond t.mu
   done;
+  t.writers_waiting <- t.writers_waiting - 1;
   t.writer <- true;
   Mutex.unlock t.mu
 

@@ -1,12 +1,20 @@
 (** A small many-readers / one-writer lock for structures that are read
     from helper domains while the main thread occasionally mutates them
-    (the DNA database during background compilation).
+    (the DNA database during background compilation; the verdict
+    service's postings shards under fleet load).
 
-    Readers are admitted whenever no writer holds the lock, even while a
-    writer is waiting (reader preference). That choice makes nested read
-    acquisition from one thread safe — [entries] inside [matching] — at
-    the cost of theoretical writer starvation, which does not arise here:
-    writes are rare DB updates, reads are bounded queries. *)
+    Writers make progress: a reader is admitted only when no writer
+    holds the lock {e and none is waiting for it}, so a DB-generation
+    bump is never starved by a continuous stream of verdict queries —
+    the writer waits for at most the readers that were already inside
+    when it queued up (a property [test/test_util.ml] stress-tests
+    across domains).
+
+    The price of that fairness is that read acquisition is {e not}
+    reentrant: a thread that already holds the read side and takes it
+    again can deadlock against a writer that queued in between. Callers
+    keep a strict no-nesting discipline — [Db] runs its whole query
+    under one read section and uses [_unlocked] internals inside. *)
 
 type t
 

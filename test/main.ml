@@ -23,4 +23,5 @@ let () =
       Test_audit.suite;
       Test_explain.suite;
       Test_perf.suite;
+      Test_service.suite;
     ]

@@ -1,0 +1,388 @@
+(* Tests for the jitbulld verdict service: wire protocol, keep-alive
+   HTTP layer, sharded-vs-indexed query equality, the three-level server
+   cache with generation invalidation, push-driven cache flushes on the
+   client, and the remote==local analyzer oracle. *)
+
+open Helpers
+module Http = Jitbull_obs.Http_export
+module Jsonx = Jitbull_obs.Jsonx
+module Sexpr = Jitbull_util.Sexpr
+module Db = Jitbull_core.Db
+module Dna = Jitbull_core.Dna
+module Comparator = Jitbull_core.Comparator
+module Jitbull = Jitbull_core.Jitbull
+module V = Jitbull_vdc.Demonstrators
+module Proto = Jitbull_service.Proto
+module Service = Jitbull_service.Service
+module Client = Jitbull_service.Client
+module Oracle = Jitbull_fuzz.Oracle
+
+let params = Comparator.default_params
+
+(* One harvested DB shared by the suite (harvesting runs demonstrators,
+   so do it once). Tests that mutate build their own copy. *)
+let harvest_cves = [ List.nth VC.all 0; List.nth VC.all 1 ]
+
+let build_db () =
+  let db = Db.create () in
+  List.iter
+    (fun cve ->
+      let d = V.find cve in
+      ignore (Db.harvest db ~cve:d.V.name ~vulns:(VC.make [ cve ]) d.V.source))
+    harvest_cves;
+  db
+
+let shared_db = lazy (build_db ())
+
+let dna_text dna = Sexpr.to_string (Dna.to_sexpr dna)
+
+let req_of_entry ?(id = 0) (e : Db.entry) =
+  {
+    Proto.vr_id = id;
+    vr_func = e.Db.dna.Dna.func_name;
+    vr_bytecode_hash = 0x1234 + id;
+    vr_feedback_hash = 0x5678 + id;
+    vr_dna = dna_text e.Db.dna;
+  }
+
+(* the verdict the in-process path computes for the same DNA *)
+let local_verdict db dna =
+  let _, verdict = Jitbull.verdict_of_matches (Db.matching ~params db dna) in
+  verdict
+
+(* ---- wire protocol ---- *)
+
+let test_proto_roundtrip () =
+  let reqs =
+    [
+      { Proto.vr_id = 0; vr_func = "f"; vr_bytecode_hash = 1;
+        vr_feedback_hash = 2; vr_dna = "(dna (func f) (deltas))" };
+      { Proto.vr_id = max_int; vr_func = "weird \"name\"\n";
+        vr_bytecode_hash = -5; vr_feedback_hash = 0;
+        vr_dna = "line1\nline2\ttab" };
+    ]
+  in
+  let round = Proto.decode_reqs (Proto.encode_reqs reqs) in
+  check_bool "req batch round-trips" true (round = reqs);
+  let resps =
+    [
+      { Proto.vs_id = 1; vs_verdict = `Allow; vs_passes = [];
+        vs_matched = []; vs_generation = 3; vs_cached = false };
+      { Proto.vs_id = 2; vs_verdict = `Disable [ "gvn"; "licm" ];
+        vs_passes = [ "gvn"; "licm" ];
+        vs_matched = [ ("CVE-1", [ "gvn" ]) ]; vs_generation = 3;
+        vs_cached = true };
+      { Proto.vs_id = 3; vs_verdict = `Forbid; vs_passes = [];
+        vs_matched = []; vs_generation = 0; vs_cached = false };
+    ]
+  in
+  let round = Proto.decode_resps (Proto.encode_resps resps) in
+  check_bool "resp batch round-trips" true (round = resps)
+
+let test_proto_keys () =
+  let r =
+    { Proto.vr_id = 7; vr_func = "f"; vr_bytecode_hash = 11;
+      vr_feedback_hash = 22; vr_dna = "(dna (func f) (deltas))" }
+  in
+  (* the request identity is (dna, hashes): id and func are not part of it *)
+  check_bool "req_key ignores id and func" true
+    (Proto.req_key r = Proto.req_key { r with Proto.vr_id = 99; vr_func = "g" });
+  check_bool "req_key sees the feedback hash" true
+    (Proto.req_key r <> Proto.req_key { r with Proto.vr_feedback_hash = 23 });
+  check_bool "req_key sees the dna" true
+    (Proto.req_key r <> Proto.req_key { r with Proto.vr_dna = "(dna (func g) (deltas))" });
+  check_bool "line_key distinguishes lines" true
+    (Proto.line_key "{\"id\":1}" <> Proto.line_key "{\"id\":2}");
+  check_bool "keys are non-negative" true
+    (Proto.req_key r >= 0 && Proto.line_key "x" >= 0)
+
+(* ---- delta_since ---- *)
+
+let test_delta_since () =
+  let db = build_db () in
+  let gen = Db.generation db in
+  let n = List.length (Db.entries db) in
+  check_bool "harvest bumped the generation once per entry" true (gen = n && n >= 2);
+  (match Db.delta_since db 0 with
+  | g, Db.Append es ->
+    check_int "full append from 0" n (List.length es);
+    check_int "delta generation is current" gen g
+  | _, Db.Resync _ -> Alcotest.fail "append-only history answered Resync");
+  (match Db.delta_since db (gen - 1) with
+  | _, Db.Append es -> check_int "suffix append" 1 (List.length es)
+  | _, Db.Resync _ -> Alcotest.fail "suffix answered Resync");
+  (match Db.delta_since db gen with
+  | g, Db.Append [] -> check_int "up-to-date replica gets empty append" gen g
+  | _ -> Alcotest.fail "up-to-date replica should get Append []");
+  let cve0 = (List.hd (Db.entries db)).Db.cve in
+  Db.remove_cve db cve0;
+  match Db.delta_since db gen with
+  | g, Db.Resync es ->
+    check_int "resync ships the full post-removal list" (List.length (Db.entries db))
+      (List.length es);
+    check_int "resync generation is current" (Db.generation db) g
+  | _, Db.Append _ -> Alcotest.fail "pre-removal generation must Resync"
+
+(* ---- sharded == indexed ---- *)
+
+(* Random sub-DNAs of real harvested entries, matched through the
+   scatter/gather sharded index at 1/2/4 shards and through the plain
+   indexed path — the match lists must be identical. *)
+let qcheck_sharded_equals_indexed =
+  QCheck.Test.make ~count:(qcheck_count 30)
+    ~name:"service: sharded scatter/gather == indexed matching"
+    QCheck.(triple (int_range 0 1000) (int_bound 0xFFFF) (int_range 1 4))
+    (fun (pick, mask, shards) ->
+      let db = Lazy.force shared_db in
+      let entries = Array.of_list (Db.entries db) in
+      let e = entries.(pick mod Array.length entries) in
+      let deltas =
+        List.filteri (fun i _ -> mask land (1 lsl i) <> 0) e.Db.dna.Dna.deltas
+      in
+      let dna = { e.Db.dna with Dna.deltas } in
+      let idx = Db.Sharded.create ~shards db in
+      let q = Db.Sharded.matching_detailed ~params idx dna in
+      let sorted l = List.sort compare l in
+      sorted (Db.drop_details q.Db.q_matches)
+      = sorted (Db.matching ~params db dna)
+      && q.Db.q_generation = Db.generation db)
+
+(* ---- keep-alive regression ---- *)
+
+(* Two sequential requests on one connection must reuse the socket: the
+   server's connection counter stays at 1 while its request counter
+   reaches 2. (This is the regression test for the accept loop serving
+   one request per connection or closing keep-alive sockets early.) *)
+let test_keep_alive_reuses_socket () =
+  let server =
+    Http.Server.start ~workers:1
+      ~handler:(fun req -> Http.respond ("echo:" ^ req.Http.rq_path))
+      ~port:0 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Http.Server.stop server)
+    (fun () ->
+      let conn = Http.Conn.connect ~port:(Http.Server.port server) () in
+      Fun.protect
+        ~finally:(fun () -> Http.Conn.close conn)
+        (fun () ->
+          let status1, _, body1 = Http.Conn.request conn "/first" in
+          let status2, _, body2 = Http.Conn.request conn "/second" in
+          check_int "first status" 200 status1;
+          check_int "second status" 200 status2;
+          check_string "first body" "echo:/first" body1;
+          check_string "second body" "echo:/second" body2;
+          check_int "one TCP connection" 1 (Http.Server.connections server);
+          check_int "two requests through it" 2 (Http.Server.requests server)))
+
+(* ---- service end-to-end ---- *)
+
+let with_service ?(shards = 2) ?server_cache db f =
+  let svc = Service.create ~shards ~workers:1 ?server_cache ~db ~port:0 () in
+  Fun.protect ~finally:(fun () -> Service.stop svc) (fun () -> f svc)
+
+let test_verdict_endpoint_and_cache () =
+  let db = build_db () in
+  with_service db (fun svc ->
+      let entries = Db.entries db in
+      let e = List.hd entries in
+      let req = req_of_entry ~id:1 e in
+      let conn = Http.Conn.connect ~port:(Service.port svc) () in
+      Fun.protect
+        ~finally:(fun () -> Http.Conn.close conn)
+        (fun () ->
+          (* fresh: decided by the sharded query, not cached *)
+          let resp =
+            match Client.verdict_roundtrip conn [ req ] with
+            | Ok [ r ] -> r
+            | Ok l -> Alcotest.failf "expected 1 response, got %d" (List.length l)
+            | Error m -> Alcotest.fail m
+          in
+          check_bool "first answer is uncached" false resp.Proto.vs_cached;
+          check_bool "remote == local" true
+            (resp.Proto.vs_verdict = local_verdict db e.Db.dna);
+          check_int "verdict generation" (Db.generation db) resp.Proto.vs_generation;
+          check_bool "an exploit DNA replayed verbatim is not Allow" true
+            (resp.Proto.vs_verdict <> `Allow);
+          (* repeat: served from the server cache, same verdict *)
+          let again =
+            match Client.verdict_roundtrip conn [ req ] with
+            | Ok [ r ] -> r
+            | _ -> Alcotest.fail "second round-trip failed"
+          in
+          check_bool "repeat is served cached" true again.Proto.vs_cached;
+          check_bool "cached verdict identical" true
+            (again.Proto.vs_verdict = resp.Proto.vs_verdict);
+          (* a batch mixes cached and fresh lines; ids are echoed in order *)
+          let e2 = List.nth entries (List.length entries - 1) in
+          let batch = [ req; req_of_entry ~id:2 e2 ] in
+          (match Client.verdict_roundtrip conn batch with
+          | Ok [ r1; r2 ] ->
+            check_int "batch echoes id 1" 1 r1.Proto.vs_id;
+            check_int "batch echoes id 2" 2 r2.Proto.vs_id;
+            check_bool "batch remote == local (2)" true
+              (r2.Proto.vs_verdict = local_verdict db e2.Db.dna)
+          | Ok l -> Alcotest.failf "expected 2 responses, got %d" (List.length l)
+          | Error m -> Alcotest.fail m);
+          (* DB mutation invalidates every cache level *)
+          let gen_before = Db.generation db in
+          Service.install svc { Db.cve = "CVE-TEST-INSTALL"; dna = e.Db.dna };
+          check_bool "install bumped the generation" true
+            (Db.generation db > gen_before);
+          let after =
+            match Client.verdict_roundtrip conn [ req ] with
+            | Ok [ r ] -> r
+            | _ -> Alcotest.fail "post-install round-trip failed"
+          in
+          check_bool "post-install answer is re-decided, not cached" false
+            after.Proto.vs_cached;
+          check_int "post-install generation" (Db.generation db)
+            after.Proto.vs_generation;
+          (* warm endpoint reflects the touched (bytecode, feedback) pair *)
+          let status, _, body = Http.Conn.request conn "/warm?n=8" in
+          check_int "warm status" 200 status;
+          let j = Jsonx.parse body in
+          let warm_entries = Jsonx.to_list_exn (Jsonx.member "entries" j) in
+          check_bool "warm lists the hot pair" true
+            (List.exists
+               (fun w ->
+                 Jsonx.to_int (Jsonx.member "bytecode_hash" w)
+                 = req.Proto.vr_bytecode_hash
+                 && Jsonx.to_int (Jsonx.member "feedback_hash" w)
+                    = req.Proto.vr_feedback_hash)
+               warm_entries);
+          (* subscribe long-poll answers immediately for a stale gen *)
+          let status, _, body = Http.Conn.request conn "/subscribe?gen=0&timeout_ms=200" in
+          check_int "subscribe status" 200 status;
+          check_int "subscribe reports the current generation"
+            (Db.generation db)
+            (Jsonx.to_int (Jsonx.member "generation" (Jsonx.parse body)));
+          (* malformed input is a 400, not a closed connection *)
+          let status, _, _ =
+            Http.Conn.request conn ~meth:"POST" ~body:"not json" "/verdict"
+          in
+          check_int "malformed batch is a 400" 400 status;
+          let status, _, _ = Http.Conn.request conn "/first" in
+          check_int "connection survives the 400" 404 status))
+
+let test_uncached_baseline_still_correct () =
+  let db = Lazy.force shared_db in
+  with_service ~server_cache:false db (fun svc ->
+      let e = List.hd (Db.entries db) in
+      let req = req_of_entry ~id:3 e in
+      let conn = Http.Conn.connect ~port:(Service.port svc) () in
+      Fun.protect
+        ~finally:(fun () -> Http.Conn.close conn)
+        (fun () ->
+          match (Client.verdict_roundtrip conn [ req ], Client.verdict_roundtrip conn [ req ]) with
+          | Ok [ a ], Ok [ b ] ->
+            check_bool "uncached server never reports cached" false
+              (a.Proto.vs_cached || b.Proto.vs_cached);
+            check_bool "uncached remote == local" true
+              (a.Proto.vs_verdict = local_verdict db e.Db.dna
+              && b.Proto.vs_verdict = a.Proto.vs_verdict)
+          | _ -> Alcotest.fail "round-trips failed"))
+
+(* ---- client: replica sync and push invalidation ---- *)
+
+let test_client_sync_replica () =
+  let db = build_db () in
+  with_service db (fun svc ->
+      let client = Client.connect ~subscribe:false ~port:(Service.port svc) () in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          (match Client.sync client with
+          | Ok g -> check_int "synced to the server generation" (Db.generation db) g
+          | Error m -> Alcotest.fail m);
+          check_int "replica has every entry"
+            (List.length (Db.entries db))
+            (List.length (Db.entries (Client.replica client)));
+          match Client.warm client ~n:4 with
+          | Ok _ -> ()
+          | Error m -> Alcotest.fail ("warm: " ^ m)))
+
+(* The push-invalidation acceptance property: once the client has
+   observed a generation push, a verdict cached before the bump is never
+   served again — the engine-facing policy cache misses. *)
+let test_push_invalidates_policy_cache () =
+  let db = build_db () in
+  with_service db (fun svc ->
+      let client = Client.connect ~port:(Service.port svc) () in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let cfg = Client.engine_config client ~vulns:VC.none () in
+          let cache =
+            match cfg.Engine.policy_cache with
+            | Some c -> c
+            | None -> Alcotest.fail "engine_config carries a policy cache"
+          in
+          let key = 424242 in
+          Engine.Policy_cache.store cache key (Engine.Disable_passes [ "gvn" ]);
+          check_bool "pre-push verdict is cached" true
+            (Engine.Policy_cache.lookup cache key <> None);
+          let pushed = ref 0 in
+          Client.on_push client (fun g -> pushed := g);
+          let e = List.hd (Db.entries db) in
+          Service.install svc { Db.cve = "CVE-TEST-PUSH"; dna = e.Db.dna };
+          let new_gen = Db.generation db in
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          while Client.generation client < new_gen && Unix.gettimeofday () < deadline do
+            Thread.yield ();
+            Unix.sleepf 0.01
+          done;
+          check_bool "client observed the push" true
+            (Client.generation client >= new_gen);
+          check_bool "push handler saw the new generation" true (!pushed >= new_gen);
+          check_bool "pre-bump cached verdict is gone" true
+            (Engine.Policy_cache.lookup cache key = None)))
+
+(* ---- remote == local, end to end through an engine ---- *)
+
+let equiv_source =
+  "function hot(a, b) { var t = 0; for (var i = 0; i < 12; i++) { t = t + \
+   a * i - b; } return t; } var s = 0; for (var k = 0; k < 30; k++) s = s + \
+   hot(k, 2); print(s);"
+
+let test_remote_local_analyzer_equiv () =
+  let db = Lazy.force shared_db in
+  with_service db (fun svc ->
+      let client = Client.connect ~subscribe:false ~port:(Service.port svc) () in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let local = Jitbull.analyzer ~params db in
+          let remote = Client.analyzer ~params client in
+          match
+            Oracle.check_analyzer_equiv ~name_a:"local" ~analyzer_a:local
+              ~name_b:"remote" ~analyzer_b:remote equiv_source
+          with
+          | [] -> ()
+          | vs ->
+            Alcotest.failf "remote==local violated: %s"
+              (String.concat "; "
+                 (List.map
+                    (fun (v : Oracle.violation) ->
+                      v.Oracle.mv_invariant ^ ": " ^ v.Oracle.mv_detail)
+                    vs))))
+
+let suite =
+  ( "service",
+    [
+      Alcotest.test_case "proto round-trip" `Quick test_proto_roundtrip;
+      Alcotest.test_case "proto cache keys" `Quick test_proto_keys;
+      Alcotest.test_case "delta_since append/resync" `Quick test_delta_since;
+      qtest qcheck_sharded_equals_indexed;
+      Alcotest.test_case "keep-alive reuses one socket" `Quick
+        test_keep_alive_reuses_socket;
+      Alcotest.test_case "verdict endpoint, cache, invalidation" `Quick
+        test_verdict_endpoint_and_cache;
+      Alcotest.test_case "uncached baseline stays correct" `Quick
+        test_uncached_baseline_still_correct;
+      Alcotest.test_case "client replica sync + warm" `Quick test_client_sync_replica;
+      Alcotest.test_case "push invalidates pre-bump verdicts" `Quick
+        test_push_invalidates_policy_cache;
+      Alcotest.test_case "remote == local analyzer (oracle)" `Quick
+        test_remote_local_analyzer_equiv;
+    ] )

@@ -130,6 +130,61 @@ let test_bar () =
   check_string "empty on zero max" "" (Text_table.bar ~width:5 ~max_value:0.0 3.0);
   check_string "half bar" "##" (Text_table.bar ~width:4 ~max_value:10.0 5.0)
 
+(* ---- Rwlock writer progress under reader pressure ---- *)
+
+(* Concurrency width, same variable the rest of the suite keys on. *)
+let test_jobs =
+  match Sys.getenv_opt "JITBULL_TEST_JOBS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 2)
+  | None -> 2
+
+(* The per-shard Rwlocks of the verdict service's sharded index see a
+   stream of short read sections (queries) with occasional writers
+   (refresh after install/remove). The property: a writer always makes
+   progress — [writes] write sections complete under continuous read
+   pressure from [test_jobs] domains, every reader observes only
+   fully-applied writes (the pair invariant), and the final state
+   reflects every write. A starvation-prone or deadlocking lock hangs
+   this test rather than failing an assertion, so the reader loops are
+   bounded by a deadline as a backstop. *)
+let qcheck_rwlock_writer_progress =
+  QCheck.Test.make ~count:(qcheck_count 10)
+    ~name:"rwlock: writer progress and pair invariant under reader domains"
+    QCheck.(pair (int_range 1 4) (int_range 10 60))
+    (fun (writers, writes) ->
+      let lock = Jitbull_util.Rwlock.create () in
+      let a = ref 0 and b = ref 0 in
+      let stop = Atomic.make false in
+      let torn = Atomic.make 0 in
+      let readers =
+        List.init test_jobs (fun _ ->
+            Domain.spawn (fun () ->
+                let deadline = Unix.gettimeofday () +. 10.0 in
+                while
+                  (not (Atomic.get stop)) && Unix.gettimeofday () < deadline
+                do
+                  Jitbull_util.Rwlock.with_read lock (fun () ->
+                      if !a <> !b then Atomic.incr torn)
+                done))
+      in
+      let writer_threads =
+        List.init writers (fun _ ->
+            Thread.create
+              (fun () ->
+                for _ = 1 to writes do
+                  Jitbull_util.Rwlock.with_write lock (fun () ->
+                      incr a;
+                      (* widen the window a torn read would need to hit *)
+                      if !a land 7 = 0 then Thread.yield ();
+                      incr b)
+                done)
+              ())
+      in
+      List.iter Thread.join writer_threads;
+      Atomic.set stop true;
+      List.iter Domain.join readers;
+      Atomic.get torn = 0 && !a = writers * writes && !b = !a)
+
 let suite =
   ( "util",
     [
@@ -147,4 +202,5 @@ let suite =
       Alcotest.test_case "table render" `Quick test_table_render;
       Alcotest.test_case "table align" `Quick test_table_align;
       Alcotest.test_case "bar" `Quick test_bar;
+      qtest qcheck_rwlock_writer_progress;
     ] )
