@@ -19,6 +19,8 @@
      bench/main.exe ablation     Thr/Ratio/n-gram parameter sweep (beyond the paper)
      bench/main.exe overhead     decision cost vs DB size: indexed vs naive + policy cache
      bench/main.exe concurrency  off-main-thread Ion compilation (jobs=0/1/2/4)
+     bench/main.exe native       native x86-64 Ion tier vs the LIR executor
+                                 (numeric-loop corpus, byte-equal outputs)
      bench/main.exe service      jitbulld verdict-service throughput: client
                                  concurrency x batch size x index shards
                                  (JITBULL_BENCH_SERVICE_BUDGET_S / _MAXC trim it)
@@ -1563,6 +1565,153 @@ let bechamel () =
   Printf.printf "\nion compile + run (end-to-end, best of 3): %.2f ms\n"
     (t_end_to_end *. 1000.0)
 
+(* ---- native x86-64 Ion tier vs the LIR executor ---- *)
+
+(* Numeric-loop corpus: the shapes the native backend keeps entirely in
+   machine code (float arithmetic, int32 bit mixing, compares, branches).
+   Each script warms its [work] function past the Ion threshold; the
+   measured call then runs a larger argument against installed code. *)
+let native_corpus =
+  [
+    ( "sum_loop",
+      "function work(n) { var s = 0; for (var i = 0; i < n; i = i + 1) { s \
+       = s + i; } return s; }\n\
+       var w = 0;\n\
+       for (var k = 0; k < 8; k = k + 1) { w = work(100); }\n\
+       print(w);\n",
+      300000.0 );
+    ( "fib_iter",
+      "function work(n) { var a = 0; var b = 1; for (var i = 0; i < n; i = \
+       i + 1) { var t = a + b; a = b; b = t; } return a; }\n\
+       var w = 0;\n\
+       for (var k = 0; k < 8; k = k + 1) { w = work(90); }\n\
+       print(w);\n",
+      300000.0 );
+    ( "bit_mix",
+      "function work(n) { var h = 123456789; for (var i = 0; i < n; i = i \
+       + 1) { h = h ^ (h << 13); h = h ^ (h >>> 17); h = h ^ (h << 5); h = \
+       h & 2147483647; } return h; }\n\
+       var w = 0;\n\
+       for (var k = 0; k < 8; k = k + 1) { w = work(50); }\n\
+       print(w);\n",
+      200000.0 );
+    ( "newton",
+      "function work(n) { var s = 0; for (var i = 1; i < n; i = i + 1) { \
+       var x = i; var g = x; g = (g + x / g) * 0.5; g = (g + x / g) * 0.5; \
+       g = (g + x / g) * 0.5; s = s + g; } return s; }\n\
+       var w = 0;\n\
+       for (var k = 0; k < 8; k = k + 1) { w = work(50); }\n\
+       print(w);\n",
+      150000.0 );
+    ( "poly_eval",
+      "function work(n) { var s = 0; for (var i = 0; i < n; i = i + 1) { \
+       var x = i * 0.001; s = s + (((2.1 * x + 1.3) * x + 0.7) * x + 0.2); \
+       } return s; }\n\
+       var w = 0;\n\
+       for (var k = 0; k < 8; k = k + 1) { w = work(100); }\n\
+       print(w);\n",
+      200000.0 );
+  ]
+
+let native_bench () =
+  section "Native x86-64 Ion tier vs the LIR executor";
+  let module Vm = Jitbull_bytecode.Vm in
+  let module Op = Jitbull_bytecode.Op in
+  let module Value = Jitbull_runtime.Value in
+  if not (Jitbull_native.Native.enabled ()) then begin
+    Printf.printf
+      "native backend unavailable here (non-x86-64 host or JITBULL_NO_NATIVE \
+       set); nothing to compare.\n";
+    emit "native" (Jsonx.Assoc [ ("available", Jsonx.Bool false) ])
+  end
+  else begin
+    Printf.printf
+      "Same engine configuration, same scripts; only the Ion tier's backend \
+       differs.\nOutputs are asserted byte-equal and the go/no-go verdict \
+       counters identical.\n\n";
+    (* run the whole script (warmup + Ion compile), then locate [work] *)
+    let prep ~native source =
+      let config =
+        {
+          Engine.default_config with
+          Engine.baseline_threshold = 2;
+          ion_threshold = 4;
+          native;
+        }
+      in
+      let out, engine = Engine.run_source config source in
+      let vm = Engine.vm engine in
+      let idx = ref (-1) in
+      Array.iteri
+        (fun i (f : Op.func) -> if String.equal f.Op.name "work" then idx := i)
+        vm.Vm.program.Op.funcs;
+      if !idx < 0 then failwith "native bench: no function named work";
+      (out, engine, vm, !idx)
+    in
+    let json_rows = ref [] in
+    let log_ratios = ref [] in
+    let rows =
+      List.map
+        (fun (name, source, arg) ->
+          let out_n, eng_n, vm_n, idx_n = prep ~native:true source in
+          let out_e, eng_e, vm_e, idx_e = prep ~native:false source in
+          if not (String.equal out_n out_e) then
+            failwith (Printf.sprintf "native bench: %s outputs diverge" name);
+          let sn = Engine.stats eng_n and se = Engine.stats eng_e in
+          if
+            (sn.Engine.nr_jit, sn.Engine.nr_disjit, sn.Engine.nr_nojit)
+            <> (se.Engine.nr_jit, se.Engine.nr_disjit, se.Engine.nr_nojit)
+          then failwith (Printf.sprintf "native bench: %s verdicts diverge" name);
+          if sn.Engine.native_installs < 1 then
+            failwith (Printf.sprintf "native bench: %s never installed native code" name);
+          if Engine.tier_of eng_n idx_n <> Engine.Ion then
+            failwith (Printf.sprintf "native bench: %s work not Ion-tiered" name);
+          let args = [ Value.Number arg ] in
+          let r_n = Vm.call_function vm_n idx_n args in
+          let r_e = Vm.call_function vm_e idx_e args in
+          if not (String.equal (Value.to_display r_n) (Value.to_display r_e))
+          then failwith (Printf.sprintf "native bench: %s timed results diverge" name);
+          let t_n = time_best (fun () -> ignore (Vm.call_function vm_n idx_n args)) in
+          let t_e = time_best (fun () -> ignore (Vm.call_function vm_e idx_e args)) in
+          let speedup = t_e /. Float.max 1e-9 t_n in
+          log_ratios := log speedup :: !log_ratios;
+          json_rows :=
+            Jsonx.Assoc
+              [
+                ("name", Jsonx.String name);
+                ("lir_executor_ms", Jsonx.Float (t_e *. 1000.0));
+                ("native_ms", Jsonx.Float (t_n *. 1000.0));
+                ("speedup", Jsonx.Float speedup);
+              ]
+            :: !json_rows;
+          [
+            name;
+            Printf.sprintf "%.2f" (t_e *. 1000.0);
+            Printf.sprintf "%.2f" (t_n *. 1000.0);
+            Printf.sprintf "%.2fx" speedup;
+          ])
+        native_corpus
+    in
+    let n = List.length !log_ratios in
+    let geomean =
+      exp (List.fold_left ( +. ) 0.0 !log_ratios /. float_of_int (max 1 n))
+    in
+    Table.print
+      ~headers:[ "benchmark"; "LIR executor (ms)"; "native (ms)"; "speedup" ]
+      rows;
+    Printf.printf "\ngeomean speedup: %.2fx (outputs byte-equal, verdicts identical)\n"
+      geomean;
+    emit "native"
+      (Jsonx.Assoc
+         [
+           ("available", Jsonx.Bool true);
+           ("rows", Jsonx.List (List.rev !json_rows));
+           ("geomean_speedup", Jsonx.Float geomean);
+           ("outputs_byte_equal", Jsonx.Bool true);
+           ("verdicts_identical", Jsonx.Bool true);
+         ])
+  end
+
 (* ---- driver ---- *)
 
 let sections_in_order =
@@ -1580,6 +1729,7 @@ let sections_in_order =
     ("overhead", overhead);
     ("concurrency", concurrency);
     ("service", service_bench);
+    ("native", native_bench);
     ("bechamel", bechamel);
   ]
 

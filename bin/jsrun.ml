@@ -15,6 +15,10 @@
      jsrun --no-policy-cache ...        re-analyze DNA on every Ion compile
      jsrun --jobs N ...                 N helper domains for background Ion compiles
      jsrun --sync-compile ...           force on-main-thread compilation (= --jobs 0)
+     jsrun --native / --no-native       x86-64 machine code for the Ion tier
+                                        (default on; falls back to the LIR
+                                        executor off x86-64 or under
+                                        JITBULL_NO_NATIVE=1)
      jsrun --audit-file out.jsonl ...   go/no-go decision audit trail (JSON lines)
      jsrun --explain[=FUNC] ...         capture per-pass IR diffs; print causal
                                         go/no-go reports at exit (all flagged
@@ -142,7 +146,7 @@ let parse_verdict_server addr =
 let run file no_jit use_interp vuln_names db_path verdict_server stats
     ion_threshold seed trace metrics
     trace_file audit_file explain explain_capacity serve_metrics serve_hold
-    naive_comparator no_policy_cache jobs sync_compile quiet verbose =
+    naive_comparator no_policy_cache jobs sync_compile native quiet verbose =
   setup_logging ~quiet ~verbose:(List.length verbose) trace;
   let source = read_file file in
   let vulns =
@@ -231,6 +235,7 @@ let run file no_jit use_interp vuln_names db_path verdict_server stats
                 c with
                 Engine.jit_enabled = not no_jit;
                 ion_threshold;
+                native;
                 compile_pool = pool;
                 policy_cache = (if no_policy_cache then None else c.Engine.policy_cache);
               }
@@ -241,10 +246,10 @@ let run file no_jit use_interp vuln_names db_path verdict_server stats
                 Jitbull.config ?obs ?compile_pool:pool ~comparator
                   ~policy_cache:(not no_policy_cache) ~vulns db
               in
-              { c with Engine.jit_enabled = not no_jit; ion_threshold }
+              { c with Engine.jit_enabled = not no_jit; ion_threshold; native }
             | None, None ->
               { Engine.default_config with Engine.vulns; jit_enabled = not no_jit;
-                ion_threshold; obs; compile_pool = pool }
+                ion_threshold; native; obs; compile_pool = pool }
           in
           let _, engine = Engine.run_source ~realm config source in
           if stats then begin
@@ -256,6 +261,7 @@ let run file no_jit use_interp vuln_names db_path verdict_server stats
                bailouts: %d  deopts: %d\n"
               s.Engine.baseline_compiles s.Engine.ion_compiles s.Engine.nr_jit
               s.Engine.nr_disjit s.Engine.nr_nojit s.Engine.bailouts s.Engine.deopts;
+            Printf.eprintf "native installs:   %d\n" s.Engine.native_installs;
             if jobs > 0 then
               Printf.eprintf
                 "compile jobs: %d\nasync installs: %d  stale results: %d\n\
@@ -403,6 +409,22 @@ let sync_compile =
            ~doc:"Force on-main-thread Ion compilation (equivalent to --jobs 0); \
                  overrides --jobs.")
 
+let native =
+  Arg.(value
+       & vflag true
+           [
+             ( true,
+               info [ "native" ]
+                 ~doc:"Back Ion-tier compiles with generated x86-64 machine \
+                       code (the default). Automatically falls back to the \
+                       LIR executor on non-x86-64 hosts or when \
+                       JITBULL_NO_NATIVE is set." );
+             ( false,
+               info [ "no-native" ]
+                 ~doc:"Run Ion-tier code on the LIR executor instead of \
+                       generated machine code." );
+           ])
+
 let quiet =
   Arg.(value & flag
        & info [ "quiet"; "q" ] ~doc:"Only log errors (suppresses warnings).")
@@ -421,7 +443,7 @@ let cmd =
                $ verdict_server $ stats
                $ ion_threshold $ seed $ trace $ metrics $ trace_file $ audit_file
                $ explain $ explain_capacity $ serve_metrics $ serve_hold
-               $ naive_comparator $ no_policy_cache $ jobs $ sync_compile $ quiet
-               $ verbose))
+               $ naive_comparator $ no_policy_cache $ jobs $ sync_compile $ native
+               $ quiet $ verbose))
 
 let () = exit (Cmd.eval cmd)

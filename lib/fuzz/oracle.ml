@@ -183,6 +183,14 @@ let check_metamorphic ?(config = default_config) ?subsets ?(jobs = 2) ?(alt_conf
     in
     expect "interp==vm" vm_out;
     expect "interp==jit" (jit_result base source);
+    (* tier-agreement: with the native backend live (the default), the
+       leg above ran generated x86-64; re-run the same configuration on
+       the LIR executor so all four tiers must agree (interp == VM ==
+       native == executor). Skipped when the backend cannot run here —
+       the two legs would be identical. *)
+    if Jitbull_native.Native.enabled () && base.Engine.native then
+      expect "interp==jit[lir-executor]"
+        (jit_result { base with Engine.native = false } source);
     let subsets =
       match subsets with
       | Some s -> s

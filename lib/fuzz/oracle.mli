@@ -75,6 +75,11 @@ type violation = {
 (** [check_metamorphic ?config ?subsets ?jobs ?alt_configs source] checks,
     against the reference interpreter's output:
     - interpreter == VM == JIT under [config];
+    - tier agreement: when the native x86-64 backend is enabled (the
+      default), the JIT leg above ran machine code; the same config with
+      [native = false] re-runs on the LIR executor and must also agree —
+      a four-way interp == VM == native == executor oracle. Auto-skipped
+      where the backend is unavailable;
     - for each pass subset in [subsets] (default: every optional pass as
       a singleton), an engine forced to disable that subset agrees;
     - sync == async: a compile pool with [jobs] helpers (default 2;

@@ -14,6 +14,7 @@ module Lir = Jitbull_lir.Lir
 module Lower = Jitbull_lir.Lower
 module Regalloc = Jitbull_lir.Regalloc
 module Executor = Jitbull_lir.Executor
+module Native = Jitbull_native.Native
 module Obs = Jitbull_obs.Obs
 module Clock = Jitbull_obs.Clock
 module Jsonx = Jitbull_obs.Jsonx
@@ -139,6 +140,7 @@ type config = {
   verify_passes : bool;
   max_bailouts : int;
   jit_enabled : bool;
+  native : bool;
   obs : Obs.t option;
   policy_cache : Policy_cache.t option;
   compile_pool : Compile_queue.t option;
@@ -153,6 +155,7 @@ let default_config =
     verify_passes = false;
     max_bailouts = 8;
     jit_enabled = true;
+    native = true;
     obs = None;
     policy_cache = None;
     compile_pool = None;
@@ -170,6 +173,7 @@ type stats = {
   mutable async_installs : int;
   mutable stale_results : int;
   mutable main_stall_seconds : float;
+  mutable native_installs : int;  (* Ion installs backed by machine code *)
 }
 
 type tier =
@@ -219,6 +223,12 @@ type t = {
   results_mu : Mutex.t;
   results_ready : bool Atomic.t;
   async_inflight : (int, inflight) Hashtbl.t;
+  (* ---- native Ion tier ----
+     Per-function installed machine code; [None] runs the LIR executor.
+     [native_fallback] is the reason the backend is off for this engine
+     ([config] / [arch] / [env]), fixed at create time — [None] = on. *)
+  native_codes : Native.code option array;
+  native_fallback : string option;
 }
 
 let compute_reassigned (program : Op.program) =
@@ -239,6 +249,7 @@ let stats t = t.stats
 let realm t = t.vm.Vm.realm
 let obs t = t.config.obs
 let tier_of t idx = t.tiers.(idx)
+let native_code_of t idx = t.native_codes.(idx)
 
 let func_field t idx = ("func", Jsonx.String t.vm.Vm.program.Op.funcs.(idx).Op.name)
 
@@ -394,11 +405,64 @@ let cancel_inflight t idx =
       Obs.incr t.config.obs "compile.cancelled"
     | _ -> ())
 
-let install t idx (lir : Lir.func) =
+(* Drop the machine code backing function [idx], if any. The unmap is
+   deferred by {!Native.release} while recursive native activations are
+   still on the stack. *)
+let release_native t idx =
+  match t.native_codes.(idx) with
+  | Some code ->
+    t.native_codes.(idx) <- None;
+    Native.release code
+  | None -> ()
+
+(* [install ~tier_native:true] backs the dispatch entry with generated
+   x86-64 code when the backend is on; the LIR executor remains the
+   automatic fallback (and the baseline tier, which never asks). Emission
+   happens here — on the main thread, strictly after the go/no-go verdict
+   admitted the compile — so a Forbid never maps a code page. *)
+let install ?(tier_native = false) t idx (lir : Lir.func) =
   let cb = executor_callbacks t in
   let realm = t.vm.Vm.realm in
+  let obs = t.config.obs in
+  release_native t idx;
+  let native_code =
+    if not tier_native then None
+    else
+      match t.native_fallback with
+      | Some cause ->
+        Obs.incr obs ("native.fallback_total." ^ cause);
+        None
+      | None ->
+        let code = Obs.time obs "native.emit" (fun () -> Native.compile lir) in
+        t.stats.native_installs <- t.stats.native_installs + 1;
+        t.native_codes.(idx) <- Some code;
+        Obs.incr obs "native.compiled_funcs";
+        Obs.add obs "native.code_bytes" (Native.code_size code);
+        Some code
+  in
+  let exec =
+    match native_code with
+    | None -> fun args -> Executor.run lir realm cb args
+    | Some code -> (
+      match obs with
+      | None -> fun args -> Native.run code realm cb args
+      | Some _ ->
+        (* flush per-call exit-counter deltas (return/hostop/bailout/test)
+           into the metric registry; bailouts propagate through finally *)
+        fun args ->
+          let b = Native.exits code in
+          Fun.protect
+            ~finally:(fun () ->
+              let a = Native.exits code in
+              let d name v0 v1 = if v1 > v0 then Obs.add obs name (v1 - v0) in
+              d "native.exits_total.return" b.Native.t_return a.Native.t_return;
+              d "native.exits_total.hostop" b.Native.t_hostop a.Native.t_hostop;
+              d "native.exits_total.bailout" b.Native.t_bailout a.Native.t_bailout;
+              d "native.exits_total.test" b.Native.t_test a.Native.t_test)
+            (fun () -> Native.run code realm cb args))
+  in
   let entry args =
-    try Executor.run lir realm cb args
+    try exec args
     with Lir.Bailout reason ->
       Log.debug (fun m -> m "bailout in %s: %s" lir.Lir.name reason);
       t.stats.bailouts <- t.stats.bailouts + 1;
@@ -412,6 +476,7 @@ let install t idx (lir : Lir.func) =
                      t.bailout_counts.(idx));
         t.vm.Vm.dispatch.(idx) <- None;
         t.tiers.(idx) <- Blacklisted;
+        release_native t idx;
         cancel_inflight t idx;
         t.stats.deopts <- t.stats.deopts + 1;
         Obs.incr t.config.obs "engine.deopts";
@@ -499,6 +564,7 @@ let blacklist t idx reason =
   t.stats.nr_nojit <- t.stats.nr_nojit + 1;
   t.vm.Vm.dispatch.(idx) <- None;
   t.tiers.(idx) <- Blacklisted;
+  release_native t idx;
   cancel_inflight t idx;
   Obs.incr t.config.obs "engine.blacklisted";
   Obs.event t.config.obs "blacklist"
@@ -526,7 +592,7 @@ let ion_compile t idx =
       Obs.span obs ~fields:[ func_field t idx ] "compile_ion" (fun () ->
           compile_lir t idx ~optimize:true ~disabled:[])
     in
-    install t idx lir;
+    install ~tier_native:true t idx lir;
     t.tiers.(idx) <- Ion;
     tier_up t idx "ion"
   | Some analyze -> (
@@ -583,7 +649,7 @@ let ion_compile t idx =
             "compile_ion"
             (fun () -> compile_lir t idx ~optimize:true ~disabled:[])
       in
-      install t idx lir;
+      install ~tier_native:true t idx lir;
       t.tiers.(idx) <- Ion;
       tier_up t idx "ion"
     | Disable_passes passes when List.for_all Pipeline.can_disable passes ->
@@ -608,7 +674,7 @@ let ion_compile t idx =
           "compile_ion"
           (fun () -> compile_lir t idx ~optimize:true ~disabled:passes)
       in
-      install t idx lir;
+      install ~tier_native:true t idx lir;
       t.tiers.(idx) <- Ion;
       tier_up t idx "ion"
     | Disable_passes passes ->
@@ -681,7 +747,7 @@ let apply_async t idx (info : inflight) ~published result =
       t.stats.ion_compiles <- t.stats.ion_compiles + 1;
       let name = t.vm.Vm.program.Op.funcs.(idx).Op.name in
       let install_ion lir =
-        install t idx lir;
+        install ~tier_native:true t idx lir;
         t.tiers.(idx) <- Ion;
         tier_up t idx "ion";
         t.stats.async_installs <- t.stats.async_installs + 1;
@@ -985,6 +1051,7 @@ let create ?realm config (program : Op.program) =
           async_installs = 0;
           stale_results = 0;
           main_stall_seconds = 0.0;
+          native_installs = 0;
         };
       tiers = Array.make n Interpreted;
       bailout_counts = Array.make n 0;
@@ -994,6 +1061,12 @@ let create ?realm config (program : Op.program) =
       results_mu = Mutex.create ();
       results_ready = Atomic.make false;
       async_inflight = Hashtbl.create 8;
+      native_codes = Array.make n None;
+      native_fallback =
+        (if not config.native then Some "config"
+         else if not (Native.available ()) then Some "arch"
+         else if not (Native.enabled ()) then Some "env"
+         else None);
     }
   in
   (match config.obs with

@@ -114,6 +114,13 @@ type config = {
   verify_passes : bool;  (** run the MIR verifier after every pass *)
   max_bailouts : int;
   jit_enabled : bool;  (** [false] = the paper's "NoJIT" configuration *)
+  native : bool;
+      (** back Ion-tier installs with generated x86-64 machine code
+          (default [true]). Ignored — with a [native.fallback_total]
+          counter bump — when the host is not x86-64/POSIX or
+          [JITBULL_NO_NATIVE] is set; the LIR executor then runs the
+          code, byte-for-byte equivalently. The baseline tier always
+          uses the executor. Evaluated once at {!create}. *)
   obs : Jitbull_obs.Obs.t option;
       (** telemetry: compile spans ([compile_baseline]/[compile_ion] plus
           per-pass spans in the pipeline), [tier_up]/[bailout]/[deopt]/
@@ -152,6 +159,9 @@ type stats = {
   mutable main_stall_seconds : float;
       (** main-thread time blocked on compilation: the whole Ion compile
           in synchronous mode, only {!drain} waits in background mode *)
+  mutable native_installs : int;
+      (** Ion installs backed by native machine code (never counts a
+          forbidden or blacklisted compile: emission is post-verdict) *)
 }
 
 type tier =
@@ -175,6 +185,11 @@ val obs : t -> Jitbull_obs.Obs.t option
 (** Current tier of function [idx]. With a compile pool, a function stays
     [Baseline] until its background compile is installed at a safepoint. *)
 val tier_of : t -> int -> tier
+
+(** Machine code currently installed for function [idx], when the native
+    backend compiled it (exposed for tests asserting the code-page
+    lifecycle). *)
+val native_code_of : t -> int -> Jitbull_native.Native.code option
 
 (** [drain t] blocks until every in-flight background compile has been
     published and applied (installed or discarded as stale). No-op

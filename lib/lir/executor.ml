@@ -65,8 +65,12 @@ let run (f : Lir.func) (realm : Realm.t) (cb : callbacks) (args : Value.t list) 
   let code = f.Lir.code in
   let set d v = if d >= 0 then regs.(d) <- v in
   let pc = ref 0 in
-  let result = ref None in
-  while !result = None do
+  (* Allocation-free loop exit: [Kreturn] writes the sentinel-guarded
+     result cell and clears the flag — no option box, and no polymorphic
+     compare per dispatched instruction. *)
+  let result = ref Value.Undefined in
+  let running = ref true in
+  while !running do
     let i = code.(!pc) in
     incr pc;
     match i.Lir.kind with
@@ -185,7 +189,7 @@ let run (f : Lir.func) (realm : Realm.t) (cb : callbacks) (args : Value.t list) 
     | Lir.Kcall -> (
       let callee = regs.(i.Lir.a) in
       let vargs =
-        Array.to_list (Array.map (fun r -> regs.(r)) f.Lir.call_args.(i.Lir.imm))
+        Array.fold_right (fun r acc -> regs.(r) :: acc) f.Lir.call_args.(i.Lir.imm) []
       in
       match callee with
       | Value.Function idx -> set i.Lir.dst (cb.call_function idx vargs)
@@ -195,15 +199,15 @@ let run (f : Lir.func) (realm : Realm.t) (cb : callbacks) (args : Value.t list) 
       let recv = regs.(i.Lir.a) in
       let name = f.Lir.names.(i.Lir.imm2) in
       let vargs =
-        Array.to_list (Array.map (fun r -> regs.(r)) f.Lir.call_args.(i.Lir.imm))
+        Array.fold_right (fun r acc -> regs.(r) :: acc) f.Lir.call_args.(i.Lir.imm) []
       in
       match Builtins.call_method realm recv name vargs with
       | `Value v -> set i.Lir.dst v
       | `User_function (idx, vargs) -> set i.Lir.dst (cb.call_function idx vargs))
     | Lir.Kgoto -> pc := i.Lir.imm
     | Lir.Ktest -> pc := (if Value_ops.to_boolean regs.(i.Lir.a) then i.Lir.imm else i.Lir.b)
-    | Lir.Kreturn -> result := Some (if i.Lir.a >= 0 then regs.(i.Lir.a) else Value.Undefined)
+    | Lir.Kreturn ->
+      running := false;
+      result := (if i.Lir.a >= 0 then regs.(i.Lir.a) else Value.Undefined)
   done;
-  match !result with
-  | Some v -> v
-  | None -> assert false
+  !result

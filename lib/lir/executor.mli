@@ -13,6 +13,20 @@
       its base heap address — the address-disclosure behaviour of a real
       type-confusion (CVE-2019-9791's model). *)
 
+(** The raw reinterpretation a removed unbox guard exposes: the numeric
+    view machine code has of an arbitrary register.  Arrays leak their
+    elements base address.  Exposed so the native backend's exit-to-host
+    operations reproduce the executor's type-confusion semantics
+    exactly. *)
+val raw_number : Jitbull_runtime.Realm.t -> Jitbull_runtime.Value.t -> float
+
+(** The AST operators LIR numeric/compare kinds evaluate through —
+    shared with the native backend so both tiers call the identical
+    {!Jitbull_runtime.Value_ops.binary} cases. *)
+val ast_of_num_binop : Jitbull_mir.Mir.num_binop -> Jitbull_frontend.Ast.binop
+
+val ast_of_compare : Jitbull_mir.Mir.compare_op -> Jitbull_frontend.Ast.binop
+
 type callbacks = {
   call_function : int -> Jitbull_runtime.Value.t list -> Jitbull_runtime.Value.t;
       (** re-enter the engine for user calls *)

@@ -1,0 +1,86 @@
+(* Executable-memory regions with strict W^X discipline.
+
+   A region's lifecycle is: [install] maps anonymous RW pages, copies the
+   emitted bytes in, and flips the mapping to RX before returning — the
+   bytes are never writable and executable at the same time, and the
+   region is never written again.  [release] unmaps; it is idempotent so
+   the deferred-unmap bookkeeping in {!Native} can call it from whichever
+   side (blacklist or last live activation) loses the race.
+
+   The cumulative counters are process-global and atomic: engines on
+   helper domains (QCheck stress runs several at once) all fund the same
+   totals, and the go/no-go security tests assert over them ("no page was
+   ever mapped for a forbidden compile"). *)
+
+type regfile =
+  (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external jb_native_available : unit -> bool = "jb_native_available" [@@noalloc]
+external jb_page_size : unit -> int = "jb_page_size" [@@noalloc]
+external jb_map_rw : int -> nativeint = "jb_map_rw"
+external jb_fill : nativeint -> bytes -> int -> unit = "jb_fill" [@@noalloc]
+external jb_protect_rx : nativeint -> int -> bool = "jb_protect_rx" [@@noalloc]
+external jb_unmap : nativeint -> int -> unit = "jb_unmap" [@@noalloc]
+external jb_call : nativeint -> int -> regfile -> int = "jb_native_call" [@@noalloc]
+
+let available = jb_native_available ()
+let page_size = jb_page_size ()
+
+let maps_total = Atomic.make 0
+let unmaps_total = Atomic.make 0
+let live_regions = Atomic.make 0
+let live_bytes = Atomic.make 0
+
+type region = {
+  addr : nativeint;
+  size : int;  (* mapped size, page-rounded *)
+  code_size : int;  (* bytes of actual machine code *)
+  mutable mapped : bool;
+}
+
+let round_to_pages n = (n + page_size - 1) / page_size * page_size
+
+let install (code : bytes) =
+  if not available then failwith "Exec_mem.install: no native backend";
+  let code_size = Bytes.length code in
+  let size = round_to_pages (max code_size 1) in
+  let addr = jb_map_rw size in
+  if Nativeint.equal addr 0n then failwith "Exec_mem.install: mmap failed";
+  jb_fill addr code code_size;
+  if not (jb_protect_rx addr size) then begin
+    jb_unmap addr size;
+    failwith "Exec_mem.install: mprotect(RX) failed"
+  end;
+  Atomic.incr maps_total;
+  Atomic.incr live_regions;
+  ignore (Atomic.fetch_and_add live_bytes size);
+  { addr; size; code_size; mapped = true }
+
+let release r =
+  if r.mapped then begin
+    r.mapped <- false;
+    jb_unmap r.addr r.size;
+    Atomic.incr unmaps_total;
+    Atomic.decr live_regions;
+    ignore (Atomic.fetch_and_add live_bytes (-r.size))
+  end
+
+let call r off regs = jb_call r.addr off regs
+
+let make_regfile slots =
+  Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout (max slots 1)
+
+type stats = {
+  s_maps_total : int;
+  s_unmaps_total : int;
+  s_live_regions : int;
+  s_live_bytes : int;
+}
+
+let stats () =
+  {
+    s_maps_total = Atomic.get maps_total;
+    s_unmaps_total = Atomic.get unmaps_total;
+    s_live_regions = Atomic.get live_regions;
+    s_live_bytes = Atomic.get live_bytes;
+  }

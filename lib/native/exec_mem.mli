@@ -1,0 +1,50 @@
+(** Executable memory for the native Ion tier, with strict W^X: code is
+    emitted into an ordinary OCaml [bytes] buffer, copied into a fresh
+    RW anonymous mapping, and the mapping is flipped to RX before
+    {!install} returns.  No path ever yields a writable+executable page,
+    and an installed region is immutable until {!release} unmaps it. *)
+
+(** The unboxed register file generated code runs over: NaN-boxed 64-bit
+    values in C-allocated (GC-stable) memory, addressed as
+    [\[%rdi + 8*slot\]]. *)
+type regfile =
+  (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** Whether the backend can run here: compiled for x86-64 on a POSIX
+    host.  When [false], {!install} fails and callers must keep using
+    the LIR executor. *)
+val available : bool
+
+val page_size : int
+
+type region = private {
+  addr : nativeint;
+  size : int;  (** mapped size, page-rounded *)
+  code_size : int;  (** emitted machine-code bytes *)
+  mutable mapped : bool;
+}
+
+(** Map, fill, and seal (RX) a region holding [code]. *)
+val install : bytes -> region
+
+(** Unmap.  Idempotent. *)
+val release : region -> unit
+
+(** [call r off regs] enters the generated code at byte offset [off]
+    with [regs] in the first argument register, returning the packed
+    [(lir_pc lsl 4) lor reason] exit code.  Allocation-free. *)
+val call : region -> int -> regfile -> int
+
+val make_regfile : int -> regfile
+
+(** Process-global cumulative mapping counters (atomic; shared across
+    domains).  [s_maps_total] only ever grows — tests assert a forbidden
+    compile leaves it unchanged. *)
+type stats = {
+  s_maps_total : int;
+  s_unmaps_total : int;
+  s_live_regions : int;
+  s_live_bytes : int;
+}
+
+val stats : unit -> stats

@@ -1,0 +1,89 @@
+(* NaN-boxing codec for the unboxed register file.
+
+   Doubles are stored as their raw IEEE-754 bits.  Everything else lives
+   in the tag space: bits unsigned-≥ 0xFFFC_0000_0000_0000, keyed by the
+   top 16 bits.  That space is unreachable by arithmetic: the x86 default
+   QNaN is 0xFFF8_…, libm NaNs are 0x7FF8_…, and SSE NaN propagation
+   preserves operand payloads — and every NaN entering the register file
+   from the host is canonicalized first, so generated code can test
+   "is this a number?" with one unsigned compare against the boundary.
+
+   Tag layout (top 16 bits / payload in the low 48):
+   - 0xFFFC  singletons: payload 0 undefined, 1 null, 2 false, 3 true
+   - 0xFFFD  Array       payload = heap handle
+   - 0xFFFE  Function    payload = function-table index
+   - 0xFFFF  side ref    payload = index into the activation's side table
+             (String / Object / Builtin — values the 48-bit payload
+             cannot carry; the OCaml side table keeps them GC-rooted) *)
+
+module Value = Jitbull_runtime.Value
+
+let tag_shift = 48
+let tag_singleton = 0xFFFC
+let tag_array = 0xFFFD
+let tag_function = 0xFFFE
+let tag_side = 0xFFFF
+
+let bits_min_tag = 0xFFFC000000000000L
+let bits_undefined = 0xFFFC000000000000L
+let bits_null = 0xFFFC000000000001L
+let bits_false = 0xFFFC000000000002L
+let bits_true = 0xFFFC000000000003L
+let canonical_nan = 0x7FF8000000000000L
+let payload_mask = 0x0000FFFFFFFFFFFFL
+
+(* Per-activation side table; slots [0, preload) hold the function's
+   non-immediate constants and survive {!reset}. *)
+type side = {
+  mutable items : Value.t array;
+  mutable n : int;
+}
+
+let side_create () = { items = Array.make 16 Value.Undefined; n = 0 }
+
+let side_push side v =
+  if side.n = Array.length side.items then begin
+    let bigger = Array.make (2 * side.n) Value.Undefined in
+    Array.blit side.items 0 bigger 0 side.n;
+    side.items <- bigger
+  end;
+  side.items.(side.n) <- v;
+  side.n <- side.n + 1;
+  side.n - 1
+
+let side_reset side ~preload = side.n <- preload
+
+let tagged tag payload =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int tag) tag_shift)
+    (Int64.logand (Int64.of_int payload) payload_mask)
+
+let is_number bits = Int64.unsigned_compare bits bits_min_tag < 0
+
+let encode side (v : Value.t) : int64 =
+  match v with
+  | Value.Number f ->
+    if Float.is_nan f then canonical_nan else Int64.bits_of_float f
+  | Value.Undefined -> bits_undefined
+  | Value.Null -> bits_null
+  | Value.Bool false -> bits_false
+  | Value.Bool true -> bits_true
+  | Value.Array h -> tagged tag_array h
+  | Value.Function i -> tagged tag_function i
+  | Value.String _ | Value.Object _ | Value.Builtin _ ->
+    tagged tag_side (side_push side v)
+
+let decode side (bits : int64) : Value.t =
+  if is_number bits then Value.Number (Int64.float_of_bits bits)
+  else
+    let tag = Int64.to_int (Int64.shift_right_logical bits tag_shift) in
+    let payload = Int64.to_int (Int64.logand bits payload_mask) in
+    if tag = tag_singleton then
+      match payload with
+      | 0 -> Value.Undefined
+      | 1 -> Value.Null
+      | 2 -> Value.Bool false
+      | _ -> Value.Bool true
+    else if tag = tag_array then Value.Array payload
+    else if tag = tag_function then Value.Function payload
+    else side.items.(payload)

@@ -1,0 +1,37 @@
+(** NaN-boxing codec between {!Jitbull_runtime.Value.t} and the int64
+    register file.  Doubles are raw bits (NaNs canonicalized on encode);
+    non-numbers occupy the tag space at unsigned-≥ {!bits_min_tag},
+    which no arithmetic result can reach.  Heap-shaped values (strings,
+    objects, builtins) are boxed through a per-activation [side] table
+    that keeps them rooted for the OCaml GC. *)
+
+module Value = Jitbull_runtime.Value
+
+val tag_shift : int
+val tag_singleton : int
+val tag_array : int
+val tag_function : int
+val tag_side : int
+
+val bits_min_tag : int64
+val bits_undefined : int64
+val bits_null : int64
+val bits_false : int64
+val bits_true : int64
+val canonical_nan : int64
+val payload_mask : int64
+
+type side
+
+val side_create : unit -> side
+
+(** Append a value, returning its slot. *)
+val side_push : side -> Value.t -> int
+
+(** Drop every slot at or past [preload] (the constant prefix stays). *)
+val side_reset : side -> preload:int -> unit
+
+val tagged : int -> int -> int64
+val is_number : int64 -> bool
+val encode : side -> Value.t -> int64
+val decode : side -> int64 -> Value.t

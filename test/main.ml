@@ -24,4 +24,5 @@ let () =
       Test_explain.suite;
       Test_perf.suite;
       Test_service.suite;
+      Test_native.suite;
     ]

@@ -1,0 +1,487 @@
+(* The native x86-64 Ion backend: encoder golden bytes, NaN-box codec,
+   native==executor differential equivalence, the W^X code-page
+   lifecycle, and the structural guarantee that a Forbid verdict never
+   maps a page.
+
+   Every test that needs to *run* generated code is guarded on
+   [Native.enabled ()], so the suite stays green on non-x86-64 hosts and
+   under the forced-fallback CI leg (JITBULL_NO_NATIVE=1) — there the
+   equivalence tests degenerate to executor==executor, which is exactly
+   the fallback contract. *)
+
+open Helpers
+module Native = Jitbull_native.Native
+module Exec_mem = Jitbull_native.Exec_mem
+module Asm = Jitbull_native.Asm
+module Nanbox = Jitbull_native.Nanbox
+module Value = Jitbull_runtime.Value
+module Db = Jitbull_core.Db
+module Jitbull = Jitbull_core.Jitbull
+module V = Jitbull_vdc.Demonstrators
+module Obs = Jitbull_obs.Obs
+module Metrics = Jitbull_obs.Metrics
+module F = Jitbull_fuzz
+module Op = Jitbull_bytecode.Op
+
+let when_native f () = if Native.enabled () then f ()
+
+(* ---- encoder golden bytes ---- *)
+
+let hex b =
+  String.concat " "
+    (List.init (Bytes.length b) (fun i ->
+         Printf.sprintf "%02x" (Char.code (Bytes.get b i))))
+
+let golden name expected build =
+  let a = Asm.create () in
+  build a;
+  check_string name expected (hex (Asm.finalize a))
+
+let test_encoder_golden () =
+  golden "mov rax, [rdi+24]" "48 8b 87 18 00 00 00" (fun a ->
+      Asm.mov_r_slot a Asm.rax 3);
+  golden "mov [rdi+24], rcx" "48 89 8f 18 00 00 00" (fun a ->
+      Asm.mov_slot_r a 3 Asm.rcx);
+  golden "mov r8, [rdi+0]" "4c 8b 87 00 00 00 00" (fun a ->
+      Asm.mov_r_slot a Asm.r8 0);
+  golden "movabs rcx, canonical-NaN" "48 b9 00 00 00 00 00 00 f8 7f" (fun a ->
+      Asm.movabs a Asm.rcx 0x7FF8000000000000L);
+  golden "movabs r11, imm" "49 bb ff 00 00 00 00 00 00 00" (fun a ->
+      Asm.movabs a Asm.r11 0xFFL);
+  golden "mov eax, imm32" "b8 12 00 00 00" (fun a -> Asm.mov_eax_imm a 0x12);
+  golden "ret" "c3" Asm.ret;
+  golden "addsd xmm0, xmm1" "f2 0f 58 c1" (fun a -> Asm.addsd a Asm.xmm0 Asm.xmm1);
+  golden "mulsd xmm1, xmm0" "f2 0f 59 c8" (fun a -> Asm.mulsd a Asm.xmm1 Asm.xmm0);
+  golden "ucomisd xmm0, xmm1" "66 0f 2e c1" (fun a ->
+      Asm.ucomisd a Asm.xmm0 Asm.xmm1);
+  golden "cvttsd2si rax, xmm0" "f2 48 0f 2c c0" (fun a ->
+      Asm.cvttsd2si a Asm.rax Asm.xmm0);
+  golden "cvtsi2sd xmm1, rax" "f2 48 0f 2a c8" (fun a ->
+      Asm.cvtsi2sd a Asm.xmm1 Asm.rax);
+  golden "movq xmm0, rcx" "66 48 0f 6e c1" (fun a -> Asm.movq_x_r a Asm.xmm0 Asm.rcx);
+  golden "movq rcx, xmm0" "66 48 0f 7e c1" (fun a -> Asm.movq_r_x a Asm.rcx Asm.xmm0);
+  golden "sete al" "0f 94 c0" (fun a -> Asm.setcc a Asm.cc_e Asm.rax);
+  golden "movzx eax, al" "0f b6 c0" Asm.movzx_eax_al;
+  golden "shl edx, cl" "d3 e2" (fun a -> Asm.shl_cl32 a Asm.rdx);
+  golden "sar edx, cl" "d3 fa" (fun a -> Asm.sar_cl32 a Asm.rdx);
+  golden "movsxd r11, eax" "4c 63 d8" (fun a -> Asm.movsxd a ~dst:Asm.r11 ~src:Asm.rax)
+
+let test_encoder_rel32_patching () =
+  (* forward: the 6-byte jcc skips the first ret (rel32 = +1) *)
+  golden "je +1 over a ret" "0f 84 01 00 00 00 c3 c3" (fun a ->
+      let l = Asm.new_label a in
+      Asm.jcc a Asm.cc_e l;
+      Asm.ret a;
+      Asm.bind a l;
+      Asm.ret a);
+  (* backward: jmp to position 0 from a hole ending at 6 (rel32 = -6) *)
+  golden "jmp -6 to entry" "c3 e9 fa ff ff ff" (fun a ->
+      let l = Asm.new_label a in
+      Asm.bind a l;
+      Asm.ret a;
+      Asm.jmp a l);
+  (* an unbound label with holes must be rejected, not emitted as 0 *)
+  let a = Asm.create () in
+  let l = Asm.new_label a in
+  Asm.jmp a l;
+  check_bool "unbound label rejected" true
+    (match Asm.finalize a with
+    | exception Failure _ -> true
+    | _ -> false)
+
+(* ---- NaN-box codec ---- *)
+
+let test_nanbox_specials () =
+  let side = Nanbox.side_create () in
+  let bits f = Int64.bits_of_float f in
+  List.iter
+    (fun f ->
+      check_bool
+        (Printf.sprintf "number %h round-trips bit-exactly" f)
+        true
+        (Nanbox.encode side (Value.Number f) = bits f))
+    [ 0.0; -0.0; 1.5; -1.5; Float.infinity; Float.neg_infinity; Float.max_float ];
+  (* every NaN payload canonicalizes on encode; decode is still NaN *)
+  let noisy_nan = Int64.float_of_bits 0x7FF0000000000BADL in
+  check_bool "NaN canonicalized" true
+    (Nanbox.encode side (Value.Number noisy_nan) = Nanbox.canonical_nan);
+  (match Nanbox.decode side Nanbox.canonical_nan with
+  | Value.Number f -> check_bool "canonical NaN decodes to NaN" true (Float.is_nan f)
+  | v -> Alcotest.fail ("canonical NaN decoded to " ^ Value.type_name v));
+  (* singletons *)
+  List.iter
+    (fun (v, b) ->
+      check_bool (Value.to_display v ^ " encodes to its singleton") true
+        (Nanbox.encode side v = b);
+      check_bool (Value.to_display v ^ " decodes back") true (Nanbox.decode side b = v))
+    [
+      (Value.Undefined, Nanbox.bits_undefined);
+      (Value.Null, Nanbox.bits_null);
+      (Value.Bool false, Nanbox.bits_false);
+      (Value.Bool true, Nanbox.bits_true);
+    ];
+  (* the is-number boundary: everything unsigned-below bits_min_tag is a
+     number (even non-canonical negative NaN patterns, unreachable after
+     encode), everything at or above is a tag *)
+  check_bool "just below the tag space is a number" true
+    (Nanbox.is_number (Int64.pred Nanbox.bits_min_tag));
+  check_bool "bits_min_tag is not a number" false (Nanbox.is_number Nanbox.bits_min_tag);
+  check_bool "undefined is not a number" false (Nanbox.is_number Nanbox.bits_undefined);
+  check_bool "true is not a number" false (Nanbox.is_number Nanbox.bits_true);
+  check_bool "-1.0 is a number" true (Nanbox.is_number (bits (-1.0)))
+
+let test_nanbox_heap_values () =
+  let side = Nanbox.side_create () in
+  (* arrays and functions ride in the payload, not the side table *)
+  check_bool "array round-trips" true
+    (Nanbox.decode side (Nanbox.encode side (Value.Array 42)) = Value.Array 42);
+  check_bool "function round-trips" true
+    (Nanbox.decode side (Nanbox.encode side (Value.Function 7)) = Value.Function 7);
+  (* strings go through the side table and stay GC-rooted *)
+  let b1 = Nanbox.encode side (Value.String "hello") in
+  let b2 = Nanbox.encode side (Value.String "world") in
+  check_bool "string 1 round-trips" true
+    (Nanbox.decode side b1 = Value.String "hello");
+  check_bool "string 2 round-trips" true
+    (Nanbox.decode side b2 = Value.String "world");
+  (* side_reset keeps the constant prefix and drops activations' refs *)
+  let side2 = Nanbox.side_create () in
+  let c = Nanbox.encode side2 (Value.String "const") in
+  Nanbox.side_reset side2 ~preload:1;
+  check_bool "preload survives reset" true
+    (Nanbox.decode side2 c = Value.String "const");
+  let again = Nanbox.encode side2 (Value.String "fresh") in
+  check_bool "slots reused after reset" true
+    (Nanbox.decode side2 again = Value.String "fresh")
+
+let qcheck_nanbox_roundtrip =
+  QCheck.Test.make ~count:(qcheck_count 500) ~name:"nanbox float round-trip"
+    QCheck.float (fun f ->
+      let side = Nanbox.side_create () in
+      let b = Nanbox.encode side (Value.Number f) in
+      Nanbox.is_number b
+      &&
+      match Nanbox.decode side b with
+      | Value.Number g ->
+        if Float.is_nan f then Float.is_nan g
+        else Int64.bits_of_float g = Int64.bits_of_float f
+      | _ -> false)
+
+(* ---- W^X lifecycle (Exec_mem) ---- *)
+
+let maps_line_for (addr : nativeint) =
+  if not (Sys.file_exists "/proc/self/maps") then None
+  else begin
+    let prefix = Printf.sprintf "%nx-" addr in
+    let ic = open_in "/proc/self/maps" in
+    let found = ref None in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.length line > String.length prefix
+            && String.equal (String.sub line 0 (String.length prefix)) prefix
+         then found := Some line
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !found
+  end
+
+let test_exec_mem_wx_lifecycle =
+  when_native (fun () ->
+      let before = Exec_mem.stats () in
+      (* mov eax, 0x42; ret *)
+      let a = Asm.create () in
+      Asm.mov_eax_imm a 0x42;
+      Asm.ret a;
+      let region = Exec_mem.install (Asm.finalize a) in
+      let during = Exec_mem.stats () in
+      check_int "one map" (before.Exec_mem.s_maps_total + 1) during.Exec_mem.s_maps_total;
+      check_int "one more live region" (before.Exec_mem.s_live_regions + 1)
+        during.Exec_mem.s_live_regions;
+      check_bool "region flagged mapped" true region.Exec_mem.mapped;
+      (* the page is executable-not-writable, never W+X *)
+      (match maps_line_for region.Exec_mem.addr with
+      | None -> () (* no /proc (non-Linux): the mprotect contract stands alone *)
+      | Some line ->
+        check_bool ("installed page is r-x in: " ^ line) true
+          (String.length line > 0
+          &&
+          let fields = String.split_on_char ' ' line in
+          match List.nth_opt fields 1 with
+          | Some perms ->
+            String.equal (String.sub perms 0 4) "r-xp"
+          | None -> false));
+      (* the sealed page actually runs *)
+      let regs = Exec_mem.make_regfile 4 in
+      check_int "generated code returns" 0x42 (Exec_mem.call region 0 regs);
+      Exec_mem.release region;
+      check_bool "unmapped" false region.Exec_mem.mapped;
+      let after = Exec_mem.stats () in
+      check_int "one unmap" (during.Exec_mem.s_unmaps_total + 1)
+        after.Exec_mem.s_unmaps_total;
+      check_int "live count restored" before.Exec_mem.s_live_regions
+        after.Exec_mem.s_live_regions;
+      check_bool "page gone from the address space" true
+        (maps_line_for region.Exec_mem.addr = None);
+      (* release is idempotent *)
+      Exec_mem.release region;
+      check_int "double release unmaps once"
+        after.Exec_mem.s_unmaps_total
+        (Exec_mem.stats ()).Exec_mem.s_unmaps_total)
+
+(* ---- native == executor differential equivalence ---- *)
+
+let native_cfg = { jit_config with Engine.native = true }
+let executor_cfg = { jit_config with Engine.native = false }
+
+(* Semantic corners the lowering handles specially: each runs hot enough
+   to reach Ion, so with the native backend enabled the loop body is
+   machine code. *)
+let edge_corpus =
+  [
+    (* NaN falls through a bounds check without bailing (unordered jb) *)
+    "function f(a, i) { return a[i]; } var x = [1,2,3]; var s = '';\n\
+     for (var k = 0; k < 20; k = k + 1) { s = f(x, 0/0); } print(s);";
+    (* -0 is falsy and prints as 0 *)
+    "function f(x) { if (x) { return 1; } return -x; }\n\
+     var r = 0; for (var k = 0; k < 20; k = k + 1) { r = f(-0); } print(r);";
+    (* int32 edges: wraparound, negative shift operands, >>> zero-fill *)
+    "function f(n) { return ((n | 0) + (1 << 30) + (1 << 30)) | 0; }\n\
+     var r = 0; for (var k = 0; k < 20; k = k + 1) { r = f(k); } print(r);";
+    "function f(h) { return (h << 33) + (h >> 1) + (h >>> 1); }\n\
+     var r = 0; for (var k = 0; k < 20; k = k + 1) { r = f(-5); } print(r);";
+    "function f(x) { return -x >>> 0; }\n\
+     var r = 0; for (var k = 0; k < 20; k = k + 1) { r = f(1); } print(r);";
+    (* non-int32 doubles exit to the host for bit ops, same as executor *)
+    "function f(x) { return (x & 3) + (x | 0); }\n\
+     var r = 0; for (var k = 0; k < 20; k = k + 1) { r = f(2.5); } print(r);";
+    (* NaN comparisons: every relational is false, != is true *)
+    "function f(x) { var c = 0; if (x < 1) c = c + 1; if (x >= 1) c = c + 2;\n\
+     if (x == x) c = c + 4; if (x != x) c = c + 8; return c; }\n\
+     var r = 0; for (var k = 0; k < 20; k = k + 1) { r = f(0/0); } print(r);";
+    (* truthiness across the boxed kinds *)
+    "function f(x) { if (x) { return 1; } return 0; }\n\
+     var s = '';\n\
+     for (var k = 0; k < 20; k = k + 1) {\n\
+       s = '' + f(0) + f(1) + f('') + f('a') + f(null) + f(undefined) + f([]) + f(0/0);\n\
+     } print(s);";
+    (* a guard failure after tier-up: identical bailout + replay *)
+    "function f(x) { return x + 1; }\n\
+     var r = 0; for (var k = 0; k < 20; k = k + 1) { r = f(k); }\n\
+     print(f('s')); print(r);";
+    (* heavy ops (strings, calls, arrays) exit to the host mid-loop *)
+    "function g(x) { return x * 2; }\n\
+     function f(n) { var s = 0; var a = [1,2,3];\n\
+       for (var i = 0; i < n; i = i + 1) { s = s + g(i) + a[i % 3]; }\n\
+       return s + 'x'; }\n\
+     for (var k = 0; k < 10; k = k + 1) { f(20); } print(f(20));";
+  ]
+
+let test_edge_corpus_equivalence () =
+  List.iter
+    (fun src ->
+      let reference = interp_output src in
+      let out_n, tn = Engine.run_source native_cfg src in
+      let out_e, te = Engine.run_source executor_cfg src in
+      check_string "native matches interpreter" reference out_n;
+      check_string "executor matches interpreter" reference out_e;
+      let sn = Engine.stats tn and se = Engine.stats te in
+      check_int "same ion compiles" se.Engine.ion_compiles sn.Engine.ion_compiles;
+      check_int "same bailouts" se.Engine.bailouts sn.Engine.bailouts;
+      check_int "executor leg installs no native code" 0 se.Engine.native_installs;
+      if Native.enabled () && sn.Engine.ion_compiles > 0 then
+        check_bool "native leg ran machine code" true (sn.Engine.native_installs > 0))
+    edge_corpus
+
+let qcheck_native_vs_executor =
+  QCheck.Test.make ~count:(qcheck_count 60) ~name:"native == executor on random programs"
+    QCheck.(pair (int_bound 5000) bool)
+    (fun (seed, aggressive) ->
+      let src =
+        if aggressive then F.Generator.aggressive ~seed else F.Generator.benign ~seed
+      in
+      let run cfg = try fst (Engine.run_source cfg src) with e -> "!" ^ Printexc.to_string e in
+      String.equal (run native_cfg) (run executor_cfg))
+
+let test_metamorphic_tier_agreement () =
+  (* the oracle's four-way leg: interp == vm == native == executor *)
+  List.iter
+    (fun src ->
+      match F.Oracle.check_metamorphic ~subsets:[] ~jobs:0 src with
+      | [] -> ()
+      | v :: _ ->
+        Alcotest.fail
+          (Printf.sprintf "tier agreement violated (%s): %s" v.F.Oracle.mv_invariant
+             v.F.Oracle.mv_detail))
+    [
+      "function f(n) { var s = 0; for (var i = 0; i < n; i = i + 1) { s = s + i * 1.5; } return s; }\n\
+       for (var k = 0; k < 12; k = k + 1) { print(f(k)); }";
+      List.nth edge_corpus 0;
+      List.nth edge_corpus 3;
+    ]
+
+(* ---- engine code-page lifecycle ---- *)
+
+let func_idx eng name =
+  let funcs = (Engine.vm eng).Vm.program.Op.funcs in
+  let rec go i =
+    if i >= Array.length funcs then Alcotest.fail ("no function " ^ name)
+    else if String.equal funcs.(i).Op.name name then i
+    else go (i + 1)
+  in
+  go 0
+
+let test_engine_installs_and_exits =
+  when_native (fun () ->
+      let src =
+        "function f(n) { var s = 0; for (var i = 0; i < n; i = i + 1) { s = s + i; } return s; }\n\
+         for (var k = 0; k < 12; k = k + 1) { print(f(10)); }"
+      in
+      let out, eng = Engine.run_source native_cfg src in
+      check_string "output" (interp_output src) out;
+      let idx = func_idx eng "f" in
+      check_bool "f reached Ion" true (Engine.tier_of eng idx = Engine.Ion);
+      match Engine.native_code_of eng idx with
+      | None -> Alcotest.fail "no native code installed for f"
+      | Some code ->
+        let region = Native.region code in
+        check_bool "code page live while installed" true region.Exec_mem.mapped;
+        check_bool "code bytes emitted" true (Native.code_size code > 0);
+        let exits = Native.exits code in
+        check_bool "hot calls returned natively" true (exits.Native.t_return > 0))
+
+let test_engine_blacklist_releases_pages =
+  when_native (fun () ->
+      let before = Exec_mem.stats () in
+      (* warmed on in-bounds reads, then hammered out of bounds: repeated
+         guard failures blacklist f and must unmap its code page *)
+      let cfg = { native_cfg with Engine.max_bailouts = 2 } in
+      let src =
+        "function f(a, i) { return a[i]; } var x = [1,2,3]; var s = 0;\n\
+         for (var k = 0; k < 30; k = k + 1) { s = f(x, 5); } print(s);"
+      in
+      let out, eng = Engine.run_source cfg src in
+      check_string "OOB read is undefined" "undefined\n" out;
+      let idx = func_idx eng "f" in
+      check_bool "f blacklisted" true (Engine.tier_of eng idx = Engine.Blacklisted);
+      check_bool "native code dropped" true (Engine.native_code_of eng idx = None);
+      let after = Exec_mem.stats () in
+      check_bool "pages were mapped" true
+        (after.Exec_mem.s_maps_total > before.Exec_mem.s_maps_total);
+      check_bool "the blacklisted function's page was unmapped" true
+        (after.Exec_mem.s_unmaps_total > before.Exec_mem.s_unmaps_total))
+
+(* ---- a Forbid verdict never maps a page ---- *)
+
+let test_forbid_maps_no_page =
+  when_native (fun () ->
+      (* structural check first: an analyzer that forbids everything must
+         leave the process-global map counter untouched *)
+      let forbid_all ~ctx:_ ~func_index:_ ~name:_ ~trace:_ = Engine.Forbid_jit in
+      let cfg = { native_cfg with Engine.analyzer = Some forbid_all } in
+      let src =
+        "function f(n) { var s = 0; for (var i = 0; i < n; i = i + 1) { s = s + i; } return s; }\n\
+         for (var k = 0; k < 12; k = k + 1) { print(f(10)); }"
+      in
+      let before = (Exec_mem.stats ()).Exec_mem.s_maps_total in
+      let out, eng = Engine.run_source cfg src in
+      check_string "forbidden run still correct" (interp_output src) out;
+      let st = Engine.stats eng in
+      check_bool "verdict was Forbid" true (st.Engine.nr_nojit > 0);
+      check_int "no native installs" 0 st.Engine.native_installs;
+      check_int "no code page mapped for a forbidden compile" before
+        (Exec_mem.stats ()).Exec_mem.s_maps_total)
+
+let test_forbid_via_harvested_cve =
+  when_native (fun () ->
+      (* the paper's flow: harvest a CVE's DNA, run its exploit under the
+         go/no-go policy — the exploit's compile draws a non-Allow verdict
+         (Disable recompile or Forbid), and every mapped page corresponds
+         to an install the policy admitted: nothing is mapped for the
+         compile the verdict rejected *)
+      let d = V.find VC.CVE_2019_9810 in
+      let vulns = VC.make [ d.V.cve ] in
+      let db = Db.create () in
+      check_bool "harvest yields entries" true
+        (Db.harvest db ~cve:d.V.name ~vulns d.V.source > 0);
+      let cfg = Jitbull.config ~vulns db in
+      let before = (Exec_mem.stats ()).Exec_mem.s_maps_total in
+      let _, eng = Engine.run_source cfg d.V.source in
+      let st = Engine.stats eng in
+      check_bool "the exploit's compile drew a non-Allow verdict" true
+        (st.Engine.nr_nojit + st.Engine.nr_disjit > 0);
+      check_int "maps == policy-admitted native installs, nothing else"
+        (before + st.Engine.native_installs)
+        (Exec_mem.stats ()).Exec_mem.s_maps_total)
+
+(* ---- forced fallback and observability ---- *)
+
+let test_env_forced_fallback () =
+  if not (Native.available ()) then ()
+  else begin
+    let prev = Option.value (Sys.getenv_opt "JITBULL_NO_NATIVE") ~default:"" in
+    Unix.putenv "JITBULL_NO_NATIVE" "1";
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "JITBULL_NO_NATIVE" prev)
+      (fun () ->
+        check_bool "backend reports disabled" false (Native.enabled ());
+        let obs = Obs.create () in
+        let cfg = { native_cfg with Engine.obs = Some obs } in
+        let src =
+          "function f(n) { var s = 0; for (var i = 0; i < n; i = i + 1) { s = s + i; } return s; }\n\
+           for (var k = 0; k < 12; k = k + 1) { print(f(10)); }"
+        in
+        let out, eng = Engine.run_source cfg src in
+        check_string "fallback output identical" (interp_output src) out;
+        check_int "no native installs under JITBULL_NO_NATIVE" 0
+          (Engine.stats eng).Engine.native_installs;
+        let view = Obs.view (Some obs) in
+        check_bool "fallback cause counted" true
+          (match Metrics.find_counter view "native.fallback_total.env" with
+          | Some n -> n > 0
+          | None -> false))
+  end
+
+let test_obs_counters =
+  when_native (fun () ->
+      let obs = Obs.create () in
+      let cfg = { native_cfg with Engine.obs = Some obs } in
+      let src =
+        "function f(n) { var s = 0; for (var i = 0; i < n; i = i + 1) { s = s + i; } return s; }\n\
+         for (var k = 0; k < 12; k = k + 1) { print(f(10)); }"
+      in
+      let _, eng = Engine.run_source cfg src in
+      check_bool "native installed" true ((Engine.stats eng).Engine.native_installs > 0);
+      let view = Obs.view (Some obs) in
+      let counter name = Option.value (Metrics.find_counter view name) ~default:0 in
+      check_bool "native.compiled_funcs" true (counter "native.compiled_funcs" > 0);
+      check_bool "native.code_bytes" true (counter "native.code_bytes" > 0);
+      check_bool "native.exits_total.return" true
+        (counter "native.exits_total.return" > 0);
+      check_bool "native.emit histogram populated" true
+        (match Metrics.find_histogram view "native.emit" with
+        | Some h -> h.Metrics.hv_count > 0
+        | None -> false))
+
+let suite =
+  ( "native",
+    [
+      Alcotest.test_case "encoder golden bytes" `Quick test_encoder_golden;
+      Alcotest.test_case "encoder rel32 patching" `Quick test_encoder_rel32_patching;
+      Alcotest.test_case "nanbox specials" `Quick test_nanbox_specials;
+      Alcotest.test_case "nanbox heap values" `Quick test_nanbox_heap_values;
+      qtest qcheck_nanbox_roundtrip;
+      Alcotest.test_case "exec_mem W^X lifecycle" `Quick test_exec_mem_wx_lifecycle;
+      Alcotest.test_case "edge corpus equivalence" `Quick test_edge_corpus_equivalence;
+      qtest qcheck_native_vs_executor;
+      Alcotest.test_case "metamorphic tier agreement" `Quick
+        test_metamorphic_tier_agreement;
+      Alcotest.test_case "engine installs and exits" `Quick test_engine_installs_and_exits;
+      Alcotest.test_case "blacklist releases pages" `Quick
+        test_engine_blacklist_releases_pages;
+      Alcotest.test_case "forbid maps no page" `Quick test_forbid_maps_no_page;
+      Alcotest.test_case "forbid via harvested CVE" `Quick test_forbid_via_harvested_cve;
+      Alcotest.test_case "env forced fallback" `Quick test_env_forced_fallback;
+      Alcotest.test_case "obs counters" `Quick test_obs_counters;
+    ] )
