@@ -788,7 +788,14 @@ let telemetry () =
   Printf.printf "trace events recorded: %d (ring keeps the newest %d)\n"
     (Jitbull_obs.Tracer.total_recorded (Obs.tracer obs))
     (List.length (Jitbull_obs.Tracer.events (Obs.tracer obs)));
-  emit "telemetry" (Metrics.view_to_json view);
+  (* the section payload carries its own host report: telemetry numbers
+     archived out of a full --json document stay self-describing *)
+  emit "telemetry"
+    (Jsonx.Assoc
+       [
+         ("env_report", Env_report.to_json ());
+         ("metrics", Metrics.view_to_json view);
+       ]);
   if !audit_mode then telemetry_audit obs
 
 (* ---- Overhead: go/no-go query cost vs database size ----
@@ -1712,6 +1719,85 @@ let native_bench () =
          ])
   end
 
+(* ---- sampling profiler: overhead A/B and attribution ---- *)
+
+let profile_bench () =
+  section "Sampling profiler: overhead (off vs on) and attribution";
+  let module Profile = Jitbull_obs.Profile in
+  let module Vm = Jitbull_bytecode.Vm in
+  let module Op = Jitbull_bytecode.Op in
+  let module Value = Jitbull_runtime.Value in
+  if not (Profile.available ()) then begin
+    Printf.printf
+      "sampler unavailable here (needs Linux/x86-64); nothing to measure.\n";
+    emit "profile" (Jsonx.Assoc [ ("available", Jsonx.Bool false) ])
+  end
+  else begin
+    Printf.printf
+      "The same Ion-tiered numeric workload, measured with sampling off and\n\
+       with the 997 Hz SIGPROF sampler armed: the A/B is the profiler's\n\
+       whole-run cost, and the attribution split is where its ticks went.\n\n";
+    let name, source, arg =
+      match native_corpus with e :: _ -> e | [] -> assert false
+    in
+    let config =
+      {
+        Engine.default_config with
+        Engine.baseline_threshold = 2;
+        ion_threshold = 4;
+      }
+    in
+    let _, engine = Engine.run_source config source in
+    let vm = Engine.vm engine in
+    let idx = ref (-1) in
+    Array.iteri
+      (fun i (f : Op.func) -> if String.equal f.Op.name "work" then idx := i)
+      vm.Vm.program.Op.funcs;
+    if !idx < 0 then failwith "profile bench: no function named work";
+    let args = [ Value.Number arg ] in
+    let call () = ignore (Vm.call_function vm !idx args) in
+    (* one untimed run: steady state before either arm *)
+    call ();
+    (* scale each measured arm to ~0.5 s of CPU so the ON arm collects
+       hundreds of ticks at 997 Hz (one call is only ~a millisecond) *)
+    let t_once = time_best call in
+    let reps = max 20 (int_of_float (0.5 /. Float.max 1e-6 t_once)) in
+    let run_arm () =
+      let (), dt = time (fun () -> for _ = 1 to reps do call () done) in
+      dt /. float_of_int reps
+    in
+    let t_off = run_arm () in
+    Profile.reset ();
+    if not (Profile.start ()) then
+      failwith "profile bench: sampler failed to arm";
+    let t_on = run_arm () in
+    Profile.stop ();
+    let samples = Profile.total_samples () in
+    let attributed = Profile.attributed_fraction () in
+    let overhead = (t_on -. t_off) /. Float.max 1e-9 t_off in
+    let frames = Profile.report () in
+    Table.print ~headers:[ "frame"; "ticks" ]
+      (List.map (fun (n, c) -> [ n; string_of_int c ]) frames);
+    Printf.printf
+      "\n%s: off %.2f ms, on %.2f ms — overhead %+.1f%%\n\
+       %d samples, %.1f%% attributed to named frames\n"
+      name (t_off *. 1000.0) (t_on *. 1000.0) (100.0 *. overhead) samples
+      (100.0 *. attributed);
+    emit "profile"
+      (Jsonx.Assoc
+         [
+           ("available", Jsonx.Bool true);
+           ("workload", Jsonx.String name);
+           ("off_ms", Jsonx.Float (t_off *. 1000.0));
+           ("on_ms", Jsonx.Float (t_on *. 1000.0));
+           ("overhead_fraction", Jsonx.Float overhead);
+           ("samples", Jsonx.Int samples);
+           ("attributed_fraction", Jsonx.Float attributed);
+           ( "frames",
+             Jsonx.Assoc (List.map (fun (n, c) -> (n, Jsonx.Int c)) frames) );
+         ])
+  end
+
 (* ---- driver ---- *)
 
 let sections_in_order =
@@ -1730,6 +1816,7 @@ let sections_in_order =
     ("concurrency", concurrency);
     ("service", service_bench);
     ("native", native_bench);
+    ("profile", profile_bench);
     ("bechamel", bechamel);
   ]
 

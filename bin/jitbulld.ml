@@ -7,10 +7,14 @@
      jitbulld --hold 30 ...                  exit after SECONDS (CI smoke)
      jitbulld --thr 4 --ratio 0.5 ...        comparator thresholds
 
+     jitbulld --audit-file out.jsonl ...     server-side decision trail
+     jitbulld --audit-rotate-bytes N ...     rotate it after N bytes
+
    Serves POST /verdict (JSONL batches), GET /subscribe (generation long
    poll), GET /delta (replica catch-up), GET /warm (hottest verdicts),
-   POST /install, POST /remove — plus the observability routes
-   (/metrics, /healthz, /audit, /explain) from the same listener. *)
+   POST /install, POST /remove, POST /push + GET /fleet (fleet
+   telemetry) — plus the observability routes (/metrics, /healthz,
+   /audit, /explain, /profile) from the same listener. *)
 
 open Cmdliner
 module Db = Jitbull_core.Db
@@ -43,7 +47,8 @@ let harvested_db () =
     VC.all;
   db
 
-let run port shards workers db_path builtin hold thr ratio no_cache quiet verbose =
+let run port shards workers db_path builtin hold thr ratio no_cache audit_file
+    audit_rotate_bytes quiet verbose =
   setup_logging ~quiet ~verbose:(List.length verbose);
   (* Long-lived server: a larger minor heap keeps per-request body
      allocation from forcing frequent stop-the-world minor collections
@@ -58,6 +63,9 @@ let run port shards workers db_path builtin hold thr ratio no_cache quiet verbos
   in
   let params = { Comparator.thr; ratio } in
   let obs = Obs.create () in
+  (match audit_file with
+  | Some path -> Obs.set_audit_file obs ?max_bytes:audit_rotate_bytes path
+  | None -> ());
   let t =
     Service.create ~params ~shards ~workers ~obs ~server_cache:(not no_cache)
       ~db ~port ()
@@ -129,6 +137,21 @@ let no_cache =
            ~doc:"Disable the server-side verdict caches; every request \
                  pays the full parse + sharded query (A/B baseline).")
 
+let audit_file =
+  Arg.(value & opt (some string) None
+       & info [ "audit-file" ] ~docv:"FILE"
+           ~doc:"Stream the server-side go/no-go audit trail (one JSON \
+                 record per decision, stamped with the requesting client's \
+                 id and remote span when the request carried them) to \
+                 $(docv) as JSON lines.")
+
+let audit_rotate_bytes =
+  Arg.(value & opt (some int) None
+       & info [ "audit-rotate-bytes" ] ~docv:"N"
+           ~doc:"With --audit-file: rotate the sink to FILE.1 once it \
+                 exceeds $(docv) bytes (bounds disk use at roughly twice \
+                 $(docv)).")
+
 let quiet =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only log errors.")
 
@@ -141,6 +164,7 @@ let cmd =
   Cmd.v
     (Cmd.info "jitbulld" ~doc)
     Term.(ret (const run $ port $ shards $ workers $ db_path $ builtin $ hold
-               $ thr $ ratio $ no_cache $ quiet $ verbose))
+               $ thr $ ratio $ no_cache $ audit_file $ audit_rotate_bytes
+               $ quiet $ verbose))
 
 let () = exit (Cmd.eval cmd)

@@ -20,6 +20,13 @@
                                         executor off x86-64 or under
                                         JITBULL_NO_NATIVE=1)
      jsrun --audit-file out.jsonl ...   go/no-go decision audit trail (JSON lines)
+     jsrun --audit-rotate-bytes N ...   rotate the audit sink once it exceeds N bytes
+     jsrun --push SECONDS ...           with --verdict-server: push telemetry
+                                        snapshots + audit deltas to the daemon
+                                        every SECONDS (and once at exit)
+     jsrun --client-id NAME ...         fleet label on pushes and verdict requests
+     jsrun --profile[=FILE] ...         CPU sampling profile (SIGPROF, Linux/x86-64);
+                                        collapsed stacks to FILE or stderr at exit
      jsrun --explain[=FUNC] ...         capture per-pass IR diffs; print causal
                                         go/no-go reports at exit (all flagged
                                         decisions, or just FUNC's)
@@ -43,6 +50,7 @@ module Report = Jitbull_obs.Report
 module Jsonx = Jitbull_obs.Jsonx
 module Audit = Jitbull_obs.Audit
 module Explain = Jitbull_obs.Explain
+module Profile = Jitbull_obs.Profile
 module Pipeline = Jitbull_passes.Pipeline
 module Table = Jitbull_util.Text_table
 module Client = Jitbull_service.Client
@@ -143,9 +151,10 @@ let parse_verdict_server addr =
   | Some p when p > 0 && p < 65536 -> p
   | _ -> failwith ("bad --verdict-server address: " ^ addr)
 
-let run file no_jit use_interp vuln_names db_path verdict_server stats
-    ion_threshold seed trace metrics
-    trace_file audit_file explain explain_capacity serve_metrics serve_hold
+let run file no_jit use_interp vuln_names db_path verdict_server push_interval
+    client_id stats ion_threshold seed trace metrics
+    trace_file audit_file audit_rotate_bytes explain explain_capacity
+    serve_metrics serve_hold profile
     naive_comparator no_policy_cache jobs sync_compile native quiet verbose =
   setup_logging ~quiet ~verbose:(List.length verbose) trace;
   let source = read_file file in
@@ -162,8 +171,13 @@ let run file no_jit use_interp vuln_names db_path verdict_server stats
   let realm = Realm.create ~seed ~echo:true () in
   try
     let obs =
-      match (metrics, trace_file, audit_file, serve_metrics, explain) with
-      | None, None, None, None, None -> None
+      (* --push counts: a telemetry pusher with nothing to push would be
+         an empty fleet series *)
+      match
+        (metrics, trace_file, audit_file, serve_metrics, explain,
+         push_interval)
+      with
+      | None, None, None, None, None, None -> None
       | _ ->
         let explain_capacity =
           match explain with Some _ -> Some explain_capacity | None -> None
@@ -173,10 +187,20 @@ let run file no_jit use_interp vuln_names db_path verdict_server stats
         | Some path -> Obs.set_trace_file o path
         | None -> ());
         (match audit_file with
-        | Some path -> Obs.set_audit_file o path
+        | Some path ->
+          Obs.set_audit_file o ?max_bytes:audit_rotate_bytes path
         | None -> ());
         Some o
     in
+    (match profile with
+    | Some _ ->
+      if not (Profile.start ()) then
+        Logs.warn (fun m ->
+            m "--profile: sampling unsupported on this platform (need \
+               Linux/x86-64); the profile will be empty")
+    | None -> ());
+    if push_interval <> None && verdict_server = None then
+      Logs.warn (fun m -> m "--push has no effect without --verdict-server");
     let server =
       match (serve_metrics, obs) with
       | Some port, Some o ->
@@ -197,6 +221,21 @@ let run file no_jit use_interp vuln_names db_path verdict_server stats
     let pool = if jobs > 0 then Some (Compile_queue.create ~jobs ()) else None in
     let remote = ref None in
     let finish () =
+      (* stop sampling before teardown so shutdown work isn't profiled *)
+      (match profile with
+      | Some dest ->
+        Profile.stop ();
+        Printf.eprintf "-- profile: %d samples, %.1f%% attributed --\n"
+          (Profile.total_samples ())
+          (100.0 *. Profile.attributed_fraction ());
+        let body = Profile.collapsed () in
+        if String.equal dest "-" then prerr_string body
+        else begin
+          let oc = open_out dest in
+          output_string oc body;
+          close_out oc
+        end
+      | None -> ());
       (match !remote with Some c -> Client.close c | None -> ());
       (match pool with Some p -> Compile_queue.shutdown p | None -> ());
       (match explain with
@@ -228,7 +267,10 @@ let run file no_jit use_interp vuln_names db_path verdict_server stats
                     m "--verdict-server overrides --db: verdicts come from \
                        the daemon (its DB syncs into the fallback replica)");
               let port = parse_verdict_server addr in
-              let client = Client.connect ?obs ~port () in
+              let client =
+                Client.connect ?obs ?client_id
+                  ?push_interval_s:push_interval ~port ()
+              in
               remote := Some client;
               let c = Client.engine_config client ~vulns () in
               {
@@ -314,6 +356,23 @@ let verdict_server =
                  unreachable, verdicts fall back to a synced local replica. \
                  Overrides --db.")
 
+let push_interval =
+  Arg.(value & opt (some float) None
+       & info [ "push" ] ~docv:"SECONDS"
+           ~doc:"With --verdict-server: push a cumulative telemetry snapshot \
+                 (audit verdict totals, install-latency p99, the metrics \
+                 view) plus the audit-record delta to the daemon's /push \
+                 every $(docv) seconds, and once more at exit. The daemon \
+                 aggregates pushes into per-client fleet series served at \
+                 /fleet.")
+
+let client_id =
+  Arg.(value & opt (some string) None
+       & info [ "client-id" ] ~docv:"NAME"
+           ~doc:"Fleet label this engine reports as: the x-jitbull-client \
+                 header on verdict requests and the series label on \
+                 telemetry pushes. Defaults to pid-<pid>.")
+
 let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics to stderr.")
 
 let ion_threshold =
@@ -345,6 +404,14 @@ let audit_file =
                  decision, with the matched CVEs, per-pass EqChains scores, \
                  verdict, DB generation and deciding domain — to $(docv) as \
                  JSON lines.")
+
+let audit_rotate_bytes =
+  Arg.(value & opt (some int) None
+       & info [ "audit-rotate-bytes" ] ~docv:"N"
+           ~doc:"With --audit-file: once the sink exceeds $(docv) bytes, \
+                 rotate it (the file moves to FILE.1, replacing any previous \
+                 FILE.1, and the trail continues in a fresh FILE). Bounds \
+                 long-run disk use at roughly twice $(docv).")
 
 let explain =
   Arg.(value & opt ~vopt:(Some "") (some string) None
@@ -382,6 +449,17 @@ let serve_hold =
            ~doc:"With --serve-metrics: keep the HTTP endpoint up for $(docv) \
                  seconds after the script finishes, so external scrapers can \
                  observe the final state.")
+
+let profile =
+  Arg.(value & opt ~vopt:(Some "-") (some string) None
+       & info [ "profile" ] ~docv:"FILE"
+           ~doc:"Sample the process at ~997 Hz CPU time (SIGPROF; \
+                 Linux/x86-64 only) and write collapsed-stack lines \
+                 (flamegraph.pl / speedscope input) to $(docv) at exit — \
+                 native code pages by function, plus VM dispatch, pass \
+                 pipeline, comparator and host-call frames. Without \
+                 $(docv), prints to stderr. With --serve-metrics, the live \
+                 profile is also served at /profile.")
 
 let naive_comparator =
   Arg.(value & flag
@@ -440,9 +518,10 @@ let cmd =
   Cmd.v
     (Cmd.info "jsrun" ~doc)
     Term.(ret (const run $ file $ no_jit $ use_interp $ vuln_names $ db_path
-               $ verdict_server $ stats
+               $ verdict_server $ push_interval $ client_id $ stats
                $ ion_threshold $ seed $ trace $ metrics $ trace_file $ audit_file
-               $ explain $ explain_capacity $ serve_metrics $ serve_hold
+               $ audit_rotate_bytes $ explain $ explain_capacity
+               $ serve_metrics $ serve_hold $ profile
                $ naive_comparator $ no_policy_cache $ jobs $ sync_compile $ native
                $ quiet $ verbose))
 

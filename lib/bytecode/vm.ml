@@ -5,6 +5,11 @@ module Realm = Jitbull_runtime.Realm
 module Builtins = Jitbull_runtime.Builtins
 module Errors = Jitbull_runtime.Errors
 module Metrics = Jitbull_obs.Metrics
+module Profile = Jitbull_obs.Profile
+
+(* Sampling-profiler frame for interpreter ticks (the "baseline tier"
+   share of a profile; JITed frames attribute via their code pages). *)
+let prof_vm = Profile.tag "vm;dispatch"
 
 (* Pre-resolved metric handles: the dispatch path is the hottest loop in
    the engine, so counters are looked up by name once at installation and
@@ -119,6 +124,9 @@ let rec call_function vm idx args =
 (* [func_index] = -1 for the top level, which collects no feedback (it is
    never JITed). *)
 and interpret vm ~func_index (f : Op.func) args =
+  Profile.with_tag prof_vm (fun () -> interpret_body vm ~func_index f args)
+
+and interpret_body vm ~func_index (f : Op.func) args =
   let locals = Array.make (max f.Op.n_locals 1) Value.Undefined in
   List.iteri (fun i v -> if i < f.Op.arity then locals.(i) <- v) args;
   let st = new_stack () in

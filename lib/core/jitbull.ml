@@ -3,6 +3,9 @@ module Pipeline = Jitbull_passes.Pipeline
 module Obs = Jitbull_obs.Obs
 module Jsonx = Jitbull_obs.Jsonx
 
+(* Sampling-profiler frame for the DB comparison (the go/no-go cost). *)
+let prof_comparator = Jitbull_obs.Profile.tag "comparator"
+
 type record = {
   func_name : string;
   matched : (string * string list) list;
@@ -193,6 +196,7 @@ let analyzer ?params ?monitor ?obs ?(comparator = `Indexed) (db : Db.t) : Engine
             ~fields:[ ("entries", Jsonx.Int (Db.size db)) ]
             "db_compare"
             (fun () ->
+              Jitbull_obs.Profile.with_tag prof_comparator @@ fun () ->
               match comparator with
               | `Indexed -> Db.matching_detailed ?params ?obs db dna
               | `Naive ->

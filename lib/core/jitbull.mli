@@ -36,6 +36,16 @@ val verdict_of_matches :
   (string * string list) list ->
   string list * [ `Allow | `Disable of string list | `Forbid ]
 
+(** Converters into [lib/obs]'s audit vocabulary, shared with the
+    verdict service so server-side audit records carry the same
+    evidence shape as local ones. *)
+val audit_verdict :
+  [ `Allow | `Disable of string list | `Forbid ] -> Jitbull_obs.Audit.verdict
+
+val audit_matches :
+  (string * Comparator.match_detail list) list ->
+  Jitbull_obs.Audit.cve_match list
+
 (** [analyzer ?params ?monitor ?obs ?comparator db] builds the engine
     hook. The database is consulted live: entries added or removed later
     affect subsequent compilations (the patch-applied lifecycle).

@@ -29,6 +29,11 @@ module Mir = Jitbull_mir.Mir
 module Ast = Jitbull_frontend.Ast
 module Lir = Jitbull_lir.Lir
 module Executor = Jitbull_lir.Executor
+module Profile = Jitbull_obs.Profile
+
+(* Ticks landing in the host-operation gate (decode, host op, re-enter)
+   rather than in a registered code page. *)
+let prof_host = Profile.tag "native;host"
 
 let available () = Exec_mem.available
 
@@ -76,6 +81,7 @@ type code = {
   n_slots : int;  (* n_regs + arity arg-staging slots *)
   const_preload : Value.t array;  (* boxed consts, side slots [0..) *)
   counters : counters;
+  prof_slot : int;  (* sampling-profiler page-table slot, -1 if none *)
   mutable pool : activation list;
   mutable active : int;  (* live activations (recursion depth) *)
   mutable dead : bool;  (* released; unmap when [active] drains *)
@@ -413,6 +419,10 @@ let compile (f : Lir.func) : code =
     n_slots;
     const_preload = Array.of_list (List.rev !preload);
     counters = { c_return = 0; c_hostop = 0; c_bailout = 0; c_test = 0 };
+    prof_slot =
+      Profile.register_page ~addr:region.Exec_mem.addr
+        ~size:region.Exec_mem.code_size
+        ("native;" ^ f.Lir.name);
     pool = [];
     active = 0;
     dead = false;
@@ -432,16 +442,22 @@ let acquire code =
     Array.iter (fun v -> ignore (Nanbox.side_push side v)) code.const_preload;
     { regs = Exec_mem.make_regfile code.n_slots; side }
 
+(* Unmap the page.  Drop the profiler slot FIRST so a tick can never
+   land in an address range that is being recycled under a new name. *)
+let unmap code =
+  Profile.drop_page code.prof_slot;
+  Exec_mem.release code.region
+
 let release_activation code act =
   code.pool <- act :: code.pool;
   code.active <- code.active - 1;
-  if code.dead && code.active = 0 then Exec_mem.release code.region
+  if code.dead && code.active = 0 then unmap code
 
 (* Mark dead; the unmap is deferred until recursive activations drain so
    we never pull an executing page.  Idempotent. *)
 let release code =
   code.dead <- true;
-  if code.active = 0 then Exec_mem.release code.region
+  if code.active = 0 then unmap code
 
 (* ---- exit-to-host operations ---- *)
 
@@ -622,7 +638,7 @@ let run code (realm : Realm.t) (cb : Executor.callbacks) (args : Value.t list) :
         end
         else if reason = reason_hostop then begin
           c.c_hostop <- c.c_hostop + 1;
-          host_op code act realm cb pc;
+          Profile.with_tag prof_host (fun () -> host_op code act realm cb pc);
           loop code.offsets.(pc + 1)
         end
         else if reason = reason_test then begin

@@ -50,6 +50,10 @@ type record = {
   source : source;
   domain : int;
   duration : float;
+  (* fleet provenance: set by jitbulld from the request's
+     x-jitbull-client and traceparent headers; None for local decisions *)
+  client_id : string option;
+  remote_parent : int option;
 }
 
 type t = {
@@ -58,6 +62,12 @@ type t = {
   mutable head : int;
   mutable total : int;
   mutable chan : out_channel option;
+  (* file-sink rotation: bytes written to the current file, the sink
+     path (for the rename), and the size cap (None = never rotate) *)
+  mutable sink_path : string option;
+  mutable sink_bytes : int;
+  mutable sink_max_bytes : int option;
+  mutable sink_rotations : int;
   mu : Mutex.t;
   clock : unit -> float;
   start : float;
@@ -80,6 +90,10 @@ let create ?(capacity = 1024) ?(clock : (unit -> float) option) () =
     head = 0;
     total = 0;
     chan = None;
+    sink_path = None;
+    sink_bytes = 0;
+    sink_max_bytes = None;
+    sink_rotations = 0;
     mu = Mutex.create ();
     clock;
     start = clock ();
@@ -170,9 +184,8 @@ let cve_match_of_json j =
       List.map pass_match_of_json (Jsonx.to_list_exn (Jsonx.member "passes" j));
   }
 
-let record_to_json r =
-  Jsonx.Assoc
-    [
+let record_fields r =
+  ([
       ("seq", Jsonx.Int r.seq);
       ("ts", Jsonx.Float r.ts);
       ("func", Jsonx.String r.func_name);
@@ -191,6 +204,14 @@ let record_to_json r =
       ("domain", Jsonx.Int r.domain);
       ("duration", Jsonx.Float r.duration);
     ]
+    @ (match r.client_id with
+      | Some c -> [ ("client", Jsonx.String c) ]
+      | None -> [])
+    @ (match r.remote_parent with
+      | Some p -> [ ("remote_parent", Jsonx.Int p) ]
+      | None -> []))
+
+let record_to_json r = Jsonx.Assoc (record_fields r)
 
 let record_of_json j =
   {
@@ -212,19 +233,49 @@ let record_of_json j =
     source = source_of_string (Jsonx.to_str (Jsonx.member "source" j));
     domain = Jsonx.to_int (Jsonx.member "domain" j);
     duration = Jsonx.to_float (Jsonx.member "duration" j);
+    (* absent in records written before the fleet plane existed *)
+    client_id =
+      (match Jsonx.member "client" j with
+      | Jsonx.Null -> None
+      | v -> Some (Jsonx.to_str v));
+    remote_parent =
+      (match Jsonx.member "remote_parent" j with
+      | Jsonx.Null -> None
+      | v -> Some (Jsonx.to_int v));
   }
 
 (* ---- recording ---- *)
 
-let set_file_sink t path =
+let set_file_sink t ?max_bytes path =
   Mutex.lock t.mu;
   (match t.chan with Some oc -> close_out oc | None -> ());
   t.chan <- Some (open_out path);
+  t.sink_path <- Some path;
+  t.sink_bytes <- 0;
+  t.sink_max_bytes <- max_bytes;
   Mutex.unlock t.mu
 
-let append t ?ts ~func_name ~func_index ~bytecode_hash ~feedback_hash ~verdict
-    ~matches ~thr ~ratio ~prefilter_candidates ~prefilter_hits ~db_generation
-    ~db_size ~source ~duration () =
+let sink_rotations t = t.sink_rotations
+
+(* Size-based rotation, checked after each sink write (so one oversized
+   record still lands whole): the current file moves to [path ^ ".1"]
+   (clobbering the previous generation — one level of history bounds a
+   long-lived daemon's evidence log at ~2×max_bytes) and the sink
+   reopens fresh. Called with [t.mu] held. *)
+let maybe_rotate t =
+  match (t.sink_max_bytes, t.sink_path) with
+  | Some cap, Some path when t.sink_bytes >= cap ->
+    (match t.chan with Some oc -> close_out oc | None -> ());
+    (try Sys.rename path (path ^ ".1") with Sys_error _ -> ());
+    t.chan <- Some (open_out path);
+    t.sink_bytes <- 0;
+    t.sink_rotations <- t.sink_rotations + 1
+  | _ -> ()
+
+let append t ?ts ?client_id ?remote_parent ~func_name ~func_index
+    ~bytecode_hash ~feedback_hash ~verdict ~matches ~thr ~ratio
+    ~prefilter_candidates ~prefilter_hits ~db_generation ~db_size ~source
+    ~duration () =
   let ts = match ts with Some x -> x | None -> now t in
   let domain = (Domain.self () :> int) in
   Mutex.lock t.mu;
@@ -247,6 +298,8 @@ let append t ?ts ~func_name ~func_index ~bytecode_hash ~feedback_hash ~verdict
       source;
       domain;
       duration;
+      client_id;
+      remote_parent;
     }
   in
   t.ring.(t.head) <- Some r;
@@ -267,9 +320,12 @@ let append t ?ts ~func_name ~func_index ~bytecode_hash ~feedback_hash ~verdict
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.func_verdicts fv));
   (match t.chan with
   | Some oc ->
-    output_string oc (Jsonx.to_string (record_to_json r));
+    let line = Jsonx.to_string (record_to_json r) in
+    output_string oc line;
     output_char oc '\n';
-    flush oc
+    flush oc;
+    t.sink_bytes <- t.sink_bytes + String.length line + 1;
+    maybe_rotate t
   | None -> ());
   Mutex.unlock t.mu;
   r
@@ -290,6 +346,35 @@ let records t =
 let total t = t.total
 
 let last t n = List.rev (records t) |> List.filteri (fun i _ -> i < max 0 n)
+
+(* Cumulative verdict totals (survive ring eviction) — what an engine
+   pushes to the fleet aggregator, and what /fleet sums per client. *)
+type totals = {
+  tt_records : int;
+  tt_allow : int;
+  tt_disable : int;
+  tt_forbid : int;
+  tt_cache_hits : int;
+}
+
+let totals t =
+  Mutex.lock t.mu;
+  let v =
+    {
+      tt_records = t.total;
+      tt_allow = t.n_allow;
+      tt_disable = t.n_disable;
+      tt_forbid = t.n_forbid;
+      tt_cache_hits = t.n_cache_hits;
+    }
+  in
+  Mutex.unlock t.mu;
+  v
+
+(* Records with [seq >= from], oldest first — the audit-delta a pusher
+   sends between snapshots (bounded by ring capacity: older deltas are
+   already gone, which the cumulative totals cover). *)
+let since t from_seq = List.filter (fun r -> r.seq >= from_seq) (records t)
 
 let by_function t name =
   List.filter (fun r -> String.equal r.func_name name) (records t)
@@ -366,6 +451,8 @@ let render_prometheus t =
   line "jitbull_audit_verdicts_total{verdict=\"forbid\"} %d\n" forbid;
   line "# TYPE jitbull_audit_cache_hits_total counter\n";
   line "jitbull_audit_cache_hits_total %d\n" cache_hits;
+  line "# TYPE jitbull_audit_sink_rotations_total counter\n";
+  line "jitbull_audit_sink_rotations_total %d\n" t.sink_rotations;
   if cves <> [] then begin
     line "# TYPE jitbull_audit_cve_matches_total counter\n";
     List.iter

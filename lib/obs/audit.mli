@@ -64,6 +64,10 @@ type record = {
   source : source;
   domain : int;  (** [Domain.self] of the deciding domain *)
   duration : float;  (** seconds spent deciding (0 on cache hits) *)
+  client_id : string option;
+      (** requesting fleet client ([x-jitbull-client]); [None] locally *)
+  remote_parent : int option;
+      (** the client-side span that asked (traceparent); [None] locally *)
 }
 
 type t
@@ -76,14 +80,25 @@ val create : ?capacity:int -> ?clock:(unit -> float) -> unit -> t
 val now : t -> float
 
 (** Mirror every subsequent record to [path] as one JSON object per
-    line (truncates). *)
-val set_file_sink : t -> string -> unit
+    line (truncates). When [max_bytes] is given, the sink rotates once
+    it exceeds that size: the file moves to [path ^ ".1"] (one level of
+    history, clobbered on the next rotation) and reopens fresh — a
+    long-lived daemon's evidence log stays bounded at ~2×[max_bytes]. *)
+val set_file_sink : t -> ?max_bytes:int -> string -> unit
+
+(** Rotations performed so far (also the
+    [jitbull_audit_sink_rotations_total] series). *)
+val sink_rotations : t -> int
 
 (** Append one decision record; [ts] defaults to [now t], the domain id
-    is captured from the calling domain. Returns the record as stored. *)
+    is captured from the calling domain. [client_id]/[remote_parent]
+    carry fleet provenance when the decision was made on behalf of a
+    remote engine. Returns the record as stored. *)
 val append :
   t ->
   ?ts:float ->
+  ?client_id:string ->
+  ?remote_parent:int ->
   func_name:string ->
   func_index:int ->
   bytecode_hash:int ->
@@ -111,6 +126,22 @@ val total : t -> int
 
 (** The [n] most recent records, newest first. *)
 val last : t -> int -> record list
+
+(** Cumulative verdict totals — maintained at append, so they survive
+    ring eviction. What a fleet client pushes and /fleet sums. *)
+type totals = {
+  tt_records : int;
+  tt_allow : int;
+  tt_disable : int;
+  tt_forbid : int;
+  tt_cache_hits : int;
+}
+
+val totals : t -> totals
+
+(** Retained records with [seq >= from], oldest first — the audit delta
+    a fleet pusher sends between snapshots. *)
+val since : t -> int -> record list
 
 (** Retained records for one function, oldest first. *)
 val by_function : t -> string -> record list

@@ -409,15 +409,19 @@ module Conn = struct
      [timeout_s] overrides the socket receive timeout for this request
      (long-poll subscribes pass a large one). Raises [Closed] when the
      server hung up, [Unix_error (EAGAIN, …)] on timeout. *)
-  let request t ?(meth = "GET") ?(body = "") ?(keep_alive = true) ?timeout_s path
-      =
+  let request t ?(meth = "GET") ?(headers = []) ?(body = "")
+      ?(keep_alive = true) ?timeout_s path =
     set_timeout t.fd timeout_s;
+    let extra =
+      String.concat ""
+        (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+    in
     write_all t.fd
       (Printf.sprintf
-         "%s %s HTTP/1.1\r\nHost: %s\r\nConnection: %s\r\nContent-Length: %d\r\n\r\n%s"
+         "%s %s HTTP/1.1\r\nHost: %s\r\nConnection: %s\r\n%sContent-Length: %d\r\n\r\n%s"
          meth path t.host
          (if keep_alive then "keep-alive" else "close")
-         (String.length body) body);
+         extra (String.length body) body);
     match read_message t.rd with
     | None -> raise Closed
     | Some (line, headers, rbody) -> (parse_status_line line, headers, rbody)
@@ -425,8 +429,30 @@ end
 
 (* ---- observability route handlers ---- *)
 
+(* Reproduction version, stamped into jitbull_build_info so fleet
+   dashboards can tell engine generations apart (dune-project carries no
+   version field; bump alongside notable PRs). *)
+let version = "0.9.0"
+
+(* Wall-clock stamp taken at module initialization — close enough to
+   exec for process_start_time_seconds' purpose (uptime and restart
+   detection on fleet dashboards). *)
+let process_start = Unix.gettimeofday ()
+
+let build_info_body () =
+  let esc = Metrics.escape_label_value in
+  Printf.sprintf
+    "# HELP jitbull_build_info Build metadata as labels; value is always 1.\n\
+     # TYPE jitbull_build_info gauge\n\
+     jitbull_build_info{version=\"%s\",ocaml=\"%s\"} 1\n\
+     # HELP process_start_time_seconds Unix time the process started.\n\
+     # TYPE process_start_time_seconds gauge\n\
+     process_start_time_seconds %.6f\n"
+    (esc version) (esc Sys.ocaml_version) process_start
+
 let metrics_body obs =
-  Metrics.render_prometheus (Obs.view (Some obs))
+  build_info_body ()
+  ^ Metrics.render_prometheus (Obs.view (Some obs))
   ^ Audit.render_prometheus (Obs.audit obs)
   ^ (match Obs.irdiff obs with
     | Some ring -> Irdiff.render_prometheus ring
@@ -500,6 +526,13 @@ let health_body thresholds obs =
 let bad_request msg =
   respond ~status:400 ~content_type:"application/json"
     (Jsonx.to_string (Jsonx.Assoc [ ("error", Jsonx.String msg) ]))
+
+(* The uniform 404: JSON body + application/json, shared by the
+   exporter fallback and the verdict service's own fallback so every
+   miss looks the same to fleet tooling. *)
+let not_found () =
+  respond ~status:404 ~content_type:"application/json"
+    (Jsonx.to_string (Jsonx.Assoc [ ("error", Jsonx.String "not found") ]))
 
 (* Query-parameter counts are strict: a negative, non-numeric or huge
    value is a client error (400), never silently defaulted. *)
@@ -575,6 +608,10 @@ let obs_routes ?(thresholds = default_thresholds) ?can_disable ~obs req =
     Some (respond ~status ~content_type:"application/json" body)
   | "/audit" -> Some (audit_response obs req.rq_query)
   | "/explain" -> Some (explain_response ~can_disable obs req.rq_query)
+  | "/profile" ->
+    (* collapsed-stack samples from the process-global profiler; empty
+       (but 200) when profiling was never started *)
+    Some (respond ~content_type:"text/plain; charset=utf-8" (Profile.collapsed ()))
   | _ -> None
 
 (* ---- the standalone exporter (jsrun --serve-metrics) ---- *)
@@ -586,7 +623,7 @@ let start ?(thresholds = default_thresholds) ?can_disable ~obs ~port () =
     ~handler:(fun req ->
       match obs_routes ~thresholds ?can_disable ~obs req with
       | Some resp -> resp
-      | None -> respond ~status:404 "not found\n")
+      | None -> not_found ())
     ~port ()
 
 let port = Server.port

@@ -31,6 +31,9 @@
     - [/explain?id=N] — explanation of decision [N] ({!Explain}): HTML
       by default, plain text with [&format=text]. 404 (JSON error) when
       [N] was never decided or has been evicted from the audit ring.
+    - [/profile] — collapsed-stack samples from the process-global
+      sampling profiler ({!Profile.collapsed}); empty body (but 200)
+      when profiling was never started.
 
     Malformed query parameters (non-numeric, negative, or huge [n]/[id])
     are 400 with a JSON error body; JSON endpoints carry
@@ -69,6 +72,13 @@ val respond : ?status:int -> ?content_type:string -> string -> response
 
 (** 400 with a JSON [{"error": msg}] body. *)
 val bad_request : string -> response
+
+(** The uniform 404: JSON [{"error": "not found"}] body with
+    [Content-Type: application/json] — shared by every route fallback. *)
+val not_found : unit -> response
+
+(** Reproduction version stamped into [jitbull_build_info]. *)
+val version : string
 
 (** [parse_count name query ~default] — strict query-parameter count
     parsing: a negative, non-numeric or huge value is an [Error]
@@ -138,6 +148,7 @@ module Conn : sig
   val request :
     t ->
     ?meth:string ->
+    ?headers:(string * string) list ->
     ?body:string ->
     ?keep_alive:bool ->
     ?timeout_s:float ->
@@ -155,11 +166,11 @@ end
 (** {1 Observability routes} *)
 
 (** The exporter's routes as a composable handler fragment: [Some
-    response] for [/metrics], [/healthz], [/audit] and [/explain],
-    [None] for anything else (mount your own routes first, fall back to
-    404). [can_disable] (pass the pipeline's [can_disable]) lets
-    [/explain] reports name the mandatory pass behind a forbid
-    verdict. *)
+    response] for [/metrics], [/healthz], [/audit], [/explain] and
+    [/profile], [None] for anything else (mount your own routes first,
+    fall back to 404). [can_disable] (pass the pipeline's
+    [can_disable]) lets [/explain] reports name the mandatory pass
+    behind a forbid verdict. *)
 val obs_routes :
   ?thresholds:health_thresholds ->
   ?can_disable:(string -> bool) ->

@@ -21,7 +21,7 @@ let tracer t = t.tr
 let audit t = t.au
 let irdiff t = t.ir
 let set_trace_file t path = Tracer.set_file_sink t.tr path
-let set_audit_file t path = Audit.set_file_sink t.au path
+let set_audit_file t ?max_bytes path = Audit.set_file_sink t.au ?max_bytes path
 
 let close = function
   | None -> ()
@@ -32,6 +32,10 @@ let close = function
 let now = function None -> 0.0 | Some t -> Tracer.now t.tr
 
 let alloc_id = function None -> None | Some t -> Some (Tracer.alloc_id t.tr)
+
+let current_span = function
+  | None -> None
+  | Some t -> Tracer.current_span t.tr
 
 let span obs ?fields ?fields_of ?parent name f =
   match obs with

@@ -32,8 +32,10 @@ val irdiff : t -> Irdiff.t option
 (** Mirror all subsequent trace events to [path] as JSON lines. *)
 val set_trace_file : t -> string -> unit
 
-(** Mirror all subsequent audit records to [path] as JSON lines. *)
-val set_audit_file : t -> string -> unit
+(** Mirror all subsequent audit records to [path] as JSON lines;
+    [max_bytes] enables size-based rotation (see
+    {!Audit.set_file_sink}). *)
+val set_audit_file : t -> ?max_bytes:int -> string -> unit
 
 (** Flush and close the trace and audit file sinks, if any. [None] is a
     no-op. *)
@@ -47,6 +49,11 @@ val now : t option -> float
     cross-domain anchor (record on one domain with [event ?id], parent
     under it from another with [span ?parent]). *)
 val alloc_id : t option -> int option
+
+(** Innermost open span id on the calling domain ([None] when disabled or
+    no span is open) — captured at request-submit time so the service
+    client can propagate it as the remote parent. *)
+val current_span : t option -> int option
 
 (** [span obs name f] — timed span around [f]: records a trace event and
     observes the duration in histogram ["<name>.seconds"]. The span

@@ -1,0 +1,240 @@
+/* C side of the sampling profiler: an ITIMER_PROF/SIGPROF sampler that
+ * buckets each tick without touching the OCaml runtime.
+ *
+ * The handler is async-signal-safe by construction — it only loads and
+ * increments C atomics:
+ *
+ *   - a fixed table of executable code pages (start/end/hits), filled by
+ *     the native tier as it installs code and consulted first: if the
+ *     interrupted PC lies inside a registered page, the tick belongs to
+ *     that native function regardless of any tag;
+ *   - otherwise a per-thread tag (a small integer set around interpreter
+ *     dispatch, pass execution, the comparator, and the native call
+ *     gate) picks one of a fixed array of tag counters; tag 0 counts
+ *     unattributed ticks.
+ *
+ * Nothing here is installed until jb_prof_start runs: with profiling
+ * off there is no signal handler and no timer, so the disabled cost is
+ * exactly zero.  Only Linux/x86-64 can read the interrupted PC from the
+ * ucontext; elsewhere jb_prof_available reports false and start fails.
+ */
+
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE /* REG_RIP in <ucontext.h> */
+#endif
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(__linux__) && defined(__x86_64__)
+#define JB_PROF 1
+#include <signal.h>
+#include <stdatomic.h>
+#include <stdint.h>
+#include <string.h>
+#include <sys/time.h>
+#include <ucontext.h>
+#endif
+
+#ifdef JB_PROF
+
+#define JB_PROF_PAGES 1024
+#define JB_PROF_TAGS 64
+
+/* start: 0 = free, 1 = being claimed, otherwise the page base.  end is
+ * written before the real start is published (release), so the handler
+ * (acquire on start) never sees a half-initialized slot. */
+typedef struct {
+  _Atomic uintptr_t start;
+  _Atomic uintptr_t end;
+  _Atomic long hits;
+} jb_prof_page;
+
+static jb_prof_page jb_pages[JB_PROF_PAGES];
+static _Atomic long jb_tag_hits[JB_PROF_TAGS];
+static _Atomic long jb_total;
+static __thread int jb_tag; /* 0 = untagged */
+static volatile sig_atomic_t jb_running;
+
+static void jb_prof_handler(int sig, siginfo_t *info, void *uctx)
+{
+  (void)sig;
+  (void)info;
+  uintptr_t rip =
+      (uintptr_t)((ucontext_t *)uctx)->uc_mcontext.gregs[REG_RIP];
+  atomic_fetch_add_explicit(&jb_total, 1, memory_order_relaxed);
+  for (int i = 0; i < JB_PROF_PAGES; i++) {
+    uintptr_t s = atomic_load_explicit(&jb_pages[i].start, memory_order_acquire);
+    if (s > 1 && rip >= s &&
+        rip < atomic_load_explicit(&jb_pages[i].end, memory_order_relaxed)) {
+      atomic_fetch_add_explicit(&jb_pages[i].hits, 1, memory_order_relaxed);
+      return;
+    }
+  }
+  int t = jb_tag;
+  if (t < 0 || t >= JB_PROF_TAGS) t = 0;
+  atomic_fetch_add_explicit(&jb_tag_hits[t], 1, memory_order_relaxed);
+}
+
+#endif
+
+CAMLprim value jb_prof_available(value unit)
+{
+  (void)unit;
+#ifdef JB_PROF
+  return Val_true;
+#else
+  return Val_false;
+#endif
+}
+
+/* Install the handler and arm ITIMER_PROF at [hz] samples/second of
+ * consumed CPU time.  Returns false where sampling is unsupported. */
+CAMLprim value jb_prof_start(value hz)
+{
+#ifdef JB_PROF
+  struct sigaction sa;
+  memset(&sa, 0, sizeof sa);
+  sa.sa_sigaction = jb_prof_handler;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGPROF, &sa, NULL) != 0) return Val_false;
+  long us = 1000000L / Long_val(hz);
+  if (us < 1) us = 1;
+  struct itimerval it;
+  it.it_interval.tv_sec = us / 1000000L;
+  it.it_interval.tv_usec = us % 1000000L;
+  it.it_value = it.it_interval;
+  if (setitimer(ITIMER_PROF, &it, NULL) != 0) {
+    signal(SIGPROF, SIG_IGN);
+    return Val_false;
+  }
+  jb_running = 1;
+  return Val_true;
+#else
+  (void)hz;
+  return Val_false;
+#endif
+}
+
+/* Disarm the timer, then ignore any straggler SIGPROF already queued. */
+CAMLprim value jb_prof_stop(value unit)
+{
+  (void)unit;
+#ifdef JB_PROF
+  if (jb_running) {
+    struct itimerval it;
+    memset(&it, 0, sizeof it);
+    setitimer(ITIMER_PROF, &it, NULL);
+    signal(SIGPROF, SIG_IGN);
+    jb_running = 0;
+  }
+#endif
+  return Val_unit;
+}
+
+/* Set the calling thread's tag; returns the previous one so callers can
+ * restore it on scope exit (tags nest). */
+CAMLprim value jb_prof_set_tag(value tag)
+{
+#ifdef JB_PROF
+  int prev = jb_tag;
+  jb_tag = Int_val(tag);
+  return Val_int(prev);
+#else
+  (void)tag;
+  return Val_int(0);
+#endif
+}
+
+/* Claim a free page slot for [start, start+size).  Returns the slot
+ * index, or -1 when the table is full (the tick then falls back to the
+ * thread tag).  Safe to race from several compile domains: slots are
+ * claimed by CAS. */
+CAMLprim value jb_prof_register_page(value start, value size)
+{
+#ifdef JB_PROF
+  uintptr_t s = (uintptr_t)Nativeint_val(start);
+  uintptr_t e = s + (uintptr_t)Long_val(size);
+  if (s <= 1) return Val_int(-1);
+  for (int i = 0; i < JB_PROF_PAGES; i++) {
+    uintptr_t expect = 0;
+    if (atomic_compare_exchange_strong(&jb_pages[i].start, &expect,
+                                       (uintptr_t)1)) {
+      atomic_store_explicit(&jb_pages[i].end, e, memory_order_relaxed);
+      atomic_store_explicit(&jb_pages[i].hits, 0, memory_order_relaxed);
+      atomic_store_explicit(&jb_pages[i].start, s, memory_order_release);
+      return Val_int(i);
+    }
+  }
+  return Val_int(-1);
+#else
+  (void)start;
+  (void)size;
+  return Val_int(-1);
+#endif
+}
+
+/* Free a slot and return its accumulated hits (the OCaml side folds
+ * them into a retired-by-name table).  A tick racing the drop may land
+ * in the freed slot; at most one sample of slop per drop. */
+CAMLprim value jb_prof_drop_page(value slot)
+{
+#ifdef JB_PROF
+  int i = Int_val(slot);
+  if (i < 0 || i >= JB_PROF_PAGES) return Val_long(0);
+  atomic_store_explicit(&jb_pages[i].start, 0, memory_order_release);
+  long h = atomic_exchange(&jb_pages[i].hits, 0);
+  return Val_long(h);
+#else
+  (void)slot;
+  return Val_long(0);
+#endif
+}
+
+CAMLprim value jb_prof_page_hits(value slot)
+{
+#ifdef JB_PROF
+  int i = Int_val(slot);
+  if (i < 0 || i >= JB_PROF_PAGES) return Val_long(0);
+  return Val_long(atomic_load_explicit(&jb_pages[i].hits, memory_order_relaxed));
+#else
+  (void)slot;
+  return Val_long(0);
+#endif
+}
+
+CAMLprim value jb_prof_tag_count(value tag)
+{
+#ifdef JB_PROF
+  int t = Int_val(tag);
+  if (t < 0 || t >= JB_PROF_TAGS) return Val_long(0);
+  return Val_long(atomic_load_explicit(&jb_tag_hits[t], memory_order_relaxed));
+#else
+  (void)tag;
+  return Val_long(0);
+#endif
+}
+
+CAMLprim value jb_prof_total(value unit)
+{
+  (void)unit;
+#ifdef JB_PROF
+  return Val_long(atomic_load_explicit(&jb_total, memory_order_relaxed));
+#else
+  return Val_long(0);
+#endif
+}
+
+/* Zero every counter (bench A/B runs); registered pages stay. */
+CAMLprim value jb_prof_reset(value unit)
+{
+  (void)unit;
+#ifdef JB_PROF
+  atomic_store(&jb_total, 0);
+  for (int i = 0; i < JB_PROF_TAGS; i++) atomic_store(&jb_tag_hits[i], 0);
+  for (int i = 0; i < JB_PROF_PAGES; i++)
+    atomic_store(&jb_pages[i].hits, 0);
+#endif
+  return Val_unit;
+}

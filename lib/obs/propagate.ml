@@ -1,0 +1,63 @@
+(* W3C-traceparent-style context propagation.
+
+   The wire format is the traceparent header's:
+
+     00-<32 lowercase hex trace-id>-<16 lowercase hex parent-id>-01
+
+   The trace id names the originating engine process (one per client
+   connection, minted at connect time); the parent id is the span id of
+   the client-side span that issued the request, encoded from the
+   tracer's int ids. jitbulld decodes the header and records its
+   server-side verdict span with [parent] set to the remote id, so
+   merging the two processes' trace files yields one connected chain.
+
+   Decoding is strict: anything that is not exactly the shape above is
+   an error (the service turns it into a 400). Per W3C, an all-zero
+   trace id or parent id is also invalid. *)
+
+type context = {
+  trace_id : string;  (* 32 lowercase hex chars, not all zero *)
+  parent_id : int;    (* tracer span id of the remote parent, > 0 *)
+}
+
+let header_name = "traceparent"
+
+let is_hex = function '0' .. '9' | 'a' .. 'f' -> true | _ -> false
+let all_hex s = String.for_all is_hex s
+let all_zero s = String.for_all (Char.equal '0') s
+
+let valid_trace_id s = String.length s = 32 && all_hex s && not (all_zero s)
+
+let encode ctx = Printf.sprintf "00-%s-%016x-01" ctx.trace_id ctx.parent_id
+
+let decode s =
+  (* 2 (version) + 1 + 32 (trace id) + 1 + 16 (parent id) + 1 + 2 (flags) *)
+  if String.length s <> 55 then Error "traceparent: bad length"
+  else if String.sub s 0 3 <> "00-" then Error "traceparent: unsupported version"
+  else if s.[35] <> '-' || s.[52] <> '-' then Error "traceparent: bad delimiters"
+  else
+    let trace_id = String.sub s 3 32 in
+    let parent_hex = String.sub s 36 16 in
+    let flags = String.sub s 53 2 in
+    if not (valid_trace_id trace_id) then Error "traceparent: bad trace id"
+    else if not (all_hex parent_hex) || all_zero parent_hex then
+      Error "traceparent: bad parent id"
+    else if not (all_hex flags) then Error "traceparent: bad flags"
+    else
+      match int_of_string_opt ("0x" ^ parent_hex) with
+      | Some parent_id when parent_id > 0 -> Ok { trace_id; parent_id }
+      | _ ->
+        (* ids above 2^62 don't fit OCaml's int; the tracer never mints
+           them (pid-seeded ids stay below 2^56) *)
+        Error "traceparent: parent id out of range"
+
+(* Mint a fresh 32-hex trace id. MD5 of pid + wall clock + a process
+   counter is exactly 32 lowercase hex chars and unique enough to tell
+   fleet clients apart; this is an identifier, not a secret. *)
+let counter = Atomic.make 0
+
+let fresh_trace_id () =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%d-%f-%d" (Unix.getpid ()) (Unix.gettimeofday ())
+          (Atomic.fetch_and_add counter 1)))

@@ -1,0 +1,26 @@
+(** W3C-traceparent-style trace-context propagation across processes.
+
+    The engine-side service client attaches an encoded context to every
+    request; jitbulld decodes it and parents its server-side spans on
+    the remote span id, so merging the two trace files reconstructs one
+    end-to-end chain. *)
+
+type context = {
+  trace_id : string;  (** 32 lowercase hex chars, not all zero *)
+  parent_id : int;    (** tracer span id of the remote parent, > 0 *)
+}
+
+val header_name : string
+(** ["traceparent"] *)
+
+val encode : context -> string
+(** [00-<trace_id>-<%016x parent_id>-01]. *)
+
+val decode : string -> (context, string) result
+(** Strict inverse of {!encode}: exact length, version [00], lowercase
+    hex, non-zero ids. Hostile values give [Error reason]. *)
+
+val valid_trace_id : string -> bool
+
+val fresh_trace_id : unit -> string
+(** Mint a 32-hex trace id unique across fleet processes. *)

@@ -37,7 +37,13 @@ type t = {
   start : float;
 }
 
-let next_id = Atomic.make 1
+(* Seeded from the pid so span ids are unique across *processes* too:
+   fleet trace files from an engine and a jitbulld can be merged without
+   id collisions, and cross-process parent links (Propagate) stay
+   unambiguous. 24 pid bits above a 32-bit counter keeps every id below
+   2^56, so it round-trips through traceparent's 16-hex encoding and
+   OCaml's int alike. *)
+let next_id = Atomic.make (((Unix.getpid () land 0xFFFFFF) lsl 32) lor 1)
 
 let alloc_id (_ : t) = Atomic.fetch_and_add next_id 1
 

@@ -36,6 +36,20 @@ let can_disable name =
 
 let graph_size (g : Mir.t) = List.length (Mir.all_instructions g)
 
+(* Per-pass sampling-profiler tags, interned once here (the pass list is
+   static); the table is read-only afterwards, so lock-free to consult. *)
+let prof_tags : (string, int) Hashtbl.t =
+  let h = Hashtbl.create 32 in
+  List.iter
+    (fun (p : Pass.t) ->
+      Hashtbl.replace h p.Pass.name
+        (Jitbull_obs.Profile.tag ("pass;" ^ p.Pass.name)))
+    passes;
+  h
+
+let prof_tag (p : Pass.t) =
+  match Hashtbl.find_opt prof_tags p.Pass.name with Some t -> t | None -> 0
+
 (* Run one pass (and the verifier, if requested). With an [Obs.t]
    installed, each pass gets its own span, a ["pass.<name>.seconds"]
    latency histogram, a ["pass.<name>.delta_size"] counter accumulating
@@ -46,16 +60,19 @@ let graph_size (g : Mir.t) = List.length (Mir.all_instructions g)
    material of the per-pass profile, the telemetry bench, and the
    fuzzer's coverage map. *)
 let exec_pass ctx ~obs ~verify g (p : Pass.t) =
+  let run () =
+    Jitbull_obs.Profile.with_tag (prof_tag p) (fun () -> p.Pass.run ctx g)
+  in
   match obs with
   | None ->
-    p.Pass.run ctx g;
+    run ();
     if verify then Verifier.check g
   | Some _ ->
     let before = graph_size g in
     Obs.span obs
       ("pass." ^ p.Pass.name)
       (fun () ->
-        p.Pass.run ctx g;
+        run ();
         if verify then Verifier.check g);
     let after = graph_size g in
     Obs.add obs ("pass." ^ p.Pass.name ^ ".delta_size") (after - before);

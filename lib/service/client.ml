@@ -1,5 +1,9 @@
 module Http = Jitbull_obs.Http_export
 module Obs = Jitbull_obs.Obs
+module Metrics = Jitbull_obs.Metrics
+module Audit = Jitbull_obs.Audit
+module Fleet = Jitbull_obs.Fleet
+module Propagate = Jitbull_obs.Propagate
 module Jsonx = Jitbull_obs.Jsonx
 module Sexpr = Jitbull_util.Sexpr
 module Engine = Jitbull_jit.Engine
@@ -13,8 +17,8 @@ module Jitbull = Jitbull_core.Jitbull
 (* [body] is a pre-encoded JSONL batch of [count] requests — bench
    clients replaying a recorded stream encode each window once and
    resend it, keeping request serialization out of the measured path. *)
-let verdict_roundtrip_raw conn ~count body =
-  match Http.Conn.request conn ~meth:"POST" ~body "/verdict" with
+let verdict_roundtrip_raw conn ?headers ~count body =
+  match Http.Conn.request conn ~meth:"POST" ?headers ~body "/verdict" with
   | 200, _, body -> (
     match Proto.decode_resps body with
     | resps when List.length resps = count -> Ok resps
@@ -27,13 +31,17 @@ let verdict_roundtrip_raw conn ~count body =
   | exception Http.Closed -> Error "connection closed"
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
-let verdict_roundtrip conn reqs =
-  verdict_roundtrip_raw conn ~count:(List.length reqs) (Proto.encode_reqs reqs)
+let verdict_roundtrip conn ?headers reqs =
+  verdict_roundtrip_raw conn ?headers ~count:(List.length reqs)
+    (Proto.encode_reqs reqs)
 
 (* ---- the coalescer: many engine threads, one wire batch ---- *)
 
 type pending = {
   p_req : Proto.verdict_req;
+  p_parent : int option;
+      (** the submitting thread's open span at submit time — the remote
+          parent the wire batch's traceparent header carries *)
   mutable p_result : (Proto.verdict_resp, string) result option;
 }
 
@@ -52,6 +60,10 @@ type t = {
   port : int;
   timeout_s : float;
   obs : Obs.t option;
+  client_id : string;  (** fleet label ([x-jitbull-client] header) *)
+  trace_id : string;  (** this client's traceparent trace id *)
+  push_interval_s : float option;  (** telemetry push cadence, if any *)
+  mutable pushed_seq : int;  (** audit seq already pushed (delta cursor) *)
   gen : int Atomic.t;  (** latest server generation this client observed *)
   replica : Db.t;  (** local-fallback DB, synced via [/delta] *)
   replica_gen : int Atomic.t;  (** server generation [replica] reflects *)
@@ -75,6 +87,8 @@ type t = {
 
 let generation t = Atomic.get t.gen
 let replica t = t.replica
+let client_id t = t.client_id
+let trace_id t = t.trace_id
 
 (* ---- dispatcher ---- *)
 
@@ -103,11 +117,30 @@ let note_generation t g =
 
 (* One wire round-trip for [batch] (already numbered 0..n-1), writing
    each slot's result. Reconnects and retries once on a transport
-   error — the request is idempotent (a pure query). *)
+   error — the request is idempotent (a pure query).
+
+   Propagation is batch-granular: the coalescer folds many submitters
+   into one HTTP request, so the traceparent header carries the first
+   pending's captured span as the batch's remote parent (one server
+   span per wire round-trip, parented on the submitter that opened the
+   batch), and x-jitbull-client labels every request from this
+   client. *)
 let dispatch_batch t batch =
   let reqs = List.mapi (fun i p -> { p.p_req with Proto.vr_id = i }) batch in
+  let headers =
+    ("x-jitbull-client", t.client_id)
+    ::
+    (match List.find_map (fun p -> p.p_parent) batch with
+    | Some parent ->
+      [
+        ( Propagate.header_name,
+          Propagate.encode
+            { Propagate.trace_id = t.trace_id; parent_id = parent } );
+      ]
+    | None -> [])
+  in
   let attempt () =
-    match verdict_roundtrip (dispatcher_conn t) reqs with
+    match verdict_roundtrip (dispatcher_conn t) ~headers reqs with
     | Ok resps -> Ok resps
     | Error e ->
       drop_dispatcher_conn t;
@@ -167,6 +200,9 @@ let dispatcher_loop t =
    submit blocks (backpressure) rather than growing the batch beyond
    what one round-trip should carry. *)
 let submit t (req : Proto.verdict_req) =
+  (* capture the caller's open span before taking the coalescer lock:
+     the dispatcher thread that sends the batch has no useful context *)
+  let parent = Obs.current_span t.obs in
   let c = t.coal in
   Mutex.lock c.c_mu;
   if c.c_stop then begin
@@ -182,7 +218,7 @@ let submit t (req : Proto.verdict_req) =
       Error "client closed"
     end
     else begin
-      let p = { p_req = req; p_result = None } in
+      let p = { p_req = req; p_parent = parent; p_result = None } in
       Queue.push p c.c_queue;
       Condition.signal c.c_nonempty;
       while p.p_result = None && not c.c_stop do
@@ -198,8 +234,14 @@ let submit t (req : Proto.verdict_req) =
 
 (* ---- replica sync (the local-fallback DB) ---- *)
 
-let fetch_json conn ?timeout_s path =
-  match Http.Conn.request conn ?timeout_s path with
+(* Every request this client issues — verdict batches, replica syncs,
+   warm prefetches, long polls, telemetry pushes — carries its fleet
+   label, so server logs and spans attribute wire traffic per client
+   even off the verdict path. *)
+let base_headers t = [ ("x-jitbull-client", t.client_id) ]
+
+let fetch_json conn ?headers ?timeout_s path =
+  match Http.Conn.request conn ?headers ?timeout_s path with
   | 200, _, body -> Ok (Jsonx.parse body)
   | status, _, body -> Error (Printf.sprintf "HTTP %d: %s" status body)
 
@@ -215,7 +257,7 @@ let sync_replica t conn =
     ~finally:(fun () -> Mutex.unlock t.replica_mu)
     (fun () ->
       match
-        fetch_json conn
+        fetch_json conn ~headers:(base_headers t)
           (Printf.sprintf "/delta?gen=%d" (Atomic.get t.replica_gen))
       with
       | Error e -> Error e
@@ -253,7 +295,7 @@ let sync t = with_conn t (fun conn -> sync_replica t conn)
 
 let warm t ~n =
   with_conn t (fun conn ->
-      match fetch_json conn (Printf.sprintf "/warm?n=%d" n) with
+      match fetch_json conn ~headers:(base_headers t) (Printf.sprintf "/warm?n=%d" n) with
       | Error e -> Error e
       | Ok j -> (
         (* parse fully before touching the table, so a malformed payload
@@ -352,7 +394,7 @@ let subscriber_loop t =
       (* long poll well past the server's wait; the request-level timeout
          keeps a dead server from hanging us forever, and [close]
          interrupts via [Conn.shutdown] *)
-      fetch_json c ~timeout_s:35.0
+      fetch_json c ~headers:(base_headers t) ~timeout_s:35.0
         (Printf.sprintf "/subscribe?gen=%d&timeout_ms=30000"
            (Atomic.get t.gen))
     with
@@ -373,15 +415,79 @@ let subscriber_loop t =
   done;
   drop_conn ()
 
+(* ---- fleet telemetry push ---- *)
+
+(* Build and POST one cumulative snapshot + audit delta. Totals are
+   cumulative, so re-pushing is idempotent server-side; the delta
+   cursor [pushed_seq] only advances on a 200, so records carried by a
+   failed push ride again on the next one. *)
+let push t =
+  match t.obs with
+  | None -> Ok 0
+  | Some o ->
+    let audit = Obs.audit o in
+    let snapshot =
+      {
+        Fleet.sn_client = t.client_id;
+        sn_ts = Obs.now t.obs;
+        sn_totals = Audit.totals audit;
+        sn_install_p99 =
+          Metrics.quantile
+            (Metrics.histogram ~bounds:Metrics.queue_latency_bounds
+               (Obs.metrics o) "compile.install_latency_seconds")
+            0.99;
+        sn_metrics = Metrics.view_to_json (Obs.view t.obs);
+      }
+    in
+    (* bound the wire payload; the tail rides on the next push *)
+    let deltas =
+      List.filteri (fun i _ -> i < 512) (Audit.since audit t.pushed_seq)
+    in
+    let body = Fleet.encode_push snapshot deltas in
+    (match
+       with_conn t (fun conn ->
+           Http.Conn.request conn ~meth:"POST" ~headers:(base_headers t)
+             ~body "/push")
+     with
+    | 200, _, _ ->
+      (match List.rev deltas with
+      | last :: _ -> t.pushed_seq <- last.Audit.seq + 1
+      | [] -> ());
+      Obs.incr t.obs "engine.fleet_pushes";
+      Ok (List.length deltas)
+    | status, _, body -> Error (Printf.sprintf "HTTP %d: %s" status body)
+    | exception Http.Closed -> Error "connection closed"
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+let pusher_loop t interval =
+  while not (Atomic.get t.stop_flag) do
+    (* chunked sleep so close never waits out a long interval *)
+    let deadline = Unix.gettimeofday () +. interval in
+    while (not (Atomic.get t.stop_flag)) && Unix.gettimeofday () < deadline do
+      Unix.sleepf (Float.min 0.05 interval)
+    done;
+    if not (Atomic.get t.stop_flag) then
+      ignore (push t : (int, string) result)
+  done
+
 (* ---- lifecycle ---- *)
 
 let connect ?(timeout_s = 2.0) ?(max_batch = 32) ?(max_queue = 256) ?obs
-    ?(subscribe = true) ~port () =
+    ?(subscribe = true) ?client_id ?push_interval_s ~port () =
+  let client_id =
+    match client_id with
+    | Some c -> c
+    | None -> "pid-" ^ string_of_int (Unix.getpid ())
+  in
   let t =
     {
       port;
       timeout_s;
       obs;
+      client_id;
+      trace_id = Propagate.fresh_trace_id ();
+      push_interval_s;
+      pushed_seq = 0;
       gen = Atomic.make 0;
       replica = Db.create ();
       replica_gen = Atomic.make 0;
@@ -416,6 +522,12 @@ let connect ?(timeout_s = 2.0) ?(max_batch = 32) ?(max_queue = 256) ?obs
   let threads =
     if subscribe then Thread.create subscriber_loop t :: threads else threads
   in
+  let threads =
+    match push_interval_s with
+    | Some iv when iv > 0.0 ->
+      Thread.create (fun () -> pusher_loop t iv) () :: threads
+    | _ -> threads
+  in
   t.threads <- threads;
   t
 
@@ -434,7 +546,12 @@ let close t =
   Mutex.unlock c.c_mu;
   List.iter Thread.join t.threads;
   t.threads <- [];
-  drop_dispatcher_conn t
+  drop_dispatcher_conn t;
+  (* final push so a short-lived client's totals reach the fleet view;
+     the pusher thread is already joined, so [pushed_seq] is ours *)
+  match t.push_interval_s with
+  | Some _ -> ( try ignore (push t : (int, string) result) with _ -> ())
+  | None -> ()
 
 (* ---- the remote analyzer and engine configuration ---- *)
 
@@ -471,7 +588,14 @@ let analyzer ?params t : Engine.analyzer =
         vr_dna = Sexpr.to_string (Dna.to_sexpr dna);
       }
     in
-    match submit t req with
+    match
+      (* the span whose id rides the wire as the batch's remote parent:
+         [submit] captures it as [p_parent] before parking the request *)
+      Obs.span t.obs
+        ~fields:[ ("func", Jsonx.String name) ]
+        "remote_verdict"
+        (fun () -> submit t req)
+    with
     | Ok resp ->
       Obs.incr t.obs "engine.remote_verdicts";
       Proto.decision_of_verdict resp.Proto.vs_verdict

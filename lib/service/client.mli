@@ -13,10 +13,26 @@
     [Policy_cache.store ~if_generation] discipline, stretched over the
     wire).
 
+    {b Trace propagation.} Every wire request carries this client's
+    trace context: an [x-jitbull-client] label plus, when the
+    submitting thread had an open span, a traceparent header
+    ({!Jitbull_obs.Propagate}) naming it — the coalescer stamps each
+    batch with the first pending submitter's span, so the server's
+    "service.verdict" span parents back into this process's trace.
+    The remote analyzer wraps its query in a [remote_verdict] span for
+    exactly this purpose.
+
+    {b Fleet telemetry.} With [push_interval_s], a pusher thread POSTs
+    a cumulative snapshot (audit totals, install-latency p99, the full
+    metrics view) plus the audit-record delta since the last accepted
+    push to [/push] every interval, and once more on {!close} — see
+    {!Jitbull_obs.Fleet}.
+
     Counters (via [obs]): [engine.remote_verdicts] (answered by the
     server or the warm table), [engine.warm_hits],
     [engine.remote_fallbacks] (answered locally against the replica),
-    [engine.remote_pushes] (generation bumps observed). *)
+    [engine.remote_pushes] (generation bumps observed),
+    [engine.fleet_pushes] (accepted telemetry pushes). *)
 
 type t
 
@@ -26,13 +42,17 @@ type t
     [max_queue] bounds the coalescer (further submitters block —
     backpressure, not unbounded batching). [timeout_s] is the per-
     round-trip socket timeout after which a verdict falls back to the
-    replica. *)
+    replica. [client_id] (default ["pid-<pid>"], at most 128 bytes
+    server-side) labels this client's requests and fleet series;
+    [push_interval_s] enables the telemetry pusher. *)
 val connect :
   ?timeout_s:float ->
   ?max_batch:int ->
   ?max_queue:int ->
   ?obs:Jitbull_obs.Obs.t ->
   ?subscribe:bool ->
+  ?client_id:string ->
+  ?push_interval_s:float ->
   port:int ->
   unit ->
   t
@@ -43,6 +63,12 @@ val generation : t -> int
 
 val replica : t -> Jitbull_core.Db.t
 
+(** The fleet label every request carries ([x-jitbull-client]). *)
+val client_id : t -> string
+
+(** The 32-hex trace id this client's traceparent headers carry. *)
+val trace_id : t -> string
+
 (** [submit t req] — enqueue one request on the coalescer and block
     until its batch round-trips. Thread-safe; this is what the remote
     analyzer calls. *)
@@ -51,9 +77,11 @@ val submit :
 
 (** [verdict_roundtrip conn reqs] — one stateless JSONL batch on a raw
     connection (bench clients own their connections and batch
-    explicitly). *)
+    explicitly). [headers] are extra request headers, e.g. a
+    traceparent. *)
 val verdict_roundtrip :
   Jitbull_obs.Http_export.Conn.t ->
+  ?headers:(string * string) list ->
   Proto.verdict_req list ->
   (Proto.verdict_resp list, string) result
 
@@ -62,6 +90,7 @@ val verdict_roundtrip :
     it, keeping serialization off the measured path. *)
 val verdict_roundtrip_raw :
   Jitbull_obs.Http_export.Conn.t ->
+  ?headers:(string * string) list ->
   count:int ->
   string ->
   (Proto.verdict_resp list, string) result
@@ -74,6 +103,12 @@ val sync : t -> (int, string) result
     Warm entries are consulted only while their generation matches the
     client's current one, and the table is dropped on every push. *)
 val warm : t -> n:int -> (int, string) result
+
+(** Push one telemetry snapshot + audit delta to [/push] now. [Ok n]
+    is the number of delta records accepted; the delta cursor advances
+    only on success, so failed pushes retry their records. [Ok 0]
+    without a wire round-trip when the client has no [obs]. *)
+val push : t -> (int, string) result
 
 (** Run [f gen] after each observed generation push (after caches are
     flushed and before the replica resync completes). *)

@@ -2,6 +2,9 @@ module Http = Jitbull_obs.Http_export
 module Obs = Jitbull_obs.Obs
 module Metrics = Jitbull_obs.Metrics
 module Jsonx = Jitbull_obs.Jsonx
+module Audit = Jitbull_obs.Audit
+module Propagate = Jitbull_obs.Propagate
+module Fleet = Jitbull_obs.Fleet
 module Sexpr = Jitbull_util.Sexpr
 module Engine = Jitbull_jit.Engine
 module Db = Jitbull_core.Db
@@ -72,12 +75,14 @@ type t = {
   max_bodies : int;
   warm_mu : Mutex.t;
   warm : (int * int, warm_cell) Hashtbl.t;
+  fleet : Fleet.t;  (** per-client telemetry pushed via [POST /push] *)
   subscribe_poll_s : float;
   mutable server : Http.Server.t option;
 }
 
 let db t = t.db
 let sharded t = t.idx
+let fleet t = t.fleet
 
 let port t =
   match t.server with Some s -> Http.Server.port s | None -> invalid_arg "port"
@@ -91,7 +96,27 @@ let json_error status msg =
   Http.respond ~status ~content_type:"application/json"
     (Jsonx.to_string (Jsonx.Assoc [ ("error", Jsonx.String msg) ]))
 
-let decide_no_warm t (req : Proto.verdict_req) : Proto.verdict_resp =
+(* Every served decision is audited (when obs is installed) with the
+   same evidence shape as a local one, plus fleet provenance: the
+   requesting client id and the remote parent span that asked. *)
+let audit_decision t ?client_id ?remote_parent ~(req : Proto.verdict_req)
+    ~verdict ~matches ~prefilter_candidates ~prefilter_hits ~db_generation
+    ~source ~duration () =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    ignore
+      (Audit.append (Obs.audit o) ?client_id ?remote_parent
+         ~func_name:req.Proto.vr_func ~func_index:req.Proto.vr_id
+         ~bytecode_hash:req.Proto.vr_bytecode_hash
+         ~feedback_hash:req.Proto.vr_feedback_hash
+         ~verdict:(Jitbull.audit_verdict verdict)
+         ~matches ~thr:t.params.Comparator.thr ~ratio:t.params.Comparator.ratio
+         ~prefilter_candidates ~prefilter_hits ~db_generation
+         ~db_size:(Db.size t.db) ~source ~duration ())
+
+let decide_no_warm t ?client_id ?remote_parent (req : Proto.verdict_req) :
+    Proto.verdict_resp =
   let key = Proto.req_key req in
   match if t.use_cache then Engine.Policy_cache.lookup t.cache key else None with
   | Some d ->
@@ -107,8 +132,12 @@ let decide_no_warm t (req : Proto.verdict_req) : Proto.verdict_resp =
         vs_cached = true;
       }
     in
+    audit_decision t ?client_id ?remote_parent ~req ~verdict ~matches:[]
+      ~prefilter_candidates:0 ~prefilter_hits:0 ~db_generation:gen
+      ~source:Audit.Cache_hit ~duration:0.0 ();
     resp
   | None ->
+    let t0 = Obs.now t.obs in
     let dna = Dna.of_sexpr (Sexpr.of_string req.Proto.vr_dna) in
     let q = Db.Sharded.matching_detailed ~params:t.params ?obs:t.obs t.idx dna in
     let matched = Db.drop_details q.Db.q_matches in
@@ -116,6 +145,13 @@ let decide_no_warm t (req : Proto.verdict_req) : Proto.verdict_resp =
     if t.use_cache then
       Engine.Policy_cache.store ~if_generation:q.Db.q_generation t.cache key
         (Proto.decision_of_verdict verdict);
+    audit_decision t ?client_id ?remote_parent ~req ~verdict
+      ~matches:(Jitbull.audit_matches q.Db.q_matches)
+      ~prefilter_candidates:q.Db.q_prefilter_candidates
+      ~prefilter_hits:q.Db.q_prefilter_hits ~db_generation:q.Db.q_generation
+      ~source:Audit.Fresh
+      ~duration:(Float.max 0.0 (Obs.now t.obs -. t0))
+      ();
     {
       Proto.vs_id = req.Proto.vr_id;
       vs_verdict = verdict;
@@ -141,8 +177,8 @@ let touch_warm t ~bh ~fh ~verdict ~passes ~gen =
       { w_count = 1; w_verdict = verdict; w_passes = passes; w_gen = gen });
   Mutex.unlock t.warm_mu
 
-let decide t req =
-  let resp = decide_no_warm t req in
+let decide t ?client_id ?remote_parent req =
+  let resp = decide_no_warm t ?client_id ?remote_parent req in
   touch_warm t ~bh:req.Proto.vr_bytecode_hash ~fh:req.Proto.vr_feedback_hash
     ~verdict:resp.Proto.vs_verdict ~passes:resp.Proto.vs_passes
     ~gen:resp.Proto.vs_generation;
@@ -192,7 +228,7 @@ let body_store t key cell =
     Mutex.unlock t.body_mu
   end
 
-let verdict_response t body =
+let verdict_body t ?client_id ?remote_parent body =
   let bkey = Proto.line_key body in
   match body_find t bkey with
   | Some c ->
@@ -230,7 +266,7 @@ let verdict_response t body =
         | None ->
           Obs.incr t.obs "service.cache_misses";
           let req = Proto.req_of_json (Jsonx.parse line) in
-          let resp = decide t req in
+          let resp = decide t ?client_id ?remote_parent req in
           let cached_line =
             Jsonx.to_string
               (Proto.resp_to_json { resp with Proto.vs_cached = true })
@@ -275,6 +311,32 @@ let verdict_response t body =
       | exception Jsonx.Parse_error msg -> json_error 400 ("bad request: " ^ msg)
       | exception Sexpr.Decode_error msg -> json_error 400 ("bad dna: " ^ msg)
     end)
+
+(* One "service.verdict" span per HTTP request, parented — via the
+   traceparent header — on the client-side span that issued the batch:
+   merging this process's trace file with the engine's yields one
+   connected chain from the engine's tier_up_request through here.
+   [Obs.record_span] synthesizes the span without touching the serving
+   thread's span stack, so concurrent connection threads can't
+   mis-parent each other. *)
+let verdict_response t ?ctx ?client body =
+  let t0 = Obs.now t.obs in
+  let remote_parent = Option.map (fun c -> c.Propagate.parent_id) ctx in
+  let resp = verdict_body t ?client_id:client ?remote_parent body in
+  (if resp.Http.rs_status = 200 then
+     let fields =
+       (match client with
+       | Some c -> [ ("client", Jsonx.String c) ]
+       | None -> [])
+       @
+       match ctx with
+       | Some c -> [ ("trace_id", Jsonx.String c.Propagate.trace_id) ]
+       | None -> []
+     in
+     Obs.record_span t.obs ~fields ?parent:remote_parent ~ts:t0
+       ~dur:(Float.max 0.0 (Obs.now t.obs -. t0))
+       "service.verdict");
+  resp
 
 (* ---- subscribe / delta / warm / gen ---- *)
 
@@ -395,6 +457,35 @@ let remove_response t query =
     remove_cve t cve;
     Http.respond ~content_type:"application/json" (gen_json (Db.generation t.db))
 
+(* ---- fleet telemetry (POST /push, GET /fleet) ---- *)
+
+let push_response t body =
+  match Fleet.decode_push body with
+  | Error msg -> json_error 400 ("bad push: " ^ msg)
+  | Ok (s, deltas) ->
+    Fleet.apply t.fleet s ~deltas;
+    Obs.incr t.obs "service.pushes_total";
+    Obs.add t.obs "service.push_delta_records" (List.length deltas);
+    Http.respond ~content_type:"application/json"
+      (Jsonx.to_string
+         (Jsonx.Assoc
+            [
+              ("ok", Jsonx.Bool true);
+              ("clients", Jsonx.Int (List.length (Fleet.clients t.fleet)));
+            ]))
+
+let fleet_response t query =
+  match List.assoc_opt "format" query with
+  | Some "html" ->
+    Http.respond ~content_type:"text/html; charset=utf-8"
+      (Fleet.render_html t.fleet)
+  | Some "json" ->
+    Http.respond ~content_type:"application/json"
+      (Jsonx.to_string (Fleet.to_json t.fleet))
+  | _ ->
+    Http.respond ~content_type:"text/plain; version=0.0.4"
+      (Fleet.render_prometheus t.fleet)
+
 (* ---- routing ---- *)
 
 let handle t (req : Http.request) =
@@ -402,39 +493,57 @@ let handle t (req : Http.request) =
     Obs.incr t.obs "service.requests_total";
     Obs.incr t.obs ("service.requests." ^ ep)
   in
-  match (req.Http.rq_path, req.Http.rq_meth) with
-  | "/verdict", "POST" ->
-    count "verdict";
-    verdict_response t req.Http.rq_body
-  | "/verdict", _ -> json_error 405 "POST required"
-  | "/subscribe", _ ->
-    count "subscribe";
-    subscribe_response t req.Http.rq_query
-  | "/delta", _ ->
-    count "delta";
-    delta_response t req.Http.rq_query
-  | "/warm", _ ->
-    count "warm";
-    warm_response t req.Http.rq_query
-  | "/gen", _ ->
-    count "gen";
-    Http.respond ~content_type:"application/json"
-      (gen_json (Db.generation t.db))
-  | "/install", "POST" ->
-    count "install";
-    install_response t req.Http.rq_body
-  | "/remove", "POST" ->
-    count "remove";
-    remove_response t req.Http.rq_query
-  | _ -> (
-    match t.obs with
-    | Some obs -> (
-      match Http.obs_routes ~obs req with
-      | Some resp ->
-        count (String.sub req.Http.rq_path 1 (String.length req.Http.rq_path - 1));
-        resp
-      | None -> Http.respond ~status:404 "not found\n")
-    | None -> Http.respond ~status:404 "not found\n")
+  (* A present-but-malformed trace context is a client error on any
+     route — hostile header values must not silently drop provenance. *)
+  match
+    match List.assoc_opt Propagate.header_name req.Http.rq_headers with
+    | None -> Ok None
+    | Some v -> Result.map Option.some (Propagate.decode v)
+  with
+  | Error msg -> json_error 400 msg
+  | Ok ctx -> (
+    let client = List.assoc_opt "x-jitbull-client" req.Http.rq_headers in
+    match (req.Http.rq_path, req.Http.rq_meth) with
+    | "/verdict", "POST" ->
+      count "verdict";
+      verdict_response t ?ctx ?client req.Http.rq_body
+    | "/verdict", _ -> json_error 405 "POST required"
+    | "/push", "POST" ->
+      count "push";
+      push_response t req.Http.rq_body
+    | "/push", _ -> json_error 405 "POST required"
+    | "/fleet", _ ->
+      count "fleet";
+      fleet_response t req.Http.rq_query
+    | "/subscribe", _ ->
+      count "subscribe";
+      subscribe_response t req.Http.rq_query
+    | "/delta", _ ->
+      count "delta";
+      delta_response t req.Http.rq_query
+    | "/warm", _ ->
+      count "warm";
+      warm_response t req.Http.rq_query
+    | "/gen", _ ->
+      count "gen";
+      Http.respond ~content_type:"application/json"
+        (gen_json (Db.generation t.db))
+    | "/install", "POST" ->
+      count "install";
+      install_response t req.Http.rq_body
+    | "/remove", "POST" ->
+      count "remove";
+      remove_response t req.Http.rq_query
+    | _ -> (
+      match t.obs with
+      | Some obs -> (
+        match Http.obs_routes ~obs req with
+        | Some resp ->
+          count
+            (String.sub req.Http.rq_path 1 (String.length req.Http.rq_path - 1));
+          resp
+        | None -> Http.not_found ())
+      | None -> Http.not_found ()))
 
 let create ?(params = Comparator.default_params) ?(shards = 4) ?(workers = 4)
     ?obs ?(subscribe_poll_s = 0.005) ?(server_cache = true) ~db ~port () =
@@ -457,6 +566,7 @@ let create ?(params = Comparator.default_params) ?(shards = 4) ?(workers = 4)
       max_bodies = 16384;
       warm_mu = Mutex.create ();
       warm = Hashtbl.create 256;
+      fleet = Fleet.create ();
       subscribe_poll_s;
       server = None;
     }

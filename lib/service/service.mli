@@ -32,8 +32,21 @@
       still valid at the current generation.
     - [GET /gen] — current generation. [POST /install] (entry sexpr
       body) / [POST /remove?cve=C] — DB mutation over the wire.
+    - [POST /push] — fleet telemetry: a cumulative snapshot + audit
+      delta from one engine client ({!Jitbull_obs.Fleet} framing).
+      [GET /fleet] — the per-client-labeled aggregates as Prometheus
+      text (default), an HTML dashboard ([?format=html]), or JSON
+      ([?format=json]).
     - With [obs]: the observability routes ([/metrics], [/healthz], …)
       mounted behind the service's own.
+
+    {b Trace propagation.} Requests may carry a W3C-traceparent-style
+    context header plus an [x-jitbull-client] label
+    ({!Jitbull_obs.Propagate}); [/verdict] then records its
+    "service.verdict" span parented on the remote client span, and
+    server-side audit records carry the client id and remote parent —
+    merging the two processes' trace files reconstructs a tier-up
+    end-to-end. A present-but-malformed header is a 400 on any route.
 
     Metrics (via [obs]): [service.requests_total] and per-endpoint
     [service.requests.<endpoint>] counters,
@@ -70,6 +83,9 @@ val db : t -> Jitbull_core.Db.t
 val sharded : t -> Jitbull_core.Db.Sharded.t
 val server : t -> Jitbull_obs.Http_export.Server.t
 
+(** The fleet-telemetry aggregator behind [/push] and [/fleet]. *)
+val fleet : t -> Jitbull_obs.Fleet.t
+
 (** In-process mutation: DB update + shard refresh. Subscribers observe
     the generation bump on their next poll tick. *)
 val install : t -> Jitbull_core.Db.entry -> unit
@@ -78,7 +94,10 @@ val remove_cve : t -> string -> unit
 
 (** One verdict, computed exactly as [POST /verdict] would (cache,
     sharded query, warm tracking) — exposed for tests and the
-    remote==local oracle. *)
-val decide : t -> Proto.verdict_req -> Proto.verdict_resp
+    remote==local oracle. [client_id]/[remote_parent] stamp fleet
+    provenance into the audit record, as the wire path does. *)
+val decide :
+  t -> ?client_id:string -> ?remote_parent:int -> Proto.verdict_req ->
+  Proto.verdict_resp
 
 val stop : t -> unit
