@@ -487,9 +487,119 @@ let fuzz_pipeline () =
         ("coverage_curve", curve_json g);
       ]
   in
+
+  (* ---- typed-IL vs AST mutation yield (A/B at equal budget) ---- *)
+  Printf.printf "\ntyped-IL vs AST mutation yield (equal budget, same engine):\n";
+  let yield_budget = 400 in
+  let il_run =
+    F.Harness.guided_campaign ~config:all_vulns ~il:true ~rng_seed:7
+      ~max_execs:yield_budget ()
+  in
+  let ast_run =
+    F.Harness.guided_campaign ~config:all_vulns ~rng_seed:7 ~max_execs:yield_budget ()
+  in
+  let yield_row name (y : F.Harness.yield) =
+    Printf.printf "  %-4s %5d mutants %5d valid  %5.1f%% yield\n" name
+      y.F.Harness.y_mutants y.F.Harness.y_valid
+      (100.0 *. F.Harness.yield_ratio y)
+  in
+  yield_row "il" il_run.F.Harness.g_il_yield;
+  yield_row "ast" ast_run.F.Harness.g_ast_yield;
+  Printf.printf
+    "  typed IL keeps %.1f%% of mutants clean on the reference tier vs %.1f%% for AST splicing\n"
+    (100.0 *. F.Harness.yield_ratio il_run.F.Harness.g_il_yield)
+    (100.0 *. F.Harness.yield_ratio ast_run.F.Harness.g_ast_yield);
+  let yield_json (y : F.Harness.yield) =
+    Jsonx.Assoc
+      [
+        ("mutants", Jsonx.Int y.F.Harness.y_mutants);
+        ("valid", Jsonx.Int y.F.Harness.y_valid);
+        ("ratio", Jsonx.Float (F.Harness.yield_ratio y));
+      ]
+  in
+
+  (* ---- distributed campaign: worker-scaling curves + CVE attribution ---- *)
+  let topo_execs = 200 and topo_rounds = 2 in
+  Printf.printf
+    "\ndistributed campaign (in-process master + N worker threads, typed IL,\n\
+     %d execs/round x %d rounds per worker, all 8 CVEs live, attribution on):\n"
+    topo_execs topo_rounds;
+  let run_topology n =
+    let master = F.Sync.Master.start ~config:all_vulns ~port:0 () in
+    let port = F.Sync.Master.port master in
+    let t0 = Unix.gettimeofday () in
+    let results = Array.make n None in
+    let threads =
+      List.init n (fun i ->
+          Thread.create
+            (fun i ->
+              results.(i) <-
+                Some
+                  (F.Sync.Worker.run ~config:all_vulns ~il:true ~track_cves:true
+                     ~rounds:topo_rounds ~execs_per_round:topo_execs
+                     ~rng_seed:(97 * n + i)
+                     ~id:(Printf.sprintf "bench-w%d" (i + 1))
+                     ~port ()))
+            i)
+    in
+    List.iter Thread.join threads;
+    let secs = Unix.gettimeofday () -. t0 in
+    let rs = List.filter_map Fun.id (Array.to_list results) in
+    let execs = List.fold_left (fun a r -> a + r.F.Sync.Worker.w_execs) 0 rs in
+    let cves =
+      List.sort_uniq compare
+        (List.concat_map (fun r -> List.map fst r.F.Sync.Worker.w_cve_execs) rs)
+    in
+    let coverage = F.Sync.Master.coverage_count master in
+    let corpus = F.Sync.Master.corpus_size master in
+    let syncs = F.Sync.Master.syncs master in
+    F.Sync.Master.stop master;
+    (execs, secs, coverage, corpus, syncs, cves)
+  in
+  Printf.printf "  %-7s %6s %7s %8s %9s %7s %6s  %s\n" "workers" "execs" "secs" "execs/s"
+    "coverage" "corpus" "syncs" "CVEs";
+  let topo_json = ref [] in
+  let rates = ref [] in
+  List.iter
+    (fun n ->
+      let execs, secs, coverage, corpus, syncs, cves = run_topology n in
+      let r = float_of_int execs /. Float.max 1e-9 secs in
+      rates := !rates @ [ (n, r) ];
+      Printf.printf "  %-7d %6d %7.1f %8.0f %9d %7d %6d  %d/8\n" n execs secs r coverage
+        corpus syncs (List.length cves);
+      topo_json :=
+        !topo_json
+        @ [
+            Jsonx.Assoc
+              [
+                ("workers", Jsonx.Int n);
+                ("execs", Jsonx.Int execs);
+                ("seconds", Jsonx.Float secs);
+                ("execs_per_sec", Jsonx.Float r);
+                ("coverage", Jsonx.Int coverage);
+                ("corpus", Jsonx.Int corpus);
+                ("syncs", Jsonx.Int syncs);
+                ( "cves_attributed",
+                  Jsonx.List (List.map (fun c -> Jsonx.String (VC.cve_name c)) cves) );
+              ];
+          ])
+    [ 1; 2; 4 ];
+  let cores = Domain.recommended_domain_count () in
+  let scaling_1_2 =
+    match (List.assoc_opt 1 !rates, List.assoc_opt 2 !rates) with
+    | Some r1, Some r2 when r1 > 0.0 -> r2 /. r1
+    | _ -> 0.0
+  in
+  Printf.printf "  aggregate throughput 1 -> 2 workers: %.2fx\n" scaling_1_2;
+  Printf.printf
+    "  (workers are systhreads sharing one runtime domain: compute scaling is bounded\n\
+    \   by host cores — this host has %d, so any gain above 1x here comes from corpus\n\
+    \   sharing lowering per-exec cost, not from parallel execution)\n"
+    cores;
   emit "fuzz"
     (Jsonx.Assoc
        [
+         ("env_report", Env_report.to_json ());
          ("train_signals", Jsonx.Int (List.length train.F.Harness.signals));
          ("harvested_entries", Jsonx.Int n);
          ("fresh_exploits_unprotected", Jsonx.Int (List.length before.F.Harness.signals));
@@ -498,6 +608,10 @@ let fuzz_pipeline () =
          ("blind", mode_json blind);
          ( "guided_dominates",
            Jsonx.Bool (guided.F.Harness.g_coverage > blind.F.Harness.g_coverage) );
+         ("il_yield", yield_json il_run.F.Harness.g_il_yield);
+         ("ast_yield", yield_json ast_run.F.Harness.g_ast_yield);
+         ("topologies", Jsonx.List !topo_json);
+         ("scaling_1_to_2_workers", Jsonx.Float scaling_1_2);
        ])
 
 (* ---- Ablation: comparator parameters and sub-chain size ----

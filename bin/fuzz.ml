@@ -7,6 +7,11 @@
                                                      coverage-guided campaign
      jitbull-fuzz --aggressive --vuln all --auto-db out.db --minimize
                                                      harvest + shrink findings
+     jitbull-fuzz --il --guided --vuln all           typed-IL mutation mode
+     jitbull-fuzz --master --port 9300 --corpus c/   corpus-sync master
+     jitbull-fuzz --worker w1 --connect 9300 --il    one sync worker
+     jitbull-fuzz --workers 2 --il --vuln all        in-process 2-worker fleet
+     jitbull-fuzz --corpus c/ --distill distilled/   coverage-preserving subset
 
    Exit status is nonzero whenever the campaign ends with un-harvested
    signals: any signal at all without --auto-db, or a signal the freshly
@@ -38,8 +43,67 @@ let write_file path contents =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
 
+let print_yields (il_y : F.Harness.yield) (ast_y : F.Harness.yield) =
+  if il_y.F.Harness.y_mutants > 0 || ast_y.F.Harness.y_mutants > 0 then
+    Printf.printf
+      "yield: il %d/%d (%.1f%%)  ast %d/%d (%.1f%%)\n"
+      il_y.F.Harness.y_valid il_y.F.Harness.y_mutants
+      (100. *. F.Harness.yield_ratio il_y)
+      ast_y.F.Harness.y_valid ast_y.F.Harness.y_mutants
+      (100. *. F.Harness.yield_ratio ast_y)
+
+(* --distill: minimize the persisted corpus to a coverage-preserving
+   subset and commit it (MANIFEST + renumbered entries) to OUT. *)
+let run_distill config corpus_dir out =
+  match corpus_dir with
+  | None -> `Error (false, "--distill requires --corpus DIR (the corpus to minimize)")
+  | Some dir ->
+    let corpus = F.Corpus.create ~dir () in
+    let d = F.Sync.distill ~config (F.Corpus.entries corpus) in
+    F.Sync.write_distilled ~dir:out d;
+    Printf.printf "distilled %d -> %d entries, %d features preserved -> %s\n"
+      d.F.Sync.d_total
+      (List.length d.F.Sync.d_entries)
+      d.F.Sync.d_features out;
+    `Ok ()
+
+(* --master: serve the corpus-sync endpoints until killed (or for
+   --serve-seconds, which CI uses). *)
+let run_master config corpus_dir port serve_seconds =
+  let m = F.Sync.Master.start ~config ?corpus_dir ~port () in
+  Printf.printf "master on 127.0.0.1:%d (corpus: %s)\n%!" (F.Sync.Master.port m)
+    (match corpus_dir with Some d -> d | None -> "in-memory");
+  (match serve_seconds with
+  | Some s -> Unix.sleepf s
+  | None ->
+    let forever = Mutex.create () in
+    let never = Condition.create () in
+    Mutex.lock forever;
+    while true do
+      Condition.wait never forever
+    done);
+  Printf.printf "master: coverage %d, corpus %d, syncs %d\n"
+    (F.Sync.Master.coverage_count m)
+    (F.Sync.Master.corpus_size m) (F.Sync.Master.syncs m);
+  F.Sync.Master.stop m;
+  `Ok ()
+
+let print_worker id (r : F.Sync.Worker.result) =
+  Printf.printf
+    "worker %s: %d rounds, %d execs, coverage %d, corpus %d, uploaded %d, imported %d, signals %d\n"
+    id r.F.Sync.Worker.w_rounds r.w_execs r.w_coverage r.w_corpus_size r.w_uploaded
+    r.w_imported (List.length r.w_signals);
+  print_yields r.w_il_yield r.w_ast_yield;
+  match r.w_cve_execs with
+  | [] -> ()
+  | l ->
+    Printf.printf "  attributed: %s\n"
+      (String.concat ", "
+         (List.map (fun (c, e) -> Printf.sprintf "%s@%d" (VC.cve_name c) e) l))
+
 let run count seed0 aggressive vuln_names auto_db verbose corpus_dir guided minimize
-    time_budget jobs =
+    time_budget jobs il master worker connect port rounds serve_seconds workers
+    distill_out =
   let vulns = parse_vulns vuln_names in
   let pool = if jobs > 0 then Some (Compile_queue.create ~jobs ()) else None in
   Fun.protect
@@ -48,7 +112,59 @@ let run count seed0 aggressive vuln_names auto_db verbose corpus_dir guided mini
       let config =
         fast { Engine.default_config with Engine.vulns; compile_pool = pool }
       in
-      let use_guided = guided || corpus_dir <> None in
+      match (distill_out, master, worker) with
+      | Some out, _, _ -> run_distill config corpus_dir out
+      | None, true, _ -> run_master config corpus_dir port serve_seconds
+      | None, false, Some id ->
+        let r =
+          F.Sync.Worker.run ~config ~il ~rounds ~execs_per_round:count
+            ~rng_seed:seed0 ~id ~port:connect ()
+        in
+        print_worker id r;
+        if r.F.Sync.Worker.w_signals = [] then `Ok ()
+        else
+          `Error
+            ( false,
+              Printf.sprintf "%d signal%s"
+                (List.length r.F.Sync.Worker.w_signals)
+                (if List.length r.F.Sync.Worker.w_signals = 1 then "" else "s") )
+      | None, false, None when workers > 0 ->
+        (* in-process topology: one master + N worker threads *)
+        let m = F.Sync.Master.start ~config ?corpus_dir ~port () in
+        let results = Array.make workers None in
+        let threads =
+          List.init workers (fun i ->
+              Thread.create
+                (fun i ->
+                  let id = Printf.sprintf "w%d" (i + 1) in
+                  results.(i) <-
+                    Some
+                      ( id,
+                        F.Sync.Worker.run ~config ~il ~rounds ~execs_per_round:count
+                          ~rng_seed:(seed0 + i) ~id ~port:(F.Sync.Master.port m) () ))
+                i)
+        in
+        List.iter Thread.join threads;
+        let signals = ref [] in
+        Array.iter
+          (function
+            | None -> ()
+            | Some (id, r) ->
+              print_worker id r;
+              signals := !signals @ r.F.Sync.Worker.w_signals)
+          results;
+        Printf.printf "master: coverage %d, corpus %d, syncs %d\n"
+          (F.Sync.Master.coverage_count m)
+          (F.Sync.Master.corpus_size m) (F.Sync.Master.syncs m);
+        F.Sync.Master.stop m;
+        if !signals = [] then `Ok ()
+        else
+          `Error
+            ( false,
+              Printf.sprintf "%d signal%s" (List.length !signals)
+                (if List.length !signals = 1 then "" else "s") )
+      | None, false, None ->
+      let use_guided = guided || corpus_dir <> None || il in
       let signals, total =
         if use_guided then begin
           let corpus = F.Corpus.create ?dir:corpus_dir () in
@@ -58,13 +174,14 @@ let run count seed0 aggressive vuln_names auto_db verbose corpus_dir guided mini
           in
           let g =
             F.Harness.guided_campaign ~config ~corpus ~rng_seed:seed0 ?time_budget
-              ~seed_sources ~max_execs:count ()
+              ~seed_sources ~il ~max_execs:count ()
           in
           Printf.printf
             "execs: %d  coverage: %d features  corpus: %d entries  signals: %d  (%.1f execs/s)\n"
             g.F.Harness.g_execs g.F.Harness.g_coverage g.F.Harness.g_corpus_size
             (List.length g.F.Harness.g_signals)
             (float_of_int g.F.Harness.g_execs /. Float.max 1e-9 g.F.Harness.g_seconds);
+          print_yields g.F.Harness.g_il_yield g.F.Harness.g_ast_yield;
           (g.F.Harness.g_signals, g.F.Harness.g_execs)
         end
         else begin
@@ -86,6 +203,7 @@ let run count seed0 aggressive vuln_names auto_db verbose corpus_dir guided mini
             (F.Oracle.verdict_summary f.F.Harness.verdict);
           if verbose then print_string f.F.Harness.source)
         signals;
+      let shrink_errors = ref 0 in
       if minimize && signals <> [] then begin
         let crash_dir =
           match corpus_dir with
@@ -98,8 +216,8 @@ let run count seed0 aggressive vuln_names auto_db verbose corpus_dir guided mini
         List.iter
           (fun (f : F.Harness.finding) ->
             let small =
-              F.Shrink.shrink_signal ~config ~verdict:f.F.Harness.verdict
-                f.F.Harness.source
+              F.Shrink.shrink_signal ~config ~seed:seed0 ~errors:shrink_errors
+                ~verdict:f.F.Harness.verdict f.F.Harness.source
             in
             Printf.printf "  minimized %d: %d -> %d bytes\n" f.F.Harness.seed
               (String.length f.F.Harness.source)
@@ -107,7 +225,11 @@ let run count seed0 aggressive vuln_names auto_db verbose corpus_dir guided mini
             match crash_dir with
             | Some dir -> write_file (Filename.concat dir (Printf.sprintf "min-%06d.js" f.F.Harness.seed)) small
             | None -> if verbose then print_string small)
-          signals
+          signals;
+        if !shrink_errors > 0 then
+          Printf.eprintf "warning: %d predicate crash%s during shrinking\n"
+            !shrink_errors
+            (if !shrink_errors = 1 then "" else "es")
       end;
       let unharvested =
         match auto_db with
@@ -124,9 +246,16 @@ let run count seed0 aggressive vuln_names auto_db verbose corpus_dir guided mini
           []
         | None -> signals
       in
-      match unharvested with
-      | [] -> `Ok ()
-      | fs ->
+      match (unharvested, !shrink_errors) with
+      | [], 0 -> `Ok ()
+      | [], n ->
+        (* the shrinker's oracle predicate crashed: the minimized
+           reproducers are untrustworthy — fail the run even though every
+           signal was harvested *)
+        `Error
+          (false, Printf.sprintf "%d predicate crash%s during shrinking" n
+                    (if n = 1 then "" else "es"))
+      | fs, _ ->
         `Error
           ( false,
             Printf.sprintf "%d un-harvested signal%s" (List.length fs)
@@ -160,6 +289,36 @@ let time_budget =
 let jobs =
   Arg.(value & opt int 0 & info [ "jobs" ] ~docv:"N"
        ~doc:"Background-compile the campaign engine with $(docv) helper domains.")
+let il =
+  Arg.(value & flag & info [ "il" ]
+       ~doc:"Typed-IL mutation mode: mutate at the verifier-safe IL level and \
+             report the IL-vs-AST mutation yield (implies $(b,--guided)).")
+let master =
+  Arg.(value & flag & info [ "master" ]
+       ~doc:"Serve the corpus-sync master ($(b,/fuzz/*), $(b,/push), $(b,/fleet)) \
+             on $(b,--port).")
+let worker =
+  Arg.(value & opt (some string) None & info [ "worker" ] ~docv:"ID"
+       ~doc:"Run one sync worker against the master at $(b,--connect).")
+let connect =
+  Arg.(value & opt int 9300 & info [ "connect" ] ~docv:"PORT"
+       ~doc:"Master port a $(b,--worker) dials.")
+let port =
+  Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT"
+       ~doc:"Master listen port (0 picks a free one).")
+let rounds =
+  Arg.(value & opt int 2 & info [ "rounds" ] ~docv:"N"
+       ~doc:"Sync rounds per worker (each runs $(b,--count) executions).")
+let serve_seconds =
+  Arg.(value & opt (some float) None & info [ "serve-seconds" ] ~docv:"S"
+       ~doc:"Stop a $(b,--master) after $(docv) seconds (default: run until killed).")
+let workers =
+  Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N"
+       ~doc:"In-process topology: one master plus $(docv) worker threads.")
+let distill_out =
+  Arg.(value & opt (some string) None & info [ "distill" ] ~docv:"DIR"
+       ~doc:"Minimize the $(b,--corpus) directory to a coverage-preserving \
+             subset written to $(docv) (MANIFEST + renumbered entries).")
 
 let cmd =
   Cmd.v
@@ -167,6 +326,7 @@ let cmd =
     Term.(
       ret
         (const run $ count $ seed0 $ aggressive $ vuln_names $ auto_db $ verbose
-       $ corpus_dir $ guided $ minimize $ time_budget $ jobs))
+       $ corpus_dir $ guided $ minimize $ time_budget $ jobs $ il $ master $ worker
+       $ connect $ port $ rounds $ serve_seconds $ workers $ distill_out))
 
 let () = exit (Cmd.eval cmd)

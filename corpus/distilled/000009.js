@@ -1,0 +1,14 @@
+function f0(f0v0) {
+  var f0v1 = 0;
+  for (var f0v2 = 0; f0v2 < 16; f0v2 = f0v2 + 1) {
+    var f0v3 = (f0v2 * f0v0);
+    f0v1 = (f0v1 + f0v3);
+  }
+  return f0v1;
+}
+var v0 = 0;
+for (var v1 = 0; v1 < 50; v1 = v1 + 1) {
+  var v2 = f0(v1);
+  v0 = (v0 + v2);
+}
+print(v0);

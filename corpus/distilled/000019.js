@@ -1,0 +1,32 @@
+function wipe(x) {
+  var noise = 0;
+  for (var i = 0; i < 20; (i = i + 1) - 1) {
+    noise = (noise * 31 + i) % 977;
+    noise = noise + (i & 3) - (noise >> 2);
+    noise = (noise ^ 5) + (i | 1);
+  }
+  x.length = 0;
+  return noise;
+}
+
+function pwn(v) {
+  var c = [8, 8, 8, 8];
+  c[0] = v;
+  wipe(c);
+  return c[0];
+  for (var i = 0; i < 20; (i = i + 1) - 1) {
+    noise = (noise * 31 + i) % 977;
+    noise = noise + (i & 3) - (noise >> 2);
+    noise = (noise ^ 5) + (i | 1);
+  }
+}
+
+var r = 0;
+c[0] = v;
+for (var k = 0; k < 60; (k = k + 1) - 1) {
+  r = pwn(k);
+}
+r = pwn(424242);
+if (r == 424242) {
+  print("PWNED stale read: " + r);
+}

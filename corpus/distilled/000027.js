@@ -1,0 +1,35 @@
+function f0(f0v0, f0v1) {
+  var f0v2 = 7;
+  var f0v3 = [f0v2, f0v2, f0v2, f0v2, f0v2, f0v2, f0v2, f0v2];
+  var f0v4 = 1;
+  f0v3[f0v4] = f0v0;
+  var f0v5 = 1;
+  var f0v6 = (f0v1 == f0v5);
+  if (f0v6) {
+    f0v3.length = 1;
+    var f0v7 = 9;
+    g0 = [f0v7, f0v7, f0v7, f0v7];
+  } else {
+    var f0v11 = [f0v4, f0v4, f0v4, f0v4, f0v4, f0v4, f0v4, f0v4];
+  }
+  var f0v8 = 1073741824;
+  f0v3[f0v4] = f0v8;
+  var f0v9 = 0;
+  var f0v10 = f0v3[f0v9];
+  return f0v10;
+}
+var g0 = [0];
+var v0 = 0;
+g0 = [v0];
+for (var v1 = 0; v1 < 60; v1 = v1 + 1) {
+  var v2 = f0(v1, v0);
+}
+var v3 = 7;
+var v4 = 1;
+var v5 = f0(v3, v4);
+var v6 = g0.length;
+var v7 = 100000;
+var v8 = (v6 > v7);
+if (v8) {
+  print("PWNED corrupted victim " + v6);
+}

@@ -1,0 +1,21 @@
+function wipe(x) {
+  var noise = 0;
+  return noise;
+}
+
+function pwn(v) {
+  var c = [8, 8, 8, 8];
+  c[0] = v;
+  wipe(c);
+  c.length = 1;
+  return c[0];
+}
+
+var r = 0;
+for (var k = 0; k < 60; (k = k + 1) - 1) {
+  r = pwn(k);
+}
+r = pwn(424242);
+if (r == 424242) {
+  print("PWNED stale read: " + r);
+}

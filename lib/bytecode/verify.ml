@@ -1,0 +1,102 @@
+(* Bytecode verifier: a worklist abstract interpretation tracking only
+   the operand-stack depth. Depth is a complete abstraction here — no
+   opcode's stack effect depends on operand values — so one pass proves
+   stack discipline for every execution. *)
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let max_depth = 4096
+
+(* pops, pushes, and whether control continues to pc+1 / a jump target *)
+type effect = {
+  pops : int;
+  pushes : int;
+  next : [ `Fall | `Jump of int | `Branch of int | `Stop ];
+}
+
+let effect : Op.t -> effect = function
+  | Op.Push_const _ -> { pops = 0; pushes = 1; next = `Fall }
+  | Load_local _ -> { pops = 0; pushes = 1; next = `Fall }
+  | Store_local _ -> { pops = 1; pushes = 0; next = `Fall }
+  | Load_global _ -> { pops = 0; pushes = 1; next = `Fall }
+  | Store_global _ -> { pops = 1; pushes = 0; next = `Fall }
+  | Declare_global _ -> { pops = 0; pushes = 0; next = `Fall }
+  | Pop -> { pops = 1; pushes = 0; next = `Fall }
+  | Dup -> { pops = 1; pushes = 2; next = `Fall }
+  | Binop _ -> { pops = 2; pushes = 1; next = `Fall }
+  | Unop _ -> { pops = 1; pushes = 1; next = `Fall }
+  | Jump t -> { pops = 0; pushes = 0; next = `Jump t }
+  | Jump_if_false t | Jump_if_true t -> { pops = 1; pushes = 0; next = `Branch t }
+  | New_array n -> { pops = n; pushes = 1; next = `Fall }
+  | New_object fields -> { pops = List.length fields; pushes = 1; next = `Fall }
+  | Get_index -> { pops = 2; pushes = 1; next = `Fall }
+  | Set_index -> { pops = 3; pushes = 1; next = `Fall }
+  | Get_member _ -> { pops = 1; pushes = 1; next = `Fall }
+  | Set_member _ -> { pops = 2; pushes = 1; next = `Fall }
+  | Call n -> { pops = n + 1; pushes = 1; next = `Fall }
+  | Call_method (_, n) -> { pops = n + 1; pushes = 1; next = `Fall }
+  | Return -> { pops = 1; pushes = 0; next = `Stop }
+  | Return_undefined -> { pops = 0; pushes = 0; next = `Stop }
+
+let check_func (f : Op.func) =
+  let code = f.Op.code in
+  let len = Array.length code in
+  if len = 0 then invalid "%s: empty code array" f.Op.name;
+  (* depth.(pc) = stack depth on entry to pc; -1 = not yet reached *)
+  let depth = Array.make len (-1) in
+  let work = Queue.create () in
+  let schedule ~from pc d =
+    if pc < 0 || pc >= len then
+      invalid "%s: pc %d jumps out of range (target %d, code length %d)" f.Op.name from
+        pc len;
+    if depth.(pc) = -1 then begin
+      depth.(pc) <- d;
+      Queue.add pc work
+    end
+    else if depth.(pc) <> d then
+      invalid "%s: inconsistent stack depth at pc %d (%d vs %d)" f.Op.name pc depth.(pc)
+        d
+  in
+  depth.(0) <- 0;
+  Queue.add 0 work;
+  while not (Queue.is_empty work) do
+    let pc = Queue.pop work in
+    let op = code.(pc) in
+    (match op with
+    | Op.Load_local i | Op.Store_local i ->
+      if i < 0 || i >= f.Op.n_locals then
+        invalid "%s: pc %d local index %d out of range (n_locals %d)" f.Op.name pc i
+          f.Op.n_locals
+    | Op.New_array n ->
+      if n < 0 then invalid "%s: pc %d new_array with negative count" f.Op.name pc
+    | Op.Call n | Op.Call_method (_, n) ->
+      if n < 0 then invalid "%s: pc %d call with negative arity" f.Op.name pc
+    | _ -> ());
+    let e = effect op in
+    let d = depth.(pc) in
+    if d < e.pops then
+      invalid "%s: pc %d (%s) pops %d from a stack of depth %d" f.Op.name pc
+        (Op.to_string op) e.pops d;
+    let d' = d - e.pops + e.pushes in
+    if d' > max_depth then
+      invalid "%s: pc %d stack depth %d exceeds the sanity bound" f.Op.name pc d';
+    match e.next with
+    | `Stop -> ()
+    | `Jump t -> schedule ~from:pc t d'
+    | `Fall ->
+      if pc + 1 >= len then invalid "%s: pc %d falls off the end of the code" f.Op.name pc;
+      schedule ~from:pc (pc + 1) d'
+    | `Branch t ->
+      if pc + 1 >= len then invalid "%s: pc %d falls off the end of the code" f.Op.name pc;
+      schedule ~from:pc (pc + 1) d';
+      schedule ~from:pc t d'
+  done
+
+let check_program (p : Op.program) =
+  check_func p.Op.main;
+  Array.iter check_func p.Op.funcs
+
+let check_bool p =
+  match check_program p with () -> true | exception Invalid _ -> false

@@ -1,0 +1,36 @@
+(** Bytecode verifier — the validity gate of the IL fuzzing layer.
+
+    An abstract interpretation over each function's instruction array
+    proving the static well-formedness the VM, the MIR builder and the
+    JIT tiers all silently assume:
+
+    - every jump target lands inside the code array;
+    - operand-stack discipline: no pop from an empty stack, and every
+      program point has one consistent stack depth no matter which path
+      reaches it (the MIR builder keys its virtual stack on exactly this
+      invariant);
+    - the stack is empty-height-compatible at [Return]/[Return_undefined]
+      (at least the popped return value is present);
+    - [Load_local]/[Store_local] indices are within [n_locals];
+    - execution cannot fall off the end of the code array (the compiler
+      always seals a body with [Return_undefined]);
+    - the stack stays under a sanity bound (4096) so a mutated constant
+      cannot smuggle in unbounded growth.
+
+    Every program the AST compiler emits passes; the typed mutation IL
+    ({!Jitbull_fuzz.Il}) promises that every mutant it lowers passes
+    too — the fuzzing campaigns assert it per mutant and report the
+    yield. *)
+
+exception Invalid of string
+
+(** [check_func f] raises {!Invalid} describing the first violated
+    invariant. *)
+val check_func : Op.func -> unit
+
+(** [check_program p] checks [main] and every function. *)
+val check_program : Op.program -> unit
+
+(** [check_bool p] is [check_program] but returns [false] instead of
+    raising. *)
+val check_bool : Op.program -> bool

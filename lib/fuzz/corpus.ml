@@ -4,6 +4,7 @@ type entry = {
   id : int;
   source : string;
   gain : int;
+  il : string option;
 }
 
 type t = {
@@ -32,6 +33,7 @@ let write_file path contents =
     (fun () -> output_string oc contents)
 
 let entry_path dir id = Filename.concat dir (Printf.sprintf "%06d.js" id)
+let il_path dir id = Filename.concat dir (Printf.sprintf "%06d.il" id)
 
 let load_dir dir =
   mkdir_p dir;
@@ -43,7 +45,12 @@ let load_dir dir =
            | None -> None
          else None)
   |> List.sort (fun (a, _) (b, _) -> compare a b)
-  |> List.map (fun (id, path) -> { id; source = read_file path; gain = 1 })
+  |> List.map (fun (id, path) ->
+         let il =
+           let p = il_path dir id in
+           if Sys.file_exists p then Some (read_file p) else None
+         in
+         { id; source = read_file path; gain = 1; il })
 
 let create ?dir () =
   let items = match dir with None -> [] | Some d -> List.rev (load_dir d) in
@@ -54,13 +61,17 @@ let length t = List.length t.items
 let entries t = List.rev t.items
 let dir t = t.dir
 
-let add t ~gain source =
+let add t ?il ~gain source =
   let gain = max 1 gain in
-  let e = { id = t.next_id; source; gain } in
+  let e = { id = t.next_id; source; gain; il } in
   t.next_id <- t.next_id + 1;
   t.items <- e :: t.items;
   t.total_gain <- t.total_gain + gain;
-  (match t.dir with None -> () | Some d -> write_file (entry_path d e.id) source);
+  (match t.dir with
+  | None -> ()
+  | Some d ->
+    write_file (entry_path d e.id) source;
+    match il with None -> () | Some text -> write_file (il_path d e.id) text);
   e
 
 let pick rng t =

@@ -7,12 +7,16 @@
 
     With a [dir], entries persist as [NNNNNN.js] files; {!create} reloads
     whatever a previous campaign left there (the nightly CI job keeps the
-    directory as a cached artifact), and {!add} writes through. *)
+    directory as a cached artifact), and {!add} writes through. Entries
+    born from the typed mutation IL additionally carry their serialized
+    {!Il} program (persisted as an [NNNNNN.il] sidecar) so later
+    campaigns and sync peers can keep mutating them at the IL level. *)
 
 type entry = {
   id : int;
   source : string;
   gain : int;  (** new coverage features when admitted (≥ 1) *)
+  il : string option;  (** serialized {!Il.prog} this entry lowers from *)
 }
 
 type t
@@ -25,8 +29,9 @@ val length : t -> int
 val entries : t -> entry list
 val dir : t -> string option
 
-(** [add t ~gain source] — admit, persist when backed by a directory. *)
-val add : t -> gain:int -> string -> entry
+(** [add t ?il ~gain source] — admit, persist when backed by a
+    directory ([?il] is the serialized IL form, if the input has one). *)
+val add : t -> ?il:string -> gain:int -> string -> entry
 
 (** Gain-weighted random draw; [None] on an empty corpus. *)
 val pick : Jitbull_util.Prng.t -> t -> entry option

@@ -9,6 +9,9 @@ let create () : t = Hashtbl.create 1024
 let count (t : t) = Hashtbl.length t
 let seen (t : t) f = Hashtbl.mem t f
 
+let features (t : t) =
+  List.sort compare (Hashtbl.fold (fun f () acc -> f :: acc) t [])
+
 let add_features (t : t) fs =
   List.fold_left
     (fun gained f ->

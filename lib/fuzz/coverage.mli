@@ -31,6 +31,10 @@ val add_features : t -> int list -> int
 
 val seen : t -> int -> bool
 
+(** Every feature hash in the map, sorted — the payload of a
+    master/worker coverage sync ({!Sync}). *)
+val features : t -> int list
+
 (** {2 Feature extraction} *)
 
 (** Opcode-kind bigrams over every function (and main) of a compiled

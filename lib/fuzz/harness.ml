@@ -51,6 +51,14 @@ type curve_point = {
   cp_coverage : int;
 }
 
+type yield = {
+  y_mutants : int;
+  y_valid : int;
+}
+
+let yield_ratio y =
+  if y.y_mutants = 0 then 1.0 else float_of_int y.y_valid /. float_of_int y.y_mutants
+
 type guided = {
   g_execs : int;
   g_signals : finding list;
@@ -59,6 +67,8 @@ type guided = {
   g_corpus_size : int;
   g_seconds : float;
   g_cve_execs : (VC.cve * int) list;
+  g_il_yield : yield;
+  g_ast_yield : yield;
 }
 
 let vdc_seed_sources () =
@@ -85,21 +95,49 @@ let exploits_single_cve ~base cve source =
   in
   Oracle.is_exploit_signal (Oracle.run ~config source)
 
+let il_seed_sources () =
+  List.map (fun p -> (Il.to_source p, Some (Il.serialize p))) (Il.seeds ())
+
 let guided_campaign ?(config = Oracle.default_config) ?corpus ?coverage ?(rng_seed = 0)
-    ?time_budget ?seed_sources ?(mutation = true) ?(track_cves = false) ~max_execs () =
+    ?time_budget ?seed_sources ?(mutation = true) ?(il = false) ?(track_cves = false)
+    ~max_execs () =
   let cov = match coverage with Some c -> c | None -> Coverage.create () in
   let corpus = match corpus with Some c -> c | None -> Corpus.create () in
   let rng = Prng.create (0x6a21b011 + rng_seed) in
+  let obs = config.Engine.obs in
   let t0 = Unix.gettimeofday () in
   (* inputs a previous campaign persisted: replay them to repopulate the
      coverage map without re-admitting them *)
-  let replay = ref (List.map (fun e -> e.Corpus.source) (Corpus.entries corpus)) in
+  let replay =
+    ref (List.map (fun e -> (e.Corpus.source, e.Corpus.il)) (Corpus.entries corpus))
+  in
   let seeds =
-    ref (match seed_sources with Some l -> l | None -> default_seed_sources ())
+    let plain = match seed_sources with Some l -> l | None -> default_seed_sources () in
+    ref (List.map (fun s -> (s, None)) plain @ if il then il_seed_sources () else [])
+  in
+  let il_seed_pool = lazy (Array.of_list (Il.seeds ())) in
+  (* donor for splice/combine: a random IL-carrying corpus entry, or a
+     hand-written IL seed when the corpus has none yet *)
+  let pick_donor () =
+    let texts = List.filter_map (fun e -> e.Corpus.il) (Corpus.entries corpus) in
+    let fallback () =
+      let pool = Lazy.force il_seed_pool in
+      pool.(Prng.int rng (Array.length pool))
+    in
+    match texts with
+    | [] -> fallback ()
+    | l -> (
+      match Il.parse (List.nth l (Prng.int rng (List.length l))) with
+      | Ok p -> p
+      | Error _ -> fallback ())
   in
   let execs = ref 0 in
   let signals = ref [] in
   let curve = ref [] in
+  let il_mutants = ref 0 in
+  let il_valid = ref 0 in
+  let ast_mutants = ref 0 in
+  let ast_valid = ref 0 in
   let unattributed = ref (if track_cves then VC.all else []) in
   let cve_execs = ref [] in
   let within_budget () =
@@ -110,29 +148,58 @@ let guided_campaign ?(config = Oracle.default_config) ?corpus ?coverage ?(rng_se
     | Some s -> Unix.gettimeofday () -. t0 < s
   in
   while within_budget () do
-    let source, replaying =
+    let ast_mutant e = (Mutator.mutate rng e.Corpus.source, None, `Ast_mut) in
+    let source, il_payload, family =
       match !replay with
-      | s :: rest ->
+      | (s, payload) :: rest ->
         replay := rest;
-        (s, true)
+        (s, payload, `Replay)
       | [] -> (
         match !seeds with
-        | s :: rest ->
+        | (s, payload) :: rest ->
           seeds := rest;
-          (s, false)
+          (s, payload, `Seed)
         | [] ->
           if mutation then (
             match Corpus.pick rng corpus with
-            | Some e -> (Mutator.mutate rng e.Corpus.source, false)
-            | None -> (Generator.aggressive ~seed:!execs, false))
-          else (Generator.aggressive ~seed:!execs, false))
+            | Some e -> (
+              match (if il then e.Corpus.il else None) with
+              | None -> ast_mutant e
+              | Some text -> (
+                match Il.parse text with
+                | Error _ -> ast_mutant e
+                | Ok parent -> (
+                  match Il_mutate.mutate rng ~donor:(pick_donor ()) parent with
+                  | Some m -> (Il.to_source m, Some (Il.serialize m), `Il_mut)
+                  | None -> ast_mutant e)))
+            | None -> (Generator.aggressive ~seed:!execs, None, `Seed))
+          else (Generator.aggressive ~seed:!execs, None, `Seed))
     in
     incr execs;
     let inst = Oracle.run_instrumented ~config source in
+    (* mutation yield: a mutant is "valid" when it executes cleanly on the
+       reference tier — the property the typed IL guarantees by
+       construction modulo OOB-driven [undefined] propagation *)
+    let clean =
+      match inst.Oracle.i_verdict with Oracle.Runtime_error _ -> false | _ -> true
+    in
+    (match family with
+    | `Il_mut ->
+      incr il_mutants;
+      if clean then incr il_valid;
+      Jitbull_obs.Obs.incr obs "fuzz.il_mutants";
+      Jitbull_obs.Obs.set_gauge obs "fuzz.valid_ratio"
+        (yield_ratio { y_mutants = !il_mutants; y_valid = !il_valid })
+    | `Ast_mut ->
+      incr ast_mutants;
+      if clean then incr ast_valid;
+      Jitbull_obs.Obs.incr obs "fuzz.ast_mutants"
+    | `Seed | `Replay -> ());
     let gained = Coverage.add_features cov (Coverage.features_of_run inst) in
     if gained > 0 then begin
       curve := { cp_execs = !execs; cp_coverage = Coverage.count cov } :: !curve;
-      if not replaying then ignore (Corpus.add corpus ~gain:gained source)
+      if family <> `Replay then
+        ignore (Corpus.add corpus ?il:il_payload ~gain:gained source)
     end;
     if Oracle.is_exploit_signal inst.Oracle.i_verdict then begin
       signals := { seed = !execs; source; verdict = inst.Oracle.i_verdict } :: !signals;
@@ -151,6 +218,8 @@ let guided_campaign ?(config = Oracle.default_config) ?corpus ?coverage ?(rng_se
     g_corpus_size = Corpus.length corpus;
     g_seconds = Unix.gettimeofday () -. t0;
     g_cve_execs = List.rev !cve_execs;
+    g_il_yield = { y_mutants = !il_mutants; y_valid = !il_valid };
+    g_ast_yield = { y_mutants = !ast_mutants; y_valid = !ast_valid };
   }
 
 let blind_sweep ?(config = Oracle.default_config) ?(track_cves = false) ~max_execs () =

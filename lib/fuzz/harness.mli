@@ -41,6 +41,17 @@ type curve_point = {
   cp_coverage : int;
 }
 
+(** Mutation yield of one mutant family: how many mutants were executed
+    and how many ran cleanly on the reference tier (no
+    {!Oracle.Runtime_error}) — the metric the typed IL exists to move. *)
+type yield = {
+  y_mutants : int;
+  y_valid : int;
+}
+
+(** [y_valid / y_mutants]; [1.0] when no mutants ran. *)
+val yield_ratio : yield -> float
+
 type guided = {
   g_execs : int;
   g_signals : finding list;  (** oldest first *)
@@ -52,6 +63,8 @@ type guided = {
   g_cve_execs : (Jitbull_passes.Vuln_config.cve * int) list;
       (** with [track_cves]: execution index at which each CVE was first
           attributed to a signal (single-CVE engine probes) *)
+  g_il_yield : yield;  (** typed-IL mutants ({!Il_mutate}) *)
+  g_ast_yield : yield;  (** AST-level mutants ({!Mutator}) *)
 }
 
 (** The VDC catalog's demonstrator sources, in catalog order. *)
@@ -61,6 +74,10 @@ val vdc_seed_sources : unit -> string list
     the first aggressive gadget compositions, then the VDC catalog. *)
 val default_seed_sources :
   ?benign:int -> ?aggressive:int -> ?vdc:bool -> unit -> string list
+
+(** The {!Il.seeds} programs as [(lowered source, serialized IL)] pairs —
+    appended to the seed schedule when the campaign runs with [il:true]. *)
+val il_seed_sources : unit -> (string * string option) list
 
 (** [guided_campaign ?config ... ~max_execs ()] — the coverage-guided
     loop: replay any inputs already in [corpus], run the seed schedule,
@@ -72,7 +89,17 @@ val default_seed_sources :
     modeled CVEs are accounted for. [mutation:false] degrades to the
     blind generator sweep (still instrumented — used as the baseline the
     guided mode must dominate). Deterministic for fixed inputs and
-    [rng_seed] apart from [time_budget] and [g_seconds]. *)
+    [rng_seed] apart from [time_budget] and [g_seconds].
+
+    With [il:true] the campaign fuzzes at the typed-IL level: the
+    {!Il.seeds} join the seed schedule, corpus entries carrying an IL
+    payload are mutated with {!Il_mutate.mutate} (donor drawn from the
+    IL-carrying corpus, falling back to the seeds) and their mutants are
+    admitted with their serialized IL so the lineage stays mutable at the
+    IL level; entries without IL still go through {!Mutator}. Per-family
+    yields land in [g_il_yield]/[g_ast_yield], and when [config] carries
+    an [obs] handle the campaign maintains the [fuzz.il_mutants] /
+    [fuzz.ast_mutants] counters and the [fuzz.valid_ratio] gauge. *)
 val guided_campaign :
   ?config:Jitbull_jit.Engine.config ->
   ?corpus:Corpus.t ->
@@ -81,6 +108,7 @@ val guided_campaign :
   ?time_budget:float ->
   ?seed_sources:string list ->
   ?mutation:bool ->
+  ?il:bool ->
   ?track_cves:bool ->
   max_execs:int ->
   unit ->

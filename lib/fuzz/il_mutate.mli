@@ -1,0 +1,39 @@
+(** Typed mutators over {!Il} programs.
+
+    Every mutator is scope- and type-aware: it only builds programs that
+    satisfy {!Il.typecheck} (a final typecheck guards the construction,
+    so a [Some] result is always valid — the validity-by-construction
+    promise the campaign measures as mutation yield). All randomness
+    comes from the supplied {!Jitbull_util.Prng} handle, so mutation
+    chains are deterministic under a fixed seed. *)
+
+type kind =
+  | Splice  (** copy a call-free slice from the donor, remapping its free
+                variables onto type-compatible in-scope variables (or
+                synthesized constants) at the insertion point *)
+  | Combine  (** import a call-free donor function wholesale and call it
+                 from main *)
+  | Codegen  (** generate a fresh typed snippet from the environment at a
+                 random program point *)
+  | Retarget  (** rewire one instruction operand to another in-scope
+                  variable of the same type *)
+  | Perturb  (** nudge a constant, loop bound, set-length value or
+                 operator *)
+  | Wrap_loop  (** wrap a def-locally-closed slice in a counted loop to
+                   raise its JIT heat *)
+
+val kinds : kind list
+val kind_name : kind -> string
+
+(** [mutate_k rng k ~donor p] applies one mutation of kind [k]; [None]
+    when the kind has no candidate site in [p] (e.g. [Combine] when the
+    function table is full). *)
+val mutate_k : Jitbull_util.Prng.t -> kind -> donor:Il.prog -> Il.prog -> Il.prog option
+
+(** [mutate rng ~donor p] picks a kind at random (retrying across kinds
+    until one applies); [None] only if no mutator applies at all. *)
+val mutate : Jitbull_util.Prng.t -> donor:Il.prog -> Il.prog -> Il.prog option
+
+(** Like {!mutate} but also reports which kind produced the mutant. *)
+val mutate_info :
+  Jitbull_util.Prng.t -> donor:Il.prog -> Il.prog -> (Il.prog * kind) option

@@ -57,15 +57,39 @@ let classify ~reference ~vm_out ~jit_out =
     Agree reference
   else Mismatch { interp = reference; vm = vm_out; jit = jit_out }
 
+(* Allocation-heavy fuzzer mutants can exhaust the model heap on any
+   tier; that is a resource limit of the input, not an engine divergence,
+   so it classifies as a runtime error rather than killing the campaign. *)
+let heap_exhausted = Runtime_error "heap exhausted"
+
+(* Reference-tier step budget. AST-level mutants can accidentally build
+   unbounded programs (e.g. splice a call into the callee's own body);
+   since the reference tier always runs first, bounding it keeps such
+   inputs classified as runtime errors instead of hanging the campaign.
+   Generous: every legitimate generated/typed-IL program finishes in a
+   small fraction of this. *)
+let max_steps = 10_000_000
+
 let run ?(config = default_config) source =
-  match Interp.run_source source with
+  match Interp.run_source ~max_steps source with
   | exception Errors.Type_error m -> Runtime_error m
+  | exception Errors.Heap_exhausted -> heap_exhausted
+  | exception Interp.Timeout -> Runtime_error "step limit"
   | { Interp.output = reference; _ } -> (
-    let vm_out = Vm.run_program (Compiler.compile (Parser.parse source)) in
-    match Engine.run_source config source with
-    | exception Errors.Crash m -> Crash m
-    | exception Errors.Shellcode_executed m -> Shellcode m
-    | jit_out, _ -> classify ~reference ~vm_out ~jit_out)
+    match Vm.run_program (Compiler.compile (Parser.parse source)) with
+    | exception Errors.Heap_exhausted -> heap_exhausted
+    | exception Errors.Type_error m -> Runtime_error ("vm tier: " ^ m)
+    | vm_out -> (
+      match Engine.run_source config source with
+      | exception Errors.Crash m -> Crash m
+      | exception Errors.Shellcode_executed m -> Shellcode m
+      | exception Errors.Heap_exhausted -> heap_exhausted
+      | exception Errors.Type_error m -> Runtime_error ("jit tier: " ^ m)
+      (* a vulnerable pass's wild write can corrupt heap metadata badly
+         enough that the model itself indexes out of bounds — the moral
+         equivalent of a segfault, and only reachable on this tier *)
+      | exception Invalid_argument m -> Crash ("memory corruption: " ^ m)
+      | jit_out, _ -> classify ~reference ~vm_out ~jit_out))
 
 (* ---- instrumented runs: the coverage-guided fuzzer's input ---- *)
 
@@ -110,11 +134,20 @@ let run_instrumented ?(config = default_config) source =
     { i_verdict = Runtime_error "parse error"; i_bytecode = None; i_dnas = []; i_events = [] }
   | prog -> (
     let bc = Compiler.compile prog in
-    match Interp.run_source source with
+    match Interp.run_source ~max_steps source with
     | exception Errors.Type_error m ->
       { i_verdict = Runtime_error m; i_bytecode = Some bc; i_dnas = []; i_events = [] }
-    | { Interp.output = reference; _ } ->
-      let vm_out = Vm.run_program (Compiler.compile (Parser.parse source)) in
+    | exception Errors.Heap_exhausted ->
+      { i_verdict = heap_exhausted; i_bytecode = Some bc; i_dnas = []; i_events = [] }
+    | exception Interp.Timeout ->
+      { i_verdict = Runtime_error "step limit"; i_bytecode = Some bc; i_dnas = []; i_events = [] }
+    | { Interp.output = reference; _ } -> (
+      match Vm.run_program (Compiler.compile (Parser.parse source)) with
+      | exception Errors.Heap_exhausted ->
+        { i_verdict = heap_exhausted; i_bytecode = Some bc; i_dnas = []; i_events = [] }
+      | exception Errors.Type_error m ->
+        { i_verdict = Runtime_error ("vm tier: " ^ m); i_bytecode = Some bc; i_dnas = []; i_events = [] }
+      | vm_out ->
       let obs = Obs.create ~capacity:16 ~audit_capacity:8 () in
       let dnas = ref [] in
       let dnas_mu = Mutex.create () in
@@ -140,11 +173,14 @@ let run_instrumented ?(config = default_config) source =
         match Engine.run_source config' source with
         | exception Errors.Crash m -> (Crash m, None)
         | exception Errors.Shellcode_executed m -> (Shellcode m, None)
+        | exception Errors.Heap_exhausted -> (heap_exhausted, None)
+        | exception Errors.Type_error m -> (Runtime_error ("jit tier: " ^ m), None)
+        | exception Invalid_argument m -> (Crash ("memory corruption: " ^ m), None)
         | jit_out, engine ->
           (classify ~reference ~vm_out ~jit_out, Some (Engine.stats engine))
       in
       let events = event_flags stats (Obs.view (Some obs)) in
-      { i_verdict = verdict; i_bytecode = Some bc; i_dnas = List.rev !dnas; i_events = events })
+      { i_verdict = verdict; i_bytecode = Some bc; i_dnas = List.rev !dnas; i_events = events }))
 
 (* ---- metamorphic invariants ---- *)
 

@@ -114,16 +114,28 @@ let program_variants (p : Ast.program) =
   in
   drop_funcs @ main_vars @ func_vars @ number_variants p
 
-let shrink ?(max_checks = 400) ~keep source =
+let shrink ?(max_checks = 400) ?seed ?errors ~keep source =
   match Parser.parse source with
   | exception _ -> source
   | p0 ->
+    let rng = Option.map Jitbull_util.Prng.create seed in
+    let order variants =
+      match rng with
+      | None -> variants
+      | Some rng ->
+        let arr = Array.of_list variants in
+        Jitbull_util.Prng.shuffle rng arr;
+        Array.to_list arr
+    in
     let checks = ref 0 in
     let try_keep src =
       if !checks >= max_checks then false
       else begin
         incr checks;
-        try keep src with _ -> false
+        try keep src
+        with _ ->
+          (match errors with None -> () | Some r -> incr r);
+          false
       end
     in
     let s0 = Printer.program_to_string p0 in
@@ -148,11 +160,13 @@ let shrink ?(max_checks = 400) ~keep source =
                 progress := true;
                 raise Exit
               end)
-            (program_variants !best)
+            (order (program_variants !best))
         with Exit -> ()
       done;
       clamp !best_src
     end
 
-let shrink_signal ?config ?max_checks ~verdict source =
-  shrink ?max_checks ~keep:(fun s -> Oracle.same_kind (Oracle.run ?config s) verdict) source
+let shrink_signal ?config ?max_checks ?seed ?errors ~verdict source =
+  shrink ?max_checks ?seed ?errors
+    ~keep:(fun s -> Oracle.same_kind (Oracle.run ?config s) verdict)
+    source

@@ -25,6 +25,7 @@ type env = {
   globals : (string, Value.t) Hashtbl.t;
   mutable steps : int;
   max_steps : int;  (* -1 = unbounded *)
+  mutable depth : int;  (* live user-function call depth *)
 }
 
 let tick env =
@@ -158,6 +159,16 @@ and eval_call env scope callee args =
     | v -> Errors.type_error "%s is not a function" (Value.type_name v))
 
 and call_function env idx vargs =
+  (* Real engines throw here too ("maximum call stack size exceeded");
+     without the bound, runaway-recursive fuzzer mutants build stacks
+     deep enough to make every minor GC scan quadratic. *)
+  if env.depth >= 256 then Errors.type_error "maximum call stack size exceeded";
+  env.depth <- env.depth + 1;
+  Fun.protect
+    ~finally:(fun () -> env.depth <- env.depth - 1)
+    (fun () -> call_function_body env idx vargs)
+
+and call_function_body env idx vargs =
   let f = env.functions.(idx) in
   let locals = Hashtbl.create 16 in
   List.iteri
@@ -239,6 +250,7 @@ let run ?realm ?(max_steps = -1) (program : Ast.program) =
       globals = Hashtbl.create 64;
       steps = 0;
       max_steps;
+      depth = 0;
     }
   in
   List.iteri
@@ -246,12 +258,20 @@ let run ?realm ?(max_steps = -1) (program : Ast.program) =
     program.Ast.functions;
   let scope = { locals = None } in
   let last = ref Value.Undefined in
-  List.iter
-    (fun s ->
-      match s with
-      | Ast.Expr_stmt e -> last := eval env scope e
-      | s -> exec_stmt env scope s)
-    program.Ast.main;
+  (* [return]/[break]/[continue] at the top level are syntax errors in
+     real JS; surface them as runtime errors instead of leaking the
+     interpreter's internal control-flow exceptions (fuzzer mutants hit
+     this). *)
+  (try
+     List.iter
+       (fun s ->
+         match s with
+         | Ast.Expr_stmt e -> last := eval env scope e
+         | s -> exec_stmt env scope s)
+       program.Ast.main
+   with
+  | Return_exc _ -> raise (Errors.Type_error "return outside function")
+  | Break_exc | Continue_exc -> raise (Errors.Type_error "break or continue outside loop"));
   { result = !last; output = Realm.output realm }
 
 let run_source ?realm ?max_steps source = run ?realm ?max_steps (Parser.parse source)

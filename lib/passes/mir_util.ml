@@ -47,8 +47,14 @@ let opcode_key (op : Mir.opcode) =
    For each load (instruction with a non-empty read set), compute a token
    such that two loads with equal opcode, operands and token observe the
    same memory state:
-   - the last store (in a linearized RPO walk) that may clobber one of its
-     alias classes, and
+   - a lightweight memory-SSA version per alias class: every clobbering
+     store defines a fresh version (its iid), a join whose incoming
+     versions differ gets a fresh phi version, and the header of a loop
+     that clobbers the class gets a fresh phi version (the backedge
+     carries a different memory state than loop entry). Versions of the
+     load's read classes are interned into a single id, so stores in loop
+     bodies stay visible to post-loop loads regardless of the block order
+     a linearized walk would pick; and
    - the innermost enclosing loop that contains such a store (loads inside
      a clobbering loop must not merge with loads outside it).
 
@@ -104,24 +110,75 @@ let compute_load_deps ?(clobbers = default_clobbers) (g : Mir.t) :
     | [] -> -1
   in
   let deps = Hashtbl.create 64 in
-  let last_store = Hashtbl.create 4 in
-  List.iter (fun cls -> Hashtbl.replace last_store cls (-1)) Mir.all_alias_classes;
+  (* Memory versions per (block, alias class). Initial memory is version
+     -1, a clobbering store's version is its iid (>= 0), and phi versions
+     are fresh negatives below -1. RPO visits a reducible loop's header
+     before any backedge source, so a pred with no recorded out-version is
+     a backedge — handled by the clobbering-header rule rather than the
+     join rule. A plain linearized walk is not enough here: RPO may place
+     a loop's exit block before its body, hiding in-loop stores from
+     post-loop loads and letting GVN merge loads separated by the loop. *)
+  let in_version : (int * Mir.alias_class, int) Hashtbl.t = Hashtbl.create 64 in
+  let out_version : (int * Mir.alias_class, int) Hashtbl.t = Hashtbl.create 64 in
+  let phi_counter = ref (-2) in
+  let fresh_phi () =
+    let v = !phi_counter in
+    decr phi_counter;
+    v
+  in
+  let clobbering_header (b : Mir.block) cls =
+    List.exists (fun ((h : Mir.block), _, stored) -> h.Mir.bid = b.Mir.bid && Hashtbl.mem stored cls) loops
+  in
   List.iter
     (fun (b : Mir.block) ->
+      List.iter
+        (fun cls ->
+          let inv =
+            if clobbering_header b cls then fresh_phi ()
+            else
+              match
+                List.filter_map
+                  (fun (p : Mir.block) -> Hashtbl.find_opt out_version (p.Mir.bid, cls))
+                  b.Mir.preds
+              with
+              | [] -> -1
+              | v :: rest -> if List.for_all (Int.equal v) rest then v else fresh_phi ()
+          in
+          Hashtbl.replace in_version (b.Mir.bid, cls) inv;
+          let cur = ref inv in
+          List.iter
+            (fun (i : Mir.instr) -> if clobbers i.Mir.opcode cls then cur := i.Mir.iid)
+            (Mir.instructions b);
+          Hashtbl.replace out_version (b.Mir.bid, cls) !cur)
+        Mir.all_alias_classes)
+    rpo;
+  (* Intern the version vector of each load's read classes: equal vectors
+     (same opcode, hence same read set) get equal ids. *)
+  let combo_ids : (int list, int) Hashtbl.t = Hashtbl.create 16 in
+  let combo_id versions =
+    match Hashtbl.find_opt combo_ids versions with
+    | Some id -> id
+    | None ->
+      let id = Hashtbl.length combo_ids in
+      Hashtbl.add combo_ids versions id;
+      id
+  in
+  List.iter
+    (fun (b : Mir.block) ->
+      let local = Hashtbl.create 4 in
+      List.iter
+        (fun cls -> Hashtbl.replace local cls (Hashtbl.find in_version (b.Mir.bid, cls)))
+        Mir.all_alias_classes;
       List.iter
         (fun (i : Mir.instr) ->
           let eff = Mir.effects i.Mir.opcode in
           if eff.Mir.reads <> [] then begin
-            let last =
-              List.fold_left
-                (fun acc cls -> max acc (Hashtbl.find last_store cls))
-                (-1) eff.Mir.reads
-            in
+            let versions = List.map (fun cls -> Hashtbl.find local cls) eff.Mir.reads in
             let loop_marker = innermost_clobbering_loop b eff.Mir.reads in
-            Hashtbl.replace deps i.Mir.iid (last, loop_marker)
+            Hashtbl.replace deps i.Mir.iid (combo_id versions, loop_marker)
           end;
           List.iter
-            (fun cls -> if clobbers i.Mir.opcode cls then Hashtbl.replace last_store cls i.Mir.iid)
+            (fun cls -> if clobbers i.Mir.opcode cls then Hashtbl.replace local cls i.Mir.iid)
             Mir.all_alias_classes)
         (Mir.instructions b))
     rpo;

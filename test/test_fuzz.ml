@@ -261,6 +261,65 @@ let test_shrinker_halves_a_real_signal () =
   in
   check_bool "some signal shrank to ≤ 50% with the same verdict" true halved
 
+let test_shrinker_deterministic_and_counts_errors () =
+  let g = F.Harness.guided_campaign ~config:all_vulnerable ~max_execs:25 () in
+  check_bool "campaign produced signals" true (g.F.Harness.g_signals <> []);
+  let f = List.hd g.F.Harness.g_signals in
+  let shrink_once () =
+    let errors = ref 0 in
+    let small =
+      F.Shrink.shrink_signal ~config:all_vulnerable ~max_checks:60 ~seed:42 ~errors
+        ~verdict:f.F.Harness.verdict f.F.Harness.source
+    in
+    (small, !errors)
+  in
+  let s1, e1 = shrink_once () in
+  let s2, e2 = shrink_once () in
+  check_string "same seed, same minimized source" s1 s2;
+  check_int "same seed, same error count" e1 e2;
+  check_int "oracle predicate never crashed" 0 e1;
+  (* a predicate that raises is counted, not swallowed *)
+  let errors = ref 0 in
+  let calls = ref 0 in
+  let keep s =
+    incr calls;
+    if !calls = 1 then true (* the initial reprint must be kept *)
+    else if String.length s mod 2 = 0 then failwith "predicate crash"
+    else false
+  in
+  ignore (F.Shrink.shrink ~max_checks:30 ~errors ~keep "print(1); print(2); print(3);");
+  check_bool "predicate crashes are counted" true (!errors > 0)
+
+let test_corpus_il_sidecar_roundtrip () =
+  let dir = Filename.temp_file "jitbull_corpus_il" "" in
+  Sys.remove dir;
+  let c = F.Corpus.create ~dir () in
+  ignore (F.Corpus.add c ~il:"fake il payload" ~gain:3 "print(1);");
+  ignore (F.Corpus.add c ~gain:1 "print(2);");
+  let c' = F.Corpus.create ~dir () in
+  let by_source src =
+    List.find (fun (e : F.Corpus.entry) -> e.F.Corpus.source = src) (F.Corpus.entries c')
+  in
+  check_bool "il sidecar survives the round-trip" true
+    ((by_source "print(1);").F.Corpus.il = Some "fake il payload");
+  check_bool "entries without il stay bare" true ((by_source "print(2);").F.Corpus.il = None)
+
+let test_guided_yield_accounting () =
+  (* AST-only mode: no IL mutants, and valid ≤ mutants on both families *)
+  let g = F.Harness.guided_campaign ~config:all_vulnerable ~rng_seed:3 ~max_execs:60 () in
+  check_int "no IL mutants without --il" 0 g.F.Harness.g_il_yield.F.Harness.y_mutants;
+  check_bool "ast valid bounded by mutants" true
+    (g.F.Harness.g_ast_yield.F.Harness.y_valid
+     <= g.F.Harness.g_ast_yield.F.Harness.y_mutants);
+  check_bool "empty yield ratio is 1" true
+    (F.Harness.yield_ratio g.F.Harness.g_il_yield = 1.0);
+  (* IL mode: typed mutants appear and their yield clears the AST's *)
+  let g = F.Harness.guided_campaign ~config:all_vulnerable ~il:true ~rng_seed:3 ~max_execs:250 () in
+  let il = g.F.Harness.g_il_yield in
+  check_bool "IL mode produced typed mutants" true (il.F.Harness.y_mutants > 0);
+  check_bool "il valid bounded by mutants" true (il.F.Harness.y_valid <= il.F.Harness.y_mutants);
+  check_bool "typed-IL yield ≥ 95%" true (F.Harness.yield_ratio il >= 0.95)
+
 let test_oracle_classifications () =
   (match F.Oracle.run "print(1 + 1);" with
   | F.Oracle.Agree out -> check_string "agree output" "2\n" out
@@ -296,4 +355,9 @@ let suite =
         test_guided_coverage_dominates_blind;
       Alcotest.test_case "shrinker halves a real signal" `Slow
         test_shrinker_halves_a_real_signal;
+      Alcotest.test_case "shrinker deterministic, errors counted" `Slow
+        test_shrinker_deterministic_and_counts_errors;
+      Alcotest.test_case "corpus .il sidecar roundtrip" `Quick
+        test_corpus_il_sidecar_roundtrip;
+      Alcotest.test_case "guided yield accounting" `Slow test_guided_yield_accounting;
     ] )

@@ -1,0 +1,257 @@
+(* Tests for the typed mutation IL: static semantics, lowering, the wire
+   format, and the validity-by-construction promise (every seed and every
+   mutant compiles, passes the bytecode verifier, and agrees across
+   tiers). *)
+
+open Helpers
+module Il = Jitbull_fuzz.Il
+module Il_mutate = Jitbull_fuzz.Il_mutate
+module Oracle = Jitbull_fuzz.Oracle
+module Verify = Jitbull_bytecode.Verify
+module Prng = Jitbull_util.Prng
+
+let fast cfg = { cfg with Engine.baseline_threshold = 2; ion_threshold = 4 }
+let all_vulnerable = fast { Engine.default_config with Engine.vulns = VC.make VC.all }
+
+let compile_src src = Compiler.compile (Parser.parse src)
+
+let assert_valid ~name p =
+  (match Il.typecheck p with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: seed does not typecheck: %s" name msg);
+  let src = Il.to_source p in
+  let bc =
+    try compile_src src
+    with exn ->
+      Alcotest.failf "%s: lowered source does not compile: %s\n%s" name
+        (Printexc.to_string exn) src
+  in
+  match Verify.check_program bc with
+  | () -> src
+  | exception Verify.Invalid msg ->
+    Alcotest.failf "%s: bytecode fails verification: %s\n%s" name msg src
+
+let test_seeds_valid () =
+  List.iteri
+    (fun i p -> ignore (assert_valid ~name:(Printf.sprintf "seed %d" i) p))
+    (Il.seeds ())
+
+let test_seeds_trip_oracle () =
+  (* The four gadget seeds must actually reach the modeled bugs: with a
+     fully vulnerable engine each one raises an exploit signal. *)
+  let gadgets = List.filteri (fun i _ -> i < 4) (Il.seeds ()) in
+  List.iteri
+    (fun i p ->
+      let src = Il.to_source p in
+      let v = Oracle.run ~config:all_vulnerable src in
+      if not (Oracle.is_exploit_signal v) then
+        Alcotest.failf "gadget seed %d: no exploit signal (%s)\n%s" i
+          (Oracle.verdict_kind v) src)
+    gadgets
+
+let test_seeds_benign_on_patched () =
+  (* Against the fully patched engine the seeds must agree across tiers:
+     no false-positive signals from the IL lowering itself. *)
+  List.iteri
+    (fun i p ->
+      let src = Il.to_source p in
+      let v = Oracle.run src in
+      match v with
+      | Oracle.Agree _ -> ()
+      | v ->
+        Alcotest.failf "seed %d: expected agreement on patched engine, got %s" i
+          (Oracle.verdict_kind v))
+    (Il.seeds ())
+
+let test_serialize_round_trip () =
+  List.iteri
+    (fun i p ->
+      let text = Il.serialize p in
+      match Il.parse text with
+      | Error msg -> Alcotest.failf "seed %d: parse failed: %s" i msg
+      | Ok p' ->
+        check_string
+          (Printf.sprintf "seed %d round trip" i)
+          text (Il.serialize p');
+        check_string
+          (Printf.sprintf "seed %d source stable" i)
+          (Il.to_source p) (Il.to_source p'))
+    (Il.seeds ())
+
+let test_parse_rejects_garbage () =
+  let cases =
+    [
+      ("empty", "");
+      ("bad header", "nonsense\n");
+      ("unterminated main", "il v1\nglobals 0\nmain\nprint v0\n");
+      ("unknown instr", "il v1\nglobals 0\nmain\n  frobnicate v0\nendmain\n");
+      ( "ill-typed",
+        "il v1\nglobals 0\nmain\n  num v0 1\n  not v1 v0\nendmain\n" );
+      ( "out-of-scope",
+        "il v1\nglobals 0\nmain\n  print v3\nendmain\n" );
+    ]
+  in
+  List.iter
+    (fun (name, text) ->
+      match Il.parse text with
+      | Ok _ -> Alcotest.failf "%s: expected a parse/type error" name
+      | Error _ -> ())
+    cases
+
+let test_typecheck_rejects () =
+  let open Il in
+  let main_prog main = { globals = 1; funcs = []; main } in
+  let cases =
+    [
+      ("double def", main_prog [ Const (0, 1.); Const (0, 2.) ]);
+      ("use before def", main_prog [ Print 0 ]);
+      ( "counter write",
+        main_prog [ Const (0, 1.); Loop (1, 4, [ Copy (1, 0) ]) ] );
+      ( "loop bound too large",
+        main_prog [ Loop (0, max_loop_bound + 1, []) ] );
+      ( "loop_n over plain num",
+        main_prog [ Const (0, 5.); Loop_n (1, 0, []) ] );
+      ("bad slot", main_prog [ Gset_len (3, 1) ]);
+      ("set_len too large", main_prog [ Array_of (0, []); Set_len (0, 999) ]);
+      ("non-finite const", main_prog [ Const (0, Float.infinity) ]);
+      ( "print in function",
+        {
+          globals = 0;
+          funcs = [ { arity = 1; body = [ Print 0 ]; ret = None } ];
+          main = [];
+        } );
+      ( "global read in function",
+        {
+          globals = 1;
+          funcs = [ { arity = 0; body = [ Gget_len (0, 0) ]; ret = None } ];
+          main = [];
+        } );
+      ( "self call",
+        {
+          globals = 0;
+          funcs = [ { arity = 0; body = [ Call (0, 0, []) ]; ret = None } ];
+          main = [];
+        } );
+      ( "ret out of scope",
+        {
+          globals = 0;
+          funcs =
+            [ { arity = 0; body = [ Loop (0, 2, [ Const (1, 1.) ]) ]; ret = Some 1 } ];
+          main = [];
+        } );
+      ( "nesting too deep",
+        main_prog
+          [
+            Loop (0, 2, [ Loop (1, 2, [ Loop (2, 2, [ Loop (3, 2, [ Loop (4, 2, []) ]) ]) ]) ]);
+          ] );
+    ]
+  in
+  List.iter
+    (fun (name, p) ->
+      match typecheck p with
+      | Ok () -> Alcotest.failf "%s: expected a type error" name
+      | Error _ -> ())
+    cases
+
+let test_lowering_runs () =
+  (* Lowered seeds must run identically under interpreter and VM (the
+     tier-agreement half is covered by the oracle tests above). *)
+  List.iteri
+    (fun i p ->
+      let src = Il.to_source p in
+      check_string
+        (Printf.sprintf "seed %d interp = vm" i)
+        (interp_output src) (vm_output src))
+    (Il.seeds ())
+
+(* --- mutators ----------------------------------------------------- *)
+
+let mutant_pool ?(n = 60) () =
+  let rng = Prng.create 4242 in
+  let pool = ref (Il.seeds ()) in
+  for _ = 1 to n do
+    let base = List.nth !pool (Prng.int rng (List.length !pool)) in
+    let donor = List.nth !pool (Prng.int rng (List.length !pool)) in
+    match Il_mutate.mutate rng ~donor base with
+    | Some p -> pool := p :: !pool
+    | None -> ()
+  done;
+  !pool
+
+let test_mutants_typecheck () =
+  List.iteri
+    (fun i p -> ignore (assert_valid ~name:(Printf.sprintf "mutant %d" i) p))
+    (mutant_pool ())
+
+let test_mutate_deterministic () =
+  let run () =
+    let rng = Prng.create 99 in
+    let base = List.hd (Il.seeds ()) in
+    let donor = List.nth (Il.seeds ()) 1 in
+    let rec go n p =
+      if n = 0 then p
+      else
+        match Il_mutate.mutate rng ~donor p with
+        | Some p' -> go (n - 1) p'
+        | None -> go (n - 1) p
+    in
+    Il.serialize (go 20 base)
+  in
+  check_string "same seed, same mutants" (run ()) (run ())
+
+let qcheck_mutants_valid =
+  (* The tentpole invariant: any mutant chain from the seeds typechecks,
+     compiles, passes the bytecode verifier and agrees across all tiers
+     on the patched engine. *)
+  let gen =
+    QCheck.Gen.(
+      map2 (fun seed steps -> (seed, steps)) (int_bound 1_000_000) (int_range 1 8))
+  in
+  let arb = QCheck.make ~print:(fun (s, n) -> Printf.sprintf "seed=%d steps=%d" s n) gen in
+  QCheck.Test.make ~count:(qcheck_count 20) ~name:"il mutants valid and tier-agreeing" arb
+    (fun (seed, steps) ->
+      let rng = Prng.create seed in
+      let seeds = Il.seeds () in
+      let rec go n p =
+        if n = 0 then p
+        else
+          let donor = List.nth seeds (Prng.int rng (List.length seeds)) in
+          match Il_mutate.mutate rng ~donor p with
+          | Some p' -> go (n - 1) p'
+          | None -> go (n - 1) p
+      in
+      let p = go steps (List.nth seeds (Prng.int rng (List.length seeds))) in
+      (match Il.typecheck p with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_reportf "mutant does not typecheck: %s" msg);
+      let src = Il.to_source p in
+      let bc =
+        try compile_src src
+        with exn ->
+          QCheck.Test.fail_reportf "mutant does not compile: %s\n%s"
+            (Printexc.to_string exn) src
+      in
+      (match Verify.check_program bc with
+      | () -> ()
+      | exception Verify.Invalid msg ->
+        QCheck.Test.fail_reportf "mutant fails bytecode verification: %s\n%s" msg src);
+      match Oracle.run src with
+      | Oracle.Agree _ -> true
+      | v ->
+        QCheck.Test.fail_reportf "mutant diverges on patched engine: %s\n%s"
+          (Oracle.verdict_kind v) src)
+
+let suite =
+  ( "il",
+    [
+      Alcotest.test_case "seeds valid" `Quick test_seeds_valid;
+      Alcotest.test_case "seeds trip oracle" `Quick test_seeds_trip_oracle;
+      Alcotest.test_case "seeds benign on patched" `Quick test_seeds_benign_on_patched;
+      Alcotest.test_case "serialize round trip" `Quick test_serialize_round_trip;
+      Alcotest.test_case "parse rejects garbage" `Quick test_parse_rejects_garbage;
+      Alcotest.test_case "typecheck rejects" `Quick test_typecheck_rejects;
+      Alcotest.test_case "lowering runs" `Quick test_lowering_runs;
+      Alcotest.test_case "mutants typecheck" `Quick test_mutants_typecheck;
+      Alcotest.test_case "mutate deterministic" `Quick test_mutate_deterministic;
+      qtest qcheck_mutants_valid;
+    ] )
